@@ -1,0 +1,47 @@
+//! Criterion bench: discrete-event simulator throughput — simulated tasks
+//! per second of host time for dense and TLR DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_covariance::MaternParams;
+use exa_distsim::{simulate_cholesky, BlockCyclic, DenseCost, MachineConfig, RankModel, TlrCost};
+use std::hint::black_box;
+
+fn bench_distsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distsim");
+    group.sample_size(10);
+    let machine = MachineConfig::shaheen2(64);
+    let grid = BlockCyclic::squarest(64);
+    for &nt in &[32usize, 64, 96] {
+        let cost = DenseCost { nb: 560 };
+        group.bench_with_input(BenchmarkId::new("dense_nt", nt), &nt, |b, &nt| {
+            b.iter(|| {
+                black_box(
+                    simulate_cholesky(nt, &cost, &machine, &grid)
+                        .unwrap()
+                        .makespan,
+                )
+            });
+        });
+    }
+    let model = RankModel::calibrate(1e-7, MaternParams::new(1.0, 0.1, 0.5), 1024, 64, 3);
+    for &nt in &[32usize, 96] {
+        let cost = TlrCost {
+            nb: 1900,
+            nt,
+            ranks: model.clone(),
+        };
+        group.bench_with_input(BenchmarkId::new("tlr_nt", nt), &nt, |b, &nt| {
+            b.iter(|| {
+                black_box(
+                    simulate_cholesky(nt, &cost, &machine, &grid)
+                        .unwrap()
+                        .makespan,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distsim);
+criterion_main!(benches);

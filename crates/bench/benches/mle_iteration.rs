@@ -1,0 +1,48 @@
+//! Criterion bench: one full ℓ(θ) evaluation (generation + factorization +
+//! solve) per backend — the paper's "time of one iteration of the MLE
+//! operation" (Figure 3's quantity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_covariance::{DistanceMetric, MaternKernel, MaternParams};
+use exa_geostat::{log_likelihood, synthetic_locations_n, Backend, LikelihoodConfig};
+use exa_runtime::Runtime;
+use exa_util::Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_mle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mle_iteration");
+    group.sample_size(10);
+    let n = 1024;
+    let workers = exa_runtime::default_parallelism().min(8);
+    let rt = Runtime::new(workers);
+    let mut rng = Rng::seed_from_u64(1);
+    let locs = Arc::new(synthetic_locations_n(n, &mut rng));
+    let kernel = MaternKernel::new(
+        locs,
+        MaternParams::new(1.0, 0.1, 0.5),
+        DistanceMetric::Euclidean,
+        1e-8,
+    );
+    let mut z = vec![0.0; n];
+    rng.fill_gaussian(&mut z);
+    let backends = [
+        ("full_block", Backend::FullBlock),
+        ("full_tile", Backend::FullTile),
+        ("tlr_1e-5", Backend::tlr(1e-5)),
+        ("tlr_1e-9", Backend::tlr(1e-9)),
+    ];
+    for (label, backend) in backends {
+        let nb = if matches!(backend, Backend::Tlr { .. }) { 128 } else { 64 };
+        group.bench_with_input(BenchmarkId::new("backend", label), &backend, |b, &be| {
+            b.iter(|| {
+                let cfg = LikelihoodConfig { nb, seed: 5 };
+                black_box(log_likelihood(&kernel, &z, be, cfg, &rt).unwrap().value)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mle);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: the kriging prediction operation (Eq. 4) per backend —
+//! Figure 5's quantity at shared-memory scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_covariance::{DistanceMetric, MaternParams};
+use exa_geostat::{
+    holdout_split, predict, synthetic_locations_n, Backend, FieldSimulator, LikelihoodConfig,
+};
+use exa_runtime::Runtime;
+use exa_util::Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prediction");
+    group.sample_size(10);
+    let n = 1024;
+    let m_unknown = 100;
+    let workers = exa_runtime::default_parallelism().min(8);
+    let rt = Runtime::new(workers);
+    let params = MaternParams::new(1.0, 0.1, 0.5);
+    let mut rng = Rng::seed_from_u64(1);
+    let locs = Arc::new(synthetic_locations_n(n, &mut rng));
+    let sim = FieldSimulator::new(locs.clone(), params, DistanceMetric::Euclidean, 0.0, 64, &rt)
+        .unwrap();
+    let z = sim.draw(&mut rng);
+    let split = holdout_split(n, m_unknown, &mut rng);
+    let observed: Vec<_> = split.estimation.iter().map(|&i| locs[i]).collect();
+    let z_obs: Vec<f64> = split.estimation.iter().map(|&i| z[i]).collect();
+    let targets: Vec<_> = split.validation.iter().map(|&i| locs[i]).collect();
+    let backends = [
+        ("full_tile", Backend::FullTile),
+        ("tlr_1e-5", Backend::tlr(1e-5)),
+        ("tlr_1e-9", Backend::tlr(1e-9)),
+    ];
+    for (label, backend) in backends {
+        let nb = if matches!(backend, Backend::Tlr { .. }) { 128 } else { 64 };
+        group.bench_with_input(BenchmarkId::new("backend", label), &backend, |b, &be| {
+            b.iter(|| {
+                let p = predict(
+                    &observed,
+                    &z_obs,
+                    &targets,
+                    params,
+                    DistanceMetric::Euclidean,
+                    1e-8,
+                    be,
+                    LikelihoodConfig { nb, seed: 5 },
+                    &rt,
+                )
+                .unwrap();
+                black_box(p.values[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

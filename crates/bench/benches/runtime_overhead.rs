@@ -1,0 +1,77 @@
+//! Criterion bench: STF runtime overheads — dependency inference and
+//! work-stealing dispatch with empty tasks (DESIGN.md §4.1's ablation),
+//! plus parallel_for as the fork-join reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_runtime::{parallel_for, Access, Runtime, TaskGraph};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    let workers = exa_runtime::default_parallelism().min(8);
+    let rt = Runtime::new(workers);
+    for &tasks in &[1_000usize, 10_000] {
+        // Independent empty tasks: pure dispatch overhead.
+        group.bench_with_input(
+            BenchmarkId::new("independent_tasks", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let mut g = TaskGraph::new();
+                    let counter = Arc::new(AtomicUsize::new(0));
+                    let handles = g.register_many(tasks);
+                    for h in handles {
+                        let c2 = counter.clone();
+                        g.submit("noop", 0, &[(h, Access::Write)], move || {
+                            c2.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    let stats = rt.run(g);
+                    black_box(stats.tasks_executed)
+                });
+            },
+        );
+        // A dependency chain: graph-inference + sequential dispatch.
+        group.bench_with_input(
+            BenchmarkId::new("chained_tasks", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let mut g = TaskGraph::new();
+                    let h = g.register();
+                    let counter = Arc::new(AtomicUsize::new(0));
+                    for _ in 0..tasks {
+                        let c2 = counter.clone();
+                        g.submit("chain", 0, &[(h, Access::ReadWrite)], move || {
+                            c2.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    let stats = rt.run(g);
+                    black_box(stats.tasks_executed)
+                });
+            },
+        );
+        // Fork-join reference doing the same counting work.
+        group.bench_with_input(
+            BenchmarkId::new("parallel_for", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let counter = AtomicUsize::new(0);
+                    let cref = &counter;
+                    parallel_for(workers, tasks, 64, move |s, e| {
+                        cref.fetch_add(e - s, Ordering::Relaxed);
+                    });
+                    black_box(counter.load(Ordering::Relaxed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 2 — 400 points irregularly distributed in space, with 362 points
+//! (`o`) for maximum likelihood estimation and 38 points (`x`) for
+//! prediction validation, drawn as an ASCII scatter plot.
+//!
+//! ```text
+//! cargo run --release -p exa-bench --bin fig2_locations
+//! ```
+
+use exa_bench::parse_args;
+use exa_geostat::{holdout_split, synthetic_locations};
+use exa_util::Rng;
+
+fn main() {
+    let args = parse_args();
+    let side = 20; // 400 points, as in the figure
+    let mut rng = Rng::seed_from_u64(args.seed);
+    let locs = synthetic_locations(side, &mut rng);
+    let split = holdout_split(locs.len(), 38, &mut rng);
+
+    println!(
+        "Figure 2: {} irregular locations, {} estimation (o) / {} validation (x)\n",
+        locs.len(),
+        split.estimation.len(),
+        split.validation.len()
+    );
+
+    // 61 × 31 character canvas over the unit square.
+    const W: usize = 61;
+    const H: usize = 31;
+    let mut canvas = vec![b' '; W * H];
+    let mut put = |x: f64, y: f64, c: u8| {
+        let cx = ((x * (W - 1) as f64).round() as usize).min(W - 1);
+        let cy = (((1.0 - y) * (H - 1) as f64).round() as usize).min(H - 1);
+        canvas[cx + cy * W] = c;
+    };
+    for &i in &split.estimation {
+        put(locs[i].x, locs[i].y, b'o');
+    }
+    for &i in &split.validation {
+        put(locs[i].x, locs[i].y, b'x');
+    }
+    println!("1.0 +{}+", "-".repeat(W));
+    for r in 0..H {
+        let row = String::from_utf8_lossy(&canvas[r * W..(r + 1) * W]).to_string();
+        println!("    |{row}|");
+    }
+    println!("0.0 +{}+", "-".repeat(W));
+    println!("    0.0{}1.0", " ".repeat(W - 5));
+
+    // The figure's generation property: jittered grid keeps points apart.
+    let dmin = exa_geostat::locations::min_pairwise_distance(&locs);
+    println!("\nminimum pairwise distance: {dmin:.4} (grid cell = {:.4})", 1.0 / side as f64);
+}

@@ -1,0 +1,122 @@
+//! Figure 4 — time of one TLR MLE iteration on the (simulated) Cray XC40
+//! Shaheen-2, 256 and 1024 nodes, at paper-scale problem sizes.
+//!
+//! Full-tile uses nb = 560 and the TLR variants nb = 1900 (the paper's
+//! tuned tile sizes). Missing points reproduce the paper's out-of-memory
+//! cases from per-node resident-set accounting. Cholesky makespans come
+//! from the discrete-event simulator (or its analytic fallback beyond the
+//! task budget, marked `~`).
+//!
+//! ```text
+//! cargo run --release -p exa-bench --bin fig4_dist_mle [--full]
+//! ```
+
+use exa_bench::{fmt_secs, parse_args};
+use exa_covariance::MaternParams;
+use exa_distsim::{
+    analytic_cholesky_seconds, simulate_cholesky, BlockCyclic, DenseCost, MachineConfig,
+    RankModel, SimError, TlrCost,
+};
+use exa_util::Table;
+
+const NB_DENSE: usize = 560;
+const NB_TLR: usize = 1900;
+
+fn run_panel(nodes: usize, sizes: &[usize], args: &exa_bench::HarnessArgs) {
+    let machine = MachineConfig::shaheen2(nodes);
+    let grid = BlockCyclic::squarest(nodes);
+    println!(
+        "== {} nodes ({} cores) ==",
+        nodes,
+        nodes * machine.cores_per_node
+    );
+    let accs = [1e-9, 1e-7, 1e-5];
+    let mut header = vec!["n (x10^3)".to_string(), "Full-tile".to_string()];
+    header.extend(accs.iter().map(|e| format!("TLR-acc({e:.0e})")));
+    let mut table = Table::new(header);
+    let params = MaternParams::new(1.0, 0.1, 0.5);
+    // One calibrated rank model per accuracy (laptop-scale real assembly).
+    let models: Vec<RankModel> = accs
+        .iter()
+        .map(|&eps| RankModel::calibrate(eps, params, 2048, 128, args.seed))
+        .collect();
+    let mut best_speedup = 0.0f64;
+    for &n in sizes {
+        let mut cells = vec![format!("{}", n / 1000)];
+        // Full-tile.
+        let nt_dense = n.div_ceil(NB_DENSE);
+        let dense_cost = DenseCost { nb: NB_DENSE };
+        let t_dense = match simulate_cholesky(nt_dense, &dense_cost, &machine, &grid) {
+            Ok(stats) => {
+                cells.push(fmt_secs(stats.makespan));
+                Some(stats.makespan)
+            }
+            Err(SimError::TooLarge { .. }) => {
+                let t = analytic_cholesky_seconds(nt_dense, &dense_cost, &machine);
+                cells.push(format!("~{}", fmt_secs(t)));
+                Some(t)
+            }
+            Err(SimError::OutOfMemory { .. }) => {
+                cells.push("OOM".into());
+                None
+            }
+        };
+        // TLR at each accuracy.
+        for (model, &eps) in models.iter().zip(&accs) {
+            let nt = n.div_ceil(NB_TLR);
+            let cost = TlrCost {
+                nb: NB_TLR,
+                nt,
+                ranks: model.clone(),
+            };
+            match simulate_cholesky(nt, &cost, &machine, &grid) {
+                Ok(stats) => {
+                    if let Some(td) = t_dense {
+                        if eps == 1e-5 {
+                            best_speedup = best_speedup.max(td / stats.makespan);
+                        }
+                    }
+                    cells.push(fmt_secs(stats.makespan));
+                }
+                Err(SimError::TooLarge { .. }) => {
+                    let t = analytic_cholesky_seconds(nt, &cost, &machine);
+                    if let Some(td) = t_dense {
+                        if eps == 1e-5 {
+                            best_speedup = best_speedup.max(td / t);
+                        }
+                    }
+                    cells.push(format!("~{}", fmt_secs(t)));
+                }
+                Err(SimError::OutOfMemory { .. }) => cells.push("OOM".into()),
+            }
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!(
+        "max speedup TLR-acc(1e-5) vs Full-tile: {:.1}X (paper: up to 5X)\n",
+        best_speedup
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Figure 4: time of one TLR MLE iteration on the simulated Cray XC40\n\
+         (nb = {NB_DENSE} dense / {NB_TLR} TLR, 2D block-cyclic; OOM = missing point)\n"
+    );
+    // Paper panel (a): 256 nodes, n = 100k … 1M.
+    let sizes_256: Vec<usize> = if args.full {
+        vec![100_000, 200_000, 250_000, 500_000, 750_000, 1_000_000]
+    } else {
+        vec![100_000, 200_000, 250_000, 500_000]
+    };
+    run_panel(256, &sizes_256, &args);
+    // Paper panel (b): 1024 nodes, n = 250k … 2M.
+    let sizes_1024: Vec<usize> = if args.full {
+        vec![250_000, 500_000, 750_000, 1_000_000, 2_000_000]
+    } else {
+        vec![250_000, 500_000, 1_000_000]
+    };
+    run_panel(1024, &sizes_1024, &args);
+}

@@ -1,0 +1,84 @@
+//! Shared plumbing for the figure/table harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index). They share command-line conventions:
+//!
+//! * `--full` — run the larger sweep (closer to paper scale; slower),
+//! * `--workers N` — worker threads (default: all cores),
+//! * `--seed S` — master seed (default 42).
+
+use exa_geostat::Backend;
+
+/// Parsed harness options.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    pub full: bool,
+    pub workers: usize,
+    pub seed: u64,
+}
+
+/// Parses `std::env::args()`; unknown flags abort with a usage message.
+pub fn parse_args() -> HarnessArgs {
+    let mut out = HarnessArgs {
+        full: false,
+        workers: exa_runtime::default_parallelism(),
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => out.full = true,
+            "--workers" => {
+                out.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a number"));
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    out
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <harness> [--full] [--workers N] [--seed S]");
+    std::process::exit(2);
+}
+
+/// The four TLR accuracy thresholds of Figure 3.
+pub const FIG3_ACCURACIES: [f64; 4] = [1e-12, 1e-9, 1e-7, 1e-5];
+
+/// The shared-memory backend lineup of Figure 3 (in plot-legend order).
+pub fn fig3_backends() -> Vec<Backend> {
+    let mut v = vec![Backend::FullBlock, Backend::FullTile];
+    v.extend(FIG3_ACCURACIES.iter().map(|&eps| Backend::tlr(eps)));
+    v
+}
+
+/// Formats a seconds value the way the harness tables print it.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 100.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+/// `a/b` rendered as a speedup ("3.4X").
+pub fn fmt_speedup(a: f64, b: f64) -> String {
+    format!("{:.1}X", a / b)
+}

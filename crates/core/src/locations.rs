@@ -1,0 +1,160 @@
+//! Synthetic spatial location generation (paper §VII, Figure 2).
+//!
+//! The paper generates irregular locations on a jittered `√n × √n` grid:
+//! point `(r, l)` sits at `((r − 0.5 + X_rl)/√n, (l − 0.5 + Y_rl)/√n)` with
+//! `X, Y ~ U(−0.4, 0.4)`, guaranteeing "no two locations are too close" while
+//! staying irregular. Locations are then Morton-sorted (the ExaGeoStat
+//! preprocessing that gives covariance tiles their low-rank structure) and
+//! optionally split into estimation/validation subsets as in Figure 2.
+
+use exa_covariance::{sort_morton, Location};
+use exa_util::Rng;
+
+/// Generates `side × side` jittered-grid locations over the unit square,
+/// Morton-sorted.
+pub fn synthetic_locations(side: usize, rng: &mut Rng) -> Vec<Location> {
+    let mut locs = Vec::with_capacity(side * side);
+    let m = side as f64;
+    for r in 1..=side {
+        for l in 1..=side {
+            let x = (r as f64 - 0.5 + rng.uniform(-0.4, 0.4)) / m;
+            let y = (l as f64 - 0.5 + rng.uniform(-0.4, 0.4)) / m;
+            locs.push(Location::new(x, y));
+        }
+    }
+    sort_morton(&mut locs);
+    locs
+}
+
+/// Generates approximately `n` jittered-grid locations (rounds the grid side
+/// to `⌈√n⌉` and truncates), Morton-sorted.
+pub fn synthetic_locations_n(n: usize, rng: &mut Rng) -> Vec<Location> {
+    let side = (n as f64).sqrt().ceil() as usize;
+    let mut locs = synthetic_locations(side, rng);
+    locs.truncate(n);
+    locs
+}
+
+/// Jittered-grid locations inside an arbitrary rectangle (used by the
+/// simulated real-data regions, where coordinates are lon/lat degrees).
+pub fn gridded_locations_in(
+    side: usize,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+    rng: &mut Rng,
+) -> Vec<Location> {
+    assert!(x1 > x0 && y1 > y0, "degenerate region");
+    let mut locs = Vec::with_capacity(side * side);
+    let m = side as f64;
+    for r in 1..=side {
+        for l in 1..=side {
+            let fx = (r as f64 - 0.5 + rng.uniform(-0.4, 0.4)) / m;
+            let fy = (l as f64 - 0.5 + rng.uniform(-0.4, 0.4)) / m;
+            locs.push(Location::new(x0 + fx * (x1 - x0), y0 + fy * (y1 - y0)));
+        }
+    }
+    sort_morton(&mut locs);
+    locs
+}
+
+/// A dataset split into estimation and held-out validation parts
+/// (Figure 2: 362 `◦` points for MLE, 38 `×` points for prediction).
+#[derive(Clone, Debug)]
+pub struct HoldoutSplit {
+    /// Indices (into the original set) used for estimation.
+    pub estimation: Vec<usize>,
+    /// Indices held out for prediction validation.
+    pub validation: Vec<usize>,
+}
+
+/// Randomly holds out `n_validation` of `n` indices.
+pub fn holdout_split(n: usize, n_validation: usize, rng: &mut Rng) -> HoldoutSplit {
+    assert!(n_validation <= n, "cannot hold out more points than exist");
+    let held: Vec<usize> = rng.sample_indices(n, n_validation);
+    let mut is_held = vec![false; n];
+    for &i in &held {
+        is_held[i] = true;
+    }
+    HoldoutSplit {
+        estimation: (0..n).filter(|&i| !is_held[i]).collect(),
+        validation: held,
+    }
+}
+
+/// Minimum pairwise distance of a location set (`O(n²)`; diagnostics).
+pub fn min_pairwise_distance(locs: &[Location]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..locs.len() {
+        for j in i + 1..locs.len() {
+            best = best.min(exa_covariance::euclidean(&locs[i], &locs[j]));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jittered_grid_covers_unit_square() {
+        let mut rng = Rng::seed_from_u64(1);
+        let locs = synthetic_locations(20, &mut rng);
+        assert_eq!(locs.len(), 400);
+        for l in &locs {
+            assert!(l.x > 0.0 && l.x < 1.0, "x={}", l.x);
+            assert!(l.y > 0.0 && l.y < 1.0, "y={}", l.y);
+        }
+    }
+
+    #[test]
+    fn no_two_points_too_close() {
+        // Jitter of ±0.4 cell widths leaves ≥ 0.2/√n separation between
+        // same-row neighbours; across the whole set the minimum distance must
+        // stay well above zero (no duplicate points).
+        let mut rng = Rng::seed_from_u64(2);
+        let locs = synthetic_locations(15, &mut rng);
+        let d = min_pairwise_distance(&locs);
+        assert!(d > 0.2 / 15.0 * 0.5, "min distance {d}");
+    }
+
+    #[test]
+    fn truncated_generation_returns_exactly_n() {
+        let mut rng = Rng::seed_from_u64(3);
+        let locs = synthetic_locations_n(150, &mut rng);
+        assert_eq!(locs.len(), 150);
+    }
+
+    #[test]
+    fn region_grid_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(4);
+        let locs = gridded_locations_in(12, -95.0, -85.0, 29.0, 49.0, &mut rng);
+        for l in &locs {
+            assert!(l.x > -95.0 && l.x < -85.0);
+            assert!(l.y > 29.0 && l.y < 49.0);
+        }
+    }
+
+    #[test]
+    fn holdout_split_partitions_indices() {
+        let mut rng = Rng::seed_from_u64(5);
+        let s = holdout_split(400, 38, &mut rng);
+        assert_eq!(s.validation.len(), 38);
+        assert_eq!(s.estimation.len(), 362);
+        let mut all: Vec<usize> = s.estimation.iter().chain(&s.validation).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = synthetic_locations(10, &mut Rng::seed_from_u64(7));
+        let b = synthetic_locations(10, &mut Rng::seed_from_u64(7));
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!((p.x, p.y), (q.x, q.y));
+        }
+    }
+}

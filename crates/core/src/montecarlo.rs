@@ -1,0 +1,269 @@
+//! Monte-Carlo estimation studies (paper §VIII-D1, Figures 6 and 7).
+//!
+//! The paper's accuracy verification protocol: fix an initial parameter
+//! vector `θ`, generate one location set and `R` measurement vectors *in
+//! exact computation* ("to ensure that all techniques are using the same
+//! data"), then re-estimate `θ̂` with every computation technique and
+//! boxplot the estimates (Figure 6) and the prediction MSE over held-out
+//! values (Figure 7).
+
+use crate::likelihood::{Backend, LikelihoodConfig};
+use crate::locations::{holdout_split, synthetic_locations_n};
+use crate::mle::{MleProblem, ParamBounds};
+use crate::optimizer::NelderMeadConfig;
+use crate::predict::{predict, prediction_mse};
+use crate::simulate::FieldSimulator;
+use exa_covariance::{DistanceMetric, Location, MaternParams};
+use exa_runtime::Runtime;
+use exa_util::stats::BoxplotSummary;
+use exa_util::Rng;
+use std::sync::Arc;
+
+/// Configuration of one Monte-Carlo study.
+#[derive(Clone, Debug)]
+pub struct MonteCarloConfig {
+    /// Number of spatial locations (paper: 40 000).
+    pub n: usize,
+    /// Monte-Carlo replicates — measurement vectors per θ (paper: 100).
+    pub replicates: usize,
+    /// Held-out values re-predicted per replicate (paper: 100).
+    pub holdout: usize,
+    /// Likelihood evaluation settings.
+    pub likelihood: LikelihoodConfig,
+    /// Optimizer settings (the study dominates runtime; keep `max_evals`
+    /// moderate).
+    pub optimizer: NelderMeadConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            n: 900,
+            replicates: 10,
+            holdout: 50,
+            likelihood: LikelihoodConfig { nb: 64, seed: 1 },
+            optimizer: NelderMeadConfig {
+                max_evals: 120,
+                ftol: 1e-5,
+                ..Default::default()
+            },
+            seed: 42,
+            workers: exa_runtime::default_parallelism(),
+        }
+    }
+}
+
+/// Per-technique outcome of the study.
+#[derive(Clone, Debug)]
+pub struct TechniqueOutcome {
+    pub backend: Backend,
+    /// Estimated θ̂ per replicate.
+    pub estimates: Vec<MaternParams>,
+    /// Prediction MSE per replicate (Eq. 7).
+    pub mses: Vec<f64>,
+    /// Replicates whose factorization failed (loose accuracy on strongly
+    /// correlated data; counted, not silently dropped).
+    pub failures: usize,
+}
+
+impl TechniqueOutcome {
+    /// Boxplot summaries of (θ̂₁, θ̂₂, θ̂₃) — the three panels of Figure 6.
+    pub fn parameter_boxplots(&self) -> [BoxplotSummary; 3] {
+        let col = |f: fn(&MaternParams) -> f64| -> Vec<f64> {
+            self.estimates.iter().map(f).collect()
+        };
+        [
+            exa_util::five_number_summary(&col(|p| p.variance)),
+            exa_util::five_number_summary(&col(|p| p.range)),
+            exa_util::five_number_summary(&col(|p| p.smoothness)),
+        ]
+    }
+
+    /// Boxplot summary of the prediction MSE — one panel of Figure 7.
+    pub fn mse_boxplot(&self) -> BoxplotSummary {
+        exa_util::five_number_summary(&self.mses)
+    }
+}
+
+/// Shared Monte-Carlo data: one location set, `R` exact measurement vectors,
+/// and one holdout split reused by every technique.
+pub struct MonteCarloData {
+    pub locations: Arc<Vec<Location>>,
+    pub truth: MaternParams,
+    pub measurements: Vec<Vec<f64>>,
+    pub estimation_idx: Vec<usize>,
+    pub validation_idx: Vec<usize>,
+}
+
+/// Generates the shared data in exact (machine-precision) computation.
+pub fn generate_data(
+    truth: MaternParams,
+    cfg: &MonteCarloConfig,
+    rt: &Runtime,
+) -> MonteCarloData {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let locations = Arc::new(synthetic_locations_n(cfg.n, &mut rng));
+    let sim = FieldSimulator::new(
+        locations.clone(),
+        truth,
+        DistanceMetric::Euclidean,
+        0.0,
+        cfg.likelihood.nb,
+        rt,
+    )
+    .expect("exact covariance must be SPD");
+    let measurements = sim.draw_many(cfg.replicates, &mut rng);
+    let split = holdout_split(locations.len(), cfg.holdout, &mut rng);
+    MonteCarloData {
+        locations,
+        truth,
+        measurements,
+        estimation_idx: split.estimation,
+        validation_idx: split.validation,
+    }
+}
+
+/// Runs the full study for one technique: per replicate, fit `θ̂` on the
+/// estimation points, then predict the held-out points with `θ̂`.
+pub fn run_technique(
+    data: &MonteCarloData,
+    backend: Backend,
+    cfg: &MonteCarloConfig,
+    rt: &Runtime,
+) -> TechniqueOutcome {
+    let observed: Vec<Location> = data
+        .estimation_idx
+        .iter()
+        .map(|&i| data.locations[i])
+        .collect();
+    let targets: Vec<Location> = data
+        .validation_idx
+        .iter()
+        .map(|&i| data.locations[i])
+        .collect();
+    let observed_arc = Arc::new(observed.clone());
+
+    let mut estimates = Vec::with_capacity(data.measurements.len());
+    let mut mses = Vec::with_capacity(data.measurements.len());
+    let mut failures = 0usize;
+    for z in &data.measurements {
+        let z_obs: Vec<f64> = data.estimation_idx.iter().map(|&i| z[i]).collect();
+        let truth_vals: Vec<f64> = data.validation_idx.iter().map(|&i| z[i]).collect();
+        let problem = MleProblem {
+            locations: observed_arc.clone(),
+            z: z_obs.clone(),
+            metric: DistanceMetric::Euclidean,
+            backend,
+            config: cfg.likelihood,
+            nugget: 1e-8,
+        };
+        // The paper starts the optimizer from empirical values; a mildly
+        // perturbed truth keeps study runtimes tractable at our scale.
+        let start = MaternParams::new(
+            data.truth.variance * 0.6,
+            data.truth.range * 1.5,
+            (data.truth.smoothness * 1.2).min(2.9),
+        );
+        let fit = problem.fit(start, &ParamBounds::default(), cfg.optimizer, rt);
+        if !fit.loglik.is_finite() {
+            failures += 1;
+            continue;
+        }
+        let pred = predict(
+            &observed,
+            &z_obs,
+            &targets,
+            fit.params,
+            DistanceMetric::Euclidean,
+            1e-8,
+            backend,
+            cfg.likelihood,
+            rt,
+        );
+        match pred {
+            Ok(p) => {
+                mses.push(prediction_mse(&truth_vals, &p.values));
+                estimates.push(fit.params);
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    TechniqueOutcome {
+        backend,
+        estimates,
+        mses,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(seed: u64) -> MonteCarloConfig {
+        MonteCarloConfig {
+            n: 225,
+            replicates: 3,
+            holdout: 20,
+            likelihood: LikelihoodConfig { nb: 32, seed },
+            optimizer: NelderMeadConfig {
+                max_evals: 60,
+                ftol: 1e-4,
+                ..Default::default()
+            },
+            seed,
+            workers: 4,
+        }
+    }
+
+    #[test]
+    fn shared_data_is_reused_across_techniques() {
+        let cfg = small_cfg(1);
+        let rt = Runtime::new(cfg.workers);
+        let data = generate_data(MaternParams::new(1.0, 0.1, 0.5), &cfg, &rt);
+        assert_eq!(data.measurements.len(), 3);
+        assert_eq!(data.validation_idx.len(), 20);
+        assert_eq!(data.estimation_idx.len(), 205);
+        // Replicates differ (independent draws).
+        assert_ne!(data.measurements[0], data.measurements[1]);
+    }
+
+    #[test]
+    fn full_tile_study_recovers_reasonable_estimates() {
+        let cfg = small_cfg(2);
+        let rt = Runtime::new(cfg.workers);
+        let truth = MaternParams::new(1.0, 0.1, 0.5);
+        let data = generate_data(truth, &cfg, &rt);
+        let out = run_technique(&data, Backend::FullTile, &cfg, &rt);
+        assert_eq!(out.failures, 0);
+        assert_eq!(out.estimates.len(), 3);
+        let [v, r, s] = out.parameter_boxplots();
+        // Medians in a generous window around the truth (tiny n).
+        assert!((v.median - 1.0).abs() < 0.8, "variance median {}", v.median);
+        assert!((r.median - 0.1).abs() < 0.12, "range median {}", r.median);
+        assert!((s.median - 0.5).abs() < 0.35, "smoothness median {}", s.median);
+        let mse = out.mse_boxplot();
+        assert!(mse.median < 1.0, "MSE median {}", mse.median);
+    }
+
+    #[test]
+    fn tlr_study_tracks_full_tile() {
+        let cfg = small_cfg(3);
+        let rt = Runtime::new(cfg.workers);
+        let truth = MaternParams::new(1.0, 0.1, 0.5);
+        let data = generate_data(truth, &cfg, &rt);
+        let exact = run_technique(&data, Backend::FullTile, &cfg, &rt);
+        let tlr = run_technique(&data, Backend::tlr(1e-9), &cfg, &rt);
+        assert_eq!(tlr.failures, 0);
+        let em = exact.mse_boxplot().median;
+        let tm = tlr.mse_boxplot().median;
+        assert!(
+            (em - tm).abs() < 0.3 * em.max(0.05),
+            "exact MSE {em} vs TLR MSE {tm}"
+        );
+    }
+}

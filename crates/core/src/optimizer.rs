@@ -1,0 +1,335 @@
+//! Derivative-free bound-constrained maximization (the NLopt substitute).
+//!
+//! ExaGeoStat maximizes ℓ(θ) with NLopt's derivative-free optimizers; this
+//! module rebuilds a Nelder–Mead simplex search with box constraints, which
+//! plays the same role: tens of likelihood evaluations, each a full
+//! factorization (the paper reports per-iteration time for exactly this
+//! reason). The search runs in the caller's coordinates — the MLE driver
+//! passes log-parameters so positivity is structural (paper §IV).
+
+/// Box bounds, inclusive, one `(lo, hi)` pair per coordinate.
+#[derive(Clone, Debug)]
+pub struct Bounds {
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+}
+
+impl Bounds {
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+        assert!(
+            lo.iter().zip(&hi).all(|(a, b)| a <= b),
+            "lower bound exceeds upper bound"
+        );
+        Bounds { lo, hi }
+    }
+
+    fn clamp(&self, x: &mut [f64]) {
+        for ((v, &lo), &hi) in x.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *v = v.clamp(lo, hi);
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.lo.len()
+    }
+}
+
+/// Stopping rules and simplex tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's objective spread falls below this.
+    pub ftol: f64,
+    /// Stop when the simplex collapses below this diameter.
+    pub xtol: f64,
+    /// Initial simplex edge length (fraction of each coordinate's box span).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_evals: 400,
+            ftol: 1e-9,
+            xtol: 1e-9,
+            initial_step: 0.10,
+        }
+    }
+}
+
+/// Why the search stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    FtolReached,
+    XtolReached,
+    MaxEvals,
+}
+
+/// Result of a maximization run.
+#[derive(Clone, Debug)]
+pub struct OptimResult {
+    /// Arg-max found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Objective evaluations spent.
+    pub evaluations: usize,
+    /// Simplex iterations performed.
+    pub iterations: usize,
+    pub stop: StopReason,
+    /// Best objective value after each iteration (the MLE convergence trace).
+    pub trace: Vec<f64>,
+}
+
+/// Maximizes `f` over the box with Nelder–Mead. `f` may return
+/// `f64::NEG_INFINITY` (or NaN, treated the same) for infeasible points —
+/// the simplex contracts away from them.
+pub fn nelder_mead_max(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    bounds: &Bounds,
+    cfg: NelderMeadConfig,
+) -> OptimResult {
+    let dim = bounds.dim();
+    assert_eq!(x0.len(), dim, "initial point dimension mismatch");
+    assert!(dim >= 1, "need at least one coordinate");
+    // Standard coefficients (maximization: we track the *largest* values).
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    let mut evals = 0usize;
+    let clean = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        clean(f(x))
+    };
+
+    // Initial simplex: x0 plus one step along each coordinate.
+    let mut start = x0.to_vec();
+    bounds.clamp(&mut start);
+    let mut simplex: Vec<Vec<f64>> = vec![start.clone()];
+    for d in 0..dim {
+        let mut v = start.clone();
+        let span = (bounds.hi[d] - bounds.lo[d]).max(f64::MIN_POSITIVE);
+        let step = cfg.initial_step * span;
+        // Step inward if the step would leave the box.
+        v[d] = if v[d] + step <= bounds.hi[d] {
+            v[d] + step
+        } else {
+            v[d] - step
+        };
+        bounds.clamp(&mut v);
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evals)).collect();
+
+    let mut iterations = 0usize;
+    let mut trace = Vec::new();
+    let stop;
+    loop {
+        // Sort descending (best first) for maximization.
+        let mut order: Vec<usize> = (0..simplex.len()).collect();
+        order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+        let simplex_sorted: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
+        let values_sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        simplex = simplex_sorted;
+        values = values_sorted;
+        trace.push(values[0]);
+
+        // Convergence checks.
+        let f_spread = values[0] - values[dim];
+        let diam = simplex[1..]
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[0])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        let f_converged = f_spread.abs() < cfg.ftol && values[0].is_finite();
+        if f_converged && diam <= cfg.xtol.max(cfg.ftol.sqrt()) {
+            stop = StopReason::FtolReached;
+            break;
+        }
+        if diam < cfg.xtol {
+            stop = StopReason::XtolReached;
+            break;
+        }
+        if evals >= cfg.max_evals {
+            stop = StopReason::MaxEvals;
+            break;
+        }
+        iterations += 1;
+        if f_converged {
+            // Objective values tie but the simplex is still wide (a plateau
+            // or a symmetric stall): shrink towards the best vertex instead
+            // of stopping on a spurious ftol hit.
+            for i in 1..=dim {
+                let best = simplex[0].clone();
+                for (x, &b) in simplex[i].iter_mut().zip(&best) {
+                    *x = b + sigma * (*x - b);
+                }
+                values[i] = eval(&simplex[i].clone(), &mut evals);
+            }
+            continue;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; dim];
+        for v in &simplex[..dim] {
+            for (c, &x) in centroid.iter_mut().zip(v) {
+                *c += x;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= dim as f64;
+        }
+        let worst = simplex[dim].clone();
+        let f_worst = values[dim];
+        let f_best = values[0];
+        let f_second_worst = values[dim - 1];
+
+        let blend = |t: f64| -> Vec<f64> {
+            // x = centroid + t·(centroid − worst), clamped to the box.
+            let mut x: Vec<f64> = centroid
+                .iter()
+                .zip(&worst)
+                .map(|(&c, &w)| c + t * (c - w))
+                .collect();
+            bounds.clamp(&mut x);
+            x
+        };
+
+        // Reflection.
+        let xr = blend(alpha);
+        let fr = eval(&xr, &mut evals);
+        if fr > f_best {
+            // Expansion.
+            let xe = blend(gamma);
+            let fe = eval(&xe, &mut evals);
+            if fe > fr {
+                simplex[dim] = xe;
+                values[dim] = fe;
+            } else {
+                simplex[dim] = xr;
+                values[dim] = fr;
+            }
+            continue;
+        }
+        if fr > f_second_worst {
+            simplex[dim] = xr;
+            values[dim] = fr;
+            continue;
+        }
+        // Contraction (outside if the reflection at least beat the worst).
+        let xc = if fr > f_worst { blend(rho) } else { blend(-rho) };
+        let fc = eval(&xc, &mut evals);
+        if fc > f_worst.max(fr) {
+            simplex[dim] = xc;
+            values[dim] = fc;
+            continue;
+        }
+        // Shrink towards the best vertex.
+        for i in 1..=dim {
+            let best = simplex[0].clone();
+            for (x, &b) in simplex[i].iter_mut().zip(&best) {
+                *x = b + sigma * (*x - b);
+            }
+            values[i] = eval(&simplex[i].clone(), &mut evals);
+        }
+    }
+
+    OptimResult {
+        x: simplex[0].clone(),
+        fx: values[0],
+        evaluations: evals,
+        iterations,
+        stop,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_bounds(dim: usize, lo: f64, hi: f64) -> Bounds {
+        Bounds::new(vec![lo; dim], vec![hi; dim])
+    }
+
+    #[test]
+    fn maximizes_concave_quadratic() {
+        let f = |x: &[f64]| -((x[0] - 0.3).powi(2) + 2.0 * (x[1] + 0.5).powi(2));
+        let r = nelder_mead_max(f, &[0.9, 0.9], &unit_bounds(2, -2.0, 2.0), Default::default());
+        assert!((r.x[0] - 0.3).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 0.5).abs() < 1e-4, "{:?}", r.x);
+        assert!(r.fx > -1e-7);
+    }
+
+    #[test]
+    fn respects_box_constraints() {
+        // Unconstrained max at (5, 5): must end up pinned to the boundary.
+        let f = |x: &[f64]| -((x[0] - 5.0).powi(2) + (x[1] - 5.0).powi(2));
+        let r = nelder_mead_max(f, &[0.0, 0.0], &unit_bounds(2, -1.0, 1.0), Default::default());
+        assert!(r.x[0] <= 1.0 && r.x[1] <= 1.0);
+        assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn handles_infeasible_regions() {
+        // NaN / −∞ plateau left of x = 0; optimum at x = 0.25.
+        let f = |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                -(x[0] - 0.25).powi(2)
+            }
+        };
+        let r = nelder_mead_max(f, &[0.9], &unit_bounds(1, -1.0, 1.0), Default::default());
+        assert!((r.x[0] - 0.25).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn rosenbrock_ridge_in_3d() {
+        // Maximize the negative Rosenbrock (banana) — a classic NM stressor.
+        let f = |x: &[f64]| {
+            -(0..2)
+                .map(|i| {
+                    100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2)
+                })
+                .sum::<f64>()
+        };
+        let cfg = NelderMeadConfig {
+            max_evals: 4000,
+            ..Default::default()
+        };
+        let r = nelder_mead_max(f, &[-0.5, 0.5, 0.5], &unit_bounds(3, -2.0, 2.0), cfg);
+        assert!(r.fx > -1e-3, "fx={} x={:?}", r.fx, r.x);
+    }
+
+    #[test]
+    fn trace_is_monotone_nondecreasing() {
+        let f = |x: &[f64]| -(x[0].powi(2) + x[1].powi(2));
+        let r = nelder_mead_max(f, &[1.5, -1.5], &unit_bounds(2, -2.0, 2.0), Default::default());
+        for w in r.trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-15, "best value regressed: {w:?}");
+        }
+        assert_eq!(r.stop, StopReason::FtolReached);
+    }
+
+    #[test]
+    fn max_evals_is_honoured() {
+        let f = |x: &[f64]| -x.iter().map(|v| v * v).sum::<f64>();
+        let cfg = NelderMeadConfig {
+            max_evals: 20,
+            ftol: 0.0,
+            xtol: 0.0,
+            ..Default::default()
+        };
+        let r = nelder_mead_max(f, &[1.0; 4], &unit_bounds(4, -2.0, 2.0), cfg);
+        assert_eq!(r.stop, StopReason::MaxEvals);
+        assert!(r.evaluations <= 20 + 6, "evals {}", r.evaluations);
+    }
+}

@@ -1,0 +1,144 @@
+//! Distance metrics between spatial locations.
+//!
+//! The paper uses plain Euclidean distance for the synthetic unit-square
+//! datasets and the haversine Great-Circle Distance (Eq. 6) for the two real
+//! datasets, whose coordinates are geographic latitude/longitude.
+
+/// A spatial location. For planar data `(x, y)` live in the unit square; for
+/// geographic data `x` is the longitude and `y` the latitude, both in
+/// **degrees**.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Location {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Location {
+    pub fn new(x: f64, y: f64) -> Self {
+        Location { x, y }
+    }
+}
+
+/// Mean Earth radius in kilometres (spherical model).
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Which metric turns a pair of locations into the Matérn distance `r`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistanceMetric {
+    /// Planar Euclidean distance (synthetic datasets).
+    Euclidean,
+    /// Haversine great-circle distance in kilometres on a spherical Earth
+    /// (real datasets; the paper's Eq. 6).
+    GreatCircleKm,
+}
+
+impl DistanceMetric {
+    /// Distance between two locations under this metric.
+    #[inline]
+    pub fn distance(&self, a: &Location, b: &Location) -> f64 {
+        match self {
+            DistanceMetric::Euclidean => euclidean(a, b),
+            DistanceMetric::GreatCircleKm => great_circle_km(a, b),
+        }
+    }
+}
+
+/// Planar Euclidean distance.
+#[inline]
+pub fn euclidean(a: &Location, b: &Location) -> f64 {
+    let dx = a.x - b.x;
+    let dy = a.y - b.y;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Haversine function `hav(θ) = sin²(θ/2)`.
+#[inline]
+fn hav(theta: f64) -> f64 {
+    let s = (theta * 0.5).sin();
+    s * s
+}
+
+/// Great-circle distance in kilometres between two (lon°, lat°) locations via
+/// the haversine formula (paper Eq. 6), on a sphere of radius
+/// [`EARTH_RADIUS_KM`].
+pub fn great_circle_km(a: &Location, b: &Location) -> f64 {
+    let phi1 = a.y.to_radians();
+    let phi2 = b.y.to_radians();
+    let lam1 = a.x.to_radians();
+    let lam2 = b.x.to_radians();
+    let h = hav(phi2 - phi1) + phi1.cos() * phi2.cos() * hav(lam2 - lam1);
+    // d = 2R · asin(√h); clamp for numerical safety at antipodes.
+    2.0 * EARTH_RADIUS_KM * h.sqrt().clamp(0.0, 1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(3.0, 4.0);
+        assert_eq!(euclidean(&a, &b), 5.0);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn gcd_zero_for_same_point() {
+        let a = Location::new(46.7, 24.6); // Riyadh-ish
+        assert_eq!(great_circle_km(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn gcd_quarter_meridian() {
+        // Equator to pole along a meridian = quarter circumference.
+        let eq = Location::new(0.0, 0.0);
+        let pole = Location::new(0.0, 90.0);
+        let want = std::f64::consts::PI * EARTH_RADIUS_KM / 2.0;
+        assert!((great_circle_km(&eq, &pole) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcd_one_degree_matches_paper_scale() {
+        // The paper notes ~87.5 km per degree in the Mississippi basin
+        // (lat ≈ 38°): one degree of longitude there is ~87.6 km.
+        let a = Location::new(-90.0, 38.0);
+        let b = Location::new(-89.0, 38.0);
+        let d = great_circle_km(&a, &b);
+        assert!((d - 87.6).abs() < 1.0, "d = {d}");
+        // One degree of latitude is ~111.2 km anywhere.
+        let c = Location::new(-90.0, 39.0);
+        let d2 = great_circle_km(&a, &c);
+        assert!((d2 - 111.2).abs() < 0.5, "d2 = {d2}");
+    }
+
+    #[test]
+    fn gcd_symmetry_and_triangle_inequality() {
+        let pts = [
+            Location::new(20.0, 5.0),
+            Location::new(50.0, 30.0),
+            Location::new(83.0, -5.0),
+        ];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (great_circle_km(&pts[i], &pts[j]) - great_circle_km(&pts[j], &pts[i])).abs()
+                        < 1e-9
+                );
+            }
+        }
+        let dab = great_circle_km(&pts[0], &pts[1]);
+        let dbc = great_circle_km(&pts[1], &pts[2]);
+        let dac = great_circle_km(&pts[0], &pts[2]);
+        assert!(dac <= dab + dbc + 1e-9);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(1.0, 0.0);
+        assert_eq!(DistanceMetric::Euclidean.distance(&a, &b), 1.0);
+        let gcd = DistanceMetric::GreatCircleKm.distance(&a, &b);
+        assert!((gcd - 111.19).abs() < 0.1, "gcd = {gcd}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Gamma function (Lanczos approximation).
+//!
+//! The Matérn normalization constant needs `Γ(ν)` and the Temme series for
+//! `K_ν` needs `1/Γ(1 ± μ)`; this module is the workspace's substitute for
+//! GSL's `gsl_sf_gamma` family.
+
+/// Euler–Mascheroni constant γ.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Lanczos coefficients for g = 7, n = 9.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_59,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of `|Γ(z)|` for `z > 0`.
+///
+/// Accurate to ~1e-13 relative over the range used here (`z ∈ (0, 200]`).
+pub fn ln_gamma(z: f64) -> f64 {
+    assert!(z > 0.0, "ln_gamma requires z > 0 (got {z})");
+    if z < 0.5 {
+        // Reflection: Γ(z)Γ(1−z) = π / sin(πz).
+        let s = (std::f64::consts::PI * z).sin();
+        return (std::f64::consts::PI / s).ln() - ln_gamma(1.0 - z);
+    }
+    let z = z - 1.0;
+    let mut x = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        x += c / (z + i as f64);
+    }
+    let t = z + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + x.ln()
+}
+
+/// `Γ(z)` for `z > 0`.
+pub fn gamma(z: f64) -> f64 {
+    ln_gamma(z).exp()
+}
+
+/// `1/Γ(1 + mu)` for `|mu| ≤ 0.5` (no poles in this range).
+pub fn recip_gamma_1p(mu: f64) -> f64 {
+    debug_assert!(mu.abs() <= 0.5 + 1e-12);
+    let z = 1.0 + mu;
+    1.0 / gamma(z)
+}
+
+/// Temme's auxiliary pair for the Bessel-K series:
+/// `Γ₁(μ) = [1/Γ(1−μ) − 1/Γ(1+μ)]/(2μ)` and
+/// `Γ₂(μ) = [1/Γ(1−μ) + 1/Γ(1+μ)]/2`, for `|μ| ≤ 0.5`.
+///
+/// Returns `(gam1, gam2, 1/Γ(1+μ), 1/Γ(1−μ))`. The μ→0 limit of Γ₁ is −γ;
+/// a Taylor branch avoids the cancellation for tiny μ.
+pub fn temme_gammas(mu: f64) -> (f64, f64, f64, f64) {
+    let gp = recip_gamma_1p(mu); // 1/Γ(1+μ)
+    let gm = recip_gamma_1p(-mu); // 1/Γ(1−μ)
+    let gam2 = 0.5 * (gm + gp);
+    let gam1 = if mu.abs() < 1e-4 {
+        // 1/Γ(1+z) = 1 + γz + c₂z² + c₃z³ + …, so Γ₁ = −γ − c₃μ² + O(μ⁴)
+        // with c₃ = γ³/6 − γπ²/12 + ζ(3)/3.
+        const ZETA3: f64 = 1.202_056_903_159_594_2;
+        let c3 = EULER_GAMMA * EULER_GAMMA * EULER_GAMMA / 6.0
+            - EULER_GAMMA * std::f64::consts::PI * std::f64::consts::PI / 12.0
+            + ZETA3 / 3.0;
+        -EULER_GAMMA - c3 * mu * mu
+    } else {
+        (gm - gp) / (2.0 * mu)
+    };
+    (gam1, gam2, gp, gm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-14);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-14);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-12);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-13);
+        // Γ(1.5) = √π/2.
+        assert!((gamma(1.5) - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn recurrence_gamma_z_plus_one() {
+        for &z in &[0.1, 0.37, 0.9, 1.3, 2.7, 5.5, 10.2, 30.0] {
+            let lhs = gamma(z + 1.0);
+            let rhs = z * gamma(z);
+            assert!(
+                ((lhs - rhs) / rhs).abs() < 1e-12,
+                "z={z}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_large_argument() {
+        // Stirling check at z=100: ln Γ(100) = 359.1342053695754.
+        assert!((ln_gamma(100.0) - 359.134_205_369_575_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reflection_small_z() {
+        // Γ(0.25) = 3.6256099082219083.
+        assert!((gamma(0.25) - 3.625_609_908_221_908_3).abs() < 1e-11);
+    }
+
+    #[test]
+    fn temme_gamma_limits() {
+        let (g1, g2, gp, gm) = temme_gammas(0.0);
+        assert!((g1 + EULER_GAMMA).abs() < 1e-12);
+        assert!((g2 - 1.0).abs() < 1e-12);
+        assert!((gp - 1.0).abs() < 1e-12);
+        assert!((gm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temme_gamma_consistency_across_branch() {
+        // The Taylor branch (|μ|<1e-4) must agree with the direct formula.
+        for &mu in &[5e-5, 9.9e-5] {
+            let (g1_taylor, ..) = temme_gammas(mu);
+            let gp = recip_gamma_1p(mu);
+            let gm = recip_gamma_1p(-mu);
+            let direct = (gm - gp) / (2.0 * mu);
+            assert!(
+                (g1_taylor - direct).abs() < 1e-9,
+                "mu={mu}: {g1_taylor} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn temme_gamma_half() {
+        // μ = 1/2: 1/Γ(3/2) = 2/√π, 1/Γ(1/2) = 1/√π.
+        let (g1, g2, gp, gm) = temme_gammas(0.5);
+        let rp = std::f64::consts::PI.sqrt();
+        assert!((gp - 2.0 / rp).abs() < 1e-13);
+        assert!((gm - 1.0 / rp).abs() < 1e-13);
+        assert!((g1 - (gm - gp)).abs() < 1e-13); // /(2·0.5) = /1
+        assert!((g2 - 0.5 * (gm + gp)).abs() < 1e-13);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires z > 0")]
+    fn rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+}

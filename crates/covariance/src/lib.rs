@@ -1,0 +1,33 @@
+//! Matérn covariance modelling for large-scale geostatistics.
+//!
+//! This crate rebuilds the statistical-kernel layer of ExaGeoStat: the Matérn
+//! covariance family (paper Eq. 5) with its special-function machinery
+//! implemented from scratch:
+//!
+//! * [`gamma`] — Lanczos log-gamma and the Temme auxiliary functions.
+//! * [`bessel`] — modified Bessel `K_ν` of real order (Temme series for
+//!   small arguments, Steed CF2 continued fraction for large), plus the
+//!   scaled variant `eˣK_ν(x)` used to evaluate covariances without
+//!   underflow.
+//! * [`matern`] — [`MaternParams`] `θ = (θ₁, θ₂, θ₃)` with the exponential
+//!   (`θ₃ = ½`) and Whittle (`θ₃ = 1`) special cases the paper discusses.
+//! * [`distance`] — Euclidean and haversine great-circle metrics (Eq. 6).
+//! * [`kernel`] — [`CovarianceKernel`]: entries and dense tiles of `Σ(θ)`
+//!   from a location set (the ExaGeoStat matrix-generation codelet).
+//! * [`morton`] — z-order spatial sorting of location sets, the ExaGeoStat
+//!   preprocessing step that gives the covariance tiles their low-rank
+//!   structure.
+
+pub mod bessel;
+pub mod distance;
+pub mod gamma;
+pub mod kernel;
+pub mod matern;
+pub mod morton;
+
+pub use bessel::{bessel_k, bessel_k_scaled};
+pub use distance::{euclidean, great_circle_km, DistanceMetric, Location, EARTH_RADIUS_KM};
+pub use gamma::{gamma, ln_gamma, EULER_GAMMA};
+pub use kernel::{CovarianceKernel, MaternKernel};
+pub use matern::MaternParams;
+pub use morton::{apply_permutation, morton_key_unit, sort_morton};

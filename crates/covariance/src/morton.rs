@@ -1,0 +1,158 @@
+//! Morton (z-order) spatial sorting of location sets.
+//!
+//! Tile low-rank compression only pays off when index-contiguous blocks of
+//! the covariance matrix correspond to spatially coherent clusters: the rank
+//! of tile `(i, j)` is governed by the separation of the point clusters
+//! backing block-rows `i` and `j`. ExaGeoStat therefore re-orders every
+//! location set along a Morton space-filling curve before assembling `Σ(θ)`;
+//! this module rebuilds that preprocessing step.
+
+use crate::distance::Location;
+
+/// Number of bits per coordinate in the Morton key (32 ⇒ 64-bit keys).
+const KEY_BITS: u32 = 32;
+
+/// Interleaves the lower 32 bits of `x` with zeros (Morton spreading).
+#[inline]
+fn spread(x: u64) -> u64 {
+    let mut x = x & 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Morton key of a point already normalized to the unit square.
+#[inline]
+pub fn morton_key_unit(x: f64, y: f64) -> u64 {
+    let scale = (1u64 << KEY_BITS) as f64;
+    let qx = ((x * scale) as u64).min((1 << KEY_BITS) - 1);
+    let qy = ((y * scale) as u64).min((1 << KEY_BITS) - 1);
+    spread(qx) | (spread(qy) << 1)
+}
+
+/// Sorts locations in Morton (z-curve) order over their bounding box.
+///
+/// Returns the permutation applied: `perm[new_index] = old_index`, so callers
+/// can reorder co-indexed data (measurements) consistently.
+pub fn sort_morton(locs: &mut [Location]) -> Vec<usize> {
+    let n = locs.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for l in locs.iter() {
+        min_x = min_x.min(l.x);
+        max_x = max_x.max(l.x);
+        min_y = min_y.min(l.y);
+        max_y = max_y.max(l.y);
+    }
+    let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+    let mut keyed: Vec<(u64, usize)> = locs
+        .iter()
+        .enumerate()
+        .map(|(idx, l)| {
+            let key = morton_key_unit((l.x - min_x) / span_x, (l.y - min_y) / span_y);
+            (key, idx)
+        })
+        .collect();
+    // Stable sort keeps duplicate-key points in input order (determinism).
+    keyed.sort_by_key(|&(key, _)| key);
+    let perm: Vec<usize> = keyed.iter().map(|&(_, idx)| idx).collect();
+    let reordered: Vec<Location> = perm.iter().map(|&idx| locs[idx]).collect();
+    locs.copy_from_slice(&reordered);
+    perm
+}
+
+/// Applies the permutation returned by [`sort_morton`] to co-indexed data
+/// (`out[new] = data[perm[new]]`).
+pub fn apply_permutation<T: Copy>(data: &[T], perm: &[usize]) -> Vec<T> {
+    assert_eq!(data.len(), perm.len(), "permutation length mismatch");
+    perm.iter().map(|&idx| data[idx]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_interleaves_bits() {
+        assert_eq!(spread(0b11), 0b101);
+        assert_eq!(spread(0b1011), 0b1000101);
+    }
+
+    #[test]
+    fn key_orders_quadrants() {
+        // Z-curve visits (lo,lo), (hi,lo), (lo,hi), (hi,hi).
+        let ll = morton_key_unit(0.1, 0.1);
+        let hl = morton_key_unit(0.9, 0.1);
+        let lh = morton_key_unit(0.1, 0.9);
+        let hh = morton_key_unit(0.9, 0.9);
+        assert!(ll < hl && hl < lh && lh < hh);
+    }
+
+    #[test]
+    fn sort_is_permutation_and_clusters_neighbours() {
+        let mut rng = exa_util::Rng::seed_from_u64(1);
+        let mut locs: Vec<Location> = (0..256)
+            .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
+            .collect();
+        let original = locs.clone();
+        let perm = sort_morton(&mut locs);
+        // Permutation property.
+        let mut seen = vec![false; 256];
+        for &p in &perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(locs[new].x, original[old].x);
+        }
+        // Locality: mean distance between index-neighbours must shrink a lot
+        // versus the random input order.
+        let mean_step = |ls: &[Location]| {
+            let mut acc = 0.0;
+            for w in ls.windows(2) {
+                acc += crate::distance::euclidean(&w[0], &w[1]);
+            }
+            acc / (ls.len() - 1) as f64
+        };
+        assert!(
+            mean_step(&locs) < 0.5 * mean_step(&original),
+            "sorted {} vs random {}",
+            mean_step(&locs),
+            mean_step(&original)
+        );
+    }
+
+    #[test]
+    fn permutation_applies_to_measurements() {
+        let mut locs = vec![
+            Location::new(0.9, 0.9),
+            Location::new(0.05, 0.05),
+            Location::new(0.8, 0.1),
+        ];
+        let z = vec![3.0, 1.0, 2.0];
+        let perm = sort_morton(&mut locs);
+        let z2 = apply_permutation(&z, &perm);
+        // After sorting, the (0.05, 0.05) point comes first and keeps z=1.
+        assert_eq!(locs[0].x, 0.05);
+        assert_eq!(z2[0], 1.0);
+        assert_eq!(z2.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut empty: Vec<Location> = vec![];
+        assert!(sort_morton(&mut empty).is_empty());
+        let mut one = vec![Location::new(0.5, 0.5)];
+        assert_eq!(sort_morton(&mut one), vec![0]);
+        // All-identical points: stable order preserved.
+        let mut same = vec![Location::new(1.0, 2.0); 4];
+        assert_eq!(sort_morton(&mut same), vec![0, 1, 2, 3]);
+    }
+}

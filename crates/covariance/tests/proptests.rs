@@ -1,0 +1,137 @@
+//! Property-based tests for the special functions and the Matérn family:
+//! textbook identities for `K_ν`, special-case reductions, and positive
+//! definiteness of generated covariance matrices.
+
+use exa_covariance::{
+    bessel_k, euclidean, great_circle_km, CovarianceKernel, DistanceMetric, Location,
+    MaternKernel, MaternParams,
+};
+use exa_util::Rng;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bessel_recurrence_holds(
+        nu in 0.1f64..2.5,
+        x in 0.05f64..20.0,
+    ) {
+        // K_{ν+1}(x) = K_{ν−1}(x) + (2ν/x)·K_ν(x).
+        let km = bessel_k(nu - 1.0, x);
+        let k0 = bessel_k(nu, x);
+        let kp = bessel_k(nu + 1.0, x);
+        let rhs = km + (2.0 * nu / x) * k0;
+        prop_assert!(
+            (kp - rhs).abs() <= 1e-8 * kp.abs().max(1e-300),
+            "ν={nu} x={x}: {kp} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn bessel_symmetric_in_order(nu in 0.05f64..3.0, x in 0.05f64..20.0) {
+        // K_{−ν}(x) = K_ν(x).
+        let plus = bessel_k(nu, x);
+        let minus = bessel_k(-nu, x);
+        prop_assert!((plus - minus).abs() <= 1e-10 * plus.abs().max(1e-300));
+    }
+
+    #[test]
+    fn matern_half_is_exponential(
+        variance in 0.1f64..10.0,
+        range in 0.01f64..2.0,
+        r in 0.0f64..3.0,
+    ) {
+        let p = MaternParams::new(variance, range, 0.5);
+        let want = variance * (-r / range).exp();
+        let got = p.covariance(r);
+        prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1e-300),
+            "{got} vs {want}");
+    }
+
+    #[test]
+    fn matern_three_halves_closed_form(
+        variance in 0.1f64..10.0,
+        range in 0.01f64..2.0,
+        r in 1e-6f64..3.0,
+    ) {
+        // ν = 3/2: C(r) = σ²(1 + r/ρ)·exp(−r/ρ).
+        let p = MaternParams::new(variance, range, 1.5);
+        let s = r / range;
+        let want = variance * (1.0 + s) * (-s).exp();
+        let got = p.covariance(r);
+        prop_assert!((got - want).abs() <= 1e-7 * want.abs().max(1e-300),
+            "{got} vs {want}");
+    }
+
+    #[test]
+    fn covariance_decreases_with_distance(
+        variance in 0.1f64..10.0,
+        range in 0.02f64..1.0,
+        smoothness in 0.2f64..2.5,
+        r1 in 0.01f64..1.0,
+        dr in 0.01f64..1.0,
+    ) {
+        let p = MaternParams::new(variance, range, smoothness);
+        prop_assert!(p.covariance(r1) > p.covariance(r1 + dr));
+        prop_assert!(p.covariance(0.0) == variance);
+    }
+
+    #[test]
+    fn covariance_matrix_is_positive_definite(
+        n in 4usize..24,
+        range in 0.02f64..0.4,
+        smoothness in 0.3f64..1.8,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let locs: Vec<Location> = (0..n)
+            .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
+            .collect();
+        let kernel = MaternKernel::new(
+            Arc::new(locs),
+            MaternParams::new(1.0, range, smoothness),
+            DistanceMetric::Euclidean,
+            1e-10,
+        );
+        let mut a = vec![0.0; n * n];
+        kernel.fill_tile(0, n, 0, n, &mut a, n);
+        prop_assert!(exa_linalg_potrf_ok(n, &mut a), "Σ(θ) must be SPD");
+    }
+
+    #[test]
+    fn great_circle_bounds_and_symmetry(
+        lon1 in -180.0f64..180.0,
+        lat1 in -89.0f64..89.0,
+        lon2 in -180.0f64..180.0,
+        lat2 in -89.0f64..89.0,
+    ) {
+        let a = Location::new(lon1, lat1);
+        let b = Location::new(lon2, lat2);
+        let d = great_circle_km(&a, &b);
+        prop_assert!(d >= 0.0);
+        // Half the Earth's circumference is the maximum separation.
+        prop_assert!(d <= std::f64::consts::PI * 6371.0 + 1e-6);
+        prop_assert!((d - great_circle_km(&b, &a)).abs() < 1e-9);
+        prop_assert!(great_circle_km(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        ax in -1.0f64..1.0, ay in -1.0f64..1.0,
+        bx in -1.0f64..1.0, by in -1.0f64..1.0,
+        cx in -1.0f64..1.0, cy in -1.0f64..1.0,
+    ) {
+        let (a, b, c) = (
+            Location::new(ax, ay),
+            Location::new(bx, by),
+            Location::new(cx, cy),
+        );
+        prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-12);
+    }
+}
+
+fn exa_linalg_potrf_ok(n: usize, a: &mut [f64]) -> bool {
+    exa_linalg::dpotrf(n, a, n).is_ok()
+}

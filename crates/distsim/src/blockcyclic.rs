@@ -1,0 +1,114 @@
+//! 2D block-cyclic tile-to-node distribution.
+//!
+//! Chameleon and HiCMA distribute tiles over a `P × Q` process grid the
+//! ScaLAPACK way: tile `(i, j)` lives on node `(i mod P, j mod Q)`. This
+//! balances both storage and the per-panel work of the right-looking
+//! Cholesky, and bounds the number of distinct sources any node receives
+//! panels from.
+
+/// A `P × Q` process grid over `nodes = P·Q` nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockCyclic {
+    pub p: usize,
+    pub q: usize,
+}
+
+impl BlockCyclic {
+    /// Chooses the most-square grid with `P·Q == nodes` (`P ≤ Q`).
+    pub fn squarest(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut p = (nodes as f64).sqrt() as usize;
+        while p > 1 && nodes % p != 0 {
+            p -= 1;
+        }
+        BlockCyclic {
+            p: p.max(1),
+            q: nodes / p.max(1),
+        }
+    }
+
+    /// Total nodes in the grid.
+    pub fn nodes(&self) -> usize {
+        self.p * self.q
+    }
+
+    /// Node owning tile `(i, j)`.
+    #[inline]
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        (i % self.p) * self.q + (j % self.q)
+    }
+
+    /// Number of lower-triangle tiles (`i ≥ j`, `nt × nt` grid) owned by
+    /// each node.
+    pub fn lower_tile_counts(&self, nt: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes()];
+        for j in 0..nt {
+            for i in j..nt {
+                counts[self.owner(i, j)] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Load imbalance of the lower-triangle distribution: max/mean of
+    /// per-node tile counts (1.0 is perfect).
+    pub fn lower_imbalance(&self, nt: usize) -> f64 {
+        let counts = self.lower_tile_counts(nt);
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squarest_grid_factorizations() {
+        let g = BlockCyclic::squarest(256);
+        assert_eq!((g.p, g.q), (16, 16));
+        let g = BlockCyclic::squarest(1024);
+        assert_eq!((g.p, g.q), (32, 32));
+        let g = BlockCyclic::squarest(6);
+        assert_eq!((g.p, g.q), (2, 3));
+        let g = BlockCyclic::squarest(7); // prime: 1 × 7
+        assert_eq!((g.p, g.q), (1, 7));
+        assert_eq!(g.nodes(), 7);
+    }
+
+    #[test]
+    fn owner_is_cyclic_and_in_range() {
+        let g = BlockCyclic::squarest(12);
+        for i in 0..40 {
+            for j in 0..40 {
+                let o = g.owner(i, j);
+                assert!(o < 12);
+                assert_eq!(o, g.owner(i + g.p, j));
+                assert_eq!(o, g.owner(i, j + g.q));
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_balanced_for_large_grids() {
+        let g = BlockCyclic::squarest(16);
+        // nt ≫ P, Q: near-perfect balance of lower-triangle tiles.
+        let imb = g.lower_imbalance(128);
+        assert!(imb < 1.10, "imbalance {imb}");
+        let counts = g.lower_tile_counts(128);
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 128 * 129 / 2);
+    }
+
+    #[test]
+    fn every_node_owns_something_when_grid_fits() {
+        let g = BlockCyclic::squarest(64);
+        let counts = g.lower_tile_counts(32);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+}

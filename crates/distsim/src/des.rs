@@ -1,0 +1,657 @@
+//! Discrete-event simulation of the distributed tile/TLR Cholesky.
+//!
+//! The paper's Figures 4–5 run on up to 1024 Cray XC40 nodes; here the same
+//! task DAG is *simulated*: every POTRF/TRSM/SYRK/GEMM task of the
+//! right-looking tile Cholesky becomes an event with a cost-model duration,
+//! executed by one of `cores_per_node` servers on its owner node under 2D
+//! block-cyclic ownership, with panel tiles travelling between nodes at
+//! latency + size/bandwidth (transfers to the same destination are cached,
+//! as StarPU-MPI caches received handles). The DAG is never materialized:
+//! dependency counts and dependents are derived arithmetically from the
+//! `(k, i, j)` structure, so 10⁸-task factorizations fit in memory.
+//!
+//! Missing points in Figure 4 are out-of-memory cases; [`check_memory`]
+//! reproduces them from per-node resident-set accounting before any
+//! simulation runs.
+
+use crate::blockcyclic::BlockCyclic;
+use crate::machine::MachineConfig;
+use crate::taskmodel::{CostModel, TaskKind};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Hard ceiling on simulated task count (keeps the DES within a few GB).
+pub const MAX_DES_TASKS: usize = 60_000_000;
+
+/// Why a run could not be simulated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimError {
+    /// A node's resident set exceeds its memory (the paper's missing
+    /// points). `required`/`capacity` in bytes.
+    OutOfMemory {
+        node: usize,
+        required: usize,
+        capacity: usize,
+    },
+    /// The task count exceeds [`MAX_DES_TASKS`]; use
+    /// [`analytic_cholesky_seconds`] instead.
+    TooLarge { tasks: usize },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                node,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "node {node} needs {required} bytes but has {capacity} (OOM)"
+            ),
+            SimError::TooLarge { tasks } => {
+                write!(f, "{tasks} tasks exceed the DES budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of one simulated factorization.
+#[derive(Clone, Debug)]
+pub struct SimStats {
+    /// Simulated wall-clock of the whole DAG, seconds.
+    pub makespan: f64,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Total useful flops.
+    pub total_flops: f64,
+    /// Bytes moved between nodes (after transfer caching).
+    pub comm_bytes: usize,
+    /// Inter-node messages (after transfer caching).
+    pub messages: usize,
+    /// Aggregate busy core-seconds.
+    pub busy_seconds: f64,
+    /// Parallel efficiency: busy / (makespan × total cores).
+    pub efficiency: f64,
+}
+
+/// Task-id arithmetic over the lower-triangular `(k, i, j)` space.
+struct TaskIds {
+    nt: usize,
+    trsm_base: usize,
+    syrk_base: usize,
+    gemm_base: usize,
+    total: usize,
+}
+
+impl TaskIds {
+    fn new(nt: usize) -> Self {
+        let pairs = nt * (nt - 1) / 2;
+        let triples = if nt >= 3 {
+            nt * (nt - 1) * (nt - 2) / 6
+        } else {
+            0
+        };
+        let trsm_base = nt;
+        let syrk_base = trsm_base + pairs;
+        let gemm_base = syrk_base + pairs;
+        TaskIds {
+            nt,
+            trsm_base,
+            syrk_base,
+            gemm_base,
+            total: gemm_base + triples,
+        }
+    }
+
+    /// Rank of the pair `k < i` in lexicographic (k-major) order.
+    #[inline]
+    fn pair_rank(&self, k: usize, i: usize) -> usize {
+        debug_assert!(k < i && i < self.nt);
+        // Pairs with first coordinate < k, then offset within row k.
+        k * self.nt - k * (k + 1) / 2 + (i - k - 1)
+    }
+
+    /// Rank of `{k < j < i}` in the combinatorial number system (colex).
+    #[inline]
+    fn triple_rank(&self, k: usize, j: usize, i: usize) -> usize {
+        debug_assert!(k < j && j < i && i < self.nt);
+        i * (i - 1) * (i - 2) / 6 + j * (j - 1) / 2 + k
+    }
+
+    #[inline]
+    fn id(&self, t: TaskKind) -> usize {
+        match t {
+            TaskKind::Potrf { k } => k,
+            TaskKind::Trsm { k, i } => self.trsm_base + self.pair_rank(k, i),
+            TaskKind::Syrk { k, j } => self.syrk_base + self.pair_rank(k, j),
+            TaskKind::Gemm { k, j, i } => self.gemm_base + self.triple_rank(k, j, i),
+        }
+    }
+
+    /// Initial dependency count of a task.
+    #[inline]
+    fn dep_count(&self, t: TaskKind) -> u8 {
+        match t {
+            TaskKind::Potrf { k } => u8::from(k > 0),
+            TaskKind::Trsm { k, .. } => 1 + u8::from(k > 0),
+            TaskKind::Syrk { k, .. } => 1 + u8::from(k > 0),
+            TaskKind::Gemm { k, .. } => 2 + u8::from(k > 0),
+        }
+    }
+
+    /// Node executing a task (owner of the written tile).
+    #[inline]
+    fn exec_node(&self, t: TaskKind, grid: &BlockCyclic) -> usize {
+        match t {
+            TaskKind::Potrf { k } => grid.owner(k, k),
+            TaskKind::Trsm { k, i } => grid.owner(i, k),
+            TaskKind::Syrk { j, .. } => grid.owner(j, j),
+            TaskKind::Gemm { j, i, .. } => grid.owner(i, j),
+        }
+    }
+
+    /// Scheduling priority (panel tasks first, as the real runtimes do).
+    #[inline]
+    fn priority(t: TaskKind) -> u8 {
+        match t {
+            TaskKind::Potrf { .. } => 3,
+            TaskKind::Trsm { .. } => 2,
+            TaskKind::Syrk { .. } => 1,
+            TaskKind::Gemm { .. } => 0,
+        }
+    }
+}
+
+/// Remote inputs of a task: `(producer, tile coordinates)` pairs whose
+/// output must travel if owned elsewhere. Same-node inputs are free.
+fn remote_inputs(t: TaskKind, out: &mut Vec<(TaskKind, (usize, usize))>) {
+    out.clear();
+    match t {
+        TaskKind::Potrf { .. } => {}
+        // Reads L_kk from the diagonal owner; the (i,k) operand is local
+        // (written by this node's gemm at panel k−1).
+        TaskKind::Trsm { k, .. } => out.push((TaskKind::Potrf { k }, (k, k))),
+        // Reads the solved panel tile (j,k).
+        TaskKind::Syrk { k, j } => out.push((TaskKind::Trsm { k, i: j }, (j, k))),
+        // Reads the two solved panel tiles (i,k) and (j,k).
+        TaskKind::Gemm { k, j, i } => {
+            out.push((TaskKind::Trsm { k, i }, (i, k)));
+            out.push((TaskKind::Trsm { k, i: j }, (j, k)));
+        }
+    }
+}
+
+/// Dependent tasks unlocked by a completion.
+fn for_each_dependent(t: TaskKind, nt: usize, mut f: impl FnMut(TaskKind)) {
+    match t {
+        TaskKind::Potrf { k } => {
+            for i in k + 1..nt {
+                f(TaskKind::Trsm { k, i });
+            }
+        }
+        TaskKind::Trsm { k, i } => {
+            f(TaskKind::Syrk { k, j: i });
+            for j in k + 1..i {
+                f(TaskKind::Gemm { k, j, i });
+            }
+            for i2 in i + 1..nt {
+                f(TaskKind::Gemm { k, j: i, i: i2 });
+            }
+        }
+        TaskKind::Syrk { k, j } => {
+            if k + 1 == j {
+                f(TaskKind::Potrf { k: j });
+            } else {
+                f(TaskKind::Syrk { k: k + 1, j });
+            }
+        }
+        TaskKind::Gemm { k, j, i } => {
+            if k + 1 == j {
+                f(TaskKind::Trsm { k: j, i });
+            } else {
+                f(TaskKind::Gemm { k: k + 1, j, i });
+            }
+        }
+    }
+}
+
+/// Per-node resident bytes of the lower-triangular matrix under the cost
+/// model's storage sizes, with a workspace factor for runtime overheads.
+pub fn per_node_resident_bytes(
+    nt: usize,
+    cost: &dyn CostModel,
+    grid: &BlockCyclic,
+    workspace_factor: f64,
+) -> Vec<usize> {
+    let mut bytes = vec![0usize; grid.nodes()];
+    for j in 0..nt {
+        for i in j..nt {
+            bytes[grid.owner(i, j)] += cost.tile_resident_bytes(i, j);
+        }
+    }
+    for b in bytes.iter_mut() {
+        *b = (*b as f64 * workspace_factor) as usize;
+    }
+    bytes
+}
+
+/// OOM check reproducing Figure 4's missing points.
+pub fn check_memory(
+    nt: usize,
+    cost: &dyn CostModel,
+    machine: &MachineConfig,
+    grid: &BlockCyclic,
+) -> Result<(), SimError> {
+    // 1.5× workspace: factor panels, runtime handles, MPI buffers.
+    let resident = per_node_resident_bytes(nt, cost, grid, 1.5);
+    for (node, &req) in resident.iter().enumerate() {
+        if req > machine.memory_per_node {
+            return Err(SimError::OutOfMemory {
+                node,
+                required: req,
+                capacity: machine.memory_per_node,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[derive(PartialEq)]
+struct Event {
+    time: f64,
+    kind: u8, // 0 = ready, 1 = complete
+    task: TaskKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap through Reverse at the call sites; tie-break on kind so
+        // completions (core frees) process before new readies at equal time.
+        self.time
+            .partial_cmp(&other.time)
+            .unwrap()
+            .then(self.kind.cmp(&other.kind))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Node {
+    free_cores: usize,
+    pending: BinaryHeap<(u8, Reverse<u64>, TaskKind)>, // (priority, fifo tick)
+    busy_seconds: f64,
+}
+
+/// Simulates the distributed tile Cholesky DAG and returns its makespan and
+/// traffic statistics.
+pub fn simulate_cholesky(
+    nt: usize,
+    cost: &dyn CostModel,
+    machine: &MachineConfig,
+    grid: &BlockCyclic,
+) -> Result<SimStats, SimError> {
+    assert!(nt >= 1, "need at least one tile");
+    assert_eq!(grid.nodes(), machine.nodes, "grid/machine mismatch");
+    check_memory(nt, cost, machine, grid)?;
+    let ids = TaskIds::new(nt);
+    if ids.total > MAX_DES_TASKS {
+        return Err(SimError::TooLarge { tasks: ids.total });
+    }
+
+    // Dependency counters and latest-arrival tracking per task.
+    let mut deps = vec![0u8; ids.total];
+    let mut ready_at = vec![0f32; ids.total];
+    init_dep_counts(&ids, &mut deps);
+
+    // Transfer cache: (producer id, dest node) → arrival time.
+    let mut transfers: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut comm_bytes = 0usize;
+    let mut messages = 0usize;
+
+    let mut nodes: Vec<Node> = (0..machine.nodes)
+        .map(|_| Node {
+            free_cores: machine.cores_per_node,
+            pending: BinaryHeap::new(),
+            busy_seconds: 0.0,
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    heap.push(Reverse(Event {
+        time: 0.0,
+        kind: 0,
+        task: TaskKind::Potrf { k: 0 },
+    }));
+
+    let mut finish_times = vec![0f32; ids.total];
+    let mut makespan = 0.0f64;
+    let mut total_flops = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut executed = 0usize;
+    let mut fifo_tick = 0u64;
+    let mut scratch: Vec<(TaskKind, (usize, usize))> = Vec::with_capacity(2);
+
+    while let Some(Reverse(Event { time, kind, task })) = heap.pop() {
+        let node_idx = ids.exec_node(task, grid);
+        if kind == 0 {
+            // Task ready: start it now if a core is free, else queue it.
+            let node = &mut nodes[node_idx];
+            if node.free_cores > 0 {
+                node.free_cores -= 1;
+                start_task(
+                    task, time, cost, machine, &ids, &mut heap, &mut total_flops, &mut busy,
+                    node,
+                );
+            } else {
+                fifo_tick += 1;
+                node.pending
+                    .push((TaskIds::priority(task), Reverse(fifo_tick), task));
+            }
+            continue;
+        }
+
+        // Task complete.
+        executed += 1;
+        makespan = makespan.max(time);
+        finish_times[ids.id(task)] = time as f32;
+
+        // Unlock dependents.
+        for_each_dependent(task, nt, |dep| {
+            let dep_id = ids.id(dep);
+            let dest = ids.exec_node(dep, grid);
+            // Arrival of *this* producer's output at the dependent's node.
+            let mut arrival = time;
+            remote_inputs(dep, &mut scratch);
+            for (producer, tile) in scratch.iter() {
+                if ids.id(*producer) == ids.id(task) {
+                    let src = ids.exec_node(*producer, grid);
+                    if src != dest {
+                        let key = (ids.id(task), dest);
+                        arrival = *transfers.entry(key).or_insert_with(|| {
+                            let bytes = cost.tile_bytes(tile.0, tile.1);
+                            comm_bytes += bytes;
+                            messages += 1;
+                            time + machine.transfer_seconds(bytes)
+                        });
+                    }
+                }
+            }
+            ready_at[dep_id] = ready_at[dep_id].max(arrival as f32);
+            deps[dep_id] -= 1;
+            if deps[dep_id] == 0 {
+                heap.push(Reverse(Event {
+                    time: ready_at[dep_id] as f64,
+                    kind: 0,
+                    task: dep,
+                }));
+            }
+        });
+
+        // Free the core; start the best pending task, if any.
+        let node = &mut nodes[node_idx];
+        node.free_cores += 1;
+        if let Some((_, _, next)) = node.pending.pop() {
+            node.free_cores -= 1;
+            start_task(
+                next, time, cost, machine, &ids, &mut heap, &mut total_flops, &mut busy, node,
+            );
+        }
+    }
+
+    debug_assert_eq!(executed, ids.total, "all tasks must retire");
+    let total_cores = (machine.nodes * machine.cores_per_node) as f64;
+    Ok(SimStats {
+        makespan,
+        tasks: executed,
+        total_flops,
+        comm_bytes,
+        messages,
+        busy_seconds: busy,
+        efficiency: if makespan > 0.0 {
+            busy / (makespan * total_cores)
+        } else {
+            0.0
+        },
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn start_task(
+    task: TaskKind,
+    now: f64,
+    cost: &dyn CostModel,
+    machine: &MachineConfig,
+    _ids: &TaskIds,
+    heap: &mut BinaryHeap<Reverse<Event>>,
+    total_flops: &mut f64,
+    busy: &mut f64,
+    node: &mut Node,
+) {
+    let dur = cost.task_seconds(task, machine);
+    *total_flops += cost.task_flops(task);
+    *busy += dur;
+    node.busy_seconds += dur;
+    heap.push(Reverse(Event {
+        time: now + dur,
+        kind: 1,
+        task,
+    }));
+}
+
+fn init_dep_counts(ids: &TaskIds, deps: &mut [u8]) {
+    let nt = ids.nt;
+    for k in 0..nt {
+        deps[ids.id(TaskKind::Potrf { k })] = ids.dep_count(TaskKind::Potrf { k });
+        for i in k + 1..nt {
+            deps[ids.id(TaskKind::Trsm { k, i })] = ids.dep_count(TaskKind::Trsm { k, i });
+            deps[ids.id(TaskKind::Syrk { k, j: i })] =
+                ids.dep_count(TaskKind::Syrk { k, j: i });
+            for j in k + 1..i {
+                deps[ids.id(TaskKind::Gemm { k, j, i })] =
+                    ids.dep_count(TaskKind::Gemm { k, j, i });
+            }
+        }
+    }
+}
+
+/// Closed-form estimate used beyond the DES task budget: the maximum of the
+/// work bound, the critical-path bound, and the communication bound — the
+/// three mechanisms that shape Figure 4.
+pub fn analytic_cholesky_seconds(
+    nt: usize,
+    cost: &dyn CostModel,
+    machine: &MachineConfig,
+) -> f64 {
+    let mut dense_flops = 0.0f64;
+    let mut lr_flops = 0.0f64;
+    let mut comm_bytes = 0.0f64;
+    let mut critical = 0.0f64;
+    for k in 0..nt {
+        let potrf = TaskKind::Potrf { k };
+        let add = |acc: &mut f64, t: TaskKind, c: &dyn CostModel| {
+            *acc += c.task_flops(t);
+        };
+        if cost.is_dense_rate(potrf) {
+            add(&mut dense_flops, potrf, cost);
+        } else {
+            add(&mut lr_flops, potrf, cost);
+        }
+        critical += cost.task_seconds(potrf, machine) + machine.network_latency;
+        if k + 1 < nt {
+            let trsm = TaskKind::Trsm { k, i: k + 1 };
+            let syrk = TaskKind::Syrk { k, j: k + 1 };
+            critical += cost.task_seconds(trsm, machine)
+                + cost.task_seconds(syrk, machine)
+                + 2.0 * machine.network_latency;
+        }
+        for i in k + 1..nt {
+            let t = TaskKind::Trsm { k, i };
+            if cost.is_dense_rate(t) {
+                add(&mut dense_flops, t, cost);
+            } else {
+                add(&mut lr_flops, t, cost);
+            }
+            comm_bytes += cost.tile_bytes(i, k) as f64;
+            let s = TaskKind::Syrk { k, j: i };
+            if cost.is_dense_rate(s) {
+                add(&mut dense_flops, s, cost);
+            } else {
+                add(&mut lr_flops, s, cost);
+            }
+            for j in k + 1..i {
+                let g = TaskKind::Gemm { k, j, i };
+                if cost.is_dense_rate(g) {
+                    add(&mut dense_flops, g, cost);
+                } else {
+                    add(&mut lr_flops, g, cost);
+                }
+            }
+        }
+    }
+    let work = dense_flops / machine.aggregate_dense_rate()
+        + lr_flops / (machine.lr_rate() * (machine.nodes * machine.cores_per_node) as f64);
+    let comm = comm_bytes / (machine.network_bandwidth * machine.nodes as f64);
+    work.max(critical).max(comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskmodel::DenseCost;
+
+    fn small_machine(nodes: usize) -> MachineConfig {
+        MachineConfig::test_machine(nodes, 2)
+    }
+
+    #[test]
+    fn task_id_space_is_a_bijection() {
+        let nt = 7;
+        let ids = TaskIds::new(nt);
+        let mut seen = vec![false; ids.total];
+        let mut mark = |t: TaskKind| {
+            let id = ids.id(t);
+            assert!(!seen[id], "duplicate id {id} for {t:?}");
+            seen[id] = true;
+        };
+        for k in 0..nt {
+            mark(TaskKind::Potrf { k });
+            for i in k + 1..nt {
+                mark(TaskKind::Trsm { k, i });
+                mark(TaskKind::Syrk { k, j: i });
+                for j in k + 1..i {
+                    mark(TaskKind::Gemm { k, j, i });
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "id space has holes");
+    }
+
+    #[test]
+    fn single_node_makespan_respects_work_and_critical_path() {
+        let m = small_machine(1);
+        let grid = BlockCyclic::squarest(1);
+        let cost = DenseCost { nb: 100 };
+        let nt = 6;
+        let stats = simulate_cholesky(nt, &cost, &m, &grid).unwrap();
+        // All tasks retire.
+        let ids = TaskIds::new(nt);
+        assert_eq!(stats.tasks, ids.total);
+        // Makespan is at least work/cores and at most serial work.
+        let serial: f64 = stats.total_flops / m.dense_rate();
+        assert!(stats.makespan <= serial + 1e-9);
+        assert!(stats.makespan >= serial / (m.cores_per_node as f64) - 1e-9);
+        // No communication on one node.
+        assert_eq!(stats.comm_bytes, 0);
+    }
+
+    #[test]
+    fn more_nodes_reduce_makespan() {
+        let cost = DenseCost { nb: 200 };
+        let nt = 16;
+        let t1 = simulate_cholesky(nt, &cost, &small_machine(1), &BlockCyclic::squarest(1))
+            .unwrap()
+            .makespan;
+        let t4 = simulate_cholesky(nt, &cost, &small_machine(4), &BlockCyclic::squarest(4))
+            .unwrap()
+            .makespan;
+        let t16 = simulate_cholesky(nt, &cost, &small_machine(16), &BlockCyclic::squarest(16))
+            .unwrap()
+            .makespan;
+        assert!(t4 < t1, "4 nodes {t4} vs 1 node {t1}");
+        assert!(t16 < t4 * 1.01, "16 nodes {t16} vs 4 nodes {t4}");
+    }
+
+    #[test]
+    fn communication_happens_across_nodes_and_is_cached() {
+        let cost = DenseCost { nb: 64 };
+        let nt = 10;
+        let stats =
+            simulate_cholesky(nt, &cost, &small_machine(4), &BlockCyclic::squarest(4)).unwrap();
+        assert!(stats.comm_bytes > 0);
+        // Without caching, every gemm would pull two remote tiles; with
+        // caching the message count is bounded by tiles × nodes.
+        let upper = nt * nt * 4;
+        assert!(
+            stats.messages <= upper,
+            "messages {} vs bound {upper}",
+            stats.messages
+        );
+    }
+
+    #[test]
+    fn oom_detection_matches_capacity() {
+        let mut m = small_machine(2);
+        m.memory_per_node = 1 << 20; // 1 MB per node
+        let cost = DenseCost { nb: 512 }; // one tile = 2 MB
+        let err = simulate_cholesky(8, &cost, &m, &BlockCyclic::squarest(2)).unwrap_err();
+        match err {
+            SimError::OutOfMemory { required, capacity, .. } => {
+                assert!(required > capacity);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analytic_estimate_brackets_des() {
+        let cost = DenseCost { nb: 128 };
+        let m = small_machine(4);
+        let grid = BlockCyclic::squarest(4);
+        for nt in [6, 12, 20] {
+            let des = simulate_cholesky(nt, &cost, &m, &grid).unwrap().makespan;
+            let ana = analytic_cholesky_seconds(nt, &cost, &m);
+            let ratio = des / ana;
+            assert!(
+                (0.5..=8.0).contains(&ratio),
+                "nt={nt}: DES {des} vs analytic {ana} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn too_large_guard_fires() {
+        let cost = DenseCost { nb: 8 };
+        let mut m = small_machine(1);
+        m.memory_per_node = usize::MAX / 4;
+        let err = simulate_cholesky(2000, &cost, &m, &BlockCyclic::squarest(1)).unwrap_err();
+        assert!(matches!(err, SimError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn efficiency_is_sane() {
+        let cost = DenseCost { nb: 96 };
+        let stats =
+            simulate_cholesky(24, &cost, &small_machine(4), &BlockCyclic::squarest(4)).unwrap();
+        assert!(stats.efficiency > 0.05 && stats.efficiency <= 1.0 + 1e-9,
+            "efficiency {}", stats.efficiency);
+    }
+}

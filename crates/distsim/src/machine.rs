@@ -1,0 +1,121 @@
+//! The simulated distributed-memory machine.
+//!
+//! Models a Cray-XC40-class system like Shaheen-2 (the paper's §VIII-A
+//! testbed): dual-socket 16-core Haswell nodes at 2.3 GHz with 128 GB DDR4
+//! each, connected by an Aries dragonfly interconnect. The simulator needs
+//! only aggregate per-node quantities: core count, per-core effective
+//! floating-point rate (with separate efficiencies for compute-bound dense
+//! kernels and latency/bandwidth-bound low-rank kernels), NIC
+//! latency/bandwidth, and memory capacity.
+
+/// Machine description consumed by the discrete-event simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Worker cores per node available to tasks.
+    pub cores_per_node: usize,
+    /// Peak per-core rate in FLOP/s (double precision).
+    pub peak_flops_per_core: f64,
+    /// Fraction of peak reached by compute-bound dense tile kernels
+    /// (GEMM-dominated; ≈ 0.85 with a good BLAS).
+    pub dense_efficiency: f64,
+    /// Fraction of peak reached by the low-arithmetic-intensity TLR kernels
+    /// (skinny GEMM/QR chains; memory-bound, ≈ 0.2–0.3 — this gap is the
+    /// §VIII-C discussion of why TLR needs a much larger nb).
+    pub lr_efficiency: f64,
+    /// One-way network latency between any two nodes, seconds.
+    pub network_latency: f64,
+    /// Per-link bandwidth, bytes/second.
+    pub network_bandwidth: f64,
+    /// Usable memory per node, bytes.
+    pub memory_per_node: usize,
+}
+
+impl MachineConfig {
+    /// Shaheen-2-like configuration with the given node count
+    /// (paper: 256 and 1024 nodes; 32 Haswell cores at 2.3 GHz and 128 GB
+    /// per node, Aries interconnect).
+    pub fn shaheen2(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            cores_per_node: 32,
+            // 2.3 GHz × 16 DP flops/cycle (AVX2 FMA) = 36.8 GF/s per core.
+            peak_flops_per_core: 36.8e9,
+            dense_efficiency: 0.85,
+            lr_efficiency: 0.25,
+            // Aries: ~1.5 µs latency, ~10 GB/s effective per-node injection.
+            network_latency: 1.5e-6,
+            network_bandwidth: 10.0e9,
+            memory_per_node: 128 * (1usize << 30),
+        }
+    }
+
+    /// A small abstract machine for fast unit tests.
+    pub fn test_machine(nodes: usize, cores_per_node: usize) -> Self {
+        MachineConfig {
+            nodes,
+            cores_per_node,
+            peak_flops_per_core: 1.0e9,
+            dense_efficiency: 1.0,
+            lr_efficiency: 0.5,
+            network_latency: 1.0e-6,
+            network_bandwidth: 1.0e9,
+            memory_per_node: 4 * (1usize << 30),
+        }
+    }
+
+    /// Effective rate of a dense compute-bound task on one core, FLOP/s.
+    pub fn dense_rate(&self) -> f64 {
+        self.peak_flops_per_core * self.dense_efficiency
+    }
+
+    /// Effective rate of a low-rank (memory-bound) task on one core, FLOP/s.
+    pub fn lr_rate(&self) -> f64 {
+        self.peak_flops_per_core * self.lr_efficiency
+    }
+
+    /// Transfer time for `bytes` between two distinct nodes, seconds.
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.network_latency + bytes as f64 / self.network_bandwidth
+    }
+
+    /// Aggregate machine peak, FLOP/s.
+    pub fn aggregate_dense_rate(&self) -> f64 {
+        self.dense_rate() * (self.nodes * self.cores_per_node) as f64
+    }
+
+    /// Aggregate memory, bytes.
+    pub fn total_memory(&self) -> usize {
+        self.nodes * self.memory_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shaheen_preset_matches_paper_specs() {
+        let m = MachineConfig::shaheen2(256);
+        assert_eq!(m.nodes, 256);
+        assert_eq!(m.cores_per_node, 32);
+        assert_eq!(m.memory_per_node, 128 << 30);
+        // ~8,200 cores on 256 nodes as the paper states.
+        assert_eq!(m.nodes * m.cores_per_node, 8192);
+        let m2 = MachineConfig::shaheen2(1024);
+        // ~33,000 cores on 1024 nodes.
+        assert_eq!(m2.nodes * m2.cores_per_node, 32768);
+    }
+
+    #[test]
+    fn rates_and_transfers() {
+        let m = MachineConfig::shaheen2(4);
+        assert!(m.dense_rate() > m.lr_rate());
+        let t_small = m.transfer_seconds(8);
+        let t_big = m.transfer_seconds(8 << 20);
+        assert!(t_small >= m.network_latency);
+        assert!(t_big > 100.0 * t_small);
+        assert!(m.aggregate_dense_rate() > 1e12); // > 1 TF/s on 4 nodes
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the distributed simulator: physical bounds on
+//! makespans, causality, monotonicity in machine resources, and
+//! block-cyclic ownership laws — across randomized configurations.
+
+use exa_distsim::{
+    analytic_cholesky_seconds, simulate_cholesky, BlockCyclic, CostModel, DenseCost,
+    MachineConfig, TaskKind,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn makespan_between_work_and_serial_bounds(
+        nt in 2usize..14,
+        nb in 32usize..256,
+        nodes in 1usize..9,
+        cores in 1usize..5,
+    ) {
+        let machine = MachineConfig::test_machine(nodes, cores);
+        let grid = BlockCyclic::squarest(nodes);
+        let cost = DenseCost { nb };
+        let stats = simulate_cholesky(nt, &cost, &machine, &grid).unwrap();
+        let serial = stats.total_flops / machine.dense_rate();
+        let total_cores = (machine.nodes * machine.cores_per_node) as f64;
+        // Work conservation: can't beat perfect speedup; can't exceed
+        // serial time plus all communication.
+        prop_assert!(stats.makespan >= serial / total_cores - 1e-9);
+        let comm = machine.transfer_seconds(1) * stats.messages as f64
+            + stats.comm_bytes as f64 / machine.network_bandwidth;
+        prop_assert!(stats.makespan <= serial + comm + 1e-9,
+            "makespan {} vs serial {} + comm {}", stats.makespan, serial, comm);
+        // Critical path: at least the potrf chain.
+        let potrf_chain: f64 =
+            (0..nt).map(|k| cost.task_seconds(TaskKind::Potrf { k }, &machine)).sum();
+        prop_assert!(stats.makespan >= potrf_chain - 1e-9);
+    }
+
+    #[test]
+    fn faster_network_never_hurts(
+        nt in 3usize..10,
+        nodes in 2usize..9,
+    ) {
+        let grid = BlockCyclic::squarest(nodes);
+        let cost = DenseCost { nb: 64 };
+        let mut slow = MachineConfig::test_machine(nodes, 2);
+        slow.network_bandwidth = 1e8;
+        slow.network_latency = 1e-4;
+        let mut fast = slow;
+        fast.network_bandwidth = 1e10;
+        fast.network_latency = 1e-6;
+        let t_slow = simulate_cholesky(nt, &cost, &slow, &grid).unwrap().makespan;
+        let t_fast = simulate_cholesky(nt, &cost, &fast, &grid).unwrap().makespan;
+        prop_assert!(t_fast <= t_slow + 1e-12, "fast {t_fast} vs slow {t_slow}");
+    }
+
+    #[test]
+    fn more_cores_never_hurt(
+        nt in 3usize..10,
+        nodes in 1usize..5,
+    ) {
+        let grid = BlockCyclic::squarest(nodes);
+        let cost = DenseCost { nb: 96 };
+        let m1 = MachineConfig::test_machine(nodes, 1);
+        let m4 = MachineConfig::test_machine(nodes, 4);
+        let t1 = simulate_cholesky(nt, &cost, &m1, &grid).unwrap().makespan;
+        let t4 = simulate_cholesky(nt, &cost, &m4, &grid).unwrap().makespan;
+        prop_assert!(t4 <= t1 + 1e-12, "4 cores {t4} vs 1 core {t1}");
+    }
+
+    #[test]
+    fn analytic_model_is_a_sane_envelope(
+        nt in 3usize..12,
+        nodes in 1usize..9,
+    ) {
+        let machine = MachineConfig::test_machine(nodes, 2);
+        let grid = BlockCyclic::squarest(nodes);
+        let cost = DenseCost { nb: 128 };
+        let des = simulate_cholesky(nt, &cost, &machine, &grid).unwrap().makespan;
+        let ana = analytic_cholesky_seconds(nt, &cost, &machine);
+        let ratio = des / ana;
+        prop_assert!((0.3..=20.0).contains(&ratio), "DES {des} vs analytic {ana}");
+    }
+
+    #[test]
+    fn block_cyclic_owner_laws(
+        nodes in 1usize..64,
+        i in 0usize..100,
+        j in 0usize..100,
+    ) {
+        let g = BlockCyclic::squarest(nodes);
+        prop_assert_eq!(g.nodes(), nodes);
+        let o = g.owner(i, j);
+        prop_assert!(o < nodes);
+        // Periodicity in both tile coordinates.
+        prop_assert_eq!(o, g.owner(i + g.p, j));
+        prop_assert_eq!(o, g.owner(i, j + g.q));
+    }
+
+    #[test]
+    fn lower_triangle_fully_assigned(nodes in 1usize..17, nt in 1usize..30) {
+        let g = BlockCyclic::squarest(nodes);
+        let counts = g.lower_tile_counts(nt);
+        prop_assert_eq!(counts.iter().sum::<usize>(), nt * (nt + 1) / 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Level-1 BLAS: vector-vector kernels.
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // Four accumulators so LLVM can vectorize without reassociation concerns.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let b = c * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// Strided dot product: `sum_k x[k*incx] * y[k*incy]` over `n` elements.
+#[inline]
+pub fn dot_strided(n: usize, x: &[f64], incx: usize, y: &[f64], incy: usize) -> f64 {
+    debug_assert!(n == 0 || (n - 1) * incx < x.len());
+    debug_assert!(n == 0 || (n - 1) * incy < y.len());
+    let mut s = 0.0;
+    for k in 0..n {
+        s += x[k * incx] * y[k * incy];
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm with scaling to avoid spurious overflow/underflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &xi in x {
+        if xi != 0.0 {
+            let a = xi.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a) * (scale / a);
+                scale = a;
+            } else {
+                ssq += (a / scale) * (a / scale);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Index of the element with the largest absolute value (0 for empty input).
+pub fn iamax(x: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut bv = f64::NEG_INFINITY;
+    for (i, &xi) in x.iter().enumerate() {
+        let a = xi.abs();
+        if a > bv {
+            bv = a;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 1.0, 1.0, 1.0, 1.0]), 15.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_strided_picks_every_other() {
+        let x = [1.0, 9.0, 2.0, 9.0, 3.0];
+        let y = [1.0, 1.0, 1.0];
+        assert_eq!(dot_strided(3, &x, 2, &y, 1), 6.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn nrm2_is_scale_safe() {
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        // Values that would overflow if squared naively.
+        let big = 1e200;
+        let n = nrm2(&[big, big]);
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn iamax_finds_peak() {
+        assert_eq!(iamax(&[1.0, -7.0, 3.0]), 1);
+        assert_eq!(iamax(&[]), 0);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0, -2.0];
+        scal(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+}

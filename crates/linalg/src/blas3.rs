@@ -1,0 +1,600 @@
+//! Level-3 BLAS beyond GEMM: symmetric rank-k update and triangular solves.
+//!
+//! Only the `Lower`-triangle variants are provided — the whole pipeline is
+//! built on the lower-Cholesky factor, exactly like the paper's use of
+//! Chameleon/HiCMA.
+
+use crate::gemm::{dgemm, Trans};
+
+/// Side selector for [`dtrsm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `op(L) · X = alpha · B` (the triangular matrix is on the left).
+    Left,
+    /// Solve `X · op(L) = alpha · B` (the triangular matrix is on the right).
+    Right,
+}
+
+/// Block size for the blocked SYRK/TRSM decompositions.
+const BB: usize = 96;
+
+/// Symmetric rank-k update on the **lower** triangle:
+///
+/// * `trans == No`:  `C := alpha · A·Aᵀ + beta · C` with `A` of shape `n × k`;
+/// * `trans == Yes`: `C := alpha · Aᵀ·A + beta · C` with `A` of shape `k × n`.
+///
+/// Only the lower triangle of `C` (n × n) is referenced and updated.
+#[allow(clippy::too_many_arguments)]
+pub fn dsyrk(
+    trans: Trans,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let (ar, ac) = match trans {
+        Trans::No => (n, k),
+        Trans::Yes => (k, n),
+    };
+    assert!(lda >= ar.max(1), "lda too small");
+    if ac > 0 {
+        assert!(a.len() >= lda * (ac - 1) + ar, "A buffer too small");
+    }
+    assert!(ldc >= n, "ldc too small");
+    assert!(c.len() >= ldc * (n - 1) + n, "C buffer too small");
+
+    // Scale the lower triangle by beta once.
+    if beta != 1.0 {
+        for j in 0..n {
+            let col = &mut c[j + j * ldc..j * ldc + n];
+            if beta == 0.0 {
+                col.fill(0.0);
+            } else {
+                for v in col.iter_mut() {
+                    *v *= beta;
+                }
+            }
+        }
+    }
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    // Blocked: off-diagonal blocks go through GEMM; diagonal blocks use a
+    // triangle-aware loop.
+    let mut jb = 0;
+    while jb < n {
+        let nb_j = BB.min(n - jb);
+        // Diagonal block C[jb.., jb..].
+        syrk_diag_block(trans, jb, nb_j, k, alpha, a, lda, c, ldc);
+        // Blocks strictly below the diagonal block: C[ib.., jb..] += A_i op A_jᵀ.
+        let mut ib = jb + nb_j;
+        while ib < n {
+            let nb_i = BB.min(n - ib);
+            match trans {
+                Trans::No => dgemm(
+                    Trans::No,
+                    Trans::Yes,
+                    nb_i,
+                    nb_j,
+                    k,
+                    alpha,
+                    &a[ib..],
+                    lda,
+                    &a[jb..],
+                    lda,
+                    1.0,
+                    &mut c[ib + jb * ldc..],
+                    ldc,
+                ),
+                Trans::Yes => dgemm(
+                    Trans::Yes,
+                    Trans::No,
+                    nb_i,
+                    nb_j,
+                    k,
+                    alpha,
+                    &a[ib * lda..],
+                    lda,
+                    &a[jb * lda..],
+                    lda,
+                    1.0,
+                    &mut c[ib + jb * ldc..],
+                    ldc,
+                ),
+            }
+            ib += BB;
+        }
+        jb += BB;
+    }
+}
+
+/// Updates the lower triangle of the diagonal block starting at `(jb, jb)`.
+#[allow(clippy::too_many_arguments)]
+fn syrk_diag_block(
+    trans: Trans,
+    jb: usize,
+    nb: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    match trans {
+        Trans::No => {
+            // C(i,j) += alpha * sum_p A(jb+i, p) A(jb+j, p), i >= j.
+            for p in 0..k {
+                let acol = &a[p * lda..];
+                for j in 0..nb {
+                    let ajp = alpha * acol[jb + j];
+                    if ajp == 0.0 {
+                        continue;
+                    }
+                    let ccol = &mut c[(jb + j) * ldc..];
+                    for i in j..nb {
+                        ccol[jb + i] += acol[jb + i] * ajp;
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            // C(i,j) += alpha * dot(A[:, jb+i], A[:, jb+j]), i >= j.
+            for j in 0..nb {
+                let aj = &a[(jb + j) * lda..(jb + j) * lda + k];
+                for i in j..nb {
+                    let ai = &a[(jb + i) * lda..(jb + i) * lda + k];
+                    c[(jb + i) + (jb + j) * ldc] += alpha * crate::blas1::dot(ai, aj);
+                }
+            }
+        }
+    }
+}
+
+/// Triangular solve with a **lower** triangular, non-unit-diagonal matrix `L`:
+///
+/// * `Side::Left`,  `Trans::No`:  solves `L · X = alpha·B`   (`L` is `m × m`);
+/// * `Side::Left`,  `Trans::Yes`: solves `Lᵀ · X = alpha·B`  (`L` is `m × m`);
+/// * `Side::Right`, `Trans::No`:  solves `X · L = alpha·B`   (`L` is `n × n`);
+/// * `Side::Right`, `Trans::Yes`: solves `X · Lᵀ = alpha·B`  (`L` is `n × n`).
+///
+/// `B` is `m × n` and is overwritten with `X`.
+#[allow(clippy::too_many_arguments)]
+pub fn dtrsm(
+    side: Side,
+    trans: Trans,
+    m: usize,
+    n: usize,
+    alpha: f64,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let lord = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert!(ldl >= lord, "ldl too small");
+    assert!(l.len() >= ldl * (lord - 1) + lord, "L buffer too small");
+    assert!(ldb >= m, "ldb too small");
+    assert!(b.len() >= ldb * (n - 1) + m, "B buffer too small");
+
+    if alpha != 1.0 {
+        for j in 0..n {
+            for v in b[j * ldb..j * ldb + m].iter_mut() {
+                *v *= alpha;
+            }
+        }
+    }
+
+    match (side, trans) {
+        (Side::Left, Trans::No) => {
+            // Forward block substitution: X_k = L_kk^{-1} (B_k - Σ_{j<k} L_kj X_j).
+            // The solved row block is copied into a contiguous scratch buffer
+            // so the trailing update is a plain disjoint GEMM (row blocks of a
+            // column-major buffer interleave in memory and cannot be split
+            // into non-aliasing slices).
+            let mut scratch = vec![0.0f64; BB * n];
+            let mut kb = 0;
+            while kb < m {
+                let bs = BB.min(m - kb);
+                trsm_diag_left_notrans(&l[kb + kb * ldl..], ldl, bs, n, b, ldb, kb);
+                let rem = m - kb - bs;
+                if rem > 0 {
+                    copy_row_block(b, ldb, n, kb, bs, &mut scratch);
+                    // B[kb+bs.., :] -= L[kb+bs.., kb..kb+bs] * X_k
+                    dgemm(
+                        Trans::No,
+                        Trans::No,
+                        rem,
+                        n,
+                        bs,
+                        -1.0,
+                        &l[(kb + bs) + kb * ldl..],
+                        ldl,
+                        &scratch,
+                        bs,
+                        1.0,
+                        &mut b[kb + bs..],
+                        ldb,
+                    );
+                }
+                kb += bs;
+            }
+        }
+        (Side::Left, Trans::Yes) => {
+            // Backward block substitution on Lᵀ (upper-triangular).
+            let mut scratch = vec![0.0f64; BB * n];
+            let nblocks = m.div_ceil(BB);
+            for blk in (0..nblocks).rev() {
+                let kb = blk * BB;
+                let bs = BB.min(m - kb);
+                trsm_diag_left_trans(&l[kb + kb * ldl..], ldl, bs, n, b, ldb, kb);
+                if kb > 0 {
+                    copy_row_block(b, ldb, n, kb, bs, &mut scratch);
+                    // B[0..kb, :] -= L[kb.., 0..kb]ᵀ X_k
+                    dgemm(
+                        Trans::Yes,
+                        Trans::No,
+                        kb,
+                        n,
+                        bs,
+                        -1.0,
+                        &l[kb..],
+                        ldl,
+                        &scratch,
+                        bs,
+                        1.0,
+                        b,
+                        ldb,
+                    );
+                }
+            }
+        }
+        (Side::Right, Trans::Yes) => {
+            // X·Lᵀ = B: sweep column blocks left → right.
+            let mut kb = 0;
+            while kb < n {
+                let bs = BB.min(n - kb);
+                // X_k = B_k · L_kk^{-T}: row-wise forward substitution.
+                trsm_diag_right_trans(&l[kb + kb * ldl..], ldl, m, bs, &mut b[kb * ldb..], ldb);
+                let rem = n - kb - bs;
+                if rem > 0 {
+                    // B[:, kb+bs..] -= X_k · L[kb+bs.., kb..kb+bs]ᵀ
+                    let (xk, rest) = split_cols(b, ldb, kb, bs);
+                    dgemm(
+                        Trans::No,
+                        Trans::Yes,
+                        m,
+                        rem,
+                        bs,
+                        -1.0,
+                        xk,
+                        ldb,
+                        &l[(kb + bs) + kb * ldl..],
+                        ldl,
+                        1.0,
+                        rest,
+                        ldb,
+                    );
+                }
+                kb += bs;
+            }
+        }
+        (Side::Right, Trans::No) => {
+            // X·L = B: sweep column blocks right → left.
+            let nblocks = n.div_ceil(BB);
+            for blk in (0..nblocks).rev() {
+                let kb = blk * BB;
+                let bs = BB.min(n - kb);
+                trsm_diag_right_notrans(&l[kb + kb * ldl..], ldl, m, bs, &mut b[kb * ldb..], ldb);
+                if kb > 0 {
+                    // B[:, 0..kb] -= X_k · L[kb..kb+bs, 0..kb]
+                    let (rest, xk) = b.split_at_mut(kb * ldb);
+                    dgemm(
+                        Trans::No,
+                        Trans::No,
+                        m,
+                        kb,
+                        bs,
+                        -1.0,
+                        xk,
+                        ldb,
+                        &l[kb..],
+                        ldl,
+                        1.0,
+                        rest,
+                        ldb,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Copies the `bs × n` row block starting at row `kb` into `scratch`
+/// (contiguous, leading dimension `bs`).
+fn copy_row_block(b: &[f64], ldb: usize, n: usize, kb: usize, bs: usize, scratch: &mut [f64]) {
+    for j in 0..n {
+        scratch[j * bs..j * bs + bs].copy_from_slice(&b[kb + j * ldb..kb + j * ldb + bs]);
+    }
+}
+
+/// Splits `b` at column block `kb..kb+bs`: returns (`that block`, `cols after`).
+fn split_cols(b: &mut [f64], ldb: usize, kb: usize, bs: usize) -> (&[f64], &mut [f64]) {
+    let (head, tail) = b.split_at_mut((kb + bs) * ldb);
+    (&head[kb * ldb..], tail)
+}
+
+/// Unblocked forward substitution: solves `L X = B` for the `bs × n` row block
+/// of `B` starting at global row `kb` (diagonal block of `L` passed in).
+fn trsm_diag_left_notrans(
+    l: &[f64],
+    ldl: usize,
+    bs: usize,
+    n: usize,
+    b: &mut [f64],
+    ldb: usize,
+    kb: usize,
+) {
+    for j in 0..n {
+        let col = &mut b[j * ldb + kb..j * ldb + kb + bs];
+        for i in 0..bs {
+            let mut s = col[i];
+            for p in 0..i {
+                s -= l[i + p * ldl] * col[p];
+            }
+            col[i] = s / l[i + i * ldl];
+        }
+    }
+}
+
+/// Unblocked backward substitution: solves `Lᵀ X = B` on a diagonal block.
+fn trsm_diag_left_trans(
+    l: &[f64],
+    ldl: usize,
+    bs: usize,
+    n: usize,
+    b: &mut [f64],
+    ldb: usize,
+    kb: usize,
+) {
+    for j in 0..n {
+        let col = &mut b[j * ldb + kb..j * ldb + kb + bs];
+        for i in (0..bs).rev() {
+            let mut s = col[i];
+            for p in i + 1..bs {
+                s -= l[p + i * ldl] * col[p];
+            }
+            col[i] = s / l[i + i * ldl];
+        }
+    }
+}
+
+/// Solves `X Lᵀ = B` on a diagonal block: row-wise forward substitution
+/// (`L xᵀ = bᵀ` per row of `B`, `B` is `m × bs`).
+fn trsm_diag_right_trans(l: &[f64], ldl: usize, m: usize, bs: usize, b: &mut [f64], ldb: usize) {
+    // Column-oriented: x_j depends on x_0..x_{j-1}.
+    for jcol in 0..bs {
+        let ljj = l[jcol + jcol * ldl];
+        // b[:, jcol] -= sum_{p<jcol} b[:, p] * L[jcol, p]; then divide.
+        for p in 0..jcol {
+            let lp = l[jcol + p * ldl];
+            if lp == 0.0 {
+                continue;
+            }
+            let (bp, bj) = disjoint_cols(b, ldb, m, p, jcol);
+            for i in 0..m {
+                bj[i] -= bp[i] * lp;
+            }
+        }
+        for v in b[jcol * ldb..jcol * ldb + m].iter_mut() {
+            *v /= ljj;
+        }
+    }
+}
+
+/// Solves `X L = B` on a diagonal block: backward over columns.
+fn trsm_diag_right_notrans(l: &[f64], ldl: usize, m: usize, bs: usize, b: &mut [f64], ldb: usize) {
+    for jcol in (0..bs).rev() {
+        let ljj = l[jcol + jcol * ldl];
+        for v in b[jcol * ldb..jcol * ldb + m].iter_mut() {
+            *v /= ljj;
+        }
+        // Columns before jcol receive the update B[:, p] -= X[:, jcol] L[jcol, p].
+        for p in 0..jcol {
+            let lp = l[jcol + p * ldl];
+            if lp == 0.0 {
+                continue;
+            }
+            let (bp, bj) = disjoint_cols(b, ldb, m, p, jcol);
+            for i in 0..m {
+                bp[i] -= bj[i] * lp;
+            }
+        }
+    }
+}
+
+/// Two disjoint mutable column views (`p != q` guaranteed by callers).
+fn disjoint_cols(b: &mut [f64], ldb: usize, m: usize, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(p < q);
+    let (head, tail) = b.split_at_mut(q * ldb);
+    (&mut head[p * ldb..p * ldb + m], &mut tail[..m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+    use crate::norms::max_abs_diff;
+    use exa_util::Rng;
+
+    fn lower_random(n: usize, rng: &mut Rng) -> Mat {
+        // Well-conditioned lower triangular factor.
+        let mut l = Mat::gaussian(n, n, rng);
+        l.zero_strict_upper();
+        for i in 0..n {
+            l[(i, i)] = 2.0 + l[(i, i)].abs();
+        }
+        l
+    }
+
+    #[test]
+    fn syrk_notrans_matches_gemm() {
+        let mut rng = Rng::seed_from_u64(2);
+        for &(n, k) in &[(5usize, 3usize), (97, 33), (130, 201)] {
+            let a = Mat::gaussian(n, k, &mut rng);
+            let c0 = Mat::gaussian(n, n, &mut rng);
+            let mut c = c0.clone();
+            dsyrk(Trans::No, n, k, 1.5, a.as_slice(), n, 0.5, c.as_mut_slice(), n);
+            // Reference via full GEMM.
+            let mut full = c0.clone();
+            dgemm(
+                Trans::No,
+                Trans::Yes,
+                n,
+                n,
+                k,
+                1.5,
+                a.as_slice(),
+                n,
+                a.as_slice(),
+                n,
+                0.5,
+                full.as_mut_slice(),
+                n,
+            );
+            for j in 0..n {
+                for i in j..n {
+                    assert!(
+                        (c[(i, j)] - full[(i, j)]).abs() < 1e-10 * full[(i, j)].abs().max(1.0),
+                        "n={n} k={k} ({i},{j})"
+                    );
+                }
+                // Upper triangle untouched.
+                for i in 0..j {
+                    assert_eq!(c[(i, j)], c0[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_trans_matches_gemm() {
+        let mut rng = Rng::seed_from_u64(3);
+        for &(n, k) in &[(6usize, 4usize), (100, 37)] {
+            let a = Mat::gaussian(k, n, &mut rng);
+            let mut c = Mat::zeros(n, n);
+            dsyrk(Trans::Yes, n, k, 2.0, a.as_slice(), k, 0.0, c.as_mut_slice(), n);
+            let mut full = Mat::zeros(n, n);
+            dgemm(
+                Trans::Yes,
+                Trans::No,
+                n,
+                n,
+                k,
+                2.0,
+                a.as_slice(),
+                k,
+                a.as_slice(),
+                k,
+                0.0,
+                full.as_mut_slice(),
+                n,
+            );
+            for j in 0..n {
+                for i in j..n {
+                    assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-10 * full[(i, j)].abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    fn check_trsm(side: Side, trans: Trans, m: usize, n: usize, seed: u64) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let lord = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        let l = lower_random(lord, &mut rng);
+        let b0 = Mat::gaussian(m, n, &mut rng);
+        let mut x = b0.clone();
+        dtrsm(side, trans, m, n, 1.0, l.as_slice(), lord, x.as_mut_slice(), m);
+        // Verify op(L)-product reproduces alpha*B.
+        let mut prod = Mat::zeros(m, n);
+        match side {
+            Side::Left => dgemm(
+                trans,
+                Trans::No,
+                m,
+                n,
+                m,
+                1.0,
+                l.as_slice(),
+                m,
+                x.as_slice(),
+                m,
+                0.0,
+                prod.as_mut_slice(),
+                m,
+            ),
+            Side::Right => dgemm(
+                Trans::No,
+                trans,
+                m,
+                n,
+                n,
+                1.0,
+                x.as_slice(),
+                m,
+                l.as_slice(),
+                n,
+                0.0,
+                prod.as_mut_slice(),
+                m,
+            ),
+        }
+        let err = max_abs_diff(prod.as_slice(), b0.as_slice());
+        assert!(err < 1e-9, "side={side:?} trans={trans:?} m={m} n={n}: err={err}");
+    }
+
+    #[test]
+    fn trsm_all_variants_roundtrip() {
+        for (i, &(m, n)) in [(5usize, 3usize), (64, 64), (130, 97), (97, 130), (1, 7), (7, 1)]
+            .iter()
+            .enumerate()
+        {
+            let s = i as u64;
+            check_trsm(Side::Left, Trans::No, m, n, s);
+            check_trsm(Side::Left, Trans::Yes, m, n, s + 100);
+            check_trsm(Side::Right, Trans::No, m, n, s + 200);
+            check_trsm(Side::Right, Trans::Yes, m, n, s + 300);
+        }
+    }
+
+    #[test]
+    fn trsm_alpha_scales_rhs() {
+        let mut rng = Rng::seed_from_u64(9);
+        let l = lower_random(4, &mut rng);
+        let b = Mat::gaussian(4, 2, &mut rng);
+        let mut x1 = b.clone();
+        dtrsm(Side::Left, Trans::No, 4, 2, 2.0, l.as_slice(), 4, x1.as_mut_slice(), 4);
+        let mut x2 = b.clone();
+        dtrsm(Side::Left, Trans::No, 4, 2, 1.0, l.as_slice(), 4, x2.as_mut_slice(), 4);
+        for (a, b) in x1.as_slice().iter().zip(x2.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+    }
+}

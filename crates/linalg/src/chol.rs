@@ -1,0 +1,234 @@
+//! Cholesky factorization (lower triangular), blocked and unblocked.
+//!
+//! `dpotrf` is the workhorse of the whole pipeline: the paper's log-likelihood
+//! (Eq. 1) needs `log|Σ|` and `Σ⁻¹Z`, both obtained from `Σ = L·Lᵀ`.
+
+use crate::blas3::{dsyrk, dtrsm, Side};
+use crate::gemm::Trans;
+use crate::LinalgError;
+
+/// Panel width for the blocked factorization.
+const PB: usize = 64;
+
+/// Unblocked Cholesky of the leading `n × n` block (lower triangle).
+///
+/// On success the lower triangle of `a` holds `L`; the strictly upper triangle
+/// is not referenced. `offset` is only used to report the global index of a
+/// failing minor when called from [`dpotrf`].
+pub fn dpotf2(n: usize, a: &mut [f64], lda: usize, offset: usize) -> Result<(), LinalgError> {
+    assert!(lda >= n.max(1), "lda too small");
+    if n > 0 {
+        assert!(a.len() >= lda * (n - 1) + n, "buffer too small");
+    }
+    for j in 0..n {
+        // d = a_jj - Σ_{p<j} L_jp²
+        let mut d = a[j + j * lda];
+        for p in 0..j {
+            let l = a[j + p * lda];
+            d -= l * l;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { index: offset + j + 1 });
+        }
+        let djj = d.sqrt();
+        a[j + j * lda] = djj;
+        // Column below the diagonal.
+        for i in j + 1..n {
+            let mut s = a[i + j * lda];
+            for p in 0..j {
+                s -= a[i + p * lda] * a[j + p * lda];
+            }
+            a[i + j * lda] = s / djj;
+        }
+    }
+    Ok(())
+}
+
+/// Blocked lower Cholesky `A = L·Lᵀ` (right-looking).
+///
+/// Only the lower triangle of `a` is referenced and overwritten with `L`.
+/// Returns [`LinalgError::NotPositiveDefinite`] with the 1-based index of the
+/// failing leading minor, matching LAPACK's `info` convention.
+pub fn dpotrf(n: usize, a: &mut [f64], lda: usize) -> Result<(), LinalgError> {
+    assert!(lda >= n.max(1), "lda too small");
+    if n == 0 {
+        return Ok(());
+    }
+    assert!(a.len() >= lda * (n - 1) + n, "buffer too small");
+    let mut k = 0;
+    while k < n {
+        let pb = PB.min(n - k);
+        // Factor the diagonal panel.
+        dpotf2(pb, &mut a[k + k * lda..], lda, k)?;
+        let rem = n - k - pb;
+        if rem > 0 {
+            // Panel below: A[k+pb.., k..k+pb] := A[k+pb.., k..k+pb] · L_kkᵀ^{-1}.
+            // Copy the diagonal block (it lives in the same column range) to
+            // keep borrows disjoint.
+            let mut diag = vec![0.0f64; pb * pb];
+            for j in 0..pb {
+                for i in 0..pb {
+                    diag[i + j * pb] = a[(k + i) + (k + j) * lda];
+                }
+            }
+            dtrsm(
+                Side::Right,
+                Trans::Yes,
+                rem,
+                pb,
+                1.0,
+                &diag,
+                pb,
+                &mut a[(k + pb) + k * lda..],
+                lda,
+            );
+            // Trailing update: A[k+pb.., k+pb..] -= P·Pᵀ (lower triangle only).
+            let mut panel = vec![0.0f64; rem * pb];
+            for j in 0..pb {
+                panel[j * rem..j * rem + rem]
+                    .copy_from_slice(&a[(k + pb) + (k + j) * lda..(k + pb) + (k + j) * lda + rem]);
+            }
+            dsyrk(
+                Trans::No,
+                rem,
+                pb,
+                -1.0,
+                &panel,
+                rem,
+                1.0,
+                &mut a[(k + pb) + (k + pb) * lda..],
+                lda,
+            );
+        }
+        k += pb;
+    }
+    Ok(())
+}
+
+/// Sum of `2·ln(L_ii)` over the diagonal of a Cholesky factor: `ln|A|`.
+pub fn logdet_from_cholesky(n: usize, l: &[f64], ldl: usize) -> f64 {
+    let mut s = 0.0;
+    for i in 0..n {
+        s += l[i + i * ldl].ln();
+    }
+    2.0 * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::dgemm;
+    use crate::mat::Mat;
+    use crate::norms::max_abs_diff;
+    use exa_util::Rng;
+
+    fn check_reconstruction(n: usize, seed: u64) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Mat::random_spd(n, &mut rng);
+        let mut l = a.clone();
+        dpotrf(n, l.as_mut_slice(), n).unwrap();
+        l.zero_strict_upper();
+        let mut rec = Mat::zeros(n, n);
+        dgemm(
+            Trans::No,
+            Trans::Yes,
+            n,
+            n,
+            n,
+            1.0,
+            l.as_slice(),
+            n,
+            l.as_slice(),
+            n,
+            0.0,
+            rec.as_mut_slice(),
+            n,
+        );
+        // Compare lower triangles (upper of `a` equals lower by symmetry).
+        let mut err = 0.0f64;
+        let mut scale = 0.0f64;
+        for j in 0..n {
+            for i in j..n {
+                err = err.max((rec[(i, j)] - a[(i, j)]).abs());
+                scale = scale.max(a[(i, j)].abs());
+            }
+        }
+        assert!(err / scale < 1e-12, "n={n}: rel err {}", err / scale);
+    }
+
+    #[test]
+    fn reconstructs_small_and_blocked_sizes() {
+        check_reconstruction(1, 1);
+        check_reconstruction(5, 2);
+        check_reconstruction(64, 3);
+        check_reconstruction(65, 4);
+        check_reconstruction(200, 5);
+    }
+
+    #[test]
+    fn known_3x3_factor() {
+        // A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let mut a = Mat::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        );
+        dpotrf(3, a.as_mut_slice(), 3).unwrap();
+        assert!((a[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((a[(1, 0)] - 6.0).abs() < 1e-14);
+        assert!((a[(2, 0)] + 8.0).abs() < 1e-14);
+        assert!((a[(1, 1)] - 1.0).abs() < 1e-14);
+        assert!((a[(2, 1)] - 5.0).abs() < 1e-14);
+        assert!((a[(2, 2)] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rejects_indefinite_with_minor_index() {
+        let mut a = Mat::eye(3);
+        a[(1, 1)] = -1.0;
+        let err = dpotrf(3, a.as_mut_slice(), 3).unwrap_err();
+        assert_eq!(err, LinalgError::NotPositiveDefinite { index: 2 });
+    }
+
+    #[test]
+    fn blocked_failure_reports_global_index() {
+        let n = 100;
+        let mut rng = Rng::seed_from_u64(8);
+        let mut a = Mat::random_spd(n, &mut rng);
+        // Poison a late diagonal entry so failure happens past the first panel.
+        a[(80, 80)] = -1e6;
+        let err = dpotrf(n, a.as_mut_slice(), n).unwrap_err();
+        match err {
+            LinalgError::NotPositiveDefinite { index } => assert_eq!(index, 81),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logdet_matches_diagonal_matrix() {
+        let n = 4;
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = (i + 1) as f64;
+        }
+        let mut l = a.clone();
+        dpotrf(n, l.as_mut_slice(), n).unwrap();
+        let ld = logdet_from_cholesky(n, l.as_slice(), n);
+        let expected: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+        assert!((ld - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let n = 150;
+        let mut rng = Rng::seed_from_u64(77);
+        let a = Mat::random_spd(n, &mut rng);
+        let mut blocked = a.clone();
+        dpotrf(n, blocked.as_mut_slice(), n).unwrap();
+        let mut unblocked = a.clone();
+        dpotf2(n, unblocked.as_mut_slice(), n, 0).unwrap();
+        blocked.zero_strict_upper();
+        unblocked.zero_strict_upper();
+        assert!(max_abs_diff(blocked.as_slice(), unblocked.as_slice()) < 1e-9);
+    }
+}

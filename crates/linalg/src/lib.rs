@@ -1,0 +1,69 @@
+//! Dense linear-algebra kernels for the `exageostat` workspace.
+//!
+//! This crate is the workspace's substitute for an optimized BLAS/LAPACK
+//! (the paper links against Intel MKL). All kernels operate on **column-major**
+//! `f64` storage with explicit leading dimensions, mirroring the
+//! BLAS/LAPACK calling conventions so the tile algorithms in `exa-tile` and
+//! `exa-tlr` read like their Chameleon/HiCMA counterparts:
+//!
+//! * Level-1/2 BLAS: [`blas1`] (`dot`, `axpy`, `nrm2`, …), [`gemv`], [`ger`].
+//! * Level-3 BLAS: [`dgemm`] (packed, register-blocked micro-kernel),
+//!   [`dsyrk`], [`dtrsm`] (all four `Lower` variants).
+//! * LAPACK-style factorizations: blocked Cholesky [`dpotrf`], Householder QR
+//!   ([`dgeqrf`]/[`dorgqr`]), one-sided Jacobi SVD [`jacobi_svd`], and the
+//!   adaptive randomized SVD [`rsvd`] used by TLR compression.
+//!
+//! Dimensions are validated with `assert!` at public entry points; inner loops
+//! rely on the validated bounds.
+
+pub mod blas1;
+pub mod blas3;
+pub mod chol;
+pub mod gemm;
+pub mod mat;
+pub mod norms;
+pub mod qr;
+pub mod rsvd;
+pub mod svd;
+
+pub use blas1::{axpy, dot, iamax, nrm2, scal};
+pub use blas3::{dsyrk, dtrsm, Side};
+pub use chol::{dpotf2, dpotrf};
+pub use gemm::{dgemm, gemv, ger, Trans};
+pub use mat::Mat;
+pub use norms::{frobenius_norm, inf_norm, max_abs, one_norm};
+pub use qr::{dgeqrf, dorgqr};
+pub use rsvd::{rsvd, rsvd_cut, RsvdOptions};
+pub use svd::{jacobi_svd, truncation_rank, truncation_rank_cut, Cutoff, SvdResult};
+
+/// Errors produced by the factorization routines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not (numerically) symmetric positive definite; the
+    /// leading minor of the given order failed during Cholesky.
+    NotPositiveDefinite { index: usize },
+    /// An iterative routine exhausted its sweep/iteration budget.
+    NoConvergence { iterations: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix not positive definite (leading minor {index})")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Uplo selector for symmetric/triangular kernels. Only `Lower` is used by the
+/// Cholesky-based pipeline; `Upper` variants are intentionally not provided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Uplo {
+    Lower,
+}

@@ -1,0 +1,264 @@
+//! A small owned column-major matrix type.
+//!
+//! `Mat` exists for ergonomic test code, the optimizer, and the prediction
+//! pipeline; the hot kernels all take raw `&[f64]`/`&mut [f64]` with explicit
+//! leading dimensions so they can operate on tiles and sub-panels without
+//! copying.
+
+use exa_util::Rng;
+
+/// Owned dense column-major matrix (leading dimension == number of rows).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of shape `nrows × ncols`.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Mat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from an element function `f(i, j)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        Mat { nrows, ncols, data }
+    }
+
+    /// Wraps an existing column-major buffer (`data.len() == nrows*ncols`).
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "buffer length mismatch");
+        Mat { nrows, ncols, data }
+    }
+
+    /// Matrix with i.i.d. standard normal entries.
+    pub fn gaussian(nrows: usize, ncols: usize, rng: &mut Rng) -> Self {
+        let mut data = vec![0.0; nrows * ncols];
+        rng.fill_gaussian(&mut data);
+        Mat { nrows, ncols, data }
+    }
+
+    /// A random symmetric positive definite matrix `A Aᵀ + n·I` (well
+    /// conditioned; used by tests).
+    pub fn random_spd(n: usize, rng: &mut Rng) -> Self {
+        let a = Mat::gaussian(n, n, rng);
+        let mut c = Mat::zeros(n, n);
+        crate::gemm::dgemm(
+            crate::gemm::Trans::No,
+            crate::gemm::Trans::Yes,
+            n,
+            n,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            a.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        );
+        for i in 0..n {
+            c[(i, i)] += n as f64;
+        }
+        c
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension (== `nrows` for owned matrices).
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Mutable column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Mat {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// `self · other` using the packed GEMM kernel.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.ncols, other.nrows, "matmul shape mismatch");
+        let mut c = Mat::zeros(self.nrows, other.ncols);
+        crate::gemm::dgemm(
+            crate::gemm::Trans::No,
+            crate::gemm::Trans::No,
+            self.nrows,
+            other.ncols,
+            self.ncols,
+            1.0,
+            self.as_slice(),
+            self.nrows,
+            other.as_slice(),
+            other.nrows,
+            0.0,
+            c.as_mut_slice(),
+            self.nrows,
+        );
+        c
+    }
+
+    /// `self · x` for a vector `x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.ncols, x.len(), "matvec shape mismatch");
+        let mut y = vec![0.0; self.nrows];
+        crate::gemm::gemv(
+            crate::gemm::Trans::No,
+            self.nrows,
+            self.ncols,
+            1.0,
+            self.as_slice(),
+            self.nrows,
+            x,
+            0.0,
+            &mut y,
+        );
+        y
+    }
+
+    /// Mirrors the (stored) lower triangle into the upper triangle in place.
+    pub fn symmetrize_from_lower(&mut self) {
+        assert_eq!(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for i in (j + 1)..self.nrows {
+                let v = self[(i, j)];
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    /// Zeroes the strictly upper triangle (leaving a lower-triangular matrix).
+    pub fn zero_strict_upper(&mut self) {
+        assert_eq!(self.nrows, self.ncols);
+        for j in 1..self.ncols {
+            for i in 0..j {
+                self[(i, j)] = 0.0;
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_indexing() {
+        let m = Mat::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.col(1), &[1.0, 11.0, 21.0]);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+    }
+
+    #[test]
+    fn eye_matvec_is_identity() {
+        let m = Mat::eye(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::seed_from_u64(1);
+        let m = Mat::gaussian(5, 3, &mut rng);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]); // [[1,2],[3,4]]
+        let b = Mat::from_vec(2, 2, vec![5.0, 7.0, 6.0, 8.0]); // [[5,6],[7,8]]
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn symmetrize_and_zero_upper() {
+        let mut m = Mat::from_fn(3, 3, |i, j| if i >= j { (i + 1) as f64 } else { 99.0 });
+        m.symmetrize_from_lower();
+        assert_eq!(m[(0, 2)], 3.0);
+        m.zero_strict_upper();
+        assert_eq!(m[(0, 2)], 0.0);
+        assert_eq!(m[(2, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn from_vec_checks_len() {
+        Mat::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Matrix and vector norms, plus small comparison helpers used in tests.
+
+/// Frobenius norm of a dense column-major `m × n` matrix with leading
+/// dimension `ld`.
+pub fn frobenius_norm(m: usize, n: usize, a: &[f64], ld: usize) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for j in 0..n {
+        for &x in &a[j * ld..j * ld + m] {
+            if x != 0.0 {
+                let ax = x.abs();
+                if scale < ax {
+                    ssq = 1.0 + ssq * (scale / ax) * (scale / ax);
+                    scale = ax;
+                } else {
+                    ssq += (ax / scale) * (ax / scale);
+                }
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Largest absolute entry of an `m × n` matrix with leading dimension `ld`.
+pub fn max_abs(m: usize, n: usize, a: &[f64], ld: usize) -> f64 {
+    let mut v = 0.0f64;
+    for j in 0..n {
+        for &x in &a[j * ld..j * ld + m] {
+            v = v.max(x.abs());
+        }
+    }
+    v
+}
+
+/// One-norm (max column sum) of an `m × n` matrix.
+pub fn one_norm(m: usize, n: usize, a: &[f64], ld: usize) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..n {
+        let s: f64 = a[j * ld..j * ld + m].iter().map(|x| x.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Infinity-norm (max row sum) of an `m × n` matrix.
+pub fn inf_norm(m: usize, n: usize, a: &[f64], ld: usize) -> f64 {
+    let mut rows = vec![0.0f64; m];
+    for j in 0..n {
+        for (i, &x) in a[j * ld..j * ld + m].iter().enumerate() {
+            rows[i] += x.abs();
+        }
+    }
+    rows.into_iter().fold(0.0, f64::max)
+}
+
+/// Largest absolute elementwise difference between two equal-length buffers.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative Frobenius distance `‖A − B‖_F / ‖B‖_F` of contiguous buffers
+/// (returns the absolute distance when `‖B‖_F == 0`).
+pub fn rel_fro_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let diff: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let base: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if base == 0.0 {
+        diff
+    } else {
+        diff / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frobenius_of_known_matrix() {
+        // [[3],[4]] has Frobenius norm 5.
+        assert!((frobenius_norm(2, 1, &[3.0, 4.0], 2) - 5.0).abs() < 1e-15);
+        assert_eq!(frobenius_norm(0, 0, &[], 1), 0.0);
+    }
+
+    #[test]
+    fn frobenius_handles_extreme_scale() {
+        let v = [1e200, 1e200];
+        let n = frobenius_norm(2, 1, &v, 2);
+        assert!((n - 1e200 * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        // Column-major [[1, -2], [3, 4]]: cols sums {4, 6}, row sums {3, 7}.
+        let a = [1.0, 3.0, -2.0, 4.0];
+        assert_eq!(one_norm(2, 2, &a, 2), 6.0);
+        assert_eq!(inf_norm(2, 2, &a, 2), 7.0);
+        assert_eq!(max_abs(2, 2, &a, 2), 4.0);
+    }
+
+    #[test]
+    fn respects_leading_dimension() {
+        // 2x2 block of a 3-row buffer; third row is garbage.
+        let a = [1.0, 1.0, 999.0, 1.0, 1.0, 999.0];
+        assert!((frobenius_norm(2, 2, &a, 3) - 2.0).abs() < 1e-15);
+        assert_eq!(max_abs(2, 2, &a, 3), 1.0);
+    }
+
+    #[test]
+    fn rel_fro_diff_basics() {
+        assert_eq!(rel_fro_diff(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let d = rel_fro_diff(&[1.1, 2.0], &[1.0, 2.0]);
+        assert!(d > 0.0 && d < 0.1);
+        assert!((rel_fro_diff(&[3.0, 4.0], &[0.0, 0.0]) - 5.0).abs() < 1e-15);
+    }
+}

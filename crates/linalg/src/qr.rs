@@ -1,0 +1,226 @@
+//! Householder QR factorization (`dgeqrf`) and explicit-Q formation
+//! (`dorgqr`), LAPACK-style.
+//!
+//! Used by the TLR recompression step: rounding the sum of two low-rank terms
+//! requires QR factors of the stacked `U`/`V` blocks (tall-skinny matrices, so
+//! the unblocked algorithm is the right tool).
+
+use crate::gemm::{gemv, ger, Trans};
+
+/// Householder QR: factors the `m × n` matrix `A` (column-major, leading
+/// dimension `lda`) as `A = Q·R`.
+///
+/// On return the upper triangle of `A` holds `R`; the columns below the
+/// diagonal hold the Householder vectors `v_j` (with implicit unit leading
+/// entry) and `tau[j]` their scalar factors, exactly like LAPACK `dgeqrf`.
+pub fn dgeqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
+    assert!(lda >= m.max(1), "lda too small");
+    let k = m.min(n);
+    assert!(tau.len() >= k, "tau too small");
+    if n > 0 {
+        assert!(a.len() >= lda * (n - 1) + m, "buffer too small");
+    }
+    let mut work = vec![0.0f64; n];
+    for j in 0..k {
+        // Generate the reflector annihilating A[j+1.., j].
+        let tau_j = larfg(m - j, a, lda, j);
+        tau[j] = tau_j;
+        if tau_j != 0.0 && j + 1 < n {
+            // Apply H = I - tau v vᵀ to A[j.., j+1..].
+            apply_reflector_left(m - j, n - j - 1, a, lda, j, tau_j, &mut work);
+        }
+    }
+}
+
+/// Generates a Householder reflector for the vector `A[j.., j]`.
+///
+/// Overwrites `A[j, j]` with `beta` (the resulting R diagonal) and
+/// `A[j+1.., j]` with the normalized reflector tail; returns `tau`.
+fn larfg(len: usize, a: &mut [f64], lda: usize, j: usize) -> f64 {
+    let col = j * lda + j;
+    if len <= 1 {
+        return 0.0;
+    }
+    let alpha = a[col];
+    let xnorm = crate::blas1::nrm2(&a[col + 1..col + len]);
+    if xnorm == 0.0 {
+        return 0.0;
+    }
+    let beta = -alpha.signum() * (alpha * alpha + xnorm * xnorm).sqrt();
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for v in a[col + 1..col + len].iter_mut() {
+        *v *= scale;
+    }
+    a[col] = beta;
+    tau
+}
+
+/// Applies `H = I − tau·v·vᵀ` (reflector stored in column `j`, rows `j..`) to
+/// the trailing block `A[j.., j+1..j+1+ncols]`.
+fn apply_reflector_left(
+    rows: usize,
+    ncols: usize,
+    a: &mut [f64],
+    lda: usize,
+    j: usize,
+    tau: f64,
+    work: &mut [f64],
+) {
+    // v = [1, A[j+1.., j]]; w = C ᵀ v; C -= tau v wᵀ, where C = A[j.., j+1..].
+    let vcol = j * lda + j;
+    // Temporarily set the implicit 1.
+    let saved = a[vcol];
+    a[vcol] = 1.0;
+    {
+        // Split borrows: v is in column j, C starts at column j+1.
+        let (vpart, cpart) = a.split_at_mut((j + 1) * lda);
+        let v = &vpart[vcol..vcol + rows];
+        let c = &mut cpart[j..];
+        let w = &mut work[..ncols];
+        gemv(Trans::Yes, rows, ncols, 1.0, c, lda, v, 0.0, w);
+        ger(rows, ncols, -tau, v, w, c, lda);
+    }
+    a[vcol] = saved;
+}
+
+/// Forms the leading `m × n` block of `Q` from the reflectors produced by
+/// [`dgeqrf`] (`k` reflectors, `n ≥ k`), like LAPACK `dorg2r`.
+pub fn dorgqr(m: usize, n: usize, k: usize, a: &mut [f64], lda: usize, tau: &[f64]) {
+    assert!(n <= m, "Q block must be tall (n <= m)");
+    assert!(k <= n, "more reflectors than columns");
+    assert!(lda >= m.max(1));
+    let mut work = vec![0.0f64; n];
+    // Columns k..n start as unit vectors.
+    for j in k..n {
+        for i in 0..m {
+            a[i + j * lda] = 0.0;
+        }
+        a[j + j * lda] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let tau_j = tau[j];
+        // Apply H_j to columns j+1..n of the partially formed Q.
+        if j + 1 < n && tau_j != 0.0 {
+            apply_reflector_left(m - j, n - j - 1, a, lda, j, tau_j, &mut work);
+        }
+        // Form column j of Q: -tau * v with 1 - tau at the diagonal.
+        if tau_j != 0.0 {
+            for i in j + 1..m {
+                a[i + j * lda] *= -tau_j;
+            }
+            a[j + j * lda] = 1.0 - tau_j;
+        } else {
+            for i in j + 1..m {
+                a[i + j * lda] = 0.0;
+            }
+            a[j + j * lda] = 1.0;
+        }
+        // Zero above the diagonal.
+        for i in 0..j {
+            a[i + j * lda] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::dgemm;
+    use crate::mat::Mat;
+    use crate::norms::{max_abs_diff, rel_fro_diff};
+    use exa_util::Rng;
+
+    fn qr_roundtrip(m: usize, n: usize, seed: u64) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a0 = Mat::gaussian(m, n, &mut rng);
+        let mut a = a0.clone();
+        let k = m.min(n);
+        let mut tau = vec![0.0; k];
+        dgeqrf(m, n, a.as_mut_slice(), m, &mut tau);
+        // Extract R (k × n upper trapezoid).
+        let mut r = Mat::zeros(k, n);
+        for j in 0..n {
+            for i in 0..=j.min(k - 1) {
+                r[(i, j)] = a[(i, j)];
+            }
+        }
+        // Form Q (m × k) and check A ≈ Q R.
+        let mut q = a.clone();
+        dorgqr(m, k, k, q.as_mut_slice(), m, &tau);
+        let mut rec = Mat::zeros(m, n);
+        dgemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            q.as_slice(),
+            m,
+            r.as_slice(),
+            k,
+            0.0,
+            rec.as_mut_slice(),
+            m,
+        );
+        assert!(
+            rel_fro_diff(rec.as_slice(), a0.as_slice()) < 1e-13,
+            "m={m} n={n}"
+        );
+        // Q must be orthonormal: QᵀQ = I.
+        let mut qtq = Mat::zeros(k, k);
+        dgemm(
+            Trans::Yes,
+            Trans::No,
+            k,
+            k,
+            m,
+            1.0,
+            q.as_slice(),
+            m,
+            q.as_slice(),
+            m,
+            0.0,
+            qtq.as_mut_slice(),
+            k,
+        );
+        assert!(max_abs_diff(qtq.as_slice(), Mat::eye(k).as_slice()) < 1e-13);
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        qr_roundtrip(8, 8, 1);
+        qr_roundtrip(20, 5, 2); // tall-skinny (the TLR recompression shape)
+        qr_roundtrip(64, 17, 3);
+        qr_roundtrip(5, 8, 4); // wide
+        qr_roundtrip(1, 1, 5);
+    }
+
+    #[test]
+    fn r_diagonal_nonnegative_magnitude_matches_column_norms_for_orthogonal_input() {
+        // QR of an orthogonal-ish scaled identity: R diagonal = ±scale.
+        let m = 6;
+        let mut a = Mat::eye(m);
+        for i in 0..m {
+            a[(i, i)] = 3.0;
+        }
+        let mut tau = vec![0.0; m];
+        dgeqrf(m, m, a.as_mut_slice(), m, &mut tau);
+        for i in 0..m {
+            assert!((a[(i, i)].abs() - 3.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn zero_column_yields_zero_tau() {
+        let m = 5;
+        let mut a = Mat::zeros(m, 2);
+        for i in 0..m {
+            a[(i, 1)] = (i + 1) as f64;
+        }
+        let mut tau = vec![9.0; 2];
+        dgeqrf(m, 2, a.as_mut_slice(), m, &mut tau);
+        assert_eq!(tau[0], 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fork-join data parallelism helpers.
+//!
+//! The paper's "Full-block" baseline is a LAPACK-style *block* algorithm:
+//! each step is a bulk-synchronous parallel region (multi-threaded BLAS)
+//! separated by barriers, in contrast to the tile algorithms' asynchronous
+//! DAG execution. [`parallel_for`] provides exactly that fork-join shape, and
+//! is also used for embarrassingly parallel work like covariance matrix
+//! generation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `body(start, end)` over disjoint chunks of `0..n` on `num_workers`
+/// threads (the calling thread participates). Chunks are distributed
+/// dynamically via an atomic cursor, so irregular per-chunk cost balances
+/// out.
+pub fn parallel_for(
+    num_workers: usize,
+    n: usize,
+    chunk: usize,
+    body: impl Fn(usize, usize) + Sync,
+) {
+    let chunk = chunk.max(1);
+    let nw = num_workers.max(1).min(n.div_ceil(chunk).max(1));
+    if nw == 1 || n == 0 {
+        let mut s = 0;
+        while s < n {
+            let e = (s + chunk).min(n);
+            body(s, e);
+            s = e;
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let worker = |_: usize| loop {
+        let s = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if s >= n {
+            break;
+        }
+        let e = (s + chunk).min(n);
+        body(s, e);
+    };
+    std::thread::scope(|scope| {
+        for w in 1..nw {
+            let worker = &worker;
+            scope.spawn(move || worker(w));
+        }
+        worker(0);
+    });
+}
+
+/// Parallel map over `0..n`, collecting results in index order.
+pub fn parallel_map<T: Send>(
+    num_workers: usize,
+    n: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let cell = SyncSlice(std::cell::UnsafeCell::new(out.as_mut_slice()));
+    // Capture the wrapper by reference (not its UnsafeCell field) so the
+    // closure is `Sync` via the manual impl below.
+    let cell_ref = &cell;
+    parallel_for(num_workers, n, 64, |s, e| {
+        // SAFETY: ranges [s, e) from parallel_for are disjoint, so each slot
+        // is written by exactly one thread.
+        let slice: &mut [Option<T>] = unsafe { &mut *cell_ref.0.get() };
+        for (i, slot) in slice[s..e].iter_mut().enumerate() {
+            *slot = Some(f(s + i));
+        }
+    });
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+/// Wrapper making a raw mutable slice shareable across the scoped threads;
+/// disjointness of writes is guaranteed by `parallel_for`'s chunking.
+struct SyncSlice<'a, T>(std::cell::UnsafeCell<&'a mut [Option<T>]>);
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_all_indices_exactly_once() {
+        let n = 10_007;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(8, n, 13, |s, e| {
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_worker_sequential_path() {
+        let n = 100;
+        let acc = AtomicUsize::new(0);
+        parallel_for(1, n, 7, |s, e| {
+            acc.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn zero_items_is_noop() {
+        parallel_for(4, 0, 16, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = parallel_map(4, 1000, |i| i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let v: Vec<usize> = parallel_map(4, 0, |i| i);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Raw tile views for capturing tiles inside `'static` task closures.
+//!
+//! The task graph requires `FnOnce() + Send + 'static` closures, but tasks
+//! operate on tiles owned by a `TileMatrix` living on the caller's stack. The
+//! algorithms in this crate therefore capture [`TileView`]s — raw
+//! pointer/length pairs — and the STF dependency system guarantees exclusive
+//! or shared access according to the declared [`exa_runtime::Access`] modes.
+//!
+//! Safety contract (upheld by every algorithm in this crate):
+//! 1. each `TileView` maps 1:1 to one runtime handle, so the inferred DAG
+//!    serializes writers against readers and other writers of the same tile;
+//! 2. the owning `TileMatrix` outlives `Runtime::run` (the algorithms run the
+//!    graph synchronously before returning);
+//! 3. tiles are separate `Vec` allocations, so distinct views never alias.
+
+/// A raw, `Send`able view of one tile's buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct TileView {
+    ptr: *mut f64,
+    len: usize,
+    /// Tile row count (leading dimension of the column-major buffer).
+    pub rows: usize,
+    /// Tile column count.
+    pub cols: usize,
+}
+
+unsafe impl Send for TileView {}
+unsafe impl Sync for TileView {}
+
+impl TileView {
+    pub(crate) fn new(ptr: *mut f64, len: usize, rows: usize, cols: usize) -> Self {
+        debug_assert!(len >= rows * cols);
+        TileView {
+            ptr,
+            len,
+            rows,
+            cols,
+        }
+    }
+
+    /// Immutable slice of the tile buffer.
+    ///
+    /// # Safety
+    /// Caller must hold a runtime-granted `Read` (or stronger) access for the
+    /// duration of the borrow, and the owning `TileMatrix` must be alive.
+    #[inline]
+    pub unsafe fn as_slice<'a>(self) -> &'a [f64] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable slice of the tile buffer.
+    ///
+    /// # Safety
+    /// Caller must hold a runtime-granted `Write`/`ReadWrite` access for the
+    /// duration of the borrow, and the owning `TileMatrix` must be alive.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut_slice<'a>(self) -> &'a mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+use crate::layout::TileMatrix;
+
+impl TileMatrix {
+    /// A [`TileView`] of tile `(i, j)`.
+    pub fn view(&mut self, i: usize, j: usize) -> TileView {
+        let rows = self.tile_rows(i);
+        let cols = self.tile_cols(j);
+        let (ptr, len) = self.tile_raw(i, j);
+        TileView::new(ptr, len, rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_reads_and_writes_tile_data() {
+        let mut a = TileMatrix::zeros(6, 6, 3);
+        let v = a.view(1, 0);
+        unsafe {
+            v.as_mut_slice()[0] = 42.0;
+        }
+        assert_eq!(a.tile(1, 0).at(0, 0), 42.0);
+        assert_eq!(v.rows, 3);
+        assert_eq!(v.cols, 3);
+    }
+
+    #[test]
+    fn views_of_distinct_tiles_do_not_alias() {
+        let mut a = TileMatrix::zeros(4, 4, 2);
+        let v00 = a.view(0, 0);
+        let v11 = a.view(1, 1);
+        unsafe {
+            v00.as_mut_slice().fill(1.0);
+            v11.as_mut_slice().fill(2.0);
+        }
+        assert_eq!(a.tile(0, 0).at(1, 1), 1.0);
+        assert_eq!(a.tile(1, 1).at(1, 1), 2.0);
+        assert_eq!(a.tile(0, 1).at(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! The low-rank tile: `A ≈ U · Vᵀ`.
+//!
+//! Off-diagonal tiles of the TLR covariance matrix are stored as a pair of
+//! skinny factors (`U`: `rows × k`, `V`: `cols × k`), where the rank `k` is
+//! chosen per tile by the compression threshold (paper Figure 1). The rank
+//! changes during factorization — TRSM keeps it, GEMM updates grow it and the
+//! recompression rounds it back down — so `LrTile` owns growable buffers.
+
+use exa_linalg::{dgemm, SvdResult, Trans};
+
+/// One low-rank tile `U · Vᵀ`.
+#[derive(Clone, Debug, Default)]
+pub struct LrTile {
+    /// Left factor, `rows × rank`, column-major.
+    pub u: Vec<f64>,
+    /// Right factor, `cols × rank`, column-major (not transposed).
+    pub v: Vec<f64>,
+    pub rows: usize,
+    pub cols: usize,
+    rank: usize,
+}
+
+impl LrTile {
+    /// Rank-0 (exactly zero) tile.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        LrTile {
+            u: Vec::new(),
+            v: Vec::new(),
+            rows,
+            cols,
+            rank: 0,
+        }
+    }
+
+    /// Builds from explicit factors (`u.len() == rows·k`, `v.len() == cols·k`).
+    pub fn from_factors(rows: usize, cols: usize, rank: usize, u: Vec<f64>, v: Vec<f64>) -> Self {
+        assert_eq!(u.len(), rows * rank, "U factor size mismatch");
+        assert_eq!(v.len(), cols * rank, "V factor size mismatch");
+        LrTile {
+            u,
+            v,
+            rows,
+            cols,
+            rank,
+        }
+    }
+
+    /// Builds from a truncated SVD, absorbing the singular values into `U`.
+    pub fn from_svd(svd: &SvdResult) -> Self {
+        let k = svd.rank();
+        let (m, n) = (svd.m, svd.n);
+        let mut u = svd.u.clone();
+        for (c, &s) in svd.s.iter().enumerate() {
+            for x in u[c * m..(c + 1) * m].iter_mut() {
+                *x *= s;
+            }
+        }
+        LrTile {
+            u,
+            v: svd.v.clone(),
+            rows: m,
+            cols: n,
+            rank: k,
+        }
+    }
+
+    /// Current rank `k`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Replaces the factors (used by TRSM/recompression kernels).
+    pub fn set_factors(&mut self, rank: usize, u: Vec<f64>, v: Vec<f64>) {
+        assert_eq!(u.len(), self.rows * rank, "U factor size mismatch");
+        assert_eq!(v.len(), self.cols * rank, "V factor size mismatch");
+        self.u = u;
+        self.v = v;
+        self.rank = rank;
+    }
+
+    /// Dense reconstruction `U · Vᵀ` (column-major `rows × cols`).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        if self.rank > 0 {
+            dgemm(
+                Trans::No,
+                Trans::Yes,
+                self.rows,
+                self.cols,
+                self.rank,
+                1.0,
+                &self.u,
+                self.rows,
+                &self.v,
+                self.cols,
+                0.0,
+                &mut out,
+                self.rows,
+            );
+        }
+        out
+    }
+
+    /// `y ← alpha · (U Vᵀ) · x + y` — matvec through the factors,
+    /// `O((rows+cols)·k)` instead of `O(rows·cols)`.
+    pub fn matvec_acc(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        if self.rank == 0 {
+            return;
+        }
+        // t = Vᵀ x (k), then y += alpha · U t.
+        let k = self.rank;
+        let mut t = vec![0.0; k];
+        for (c, tc) in t.iter_mut().enumerate() {
+            *tc = exa_linalg::dot(&self.v[c * self.cols..(c + 1) * self.cols], x);
+        }
+        for (c, &tc) in t.iter().enumerate() {
+            exa_linalg::axpy(alpha * tc, &self.u[c * self.rows..(c + 1) * self.rows], y);
+        }
+    }
+
+    /// `C ← alpha · (U Vᵀ) · B + beta·C` on a dense RHS block
+    /// (`B`: `cols × nrhs`, `C`: `rows × nrhs`), via two skinny GEMMs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_acc(
+        &self,
+        alpha: f64,
+        b: &[f64],
+        ldb: usize,
+        nrhs: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+    ) {
+        if self.rank == 0 {
+            if beta != 1.0 {
+                for j in 0..nrhs {
+                    for x in c[j * ldc..j * ldc + self.rows].iter_mut() {
+                        *x *= beta;
+                    }
+                }
+            }
+            return;
+        }
+        // T = Vᵀ B (k × nrhs), C = alpha U T + beta C.
+        let k = self.rank;
+        let mut t = vec![0.0; k * nrhs];
+        dgemm(
+            Trans::Yes,
+            Trans::No,
+            k,
+            nrhs,
+            self.cols,
+            1.0,
+            &self.v,
+            self.cols,
+            b,
+            ldb,
+            0.0,
+            &mut t,
+            k,
+        );
+        dgemm(
+            Trans::No, Trans::No, self.rows, nrhs, k, alpha, &self.u, self.rows, &t, k, beta, c,
+            ldc,
+        );
+    }
+
+    /// Like [`LrTile::gemm_acc`] but applies the transpose `(U Vᵀ)ᵀ = V Uᵀ`
+    /// (`B`: `rows × nrhs`, `C`: `cols × nrhs`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_trans_acc(
+        &self,
+        alpha: f64,
+        b: &[f64],
+        ldb: usize,
+        nrhs: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+    ) {
+        if self.rank == 0 {
+            if beta != 1.0 {
+                for j in 0..nrhs {
+                    for x in c[j * ldc..j * ldc + self.cols].iter_mut() {
+                        *x *= beta;
+                    }
+                }
+            }
+            return;
+        }
+        let k = self.rank;
+        let mut t = vec![0.0; k * nrhs];
+        dgemm(
+            Trans::Yes,
+            Trans::No,
+            k,
+            nrhs,
+            self.rows,
+            1.0,
+            &self.u,
+            self.rows,
+            b,
+            ldb,
+            0.0,
+            &mut t,
+            k,
+        );
+        dgemm(
+            Trans::No, Trans::No, self.cols, nrhs, k, alpha, &self.v, self.cols, &t, k, beta, c,
+            ldc,
+        );
+    }
+
+    /// Bytes held by the two factors (the TLR memory-footprint metric).
+    pub fn bytes(&self) -> usize {
+        (self.u.len() + self.v.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_linalg::{jacobi_svd, Mat};
+    use exa_util::Rng;
+
+    fn rank2_tile(m: usize, n: usize, seed: u64) -> (LrTile, Mat) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let u = Mat::gaussian(m, 2, &mut rng);
+        let v = Mat::gaussian(n, 2, &mut rng);
+        let dense = u.matmul(&v.transposed());
+        (
+            LrTile::from_factors(m, n, 2, u.as_slice().to_vec(), v.as_slice().to_vec()),
+            dense,
+        )
+    }
+
+    #[test]
+    fn to_dense_reconstructs_product() {
+        let (t, dense) = rank2_tile(7, 5, 1);
+        let d = t.to_dense();
+        for (a, b) in d.iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_svd_absorbs_singular_values() {
+        let mut rng = Rng::seed_from_u64(2);
+        let a = Mat::gaussian(8, 6, &mut rng);
+        let svd = jacobi_svd(8, 6, a.as_slice(), 8).unwrap();
+        let t = LrTile::from_svd(&svd);
+        assert_eq!(t.rank(), 6);
+        for (x, y) in t.to_dense().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let (t, dense) = rank2_tile(9, 4, 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut x = vec![0.0; 4];
+        rng.fill_gaussian(&mut x);
+        let mut y = vec![1.0; 9];
+        t.matvec_acc(2.0, &x, &mut y);
+        let want: Vec<f64> = dense
+            .matvec(&x)
+            .iter()
+            .map(|v| 1.0 + 2.0 * v)
+            .collect();
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_acc_and_trans_match_dense() {
+        let (t, dense) = rank2_tile(6, 8, 5);
+        let mut rng = Rng::seed_from_u64(6);
+        let b = Mat::gaussian(8, 3, &mut rng);
+        let mut c = vec![0.0; 6 * 3];
+        t.gemm_acc(1.0, b.as_slice(), 8, 3, 0.0, &mut c, 6);
+        let want = dense.matmul(&b);
+        for (a, w) in c.iter().zip(want.as_slice()) {
+            assert!((a - w).abs() < 1e-12);
+        }
+
+        let bt = Mat::gaussian(6, 2, &mut rng);
+        let mut ct = vec![0.0; 8 * 2];
+        t.gemm_trans_acc(1.0, bt.as_slice(), 6, 2, 0.0, &mut ct, 8);
+        let want_t = dense.transposed().matmul(&bt);
+        for (a, w) in ct.iter().zip(want_t.as_slice()) {
+            assert!((a - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_tile_behaves_like_zero_matrix() {
+        let t = LrTile::zero(5, 3);
+        assert_eq!(t.rank(), 0);
+        assert_eq!(t.bytes(), 0);
+        assert!(t.to_dense().iter().all(|&v| v == 0.0));
+        let mut y = vec![2.0; 5];
+        t.matvec_acc(1.0, &[1.0, 1.0, 1.0], &mut y);
+        assert!(y.iter().all(|&v| v == 2.0));
+        let mut c = vec![3.0; 5 * 2];
+        t.gemm_acc(1.0, &[0.0; 6], 3, 2, 0.5, &mut c, 5);
+        assert!(c.iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "U factor size mismatch")]
+    fn factor_size_validated() {
+        LrTile::from_factors(4, 4, 2, vec![0.0; 7], vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Implements xoshiro256++ (Blackman & Vigna, 2019) seeded through SplitMix64.
+//! The generator is splittable: [`Rng::split`] derives an independent stream,
+//! which lets parallel workers draw reproducible, non-overlapping randomness
+//! regardless of scheduling order — a requirement for the Monte-Carlo
+//! experiments (paper Figs. 6–7) whose replicates must be re-runnable one by
+//! one.
+
+/// SplitMix64 step: used for seeding and for deriving split streams.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ pseudo-random number generator.
+///
+/// Passes BigCrush; period 2^256 − 1. Not cryptographically secure (and does
+/// not need to be for simulation workloads).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Box–Muller variate (see [`Rng::next_gaussian`]).
+    spare_gaussian: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The full 256-bit state is expanded with SplitMix64, so nearby seeds
+    /// still yield decorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            spare_gaussian: None,
+        }
+    }
+
+    /// Derives an independent child stream.
+    ///
+    /// The child is seeded from the parent's next two outputs mixed through
+    /// SplitMix64, then the parent advances; parent and child sequences do not
+    /// overlap in practice (distinct 256-bit states under a bijective mixer).
+    pub fn split(&mut self) -> Rng {
+        let mut mix = self.next_u64() ^ 0xA076_1D64_78BD_642F;
+        let _ = self.next_u64();
+        let s = [
+            splitmix64(&mut mix),
+            splitmix64(&mut mix),
+            splitmix64(&mut mix),
+            splitmix64(&mut mix),
+        ];
+        Rng {
+            s,
+            spare_gaussian: None,
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; multiply by 2^-53.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's multiply-shift rejection.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0) is undefined");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Standard normal variate via the Box–Muller transform.
+    ///
+    /// Generates pairs and caches the second variate; the cache is cleared by
+    /// [`Rng::split`]/construction so streams remain reproducible.
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        // Avoid u1 == 0 (log singularity).
+        let mut u1 = self.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.next_f64();
+        }
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        self.spare_gaussian = Some(r * s);
+        r * c
+    }
+
+    /// Fills `out` with i.i.d. standard normal variates.
+    pub fn fill_gaussian(&mut self, out: &mut [f64]) {
+        for v in out.iter_mut() {
+            *v = self.next_gaussian();
+        }
+    }
+
+    /// Fills `out` with i.i.d. uniforms on `[lo, hi)`.
+    pub fn fill_uniform(&mut self, out: &mut [f64], lo: f64, hi: f64) {
+        for v in out.iter_mut() {
+            *v = self.uniform(lo, hi);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        for i in (1..data.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            data.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir-free: shuffle of a
+    /// prefix). Returned indices are in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: fix positions 0..k.
+        for i in 0..k {
+            let j = i + self.next_below((n - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_reproducible() {
+        let mut parent1 = Rng::seed_from_u64(7);
+        let mut child1 = parent1.split();
+        let mut parent2 = Rng::seed_from_u64(7);
+        let mut child2 = parent2.split();
+        for _ in 0..100 {
+            assert_eq!(child1.next_u64(), child2.next_u64());
+            assert_eq!(parent1.next_u64(), parent2.next_u64());
+        }
+        // Parent and child streams should not coincide.
+        let mut p = Rng::seed_from_u64(7);
+        let mut c = p.split();
+        let same = (0..64).filter(|_| p.next_u64() == c.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = Rng::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut s1, mut s2, mut s4) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let z = rng.next_gaussian();
+            s1 += z;
+            s2 += z * z;
+            s4 += z * z * z * z;
+        }
+        let nf = n as f64;
+        assert!((s1 / nf).abs() < 0.01, "mean={}", s1 / nf);
+        assert!((s2 / nf - 1.0).abs() < 0.02, "var={}", s2 / nf);
+        assert!((s4 / nf - 3.0).abs() < 0.1, "kurt={}", s4 / nf);
+    }
+
+    #[test]
+    fn next_below_is_unbiased_over_small_range() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.next_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 7;
+            assert!(
+                (c as i64 - expected as i64).abs() < (expected as i64) / 10,
+                "counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng::seed_from_u64(9);
+        let idx = rng.sample_indices(100, 38);
+        assert_eq!(idx.len(), 38);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 38);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..1000).collect();
+        rng.shuffle(&mut v);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..1000).collect::<Vec<_>>());
+        assert_ne!(v, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        Rng::seed_from_u64(0).next_below(0);
+    }
+}

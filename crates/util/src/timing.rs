@@ -1,0 +1,67 @@
+//! Wall-clock timing helpers for the benchmark harnesses.
+
+use std::time::Instant;
+
+/// A restartable stopwatch measuring wall-clock seconds.
+#[derive(Clone, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed seconds since start (or last reset).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Resets the stopwatch and returns the elapsed seconds before the reset.
+    pub fn lap(&mut self) -> f64 {
+        let e = self.elapsed_secs();
+        self.start = Instant::now();
+        e
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.elapsed_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let first = sw.lap();
+        assert!(first >= 0.004);
+        assert!(sw.elapsed_secs() < first);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, secs) = timed(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

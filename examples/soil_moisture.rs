@@ -1,0 +1,79 @@
+//! Soil-moisture case study (paper §VII, Table I): estimate Matérn
+//! parameters on a simulated Mississippi-basin region with great-circle
+//! distances, comparing TLR accuracy thresholds against the full-tile
+//! reference on the same data.
+//!
+//! ```text
+//! cargo run --release --example soil_moisture
+//! ```
+
+use exageostat::geostat::{generate_region, soil_regions, MleProblem, ParamBounds};
+use exageostat::prelude::*;
+use exageostat::util::Table;
+
+fn main() {
+    let rt = Runtime::new(exageostat::runtime::default_parallelism());
+    // Region R1 of Table I: θ = (0.852, 5.994 km, 0.559).
+    let spec = &soil_regions()[0];
+    let data = generate_region(spec, 24, 64, 7, &rt).expect("region generation");
+    println!(
+        "region {}: {} simulated soil-moisture residuals on lon {:?}, lat {:?}",
+        spec.name,
+        data.z.len(),
+        spec.lon,
+        spec.lat
+    );
+    println!(
+        "generative θ = ({}, {} km, {}) — the paper's full-tile estimate\n",
+        spec.params.variance, spec.params.range, spec.params.smoothness
+    );
+
+    let bounds = ParamBounds {
+        lo: MaternParams::new(0.01, 0.5, 0.1),
+        hi: MaternParams::new(50.0, 200.0, 3.0),
+    };
+    let start = MaternParams::new(
+        spec.params.variance * 0.5,
+        spec.params.range * 2.0,
+        spec.params.smoothness * 1.3,
+    );
+    let mut table = Table::new(vec!["technique", "θ1", "θ2 (km)", "θ3", "ℓ(θ̂)", "evals"]);
+    for backend in [
+        Backend::tlr(1e-5),
+        Backend::tlr(1e-7),
+        Backend::tlr(1e-9),
+        Backend::FullTile,
+    ] {
+        let problem = MleProblem {
+            locations: data.locations.clone(),
+            z: data.z.clone(),
+            metric: DistanceMetric::GreatCircleKm,
+            backend,
+            config: LikelihoodConfig { nb: 64, seed: 7 },
+            nugget: 1e-8,
+        };
+        let fit = problem.fit(
+            start,
+            &bounds,
+            NelderMeadConfig {
+                max_evals: 100,
+                ftol: 1e-5,
+                ..Default::default()
+            },
+            &rt,
+        );
+        table.row(vec![
+            backend.label(),
+            format!("{:.3}", fit.params.variance),
+            format!("{:.3}", fit.params.range),
+            format!("{:.3}", fit.params.smoothness),
+            format!("{:.1}", fit.loglik),
+            fit.evaluations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(Table I's pattern: TLR estimates converge to the full-tile row as\n\
+         the accuracy threshold tightens; smoothness is easiest to recover.)"
+    );
+}

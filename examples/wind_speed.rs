@@ -1,0 +1,77 @@
+//! Wind-speed case study (paper §VII, Table II, Figure 9): prediction
+//! quality on a simulated Arabian-peninsula region — a smoother, more
+//! variable field than soil moisture — across TLR accuracy thresholds.
+//!
+//! ```text
+//! cargo run --release --example wind_speed
+//! ```
+
+use exageostat::geostat::{generate_region, wind_regions};
+use exageostat::prelude::*;
+use exageostat::util::Table;
+
+fn main() {
+    let rt = Runtime::new(exageostat::runtime::default_parallelism());
+    // Region R1 of Table II: θ = (8.715, 32.083 km, 1.210).
+    let spec = &wind_regions()[0];
+    let data = generate_region(spec, 24, 64, 11, &rt).expect("region generation");
+    println!(
+        "region {}: {} simulated wind-speed residuals, θ = ({}, {} km, {})",
+        spec.name,
+        data.z.len(),
+        spec.params.variance,
+        spec.params.range,
+        spec.params.smoothness
+    );
+    println!("(smoothness > 1: a much smoother field than soil moisture)\n");
+
+    // Hold out 100 sites; predict them with each technique (Figure 9).
+    let mut rng = Rng::seed_from_u64(11);
+    let split = holdout_split(data.locations.len(), 100, &mut rng);
+    let observed: Vec<Location> = split.estimation.iter().map(|&i| data.locations[i]).collect();
+    let z_obs: Vec<f64> = split.estimation.iter().map(|&i| data.z[i]).collect();
+    let targets: Vec<Location> = split.validation.iter().map(|&i| data.locations[i]).collect();
+    let truth: Vec<f64> = split.validation.iter().map(|&i| data.z[i]).collect();
+
+    let mut table = Table::new(vec!["technique", "prediction MSE", "factor time", "solve time"]);
+    for backend in [
+        Backend::tlr(1e-5),
+        Backend::tlr(1e-7),
+        Backend::tlr(1e-9),
+        Backend::FullTile,
+    ] {
+        match predict(
+            &observed,
+            &z_obs,
+            &targets,
+            spec.params,
+            DistanceMetric::GreatCircleKm,
+            1e-8,
+            backend,
+            LikelihoodConfig { nb: 64, seed: 11 },
+            &rt,
+        ) {
+            Ok(p) => {
+                table.row(vec![
+                    backend.label(),
+                    format!("{:.4}", prediction_mse(&truth, &p.values)),
+                    format!("{:.3}s", p.factorization_seconds),
+                    format!("{:.3}s", p.solve_seconds),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![
+                    backend.label(),
+                    format!("failed: {e}"),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "(Figure 9's pattern: TLR prediction MSE tracks full-tile closely at\n\
+         every threshold, even on this strongly-correlated smooth field.)"
+    );
+}
