@@ -19,8 +19,19 @@ fn bench_kernels(c: &mut Criterion) {
             let mut cmat = Mat::zeros(n, n);
             bench.iter(|| {
                 dgemm(
-                    Trans::No, Trans::No, n, n, n, 1.0, a.as_slice(), n,
-                    b.as_slice(), n, 0.0, cmat.as_mut_slice(), n,
+                    Trans::No,
+                    Trans::No,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    n,
+                    b.as_slice(),
+                    n,
+                    0.0,
+                    cmat.as_mut_slice(),
+                    n,
                 );
                 black_box(cmat.as_slice()[0])
             });
@@ -28,7 +39,17 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dsyrk", n), &n, |bench, &n| {
             let mut cmat = Mat::zeros(n, n);
             bench.iter(|| {
-                dsyrk(Trans::No, n, n, -1.0, a.as_slice(), n, 1.0, cmat.as_mut_slice(), n);
+                dsyrk(
+                    Trans::No,
+                    n,
+                    n,
+                    -1.0,
+                    a.as_slice(),
+                    n,
+                    1.0,
+                    cmat.as_mut_slice(),
+                    n,
+                );
                 black_box(cmat.as_slice()[0])
             });
         });
@@ -45,7 +66,17 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dtrsm", n), &n, |bench, &n| {
             bench.iter(|| {
                 let mut x = b.clone();
-                dtrsm(Side::Left, Trans::No, n, n, 1.0, l.as_slice(), n, x.as_mut_slice(), n);
+                dtrsm(
+                    Side::Left,
+                    Trans::No,
+                    n,
+                    n,
+                    1.0,
+                    l.as_slice(),
+                    n,
+                    x.as_mut_slice(),
+                    n,
+                );
                 black_box(x.as_slice()[0])
             });
         });

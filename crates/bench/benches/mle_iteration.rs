@@ -33,7 +33,11 @@ fn bench_mle(c: &mut Criterion) {
         ("tlr_1e-9", Backend::tlr(1e-9)),
     ];
     for (label, backend) in backends {
-        let nb = if matches!(backend, Backend::Tlr { .. }) { 128 } else { 64 };
+        let nb = if matches!(backend, Backend::Tlr { .. }) {
+            128
+        } else {
+            64
+        };
         group.bench_with_input(BenchmarkId::new("backend", label), &backend, |b, &be| {
             b.iter(|| {
                 let cfg = LikelihoodConfig { nb, seed: 5 };

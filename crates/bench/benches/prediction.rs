@@ -21,8 +21,15 @@ fn bench_prediction(c: &mut Criterion) {
     let params = MaternParams::new(1.0, 0.1, 0.5);
     let mut rng = Rng::seed_from_u64(1);
     let locs = Arc::new(synthetic_locations_n(n, &mut rng));
-    let sim = FieldSimulator::new(locs.clone(), params, DistanceMetric::Euclidean, 0.0, 64, &rt)
-        .unwrap();
+    let sim = FieldSimulator::new(
+        locs.clone(),
+        params,
+        DistanceMetric::Euclidean,
+        0.0,
+        64,
+        &rt,
+    )
+    .unwrap();
     let z = sim.draw(&mut rng);
     let split = holdout_split(n, m_unknown, &mut rng);
     let observed: Vec<_> = split.estimation.iter().map(|&i| locs[i]).collect();
@@ -34,7 +41,11 @@ fn bench_prediction(c: &mut Criterion) {
         ("tlr_1e-9", Backend::tlr(1e-9)),
     ];
     for (label, backend) in backends {
-        let nb = if matches!(backend, Backend::Tlr { .. }) { 128 } else { 64 };
+        let nb = if matches!(backend, Backend::Tlr { .. }) {
+            128
+        } else {
+            64
+        };
         group.bench_with_input(BenchmarkId::new("backend", label), &backend, |b, &be| {
             b.iter(|| {
                 let p = predict(

@@ -28,8 +28,14 @@ fn main() {
 
     println!("Figure 1: TLR representation of Σ(θ), n = {n}, nb = {nb}, θ = (1, 0.1, 0.5)\n");
     let mut table = Table::new(vec![
-        "accuracy", "min rank", "max rank", "mean rank", "TLR bytes", "dense bytes",
-        "compression", "assembly",
+        "accuracy",
+        "min rank",
+        "max rank",
+        "mean rank",
+        "TLR bytes",
+        "dense bytes",
+        "compression",
+        "assembly",
     ]);
     for eps in [1e-5, 1e-7, 1e-9, 1e-12] {
         let sw = Stopwatch::start();

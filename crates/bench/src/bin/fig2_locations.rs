@@ -49,5 +49,8 @@ fn main() {
 
     // The figure's generation property: jittered grid keeps points apart.
     let dmin = exa_geostat::locations::min_pairwise_distance(&locs);
-    println!("\nminimum pairwise distance: {dmin:.4} (grid cell = {:.4})", 1.0 / side as f64);
+    println!(
+        "\nminimum pairwise distance: {dmin:.4} (grid cell = {:.4})",
+        1.0 / side as f64
+    );
 }

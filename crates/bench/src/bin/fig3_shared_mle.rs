@@ -56,8 +56,7 @@ fn main() {
         for &n in &sizes {
             let mut rng = Rng::seed_from_u64(args.seed);
             let locs = Arc::new(synthetic_locations_n(n, &mut rng));
-            let kernel =
-                MaternKernel::new(locs, theta, DistanceMetric::Euclidean, 1e-8);
+            let kernel = MaternKernel::new(locs, theta, DistanceMetric::Euclidean, 1e-8);
             // Synthetic measurement vector: a unit-variance draw suffices,
             // since timing does not depend on z's values.
             let mut z = vec![0.0; n];

@@ -14,8 +14,8 @@
 use exa_bench::{fmt_secs, parse_args};
 use exa_covariance::MaternParams;
 use exa_distsim::{
-    analytic_cholesky_seconds, simulate_cholesky, BlockCyclic, DenseCost, MachineConfig,
-    RankModel, SimError, TlrCost,
+    analytic_cholesky_seconds, simulate_cholesky, BlockCyclic, DenseCost, MachineConfig, RankModel,
+    SimError, TlrCost,
 };
 use exa_util::Table;
 

@@ -30,7 +30,10 @@ fn main() {
     let techniques: Vec<(String, Backend)> = [1e-5, 1e-7, 1e-9, 1e-12]
         .iter()
         .map(|&e| (format!("{e:.0e}"), Backend::tlr(e)))
-        .chain(std::iter::once(("Full-tile".to_string(), Backend::FullTile)))
+        .chain(std::iter::once((
+            "Full-tile".to_string(),
+            Backend::FullTile,
+        )))
         .collect();
 
     println!(

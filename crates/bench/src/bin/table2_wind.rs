@@ -29,7 +29,10 @@ fn main() {
     let techniques: Vec<(String, Backend)> = [1e-5, 1e-7, 1e-9]
         .iter()
         .map(|&e| (format!("{e:.0e}"), Backend::tlr(e)))
-        .chain(std::iter::once(("Full-tile".to_string(), Backend::FullTile)))
+        .chain(std::iter::once((
+            "Full-tile".to_string(),
+            Backend::FullTile,
+        )))
         .collect();
 
     println!(
@@ -51,8 +54,7 @@ fn main() {
         hi: MaternParams::new(100.0, 300.0, 3.0),
     };
     for spec in wind_regions() {
-        let data =
-            generate_region(&spec, side, nb, args.seed + 1, &rt).expect("region generation");
+        let data = generate_region(&spec, side, nb, args.seed + 1, &rt).expect("region generation");
         let mut rows: [Vec<String>; 3] = [
             vec![spec.name.to_string(), format!("{}", spec.params.variance)],
             vec![spec.name.to_string(), format!("{}", spec.params.range)],

@@ -31,10 +31,7 @@ pub enum Backend {
     /// Dense tile Cholesky on the task runtime (machine-precision reference).
     FullTile,
     /// Tile Low-Rank factorization at absolute accuracy `eps`.
-    Tlr {
-        eps: f64,
-        method: CompressionMethod,
-    },
+    Tlr { eps: f64, method: CompressionMethod },
 }
 
 impl Backend {
@@ -67,7 +64,10 @@ pub struct LikelihoodConfig {
 
 impl Default for LikelihoodConfig {
     fn default() -> Self {
-        LikelihoodConfig { nb: 64, seed: 0x5eed }
+        LikelihoodConfig {
+            nb: 64,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -203,8 +203,8 @@ fn assemble(
     solve_seconds: f64,
     matrix_bytes: usize,
 ) -> LogLikelihood {
-    let value = -0.5 * (n as f64) * (2.0 * std::f64::consts::PI).ln() - 0.5 * logdet
-        - 0.5 * quadratic;
+    let value =
+        -0.5 * (n as f64) * (2.0 * std::f64::consts::PI).ln() - 0.5 * logdet - 0.5 * quadratic;
     LogLikelihood {
         value,
         logdet,

@@ -70,12 +70,7 @@ impl MleProblem {
         nm: NelderMeadConfig,
         rt: &Runtime,
     ) -> MleFit {
-        let kernel = MaternKernel::new(
-            self.locations.clone(),
-            initial,
-            self.metric,
-            self.nugget,
-        );
+        let kernel = MaternKernel::new(self.locations.clone(), initial, self.metric, self.nugget);
         let spent = std::cell::Cell::new(0.0f64);
         let objective = |x: &[f64]| -> f64 {
             // x is log-θ.
@@ -143,15 +138,8 @@ mod tests {
         let mut rng = Rng::seed_from_u64(seed);
         let locs = Arc::new(synthetic_locations(side, &mut rng));
         let rt = Runtime::new(4);
-        let sim = FieldSimulator::new(
-            locs.clone(),
-            truth,
-            DistanceMetric::Euclidean,
-            0.0,
-            32,
-            &rt,
-        )
-        .unwrap();
+        let sim = FieldSimulator::new(locs.clone(), truth, DistanceMetric::Euclidean, 0.0, 32, &rt)
+            .unwrap();
         let z = sim.draw(&mut rng);
         let problem = MleProblem {
             locations: locs,
@@ -176,26 +164,23 @@ mod tests {
     fn full_tile_recovers_parameters() {
         // n = 400 gives usable (if noisy) estimates; accept a broad window
         // around the truth, as the paper's boxplots do.
-        let (fit, truth) = fit_problem(
-            MaternParams::new(1.0, 0.1, 0.5),
-            20,
-            Backend::FullTile,
-            1,
-        );
+        let (fit, truth) = fit_problem(MaternParams::new(1.0, 0.1, 0.5), 20, Backend::FullTile, 1);
         // At n = 400 from one realization, (θ₁, θ₂, θ₃) are individually
         // weakly identified (the likelihood has a flat ridge); the defining
         // MLE property is that ℓ(θ̂) dominates ℓ at the generating truth.
         let mut rng2 = Rng::seed_from_u64(1);
         let locs = Arc::new(synthetic_locations(20, &mut rng2));
         let rt = Runtime::new(4);
-        let sim = FieldSimulator::new(
-            locs.clone(), truth, DistanceMetric::Euclidean, 0.0, 32, &rt,
-        )
-        .unwrap();
+        let sim = FieldSimulator::new(locs.clone(), truth, DistanceMetric::Euclidean, 0.0, 32, &rt)
+            .unwrap();
         let z = sim.draw(&mut rng2);
         let kernel = MaternKernel::new(locs, truth, DistanceMetric::Euclidean, 1e-8);
         let ll_truth = log_likelihood(
-            &kernel, &z, Backend::FullTile, LikelihoodConfig { nb: 32, seed: 1 }, &rt,
+            &kernel,
+            &z,
+            Backend::FullTile,
+            LikelihoodConfig { nb: 32, seed: 1 },
+            &rt,
         )
         .unwrap()
         .value;
@@ -257,9 +242,8 @@ mod tests {
         let mut rng = Rng::seed_from_u64(3);
         let locs = Arc::new(synthetic_locations(12, &mut rng));
         let rt = Runtime::new(2);
-        let sim =
-            FieldSimulator::new(locs.clone(), truth, DistanceMetric::Euclidean, 0.0, 24, &rt)
-                .unwrap();
+        let sim = FieldSimulator::new(locs.clone(), truth, DistanceMetric::Euclidean, 0.0, 24, &rt)
+            .unwrap();
         let z = sim.draw(&mut rng);
         let problem = MleProblem {
             locations: locs.clone(),
@@ -271,15 +255,9 @@ mod tests {
         };
         let start = MaternParams::new(0.3, 0.3, 1.2);
         let kernel = MaternKernel::new(locs, start, DistanceMetric::Euclidean, 1e-8);
-        let ll_start = log_likelihood(
-            &kernel,
-            &z,
-            Backend::FullTile,
-            problem.config,
-            &rt,
-        )
-        .unwrap()
-        .value;
+        let ll_start = log_likelihood(&kernel, &z, Backend::FullTile, problem.config, &rt)
+            .unwrap()
+            .value;
         let fit = problem.fit(
             start,
             &ParamBounds::default(),

@@ -73,9 +73,8 @@ pub struct TechniqueOutcome {
 impl TechniqueOutcome {
     /// Boxplot summaries of (θ̂₁, θ̂₂, θ̂₃) — the three panels of Figure 6.
     pub fn parameter_boxplots(&self) -> [BoxplotSummary; 3] {
-        let col = |f: fn(&MaternParams) -> f64| -> Vec<f64> {
-            self.estimates.iter().map(f).collect()
-        };
+        let col =
+            |f: fn(&MaternParams) -> f64| -> Vec<f64> { self.estimates.iter().map(f).collect() };
         [
             exa_util::five_number_summary(&col(|p| p.variance)),
             exa_util::five_number_summary(&col(|p| p.range)),
@@ -100,11 +99,7 @@ pub struct MonteCarloData {
 }
 
 /// Generates the shared data in exact (machine-precision) computation.
-pub fn generate_data(
-    truth: MaternParams,
-    cfg: &MonteCarloConfig,
-    rt: &Runtime,
-) -> MonteCarloData {
+pub fn generate_data(truth: MaternParams, cfg: &MonteCarloConfig, rt: &Runtime) -> MonteCarloData {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let locations = Arc::new(synthetic_locations_n(cfg.n, &mut rng));
     let sim = FieldSimulator::new(
@@ -245,7 +240,11 @@ mod tests {
         // Medians in a generous window around the truth (tiny n).
         assert!((v.median - 1.0).abs() < 0.8, "variance median {}", v.median);
         assert!((r.median - 0.1).abs() < 0.12, "range median {}", r.median);
-        assert!((s.median - 0.5).abs() < 0.35, "smoothness median {}", s.median);
+        assert!(
+            (s.median - 0.5).abs() < 0.35,
+            "smoothness median {}",
+            s.median
+        );
         let mse = out.mse_boxplot();
         assert!(mse.median < 1.0, "MSE median {}", mse.median);
     }

@@ -224,7 +224,11 @@ pub fn nelder_mead_max(
             continue;
         }
         // Contraction (outside if the reflection at least beat the worst).
-        let xc = if fr > f_worst { blend(rho) } else { blend(-rho) };
+        let xc = if fr > f_worst {
+            blend(rho)
+        } else {
+            blend(-rho)
+        };
         let fc = eval(&xc, &mut evals);
         if fc > f_worst.max(fr) {
             simplex[dim] = xc;
@@ -262,7 +266,12 @@ mod tests {
     #[test]
     fn maximizes_concave_quadratic() {
         let f = |x: &[f64]| -((x[0] - 0.3).powi(2) + 2.0 * (x[1] + 0.5).powi(2));
-        let r = nelder_mead_max(f, &[0.9, 0.9], &unit_bounds(2, -2.0, 2.0), Default::default());
+        let r = nelder_mead_max(
+            f,
+            &[0.9, 0.9],
+            &unit_bounds(2, -2.0, 2.0),
+            Default::default(),
+        );
         assert!((r.x[0] - 0.3).abs() < 1e-4, "{:?}", r.x);
         assert!((r.x[1] + 0.5).abs() < 1e-4, "{:?}", r.x);
         assert!(r.fx > -1e-7);
@@ -272,9 +281,18 @@ mod tests {
     fn respects_box_constraints() {
         // Unconstrained max at (5, 5): must end up pinned to the boundary.
         let f = |x: &[f64]| -((x[0] - 5.0).powi(2) + (x[1] - 5.0).powi(2));
-        let r = nelder_mead_max(f, &[0.0, 0.0], &unit_bounds(2, -1.0, 1.0), Default::default());
+        let r = nelder_mead_max(
+            f,
+            &[0.0, 0.0],
+            &unit_bounds(2, -1.0, 1.0),
+            Default::default(),
+        );
         assert!(r.x[0] <= 1.0 && r.x[1] <= 1.0);
-        assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!(
+            (r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3,
+            "{:?}",
+            r.x
+        );
     }
 
     #[test]
@@ -296,9 +314,7 @@ mod tests {
         // Maximize the negative Rosenbrock (banana) — a classic NM stressor.
         let f = |x: &[f64]| {
             -(0..2)
-                .map(|i| {
-                    100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2)
-                })
+                .map(|i| 100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
                 .sum::<f64>()
         };
         let cfg = NelderMeadConfig {
@@ -312,7 +328,12 @@ mod tests {
     #[test]
     fn trace_is_monotone_nondecreasing() {
         let f = |x: &[f64]| -(x[0].powi(2) + x[1].powi(2));
-        let r = nelder_mead_max(f, &[1.5, -1.5], &unit_bounds(2, -2.0, 2.0), Default::default());
+        let r = nelder_mead_max(
+            f,
+            &[1.5, -1.5],
+            &unit_bounds(2, -2.0, 2.0),
+            Default::default(),
+        );
         for w in r.trace.windows(2) {
             assert!(w[1] >= w[0] - 1e-15, "best value regressed: {w:?}");
         }

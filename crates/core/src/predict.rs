@@ -31,6 +31,7 @@ pub struct Prediction {
 /// * `observed`: the `n` sampled locations with their measurements `z`.
 /// * `targets`: the `m` unsampled locations.
 /// * `params`: the (estimated) Matérn parameter vector `θ̂`.
+#[allow(clippy::too_many_arguments)] // mirrors the ExaGeoStat prediction entry point
 pub fn predict(
     observed: &[Location],
     z: &[f64],
@@ -170,12 +171,26 @@ pub fn predict_with_variance(
             let mut sigma = Mat::from_fn(n, n, |i, j| k22.entry(i, j));
             block_potrf(&mut sigma, workers)?;
             dtrsm(
-                Side::Left, Trans::No, n, m, 1.0, sigma.as_slice(), n,
-                s21.as_mut_slice(), n,
+                Side::Left,
+                Trans::No,
+                n,
+                m,
+                1.0,
+                sigma.as_slice(),
+                n,
+                s21.as_mut_slice(),
+                n,
             );
             dtrsm(
-                Side::Left, Trans::Yes, n, m, 1.0, sigma.as_slice(), n,
-                s21.as_mut_slice(), n,
+                Side::Left,
+                Trans::Yes,
+                n,
+                m,
+                1.0,
+                sigma.as_slice(),
+                n,
+                s21.as_mut_slice(),
+                n,
             );
         }
         Backend::FullTile => {
@@ -293,10 +308,8 @@ mod tests {
     #[test]
     fn tlr_prediction_matches_full_tile() {
         let params = MaternParams::new(1.0, 0.1, 0.5);
-        let (mse_full, _, pred_full) =
-            holdout_experiment(params, 16, 25, Backend::FullTile, 2);
-        let (mse_tlr, _, pred_tlr) =
-            holdout_experiment(params, 16, 25, Backend::tlr(1e-9), 2);
+        let (mse_full, _, pred_full) = holdout_experiment(params, 16, 25, Backend::FullTile, 2);
+        let (mse_tlr, _, pred_tlr) = holdout_experiment(params, 16, 25, Backend::tlr(1e-9), 2);
         // Identical data (same seed): per-point predictions nearly coincide.
         for (a, b) in pred_full.iter().zip(&pred_tlr) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
@@ -332,7 +345,7 @@ mod tests {
         let rt = Runtime::new(1);
         let p = predict(
             &locs,
-            &vec![0.5; 25],
+            &[0.5; 25],
             &[],
             MaternParams::new(1.0, 0.1, 0.5),
             DistanceMetric::Euclidean,
@@ -368,7 +381,10 @@ mod tests {
             &rt,
         )
         .unwrap();
-        assert!(vars.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)), "{vars:?}");
+        assert!(
+            vars.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)),
+            "{vars:?}"
+        );
         assert!(
             vars[0] < 0.5 && vars[1] > 0.9,
             "near {} should be certain, far {} nearly marginal",

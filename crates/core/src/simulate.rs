@@ -100,8 +100,8 @@ mod tests {
         // and draws the sample variance must land near it.
         let params = MaternParams::new(2.0, 0.1, 0.5);
         let (locs, rt) = setup(10, params, 1);
-        let sim = FieldSimulator::new(locs, params, DistanceMetric::Euclidean, 0.0, 25, &rt)
-            .unwrap();
+        let sim =
+            FieldSimulator::new(locs, params, DistanceMetric::Euclidean, 0.0, 25, &rt).unwrap();
         let mut rng = Rng::seed_from_u64(2);
         let mut pooled = Vec::new();
         for _ in 0..30 {
@@ -120,8 +120,7 @@ mod tests {
             let params = MaternParams::new(1.0, range, 0.5);
             let (locs, rt) = setup(8, params, seed);
             let sim =
-                FieldSimulator::new(locs, params, DistanceMetric::Euclidean, 0.0, 16, &rt)
-                    .unwrap();
+                FieldSimulator::new(locs, params, DistanceMetric::Euclidean, 0.0, 16, &rt).unwrap();
             let mut rng = Rng::seed_from_u64(seed + 100);
             let mut acc = 0.0;
             let reps = 60;

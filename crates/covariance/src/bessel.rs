@@ -133,7 +133,7 @@ fn steed_cf2_scaled(mu: f64, x: f64) -> (f64, f64) {
         q += c * qnew;
         b += 2.0;
         d = 1.0 / (b + a * d);
-        delh = (b * d - 1.0) * delh;
+        delh *= b * d - 1.0;
         h += delh;
         let dels = q * delh;
         s += dels;
@@ -162,7 +162,7 @@ mod tests {
             (1.0, 1.0, 0.601_907_230_197_234_6),
             (0.0, 2.0, 0.113_893_872_749_533_44),
             (1.0, 2.0, 0.139_865_881_816_522_43),
-            (0.0, 0.1, 2.427_069_024_702_016_6),
+            (0.0, 0.1, 2.427_069_024_702_017),
             (1.0, 0.1, 9.853_844_780_870_606),
             (0.0, 5.0, 3.691_098_334_042_594e-3),
             (1.0, 5.0, 4.044_613_445_452_164e-3),

@@ -9,6 +9,8 @@ pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
 
 /// Lanczos coefficients for g = 7, n = 9.
 const LANCZOS_G: f64 = 7.0;
+// Literals kept exactly as published (Godfrey's g=7 table) for auditability.
+#[allow(clippy::excessive_precision)]
 const LANCZOS: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,
@@ -95,10 +97,7 @@ mod tests {
         for &z in &[0.1, 0.37, 0.9, 1.3, 2.7, 5.5, 10.2, 30.0] {
             let lhs = gamma(z + 1.0);
             let rhs = z * gamma(z);
-            assert!(
-                ((lhs - rhs) / rhs).abs() < 1e-12,
-                "z={z}: {lhs} vs {rhs}"
-            );
+            assert!(((lhs - rhs) / rhs).abs() < 1e-12, "z={z}: {lhs} vs {rhs}");
         }
     }
 
@@ -111,7 +110,7 @@ mod tests {
     #[test]
     fn reflection_small_z() {
         // Γ(0.25) = 3.6256099082219083.
-        assert!((gamma(0.25) - 3.625_609_908_221_908_3).abs() < 1e-11);
+        assert!((gamma(0.25) - 3.625_609_908_221_908).abs() < 1e-11);
     }
 
     #[test]

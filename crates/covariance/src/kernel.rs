@@ -25,7 +25,15 @@ pub trait CovarianceKernel: Sync {
     /// Fills the dense `rows.len() × cols.len()` tile
     /// `Σ[row_off.., col_off..]` into `out` (column-major, leading dimension
     /// `ld`). `rows`/`cols` are the *global* index ranges of the tile.
-    fn fill_tile(&self, row_off: usize, nrows: usize, col_off: usize, ncols: usize, out: &mut [f64], ld: usize) {
+    fn fill_tile(
+        &self,
+        row_off: usize,
+        nrows: usize,
+        col_off: usize,
+        ncols: usize,
+        out: &mut [f64],
+        ld: usize,
+    ) {
         debug_assert!(ld >= nrows);
         for j in 0..ncols {
             let col = &mut out[j * ld..j * ld + nrows];

@@ -162,7 +162,10 @@ mod tests {
             let x = r / 0.2;
             let want = x * bessel_k(1.0, x);
             let got = p.covariance(r);
-            assert!(((got - want) / want).abs() < 1e-12, "r={r}: {got} vs {want}");
+            assert!(
+                ((got - want) / want).abs() < 1e-12,
+                "r={r}: {got} vs {want}"
+            );
         }
     }
 

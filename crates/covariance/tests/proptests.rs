@@ -3,8 +3,8 @@
 //! definiteness of generated covariance matrices.
 
 use exa_covariance::{
-    bessel_k, euclidean, great_circle_km, CovarianceKernel, DistanceMetric, Location,
-    MaternKernel, MaternParams,
+    bessel_k, euclidean, great_circle_km, CovarianceKernel, DistanceMetric, Location, MaternKernel,
+    MaternParams,
 };
 use exa_util::Rng;
 use proptest::prelude::*;

@@ -18,7 +18,7 @@ impl BlockCyclic {
     pub fn squarest(nodes: usize) -> Self {
         assert!(nodes > 0, "need at least one node");
         let mut p = (nodes as f64).sqrt() as usize;
-        while p > 1 && nodes % p != 0 {
+        while p > 1 && !nodes.is_multiple_of(p) {
             p -= 1;
         }
         BlockCyclic {

@@ -307,9 +307,12 @@ pub fn simulate_cholesky(
         return Err(SimError::TooLarge { tasks: ids.total });
     }
 
-    // Dependency counters and latest-arrival tracking per task.
+    // Dependency counters and latest-arrival tracking per task. Arrival
+    // times must stay f64: f32 rounding can push a ready time *below* the
+    // true serial prefix sum, breaking work conservation (makespan <
+    // work/cores) at the DES's own 1e-9 tolerance.
     let mut deps = vec![0u8; ids.total];
-    let mut ready_at = vec![0f32; ids.total];
+    let mut ready_at = vec![0f64; ids.total];
     init_dep_counts(&ids, &mut deps);
 
     // Transfer cache: (producer id, dest node) → arrival time.
@@ -332,7 +335,6 @@ pub fn simulate_cholesky(
         task: TaskKind::Potrf { k: 0 },
     }));
 
-    let mut finish_times = vec![0f32; ids.total];
     let mut makespan = 0.0f64;
     let mut total_flops = 0.0f64;
     let mut busy = 0.0f64;
@@ -348,7 +350,14 @@ pub fn simulate_cholesky(
             if node.free_cores > 0 {
                 node.free_cores -= 1;
                 start_task(
-                    task, time, cost, machine, &ids, &mut heap, &mut total_flops, &mut busy,
+                    task,
+                    time,
+                    cost,
+                    machine,
+                    &ids,
+                    &mut heap,
+                    &mut total_flops,
+                    &mut busy,
                     node,
                 );
             } else {
@@ -362,7 +371,6 @@ pub fn simulate_cholesky(
         // Task complete.
         executed += 1;
         makespan = makespan.max(time);
-        finish_times[ids.id(task)] = time as f32;
 
         // Unlock dependents.
         for_each_dependent(task, nt, |dep| {
@@ -385,11 +393,11 @@ pub fn simulate_cholesky(
                     }
                 }
             }
-            ready_at[dep_id] = ready_at[dep_id].max(arrival as f32);
+            ready_at[dep_id] = ready_at[dep_id].max(arrival);
             deps[dep_id] -= 1;
             if deps[dep_id] == 0 {
                 heap.push(Reverse(Event {
-                    time: ready_at[dep_id] as f64,
+                    time: ready_at[dep_id],
                     kind: 0,
                     task: dep,
                 }));
@@ -402,7 +410,15 @@ pub fn simulate_cholesky(
         if let Some((_, _, next)) = node.pending.pop() {
             node.free_cores -= 1;
             start_task(
-                next, time, cost, machine, &ids, &mut heap, &mut total_flops, &mut busy, node,
+                next,
+                time,
+                cost,
+                machine,
+                &ids,
+                &mut heap,
+                &mut total_flops,
+                &mut busy,
+                node,
             );
         }
     }
@@ -453,8 +469,7 @@ fn init_dep_counts(ids: &TaskIds, deps: &mut [u8]) {
         deps[ids.id(TaskKind::Potrf { k })] = ids.dep_count(TaskKind::Potrf { k });
         for i in k + 1..nt {
             deps[ids.id(TaskKind::Trsm { k, i })] = ids.dep_count(TaskKind::Trsm { k, i });
-            deps[ids.id(TaskKind::Syrk { k, j: i })] =
-                ids.dep_count(TaskKind::Syrk { k, j: i });
+            deps[ids.id(TaskKind::Syrk { k, j: i })] = ids.dep_count(TaskKind::Syrk { k, j: i });
             for j in k + 1..i {
                 deps[ids.id(TaskKind::Gemm { k, j, i })] =
                     ids.dep_count(TaskKind::Gemm { k, j, i });
@@ -466,11 +481,7 @@ fn init_dep_counts(ids: &TaskIds, deps: &mut [u8]) {
 /// Closed-form estimate used beyond the DES task budget: the maximum of the
 /// work bound, the critical-path bound, and the communication bound — the
 /// three mechanisms that shape Figure 4.
-pub fn analytic_cholesky_seconds(
-    nt: usize,
-    cost: &dyn CostModel,
-    machine: &MachineConfig,
-) -> f64 {
+pub fn analytic_cholesky_seconds(nt: usize, cost: &dyn CostModel, machine: &MachineConfig) -> f64 {
     let mut dense_flops = 0.0f64;
     let mut lr_flops = 0.0f64;
     let mut comm_bytes = 0.0f64;
@@ -614,7 +625,9 @@ mod tests {
         let cost = DenseCost { nb: 512 }; // one tile = 2 MB
         let err = simulate_cholesky(8, &cost, &m, &BlockCyclic::squarest(2)).unwrap_err();
         match err {
-            SimError::OutOfMemory { required, capacity, .. } => {
+            SimError::OutOfMemory {
+                required, capacity, ..
+            } => {
                 assert!(required > capacity);
             }
             other => panic!("expected OOM, got {other:?}"),
@@ -651,7 +664,10 @@ mod tests {
         let cost = DenseCost { nb: 96 };
         let stats =
             simulate_cholesky(24, &cost, &small_machine(4), &BlockCyclic::squarest(4)).unwrap();
-        assert!(stats.efficiency > 0.05 && stats.efficiency <= 1.0 + 1e-9,
-            "efficiency {}", stats.efficiency);
+        assert!(
+            stats.efficiency > 0.05 && stats.efficiency <= 1.0 + 1e-9,
+            "efficiency {}",
+            stats.efficiency
+        );
     }
 }

@@ -26,8 +26,8 @@ pub mod taskmodel;
 
 pub use blockcyclic::BlockCyclic;
 pub use des::{
-    analytic_cholesky_seconds, check_memory, per_node_resident_bytes, simulate_cholesky,
-    SimError, SimStats, MAX_DES_TASKS,
+    analytic_cholesky_seconds, check_memory, per_node_resident_bytes, simulate_cholesky, SimError,
+    SimStats, MAX_DES_TASKS,
 };
 pub use machine::MachineConfig;
 pub use predict::{phase_fractions, predict_time, PredictTiming};

@@ -8,8 +8,8 @@
 //! analytically — their work is two flat sweeps over the factor tiles plus
 //! one `m × n` GEMM.
 
-use crate::des::{analytic_cholesky_seconds, simulate_cholesky, SimError};
 use crate::blockcyclic::BlockCyclic;
+use crate::des::{analytic_cholesky_seconds, simulate_cholesky, SimError};
 use crate::machine::MachineConfig;
 use crate::taskmodel::{CostModel, TaskKind};
 
@@ -45,9 +45,7 @@ pub fn predict_time(
 ) -> Result<PredictTiming, SimError> {
     let (cholesky_seconds, des_used) = match simulate_cholesky(nt, cost, machine, grid) {
         Ok(stats) => (stats.makespan, true),
-        Err(SimError::TooLarge { .. }) => {
-            (analytic_cholesky_seconds(nt, cost, machine), false)
-        }
+        Err(SimError::TooLarge { .. }) => (analytic_cholesky_seconds(nt, cost, machine), false),
         Err(oom) => return Err(oom),
     };
     let nrhs = m_unknown as f64;

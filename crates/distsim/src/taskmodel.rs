@@ -107,13 +107,7 @@ pub struct RankModel {
 /// Assembles one calibration matrix (ACA compression — entries only, no
 /// dense tiles) and returns the ρ-binned mean ranks plus the mean rank of
 /// the adjacent-tile band `d = 1`.
-fn measure_bins(
-    eps: f64,
-    params: MaternParams,
-    n: usize,
-    nb: usize,
-    seed: u64,
-) -> (Vec<f64>, f64) {
+fn measure_bins(eps: f64, params: MaternParams, n: usize, nb: usize, seed: u64) -> (Vec<f64>, f64) {
     let mut rng = Rng::seed_from_u64(seed);
     let mut locs: Vec<Location> = (0..n)
         .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
@@ -134,8 +128,8 @@ fn measure_bins(
     }
     // Re-bin by relative separation ρ = d/nt.
     const NBINS: usize = 16;
-    let mut bin_sum = vec![0.0f64; NBINS];
-    let mut bin_cnt = vec![0.0f64; NBINS];
+    let mut bin_sum = [0.0f64; NBINS];
+    let mut bin_cnt = [0.0f64; NBINS];
     for d in 1..nt {
         if counts[d] == 0 {
             continue;
@@ -267,7 +261,9 @@ impl CostModel for TlrCost {
                 let r = kc + add;
                 // W = V_aᵀV_b, fold into U or V, two QRs of nb × r, small
                 // SVD of r × r, rebuild factors.
-                2.0 * nb * ka * kb + 2.0 * nb * add * ka.max(kb) + 8.0 * nb * r * r
+                2.0 * nb * ka * kb
+                    + 2.0 * nb * add * ka.max(kb)
+                    + 8.0 * nb * r * r
                     + 30.0 * r * r * r
             }
         }
@@ -317,10 +313,13 @@ mod tests {
             .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
             .collect();
         sort_morton(&mut locs);
-        let kernel =
-            MaternKernel::new(Arc::new(locs), medium_params(), DistanceMetric::Euclidean, 0.0);
-        let tlr =
-            TlrMatrix::from_kernel(&kernel, 64, eps, CompressionMethod::Aca, 4, 99).unwrap();
+        let kernel = MaternKernel::new(
+            Arc::new(locs),
+            medium_params(),
+            DistanceMetric::Euclidean,
+            0.0,
+        );
+        let tlr = TlrMatrix::from_kernel(&kernel, 64, eps, CompressionMethod::Aca, 4, 99).unwrap();
         for d in 1..tlr.nt {
             let mut sum = 0.0;
             let mut cnt = 0;

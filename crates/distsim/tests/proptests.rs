@@ -3,8 +3,8 @@
 //! block-cyclic ownership laws — across randomized configurations.
 
 use exa_distsim::{
-    analytic_cholesky_seconds, simulate_cholesky, BlockCyclic, CostModel, DenseCost,
-    MachineConfig, TaskKind,
+    analytic_cholesky_seconds, simulate_cholesky, BlockCyclic, CostModel, DenseCost, MachineConfig,
+    TaskKind,
 };
 use proptest::prelude::*;
 

@@ -88,7 +88,10 @@ mod tests {
 
     #[test]
     fn dot_known() {
-        assert_eq!(dot(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 1.0, 1.0, 1.0, 1.0]), 15.0);
+        assert_eq!(
+            dot(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 1.0, 1.0, 1.0, 1.0]),
+            15.0
+        );
         assert_eq!(dot(&[], &[]), 0.0);
     }
 

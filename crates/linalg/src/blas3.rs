@@ -428,7 +428,13 @@ fn trsm_diag_right_notrans(l: &[f64], ldl: usize, m: usize, bs: usize, b: &mut [
 }
 
 /// Two disjoint mutable column views (`p != q` guaranteed by callers).
-fn disjoint_cols(b: &mut [f64], ldb: usize, m: usize, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
+fn disjoint_cols(
+    b: &mut [f64],
+    ldb: usize,
+    m: usize,
+    p: usize,
+    q: usize,
+) -> (&mut [f64], &mut [f64]) {
     debug_assert!(p < q);
     let (head, tail) = b.split_at_mut(q * ldb);
     (&mut head[p * ldb..p * ldb + m], &mut tail[..m])
@@ -458,7 +464,17 @@ mod tests {
             let a = Mat::gaussian(n, k, &mut rng);
             let c0 = Mat::gaussian(n, n, &mut rng);
             let mut c = c0.clone();
-            dsyrk(Trans::No, n, k, 1.5, a.as_slice(), n, 0.5, c.as_mut_slice(), n);
+            dsyrk(
+                Trans::No,
+                n,
+                k,
+                1.5,
+                a.as_slice(),
+                n,
+                0.5,
+                c.as_mut_slice(),
+                n,
+            );
             // Reference via full GEMM.
             let mut full = c0.clone();
             dgemm(
@@ -497,7 +513,17 @@ mod tests {
         for &(n, k) in &[(6usize, 4usize), (100, 37)] {
             let a = Mat::gaussian(k, n, &mut rng);
             let mut c = Mat::zeros(n, n);
-            dsyrk(Trans::Yes, n, k, 2.0, a.as_slice(), k, 0.0, c.as_mut_slice(), n);
+            dsyrk(
+                Trans::Yes,
+                n,
+                k,
+                2.0,
+                a.as_slice(),
+                k,
+                0.0,
+                c.as_mut_slice(),
+                n,
+            );
             let mut full = Mat::zeros(n, n);
             dgemm(
                 Trans::Yes,
@@ -531,7 +557,17 @@ mod tests {
         let l = lower_random(lord, &mut rng);
         let b0 = Mat::gaussian(m, n, &mut rng);
         let mut x = b0.clone();
-        dtrsm(side, trans, m, n, 1.0, l.as_slice(), lord, x.as_mut_slice(), m);
+        dtrsm(
+            side,
+            trans,
+            m,
+            n,
+            1.0,
+            l.as_slice(),
+            lord,
+            x.as_mut_slice(),
+            m,
+        );
         // Verify op(L)-product reproduces alpha*B.
         let mut prod = Mat::zeros(m, n);
         match side {
@@ -567,14 +603,24 @@ mod tests {
             ),
         }
         let err = max_abs_diff(prod.as_slice(), b0.as_slice());
-        assert!(err < 1e-9, "side={side:?} trans={trans:?} m={m} n={n}: err={err}");
+        assert!(
+            err < 1e-9,
+            "side={side:?} trans={trans:?} m={m} n={n}: err={err}"
+        );
     }
 
     #[test]
     fn trsm_all_variants_roundtrip() {
-        for (i, &(m, n)) in [(5usize, 3usize), (64, 64), (130, 97), (97, 130), (1, 7), (7, 1)]
-            .iter()
-            .enumerate()
+        for (i, &(m, n)) in [
+            (5usize, 3usize),
+            (64, 64),
+            (130, 97),
+            (97, 130),
+            (1, 7),
+            (7, 1),
+        ]
+        .iter()
+        .enumerate()
         {
             let s = i as u64;
             check_trsm(Side::Left, Trans::No, m, n, s);
@@ -590,9 +636,29 @@ mod tests {
         let l = lower_random(4, &mut rng);
         let b = Mat::gaussian(4, 2, &mut rng);
         let mut x1 = b.clone();
-        dtrsm(Side::Left, Trans::No, 4, 2, 2.0, l.as_slice(), 4, x1.as_mut_slice(), 4);
+        dtrsm(
+            Side::Left,
+            Trans::No,
+            4,
+            2,
+            2.0,
+            l.as_slice(),
+            4,
+            x1.as_mut_slice(),
+            4,
+        );
         let mut x2 = b.clone();
-        dtrsm(Side::Left, Trans::No, 4, 2, 1.0, l.as_slice(), 4, x2.as_mut_slice(), 4);
+        dtrsm(
+            Side::Left,
+            Trans::No,
+            4,
+            2,
+            1.0,
+            l.as_slice(),
+            4,
+            x2.as_mut_slice(),
+            4,
+        );
         for (a, b) in x1.as_slice().iter().zip(x2.as_slice()) {
             assert!((a - 2.0 * b).abs() < 1e-12);
         }

@@ -28,7 +28,9 @@ pub fn dpotf2(n: usize, a: &mut [f64], lda: usize, offset: usize) -> Result<(), 
             d -= l * l;
         }
         if d <= 0.0 || !d.is_finite() {
-            return Err(LinalgError::NotPositiveDefinite { index: offset + j + 1 });
+            return Err(LinalgError::NotPositiveDefinite {
+                index: offset + j + 1,
+            });
         }
         let djj = d.sqrt();
         a[j + j * lda] = djj;

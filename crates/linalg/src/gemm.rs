@@ -107,7 +107,14 @@ pub fn dgemm(
                 let mcb = MC.min(m - ic);
                 pack_a(transa, a, lda, ic, pc, mcb, kcb, &mut apack);
                 macro_kernel(
-                    mcb, ncb, kcb, alpha, &apack, &bpack, &mut c[ic + jc * ldc..], ldc,
+                    mcb,
+                    ncb,
+                    kcb,
+                    alpha,
+                    &apack,
+                    &bpack,
+                    &mut c[ic + jc * ldc..],
+                    ldc,
                 );
                 ic += MC;
             }
@@ -127,6 +134,7 @@ fn a_elem(trans: Trans, a: &[f64], lda: usize, i: usize, p: usize) -> f64 {
 }
 
 /// Packs an `mcb × kcb` panel of `op(A)` into row-micro-panels of height MR.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS packing-kernel signature
 fn pack_a(
     trans: Trans,
     a: &[f64],
@@ -155,6 +163,7 @@ fn pack_a(
 }
 
 /// Packs a `kcb × ncb` panel of `op(B)` into column-micro-panels of width NR.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS packing-kernel signature
 fn pack_b(
     trans: Trans,
     b: &[f64],
@@ -188,6 +197,7 @@ fn pack_b(
 }
 
 /// Runs the micro-kernel over all micro-tiles of one packed block pair.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS macro-kernel signature
 fn macro_kernel(
     mcb: usize,
     ncb: usize,
@@ -413,6 +423,7 @@ mod tests {
     use exa_util::Rng;
 
     /// Naive reference product for validation.
+    #[allow(clippy::too_many_arguments)] // mirrors the dgemm signature under test
     fn reference(
         transa: Trans,
         transb: Trans,
@@ -585,10 +596,30 @@ mod tests {
     fn gemv_both_ops() {
         let a = Mat::from_vec(2, 3, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]); // [[1,2,3],[4,5,6]]
         let mut y = vec![1.0, 1.0];
-        gemv(Trans::No, 2, 3, 1.0, a.as_slice(), 2, &[1.0, 1.0, 1.0], 2.0, &mut y);
+        gemv(
+            Trans::No,
+            2,
+            3,
+            1.0,
+            a.as_slice(),
+            2,
+            &[1.0, 1.0, 1.0],
+            2.0,
+            &mut y,
+        );
         assert_eq!(y, vec![8.0, 17.0]);
         let mut z = vec![0.0; 3];
-        gemv(Trans::Yes, 2, 3, 1.0, a.as_slice(), 2, &[1.0, 1.0], 0.0, &mut z);
+        gemv(
+            Trans::Yes,
+            2,
+            3,
+            1.0,
+            a.as_slice(),
+            2,
+            &[1.0, 1.0],
+            0.0,
+            &mut z,
+        );
         assert_eq!(z, vec![5.0, 7.0, 9.0]);
     }
 

@@ -21,10 +21,10 @@ pub fn dgeqrf(m: usize, n: usize, a: &mut [f64], lda: usize, tau: &mut [f64]) {
         assert!(a.len() >= lda * (n - 1) + m, "buffer too small");
     }
     let mut work = vec![0.0f64; n];
-    for j in 0..k {
+    for (j, tau_slot) in tau.iter_mut().enumerate().take(k) {
         // Generate the reflector annihilating A[j+1.., j].
         let tau_j = larfg(m - j, a, lda, j);
-        tau[j] = tau_j;
+        *tau_slot = tau_j;
         if tau_j != 0.0 && j + 1 < n {
             // Apply H = I - tau v vᵀ to A[j.., j+1..].
             apply_reflector_left(m - j, n - j - 1, a, lda, j, tau_j, &mut work);

@@ -87,25 +87,73 @@ pub fn rsvd_cut(
         rng.fill_gaussian(&mut omega);
         let mut y = vec![0.0f64; m * l];
         dgemm(
-            Trans::No, Trans::No, m, l, n, 1.0, a, lda, &omega, n, 0.0, &mut y, m,
+            Trans::No,
+            Trans::No,
+            m,
+            l,
+            n,
+            1.0,
+            a,
+            lda,
+            &omega,
+            n,
+            0.0,
+            &mut y,
+            m,
         );
         // Power iterations with re-orthonormalization for stability.
         for _ in 0..opts.power_iters {
             orthonormalize(m, l, &mut y);
             let mut z = vec![0.0f64; n * l];
             dgemm(
-                Trans::Yes, Trans::No, n, l, m, 1.0, a, lda, &y, m, 0.0, &mut z, n,
+                Trans::Yes,
+                Trans::No,
+                n,
+                l,
+                m,
+                1.0,
+                a,
+                lda,
+                &y,
+                m,
+                0.0,
+                &mut z,
+                n,
             );
             orthonormalize(n, l, &mut z);
             dgemm(
-                Trans::No, Trans::No, m, l, n, 1.0, a, lda, &z, n, 0.0, &mut y, m,
+                Trans::No,
+                Trans::No,
+                m,
+                l,
+                n,
+                1.0,
+                a,
+                lda,
+                &z,
+                n,
+                0.0,
+                &mut y,
+                m,
             );
         }
         orthonormalize(m, l, &mut y); // Y now holds Q (m × l)
-        // B = Qᵀ A  (l × n).
+                                      // B = Qᵀ A  (l × n).
         let mut b = vec![0.0f64; l * n];
         dgemm(
-            Trans::Yes, Trans::No, l, n, m, 1.0, &y, m, a, lda, 0.0, &mut b, l,
+            Trans::Yes,
+            Trans::No,
+            l,
+            n,
+            m,
+            1.0,
+            &y,
+            m,
+            a,
+            lda,
+            0.0,
+            &mut b,
+            l,
         );
         let bsvd = jacobi_svd(l, n, &b, l)?;
         // Accept when the sketch demonstrably captured the eps-tail: the
@@ -173,7 +221,16 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         let spectrum = [10.0, 5.0, 1.0];
         let a = matrix_with_spectrum(60, 50, &spectrum, &mut rng);
-        let r = rsvd(60, 50, a.as_slice(), 60, 1e-9, RsvdOptions::default(), &mut rng).unwrap();
+        let r = rsvd(
+            60,
+            50,
+            a.as_slice(),
+            60,
+            1e-9,
+            RsvdOptions::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(r.rank() >= 3);
         let rec = r.reconstruct();
         assert!(rel_fro_diff(&rec, a.as_slice()) < 1e-8);
@@ -190,7 +247,16 @@ mod tests {
         let spectrum: Vec<f64> = (0..30).map(|k| (2.0f64).powi(-k)).collect();
         let a = matrix_with_spectrum(80, 80, &spectrum, &mut rng);
         for eps in [1e-2, 1e-4, 1e-6] {
-            let r = rsvd(80, 80, a.as_slice(), 80, eps, RsvdOptions::default(), &mut rng).unwrap();
+            let r = rsvd(
+                80,
+                80,
+                a.as_slice(),
+                80,
+                eps,
+                RsvdOptions::default(),
+                &mut rng,
+            )
+            .unwrap();
             let rec = r.reconstruct();
             let err = rel_fro_diff(&rec, a.as_slice());
             assert!(err < eps * 20.0, "eps={eps}: err={err}, rank={}", r.rank());
@@ -229,7 +295,16 @@ mod tests {
     fn full_rank_falls_back_to_exact() {
         let mut rng = Rng::seed_from_u64(4);
         let a = Mat::gaussian(30, 30, &mut rng);
-        let r = rsvd(30, 30, a.as_slice(), 30, 1e-14, RsvdOptions::default(), &mut rng).unwrap();
+        let r = rsvd(
+            30,
+            30,
+            a.as_slice(),
+            30,
+            1e-14,
+            RsvdOptions::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(r.rank(), 30);
         assert!(rel_fro_diff(&r.reconstruct(), a.as_slice()) < 1e-10);
     }

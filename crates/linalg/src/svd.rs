@@ -173,13 +173,7 @@ fn jacobi_tall(m: usize, n: usize, a: &[f64], lda: usize) -> Result<SvdResult, L
         }
         vv[dst * n..dst * n + n].copy_from_slice(&v[src * n..src * n + n]);
     }
-    Ok(SvdResult {
-        u,
-        s,
-        v: vv,
-        m,
-        n,
-    })
+    Ok(SvdResult { u, s, v: vv, m, n })
 }
 
 /// Disjoint mutable views of two distinct columns (`p < q`).
@@ -253,14 +247,10 @@ mod tests {
         // Orthonormal U and V.
         for k1 in 0..svd.rank() {
             for k2 in k1..svd.rank() {
-                let du = crate::blas1::dot(
-                    &svd.u[k1 * m..(k1 + 1) * m],
-                    &svd.u[k2 * m..(k2 + 1) * m],
-                );
-                let dv = crate::blas1::dot(
-                    &svd.v[k1 * n..(k1 + 1) * n],
-                    &svd.v[k2 * n..(k2 + 1) * n],
-                );
+                let du =
+                    crate::blas1::dot(&svd.u[k1 * m..(k1 + 1) * m], &svd.u[k2 * m..(k2 + 1) * m]);
+                let dv =
+                    crate::blas1::dot(&svd.v[k1 * n..(k1 + 1) * n], &svd.v[k2 * n..(k2 + 1) * n]);
                 let expect = if k1 == k2 { 1.0 } else { 0.0 };
                 assert!((du - expect).abs() < 1e-10, "U gram ({k1},{k2})");
                 assert!((dv - expect).abs() < 1e-10, "V gram ({k1},{k2})");

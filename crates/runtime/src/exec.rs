@@ -44,8 +44,12 @@ pub struct Runtime {
     config: RuntimeConfig,
 }
 
+/// A task body in its executor slot; the executing worker takes it exactly
+/// once.
+type TaskSlot = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
 struct Shared<'g> {
-    tasks: Vec<Mutex<Option<Box<dyn FnOnce() + Send>>>>,
+    tasks: Vec<TaskSlot>,
     succs: Vec<&'g [u32]>,
     preds_left: Vec<AtomicU32>,
     priority: Vec<u8>,
@@ -100,7 +104,7 @@ impl Runtime {
         let nw = self.config.num_workers.min(n).max(1);
 
         // Decompose the graph into executor-friendly arrays.
-        let mut funcs: Vec<Mutex<Option<Box<dyn FnOnce() + Send>>>> = Vec::with_capacity(n);
+        let mut funcs: Vec<TaskSlot> = Vec::with_capacity(n);
         let mut preds_left = Vec::with_capacity(n);
         let mut priority = Vec::with_capacity(n);
         let mut names = Vec::with_capacity(n);
@@ -381,13 +385,20 @@ mod tests {
         let h = g.register();
         let h2 = g.register();
         let s = state.clone();
-        g.submit("a", 0, &[(h, Access::Write), (h2, Access::Write)], move || {
-            s.lock().push("a")
+        g.submit(
+            "a",
+            0,
+            &[(h, Access::Write), (h2, Access::Write)],
+            move || s.lock().push("a"),
+        );
+        let s = state.clone();
+        g.submit("b", 0, &[(h, Access::ReadWrite)], move || {
+            s.lock().push("b")
         });
         let s = state.clone();
-        g.submit("b", 0, &[(h, Access::ReadWrite)], move || s.lock().push("b"));
-        let s = state.clone();
-        g.submit("c", 0, &[(h2, Access::ReadWrite)], move || s.lock().push("c"));
+        g.submit("c", 0, &[(h2, Access::ReadWrite)], move || {
+            s.lock().push("c")
+        });
         let s = state.clone();
         g.submit(
             "d",
@@ -467,7 +478,11 @@ mod tests {
         }
         let stats = Runtime::new(4).run(g);
         let nonzero = stats.per_worker_tasks.iter().filter(|&&c| c > 0).count();
-        assert!(nonzero >= 2, "work not distributed: {:?}", stats.per_worker_tasks);
+        assert!(
+            nonzero >= 2,
+            "work not distributed: {:?}",
+            stats.per_worker_tasks
+        );
     }
 
     #[test]

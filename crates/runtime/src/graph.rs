@@ -207,12 +207,7 @@ mod tests {
         let a = g.register();
         let b = g.register();
         g.submit("w", 0, &[(a, Access::Write), (b, Access::Write)], noop);
-        let t = g.submit(
-            "rw",
-            0,
-            &[(a, Access::Read), (b, Access::ReadWrite)],
-            noop,
-        );
+        let t = g.submit("rw", 0, &[(a, Access::Read), (b, Access::ReadWrite)], noop);
         assert_eq!(g.tasks[t.0 as usize].n_preds, 1);
         assert_eq!(g.edge_count(), 1);
     }

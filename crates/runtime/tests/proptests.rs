@@ -14,6 +14,9 @@ struct TaskSpec {
     handle_accesses: Vec<(usize, bool)>, // (handle index, is_write)
 }
 
+/// Observation log: per task, the `(handle, counter value)` pairs it saw.
+type SeenLog = Arc<Mutex<Vec<(usize, Vec<(usize, usize)>)>>>;
+
 fn task_strategy(handles: usize) -> impl Strategy<Value = TaskSpec> {
     proptest::collection::vec((0..handles, any::<bool>()), 1..3).prop_map(|mut v| {
         // One access per handle (duplicates collapse to the strongest mode).
@@ -36,8 +39,7 @@ proptest! {
         // the state the *program order* prefix of writers produced.
         let counters: Vec<Arc<AtomicUsize>> =
             (0..4).map(|_| Arc::new(AtomicUsize::new(0))).collect();
-        let log: Arc<Mutex<Vec<(usize, Vec<(usize, usize)>)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let log: SeenLog = Arc::new(Mutex::new(Vec::new()));
         let mut graph = TaskGraph::new();
         let handles: Vec<_> = (0..4).map(|_| graph.register()).collect();
         // Expected value of each counter before every task, per program order.

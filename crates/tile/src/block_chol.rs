@@ -58,8 +58,7 @@ pub fn block_potrf_with_panel(
                 unsafe {
                     for j in 0..w {
                         for i in 0..rows {
-                            scratch[i + j * rows] =
-                                *raw_ref.0.add((k + w + r0 + i) + (k + j) * ld);
+                            scratch[i + j * rows] = *raw_ref.0.add((k + w + r0 + i) + (k + j) * ld);
                         }
                     }
                 }
@@ -77,8 +76,7 @@ pub fn block_potrf_with_panel(
                 unsafe {
                     for j in 0..w {
                         for i in 0..rows {
-                            *raw_ref.0.add((k + w + r0 + i) + (k + j) * ld) =
-                                scratch[i + j * rows];
+                            *raw_ref.0.add((k + w + r0 + i) + (k + j) * ld) = scratch[i + j * rows];
                         }
                     }
                 }
@@ -104,10 +102,7 @@ pub fn block_potrf_with_panel(
                     // SAFETY: block columns [c0, c0+cb) are disjoint across
                     // chunks; the slice below covers only this block's cols.
                     let c = unsafe {
-                        std::slice::from_raw_parts_mut(
-                            tail_ref.0.add(c_off),
-                            (cb - 1) * ld + rows,
-                        )
+                        std::slice::from_raw_parts_mut(tail_ref.0.add(c_off), (cb - 1) * ld + rows)
                     };
                     dgemm(
                         Trans::No,

@@ -43,7 +43,7 @@ impl Poison {
     }
 
     pub(crate) fn take(&self) -> Option<LinalgError> {
-        self.info.lock().unwrap().clone()
+        *self.info.lock().unwrap()
     }
 }
 
@@ -58,9 +58,7 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
     let nb = a.nb;
     let mut graph = TaskGraph::new();
     // One handle per lower tile.
-    let handles: Vec<Vec<exa_runtime::Handle>> = (0..nt)
-        .map(|_| graph.register_many(nt))
-        .collect();
+    let handles: Vec<Vec<exa_runtime::Handle>> = (0..nt).map(|_| graph.register_many(nt)).collect();
     let h = |i: usize, j: usize| handles[j][i];
     let poison = Arc::new(Poison::default());
 
@@ -73,8 +71,7 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
                 return;
             }
             let buf = unsafe { akk.as_mut_slice() };
-            if let Err(LinalgError::NotPositiveDefinite { index }) =
-                dpotrf(akk.rows, buf, akk.rows)
+            if let Err(LinalgError::NotPositiveDefinite { index }) = dpotrf(akk.rows, buf, akk.rows)
             {
                 p.set(LinalgError::NotPositiveDefinite { index: off + index });
             }
@@ -93,7 +90,17 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
                     }
                     let l = unsafe { akk.as_slice() };
                     let b = unsafe { aik.as_mut_slice() };
-                    dtrsm(Side::Right, Trans::Yes, aik.rows, aik.cols, 1.0, l, akk.rows, b, aik.rows);
+                    dtrsm(
+                        Side::Right,
+                        Trans::Yes,
+                        aik.rows,
+                        aik.cols,
+                        1.0,
+                        l,
+                        akk.rows,
+                        b,
+                        aik.rows,
+                    );
                 },
             );
         }
@@ -111,7 +118,17 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
                     }
                     let src = unsafe { ajk.as_slice() };
                     let dst = unsafe { ajj.as_mut_slice() };
-                    dsyrk(Trans::No, ajj.rows, ajk.cols, -1.0, src, ajk.rows, 1.0, dst, ajj.rows);
+                    dsyrk(
+                        Trans::No,
+                        ajj.rows,
+                        ajk.cols,
+                        -1.0,
+                        src,
+                        ajk.rows,
+                        1.0,
+                        dst,
+                        ajj.rows,
+                    );
                 },
             );
             for i in j + 1..nt {

@@ -68,10 +68,7 @@ impl TileMatrix {
         let mut tiles = Vec::with_capacity(mt * nt);
         for j in 0..nt {
             for i in 0..mt {
-                tiles.push(Tile::zeros(
-                    Self::extent(m, nb, i),
-                    Self::extent(n, nb, j),
-                ));
+                tiles.push(Tile::zeros(Self::extent(m, nb, i), Self::extent(n, nb, j)));
             }
         }
         TileMatrix {
@@ -92,10 +89,7 @@ impl TileMatrix {
         for j in 0..nt {
             for i in 0..nt {
                 if i >= j {
-                    tiles.push(Tile::zeros(
-                        Self::extent(n, nb, i),
-                        Self::extent(n, nb, j),
-                    ));
+                    tiles.push(Tile::zeros(Self::extent(n, nb, i), Self::extent(n, nb, j)));
                 } else {
                     tiles.push(Tile::default());
                 }
@@ -163,29 +157,27 @@ impl TileMatrix {
         let mut a = Self::zeros_symmetric_lower(n, nb);
         let nt = a.nt;
         // Collect lower-tile coordinates, then fill them in parallel.
-        let coords: Vec<(usize, usize)> = (0..nt)
-            .flat_map(|j| (j..nt).map(move |i| (i, j)))
-            .collect();
-        let tile_ptrs: Vec<(*mut f64, usize, usize, usize, usize)> = coords
+        let coords: Vec<(usize, usize)> =
+            (0..nt).flat_map(|j| (j..nt).map(move |i| (i, j))).collect();
+        let tile_ptrs: Vec<(*mut f64, usize, usize, usize)> = coords
             .iter()
             .map(|&(i, j)| {
                 let rows = a.tile_rows(i);
                 let cols = a.tile_cols(j);
                 let (ptr, len) = a.tile_raw(i, j);
-                (ptr, len, rows, cols, i * nb + j * nb * 0)
+                (ptr, len, rows, cols)
             })
             .collect();
         // SAFETY wrapper for sending raw tile pointers to the worker threads;
         // tiles are disjoint allocations and each chunk touches its own set.
-        struct Ptrs(Vec<(*mut f64, usize, usize, usize, usize)>);
+        struct Ptrs(Vec<(*mut f64, usize, usize, usize)>);
         unsafe impl Sync for Ptrs {}
         let ptrs = Ptrs(tile_ptrs);
         let coords_ref = &coords;
         let ptrs_ref = &ptrs;
         parallel_for(num_workers, coords.len(), 1, move |s, e| {
-            for idx in s..e {
-                let (i, j) = coords_ref[idx];
-                let (ptr, len, rows, cols, _) = ptrs_ref.0[idx];
+            let chunk = coords_ref[s..e].iter().zip(&ptrs_ref.0[s..e]);
+            for (&(i, j), &(ptr, len, rows, cols)) in chunk {
                 // SAFETY: each index is processed exactly once (disjoint
                 // chunks), so the mutable view is exclusive.
                 let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
@@ -211,7 +203,14 @@ impl TileMatrix {
                 let rows = a.tile_rows(i);
                 let cols = a.tile_cols(j);
                 let t = a.tile_mut(i, j);
-                kernel.fill_tile(row_off + i * nb, rows, col_off + j * nb, cols, &mut t.data, rows);
+                kernel.fill_tile(
+                    row_off + i * nb,
+                    rows,
+                    col_off + j * nb,
+                    cols,
+                    &mut t.data,
+                    rows,
+                );
             }
         }
         a

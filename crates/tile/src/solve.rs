@@ -77,12 +77,7 @@ pub enum TriangularSide {
 /// Cholesky factor in its lower tiles.
 ///
 /// `l` is taken `&mut` only to create tile views; no task writes to it.
-pub fn tile_trsm(
-    l: &mut TileMatrix,
-    side: TriangularSide,
-    b: &mut Mat,
-    rt: &Runtime,
-) -> ExecStats {
+pub fn tile_trsm(l: &mut TileMatrix, side: TriangularSide, b: &mut Mat, rt: &Runtime) -> ExecStats {
     assert_eq!(l.m, l.n, "factor must be square");
     assert_eq!(l.m, b.nrows(), "RHS row count mismatch");
     if b.ncols() == 0 || l.m == 0 {
@@ -106,7 +101,17 @@ pub fn tile_trsm(
                     move || {
                         let lbuf = unsafe { lkk.as_slice() };
                         let bbuf = unsafe { bk.as_mut_slice() };
-                        dtrsm(Side::Left, Trans::No, bk.rows, bk.cols, 1.0, lbuf, lkk.rows, bbuf, bk.ld);
+                        dtrsm(
+                            Side::Left,
+                            Trans::No,
+                            bk.rows,
+                            bk.cols,
+                            1.0,
+                            lbuf,
+                            lkk.rows,
+                            bbuf,
+                            bk.ld,
+                        );
                     },
                 );
                 for i in k + 1..nt {
@@ -139,7 +144,17 @@ pub fn tile_trsm(
                     move || {
                         let lbuf = unsafe { lkk.as_slice() };
                         let bbuf = unsafe { bk.as_mut_slice() };
-                        dtrsm(Side::Left, Trans::Yes, bk.rows, bk.cols, 1.0, lbuf, lkk.rows, bbuf, bk.ld);
+                        dtrsm(
+                            Side::Left,
+                            Trans::Yes,
+                            bk.rows,
+                            bk.cols,
+                            1.0,
+                            lbuf,
+                            lkk.rows,
+                            bbuf,
+                            bk.ld,
+                        );
                     },
                 );
                 for i in 0..k {
@@ -233,7 +248,10 @@ mod tests {
         let mut x = b.clone();
         tile_potrs(&mut a, &mut x, &rt);
         let r = residual_norm(&dense, &x, &b);
-        assert!(r < 1e-8 * frobenius_norm(60, 5, b.as_slice(), 60), "residual {r}");
+        assert!(
+            r < 1e-8 * frobenius_norm(60, 5, b.as_slice(), 60),
+            "residual {r}"
+        );
     }
 
     #[test]
@@ -253,14 +271,34 @@ mod tests {
         let mut x_tile = b.clone();
         tile_trsm(&mut a, TriangularSide::Forward, &mut x_tile, &rt);
         let mut x_ref = b.clone();
-        dtrsm(Side::Left, Trans::No, n, 3, 1.0, lref.as_slice(), n, x_ref.as_mut_slice(), n);
+        dtrsm(
+            Side::Left,
+            Trans::No,
+            n,
+            3,
+            1.0,
+            lref.as_slice(),
+            n,
+            x_ref.as_mut_slice(),
+            n,
+        );
         for (t, r) in x_tile.as_slice().iter().zip(x_ref.as_slice()) {
             assert!((t - r).abs() < 1e-9 * r.abs().max(1.0));
         }
 
         // Backward on top.
         tile_trsm(&mut a, TriangularSide::Backward, &mut x_tile, &rt);
-        dtrsm(Side::Left, Trans::Yes, n, 3, 1.0, lref.as_slice(), n, x_ref.as_mut_slice(), n);
+        dtrsm(
+            Side::Left,
+            Trans::Yes,
+            n,
+            3,
+            1.0,
+            lref.as_slice(),
+            n,
+            x_ref.as_mut_slice(),
+            n,
+        );
         for (t, r) in x_tile.as_slice().iter().zip(x_ref.as_slice()) {
             assert!((t - r).abs() < 1e-8 * r.abs().max(1.0));
         }

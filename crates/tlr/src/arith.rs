@@ -13,8 +13,7 @@
 
 use crate::lr::LrTile;
 use exa_linalg::{
-    dgemm, dgeqrf, dorgqr, dtrsm, jacobi_svd, truncation_rank_cut, Cutoff, LinalgError, Side,
-    Trans,
+    dgemm, dgeqrf, dorgqr, dtrsm, jacobi_svd, truncation_rank_cut, Cutoff, LinalgError, Side, Trans,
 };
 
 /// `A ← A · L⁻ᵀ` for a low-rank tile and the dense Cholesky factor `L`
@@ -68,7 +67,19 @@ pub fn lr_syrk(a: &LrTile, d: &mut [f64], ldd: usize) {
     // T = U W (m × k).
     let mut t = vec![0.0; m * k];
     dgemm(
-        Trans::No, Trans::No, m, k, k, 1.0, &a.u, m, &w, k, 0.0, &mut t, m,
+        Trans::No,
+        Trans::No,
+        m,
+        k,
+        k,
+        1.0,
+        &a.u,
+        m,
+        &w,
+        k,
+        0.0,
+        &mut t,
+        m,
     );
     // D ← D − T Uᵀ.
     dgemm(
@@ -218,7 +229,19 @@ pub fn recompress(t: &mut LrTile, eps: f64) -> Result<(), LinalgError> {
     // Core = R_u R_vᵀ (r × r), SVD + truncate.
     let mut core = vec![0.0; r * r];
     dgemm(
-        Trans::No, Trans::Yes, r, r, r, 1.0, &ru, r, &rv, r, 0.0, &mut core, r,
+        Trans::No,
+        Trans::Yes,
+        r,
+        r,
+        r,
+        1.0,
+        &ru,
+        r,
+        &rv,
+        r,
+        0.0,
+        &mut core,
+        r,
     );
     let mut svd = jacobi_svd(r, r, &core, r)?;
     let k = truncation_rank_cut(&svd.s, Cutoff::Absolute(eps));
@@ -236,11 +259,35 @@ pub fn recompress(t: &mut LrTile, eps: f64) -> Result<(), LinalgError> {
     }
     let mut u_new = vec![0.0; m * k];
     dgemm(
-        Trans::No, Trans::No, m, k, r, 1.0, &qu, m, &us, r, 0.0, &mut u_new, m,
+        Trans::No,
+        Trans::No,
+        m,
+        k,
+        r,
+        1.0,
+        &qu,
+        m,
+        &us,
+        r,
+        0.0,
+        &mut u_new,
+        m,
     );
     let mut v_new = vec![0.0; n * k];
     dgemm(
-        Trans::No, Trans::No, n, k, r, 1.0, &qv, n, &svd.v, r, 0.0, &mut v_new, n,
+        Trans::No,
+        Trans::No,
+        n,
+        k,
+        r,
+        1.0,
+        &qv,
+        n,
+        &svd.v,
+        r,
+        0.0,
+        &mut v_new,
+        n,
     );
     t.set_factors(k, u_new, v_new);
     Ok(())

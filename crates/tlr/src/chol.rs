@@ -46,7 +46,7 @@ impl Poison {
     }
 
     fn take(&self) -> Option<LinalgError> {
-        self.info.lock().unwrap().clone()
+        *self.info.lock().unwrap()
     }
 }
 
@@ -113,14 +113,14 @@ pub fn tlr_potrf(a: &mut TlrMatrix, rt: &Runtime) -> Result<ExecStats, LinalgErr
                 p.set(LinalgError::NotPositiveDefinite { index: off + index });
             }
         });
-        for i in k + 1..nt {
+        for (i, &lhki) in lh[k].iter().enumerate().skip(k + 1) {
             let dk = DiagView(a.diag_ptr(k));
             let aik = LrView(a.lr_ptr(i, k));
             let p = poison.clone();
             graph.submit(
                 "lr-trsm",
                 1,
-                &[(dh[k], Access::Read), (lh[k][i], Access::ReadWrite)],
+                &[(dh[k], Access::Read), (lhki, Access::ReadWrite)],
                 move || {
                     if p.poisoned() {
                         return;
@@ -246,8 +246,7 @@ mod tests {
 
     fn factor_error(n: usize, nb: usize, eps: f64, seed: u64) -> f64 {
         let k = kernel(n, 0.1, seed);
-        let mut a =
-            TlrMatrix::from_kernel(&k, nb, eps, CompressionMethod::Svd, 2, seed).unwrap();
+        let mut a = TlrMatrix::from_kernel(&k, nb, eps, CompressionMethod::Svd, 2, seed).unwrap();
         let reference = a.to_dense_symmetric();
         tlr_potrf(&mut a, &Runtime::new(4)).unwrap();
         let l = tlr_factor_to_dense(&a);

@@ -58,7 +58,15 @@ pub fn compress_dense(
             Ok(LrTile::from_svd(&svd))
         }
         CompressionMethod::Rsvd => {
-            let svd = rsvd_cut(m, n, a, lda, Cutoff::Absolute(eps), RsvdOptions::default(), rng)?;
+            let svd = rsvd_cut(
+                m,
+                n,
+                a,
+                lda,
+                Cutoff::Absolute(eps),
+                RsvdOptions::default(),
+                rng,
+            )?;
             Ok(LrTile::from_svd(&svd))
         }
         CompressionMethod::Aca => {
@@ -263,12 +271,26 @@ mod tests {
     fn lower_accuracy_gives_lower_rank() {
         let a = separated_covariance_tile(48, 48, 3);
         let mut rng = Rng::seed_from_u64(4);
-        let loose =
-            compress_dense(48, 48, a.as_slice(), 48, 1e-3, CompressionMethod::Svd, &mut rng)
-                .unwrap();
-        let tight =
-            compress_dense(48, 48, a.as_slice(), 48, 1e-11, CompressionMethod::Svd, &mut rng)
-                .unwrap();
+        let loose = compress_dense(
+            48,
+            48,
+            a.as_slice(),
+            48,
+            1e-3,
+            CompressionMethod::Svd,
+            &mut rng,
+        )
+        .unwrap();
+        let tight = compress_dense(
+            48,
+            48,
+            a.as_slice(),
+            48,
+            1e-11,
+            CompressionMethod::Svd,
+            &mut rng,
+        )
+        .unwrap();
         assert!(loose.rank() <= tight.rank());
         assert!(loose.rank() >= 1);
     }
@@ -297,8 +319,17 @@ mod tests {
             DistanceMetric::Euclidean,
             0.0,
         );
-        let t = compress_kernel_block(&kernel, 0, 25, 30, 30, 1e-7, CompressionMethod::Aca, &mut rng)
-            .unwrap();
+        let t = compress_kernel_block(
+            &kernel,
+            0,
+            25,
+            30,
+            30,
+            1e-7,
+            CompressionMethod::Aca,
+            &mut rng,
+        )
+        .unwrap();
         let dense = Mat::from_fn(25, 30, |i, j| kernel.entry(i, 30 + j));
         assert!(rel_error(&dense, &t) < 1e-4);
     }
@@ -317,12 +348,33 @@ mod tests {
     fn svd_and_rsvd_agree_on_rank() {
         let a = separated_covariance_tile(32, 32, 8);
         let mut rng = Rng::seed_from_u64(9);
-        let s = compress_dense(32, 32, a.as_slice(), 32, 1e-7, CompressionMethod::Svd, &mut rng)
-            .unwrap();
-        let r = compress_dense(32, 32, a.as_slice(), 32, 1e-7, CompressionMethod::Rsvd, &mut rng)
-            .unwrap();
+        let s = compress_dense(
+            32,
+            32,
+            a.as_slice(),
+            32,
+            1e-7,
+            CompressionMethod::Svd,
+            &mut rng,
+        )
+        .unwrap();
+        let r = compress_dense(
+            32,
+            32,
+            a.as_slice(),
+            32,
+            1e-7,
+            CompressionMethod::Rsvd,
+            &mut rng,
+        )
+        .unwrap();
         // RSVD may keep a few extra triplets but must be in the same regime.
         assert!(r.rank() >= s.rank());
-        assert!(r.rank() <= s.rank() + 8, "svd {} rsvd {}", s.rank(), r.rank());
+        assert!(
+            r.rank() <= s.rank() + 8,
+            "svd {} rsvd {}",
+            s.rank(),
+            r.rank()
+        );
     }
 }

@@ -163,7 +163,18 @@ impl LrTile {
             k,
         );
         dgemm(
-            Trans::No, Trans::No, self.rows, nrhs, k, alpha, &self.u, self.rows, &t, k, beta, c,
+            Trans::No,
+            Trans::No,
+            self.rows,
+            nrhs,
+            k,
+            alpha,
+            &self.u,
+            self.rows,
+            &t,
+            k,
+            beta,
+            c,
             ldc,
         );
     }
@@ -209,7 +220,18 @@ impl LrTile {
             k,
         );
         dgemm(
-            Trans::No, Trans::No, self.cols, nrhs, k, alpha, &self.v, self.cols, &t, k, beta, c,
+            Trans::No,
+            Trans::No,
+            self.cols,
+            nrhs,
+            k,
+            alpha,
+            &self.v,
+            self.cols,
+            &t,
+            k,
+            beta,
+            c,
             ldc,
         );
     }
@@ -266,11 +288,7 @@ mod tests {
         rng.fill_gaussian(&mut x);
         let mut y = vec![1.0; 9];
         t.matvec_acc(2.0, &x, &mut y);
-        let want: Vec<f64> = dense
-            .matvec(&x)
-            .iter()
-            .map(|v| 1.0 + 2.0 * v)
-            .collect();
+        let want: Vec<f64> = dense.matvec(&x).iter().map(|v| 1.0 + 2.0 * v).collect();
         for (a, b) in y.iter().zip(&want) {
             assert!((a - b).abs() < 1e-12);
         }

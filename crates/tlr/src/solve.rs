@@ -81,7 +81,17 @@ pub fn tlr_trsm(l: &mut TlrMatrix, side: TriangularSide, b: &mut Mat, rt: &Runti
                     move || {
                         let t = unsafe { dk.get() };
                         let bbuf = unsafe { bk.as_mut_slice() };
-                        dtrsm(Side::Left, Trans::No, bk.rows, bk.cols, 1.0, &t.data, t.rows, bbuf, bk.ld);
+                        dtrsm(
+                            Side::Left,
+                            Trans::No,
+                            bk.rows,
+                            bk.cols,
+                            1.0,
+                            &t.data,
+                            t.rows,
+                            bbuf,
+                            bk.ld,
+                        );
                     },
                 );
                 for i in k + 1..nt {
@@ -117,7 +127,17 @@ pub fn tlr_trsm(l: &mut TlrMatrix, side: TriangularSide, b: &mut Mat, rt: &Runti
                     move || {
                         let t = unsafe { dk.get() };
                         let bbuf = unsafe { bk.as_mut_slice() };
-                        dtrsm(Side::Left, Trans::Yes, bk.rows, bk.cols, 1.0, &t.data, t.rows, bbuf, bk.ld);
+                        dtrsm(
+                            Side::Left,
+                            Trans::Yes,
+                            bk.rows,
+                            bk.cols,
+                            1.0,
+                            &t.data,
+                            t.rows,
+                            bbuf,
+                            bk.ld,
+                        );
                     },
                 );
                 for i in 0..k {

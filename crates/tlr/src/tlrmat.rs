@@ -65,7 +65,7 @@ impl TlrMatrix {
         let ext = |idx: usize| nb.min(n - idx * nb);
 
         // Diagonal tiles (dense, parallel fill).
-        let mut diag: Vec<Tile> = (0..nt).map(|k| Tile::zeros(ext(k), ext(k))) .collect();
+        let mut diag: Vec<Tile> = (0..nt).map(|k| Tile::zeros(ext(k), ext(k))).collect();
         {
             struct DiagPtrs(Vec<(*mut f64, usize)>);
             unsafe impl Sync for DiagPtrs {}
@@ -96,8 +96,7 @@ impl TlrMatrix {
                 std::sync::Mutex::new((0..coords.len()).map(|_| None).collect());
             let slots_ref = &slots;
             parallel_for(num_workers, coords.len(), 1, move |a, b| {
-                for idx in a..b {
-                    let (i, j) = coords_ref[idx];
+                for (idx, &(i, j)) in coords_ref.iter().enumerate().take(b).skip(a) {
                     let mut rng =
                         exa_util::Rng::seed_from_u64(seed ^ ((i as u64) << 32 | j as u64));
                     let r = compress_kernel_block(
@@ -208,11 +207,7 @@ impl TlrMatrix {
     /// Bytes held by the TLR representation (dense diagonals + LR factors).
     pub fn bytes(&self) -> usize {
         let d: usize = self.diag.iter().map(|t| t.data.len() * 8).sum();
-        let l: usize = self
-            .low
-            .iter()
-            .map(|t| t.bytes())
-            .sum::<usize>();
+        let l: usize = self.low.iter().map(|t| t.bytes()).sum::<usize>();
         d + l
     }
 
@@ -331,8 +326,7 @@ mod tests {
     fn reconstruction_error_within_threshold() {
         let k = kernel(96, 0.1, 1);
         for eps in [1e-5, 1e-9] {
-            let tlr =
-                TlrMatrix::from_kernel(&k, 24, eps, CompressionMethod::Svd, 2, 7).unwrap();
+            let tlr = TlrMatrix::from_kernel(&k, 24, eps, CompressionMethod::Svd, 2, 7).unwrap();
             let dense = tlr.to_dense_symmetric();
             for j in 0..96 {
                 for i in 0..96 {
@@ -352,10 +346,8 @@ mod tests {
     #[test]
     fn ranks_grow_with_accuracy() {
         let k = kernel(120, 0.3, 2);
-        let loose =
-            TlrMatrix::from_kernel(&k, 30, 1e-3, CompressionMethod::Svd, 2, 3).unwrap();
-        let tight =
-            TlrMatrix::from_kernel(&k, 30, 1e-12, CompressionMethod::Svd, 2, 3).unwrap();
+        let loose = TlrMatrix::from_kernel(&k, 30, 1e-3, CompressionMethod::Svd, 2, 3).unwrap();
+        let tight = TlrMatrix::from_kernel(&k, 30, 1e-12, CompressionMethod::Svd, 2, 3).unwrap();
         assert!(loose.rank_stats().mean <= tight.rank_stats().mean);
         assert!(loose.bytes() <= tight.bytes());
     }

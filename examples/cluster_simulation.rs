@@ -31,7 +31,9 @@ fn main() {
     print!("full-tile (dense) plan: ");
     match check_memory(nt_dense, &dense, &machine, &grid) {
         Ok(()) => println!("fits in memory ({nt_dense} tile rows)"),
-        Err(SimError::OutOfMemory { required, capacity, .. }) => println!(
+        Err(SimError::OutOfMemory {
+            required, capacity, ..
+        }) => println!(
             "OOM: a node needs {} GiB of {} GiB",
             required >> 30,
             capacity >> 30
@@ -43,7 +45,12 @@ fn main() {
     // laptop-scale assemblies, then simulate.
     let params = MaternParams::new(1.0, 0.1, 0.5);
     let mut table = Table::new(vec![
-        "plan", "tile rows", "mean rank", "makespan", "comm (GiB)", "efficiency",
+        "plan",
+        "tile rows",
+        "mean rank",
+        "makespan",
+        "comm (GiB)",
+        "efficiency",
     ]);
     for eps in [1e-5, 1e-7, 1e-9] {
         let model = RankModel::calibrate(eps, params, 2048, 128, 3);

@@ -91,5 +91,8 @@ fn main() {
         mse,
         truth.variance
     );
-    assert!(mse < truth.variance, "kriging must beat the trivial predictor");
+    assert!(
+        mse < truth.variance,
+        "kriging must beat the trivial predictor"
+    );
 }

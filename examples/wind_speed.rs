@@ -28,12 +28,25 @@ fn main() {
     // Hold out 100 sites; predict them with each technique (Figure 9).
     let mut rng = Rng::seed_from_u64(11);
     let split = holdout_split(data.locations.len(), 100, &mut rng);
-    let observed: Vec<Location> = split.estimation.iter().map(|&i| data.locations[i]).collect();
+    let observed: Vec<Location> = split
+        .estimation
+        .iter()
+        .map(|&i| data.locations[i])
+        .collect();
     let z_obs: Vec<f64> = split.estimation.iter().map(|&i| data.z[i]).collect();
-    let targets: Vec<Location> = split.validation.iter().map(|&i| data.locations[i]).collect();
+    let targets: Vec<Location> = split
+        .validation
+        .iter()
+        .map(|&i| data.locations[i])
+        .collect();
     let truth: Vec<f64> = split.validation.iter().map(|&i| data.z[i]).collect();
 
-    let mut table = Table::new(vec!["technique", "prediction MSE", "factor time", "solve time"]);
+    let mut table = Table::new(vec![
+        "technique",
+        "prediction MSE",
+        "factor time",
+        "solve time",
+    ]);
     for backend in [
         Backend::tlr(1e-5),
         Backend::tlr(1e-7),

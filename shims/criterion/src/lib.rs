@@ -1,0 +1,443 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate provides the criterion API surface the benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], `Bencher::iter` —
+//! backed by a plain wall-clock harness instead of criterion's statistical
+//! machinery:
+//!
+//! * each benchmark is calibrated during a warm-up, then timed over
+//!   `sample_size` samples sized to fill `measurement_time`;
+//! * results (mean/min/max ns per iteration) are printed to stdout and
+//!   written as `estimates.json` files under `target/criterion/` (or
+//!   `$CRITERION_HOME`), mirroring criterion's layout so artifact-collection
+//!   jobs keep working;
+//! * the CLI accepts the flags CI passes (`--bench`, a name filter,
+//!   `--measurement-time`, `--sample-size`, `--warm-up-time`, `--quick`,
+//!   `--test`) and ignores the rest.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration, shared by every group a `Criterion` spawns.
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: f64,
+    warm_up_time: f64,
+    filter: Option<String>,
+    /// `--test`: run every benchmark body exactly once, no timing.
+    test_mode: bool,
+    output_dir: PathBuf,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            measurement_time: 3.0,
+            warm_up_time: 0.5,
+            filter: None,
+            test_mode: false,
+            output_dir: output_root(),
+        }
+    }
+}
+
+fn output_root() -> PathBuf {
+    if let Ok(home) = std::env::var("CRITERION_HOME") {
+        return PathBuf::from(home);
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("criterion");
+    }
+    // Cargo runs bench binaries with the *package* root as cwd, which for a
+    // workspace member is not where `target/` lives. Like real criterion,
+    // derive the target dir from the executable path:
+    // <target>/<profile>/deps/<bench-bin>.
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(target) = exe.ancestors().nth(3) {
+            return target.join("criterion");
+        }
+    }
+    PathBuf::from("target").join("criterion")
+}
+
+/// The harness entry point (criterion's `Criterion<M>` without the `M`).
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Applies the benchmark CLI arguments cargo forwards after `--`.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--measurement-time" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.config.measurement_time = v;
+                    }
+                }
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.config.sample_size = v;
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.config.warm_up_time = v;
+                    }
+                }
+                // Value-taking flags we accept and ignore.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--color"
+                | "--output-format" => {
+                    args.next();
+                }
+                "--quick" => {
+                    self.config.measurement_time = self.config.measurement_time.min(1.0);
+                    self.config.sample_size = self.config.sample_size.min(10);
+                }
+                "--test" => self.config.test_mode = true,
+                // Boolean flags cargo/CI may pass; no effect here.
+                "--bench" | "--noplot" | "--verbose" | "-v" | "--quiet" | "--exact" | "--list"
+                | "--nocapture" => {}
+                other => {
+                    if let Some(v) = other.strip_prefix("--measurement-time=") {
+                        if let Ok(v) = v.parse() {
+                            self.config.measurement_time = v;
+                        }
+                    } else if let Some(v) = other.strip_prefix("--sample-size=") {
+                        if let Ok(v) = v.parse() {
+                            self.config.sample_size = v;
+                        }
+                    } else if !other.starts_with('-') {
+                        self.config.filter = Some(other.to_string());
+                    }
+                    // Unknown `--flags` are ignored for forward compatibility.
+                }
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// A top-level benchmark outside any explicit group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config.clone();
+        run_benchmark(&config, "", &id.into(), f);
+    }
+}
+
+/// A labelled benchmark id: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Allows plain `&str`/`String` ids in `bench_with_input`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// A group of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t.as_secs_f64();
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t.as_secs_f64();
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_benchmark(&self.config, &self.name, &id.id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.config, &self.name, &id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark body; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    config: Config,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating during a warm-up phase, then collecting
+    /// `sample_size` samples that together fill `measurement_time`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.config.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up doubles as calibration; always runs at least one iteration.
+        let warmup = Duration::from_secs_f64(self.config.warm_up_time.max(1e-3));
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if start.elapsed() >= warmup {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let samples = self.config.sample_size.max(2);
+        let budget = self.config.measurement_time / samples as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-12)) as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// `iter` variant that hands the elapsed-time accounting to the closure.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if self.config.test_mode {
+            f(1);
+            return;
+        }
+        let samples = self.config.sample_size.max(2);
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let d = f(1);
+            self.samples_ns.push(d.as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn run_benchmark<F: FnOnce(&mut Bencher)>(config: &Config, group: &str, id: &str, f: F) {
+    let full_id = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if let Some(filter) = &config.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        config: config.clone(),
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if config.test_mode {
+        println!("{full_id}: test passed");
+        return;
+    }
+    let s = &bencher.samples_ns;
+    if s.is_empty() {
+        println!("{full_id}: no samples recorded");
+        return;
+    }
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / s.len() as f64;
+    println!(
+        "{full_id:<40} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+    write_estimates(config, &full_id, mean, min, max, var.sqrt());
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Mirrors criterion's on-disk layout closely enough for artifact upload:
+/// `<root>/<full id path>/new/estimates.json`.
+fn write_estimates(config: &Config, full_id: &str, mean: f64, min: f64, max: f64, std_dev: f64) {
+    let mut dir = config.output_dir.clone();
+    for part in full_id.split('/') {
+        dir.push(sanitize(part));
+    }
+    dir.push("new");
+    if fs::create_dir_all(&dir).is_err() {
+        return; // Reporting must never fail the bench run.
+    }
+    let json = format!(
+        concat!(
+            "{{\"mean\":{{\"point_estimate\":{mean}}},",
+            "\"median\":{{\"point_estimate\":{mean}}},",
+            "\"min\":{{\"point_estimate\":{min}}},",
+            "\"max\":{{\"point_estimate\":{max}}},",
+            "\"std_dev\":{{\"point_estimate\":{sd}}}}}"
+        ),
+        mean = mean,
+        min = min,
+        max = max,
+        sd = std_dev,
+    );
+    let _ = fs::write(dir.join("estimates.json"), json);
+}
+
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            config: Config {
+                sample_size: 3,
+                measurement_time: 0.01,
+                warm_up_time: 0.001,
+                ..Config::default()
+            },
+            samples_ns: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&ns| ns > 0.0));
+        assert!(count > 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("dgemm", 64);
+        assert_eq!(id.id, "dgemm/64");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn sanitize_keeps_safe_chars() {
+        assert_eq!(sanitize("dgemm-64_x.y"), "dgemm-64_x.y");
+        assert_eq!(sanitize("a b/c"), "a_b_c");
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline shim for the `crossbeam-deque` crate.
+//!
+//! Provides the `Worker`/`Stealer`/`Injector`/`Steal` surface the runtime
+//! executor uses, implemented over `Mutex<VecDeque<T>>` instead of the real
+//! lock-free Chase–Lev deque. The scheduling semantics the executor relies on
+//! are preserved — FIFO steal order, owner `pop`, `steal()` that never blocks
+//! — only the single-operation throughput differs, which for tile-sized tasks
+//! (micro- to milli-seconds each) is noise.
+//!
+//! `Steal::Retry` exists so call sites written against the real crate compile
+//! unchanged; this implementation never needs to return it.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, TryLockError};
+
+/// Outcome of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn locked<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    match queue.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A worker-owned deque; `pop` takes from the owner's end.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// A FIFO worker queue: `pop` takes the oldest task.
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: false,
+        }
+    }
+
+    /// A LIFO worker queue: `pop` takes the most recently pushed task.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: true,
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let mut q = locked(&self.queue);
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    /// A handle other threads can steal from.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A shareable handle that steals from the opposite end of a [`Worker`].
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        let mut q = match self.queue.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => return Steal::Retry,
+        };
+        match q.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A global FIFO task queue every worker can push to and steal from.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_drains_worker() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        assert!(s.steal().is_empty());
+        w.push(7);
+        assert_eq!(s.steal(), Steal::Success(7));
+    }
+
+    #[test]
+    fn injector_shared_across_threads() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = Arc::clone(&inj);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0;
+                while let Steal::Success(_) = inj.steal() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+}

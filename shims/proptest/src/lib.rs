@@ -1,0 +1,216 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate implements the subset of proptest the test suites use: the
+//! [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], numeric range
+//! strategies, tuple strategies, [`collection::vec`], `prop_map`, and
+//! [`arbitrary::any`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs verbatim;
+//!   it does not search for a minimal counterexample.
+//! * **Deterministic generation.** Case `i` of test `t` always sees the same
+//!   inputs (seeded from a hash of the test path and `i`), so CI failures
+//!   reproduce locally without a persistence file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    // Re-exported under its real-proptest name so `ProptestConfig::with_cases`
+    // resolves inside `#![proptest_config(...)]` attributes.
+    pub use crate::test_runner::Config as ProptestConfig;
+}
+
+/// Fails the current test case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $(let $arg = $strat;)+
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$arg, &mut rng);
+                    )+
+                    let inputs = [
+                        $(format!(
+                            "{} = {:?}", stringify!($arg), &$arg
+                        ),)+
+                    ]
+                    .join(",\n    ");
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}\n  with inputs:\n    {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            err,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in -1.5f64..2.5,
+            n in 3usize..9,
+            s in 0u64..1000,
+        ) {
+            prop_assert!((-1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(s < 1000);
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec((0usize..4, any::<bool>()), 1..6)
+                .prop_map(|mut v| { v.sort(); v }),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            for &(h, _) in &v {
+                prop_assert!(h < 4, "handle {} out of range", h);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("same::test", 3);
+        let mut b = TestRng::deterministic("same::test", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("same::test", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                fn always_fails(x in 0usize..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "message: {msg}");
+        assert!(msg.contains("x = "), "message: {msg}");
+    }
+}

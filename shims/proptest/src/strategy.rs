@@ -1,0 +1,183 @@
+//! The [`Strategy`] trait and the combinators the workspace uses: numeric
+//! ranges, tuples, [`Just`], and `prop_map`.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply draws a value from the RNG.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f(value)` for each generated `value`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Integers and floats that `Range<T>` strategies can produce.
+pub trait SampleUniform: Copy + Debug {
+    fn sample(range: &Range<Self>, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[allow(clippy::unnecessary_cast)] // casts are no-ops for the widest types
+            fn sample(range: &Range<Self>, rng: &mut TestRng) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "empty range strategy {:?}", range
+                );
+                let span = range.end.abs_diff(range.start) as u64;
+                range.start.wrapping_add(rng.next_below(span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample(range: &Range<Self>, rng: &mut TestRng) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "empty range strategy {:?}", range
+                );
+                let u = rng.next_f64() as $ty;
+                let v = range.start + u * (range.end - range.start);
+                // Guard against rounding landing exactly on `end`.
+                if v >= range.end {
+                    range.start
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_hits_all_values() {
+        let mut rng = TestRng::deterministic("strategy::int", 0);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[(2usize..7).generate(&mut rng) - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = TestRng::deterministic("strategy::float", 0);
+        for _ in 0..1000 {
+            let x = (-2.0f64..3.5).generate(&mut rng);
+            assert!((-2.0..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = TestRng::deterministic("strategy::neg", 0);
+        for _ in 0..200 {
+            let x = (-5i32..-1).generate(&mut rng);
+            assert!((-5..-1).contains(&x));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::deterministic("strategy::map", 0);
+        let s = (0usize..10, 0usize..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) <= 18);
+        }
+    }
+}

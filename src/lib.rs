@@ -65,9 +65,8 @@ pub mod prelude {
     };
     pub use exa_geostat::{
         holdout_split, log_likelihood, predict, predict_with_variance, prediction_mse,
-        synthetic_locations,
-        synthetic_locations_n, Backend, FieldSimulator, LikelihoodConfig, MleProblem,
-        NelderMeadConfig, ParamBounds,
+        synthetic_locations, synthetic_locations_n, Backend, FieldSimulator, LikelihoodConfig,
+        MleProblem, NelderMeadConfig, ParamBounds,
     };
     pub use exa_runtime::Runtime;
     pub use exa_tlr::{CompressionMethod, TlrMatrix};

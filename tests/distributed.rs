@@ -162,9 +162,7 @@ fn scaling_from_256_to_1024_nodes_helps_dense_more() {
             let cost = DenseCost { nb: 560 };
             match simulate_cholesky(nt, &cost, &machine, &grid) {
                 Ok(s) => s.makespan,
-                Err(SimError::TooLarge { .. }) => {
-                    analytic_cholesky_seconds(nt, &cost, &machine)
-                }
+                Err(SimError::TooLarge { .. }) => analytic_cholesky_seconds(nt, &cost, &machine),
                 Err(e) => panic!("{e}"),
             }
         } else {

@@ -15,15 +15,8 @@ fn simulated_problem(
 ) -> (Arc<Vec<Location>>, Vec<f64>) {
     let mut rng = Rng::seed_from_u64(seed);
     let locs = Arc::new(synthetic_locations(side, &mut rng));
-    let sim = FieldSimulator::new(
-        locs.clone(),
-        truth,
-        DistanceMetric::Euclidean,
-        0.0,
-        48,
-        rt,
-    )
-    .expect("SPD");
+    let sim = FieldSimulator::new(locs.clone(), truth, DistanceMetric::Euclidean, 0.0, 48, rt)
+        .expect("SPD");
     let z = sim.draw(&mut rng);
     (locs, z)
 }
@@ -148,11 +141,7 @@ fn all_backends_agree_on_prediction_at_tight_accuracy() {
     let z_obs: Vec<f64> = split.estimation.iter().map(|&i| z[i]).collect();
     let targets: Vec<Location> = split.validation.iter().map(|&i| locs[i]).collect();
     let mut results = Vec::new();
-    for backend in [
-        Backend::FullBlock,
-        Backend::FullTile,
-        Backend::tlr(1e-11),
-    ] {
+    for backend in [Backend::FullBlock, Backend::FullTile, Backend::tlr(1e-11)] {
         let p = predict(
             &observed,
             &z_obs,
@@ -229,15 +218,7 @@ fn simulated_fields_have_the_right_marginal_moments() {
     let rt = Runtime::new(4);
     let mut rng = Rng::seed_from_u64(8);
     let locs = Arc::new(synthetic_locations(12, &mut rng));
-    let sim = FieldSimulator::new(
-        locs,
-        truth,
-        DistanceMetric::Euclidean,
-        0.0,
-        36,
-        &rt,
-    )
-    .unwrap();
+    let sim = FieldSimulator::new(locs, truth, DistanceMetric::Euclidean, 0.0, 36, &rt).unwrap();
     let mut pooled = Vec::new();
     for _ in 0..40 {
         pooled.extend(sim.draw(&mut rng));

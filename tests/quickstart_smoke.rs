@@ -1,0 +1,82 @@
+//! Smoke test: the `examples/quickstart.rs` pipeline (simulate → TLR MLE →
+//! kriging) end-to-end through the `exageostat` facade, shrunk to a size CI
+//! can afford. This is the canary that the facade crate's re-exports, the
+//! prelude, and the full layer stack stay wired together.
+
+use exageostat::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn quickstart_pipeline_small_n() {
+    // 1. Simulate a Matérn field on a small jittered grid (n = 144).
+    let mut rng = Rng::seed_from_u64(42);
+    let locations = Arc::new(synthetic_locations(12, &mut rng));
+    let truth = MaternParams::new(1.0, 0.1, 0.5);
+    let rt = Runtime::new(2);
+    let sim = FieldSimulator::new(
+        locations.clone(),
+        truth,
+        DistanceMetric::Euclidean,
+        0.0,
+        36,
+        &rt,
+    )
+    .expect("Σ(θ) is SPD");
+    let z = sim.draw(&mut rng);
+    assert_eq!(z.len(), locations.len());
+
+    // 2. Hold out a validation set, as the quickstart does.
+    let split = holdout_split(locations.len(), 14, &mut rng);
+    let observed: Vec<Location> = split.estimation.iter().map(|&i| locations[i]).collect();
+    let z_obs: Vec<f64> = split.estimation.iter().map(|&i| z[i]).collect();
+    let targets: Vec<Location> = split.validation.iter().map(|&i| locations[i]).collect();
+    let z_truth: Vec<f64> = split.validation.iter().map(|&i| z[i]).collect();
+
+    // 3. A short TLR MLE run — few evaluations, loose tolerance: the smoke
+    //    test checks the pipeline runs and improves on its starting point,
+    //    not estimation quality (the Monte-Carlo suites cover that).
+    let problem = MleProblem {
+        locations: Arc::new(observed.clone()),
+        z: z_obs.clone(),
+        metric: DistanceMetric::Euclidean,
+        backend: Backend::tlr(1e-9),
+        config: LikelihoodConfig { nb: 36, seed: 42 },
+        nugget: 1e-8,
+    };
+    let start = MaternParams::new(0.5, 0.05, 1.0);
+    let fit = problem.fit(
+        start,
+        &ParamBounds::default(),
+        NelderMeadConfig {
+            max_evals: 40,
+            ftol: 1e-3,
+            ..Default::default()
+        },
+        &rt,
+    );
+    assert!(fit.loglik.is_finite(), "MLE produced a non-finite loglik");
+    assert!(fit.evaluations > 0 && fit.evaluations <= 40);
+    assert!(fit.params.variance > 0.0 && fit.params.range > 0.0);
+
+    // 4. Kriging prediction of the held-out sites must beat the trivial
+    //    zero predictor (whose expected squared error is the variance).
+    let pred = predict(
+        &observed,
+        &z_obs,
+        &targets,
+        fit.params,
+        DistanceMetric::Euclidean,
+        1e-8,
+        Backend::tlr(1e-9),
+        LikelihoodConfig { nb: 36, seed: 42 },
+        &rt,
+    )
+    .expect("prediction");
+    assert_eq!(pred.values.len(), targets.len());
+    let mse = prediction_mse(&z_truth, &pred.values);
+    assert!(mse.is_finite());
+    assert!(
+        mse < truth.variance,
+        "kriging must beat the trivial predictor: mse = {mse}"
+    );
+}
