@@ -1,0 +1,94 @@
+//! Criterion bench: prediction after fitting — factor reuse vs the legacy
+//! re-factorizing path.
+//!
+//! The session API's claim is that after `fit()`/`at_params()` the kriging
+//! predictor reuses the Cholesky factor already computed at `θ̂`, so a
+//! prediction costs one rectangular cross-covariance product instead of a
+//! full `potrf` + solves. This bench records both paths on identical data so
+//! `BENCH_*.json` runs track the gain:
+//!
+//! * `session_reuse`    — `FittedModel::predict` on a session factored once
+//!   outside the timing loop (the new pipeline after `fit`).
+//! * `legacy_refactorize` — the old free-function shape: factor Σ₂₂ at `θ̂`
+//!   and predict, every time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_covariance::MaternKernel;
+use exa_geostat::{
+    factorization_count, holdout_split, synthetic_locations_n, Backend, GeoModel, LikelihoodConfig,
+};
+use exa_runtime::Runtime;
+use exa_util::Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_fit_then_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_then_predict");
+    group.sample_size(10);
+    let n = 1024;
+    let m_unknown = 100;
+    let workers = exa_runtime::default_parallelism().min(8);
+    let rt = Runtime::new(workers);
+    let theta = [1.0, 0.1, 0.5];
+    let mut rng = Rng::seed_from_u64(1);
+    let locs = Arc::new(synthetic_locations_n(n, &mut rng));
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locs.clone())
+        .nugget(0.0)
+        .tile_size(64)
+        .build()
+        .unwrap()
+        .at_params(&theta, &rt)
+        .unwrap();
+    let z = generator.simulate(&mut rng, &rt);
+    let split = holdout_split(n, m_unknown, &mut rng);
+    let observed: Vec<_> = split.estimation.iter().map(|&i| locs[i]).collect();
+    let z_obs: Vec<f64> = split.estimation.iter().map(|&i| z[i]).collect();
+    let targets: Vec<_> = split.validation.iter().map(|&i| locs[i]).collect();
+
+    let backends = [
+        ("full_tile", Backend::FullTile, 64usize),
+        ("tlr_1e-9", Backend::tlr(1e-9), 128),
+    ];
+    for (label, backend, nb) in backends {
+        let model = GeoModel::<MaternKernel>::builder()
+            .locations(Arc::new(observed.clone()))
+            .data(z_obs.clone())
+            .backend(backend)
+            .config(LikelihoodConfig { nb, seed: 5 })
+            .build()
+            .unwrap();
+
+        // Factor once (what fit() leaves behind); predictions reuse it.
+        let fitted = model.at_params(&theta, &rt).unwrap();
+        let before = factorization_count();
+        group.bench_with_input(
+            BenchmarkId::new("session_reuse", label),
+            &fitted,
+            |b, fitted| {
+                b.iter(|| black_box(fitted.predict(&targets, &rt).unwrap().values[0]));
+            },
+        );
+        assert_eq!(
+            factorization_count(),
+            before,
+            "session predictions must not re-factorize"
+        );
+
+        // Legacy shape: every prediction pays for its own factorization.
+        group.bench_with_input(
+            BenchmarkId::new("legacy_refactorize", label),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let one_shot = model.at_params(&theta, &rt).unwrap();
+                    black_box(one_shot.predict(&targets, &rt).unwrap().values[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_then_predict);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exa_covariance::{DistanceMetric, MaternKernel, MaternParams};
-use exa_geostat::{log_likelihood, synthetic_locations_n, Backend, LikelihoodConfig};
+use exa_geostat::{eval_log_likelihood, synthetic_locations_n, Backend, LikelihoodConfig};
 use exa_runtime::Runtime;
 use exa_util::Rng;
 use std::hint::black_box;
@@ -41,7 +41,11 @@ fn bench_mle(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("backend", label), &backend, |b, &be| {
             b.iter(|| {
                 let cfg = LikelihoodConfig { nb, seed: 5 };
-                black_box(log_likelihood(&kernel, &z, be, cfg, &rt).unwrap().value)
+                black_box(
+                    eval_log_likelihood(&kernel, &z, be, cfg, &rt)
+                        .unwrap()
+                        .value,
+                )
             });
         });
     }

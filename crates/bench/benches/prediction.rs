@@ -2,9 +2,9 @@
 //! Figure 5's quantity at shared-memory scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use exa_covariance::{DistanceMetric, MaternParams};
+use exa_covariance::{DistanceMetric, MaternKernel, MaternParams};
 use exa_geostat::{
-    holdout_split, predict, synthetic_locations_n, Backend, FieldSimulator, LikelihoodConfig,
+    holdout_split, synthetic_locations_n, Backend, FieldSimulator, GeoModel, LikelihoodConfig,
 };
 use exa_runtime::Runtime;
 use exa_util::Rng;
@@ -46,20 +46,22 @@ fn bench_prediction(c: &mut Criterion) {
         } else {
             64
         };
-        group.bench_with_input(BenchmarkId::new("backend", label), &backend, |b, &be| {
+        let model = GeoModel::<MaternKernel>::builder()
+            .locations(Arc::new(observed.clone()))
+            .data(z_obs.clone())
+            .backend(backend)
+            .config(LikelihoodConfig { nb, seed: 5 })
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("backend", label), &model, |b, model| {
             b.iter(|| {
-                let p = predict(
-                    &observed,
-                    &z_obs,
-                    &targets,
-                    params,
-                    DistanceMetric::Euclidean,
-                    1e-8,
-                    be,
-                    LikelihoodConfig { nb, seed: 5 },
-                    &rt,
-                )
-                .unwrap();
+                // One-shot prediction: factor Σ₂₂ at θ, then krige (the
+                // paper's Figure 5 operation, factorization included).
+                let p = model
+                    .at_params(&params.to_array(), &rt)
+                    .unwrap()
+                    .predict(&targets, &rt)
+                    .unwrap();
                 black_box(p.values[0])
             });
         });

@@ -14,7 +14,7 @@
 
 use exa_bench::{fig3_backends, fmt_secs, fmt_speedup, parse_args};
 use exa_covariance::{DistanceMetric, MaternKernel, MaternParams};
-use exa_geostat::{log_likelihood, synthetic_locations_n, Backend, LikelihoodConfig};
+use exa_geostat::{eval_log_likelihood, synthetic_locations_n, Backend, LikelihoodConfig};
 use exa_runtime::Runtime;
 use exa_util::{Rng, Table};
 use std::sync::Arc;
@@ -48,7 +48,7 @@ fn main() {
         println!("== panel: {workers} worker threads ==");
         let mut table = Table::new(
             std::iter::once("n".to_string())
-                .chain(fig3_backends().iter().map(|b| b.label()))
+                .chain(fig3_backends().iter().map(|b| b.to_string()))
                 .collect::<Vec<_>>(),
         );
         // Track best speedup of TLR-1e-5 over Full-tile across the sweep.
@@ -84,7 +84,7 @@ fn main() {
                     nb,
                     seed: args.seed,
                 };
-                match log_likelihood(&kernel, &z, backend, cfg, &rt) {
+                match eval_log_likelihood(&kernel, &z, backend, cfg, &rt) {
                     Ok(ll) => {
                         let t = ll.total_seconds();
                         if matches!(backend, Backend::FullTile) {

@@ -71,9 +71,9 @@ fn main() {
             let truths = [truth.variance, truth.range, truth.smoothness];
             for ((table, b), t) in tables.iter_mut().zip(&boxes).zip(truths) {
                 let label = if out.failures > 0 {
-                    format!("{} ({} failed)", backend.label(), out.failures)
+                    format!("{backend} ({} failed)", out.failures)
                 } else {
-                    backend.label()
+                    backend.to_string()
                 };
                 table.row(vec![label, b.compact(), format!("{t}")]);
             }

@@ -70,9 +70,9 @@ fn main() {
                 fulltile_mean = m;
             }
             let label = if out.failures > 0 {
-                format!("{} ({} failed)", backend.label(), out.failures)
+                format!("{backend} ({} failed)", out.failures)
             } else {
-                backend.label()
+                backend.to_string()
             };
             table.row(vec![label, b.compact(), format!("{m:.4}")]);
         }

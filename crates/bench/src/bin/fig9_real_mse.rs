@@ -10,13 +10,14 @@
 //! ```
 
 use exa_bench::parse_args;
-use exa_covariance::{DistanceMetric, Location};
+use exa_covariance::{DistanceMetric, Location, MaternKernel};
 use exa_geostat::{
-    generate_region, holdout_split, predict, prediction_mse, soil_regions, wind_regions, Backend,
-    LikelihoodConfig, RegionSpec,
+    generate_region, holdout_split, prediction_mse, soil_regions, wind_regions, Backend, GeoModel,
+    RegionSpec,
 };
 use exa_runtime::Runtime;
 use exa_util::{five_number_summary, Rng, Table};
+use std::sync::Arc;
 
 fn region_study(
     spec: &RegionSpec,
@@ -63,25 +64,22 @@ fn region_study(
             let truth: Vec<f64> = split.validation.iter().map(|&i| data.z[i]).collect();
             // The paper predicts with the per-technique estimated θ̂; the
             // generative θ stands in here (Tables I–II cover estimation).
-            if let Ok(p) = predict(
-                &observed,
-                &z_obs,
-                &targets,
-                spec.params,
-                DistanceMetric::GreatCircleKm,
-                1e-8,
-                backend,
-                LikelihoodConfig {
-                    nb,
-                    seed: args.seed,
-                },
-                rt,
-            ) {
+            let session = GeoModel::<MaternKernel>::builder()
+                .locations(Arc::new(observed))
+                .data(z_obs)
+                .metric(DistanceMetric::GreatCircleKm)
+                .backend(backend)
+                .tile_size(nb)
+                .seed(args.seed)
+                .build()
+                .expect("valid region session")
+                .at_params(&spec.params.to_array(), rt);
+            if let Ok(p) = session.and_then(|s| s.predict(&targets, rt)) {
                 mses.push(prediction_mse(&truth, &p.values));
             }
         }
         let b = five_number_summary(&mses);
-        table.row(vec![backend.label(), b.compact()]);
+        table.row(vec![backend.to_string(), b.compact()]);
     }
     println!("{}", table.render());
 }

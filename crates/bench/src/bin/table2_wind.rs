@@ -11,11 +11,8 @@
 //! ```
 
 use exa_bench::parse_args;
-use exa_covariance::{DistanceMetric, MaternParams};
-use exa_geostat::{
-    generate_region, wind_regions, Backend, LikelihoodConfig, MleProblem, NelderMeadConfig,
-    ParamBounds,
-};
+use exa_covariance::{DistanceMetric, MaternKernel};
+use exa_geostat::{generate_region, wind_regions, Backend, FitOptions, GeoModel, NelderMeadConfig};
 use exa_runtime::Runtime;
 use exa_util::Table;
 
@@ -49,10 +46,8 @@ fn main() {
         })
         .collect();
 
-    let bounds = ParamBounds {
-        lo: MaternParams::new(0.5, 1.0, 0.3),
-        hi: MaternParams::new(100.0, 300.0, 3.0),
-    };
+    let lower = vec![0.5, 1.0, 0.3];
+    let upper = vec![100.0, 300.0, 3.0];
     for spec in wind_regions() {
         let data = generate_region(&spec, side, nb, args.seed + 1, &rt).expect("region generation");
         let mut rows: [Vec<String>; 3] = [
@@ -61,39 +56,40 @@ fn main() {
             vec![spec.name.to_string(), format!("{}", spec.params.smoothness)],
         ];
         for (_, backend) in &techniques {
-            let problem = MleProblem {
-                locations: data.locations.clone(),
-                z: data.z.clone(),
-                metric: DistanceMetric::GreatCircleKm,
-                backend: *backend,
-                config: LikelihoodConfig {
-                    nb,
-                    seed: args.seed,
-                },
-                nugget: 1e-8,
-            };
-            let start = MaternParams::new(
-                spec.params.variance * 0.5,
-                spec.params.range * 2.0,
-                (spec.params.smoothness * 1.3).min(2.5),
-            );
-            let fit = problem.fit(
-                start,
-                &bounds,
-                NelderMeadConfig {
+            let model = GeoModel::<MaternKernel>::builder()
+                .locations(data.locations.clone())
+                .data(data.z.clone())
+                .metric(DistanceMetric::GreatCircleKm)
+                .backend(*backend)
+                .tile_size(nb)
+                .seed(args.seed)
+                .build()
+                .expect("valid region session");
+            let opts = FitOptions {
+                initial: Some(vec![
+                    spec.params.variance * 0.5,
+                    spec.params.range * 2.0,
+                    (spec.params.smoothness * 1.3).min(2.5),
+                ]),
+                lower: Some(lower.clone()),
+                upper: Some(upper.clone()),
+                nm: NelderMeadConfig {
                     max_evals: if args.full { 150 } else { 70 },
                     ftol: 1e-5,
                     ..Default::default()
                 },
-                &rt,
-            );
-            if fit.loglik.is_finite() {
-                rows[0].push(format!("{:.3}", fit.params.variance));
-                rows[1].push(format!("{:.3}", fit.params.range));
-                rows[2].push(format!("{:.3}", fit.params.smoothness));
-            } else {
-                for r in rows.iter_mut() {
-                    r.push("fail".into());
+            };
+            match model.fit(&opts, &rt) {
+                Ok(fitted) => {
+                    let theta = fitted.params();
+                    rows[0].push(format!("{:.3}", theta[0]));
+                    rows[1].push(format!("{:.3}", theta[1]));
+                    rows[2].push(format!("{:.3}", theta[2]));
+                }
+                Err(_) => {
+                    for r in rows.iter_mut() {
+                        r.push("fail".into());
+                    }
                 }
             }
         }

@@ -1,0 +1,289 @@
+//! Factored covariance representations: the one Cholesky every pipeline
+//! stage shares.
+//!
+//! The paper's workflow factorizes `Σ(θ)` once per likelihood evaluation and
+//! then *reuses* the factor for the log-determinant, the quadratic form, and
+//! — at the fitted `θ̂` — the kriging solves of Eq. 4. [`Factorization`] is
+//! that factor as a value: one of the three computation techniques' factored
+//! forms behind a common `solve` / `logdet` / `bytes` interface, so
+//! likelihood evaluation, prediction, conditional variances and simulation
+//! all consume the same object instead of re-running `potrf`.
+
+use crate::likelihood::{Backend, LikelihoodConfig};
+use exa_covariance::CovarianceKernel;
+use exa_linalg::{chol::logdet_from_cholesky, dtrsm, LinalgError, Mat, Side, Trans};
+use exa_runtime::Runtime;
+pub use exa_tile::TriangularSide;
+use exa_tile::{block_potrf, tile_logdet, tile_potrf, tile_trmm_lower, tile_trsm, TileMatrix};
+use exa_tlr::{tlr_factor_to_dense, tlr_logdet, tlr_potrf, tlr_trsm, TlrMatrix};
+use exa_util::Stopwatch;
+use std::cell::Cell;
+
+thread_local! {
+    static POTRF_COUNT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of Cholesky factorizations ([`Factorization::compute`] calls) this
+/// thread has performed.
+///
+/// Thread-local on purpose: tests assert "zero `potrf` after `fit`" by
+/// differencing this counter around a prediction call without seeing
+/// factorizations from concurrently running tests.
+pub fn factorization_count() -> usize {
+    POTRF_COUNT.with(|c| c.get())
+}
+
+/// Phase timings of one [`Factorization::compute`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FactorTimings {
+    /// Seconds to generate (and for TLR, compress) `Σ(θ)`.
+    pub generation_seconds: f64,
+    /// Seconds in the Cholesky factorization itself.
+    pub factorization_seconds: f64,
+}
+
+/// The Cholesky factor of a covariance matrix `Σ(θ)` in one of the paper's
+/// three storage schemes.
+///
+/// Solves take `&mut self` only because the tile and TLR layers create raw
+/// tile views through `&mut`; no solve mutates the factor.
+pub enum Factorization {
+    /// Dense column-major factor from the fork-join blocked Cholesky
+    /// (`L` in the lower triangle, the upper triangle untouched).
+    Dense(Mat),
+    /// Tile-layout factor from the task-based tile Cholesky.
+    Tile(TileMatrix),
+    /// Tile Low-Rank factor at the backend's accuracy threshold.
+    Tlr(TlrMatrix),
+}
+
+impl Factorization {
+    /// Generates `Σ(θ)` from `kernel` with the technique selected by
+    /// `backend` and factorizes it (`Σ = L·Lᵀ`), returning the factor and
+    /// the phase timings.
+    ///
+    /// This is the **only** place the pipeline runs `potrf`; every call
+    /// increments [`factorization_count`]. Errors surface Cholesky
+    /// breakdowns, which the optimizer treats as rejected points (§VIII-D).
+    pub fn compute<K: CovarianceKernel>(
+        kernel: &K,
+        backend: Backend,
+        cfg: LikelihoodConfig,
+        rt: &Runtime,
+    ) -> Result<(Self, FactorTimings), LinalgError> {
+        let n = kernel.len();
+        assert!(n > 0, "empty problem");
+        let workers = rt.num_workers();
+        let mut sw = Stopwatch::start();
+        POTRF_COUNT.with(|c| c.set(c.get() + 1));
+        let (factor, generation_seconds) = match backend {
+            Backend::FullBlock => {
+                let mut sigma = Mat::from_fn(n, n, |i, j| kernel.entry(i, j));
+                let g = sw.lap();
+                block_potrf(&mut sigma, workers)?;
+                (Factorization::Dense(sigma), g)
+            }
+            Backend::FullTile => {
+                let mut sigma = TileMatrix::from_kernel_symmetric_lower(kernel, cfg.nb, workers);
+                let g = sw.lap();
+                tile_potrf(&mut sigma, rt)?;
+                (Factorization::Tile(sigma), g)
+            }
+            Backend::Tlr { eps, method } => {
+                let mut sigma =
+                    TlrMatrix::from_kernel(kernel, cfg.nb, eps, method, workers, cfg.seed)?;
+                let g = sw.lap();
+                tlr_potrf(&mut sigma, rt)?;
+                (Factorization::Tlr(sigma), g)
+            }
+        };
+        let factorization_seconds = sw.lap();
+        Ok((
+            factor,
+            FactorTimings {
+                generation_seconds,
+                factorization_seconds,
+            },
+        ))
+    }
+
+    /// Matrix order `n`.
+    pub fn n(&self) -> usize {
+        match self {
+            Factorization::Dense(l) => l.nrows(),
+            Factorization::Tile(l) => l.m,
+            Factorization::Tlr(l) => l.n,
+        }
+    }
+
+    /// `ln|Σ(θ)|`, read off the factor's diagonal.
+    pub fn logdet(&self) -> f64 {
+        match self {
+            Factorization::Dense(l) => logdet_from_cholesky(l.nrows(), l.as_slice(), l.nrows()),
+            Factorization::Tile(l) => tile_logdet(l),
+            Factorization::Tlr(l) => tlr_logdet(l),
+        }
+    }
+
+    /// Bytes held by the factored representation (the paper's memory
+    /// footprint axis).
+    pub fn bytes(&self) -> usize {
+        match self {
+            Factorization::Dense(l) => l.nrows() * l.ncols() * 8,
+            Factorization::Tile(l) => l.bytes(),
+            Factorization::Tlr(l) => l.bytes(),
+        }
+    }
+
+    /// One triangular solve in place on `b`: `L·X = B` (forward) or
+    /// `Lᵀ·X = B` (backward).
+    pub fn trsm(&mut self, side: TriangularSide, b: &mut Mat, rt: &Runtime) {
+        match self {
+            Factorization::Dense(l) => {
+                let n = l.nrows();
+                let trans = match side {
+                    TriangularSide::Forward => Trans::No,
+                    TriangularSide::Backward => Trans::Yes,
+                };
+                dtrsm(
+                    Side::Left,
+                    trans,
+                    n,
+                    b.ncols(),
+                    1.0,
+                    l.as_slice(),
+                    n,
+                    b.as_mut_slice(),
+                    n,
+                );
+            }
+            Factorization::Tile(l) => {
+                tile_trsm(l, side, b, rt);
+            }
+            Factorization::Tlr(l) => {
+                tlr_trsm(l, side, b, rt);
+            }
+        }
+    }
+
+    /// Full SPD solve in place on `b`: `Σ·X = B` through `L·Lᵀ`.
+    pub fn solve(&mut self, b: &mut Mat, rt: &Runtime) {
+        self.trsm(TriangularSide::Forward, b, rt);
+        self.trsm(TriangularSide::Backward, b, rt);
+    }
+
+    /// Applies the factor itself: `L·W` (the exact-simulation product
+    /// `Z = L·w` of the ExaGeoStat data generator).
+    ///
+    /// For the TLR factor this densifies `L` first — simulation through an
+    /// approximate factor is an `O(n²)`-memory convenience, not a paper
+    /// workload (the paper always generates data exactly).
+    pub fn apply_factor(&self, w: &Mat, rt: &Runtime) -> Mat {
+        match self {
+            Factorization::Dense(l) => trmm_lower_dense(l, w),
+            Factorization::Tile(l) => tile_trmm_lower(l, w, rt.num_workers()),
+            Factorization::Tlr(l) => trmm_lower_dense(&tlr_factor_to_dense(l), w),
+        }
+    }
+}
+
+/// `L·W` for a dense factor whose strict upper triangle may hold garbage.
+fn trmm_lower_dense(l: &Mat, w: &Mat) -> Mat {
+    let n = l.nrows();
+    assert_eq!(w.nrows(), n, "factor/vector size mismatch");
+    let mut out = Mat::zeros(n, w.ncols());
+    for c in 0..w.ncols() {
+        let src = w.col(c);
+        for i in 0..n {
+            let mut acc = 0.0;
+            for (j, &s) in src.iter().enumerate().take(i + 1) {
+                acc += l[(i, j)] * s;
+            }
+            out[(i, c)] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locations::synthetic_locations;
+    use exa_covariance::{DistanceMetric, MaternKernel, MaternParams};
+    use exa_util::Rng;
+    use std::sync::Arc;
+
+    fn kernel(side: usize, seed: u64) -> MaternKernel {
+        let mut rng = Rng::seed_from_u64(seed);
+        MaternKernel::new(
+            Arc::new(synthetic_locations(side, &mut rng)),
+            MaternParams::new(1.0, 0.1, 0.5),
+            DistanceMetric::Euclidean,
+            1e-8,
+        )
+    }
+
+    #[test]
+    fn three_backends_agree_on_logdet_and_solve() {
+        let k = kernel(8, 1);
+        let rt = Runtime::new(2);
+        let cfg = LikelihoodConfig { nb: 16, seed: 1 };
+        let mut rng = Rng::seed_from_u64(2);
+        let b = Mat::gaussian(64, 2, &mut rng);
+        let mut results = Vec::new();
+        for backend in [Backend::FullBlock, Backend::FullTile, Backend::tlr(1e-12)] {
+            let (mut f, _) = Factorization::compute(&k, backend, cfg, &rt).unwrap();
+            assert_eq!(f.n(), 64);
+            let mut x = b.clone();
+            f.solve(&mut x, &rt);
+            results.push((f.logdet(), x));
+        }
+        for (ld, x) in &results[1..] {
+            assert!((ld - results[0].0).abs() < 1e-7 * results[0].0.abs());
+            for (a, r) in x.as_slice().iter().zip(results[0].1.as_slice()) {
+                assert!((a - r).abs() < 1e-6 * r.abs().max(1.0), "{a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_factor_matches_across_backends() {
+        let k = kernel(6, 3);
+        let rt = Runtime::new(2);
+        let cfg = LikelihoodConfig { nb: 12, seed: 3 };
+        let mut rng = Rng::seed_from_u64(4);
+        let w = Mat::gaussian(36, 1, &mut rng);
+        let reference: Vec<f64> = {
+            let (f, _) = Factorization::compute(&k, Backend::FullTile, cfg, &rt).unwrap();
+            f.apply_factor(&w, &rt).as_slice().to_vec()
+        };
+        for backend in [Backend::FullBlock, Backend::tlr(1e-12)] {
+            let (f, _) = Factorization::compute(&k, backend, cfg, &rt).unwrap();
+            let got = f.apply_factor(&w, &rt);
+            for (a, r) in got.as_slice().iter().zip(&reference) {
+                assert!(
+                    (a - r).abs() < 1e-7 * r.abs().max(1.0),
+                    "{backend:?}: {a} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counter_increments_once_per_compute() {
+        let k = kernel(4, 5);
+        let rt = Runtime::new(1);
+        let cfg = LikelihoodConfig { nb: 8, seed: 5 };
+        let before = factorization_count();
+        let (mut f, timings) = Factorization::compute(&k, Backend::FullTile, cfg, &rt).unwrap();
+        assert_eq!(factorization_count(), before + 1);
+        // Solves and reads do not factorize.
+        let mut b = Mat::zeros(16, 1);
+        f.solve(&mut b, &rt);
+        let _ = f.logdet();
+        let _ = f.bytes();
+        assert_eq!(factorization_count(), before + 1);
+        assert!(timings.factorization_seconds >= 0.0);
+        assert!(f.bytes() > 0);
+    }
+}

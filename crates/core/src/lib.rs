@@ -5,6 +5,13 @@
 //! `exa-tile`, `exa-tlr`, `exa-covariance`) into the operations the paper
 //! describes and benchmarks:
 //!
+//! * [`model`] — **the session API**: [`GeoModel`] (builder-constructed
+//!   problem description, generic over any
+//!   [`ParamCovariance`](exa_covariance::ParamCovariance) family) →
+//!   [`FittedModel`] (owns the factored `Σ(θ̂)`; likelihood, prediction,
+//!   conditional variances and simulation all reuse that factor).
+//! * [`factor`] — [`Factorization`]: the Dense / Tile / TLR Cholesky factor
+//!   behind one `solve`/`logdet`/`bytes` interface.
 //! * [`locations`] — synthetic jittered-grid location generation (Figure 2)
 //!   and estimation/validation splits.
 //! * [`simulate`] — exact Gaussian-random-field simulation (`Z = L·w`), the
@@ -14,32 +21,45 @@
 //!   [`Backend::FullTile`], [`Backend::Tlr`]).
 //! * [`optimizer`] — Nelder–Mead with box constraints (the NLopt
 //!   substitute).
-//! * [`mle`] — the MLE driver: `θ̂ = argmax ℓ(θ)` in log-parameter space.
-//! * [`predict`] — kriging prediction of unsampled locations (Eq. 4) and
-//!   the prediction MSE (Eq. 7).
+//! * [`mle`] — the legacy Matérn-only MLE driver (deprecated wrapper over
+//!   [`model`]).
+//! * [`mod@predict`] — legacy kriging entry points (deprecated wrappers)
+//!   and the prediction MSE (Eq. 7).
 //! * [`montecarlo`] — the Monte-Carlo estimation studies behind Figures 6–7.
 //! * [`realdata`] — simulated stand-ins for the soil-moisture and wind-speed
 //!   datasets (Tables I–II, Figure 8), with great-circle distances.
 
+pub mod factor;
 pub mod likelihood;
 pub mod locations;
 pub mod mle;
+pub mod model;
 pub mod montecarlo;
 pub mod optimizer;
 pub mod predict;
 pub mod realdata;
 pub mod simulate;
 
-pub use likelihood::{log_likelihood, Backend, LikelihoodConfig, LogLikelihood};
+pub use factor::{factorization_count, FactorTimings, Factorization};
+#[allow(deprecated)]
+pub use likelihood::log_likelihood;
+pub use likelihood::{Backend, LikelihoodConfig, LogLikelihood};
 pub use locations::{
     gridded_locations_in, holdout_split, synthetic_locations, synthetic_locations_n, HoldoutSplit,
 };
-pub use mle::{MleFit, MleProblem, ParamBounds};
+#[allow(deprecated)]
+pub use mle::MleProblem;
+pub use mle::{MleFit, ParamBounds};
+pub use model::{
+    eval_log_likelihood, FitOptions, FitReport, FittedModel, GeoModel, GeoModelBuilder, ModelError,
+};
 pub use montecarlo::{
     generate_data, run_technique, MonteCarloConfig, MonteCarloData, TechniqueOutcome,
 };
 pub use optimizer::{nelder_mead_max, Bounds, NelderMeadConfig, OptimResult, StopReason};
-pub use predict::{predict, predict_with_variance, prediction_mse, Prediction};
+#[allow(deprecated)]
+pub use predict::{predict, predict_with_variance};
+pub use predict::{prediction_mse, Prediction};
 pub use realdata::{
     ascii_map, generate_region, soil_regions, wind_regions, RegionDataset, RegionSpec,
 };

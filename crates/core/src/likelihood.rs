@@ -16,12 +16,10 @@
 //! * [`Backend::Tlr`] — HiCMA-style TLR factorization at an accuracy
 //!   threshold (the paper's contribution; `TLR-acc(ε)` series).
 
-use exa_covariance::{CovarianceKernel, MaternKernel};
-use exa_linalg::{chol::logdet_from_cholesky, dtrsm, LinalgError, Mat, Side, Trans};
+use exa_covariance::MaternKernel;
+use exa_linalg::LinalgError;
 use exa_runtime::Runtime;
-use exa_tile::{block_potrf, tile_logdet, tile_potrf, tile_trsm, TileMatrix, TriangularSide};
-use exa_tlr::{tlr_logdet, tlr_potrf, tlr_trsm, CompressionMethod, TlrMatrix};
-use exa_util::Stopwatch;
+use exa_tlr::CompressionMethod;
 
 /// Computation technique for one likelihood evaluation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -44,11 +42,22 @@ impl Backend {
     }
 
     /// Short label used by the figure harnesses (matches the paper legends).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `Display` impl (`to_string()`) instead"
+    )]
     pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for Backend {
+    /// The paper-legend label: `Full-block`, `Full-tile`, `TLR-acc(1e-9)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Backend::FullBlock => "Full-block".to_string(),
-            Backend::FullTile => "Full-tile".to_string(),
-            Backend::Tlr { eps, .. } => format!("TLR-acc({eps:.0e})"),
+            Backend::FullBlock => f.write_str("Full-block"),
+            Backend::FullTile => f.write_str("Full-tile"),
+            Backend::Tlr { eps, .. } => write!(f, "TLR-acc({eps:.0e})"),
         }
     }
 }
@@ -97,12 +106,17 @@ impl LogLikelihood {
     }
 }
 
-/// Evaluates Eq. 1 for the given kernel (`Σ(θ)` implied by `kernel`) and
-/// measurement vector `z`.
+/// Evaluates Eq. 1 for the given Matérn kernel and measurement vector `z`.
 ///
-/// Errors surface Cholesky breakdowns — at loose TLR accuracies on strongly
-/// correlated data this is expected behaviour the optimizer treats as a
-/// rejected point (§VIII-D).
+/// Thin compatibility wrapper over the kernel-generic engine; new code
+/// should use [`crate::eval_log_likelihood`] (any [`ParamCovariance`] /
+/// `CovarianceKernel`) or the [`crate::GeoModel`] session API.
+///
+/// [`ParamCovariance`]: exa_covariance::ParamCovariance
+#[deprecated(
+    since = "0.2.0",
+    note = "use the kernel-generic `eval_log_likelihood` or `GeoModel::log_likelihood_at`"
+)]
 pub fn log_likelihood(
     kernel: &MaternKernel,
     z: &[f64],
@@ -110,91 +124,11 @@ pub fn log_likelihood(
     cfg: LikelihoodConfig,
     rt: &Runtime,
 ) -> Result<LogLikelihood, LinalgError> {
-    let n = kernel.len();
-    assert_eq!(z.len(), n, "measurement vector length mismatch");
-    assert!(n > 0, "empty problem");
-    let workers = rt.num_workers();
-    match backend {
-        Backend::FullBlock => {
-            let mut sw = Stopwatch::start();
-            let mut sigma = Mat::from_fn(n, n, |i, j| kernel.entry(i, j));
-            let generation_seconds = sw.lap();
-            block_potrf(&mut sigma, workers)?;
-            let factorization_seconds = sw.lap();
-            let logdet = logdet_from_cholesky(n, sigma.as_slice(), n);
-            let mut w = Mat::from_vec(n, 1, z.to_vec());
-            dtrsm(
-                Side::Left,
-                Trans::No,
-                n,
-                1,
-                1.0,
-                sigma.as_slice(),
-                n,
-                w.as_mut_slice(),
-                n,
-            );
-            let quadratic: f64 = w.as_slice().iter().map(|v| v * v).sum();
-            let solve_seconds = sw.lap();
-            Ok(assemble(
-                n,
-                logdet,
-                quadratic,
-                generation_seconds,
-                factorization_seconds,
-                solve_seconds,
-                n * n * 8,
-            ))
-        }
-        Backend::FullTile => {
-            let mut sw = Stopwatch::start();
-            let mut sigma = TileMatrix::from_kernel_symmetric_lower(kernel, cfg.nb, workers);
-            let generation_seconds = sw.lap();
-            tile_potrf(&mut sigma, rt)?;
-            let factorization_seconds = sw.lap();
-            let logdet = tile_logdet(&sigma);
-            let mut w = Mat::from_vec(n, 1, z.to_vec());
-            tile_trsm(&mut sigma, TriangularSide::Forward, &mut w, rt);
-            let quadratic: f64 = w.as_slice().iter().map(|v| v * v).sum();
-            let solve_seconds = sw.lap();
-            let bytes = sigma.bytes();
-            Ok(assemble(
-                n,
-                logdet,
-                quadratic,
-                generation_seconds,
-                factorization_seconds,
-                solve_seconds,
-                bytes,
-            ))
-        }
-        Backend::Tlr { eps, method } => {
-            let mut sw = Stopwatch::start();
-            let mut sigma = TlrMatrix::from_kernel(kernel, cfg.nb, eps, method, workers, cfg.seed)?;
-            let generation_seconds = sw.lap();
-            tlr_potrf(&mut sigma, rt)?;
-            let factorization_seconds = sw.lap();
-            let logdet = tlr_logdet(&sigma);
-            let mut w = Mat::from_vec(n, 1, z.to_vec());
-            tlr_trsm(&mut sigma, TriangularSide::Forward, &mut w, rt);
-            let quadratic: f64 = w.as_slice().iter().map(|v| v * v).sum();
-            let solve_seconds = sw.lap();
-            let bytes = sigma.bytes();
-            Ok(assemble(
-                n,
-                logdet,
-                quadratic,
-                generation_seconds,
-                factorization_seconds,
-                solve_seconds,
-                bytes,
-            ))
-        }
-    }
+    crate::model::eval_log_likelihood(kernel, z, backend, cfg, rt)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn assemble(
+pub(crate) fn assemble(
     n: usize,
     logdet: f64,
     quadratic: f64,
@@ -218,9 +152,12 @@ fn assemble(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free function stays covered until it is removed.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::locations::synthetic_locations;
-    use exa_covariance::{DistanceMetric, Location, MaternParams};
+    use exa_covariance::{CovarianceKernel, DistanceMetric, Location, MaternParams};
     use exa_util::Rng;
     use std::sync::Arc;
 

@@ -1,19 +1,24 @@
-//! The MLE driver: maximize ℓ(θ) over the Matérn parameters.
+//! The legacy MLE driver: maximize ℓ(θ) over the Matérn parameters.
 //!
-//! Wraps a likelihood backend and the Nelder–Mead search into the operation
-//! the paper benchmarks: starting from an initial guess, repeatedly evaluate
-//! Eq. 1 (one Cholesky per evaluation) until the optimizer converges on
-//! `θ̂ = (θ̂₁, θ̂₂, θ̂₃)`. The search runs in log-parameter space so the
-//! positivity constraints of §IV are structural, with box bounds exposed in
-//! natural parameters.
+//! Superseded by the kernel-generic [`crate::GeoModel`] session API, which
+//! this module now delegates to. [`MleProblem::fit`] remains as a
+//! compatibility wrapper producing the same `θ̂` (same optimizer, same
+//! log-space search, same defaults); new code should build a
+//! `GeoModel::<MaternKernel>` and keep the returned [`crate::FittedModel`] —
+//! its cached factorization is what the prediction pipeline reuses.
 
-use crate::likelihood::{log_likelihood, Backend, LikelihoodConfig};
-use crate::optimizer::{nelder_mead_max, Bounds, NelderMeadConfig, OptimResult};
-use exa_covariance::{DistanceMetric, Location, MaternKernel, MaternParams};
+use crate::likelihood::{Backend, LikelihoodConfig};
+use crate::model::{FitOptions, GeoModel, ModelError};
+use crate::optimizer::NelderMeadConfig;
+use exa_covariance::{DistanceMetric, Location, MaternParams};
 use exa_runtime::Runtime;
 use std::sync::Arc;
 
 /// An MLE problem: fixed data, choice of backend.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `GeoModel` builder (`GeoModel::<MaternKernel>::builder()`)"
+)]
 #[derive(Clone)]
 pub struct MleProblem {
     pub locations: Arc<Vec<Location>>,
@@ -61,8 +66,14 @@ pub struct MleFit {
     pub trace: Vec<f64>,
 }
 
+#[allow(deprecated)] // the impl of the deprecated wrapper itself
 impl MleProblem {
     /// Fits `θ̂` starting from `initial`, under `bounds`.
+    ///
+    /// Compatibility wrapper over [`GeoModel::fit`]: same search, but the
+    /// fitted model's cached factorization is dropped — one `potrf` at `θ̂`
+    /// (≈ `1/max_evals` of the search cost) is paid and thrown away. Keep
+    /// the [`crate::FittedModel`] instead when prediction follows.
     pub fn fit(
         &self,
         initial: MaternParams,
@@ -70,63 +81,73 @@ impl MleProblem {
         nm: NelderMeadConfig,
         rt: &Runtime,
     ) -> MleFit {
-        let kernel = MaternKernel::new(self.locations.clone(), initial, self.metric, self.nugget);
-        let spent = std::cell::Cell::new(0.0f64);
-        let objective = |x: &[f64]| -> f64 {
-            // x is log-θ.
-            let params = MaternParams::new(x[0].exp(), x[1].exp(), x[2].exp());
-            let k = kernel.with_params(params);
-            match log_likelihood(&k, &self.z, self.backend, self.config, rt) {
-                Ok(ll) => {
-                    spent.set(spent.get() + ll.total_seconds());
-                    ll.value
-                }
-                // Cholesky breakdown (possible at loose TLR accuracy):
-                // treat as an infeasible point the simplex retreats from.
-                Err(_) => f64::NEG_INFINITY,
-            }
+        let model = GeoModel::<exa_covariance::MaternKernel>::builder()
+            .locations(self.locations.clone())
+            .data(self.z.clone())
+            .metric(self.metric)
+            .nugget(self.nugget)
+            .backend(self.backend)
+            .config(self.config)
+            .build()
+            .expect("valid MLE problem");
+        // Legacy tolerance: the old driver fed `ln(bounds)` straight to the
+        // optimizer, so a zero lower bound meant "unbounded below" (ln 0 =
+        // −∞) and an infinite upper bound "unbounded above". The session API
+        // validates 0 < lo ≤ hi < ∞; map the degenerate legacy shapes onto
+        // the widest values it accepts (ln ≈ ∓708 — unbounded in practice).
+        let lower = bounds
+            .lo
+            .to_array()
+            .map(|v| if v > 0.0 { v } else { f64::MIN_POSITIVE });
+        let upper = bounds
+            .hi
+            .to_array()
+            .map(|v| if v.is_finite() { v } else { f64::MAX });
+        let opts = FitOptions {
+            initial: Some(initial.to_array().to_vec()),
+            lower: Some(lower.to_vec()),
+            upper: Some(upper.to_vec()),
+            nm,
         };
-        let x0 = [
-            initial.variance.ln(),
-            initial.range.ln(),
-            initial.smoothness.ln(),
-        ];
-        let b = Bounds::new(
-            vec![
-                bounds.lo.variance.ln(),
-                bounds.lo.range.ln(),
-                bounds.lo.smoothness.ln(),
-            ],
-            vec![
-                bounds.hi.variance.ln(),
-                bounds.hi.range.ln(),
-                bounds.hi.smoothness.ln(),
-            ],
-        );
-        let OptimResult {
-            x,
-            fx,
-            evaluations,
-            iterations,
-            trace,
-            ..
-        } = nelder_mead_max(objective, &x0, &b, nm);
-        MleFit {
-            params: MaternParams::new(x[0].exp(), x[1].exp(), x[2].exp()),
-            loglik: fx,
-            evaluations,
-            iterations,
-            likelihood_seconds: spent.get(),
-            trace,
+        match model.fit(&opts, rt) {
+            Ok(fitted) => {
+                let report = fitted.report();
+                MleFit {
+                    params: fitted.kernel().params(),
+                    loglik: fitted.log_likelihood().expect("fit requires data").value,
+                    evaluations: report.evaluations,
+                    iterations: report.iterations,
+                    likelihood_seconds: report.likelihood_seconds,
+                    trace: report.trace.clone(),
+                }
+            }
+            // No feasible point: historical behaviour returned the best
+            // simplex point with ℓ = −∞ so studies can count the failure.
+            Err(ModelError::Infeasible { theta, report }) => MleFit {
+                params: MaternParams::from_array(
+                    theta.try_into().expect("matern θ has 3 parameters"),
+                ),
+                loglik: f64::NEG_INFINITY,
+                evaluations: report.evaluations,
+                iterations: report.iterations,
+                likelihood_seconds: report.likelihood_seconds,
+                trace: report.trace,
+            },
+            Err(e) => panic!("MLE fit failed: {e}"),
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrapper stays covered (and equivalent) until removal.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::likelihood::log_likelihood;
     use crate::locations::synthetic_locations;
     use crate::simulate::FieldSimulator;
+    use exa_covariance::MaternKernel;
     use exa_util::Rng;
 
     fn fit_problem(

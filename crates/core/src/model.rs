@@ -1,0 +1,1093 @@
+//! The session API: `GeoModel` → `fit`/`at_params` → `FittedModel`.
+//!
+//! The paper's workflow is a pipeline — generate `Σ(θ)`, factorize, evaluate
+//! Eq. 1 inside an optimizer loop, then krige with the fitted `θ̂` (Eq. 4).
+//! This module exposes that pipeline as a small session-style surface in the
+//! spirit of ExaGeoStatR's API over the same engine:
+//!
+//! * [`GeoModel`] — the problem description: locations, optional
+//!   measurements, a covariance *family* (any [`ParamCovariance`]), a
+//!   computation technique ([`Backend`]) and tile/accuracy/nugget settings,
+//!   assembled by [`GeoModelBuilder`].
+//! * [`FittedModel`] — the model at a concrete `θ̂`, owning the **factored**
+//!   `Σ(θ̂)` ([`Factorization`]). Likelihood pieces, kriging prediction,
+//!   conditional variances and exact simulation all reuse that cached
+//!   factor: after `fit()` no further `potrf` runs (see
+//!   [`crate::factor::factorization_count`]).
+//!
+//! ```
+//! use exa_covariance::MaternKernel;
+//! use exa_geostat::{Backend, FitOptions, GeoModel};
+//! use exa_runtime::Runtime;
+//! use exa_util::Rng;
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::new(2);
+//! let mut rng = Rng::seed_from_u64(7);
+//! let locations = Arc::new(exa_geostat::synthetic_locations(8, &mut rng));
+//!
+//! // Simulation session at the true θ…
+//! let truth = GeoModel::<MaternKernel>::builder()
+//!     .locations(locations.clone())
+//!     .backend(Backend::FullTile)
+//!     .build()
+//!     .unwrap()
+//!     .at_params(&[1.0, 0.1, 0.5], &rt)
+//!     .unwrap();
+//! let z = truth.simulate(&mut rng, &rt);
+//!
+//! // …then an estimation session over the observed data.
+//! let model = GeoModel::<MaternKernel>::builder()
+//!     .locations(locations)
+//!     .data(z)
+//!     .backend(Backend::tlr(1e-9))
+//!     .build()
+//!     .unwrap();
+//! let fitted = model.fit(&FitOptions::default(), &rt).unwrap();
+//! assert!(fitted.log_likelihood().unwrap().value.is_finite());
+//! ```
+
+use crate::factor::{FactorTimings, Factorization, TriangularSide};
+use crate::likelihood::{assemble, Backend, LikelihoodConfig, LogLikelihood};
+use crate::optimizer::{nelder_mead_max, Bounds, NelderMeadConfig, OptimResult};
+use crate::predict::Prediction;
+use exa_covariance::{CovarianceKernel, DistanceMetric, Location, ParamCovariance};
+use exa_linalg::{LinalgError, Mat};
+use exa_runtime::Runtime;
+use exa_tile::{tile_gemm, TileMatrix};
+use exa_util::Stopwatch;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+/// Errors from building, fitting or using a [`GeoModel`].
+#[derive(Debug)]
+pub enum ModelError {
+    /// A linear-algebra failure (typically Cholesky breakdown at loose TLR
+    /// accuracy on strongly correlated data).
+    Linalg(LinalgError),
+    /// A malformed parameter vector for the kernel family.
+    InvalidParams(String),
+    /// Inconsistent builder inputs (missing locations, length mismatch…).
+    Shape(String),
+    /// The operation needs measurement data, but the model was built without
+    /// [`GeoModelBuilder::data`].
+    NoData,
+    /// The optimizer never found a feasible point: every likelihood
+    /// evaluation hit a factorization breakdown. Carries the best point the
+    /// simplex reached and the search report for diagnostics.
+    Infeasible { theta: Vec<f64>, report: FitReport },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            ModelError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            ModelError::Shape(msg) => write!(f, "inconsistent model inputs: {msg}"),
+            ModelError::NoData => write!(f, "operation requires measurement data (.data(z))"),
+            ModelError::Infeasible { theta, .. } => {
+                write!(f, "no feasible point found (best θ = {theta:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<LinalgError> for ModelError {
+    fn from(e: LinalgError) -> Self {
+        ModelError::Linalg(e)
+    }
+}
+
+/// Evaluates the Gaussian log-likelihood (paper Eq. 1) for **any** covariance
+/// kernel through the shared [`Factorization`] interface.
+///
+/// This is the kernel-generic engine behind both [`GeoModel`] and the legacy
+/// Matérn-only free function.
+pub fn eval_log_likelihood<K: CovarianceKernel>(
+    kernel: &K,
+    z: &[f64],
+    backend: Backend,
+    cfg: LikelihoodConfig,
+    rt: &Runtime,
+) -> Result<LogLikelihood, LinalgError> {
+    let n = kernel.len();
+    assert_eq!(z.len(), n, "measurement vector length mismatch");
+    let (mut factor, timings) = Factorization::compute(kernel, backend, cfg, rt)?;
+    let mut w = Mat::from_vec(n, 1, z.to_vec());
+    Ok(likelihood_from_factor(&mut factor, timings, &mut w, rt))
+}
+
+/// Assembles ℓ (Eq. 1) from an already-computed factor: log-determinant,
+/// forward solve, quadratic form. Shared by [`eval_log_likelihood`] and the
+/// session construction so the two can never drift apart.
+///
+/// `w` enters as `Z` and leaves **forward-solved** (`L⁻¹Z`); callers that
+/// need `α = Σ⁻¹Z` continue with the backward solve.
+fn likelihood_from_factor(
+    factor: &mut Factorization,
+    timings: FactorTimings,
+    w: &mut Mat,
+    rt: &Runtime,
+) -> LogLikelihood {
+    let mut sw = Stopwatch::start();
+    let logdet = factor.logdet();
+    factor.trsm(TriangularSide::Forward, w, rt);
+    let quadratic: f64 = w.as_slice().iter().map(|v| v * v).sum();
+    assemble(
+        w.nrows(),
+        logdet,
+        quadratic,
+        timings.generation_seconds,
+        timings.factorization_seconds,
+        sw.lap(),
+        factor.bytes(),
+    )
+}
+
+/// Options for [`GeoModel::fit`]: the starting point, box bounds and
+/// optimizer settings.
+///
+/// Every `None` falls back to the kernel family's defaults: bounds from
+/// [`ParamCovariance::default_bounds`], the start at their log-space
+/// midpoint.
+#[derive(Clone, Debug, Default)]
+pub struct FitOptions {
+    /// Starting `θ` (natural parameters).
+    pub initial: Option<Vec<f64>>,
+    /// Lower box bounds (natural parameters, strictly positive).
+    pub lower: Option<Vec<f64>>,
+    /// Upper box bounds (natural parameters).
+    pub upper: Option<Vec<f64>>,
+    /// Nelder–Mead settings.
+    pub nm: NelderMeadConfig,
+}
+
+impl FitOptions {
+    /// Options starting the search from `theta`.
+    pub fn starting_at(theta: &[f64]) -> Self {
+        FitOptions {
+            initial: Some(theta.to_vec()),
+            ..Default::default()
+        }
+    }
+}
+
+/// Diagnostics of one [`GeoModel::fit`] search.
+#[derive(Clone, Debug, Default)]
+pub struct FitReport {
+    /// Likelihood evaluations spent (each is one full factorization).
+    pub evaluations: usize,
+    /// Optimizer iterations.
+    pub iterations: usize,
+    /// Cumulative seconds inside likelihood evaluations.
+    pub likelihood_seconds: f64,
+    /// Best ℓ after each optimizer iteration.
+    pub trace: Vec<f64>,
+}
+
+/// A geostatistics session: fixed locations (and optionally measurements),
+/// a covariance family `K`, a computation technique, and tuning.
+///
+/// `GeoModel` is cheap to clone-and-vary and does no linear algebra itself;
+/// [`GeoModel::fit`] and [`GeoModel::at_params`] produce the factored
+/// [`FittedModel`] that the expensive operations run on.
+#[derive(Clone, Debug)]
+pub struct GeoModel<K: ParamCovariance> {
+    locations: Arc<Vec<Location>>,
+    z: Option<Vec<f64>>,
+    metric: DistanceMetric,
+    nugget: f64,
+    backend: Backend,
+    config: LikelihoodConfig,
+    _family: PhantomData<K>,
+}
+
+/// Builder for [`GeoModel`]; see the module docs for the workflow.
+#[derive(Clone, Debug)]
+pub struct GeoModelBuilder<K: ParamCovariance> {
+    locations: Option<Arc<Vec<Location>>>,
+    z: Option<Vec<f64>>,
+    metric: DistanceMetric,
+    nugget: f64,
+    backend: Backend,
+    config: LikelihoodConfig,
+    _family: PhantomData<K>,
+}
+
+impl<K: ParamCovariance> Default for GeoModelBuilder<K> {
+    fn default() -> Self {
+        GeoModelBuilder {
+            locations: None,
+            z: None,
+            metric: DistanceMetric::Euclidean,
+            // A tiny default nugget keeps borderline geometries (and the
+            // ill-conditioned Gaussian family) factorizable; set 0 to
+            // reproduce the paper's exact model.
+            nugget: 1e-8,
+            backend: Backend::FullTile,
+            config: LikelihoodConfig::default(),
+            _family: PhantomData,
+        }
+    }
+}
+
+impl<K: ParamCovariance> GeoModelBuilder<K> {
+    /// The spatial locations (required).
+    pub fn locations(mut self, locations: Arc<Vec<Location>>) -> Self {
+        self.locations = Some(locations);
+        self
+    }
+
+    /// The measurement vector `Z` (one value per location). Optional:
+    /// simulation-only sessions omit it.
+    pub fn data(mut self, z: Vec<f64>) -> Self {
+        self.z = Some(z);
+        self
+    }
+
+    /// Distance metric (default: Euclidean).
+    pub fn metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Diagonal regularization τ² (default `1e-8`; 0 = the paper's exact
+    /// model).
+    pub fn nugget(mut self, nugget: f64) -> Self {
+        self.nugget = nugget;
+        self
+    }
+
+    /// Computation technique (default: [`Backend::FullTile`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Full likelihood tuning block (tile size + compressor seed).
+    pub fn config(mut self, config: LikelihoodConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Tile size `nb` (default 64).
+    pub fn tile_size(mut self, nb: usize) -> Self {
+        self.config.nb = nb;
+        self
+    }
+
+    /// Seed for the randomized compressor streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates the inputs and produces the session.
+    pub fn build(self) -> Result<GeoModel<K>, ModelError> {
+        let locations = self
+            .locations
+            .ok_or_else(|| ModelError::Shape("locations are required".into()))?;
+        if locations.is_empty() {
+            return Err(ModelError::Shape("location set is empty".into()));
+        }
+        if let Some(z) = &self.z {
+            if z.len() != locations.len() {
+                return Err(ModelError::Shape(format!(
+                    "{} measurements for {} locations",
+                    z.len(),
+                    locations.len()
+                )));
+            }
+        }
+        if !(self.nugget >= 0.0 && self.nugget.is_finite()) {
+            return Err(ModelError::Shape(format!(
+                "nugget must be non-negative, got {}",
+                self.nugget
+            )));
+        }
+        Ok(GeoModel {
+            locations,
+            z: self.z,
+            metric: self.metric,
+            nugget: self.nugget,
+            backend: self.backend,
+            config: self.config,
+            _family: PhantomData,
+        })
+    }
+}
+
+impl<K: ParamCovariance> GeoModel<K> {
+    /// Starts a builder for the family `K`
+    /// (e.g. `GeoModel::<MaternKernel>::builder()`).
+    pub fn builder() -> GeoModelBuilder<K> {
+        GeoModelBuilder::default()
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// True when the location set is empty (unreachable via the builder).
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// The location set.
+    pub fn locations(&self) -> &Arc<Vec<Location>> {
+        &self.locations
+    }
+
+    /// The measurement vector, when present.
+    pub fn data(&self) -> Option<&[f64]> {
+        self.z.as_deref()
+    }
+
+    /// The computation technique.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The likelihood tuning block.
+    pub fn config(&self) -> LikelihoodConfig {
+        self.config
+    }
+
+    /// The kernel instance at `theta` over this model's locations.
+    pub fn kernel_at(&self, theta: &[f64]) -> Result<K, ModelError> {
+        K::from_parts(self.locations.clone(), theta, self.metric, self.nugget)
+            .map_err(ModelError::InvalidParams)
+    }
+
+    /// Evaluates ℓ(θ) (Eq. 1) at one parameter vector. One factorization,
+    /// discarded afterwards — use [`GeoModel::at_params`] to keep the factor.
+    pub fn log_likelihood_at(
+        &self,
+        theta: &[f64],
+        rt: &Runtime,
+    ) -> Result<LogLikelihood, ModelError> {
+        let z = self.z.as_ref().ok_or(ModelError::NoData)?;
+        let kernel = self.kernel_at(theta)?;
+        eval_log_likelihood(&kernel, z, self.backend, self.config, rt).map_err(ModelError::from)
+    }
+
+    /// Factorizes `Σ(θ)` at a known parameter vector and returns the session
+    /// positioned there — no optimizer run.
+    pub fn at_params(&self, theta: &[f64], rt: &Runtime) -> Result<FittedModel<K>, ModelError> {
+        let kernel = self.kernel_at(theta)?;
+        FittedModel::factorize(
+            kernel,
+            self.z.clone(),
+            self.backend,
+            self.config,
+            FitReport::default(),
+            rt,
+        )
+    }
+
+    /// Maximizes ℓ(θ) by Nelder–Mead in log-parameter space (positivity is
+    /// structural, §IV) and returns the model factored at `θ̂`.
+    ///
+    /// Factorization breakdowns during the search are treated as infeasible
+    /// points the simplex retreats from; if *no* point ever succeeds the fit
+    /// reports [`ModelError::Infeasible`].
+    pub fn fit(&self, opts: &FitOptions, rt: &Runtime) -> Result<FittedModel<K>, ModelError> {
+        let z = self.z.as_ref().ok_or(ModelError::NoData)?;
+        let p = K::n_params();
+        let (dlo, dhi) = K::default_bounds();
+        let lo = opts.lower.clone().unwrap_or(dlo);
+        let hi = opts.upper.clone().unwrap_or(dhi);
+        if lo.len() != p || hi.len() != p {
+            return Err(ModelError::InvalidParams(format!(
+                "{} expects {p} parameters, bounds have {}/{}",
+                K::FAMILY,
+                lo.len(),
+                hi.len()
+            )));
+        }
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            // lo == hi is legal and fixes that parameter (the optimizer's
+            // box bounds are inclusive and clamp to the point).
+            if !(l > 0.0 && h >= l && h.is_finite()) {
+                return Err(ModelError::InvalidParams(format!(
+                    "bounds for {} must satisfy 0 < lo ≤ hi < ∞, got [{l}, {h}]",
+                    K::param_names()[i]
+                )));
+            }
+        }
+        // Both box corners must lie inside the family's parameter domain
+        // (e.g. a powered-exponential power bound above 2 would otherwise
+        // panic mid-search when the simplex reaches it).
+        for corner in [&lo, &hi] {
+            self.kernel_at(corner)?;
+        }
+        // Log-space start: the given point, or the bounds' geometric midpoint.
+        let x0: Vec<f64> = match &opts.initial {
+            Some(theta) => {
+                if theta.len() != p {
+                    return Err(ModelError::InvalidParams(format!(
+                        "{} expects {p} parameters, initial has {}",
+                        K::FAMILY,
+                        theta.len()
+                    )));
+                }
+                theta.iter().map(|t| t.ln()).collect()
+            }
+            None => lo
+                .iter()
+                .zip(&hi)
+                .map(|(&l, &h)| 0.5 * (l.ln() + h.ln()))
+                .collect(),
+        };
+        // Validate the starting point eagerly so a malformed initial θ
+        // surfaces as an error, not a silently-infeasible search.
+        self.kernel_at(&x0.iter().map(|x| x.exp()).collect::<Vec<_>>())?;
+        let spent = std::cell::Cell::new(0.0f64);
+        let objective = |x: &[f64]| -> f64 {
+            let theta: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+            // from_parts, not with_params_vec: exp∘ln rounding at a domain
+            // boundary (e.g. a powered-exponential power bound of exactly 2)
+            // can land a hair outside the family's domain on some libms —
+            // that is an infeasible point, like a Cholesky breakdown, not a
+            // panic.
+            let Ok(k) = K::from_parts(self.locations.clone(), &theta, self.metric, self.nugget)
+            else {
+                return f64::NEG_INFINITY;
+            };
+            match eval_log_likelihood(&k, z, self.backend, self.config, rt) {
+                Ok(ll) => {
+                    spent.set(spent.get() + ll.total_seconds());
+                    ll.value
+                }
+                Err(_) => f64::NEG_INFINITY,
+            }
+        };
+        let bounds = Bounds::new(
+            lo.iter().map(|v| v.ln()).collect(),
+            hi.iter().map(|v| v.ln()).collect(),
+        );
+        let OptimResult {
+            x,
+            fx,
+            evaluations,
+            iterations,
+            trace,
+            ..
+        } = nelder_mead_max(objective, &x0, &bounds, opts.nm);
+        let theta_hat: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        let report = FitReport {
+            evaluations,
+            iterations,
+            likelihood_seconds: spent.get(),
+            trace,
+        };
+        if !fx.is_finite() {
+            return Err(ModelError::Infeasible {
+                theta: theta_hat,
+                report,
+            });
+        }
+        // fx is finite, so the objective accepted θ̂: this cannot fail.
+        let kernel = self.kernel_at(&theta_hat)?;
+        FittedModel::factorize(
+            kernel,
+            Some(z.clone()),
+            self.backend,
+            self.config,
+            report,
+            rt,
+        )
+    }
+}
+
+/// A [`GeoModel`] positioned at a concrete `θ̂`, owning the factored
+/// `Σ(θ̂)`.
+///
+/// Prediction, conditional variances and simulation reuse the cached
+/// [`Factorization`] — zero further `potrf` calls. The factor sits behind a
+/// mutex only because the tile/TLR solvers create their raw views through
+/// `&mut`; no method mutates it.
+pub struct FittedModel<K: ParamCovariance> {
+    kernel: K,
+    z: Option<Vec<f64>>,
+    backend: Backend,
+    config: LikelihoodConfig,
+    factor: Mutex<Factorization>,
+    timings: FactorTimings,
+    /// `α = Σ(θ̂)⁻¹ Z` as an `n × 1` column, solved once at construction:
+    /// every subsequent prediction is just the cross-covariance product
+    /// `Σ₁₂ · α`, with no per-call copy of `α`.
+    alpha: Option<Mat>,
+    /// Seconds of the `α` pre-solve phase at construction (logdet read,
+    /// forward + backward triangular solves, quadratic form).
+    alpha_seconds: f64,
+    likelihood: Option<LogLikelihood>,
+    report: FitReport,
+}
+
+impl<K: ParamCovariance> FittedModel<K> {
+    /// Factors `Σ(θ)` once and pre-solves `α = Σ⁻¹Z` (when data is present).
+    fn factorize(
+        kernel: K,
+        z: Option<Vec<f64>>,
+        backend: Backend,
+        config: LikelihoodConfig,
+        report: FitReport,
+        rt: &Runtime,
+    ) -> Result<Self, ModelError> {
+        let n = kernel.len();
+        let (mut factor, timings) = Factorization::compute(&kernel, backend, config, rt)?;
+        let (alpha, likelihood, alpha_seconds) = match &z {
+            Some(z) => {
+                let mut w = Mat::from_vec(n, 1, z.clone());
+                let ll = likelihood_from_factor(&mut factor, timings, &mut w, rt);
+                let mut sw = Stopwatch::start();
+                factor.trsm(TriangularSide::Backward, &mut w, rt);
+                let alpha_seconds = ll.solve_seconds + sw.lap();
+                (Some(w), Some(ll), alpha_seconds)
+            }
+            None => (None, None, 0.0),
+        };
+        Ok(FittedModel {
+            kernel,
+            z,
+            backend,
+            config,
+            factor: Mutex::new(factor),
+            timings,
+            alpha,
+            alpha_seconds,
+            likelihood,
+            report,
+        })
+    }
+
+    /// The kernel instance at `θ̂`.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The fitted parameter vector `θ̂`.
+    pub fn params(&self) -> Vec<f64> {
+        self.kernel.params_vec()
+    }
+
+    /// ℓ(θ̂) with its pieces and timings (`None` for data-less sessions).
+    pub fn log_likelihood(&self) -> Option<&LogLikelihood> {
+        self.likelihood.as_ref()
+    }
+
+    /// The optimizer's search diagnostics (all-default for
+    /// [`GeoModel::at_params`] sessions).
+    pub fn report(&self) -> &FitReport {
+        &self.report
+    }
+
+    /// Generation/factorization timings of the cached factor.
+    pub fn factor_timings(&self) -> FactorTimings {
+        self.timings
+    }
+
+    /// Seconds of the `α = Σ⁻¹Z` pre-solve phase at construction: the
+    /// log-determinant read, both triangular solves and the quadratic form
+    /// (0 for data-less sessions). Together with
+    /// [`FittedModel::factor_timings`] this accounts for the full one-off
+    /// cost predictions amortize.
+    pub fn alpha_solve_seconds(&self) -> f64 {
+        self.alpha_seconds
+    }
+
+    /// The computation technique the factor was built with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Bytes held by the factored representation.
+    pub fn factor_bytes(&self) -> usize {
+        self.factor.lock().expect("factor lock").bytes()
+    }
+
+    /// Kriging prediction `Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂` (Eq. 4) at the target
+    /// locations, **reusing** the cached factor and pre-solved `α`: the cost
+    /// is one rectangular cross-covariance product, no factorization and no
+    /// solve.
+    pub fn predict(&self, targets: &[Location], rt: &Runtime) -> Result<Prediction, ModelError> {
+        let alpha = self.alpha.as_ref().ok_or(ModelError::NoData)?;
+        let m = targets.len();
+        if m == 0 {
+            return Ok(Prediction::empty());
+        }
+        let n = self.kernel.len();
+        let mut sw = Stopwatch::start();
+        // Σ₁₂ over the joint list: rows = targets (0..m), cols = observed.
+        let kj = self.joint_kernel(targets);
+        let sigma12 = TileMatrix::from_kernel_rect(&kj, 0, m, m, n, self.config.nb);
+        let values = tile_gemm(&sigma12, alpha, rt.num_workers())
+            .as_slice()
+            .to_vec();
+        Ok(Prediction {
+            values,
+            factorization_seconds: 0.0,
+            solve_seconds: sw.lap(),
+        })
+    }
+
+    /// Kriging with per-target conditional variances (Eq. 3):
+    /// `Var[Z₁|Z₂] = diag(Σ₁₁ − Σ₁₂ Σ₂₂⁻¹ Σ₂₁)`, through the cached factor
+    /// (one block solve with `m` right-hand sides, no factorization).
+    ///
+    /// The cross-covariance block is generated **once** (each entry costs a
+    /// kernel evaluation — a Bessel call for Matérn): the mean predictor is
+    /// its product with the cached `α`, and a pre-solve copy feeds the
+    /// variance dot products.
+    pub fn predict_with_variance(
+        &self,
+        targets: &[Location],
+        rt: &Runtime,
+    ) -> Result<(Prediction, Vec<f64>), ModelError> {
+        let alpha = self.alpha.as_ref().ok_or(ModelError::NoData)?;
+        let m = targets.len();
+        if m == 0 {
+            return Ok((Prediction::empty(), vec![]));
+        }
+        let n = self.kernel.len();
+        let mut sw = Stopwatch::start();
+        let kj = self.joint_kernel(targets);
+        // Σ₂₁ (n × m) as one dense block. The mean predictor reads it before
+        // the solve; the variance term needs only the *forward* solve, since
+        // Σ₁₂ Σ₂₂⁻¹ Σ₂₁ (j,j) = ‖L⁻¹ Σ₂₁(:,j)‖².
+        let mut s21 = Mat::from_fn(n, m, |i, j| kj.entry(m + i, j));
+        // Ẑ₁(j) = Σ₁₂(j,:) · α = Σ₂₁(:,j)ᵀ · α.
+        let a = alpha.col(0);
+        let values: Vec<f64> = (0..m)
+            .map(|j| s21.col(j).iter().zip(a).map(|(c, x)| c * x).sum())
+            .collect();
+        self.factor
+            .lock()
+            .expect("factor lock")
+            .trsm(TriangularSide::Forward, &mut s21, rt);
+        let sill = self.kernel.sill();
+        let variances = (0..m)
+            .map(|j| {
+                let acc: f64 = s21.col(j).iter().map(|x| x * x).sum();
+                // Clamp tiny negatives from approximation error.
+                (sill - acc).max(0.0)
+            })
+            .collect();
+        let prediction = Prediction {
+            values,
+            factorization_seconds: 0.0,
+            solve_seconds: sw.lap(),
+        };
+        Ok((prediction, variances))
+    }
+
+    /// Draws one exact realization `Z = L·w`, `w ~ N(0, I)`, through the
+    /// cached factor (the ExaGeoStat data generator).
+    pub fn simulate(&self, rng: &mut exa_util::Rng, rt: &Runtime) -> Vec<f64> {
+        let mut w = Mat::zeros(self.kernel.len(), 1);
+        rng.fill_gaussian(w.as_mut_slice());
+        self.factor
+            .lock()
+            .expect("factor lock")
+            .apply_factor(&w, rt)
+            .as_slice()
+            .to_vec()
+    }
+
+    /// Draws `count` independent realizations through the cached factor.
+    ///
+    /// The draws form one `n × count` block so the factor is applied once —
+    /// for the TLR backend in particular, its densification happens once per
+    /// batch, not once per draw. The Gaussian stream (and therefore every
+    /// realization) is identical to `count` sequential
+    /// [`FittedModel::simulate`] calls.
+    pub fn simulate_many(
+        &self,
+        count: usize,
+        rng: &mut exa_util::Rng,
+        rt: &Runtime,
+    ) -> Vec<Vec<f64>> {
+        if count == 0 {
+            return vec![];
+        }
+        let mut w = Mat::zeros(self.kernel.len(), count);
+        rng.fill_gaussian(w.as_mut_slice());
+        let y = self
+            .factor
+            .lock()
+            .expect("factor lock")
+            .apply_factor(&w, rt);
+        (0..count).map(|c| y.col(c).to_vec()).collect()
+    }
+
+    /// The measurement vector, when present.
+    pub fn data(&self) -> Option<&[f64]> {
+        self.z.as_deref()
+    }
+
+    /// The kernel family over targets ++ observed, for cross-covariance
+    /// blocks (row/column offsets never meet the diagonal, so the nugget the
+    /// kernel carries is never applied).
+    fn joint_kernel(&self, targets: &[Location]) -> K {
+        let observed = self.kernel.locations_arc();
+        let mut joint = Vec::with_capacity(targets.len() + observed.len());
+        joint.extend_from_slice(targets);
+        joint.extend_from_slice(observed);
+        self.kernel.with_locations(Arc::new(joint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locations::{holdout_split, synthetic_locations};
+    use exa_covariance::{GaussianKernel, MaternKernel, PoweredExponentialKernel};
+    use exa_util::Rng;
+
+    fn matern_model(side: usize, seed: u64, backend: Backend) -> (GeoModel<MaternKernel>, Runtime) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let locations = Arc::new(synthetic_locations(side, &mut rng));
+        let rt = Runtime::new(4);
+        let gen = GeoModel::<MaternKernel>::builder()
+            .locations(locations.clone())
+            .nugget(0.0)
+            .tile_size(32)
+            .build()
+            .unwrap()
+            .at_params(&[1.0, 0.1, 0.5], &rt)
+            .unwrap();
+        let z = gen.simulate(&mut rng, &rt);
+        let model = GeoModel::<MaternKernel>::builder()
+            .locations(locations)
+            .data(z)
+            .backend(backend)
+            .tile_size(32)
+            .seed(seed)
+            .build()
+            .unwrap();
+        (model, rt)
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(matches!(
+            GeoModel::<MaternKernel>::builder().build(),
+            Err(ModelError::Shape(_))
+        ));
+        let locs = Arc::new(vec![Location::new(0.0, 0.0), Location::new(1.0, 1.0)]);
+        assert!(matches!(
+            GeoModel::<MaternKernel>::builder()
+                .locations(locs.clone())
+                .data(vec![1.0])
+                .build(),
+            Err(ModelError::Shape(_))
+        ));
+        assert!(GeoModel::<MaternKernel>::builder()
+            .locations(locs)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn kernel_at_rejects_malformed_theta() {
+        let locs = Arc::new(vec![Location::new(0.0, 0.0)]);
+        let model = GeoModel::<MaternKernel>::builder()
+            .locations(locs)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            model.kernel_at(&[1.0, 0.1]),
+            Err(ModelError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            model.kernel_at(&[1.0, -0.1, 0.5]),
+            Err(ModelError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn data_less_session_simulates_but_cannot_fit() {
+        let mut rng = Rng::seed_from_u64(9);
+        let locs = Arc::new(synthetic_locations(5, &mut rng));
+        let rt = Runtime::new(2);
+        let model = GeoModel::<MaternKernel>::builder()
+            .locations(locs)
+            .tile_size(16)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            model.fit(&FitOptions::default(), &rt),
+            Err(ModelError::NoData)
+        ));
+        let at = model.at_params(&[1.0, 0.1, 0.5], &rt).unwrap();
+        assert!(at.log_likelihood().is_none());
+        assert!(matches!(at.predict(&[], &rt), Err(ModelError::NoData)));
+        let z = at.simulate(&mut rng, &rt);
+        assert_eq!(z.len(), 25);
+    }
+
+    #[test]
+    fn fit_improves_on_start_and_predicts() {
+        let (model, rt) = matern_model(12, 11, Backend::FullTile);
+        let start = [0.5, 0.05, 0.8];
+        let at_start = model.log_likelihood_at(&start, &rt).unwrap().value;
+        let fitted = model
+            .fit(
+                &FitOptions {
+                    initial: Some(start.to_vec()),
+                    nm: NelderMeadConfig {
+                        max_evals: 60,
+                        ftol: 1e-4,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                &rt,
+            )
+            .unwrap();
+        let ll = fitted.log_likelihood().unwrap();
+        assert!(ll.value >= at_start, "{} < {at_start}", ll.value);
+        assert!(fitted.report().evaluations > 5);
+        assert!(fitted.report().likelihood_seconds > 0.0);
+        // Prediction at a handful of interior points stays bounded.
+        let targets = [Location::new(0.5, 0.5), Location::new(0.25, 0.75)];
+        let p = fitted.predict(&targets, &rt).unwrap();
+        assert_eq!(p.values.len(), 2);
+        assert!(p.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn factor_reuse_performs_zero_potrf() {
+        let (model, rt) = matern_model(10, 13, Backend::FullTile);
+        let fitted = model.at_params(&[1.0, 0.1, 0.5], &rt).unwrap();
+        let targets = [Location::new(0.4, 0.4), Location::new(0.9, 0.2)];
+        let before = crate::factor::factorization_count();
+        let p1 = fitted.predict(&targets, &rt).unwrap();
+        let p2 = fitted.predict(&targets, &rt).unwrap();
+        let (_, vars) = fitted.predict_with_variance(&targets, &rt).unwrap();
+        assert_eq!(
+            crate::factor::factorization_count(),
+            before,
+            "prediction after fitting must not re-factorize"
+        );
+        assert_eq!(p1.values, p2.values);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(p1.factorization_seconds, 0.0);
+    }
+
+    #[test]
+    fn backends_agree_through_the_session_api() {
+        let theta = [1.0, 0.1, 0.5];
+        let mut values: Vec<(f64, Vec<f64>)> = Vec::new();
+        for backend in [Backend::FullBlock, Backend::FullTile, Backend::tlr(1e-12)] {
+            let (model, rt) = matern_model(9, 17, backend);
+            let fitted = model.at_params(&theta, &rt).unwrap();
+            let ll = fitted.log_likelihood().unwrap().value;
+            let targets = [Location::new(0.3, 0.6), Location::new(0.8, 0.8)];
+            let p = fitted.predict(&targets, &rt).unwrap();
+            values.push((ll, p.values));
+        }
+        let (ll0, p0) = &values[0];
+        for (ll, p) in &values[1..] {
+            assert!((ll - ll0).abs() < 1e-6 * ll0.abs(), "{ll} vs {ll0}");
+            for (a, b) in p.iter().zip(p0) {
+                assert!((a - b).abs() < 1e-7 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_families_fit_and_krige_end_to_end() {
+        // The acceptance path: MLE fit + kriging through the same generic
+        // code for Matérn, powered-exponential and Gaussian families.
+        let mut rng = Rng::seed_from_u64(23);
+        let locations = Arc::new(synthetic_locations(10, &mut rng));
+        let rt = Runtime::new(4);
+        let split = holdout_split(locations.len(), 15, &mut rng);
+        let nm = NelderMeadConfig {
+            max_evals: 40,
+            ftol: 1e-4,
+            ..Default::default()
+        };
+
+        fn run<K: ParamCovariance>(
+            locations: &Arc<Vec<Location>>,
+            split: &crate::locations::HoldoutSplit,
+            truth: &[f64],
+            start: &[f64],
+            nm: NelderMeadConfig,
+            rng: &mut Rng,
+            rt: &Runtime,
+        ) -> f64 {
+            let gen = GeoModel::<K>::builder()
+                .locations(locations.clone())
+                .tile_size(32)
+                .build()
+                .unwrap()
+                .at_params(truth, rt)
+                .unwrap();
+            let z = gen.simulate(rng, rt);
+            let observed: Vec<Location> = split.estimation.iter().map(|&i| locations[i]).collect();
+            let z_obs: Vec<f64> = split.estimation.iter().map(|&i| z[i]).collect();
+            let targets: Vec<Location> = split.validation.iter().map(|&i| locations[i]).collect();
+            let truth_vals: Vec<f64> = split.validation.iter().map(|&i| z[i]).collect();
+            let fitted = GeoModel::<K>::builder()
+                .locations(Arc::new(observed))
+                .data(z_obs)
+                .tile_size(32)
+                .build()
+                .unwrap()
+                .fit(
+                    &FitOptions {
+                        initial: Some(start.to_vec()),
+                        nm,
+                        ..Default::default()
+                    },
+                    rt,
+                )
+                .unwrap();
+            assert_eq!(fitted.params().len(), K::n_params());
+            let p = fitted.predict(&targets, rt).unwrap();
+            crate::predict::prediction_mse(&truth_vals, &p.values)
+        }
+
+        let mse_matern = run::<MaternKernel>(
+            &locations,
+            &split,
+            &[1.0, 0.15, 0.5],
+            &[0.5, 0.08, 0.8],
+            nm,
+            &mut rng,
+            &rt,
+        );
+        let mse_powexp = run::<PoweredExponentialKernel>(
+            &locations,
+            &split,
+            &[1.0, 0.15, 1.0],
+            &[0.5, 0.08, 1.4],
+            nm,
+            &mut rng,
+            &rt,
+        );
+        let mse_gauss = run::<GaussianKernel>(
+            &locations,
+            &split,
+            &[1.0, 0.15],
+            &[0.5, 0.08],
+            nm,
+            &mut rng,
+            &rt,
+        );
+        // Kriging must beat the trivial zero predictor (marginal variance 1)
+        // for every family on its own data.
+        for (family, mse) in [
+            ("matern", mse_matern),
+            ("powered-exponential", mse_powexp),
+            ("gaussian", mse_gauss),
+        ] {
+            assert!(mse.is_finite() && mse < 1.0, "{family}: MSE {mse}");
+        }
+    }
+
+    #[test]
+    fn equal_bounds_fix_a_parameter() {
+        // lo == hi pins a coordinate (the optimizer's inclusive box clamps
+        // to the point) — the legacy driver allowed this and the session
+        // API must too, not reject or panic.
+        let (model, rt) = matern_model(8, 41, Backend::FullTile);
+        let fitted = model
+            .fit(
+                &FitOptions {
+                    initial: Some(vec![1.0, 0.1, 0.5]),
+                    lower: Some(vec![0.01, 0.001, 0.5]),
+                    upper: Some(vec![100.0, 100.0, 0.5]),
+                    nm: NelderMeadConfig {
+                        max_evals: 25,
+                        ftol: 1e-4,
+                        ..Default::default()
+                    },
+                },
+                &rt,
+            )
+            .unwrap();
+        let theta = fitted.params();
+        assert!(
+            (theta[2] - 0.5).abs() < 1e-12,
+            "smoothness must stay pinned at 0.5, got {}",
+            theta[2]
+        );
+    }
+
+    #[test]
+    fn fit_rejects_out_of_domain_bounds_up_front() {
+        // A powered-exponential power bound above 2 leaves the family's
+        // positive-definiteness domain: the fit must refuse immediately
+        // instead of panicking when the simplex reaches the corner.
+        let mut rng = Rng::seed_from_u64(31);
+        let locs = Arc::new(synthetic_locations(4, &mut rng));
+        let rt = Runtime::new(1);
+        let model = GeoModel::<PoweredExponentialKernel>::builder()
+            .locations(locs)
+            .data(vec![0.1; 16])
+            .tile_size(8)
+            .build()
+            .unwrap();
+        let out = model.fit(
+            &FitOptions {
+                upper: Some(vec![100.0, 100.0, 3.0]),
+                ..Default::default()
+            },
+            &rt,
+        );
+        assert!(
+            matches!(out, Err(ModelError::InvalidParams(_))),
+            "{:?}",
+            out.map(|f| f.params())
+        );
+    }
+
+    #[test]
+    fn infeasible_fit_reports_best_point() {
+        // A Gaussian fit with zero nugget on a dense grid breaks down at
+        // every proposed θ: the session must say so rather than return junk.
+        let side = 12;
+        let locations: Vec<Location> = (0..side * side)
+            .map(|k| {
+                Location::new(
+                    (k % side) as f64 / side as f64,
+                    (k / side) as f64 / side as f64,
+                )
+            })
+            .collect();
+        let rt = Runtime::new(2);
+        let model = GeoModel::<GaussianKernel>::builder()
+            .locations(Arc::new(locations))
+            .data(vec![0.1; side * side])
+            .nugget(0.0)
+            .tile_size(48)
+            .build()
+            .unwrap();
+        let out = model.fit(
+            &FitOptions {
+                initial: Some(vec![1.0, 5.0]),
+                nm: NelderMeadConfig {
+                    max_evals: 12,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &rt,
+        );
+        match out {
+            Err(ModelError::Infeasible { theta, report }) => {
+                assert_eq!(theta.len(), 2);
+                assert!(report.evaluations > 0);
+            }
+            other => panic!("expected Infeasible, got {:?}", other.map(|f| f.params())),
+        }
+    }
+}

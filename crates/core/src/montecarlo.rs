@@ -9,11 +9,10 @@
 
 use crate::likelihood::{Backend, LikelihoodConfig};
 use crate::locations::{holdout_split, synthetic_locations_n};
-use crate::mle::{MleProblem, ParamBounds};
+use crate::model::{FitOptions, GeoModel};
 use crate::optimizer::NelderMeadConfig;
-use crate::predict::{predict, prediction_mse};
-use crate::simulate::FieldSimulator;
-use exa_covariance::{DistanceMetric, Location, MaternParams};
+use crate::predict::prediction_mse;
+use exa_covariance::{Location, MaternKernel, MaternParams};
 use exa_runtime::Runtime;
 use exa_util::stats::BoxplotSummary;
 use exa_util::Rng;
@@ -83,7 +82,15 @@ impl TechniqueOutcome {
     }
 
     /// Boxplot summary of the prediction MSE — one panel of Figure 7.
+    ///
+    /// # Panics
+    /// For an estimation-only study (`holdout = 0`), which records
+    /// estimates but no MSEs.
     pub fn mse_boxplot(&self) -> BoxplotSummary {
+        assert!(
+            !self.mses.is_empty(),
+            "estimation-only study (holdout = 0) has no prediction MSEs"
+        );
         exa_util::five_number_summary(&self.mses)
     }
 }
@@ -98,20 +105,22 @@ pub struct MonteCarloData {
     pub validation_idx: Vec<usize>,
 }
 
-/// Generates the shared data in exact (machine-precision) computation.
+/// Generates the shared data in exact (machine-precision) computation: a
+/// full-tile simulation session factored once at the truth, drawn
+/// `replicates` times.
 pub fn generate_data(truth: MaternParams, cfg: &MonteCarloConfig, rt: &Runtime) -> MonteCarloData {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let locations = Arc::new(synthetic_locations_n(cfg.n, &mut rng));
-    let sim = FieldSimulator::new(
-        locations.clone(),
-        truth,
-        DistanceMetric::Euclidean,
-        0.0,
-        cfg.likelihood.nb,
-        rt,
-    )
-    .expect("exact covariance must be SPD");
-    let measurements = sim.draw_many(cfg.replicates, &mut rng);
+    let sim = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .nugget(0.0)
+        .backend(Backend::FullTile)
+        .config(cfg.likelihood)
+        .build()
+        .expect("non-empty location set")
+        .at_params(&truth.to_array(), rt)
+        .expect("exact covariance must be SPD");
+    let measurements = sim.simulate_many(cfg.replicates, &mut rng, rt);
     let split = holdout_split(locations.len(), cfg.holdout, &mut rng);
     MonteCarloData {
         locations,
@@ -123,24 +132,39 @@ pub fn generate_data(truth: MaternParams, cfg: &MonteCarloConfig, rt: &Runtime) 
 }
 
 /// Runs the full study for one technique: per replicate, fit `θ̂` on the
-/// estimation points, then predict the held-out points with `θ̂`.
+/// estimation points, then predict the held-out points with `θ̂` — through
+/// the fitted session, so prediction reuses the factorization `fit` already
+/// computed instead of re-running `potrf`.
 pub fn run_technique(
     data: &MonteCarloData,
     backend: Backend,
     cfg: &MonteCarloConfig,
     rt: &Runtime,
 ) -> TechniqueOutcome {
-    let observed: Vec<Location> = data
-        .estimation_idx
-        .iter()
-        .map(|&i| data.locations[i])
-        .collect();
     let targets: Vec<Location> = data
         .validation_idx
         .iter()
         .map(|&i| data.locations[i])
         .collect();
-    let observed_arc = Arc::new(observed.clone());
+    let observed_arc = Arc::new(
+        data.estimation_idx
+            .iter()
+            .map(|&i| data.locations[i])
+            .collect::<Vec<Location>>(),
+    );
+
+    // The paper starts the optimizer from empirical values; a mildly
+    // perturbed truth keeps study runtimes tractable at our scale.
+    let start = [
+        data.truth.variance * 0.6,
+        data.truth.range * 1.5,
+        (data.truth.smoothness * 1.2).min(2.9),
+    ];
+    let opts = FitOptions {
+        initial: Some(start.to_vec()),
+        nm: cfg.optimizer,
+        ..Default::default()
+    };
 
     let mut estimates = Vec::with_capacity(data.measurements.len());
     let mut mses = Vec::with_capacity(data.measurements.len());
@@ -148,41 +172,32 @@ pub fn run_technique(
     for z in &data.measurements {
         let z_obs: Vec<f64> = data.estimation_idx.iter().map(|&i| z[i]).collect();
         let truth_vals: Vec<f64> = data.validation_idx.iter().map(|&i| z[i]).collect();
-        let problem = MleProblem {
-            locations: observed_arc.clone(),
-            z: z_obs.clone(),
-            metric: DistanceMetric::Euclidean,
-            backend,
-            config: cfg.likelihood,
-            nugget: 1e-8,
+        let model = GeoModel::<MaternKernel>::builder()
+            .locations(observed_arc.clone())
+            .data(z_obs)
+            .backend(backend)
+            .config(cfg.likelihood)
+            .build()
+            .expect("consistent study data");
+        // Fit failures (no feasible point, or a breakdown at θ̂) are
+        // counted, not silently dropped.
+        let fitted = match model.fit(&opts, rt) {
+            Ok(f) => f,
+            Err(_) => {
+                failures += 1;
+                continue;
+            }
         };
-        // The paper starts the optimizer from empirical values; a mildly
-        // perturbed truth keeps study runtimes tractable at our scale.
-        let start = MaternParams::new(
-            data.truth.variance * 0.6,
-            data.truth.range * 1.5,
-            (data.truth.smoothness * 1.2).min(2.9),
-        );
-        let fit = problem.fit(start, &ParamBounds::default(), cfg.optimizer, rt);
-        if !fit.loglik.is_finite() {
-            failures += 1;
+        // An estimation-only study (holdout = 0) records estimates but no
+        // MSEs (`prediction_mse` rejects empty inputs rather than yield NaN).
+        if targets.is_empty() {
+            estimates.push(fitted.kernel().params());
             continue;
         }
-        let pred = predict(
-            &observed,
-            &z_obs,
-            &targets,
-            fit.params,
-            DistanceMetric::Euclidean,
-            1e-8,
-            backend,
-            cfg.likelihood,
-            rt,
-        );
-        match pred {
+        match fitted.predict(&targets, rt) {
             Ok(p) => {
                 mses.push(prediction_mse(&truth_vals, &p.values));
-                estimates.push(fit.params);
+                estimates.push(fitted.kernel().params());
             }
             Err(_) => failures += 1,
         }

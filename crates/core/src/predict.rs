@@ -8,12 +8,11 @@
 //! error (Eq. 7) against held-out truth.
 
 use crate::likelihood::{Backend, LikelihoodConfig};
-use exa_covariance::{CovarianceKernel, DistanceMetric, Location, MaternKernel, MaternParams};
-use exa_linalg::{dtrsm, LinalgError, Mat, Side, Trans};
+use crate::model::{GeoModel, ModelError};
+use exa_covariance::{DistanceMetric, Location, MaternKernel, MaternParams};
+use exa_linalg::LinalgError;
 use exa_runtime::Runtime;
-use exa_tile::{block_potrf, tile_gemm, tile_potrf, tile_potrs, TileMatrix};
-use exa_tlr::{tlr_potrf, tlr_potrs, TlrMatrix};
-use exa_util::Stopwatch;
+use std::sync::Arc;
 
 /// Result of one prediction run.
 #[derive(Clone, Debug)]
@@ -26,11 +25,67 @@ pub struct Prediction {
     pub solve_seconds: f64,
 }
 
+impl Prediction {
+    /// The empty-target result (no work performed).
+    pub fn empty() -> Self {
+        Prediction {
+            values: vec![],
+            factorization_seconds: 0.0,
+            solve_seconds: 0.0,
+        }
+    }
+}
+
+/// Flattens a [`ModelError`] into the legacy [`LinalgError`] surface; the
+/// wrappers validate their inputs up front, so only factorization
+/// breakdowns can reach the caller.
+fn into_linalg(e: ModelError) -> LinalgError {
+    match e {
+        ModelError::Linalg(l) => l,
+        other => panic!("unexpected model error in legacy wrapper: {other}"),
+    }
+}
+
+/// Builds the one-shot prediction session the legacy entry points delegate
+/// to: a Matérn [`GeoModel`] over the observed set, factored at `params`.
+#[allow(clippy::too_many_arguments)]
+fn legacy_session(
+    observed: &[Location],
+    z: &[f64],
+    params: MaternParams,
+    metric: DistanceMetric,
+    nugget: f64,
+    backend: Backend,
+    cfg: LikelihoodConfig,
+    rt: &Runtime,
+) -> Result<crate::model::FittedModel<MaternKernel>, LinalgError> {
+    GeoModel::<MaternKernel>::builder()
+        .locations(Arc::new(observed.to_vec()))
+        .data(z.to_vec())
+        .metric(metric)
+        .nugget(nugget)
+        .backend(backend)
+        .config(cfg)
+        .build()
+        .expect("valid prediction inputs")
+        .at_params(&params.to_array(), rt)
+        .map_err(into_linalg)
+}
+
 /// Predicts `m` unknown measurements from `n` observed ones (Eq. 4).
 ///
 /// * `observed`: the `n` sampled locations with their measurements `z`.
 /// * `targets`: the `m` unsampled locations.
 /// * `params`: the (estimated) Matérn parameter vector `θ̂`.
+///
+/// Thin compatibility wrapper: every call factorizes `Σ₂₂` from scratch.
+/// Keep the [`crate::FittedModel`] returned by [`GeoModel::fit`] /
+/// [`GeoModel::at_params`] and call its `predict` to reuse the factor
+/// already computed at `θ̂`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GeoModel::at_params(θ̂).predict(targets)` — after `fit()` the factor is reused"
+)]
 #[allow(clippy::too_many_arguments)] // mirrors the ExaGeoStat prediction entry point
 pub fn predict(
     observed: &[Location],
@@ -43,87 +98,19 @@ pub fn predict(
     cfg: LikelihoodConfig,
     rt: &Runtime,
 ) -> Result<Prediction, LinalgError> {
-    let n = observed.len();
-    let m = targets.len();
-    assert_eq!(z.len(), n, "measurement count mismatch");
-    if m == 0 {
-        return Ok(Prediction {
-            values: vec![],
-            factorization_seconds: 0.0,
-            solve_seconds: 0.0,
-        });
+    assert_eq!(z.len(), observed.len(), "measurement count mismatch");
+    if targets.is_empty() {
+        return Ok(Prediction::empty());
     }
-    assert!(n > 0, "need observations to predict from");
-    let workers = rt.num_workers();
-
-    // Kernel over the observed set only (Σ₂₂).
-    let k22 = MaternKernel::new(
-        std::sync::Arc::new(observed.to_vec()),
-        params,
-        metric,
-        nugget,
-    );
-
-    let mut sw = Stopwatch::start();
-    // x = Σ₂₂⁻¹ Z₂ through the chosen factorization.
-    let mut x = Mat::from_vec(n, 1, z.to_vec());
-    let factorization_seconds;
-    match backend {
-        Backend::FullBlock => {
-            let mut sigma = Mat::from_fn(n, n, |i, j| k22.entry(i, j));
-            block_potrf(&mut sigma, workers)?;
-            factorization_seconds = sw.lap();
-            dtrsm(
-                Side::Left,
-                Trans::No,
-                n,
-                1,
-                1.0,
-                sigma.as_slice(),
-                n,
-                x.as_mut_slice(),
-                n,
-            );
-            dtrsm(
-                Side::Left,
-                Trans::Yes,
-                n,
-                1,
-                1.0,
-                sigma.as_slice(),
-                n,
-                x.as_mut_slice(),
-                n,
-            );
-        }
-        Backend::FullTile => {
-            let mut sigma = TileMatrix::from_kernel_symmetric_lower(&k22, cfg.nb, workers);
-            tile_potrf(&mut sigma, rt)?;
-            factorization_seconds = sw.lap();
-            tile_potrs(&mut sigma, &mut x, rt);
-        }
-        Backend::Tlr { eps, method } => {
-            let mut sigma = TlrMatrix::from_kernel(&k22, cfg.nb, eps, method, workers, cfg.seed)?;
-            tlr_potrf(&mut sigma, rt)?;
-            factorization_seconds = sw.lap();
-            tlr_potrs(&mut sigma, &mut x, rt);
-        }
-    }
-
-    // Ẑ₁ = Σ₁₂ x. Build the cross-covariance over the joint location list:
-    // rows = targets (0..m), columns = observed (m..m+n).
-    let mut joint = Vec::with_capacity(m + n);
-    joint.extend_from_slice(targets);
-    joint.extend_from_slice(observed);
-    let kj = MaternKernel::new(std::sync::Arc::new(joint), params, metric, 0.0);
-    let sigma12 = TileMatrix::from_kernel_rect(&kj, 0, m, m, n, cfg.nb);
-    let values = tile_gemm(&sigma12, &x, workers).as_slice().to_vec();
-    let solve_seconds = sw.lap();
-    Ok(Prediction {
-        values,
-        factorization_seconds,
-        solve_seconds,
-    })
+    assert!(!observed.is_empty(), "need observations to predict from");
+    let fitted = legacy_session(observed, z, params, metric, nugget, backend, cfg, rt)?;
+    let mut p = fitted.predict(targets, rt).map_err(into_linalg)?;
+    // Legacy semantics: this call paid for the factorization and the
+    // Σ₂₂⁻¹Z solves; report them in the historical fields.
+    let t = fitted.factor_timings();
+    p.factorization_seconds = t.generation_seconds + t.factorization_seconds;
+    p.solve_seconds += fitted.alpha_solve_seconds();
+    Ok(p)
 }
 
 /// Kriging with per-target conditional variances (paper Eq. 3):
@@ -133,6 +120,13 @@ pub fn predict(
 /// mean predictor; the variance is the natural extension (it prices the
 /// prediction's uncertainty) and costs one extra block solve
 /// `Σ₂₂⁻¹ Σ₂₁` with `m` right-hand sides.
+///
+/// Thin compatibility wrapper; see [`predict`] for the factor-reuse
+/// alternative ([`crate::FittedModel::predict_with_variance`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FittedModel::predict_with_variance`, which reuses the fitted factor"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn predict_with_variance(
     observed: &[Location],
@@ -145,78 +139,19 @@ pub fn predict_with_variance(
     cfg: LikelihoodConfig,
     rt: &Runtime,
 ) -> Result<(Prediction, Vec<f64>), LinalgError> {
-    let n = observed.len();
-    let m = targets.len();
-    let prediction = predict(
-        observed, z, targets, params, metric, nugget, backend, cfg, rt,
-    )?;
-    if m == 0 {
-        return Ok((prediction, vec![]));
+    assert_eq!(z.len(), observed.len(), "measurement count mismatch");
+    if targets.is_empty() {
+        return Ok((Prediction::empty(), vec![]));
     }
-    // Σ₂₁ (n × m) as dense RHS block, solved through the chosen factor.
-    let mut joint = Vec::with_capacity(m + n);
-    joint.extend_from_slice(targets);
-    joint.extend_from_slice(observed);
-    let kj = MaternKernel::new(std::sync::Arc::new(joint), params, metric, 0.0);
-    let mut s21 = Mat::from_fn(n, m, |i, j| kj.entry(m + i, j));
-    let k22 = MaternKernel::new(
-        std::sync::Arc::new(observed.to_vec()),
-        params,
-        metric,
-        nugget,
-    );
-    let workers = rt.num_workers();
-    match backend {
-        Backend::FullBlock => {
-            let mut sigma = Mat::from_fn(n, n, |i, j| k22.entry(i, j));
-            block_potrf(&mut sigma, workers)?;
-            dtrsm(
-                Side::Left,
-                Trans::No,
-                n,
-                m,
-                1.0,
-                sigma.as_slice(),
-                n,
-                s21.as_mut_slice(),
-                n,
-            );
-            dtrsm(
-                Side::Left,
-                Trans::Yes,
-                n,
-                m,
-                1.0,
-                sigma.as_slice(),
-                n,
-                s21.as_mut_slice(),
-                n,
-            );
-        }
-        Backend::FullTile => {
-            let mut sigma = TileMatrix::from_kernel_symmetric_lower(&k22, cfg.nb, workers);
-            tile_potrf(&mut sigma, rt)?;
-            tile_potrs(&mut sigma, &mut s21, rt);
-        }
-        Backend::Tlr { eps, method } => {
-            let mut sigma = TlrMatrix::from_kernel(&k22, cfg.nb, eps, method, workers, cfg.seed)?;
-            tlr_potrf(&mut sigma, rt)?;
-            tlr_potrs(&mut sigma, &mut s21, rt);
-        }
-    }
-    // Var_j = Σ₁₁(j,j) − Σ₁₂(j,:) · (Σ₂₂⁻¹ Σ₂₁)(:,j). Σ₁₁ diagonal is the
-    // marginal variance (+ nothing: targets carry no nugget).
-    let mut variances = Vec::with_capacity(m);
-    for (j, target) in targets.iter().enumerate() {
-        let col = s21.col(j);
-        let mut acc = 0.0;
-        for (i, obs) in observed.iter().enumerate() {
-            acc += kj.params().covariance(metric.distance(target, obs)) * col[i];
-        }
-        // Clamp tiny negative values from approximation error.
-        variances.push((params.variance - acc).max(0.0));
-    }
-    Ok((prediction, variances))
+    assert!(!observed.is_empty(), "need observations to predict from");
+    let fitted = legacy_session(observed, z, params, metric, nugget, backend, cfg, rt)?;
+    let (mut p, variances) = fitted
+        .predict_with_variance(targets, rt)
+        .map_err(into_linalg)?;
+    let t = fitted.factor_timings();
+    p.factorization_seconds = t.generation_seconds + t.factorization_seconds;
+    p.solve_seconds += fitted.alpha_solve_seconds();
+    Ok((p, variances))
 }
 
 /// The paper's prediction MSE (Eq. 7): `(1/m)·Σ (Y_i − Ŷ_i)²`.
@@ -233,11 +168,13 @@ pub fn prediction_mse(truth: &[f64], predicted: &[f64]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrappers stay covered (and equivalent) until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::locations::{holdout_split, synthetic_locations};
     use crate::simulate::FieldSimulator;
     use exa_util::Rng;
-    use std::sync::Arc;
 
     /// Simulates a field, holds out `m` sites, predicts them back.
     fn holdout_experiment(
@@ -427,5 +364,12 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mse_validates_lengths() {
         prediction_mse(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prediction set")]
+    fn mse_rejects_empty_input_instead_of_nan() {
+        // Regression guard: 0/0 on empty input must not silently yield NaN.
+        prediction_mse(&[], &[]);
     }
 }

@@ -14,10 +14,10 @@
 //! depend only on the field being a Matérn GRF with those parameters, which
 //! is exactly what this module generates (see DESIGN.md §2).
 
+use crate::likelihood::Backend;
 use crate::locations::gridded_locations_in;
-use crate::simulate::FieldSimulator;
-use exa_covariance::{DistanceMetric, Location, MaternParams};
-use exa_linalg::LinalgError;
+use crate::model::{GeoModel, ModelError};
+use exa_covariance::{DistanceMetric, Location, MaternKernel, MaternParams};
 use exa_runtime::Runtime;
 use exa_util::Rng;
 use std::sync::Arc;
@@ -107,27 +107,28 @@ pub struct RegionDataset {
 }
 
 /// Simulates `side²` measurements of the region's Matérn field with
-/// great-circle (haversine) distances, as the paper uses for real data.
+/// great-circle (haversine) distances, as the paper uses for real data:
+/// a full-tile simulation session factored at the region's generative `θ`.
 pub fn generate_region(
     spec: &RegionSpec,
     side: usize,
     nb: usize,
     seed: u64,
     rt: &Runtime,
-) -> Result<RegionDataset, LinalgError> {
+) -> Result<RegionDataset, ModelError> {
     let mut rng = Rng::seed_from_u64(seed);
     let locations = Arc::new(gridded_locations_in(
         side, spec.lon.0, spec.lon.1, spec.lat.0, spec.lat.1, &mut rng,
     ));
-    let sim = FieldSimulator::new(
-        locations.clone(),
-        spec.params,
-        DistanceMetric::GreatCircleKm,
-        1e-8,
-        nb,
-        rt,
-    )?;
-    let z = sim.draw(&mut rng);
+    let sim = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .metric(DistanceMetric::GreatCircleKm)
+        .nugget(1e-8)
+        .backend(Backend::FullTile)
+        .tile_size(nb)
+        .build()?
+        .at_params(&spec.params.to_array(), rt)?;
+    let z = sim.simulate(&mut rng, rt);
     Ok(RegionDataset {
         spec: spec.clone(),
         locations,

@@ -1,0 +1,174 @@
+//! Acceptance tests for the session API's factor reuse: after `fit`/
+//! `at_params`, `FittedModel::predict` must (a) perform **zero** further
+//! `potrf` calls, (b) agree with the legacy re-factorizing `predict` free
+//! function to 1e-10, and (c) agree with an independent dense-LAPACK
+//! reference implementation of Eq. 4.
+
+use exa_covariance::{CovarianceKernel, DistanceMetric, Location, MaternKernel, MaternParams};
+use exa_geostat::{
+    factorization_count, holdout_split, synthetic_locations, Backend, GeoModel, LikelihoodConfig,
+};
+use exa_linalg::{dpotrf, dtrsm, Mat, Side, Trans};
+use exa_runtime::Runtime;
+use exa_util::Rng;
+use std::sync::Arc;
+
+struct Holdout {
+    observed: Vec<Location>,
+    z_obs: Vec<f64>,
+    targets: Vec<Location>,
+}
+
+fn holdout_problem(side: usize, m: usize, seed: u64, rt: &Runtime) -> Holdout {
+    let mut rng = Rng::seed_from_u64(seed);
+    let locations = Arc::new(synthetic_locations(side, &mut rng));
+    let gen = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .nugget(0.0)
+        .tile_size(32)
+        .build()
+        .unwrap()
+        .at_params(&[1.0, 0.1, 0.5], rt)
+        .unwrap();
+    let z = gen.simulate(&mut rng, rt);
+    let split = holdout_split(locations.len(), m, &mut rng);
+    Holdout {
+        observed: split.estimation.iter().map(|&i| locations[i]).collect(),
+        z_obs: split.estimation.iter().map(|&i| z[i]).collect(),
+        targets: split.validation.iter().map(|&i| locations[i]).collect(),
+    }
+}
+
+#[test]
+fn session_predict_matches_legacy_refactorizing_predict() {
+    let rt = Runtime::new(4);
+    let h = holdout_problem(14, 25, 1, &rt);
+    let params = MaternParams::new(0.9, 0.12, 0.6); // a θ̂-like point off the truth
+    for backend in [Backend::FullBlock, Backend::FullTile, Backend::tlr(1e-11)] {
+        let cfg = LikelihoodConfig { nb: 32, seed: 1 };
+        #[allow(deprecated)]
+        let legacy = exa_geostat::predict(
+            &h.observed,
+            &h.z_obs,
+            &h.targets,
+            params,
+            DistanceMetric::Euclidean,
+            1e-8,
+            backend,
+            cfg,
+            &rt,
+        )
+        .unwrap();
+
+        let fitted = GeoModel::<MaternKernel>::builder()
+            .locations(Arc::new(h.observed.clone()))
+            .data(h.z_obs.clone())
+            .backend(backend)
+            .config(cfg)
+            .build()
+            .unwrap()
+            .at_params(&params.to_array(), &rt)
+            .unwrap();
+        let before = factorization_count();
+        let session = fitted.predict(&h.targets, &rt).unwrap();
+        assert_eq!(
+            factorization_count(),
+            before,
+            "{backend:?}: session prediction must not re-factorize"
+        );
+        assert_eq!(legacy.values.len(), session.values.len());
+        for (a, b) in legacy.values.iter().zip(&session.values) {
+            assert!(
+                (a - b).abs() <= 1e-10 * a.abs().max(1.0),
+                "{backend:?}: legacy {a} vs session {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_predict_matches_dense_lapack_reference() {
+    // Independent implementation of Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂: dense kernel matrix,
+    // dense Cholesky, two triangular solves, entrywise Σ₁₂ — no shared code
+    // with the session path beyond the kernel itself.
+    let rt = Runtime::new(4);
+    let h = holdout_problem(12, 18, 2, &rt);
+    let params = MaternParams::new(1.0, 0.1, 0.5);
+    let n = h.observed.len();
+    let kernel = MaternKernel::new(
+        Arc::new(h.observed.clone()),
+        params,
+        DistanceMetric::Euclidean,
+        1e-8,
+    );
+    let mut sigma = Mat::from_fn(n, n, |i, j| kernel.entry(i, j));
+    dpotrf(n, sigma.as_mut_slice(), n).unwrap();
+    let mut alpha = Mat::from_vec(n, 1, h.z_obs.clone());
+    for trans in [Trans::No, Trans::Yes] {
+        dtrsm(
+            Side::Left,
+            trans,
+            n,
+            1,
+            1.0,
+            sigma.as_slice(),
+            n,
+            alpha.as_mut_slice(),
+            n,
+        );
+    }
+    let reference: Vec<f64> = h
+        .targets
+        .iter()
+        .map(|t| {
+            h.observed
+                .iter()
+                .zip(alpha.as_slice())
+                .map(|(o, &a)| kernel.cross(t, o) * a)
+                .sum()
+        })
+        .collect();
+
+    let fitted = GeoModel::<MaternKernel>::builder()
+        .locations(Arc::new(h.observed.clone()))
+        .data(h.z_obs.clone())
+        .backend(Backend::FullTile)
+        .tile_size(32)
+        .build()
+        .unwrap()
+        .at_params(&params.to_array(), &rt)
+        .unwrap();
+    let session = fitted.predict(&h.targets, &rt).unwrap();
+    for (a, b) in reference.iter().zip(&session.values) {
+        assert!(
+            (a - b).abs() <= 1e-8 * a.abs().max(1.0),
+            "reference {a} vs session {b}"
+        );
+    }
+}
+
+#[test]
+fn repeated_predictions_amortize_one_factorization() {
+    let rt = Runtime::new(2);
+    let h = holdout_problem(10, 10, 3, &rt);
+    let model = GeoModel::<MaternKernel>::builder()
+        .locations(Arc::new(h.observed.clone()))
+        .data(h.z_obs.clone())
+        .tile_size(25)
+        .build()
+        .unwrap();
+    let before = factorization_count();
+    let fitted = model.at_params(&[1.0, 0.1, 0.5], &rt).unwrap();
+    assert_eq!(factorization_count(), before + 1, "at_params factors once");
+    for chunk in h.targets.chunks(3) {
+        let p = fitted.predict(chunk, &rt).unwrap();
+        assert_eq!(p.values.len(), chunk.len());
+        let (_, vars) = fitted.predict_with_variance(chunk, &rt).unwrap();
+        assert_eq!(vars.len(), chunk.len());
+    }
+    assert_eq!(
+        factorization_count(),
+        before + 1,
+        "every subsequent prediction reuses the one factor"
+    );
+}

@@ -4,8 +4,8 @@
 
 use exa_covariance::{CovarianceKernel, DistanceMetric, MaternKernel, MaternParams};
 use exa_geostat::{
-    log_likelihood, nelder_mead_max, predict, synthetic_locations_n, Backend, Bounds,
-    LikelihoodConfig, NelderMeadConfig,
+    eval_log_likelihood as log_likelihood, nelder_mead_max, synthetic_locations_n, Backend, Bounds,
+    GeoModel, LikelihoodConfig, NelderMeadConfig,
 };
 use exa_runtime::Runtime;
 use exa_util::Rng;
@@ -104,17 +104,18 @@ proptest! {
         let mut z = vec![0.0; n];
         rng.fill_gaussian(&mut z);
         let target = vec![locs[n / 2]];
-        let p = predict(
-            &locs,
-            &z,
-            &target,
-            params,
-            DistanceMetric::Euclidean,
-            0.0,
-            Backend::FullTile,
-            LikelihoodConfig { nb: (n / 2).max(8), seed },
-            &rt,
-        ).unwrap();
+        let p = GeoModel::<MaternKernel>::builder()
+            .locations(Arc::new(locs))
+            .data(z.clone())
+            .nugget(0.0)
+            .backend(Backend::FullTile)
+            .config(LikelihoodConfig { nb: (n / 2).max(8), seed })
+            .build()
+            .unwrap()
+            .at_params(&params.to_array(), &rt)
+            .unwrap()
+            .predict(&target, &rt)
+            .unwrap();
         prop_assert!(
             (p.values[0] - z[n / 2]).abs() <= 1e-5 * z[n / 2].abs().max(1.0),
             "kriging at an observed site: {} vs {}", p.values[0], z[n / 2]

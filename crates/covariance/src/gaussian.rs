@@ -1,0 +1,233 @@
+//! The Gaussian (squared-exponential) covariance family.
+//!
+//! `C(r; θ) = θ₁ · exp(−(r/θ₂)²)`
+//!
+//! with variance `θ₁ > 0` and spatial range `θ₂ > 0` — the `θ₃ → ∞` limit of
+//! the Matérn family (infinitely differentiable sample paths). Only two free
+//! parameters, which exercises the kernel-generic pipeline at a parameter
+//! count different from Matérn's three.
+//!
+//! Gaussian covariance matrices are famously ill-conditioned on dense
+//! location sets (eigenvalues decay super-exponentially); fits and
+//! factorizations should carry a small positive nugget, as the builder-level
+//! default does.
+
+use crate::distance::{DistanceMetric, Location};
+use crate::kernel::{check_family_inputs, CovarianceKernel, ParamCovariance};
+use std::sync::Arc;
+
+/// Parameter vector `θ = (θ₁, θ₂)` of the Gaussian family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianParams {
+    /// Variance θ₁ (> 0).
+    pub variance: f64,
+    /// Spatial range θ₂ (> 0).
+    pub range: f64,
+}
+
+impl GaussianParams {
+    pub fn new(variance: f64, range: f64) -> Self {
+        let p = GaussianParams { variance, range };
+        p.validate().expect("invalid Gaussian parameters");
+        p
+    }
+
+    /// Checks positivity of both parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.variance > 0.0 && self.variance.is_finite()) {
+            return Err(format!("variance must be positive, got {}", self.variance));
+        }
+        if !(self.range > 0.0 && self.range.is_finite()) {
+            return Err(format!("range must be positive, got {}", self.range));
+        }
+        Ok(())
+    }
+
+    /// Covariance at distance `r ≥ 0`.
+    pub fn covariance(&self, r: f64) -> f64 {
+        debug_assert!(r >= 0.0, "distance must be non-negative");
+        let x = r / self.range;
+        self.variance * (-x * x).exp()
+    }
+}
+
+/// Gaussian covariance over an explicit location list.
+#[derive(Clone, Debug)]
+pub struct GaussianKernel {
+    locations: Arc<Vec<Location>>,
+    params: GaussianParams,
+    metric: DistanceMetric,
+    nugget: f64,
+}
+
+impl GaussianKernel {
+    pub fn new(
+        locations: Arc<Vec<Location>>,
+        params: GaussianParams,
+        metric: DistanceMetric,
+        nugget: f64,
+    ) -> Self {
+        assert!(
+            nugget >= 0.0 && nugget.is_finite(),
+            "nugget must be non-negative and finite"
+        );
+        params.validate().expect("invalid Gaussian parameters");
+        GaussianKernel {
+            locations,
+            params,
+            metric,
+            nugget,
+        }
+    }
+
+    pub fn params(&self) -> GaussianParams {
+        self.params
+    }
+}
+
+impl CovarianceKernel for GaussianKernel {
+    fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.params.variance + self.nugget;
+        }
+        let r = self.metric.distance(&self.locations[i], &self.locations[j]);
+        self.params.covariance(r)
+    }
+}
+
+impl ParamCovariance for GaussianKernel {
+    const FAMILY: &'static str = "gaussian";
+
+    fn param_names() -> &'static [&'static str] {
+        &["variance", "range"]
+    }
+
+    fn from_parts(
+        locations: Arc<Vec<Location>>,
+        theta: &[f64],
+        metric: DistanceMetric,
+        nugget: f64,
+    ) -> Result<Self, String> {
+        check_family_inputs(Self::FAMILY, 2, theta, nugget)?;
+        let params = GaussianParams {
+            variance: theta[0],
+            range: theta[1],
+        };
+        params.validate()?;
+        Ok(GaussianKernel {
+            locations,
+            params,
+            metric,
+            nugget,
+        })
+    }
+
+    fn params_vec(&self) -> Vec<f64> {
+        vec![self.params.variance, self.params.range]
+    }
+
+    fn with_params_vec(&self, theta: &[f64]) -> Self {
+        assert_eq!(theta.len(), 2, "gaussian expects 2 parameters");
+        GaussianKernel {
+            locations: self.locations.clone(),
+            params: GaussianParams::new(theta[0], theta[1]),
+            metric: self.metric,
+            nugget: self.nugget,
+        }
+    }
+
+    fn with_locations(&self, locations: Arc<Vec<Location>>) -> Self {
+        GaussianKernel {
+            locations,
+            params: self.params,
+            metric: self.metric,
+            nugget: self.nugget,
+        }
+    }
+
+    fn default_bounds() -> (Vec<f64>, Vec<f64>) {
+        (vec![0.01, 0.001], vec![100.0, 100.0])
+    }
+
+    fn cross(&self, a: &Location, b: &Location) -> f64 {
+        self.params.covariance(self.metric.distance(a, b))
+    }
+
+    fn sill(&self) -> f64 {
+        self.params.variance
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    fn nugget(&self) -> f64 {
+        self.nugget
+    }
+
+    fn locations_arc(&self) -> &Arc<Vec<Location>> {
+        &self.locations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powexp::PoweredExponentialParams;
+
+    #[test]
+    fn matches_powered_exponential_at_power_two() {
+        let g = GaussianParams::new(1.7, 0.25);
+        let pe = PoweredExponentialParams::new(1.7, 0.25, 2.0);
+        for &r in &[0.0, 0.05, 0.2, 0.8, 2.0] {
+            assert!((g.covariance(r) - pe.covariance(r)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn smoother_than_exponential_near_origin() {
+        let g = GaussianParams::new(1.0, 0.1);
+        // Quadratic decay at the origin: 1 − C(r)/θ₁ = O(r²).
+        let deficit = 1.0 - g.covariance(0.001);
+        assert!(deficit < 1e-3, "deficit {deficit}");
+        // And effectively zero correlation far beyond the range.
+        assert!(g.covariance(1.0) < 1e-30);
+    }
+
+    #[test]
+    fn two_parameter_trait_surface() {
+        let locs = Arc::new(vec![Location::new(0.0, 0.0), Location::new(1.0, 0.0)]);
+        let k = GaussianKernel::new(
+            locs.clone(),
+            GaussianParams::new(2.0, 0.5),
+            DistanceMetric::Euclidean,
+            0.5,
+        );
+        assert_eq!(GaussianKernel::n_params(), 2);
+        assert_eq!(k.params_vec(), vec![2.0, 0.5]);
+        assert_eq!(k.entry(1, 1), 2.5);
+        let k2 = k.with_params_vec(&[1.0, 0.1]);
+        assert_eq!(k2.params_vec(), vec![1.0, 0.1]);
+        assert_eq!(
+            k2.nugget(),
+            0.5,
+            "nugget preserved across reparameterization"
+        );
+        let moved = k.with_locations(Arc::new(vec![Location::new(3.0, 3.0)]));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved.params_vec(), vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_arity() {
+        let locs = Arc::new(vec![Location::new(0.0, 0.0)]);
+        assert!(
+            GaussianKernel::from_parts(locs, &[1.0, 0.1, 0.5], DistanceMetric::Euclidean, 0.0)
+                .is_err()
+        );
+    }
+}

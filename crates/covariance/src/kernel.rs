@@ -8,6 +8,7 @@
 
 use crate::distance::{DistanceMetric, Location};
 use crate::matern::MaternParams;
+use std::sync::Arc;
 
 /// A positive-definite covariance model over a fixed set of locations.
 pub trait CovarianceKernel: Sync {
@@ -44,6 +45,114 @@ pub trait CovarianceKernel: Sync {
     }
 }
 
+/// A covariance *family*: the bridge between an optimizer's flat parameter
+/// vector `θ` and a concrete [`CovarianceKernel`] instance over a location
+/// set.
+///
+/// The MLE driver searches over `θ ∈ ℝ^p` while the linear-algebra layers
+/// only ever see a [`CovarianceKernel`]; this trait supplies the two
+/// directions of that correspondence (`params_vec` / `with_params_vec`) plus
+/// the re-instantiation hooks the kriging pipeline needs (`with_locations`
+/// for Σ₂₂ over the observed subset, `cross` for Σ₁₂ entries between
+/// arbitrary location pairs).
+///
+/// # Contract
+///
+/// * Every parameter is **strictly positive**. The optimizer runs in
+///   log-parameter space, so positivity must be structural: `with_params_vec`
+///   is only ever called with `θᵢ > 0`, and [`ParamCovariance::default_bounds`]
+///   must return positive, finite `lo < hi` per coordinate.
+/// * `params_vec().len() == Self::param_names().len()` and
+///   `with_params_vec(&k.params_vec())` reproduces `k` exactly.
+/// * `with_params_vec` and `with_locations` preserve every other piece of
+///   state (metric, nugget, and the location set / parameter vector
+///   respectively). Location sets are shared via `Arc`, so both are cheap.
+/// * `entry(i, i) == sill() + nugget()` for all `i`: the family is
+///   stationary with marginal variance `sill()`, and the nugget lives only
+///   on the true diagonal. `cross` never includes the nugget.
+/// * For any finite location set and any valid `θ` the implied matrix
+///   `Σ(θ)` is symmetric positive semi-definite (positive definite once a
+///   positive nugget is added) — the property the Cholesky-based pipeline
+///   relies on.
+pub trait ParamCovariance: CovarianceKernel + Clone + Send + Sync + 'static {
+    /// Family name as printed in reports (e.g. `"matern"`).
+    const FAMILY: &'static str;
+
+    /// Names of the free parameters, in vector order.
+    fn param_names() -> &'static [&'static str];
+
+    /// Number of free parameters `p`.
+    fn n_params() -> usize {
+        Self::param_names().len()
+    }
+
+    /// Builds a kernel over `locations` at parameter vector `theta`.
+    ///
+    /// Errors (rather than panicking) on a malformed `theta` — wrong length
+    /// or out-of-domain values — so session builders can surface the
+    /// problem.
+    fn from_parts(
+        locations: Arc<Vec<Location>>,
+        theta: &[f64],
+        metric: DistanceMetric,
+        nugget: f64,
+    ) -> Result<Self, String>;
+
+    /// The current parameter vector `θ`.
+    fn params_vec(&self) -> Vec<f64>;
+
+    /// Same family, locations, metric and nugget at a new `θ` (called once
+    /// per optimizer iteration; must be cheap — the location set is shared).
+    ///
+    /// # Panics
+    /// May panic on out-of-domain `θ`; the optimizer only proposes points
+    /// inside the (positive) box bounds.
+    fn with_params_vec(&self, theta: &[f64]) -> Self;
+
+    /// Same family, `θ`, metric and nugget over a different location set
+    /// (used to restrict a model to the observed subset for Σ₂₂).
+    fn with_locations(&self, locations: Arc<Vec<Location>>) -> Self;
+
+    /// Generous default box bounds `(lo, hi)` in natural parameters.
+    fn default_bounds() -> (Vec<f64>, Vec<f64>);
+
+    /// Covariance between two arbitrary locations (no nugget) — the Σ₁₂
+    /// cross-covariance entry of the kriging predictor.
+    fn cross(&self, a: &Location, b: &Location) -> f64;
+
+    /// The marginal (sill) variance: the diagonal of Σ without the nugget.
+    fn sill(&self) -> f64;
+
+    /// The distance metric.
+    fn metric(&self) -> DistanceMetric;
+
+    /// The diagonal regularization τ² ≥ 0.
+    fn nugget(&self) -> f64;
+
+    /// The shared location set.
+    fn locations_arc(&self) -> &Arc<Vec<Location>>;
+}
+
+/// Shared `from_parts` validation: parameter arity and nugget domain, so
+/// every family rejects malformed inputs identically.
+pub(crate) fn check_family_inputs(
+    family: &str,
+    expected: usize,
+    theta: &[f64],
+    nugget: f64,
+) -> Result<(), String> {
+    if theta.len() != expected {
+        return Err(format!(
+            "{family} expects {expected} parameters, got {}",
+            theta.len()
+        ));
+    }
+    if !(nugget >= 0.0 && nugget.is_finite()) {
+        return Err(format!("nugget must be non-negative, got {nugget}"));
+    }
+    Ok(())
+}
+
 /// Matérn covariance over an explicit location list.
 #[derive(Clone, Debug)]
 pub struct MaternKernel {
@@ -62,7 +171,10 @@ impl MaternKernel {
         metric: DistanceMetric,
         nugget: f64,
     ) -> Self {
-        assert!(nugget >= 0.0, "nugget must be non-negative");
+        assert!(
+            nugget >= 0.0 && nugget.is_finite(),
+            "nugget must be non-negative and finite"
+        );
         params.validate().expect("invalid Matérn parameters");
         MaternKernel {
             locations,
@@ -113,6 +225,79 @@ impl CovarianceKernel for MaternKernel {
         }
         let r = self.metric.distance(&self.locations[i], &self.locations[j]);
         self.params.covariance(r)
+    }
+}
+
+impl ParamCovariance for MaternKernel {
+    const FAMILY: &'static str = "matern";
+
+    fn param_names() -> &'static [&'static str] {
+        &["variance", "range", "smoothness"]
+    }
+
+    fn from_parts(
+        locations: Arc<Vec<Location>>,
+        theta: &[f64],
+        metric: DistanceMetric,
+        nugget: f64,
+    ) -> Result<Self, String> {
+        check_family_inputs(Self::FAMILY, 3, theta, nugget)?;
+        let params = MaternParams {
+            variance: theta[0],
+            range: theta[1],
+            smoothness: theta[2],
+        };
+        params.validate()?;
+        Ok(MaternKernel {
+            locations,
+            params,
+            metric,
+            nugget,
+        })
+    }
+
+    fn params_vec(&self) -> Vec<f64> {
+        self.params.to_array().to_vec()
+    }
+
+    fn with_params_vec(&self, theta: &[f64]) -> Self {
+        assert_eq!(theta.len(), 3, "matern expects 3 parameters");
+        self.with_params(MaternParams::new(theta[0], theta[1], theta[2]))
+    }
+
+    fn with_locations(&self, locations: Arc<Vec<Location>>) -> Self {
+        MaternKernel {
+            locations,
+            params: self.params,
+            metric: self.metric,
+            nugget: self.nugget,
+        }
+    }
+
+    fn default_bounds() -> (Vec<f64>, Vec<f64>) {
+        // The MLE driver's historical defaults: variance and range over four
+        // decades, smoothness in [0.1, 3] (θ₃ "rarely above 1–2", §IV).
+        (vec![0.01, 0.001, 0.1], vec![100.0, 100.0, 3.0])
+    }
+
+    fn cross(&self, a: &Location, b: &Location) -> f64 {
+        self.params.covariance(self.metric.distance(a, b))
+    }
+
+    fn sill(&self) -> f64 {
+        self.params.variance
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    fn nugget(&self) -> f64 {
+        self.nugget
+    }
+
+    fn locations_arc(&self) -> &Arc<Vec<Location>> {
+        &self.locations
     }
 }
 

@@ -4,7 +4,7 @@
 //! covariance family (paper Eq. 5) with its special-function machinery
 //! implemented from scratch:
 //!
-//! * [`gamma`] — Lanczos log-gamma and the Temme auxiliary functions.
+//! * [`mod@gamma`] — Lanczos log-gamma and the Temme auxiliary functions.
 //! * [`bessel`] — modified Bessel `K_ν` of real order (Temme series for
 //!   small arguments, Steed CF2 continued fraction for large), plus the
 //!   scaled variant `eˣK_ν(x)` used to evaluate covariances without
@@ -13,7 +13,12 @@
 //!   (`θ₃ = ½`) and Whittle (`θ₃ = 1`) special cases the paper discusses.
 //! * [`distance`] — Euclidean and haversine great-circle metrics (Eq. 6).
 //! * [`kernel`] — [`CovarianceKernel`]: entries and dense tiles of `Σ(θ)`
-//!   from a location set (the ExaGeoStat matrix-generation codelet).
+//!   from a location set (the ExaGeoStat matrix-generation codelet), and
+//!   [`ParamCovariance`]: the parameter-vector ↔ kernel-instance bridge that
+//!   makes the MLE/kriging pipeline generic over covariance families.
+//! * [`matern`], [`powexp`], [`gaussian`] — the three plug-in families:
+//!   Matérn (paper Eq. 5), powered-exponential, and Gaussian
+//!   (squared-exponential).
 //! * [`morton`] — z-order spatial sorting of location sets, the ExaGeoStat
 //!   preprocessing step that gives the covariance tiles their low-rank
 //!   structure.
@@ -21,13 +26,17 @@
 pub mod bessel;
 pub mod distance;
 pub mod gamma;
+pub mod gaussian;
 pub mod kernel;
 pub mod matern;
 pub mod morton;
+pub mod powexp;
 
 pub use bessel::{bessel_k, bessel_k_scaled};
 pub use distance::{euclidean, great_circle_km, DistanceMetric, Location, EARTH_RADIUS_KM};
 pub use gamma::{gamma, ln_gamma, EULER_GAMMA};
-pub use kernel::{CovarianceKernel, MaternKernel};
+pub use gaussian::{GaussianKernel, GaussianParams};
+pub use kernel::{CovarianceKernel, MaternKernel, ParamCovariance};
 pub use matern::MaternParams;
 pub use morton::{apply_permutation, morton_key_unit, sort_morton};
+pub use powexp::{PoweredExponentialKernel, PoweredExponentialParams};

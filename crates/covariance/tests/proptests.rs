@@ -3,12 +3,27 @@
 //! definiteness of generated covariance matrices.
 
 use exa_covariance::{
-    bessel_k, euclidean, great_circle_km, CovarianceKernel, DistanceMetric, Location, MaternKernel,
-    MaternParams,
+    bessel_k, euclidean, great_circle_km, CovarianceKernel, DistanceMetric, GaussianKernel,
+    GaussianParams, Location, MaternKernel, MaternParams, PoweredExponentialKernel,
+    PoweredExponentialParams,
 };
 use exa_util::Rng;
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// `side²` unit-square grid points, each jittered inside its cell.
+fn jittered_grid(side: usize, rng: &mut Rng) -> Vec<Location> {
+    let mut locs = Vec::with_capacity(side * side);
+    for i in 0..side {
+        for j in 0..side {
+            locs.push(Location::new(
+                (i as f64 + 0.9 * rng.next_f64()) / side as f64,
+                (j as f64 + 0.9 * rng.next_f64()) / side as f64,
+            ));
+        }
+    }
+    locs
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -98,6 +113,53 @@ proptest! {
         let mut a = vec![0.0; n * n];
         kernel.fill_tile(0, n, 0, n, &mut a, n);
         prop_assert!(exa_linalg_potrf_ok(n, &mut a), "Σ(θ) must be SPD");
+    }
+
+    #[test]
+    fn powered_exponential_matrix_is_positive_definite(
+        side in 3usize..6,
+        range in 0.02f64..0.4,
+        power in 0.2f64..2.0,
+        seed in 0u64..10_000,
+    ) {
+        // Jittered grid (the paper's synthetic geometry): the family must
+        // stay SPD across the whole admissible power window.
+        let n = side * side;
+        let mut rng = Rng::seed_from_u64(seed);
+        let locs = jittered_grid(side, &mut rng);
+        let kernel = PoweredExponentialKernel::new(
+            Arc::new(locs),
+            PoweredExponentialParams::new(1.0, range, power),
+            DistanceMetric::Euclidean,
+            1e-8,
+        );
+        let mut a = vec![0.0; n * n];
+        kernel.fill_tile(0, n, 0, n, &mut a, n);
+        prop_assert!(exa_linalg_potrf_ok(n, &mut a), "powered-exponential Σ(θ) must be SPD");
+    }
+
+    #[test]
+    fn gaussian_matrix_is_positive_definite(
+        side in 3usize..6,
+        range in 0.02f64..0.3,
+        variance in 0.1f64..10.0,
+        seed in 0u64..10_000,
+    ) {
+        // The Gaussian family is the worst-conditioned of the three; a small
+        // nugget (as the session default applies) must keep Cholesky alive on
+        // jittered grids.
+        let n = side * side;
+        let mut rng = Rng::seed_from_u64(seed);
+        let locs = jittered_grid(side, &mut rng);
+        let kernel = GaussianKernel::new(
+            Arc::new(locs),
+            GaussianParams::new(variance, range),
+            DistanceMetric::Euclidean,
+            1e-8 * variance,
+        );
+        let mut a = vec![0.0; n * n];
+        kernel.fill_tile(0, n, 0, n, &mut a, n);
+        prop_assert!(exa_linalg_potrf_ok(n, &mut a), "gaussian Σ(θ) must be SPD");
     }
 
     #[test]

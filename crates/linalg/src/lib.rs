@@ -11,7 +11,7 @@
 //!   [`dsyrk`], [`dtrsm`] (all four `Lower` variants).
 //! * LAPACK-style factorizations: blocked Cholesky [`dpotrf`], Householder QR
 //!   ([`dgeqrf`]/[`dorgqr`]), one-sided Jacobi SVD [`jacobi_svd`], and the
-//!   adaptive randomized SVD [`rsvd`] used by TLR compression.
+//!   adaptive randomized SVD [`rsvd()`] used by TLR compression.
 //!
 //! Dimensions are validated with `assert!` at public entry points; inner loops
 //! rely on the validated bounds.

@@ -35,7 +35,7 @@ impl Default for RsvdOptions {
 }
 
 /// Randomized SVD of the `m × n` matrix `a` truncated at relative 2-norm
-/// accuracy `eps` (`σ_k ≤ eps · σ_0` cut, see [`truncation_rank`]).
+/// accuracy `eps` (`σ_k ≤ eps · σ_0` cut, see [`crate::truncation_rank`]).
 ///
 /// Falls back to the exact Jacobi SVD when the adaptive sketch grows past half
 /// the small dimension, so the result is reliable even for full-rank inputs.

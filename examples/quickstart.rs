@@ -1,6 +1,10 @@
 //! Quickstart: simulate a Matérn field, estimate its parameters by TLR
 //! maximum likelihood, and predict held-out values — the full ExaGeoStat
-//! loop (generation → MLE → kriging) in one small program.
+//! loop (generation → MLE → kriging) through the `GeoModel` session API.
+//!
+//! The session shape is the point: `fit()` factorizes `Σ(θ̂)` once and the
+//! returned `FittedModel` reuses that factor for every prediction — no
+//! second Cholesky, unlike the old free-function pipeline.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -13,24 +17,23 @@ fn main() {
     // --- 1. Data: 400 irregular sites, exact Gaussian field simulation. ---
     let mut rng = Rng::seed_from_u64(42);
     let locations = Arc::new(synthetic_locations(20, &mut rng));
-    let truth = MaternParams::new(1.0, 0.1, 0.5); // medium correlation
+    let truth = [1.0, 0.1, 0.5]; // θ = (variance, range, smoothness), medium correlation
     let rt = Runtime::new(exageostat::runtime::default_parallelism());
-    let sim = FieldSimulator::new(
-        locations.clone(),
-        truth,
-        DistanceMetric::Euclidean,
-        0.0,
-        64,
-        &rt,
-    )
-    .expect("Σ(θ) is SPD");
-    let z = sim.draw(&mut rng);
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .nugget(0.0) // exact model for generation
+        .tile_size(64)
+        .build()
+        .expect("valid simulation session")
+        .at_params(&truth, &rt)
+        .expect("Σ(θ) is SPD");
+    let z = generator.simulate(&mut rng, &rt);
     println!(
         "simulated {} measurements from θ = ({}, {}, {})",
         z.len(),
-        truth.variance,
-        truth.range,
-        truth.smoothness
+        truth[0],
+        truth[1],
+        truth[2]
     );
 
     // --- 2. Hold out 38 sites for validation (paper Figure 2's split). ---
@@ -41,58 +44,56 @@ fn main() {
     let z_truth: Vec<f64> = split.validation.iter().map(|&i| z[i]).collect();
 
     // --- 3. MLE with the TLR backend (paper Eq. 1, Section V). ---
-    let problem = MleProblem {
-        locations: Arc::new(observed.clone()),
-        z: z_obs.clone(),
-        metric: DistanceMetric::Euclidean,
-        backend: Backend::tlr(1e-9),
-        config: LikelihoodConfig { nb: 64, seed: 42 },
-        nugget: 1e-8,
-    };
-    let start = MaternParams::new(0.5, 0.05, 1.0);
-    let fit = problem.fit(
-        start,
-        &ParamBounds::default(),
-        NelderMeadConfig {
-            max_evals: 120,
-            ftol: 1e-5,
-            ..Default::default()
-        },
-        &rt,
-    );
+    let model = GeoModel::<MaternKernel>::builder()
+        .locations(Arc::new(observed))
+        .data(z_obs)
+        .backend(Backend::tlr(1e-9))
+        .tile_size(64)
+        .seed(42)
+        .build()
+        .expect("valid estimation session");
+    let fitted = model
+        .fit(
+            &FitOptions {
+                initial: Some(vec![0.5, 0.05, 1.0]),
+                nm: NelderMeadConfig {
+                    max_evals: 120,
+                    ftol: 1e-5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &rt,
+        )
+        .expect("MLE fit");
+    let theta = fitted.params();
+    let report = fitted.report();
     println!(
         "TLR(1e-9) MLE: θ̂ = ({:.3}, {:.3}, {:.3}), ℓ(θ̂) = {:.2} \
          ({} evaluations, {:.2}s in likelihoods)",
-        fit.params.variance,
-        fit.params.range,
-        fit.params.smoothness,
-        fit.loglik,
-        fit.evaluations,
-        fit.likelihood_seconds
+        theta[0],
+        theta[1],
+        theta[2],
+        fitted.log_likelihood().expect("fitted with data").value,
+        report.evaluations,
+        report.likelihood_seconds
     );
 
-    // --- 4. Kriging prediction of the held-out sites (paper Eq. 4). ---
-    let pred = predict(
-        &observed,
-        &z_obs,
-        &targets,
-        fit.params,
-        DistanceMetric::Euclidean,
-        1e-8,
-        Backend::tlr(1e-9),
-        LikelihoodConfig { nb: 64, seed: 42 },
-        &rt,
-    )
-    .expect("prediction");
+    // --- 4. Kriging the held-out sites (paper Eq. 4) — the factor computed
+    //        by fit() is reused; zero further Cholesky calls. ---
+    let before = factorization_count();
+    let pred = fitted.predict(&targets, &rt).expect("prediction");
+    assert_eq!(
+        factorization_count(),
+        before,
+        "prediction must reuse the fitted factorization"
+    );
     let mse = prediction_mse(&z_truth, &pred.values);
     println!(
         "predicted {} held-out values: MSE = {:.4} (marginal variance ≈ {:.2})",
         pred.values.len(),
         mse,
-        truth.variance
+        truth[0]
     );
-    assert!(
-        mse < truth.variance,
-        "kriging must beat the trivial predictor"
-    );
+    assert!(mse < truth[0], "kriging must beat the trivial predictor");
 }

@@ -7,7 +7,7 @@
 //! cargo run --release --example soil_moisture
 //! ```
 
-use exageostat::geostat::{generate_region, soil_regions, MleProblem, ParamBounds};
+use exageostat::geostat::{generate_region, soil_regions};
 use exageostat::prelude::*;
 use exageostat::util::Table;
 
@@ -28,15 +28,21 @@ fn main() {
         spec.params.variance, spec.params.range, spec.params.smoothness
     );
 
-    let bounds = ParamBounds {
-        lo: MaternParams::new(0.01, 0.5, 0.1),
-        hi: MaternParams::new(50.0, 200.0, 3.0),
+    let opts = FitOptions {
+        initial: Some(vec![
+            spec.params.variance * 0.5,
+            spec.params.range * 2.0,
+            spec.params.smoothness * 1.3,
+        ]),
+        // Bounds wide enough for km-scale ranges.
+        lower: Some(vec![0.01, 0.5, 0.1]),
+        upper: Some(vec![50.0, 200.0, 3.0]),
+        nm: NelderMeadConfig {
+            max_evals: 100,
+            ftol: 1e-5,
+            ..Default::default()
+        },
     };
-    let start = MaternParams::new(
-        spec.params.variance * 0.5,
-        spec.params.range * 2.0,
-        spec.params.smoothness * 1.3,
-    );
     let mut table = Table::new(vec!["technique", "θ1", "θ2 (km)", "θ3", "ℓ(θ̂)", "evals"]);
     for backend in [
         Backend::tlr(1e-5),
@@ -44,32 +50,38 @@ fn main() {
         Backend::tlr(1e-9),
         Backend::FullTile,
     ] {
-        let problem = MleProblem {
-            locations: data.locations.clone(),
-            z: data.z.clone(),
-            metric: DistanceMetric::GreatCircleKm,
-            backend,
-            config: LikelihoodConfig { nb: 64, seed: 7 },
-            nugget: 1e-8,
-        };
-        let fit = problem.fit(
-            start,
-            &bounds,
-            NelderMeadConfig {
-                max_evals: 100,
-                ftol: 1e-5,
-                ..Default::default()
-            },
-            &rt,
-        );
-        table.row(vec![
-            backend.label(),
-            format!("{:.3}", fit.params.variance),
-            format!("{:.3}", fit.params.range),
-            format!("{:.3}", fit.params.smoothness),
-            format!("{:.1}", fit.loglik),
-            fit.evaluations.to_string(),
-        ]);
+        let model = GeoModel::<MaternKernel>::builder()
+            .locations(data.locations.clone())
+            .data(data.z.clone())
+            .metric(DistanceMetric::GreatCircleKm)
+            .backend(backend)
+            .tile_size(64)
+            .seed(7)
+            .build()
+            .expect("valid region session");
+        match model.fit(&opts, &rt) {
+            Ok(fitted) => {
+                let theta = fitted.params();
+                table.row(vec![
+                    backend.to_string(),
+                    format!("{:.3}", theta[0]),
+                    format!("{:.3}", theta[1]),
+                    format!("{:.3}", theta[2]),
+                    format!("{:.1}", fitted.log_likelihood().expect("has data").value),
+                    fitted.report().evaluations.to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![
+                    backend.to_string(),
+                    format!("failed: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
     }
     println!("{}", table.render());
     println!(

@@ -45,37 +45,46 @@ fn main() {
         "technique",
         "prediction MSE",
         "factor time",
-        "solve time",
+        "solve α time",
+        "predict time",
     ]);
+    let observed = std::sync::Arc::new(observed);
     for backend in [
         Backend::tlr(1e-5),
         Backend::tlr(1e-7),
         Backend::tlr(1e-9),
         Backend::FullTile,
     ] {
-        match predict(
-            &observed,
-            &z_obs,
-            &targets,
-            spec.params,
-            DistanceMetric::GreatCircleKm,
-            1e-8,
-            backend,
-            LikelihoodConfig { nb: 64, seed: 11 },
-            &rt,
-        ) {
-            Ok(p) => {
+        // One session per technique: Σ₂₂ is factored once by at_params and
+        // the prediction below reuses that factor (no second Cholesky).
+        let session = GeoModel::<MaternKernel>::builder()
+            .locations(observed.clone())
+            .data(z_obs.clone())
+            .metric(DistanceMetric::GreatCircleKm)
+            .backend(backend)
+            .tile_size(64)
+            .seed(11)
+            .build()
+            .expect("valid prediction session")
+            .at_params(&spec.params.to_array(), &rt);
+        match session.and_then(|s| {
+            let p = s.predict(&targets, &rt)?;
+            Ok((s.factor_timings(), s.alpha_solve_seconds(), p))
+        }) {
+            Ok((t, alpha_seconds, p)) => {
                 table.row(vec![
-                    backend.label(),
+                    backend.to_string(),
                     format!("{:.4}", prediction_mse(&truth, &p.values)),
-                    format!("{:.3}s", p.factorization_seconds),
+                    format!("{:.3}s", t.generation_seconds + t.factorization_seconds),
+                    format!("{:.3}s", alpha_seconds),
                     format!("{:.3}s", p.solve_seconds),
                 ]);
             }
             Err(e) => {
                 table.row(vec![
-                    backend.label(),
+                    backend.to_string(),
                     format!("failed: {e}"),
+                    "-".into(),
                     "-".into(),
                     "-".into(),
                 ]);

@@ -22,28 +22,52 @@
 //!
 //! # Quickstart
 //!
+//! The public surface is the [`geostat::GeoModel`] session API: describe the
+//! problem once (locations, data, covariance family, computation technique),
+//! then `fit()`/`at_params()` hand back a [`geostat::FittedModel`] owning
+//! the factored `Σ(θ̂)` — likelihood pieces, kriging prediction and exact
+//! simulation all reuse that factor instead of re-running the Cholesky.
+//!
 //! ```
 //! use exageostat::prelude::*;
 //! use std::sync::Arc;
 //!
-//! // 1. Synthetic locations + an exactly-simulated Matérn field.
+//! // 1. Synthetic locations + an exactly-simulated Matérn field, drawn
+//! //    from a full-tile session factored at the true θ.
 //! let mut rng = Rng::seed_from_u64(7);
 //! let locations = Arc::new(synthetic_locations(12, &mut rng)); // 144 sites
-//! let truth = MaternParams::new(1.0, 0.1, 0.5);
 //! let rt = Runtime::new(4);
-//! let sim = FieldSimulator::new(
-//!     locations.clone(), truth, DistanceMetric::Euclidean, 0.0, 36, &rt,
-//! ).unwrap();
-//! let z = sim.draw(&mut rng);
+//! let truth = GeoModel::<MaternKernel>::builder()
+//!     .locations(locations.clone())
+//!     .nugget(0.0)
+//!     .tile_size(36)
+//!     .build()
+//!     .unwrap()
+//!     .at_params(&[1.0, 0.1, 0.5], &rt)
+//!     .unwrap();
+//! let z = truth.simulate(&mut rng, &rt);
 //!
-//! // 2. One TLR log-likelihood evaluation (Eq. 1).
-//! let kernel = MaternKernel::new(
-//!     locations.clone(), truth, DistanceMetric::Euclidean, 1e-8,
-//! );
-//! let cfg = LikelihoodConfig { nb: 36, seed: 7 };
-//! let ll = log_likelihood(&kernel, &z, Backend::tlr(1e-9), cfg, &rt).unwrap();
+//! // 2. A TLR estimation session over the same sites (Eq. 1 at one θ).
+//! let model = GeoModel::<MaternKernel>::builder()
+//!     .locations(locations)
+//!     .data(z)
+//!     .backend(Backend::tlr(1e-9))
+//!     .tile_size(36)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let at_truth = model.at_params(&[1.0, 0.1, 0.5], &rt).unwrap();
+//! let ll = at_truth.log_likelihood().unwrap();
 //! assert!(ll.value.is_finite());
+//!
+//! // 3. Kriging a new site reuses the factorization just computed.
+//! let pred = at_truth.predict(&[Location::new(0.5, 0.5)], &rt).unwrap();
+//! assert!(pred.values[0].is_finite());
 //! ```
+//!
+//! Swap `MaternKernel` for [`covariance::PoweredExponentialKernel`] or
+//! [`covariance::GaussianKernel`] and the same pipeline runs unmodified —
+//! the API is generic over [`covariance::ParamCovariance`].
 //!
 //! See `examples/` for full MLE fits, the simulated soil-moisture and
 //! wind-speed studies, and the distributed-run simulator; `crates/bench`
@@ -61,13 +85,20 @@ pub use exa_util as util;
 /// The most common imports in one place.
 pub mod prelude {
     pub use exa_covariance::{
-        sort_morton, CovarianceKernel, DistanceMetric, Location, MaternKernel, MaternParams,
+        sort_morton, CovarianceKernel, DistanceMetric, GaussianKernel, GaussianParams, Location,
+        MaternKernel, MaternParams, ParamCovariance, PoweredExponentialKernel,
+        PoweredExponentialParams,
     };
     pub use exa_geostat::{
-        holdout_split, log_likelihood, predict, predict_with_variance, prediction_mse,
-        synthetic_locations, synthetic_locations_n, Backend, FieldSimulator, LikelihoodConfig,
-        MleProblem, NelderMeadConfig, ParamBounds,
+        eval_log_likelihood, factorization_count, holdout_split, prediction_mse,
+        synthetic_locations, synthetic_locations_n, Backend, Factorization, FieldSimulator,
+        FitOptions, FitReport, FittedModel, GeoModel, LikelihoodConfig, ModelError,
+        NelderMeadConfig, ParamBounds,
     };
+    // The deprecated compatibility wrappers stay importable through the
+    // prelude so `prelude::*` consumers migrate on warnings, not errors.
+    #[allow(deprecated)]
+    pub use exa_geostat::{log_likelihood, predict, predict_with_variance, MleProblem};
     pub use exa_runtime::Runtime;
     pub use exa_tlr::{CompressionMethod, TlrMatrix};
     pub use exa_util::Rng;

@@ -93,7 +93,7 @@ fn des_matches_real_shared_memory_ordering() {
     // Cross-validation of the simulator against reality at laptop scale:
     // the DES's dense-vs-TLR *ordering* at a given configuration must match
     // actual measured shared-memory runs of the real kernels.
-    use exageostat::geostat::{log_likelihood, LikelihoodConfig};
+    use exageostat::geostat::{eval_log_likelihood as log_likelihood, LikelihoodConfig};
     use std::sync::Arc;
 
     let n = 2048;

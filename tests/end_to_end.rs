@@ -7,6 +7,43 @@ use exageostat::prelude::*;
 use exageostat::util::stats::mean;
 use std::sync::Arc;
 
+/// Eq. 1 through the kernel-generic engine (the old free-function shape).
+fn log_likelihood(
+    kernel: &MaternKernel,
+    z: &[f64],
+    backend: Backend,
+    cfg: LikelihoodConfig,
+    rt: &Runtime,
+) -> f64 {
+    eval_log_likelihood(kernel, z, backend, cfg, rt)
+        .unwrap()
+        .value
+}
+
+/// One-shot kriging through a `GeoModel` session (factor + predict).
+fn krige(
+    observed: &[Location],
+    z_obs: &[f64],
+    targets: &[Location],
+    truth: MaternParams,
+    backend: Backend,
+    cfg: LikelihoodConfig,
+    rt: &Runtime,
+) -> Vec<f64> {
+    GeoModel::<MaternKernel>::builder()
+        .locations(Arc::new(observed.to_vec()))
+        .data(z_obs.to_vec())
+        .backend(backend)
+        .config(cfg)
+        .build()
+        .unwrap()
+        .at_params(&truth.to_array(), rt)
+        .unwrap()
+        .predict(targets, rt)
+        .unwrap()
+        .values
+}
+
 fn simulated_problem(
     truth: MaternParams,
     side: usize,
@@ -30,14 +67,10 @@ fn tlr_likelihood_converges_to_exact_with_accuracy() {
     let (locs, z) = simulated_problem(truth, 14, 1, &rt);
     let kernel = MaternKernel::new(locs, truth, DistanceMetric::Euclidean, 1e-8);
     let cfg = LikelihoodConfig { nb: 49, seed: 1 };
-    let exact = log_likelihood(&kernel, &z, Backend::FullTile, cfg, &rt)
-        .unwrap()
-        .value;
+    let exact = log_likelihood(&kernel, &z, Backend::FullTile, cfg, &rt);
     let mut errors = Vec::new();
     for eps in [1e-4, 1e-6, 1e-8, 1e-10] {
-        let v = log_likelihood(&kernel, &z, Backend::tlr(eps), cfg, &rt)
-            .unwrap()
-            .value;
+        let v = log_likelihood(&kernel, &z, Backend::tlr(eps), cfg, &rt);
         errors.push((v - exact).abs());
     }
     assert!(
@@ -58,37 +91,35 @@ fn full_mle_pipeline_recovers_likelihood_dominance() {
     let rt = Runtime::new(4);
     let (locs, z) = simulated_problem(truth, 14, 2, &rt);
     let cfg = LikelihoodConfig { nb: 49, seed: 2 };
-    let problem = MleProblem {
-        locations: locs.clone(),
-        z: z.clone(),
-        metric: DistanceMetric::Euclidean,
-        backend: Backend::tlr(1e-9),
-        config: cfg,
-        nugget: 1e-8,
-    };
-    let fit = problem.fit(
-        MaternParams::new(0.5, 0.05, 1.0),
-        &ParamBounds::default(),
-        NelderMeadConfig {
-            max_evals: 100,
-            ftol: 1e-5,
-            ..Default::default()
-        },
-        &rt,
-    );
-    let kernel = MaternKernel::new(locs, truth, DistanceMetric::Euclidean, 1e-8);
-    let exact_at_truth = log_likelihood(&kernel, &z, Backend::FullTile, cfg, &rt)
+    let fitted = GeoModel::<MaternKernel>::builder()
+        .locations(locs.clone())
+        .data(z.clone())
+        .backend(Backend::tlr(1e-9))
+        .config(cfg)
+        .build()
         .unwrap()
-        .value;
+        .fit(
+            &FitOptions {
+                initial: Some(vec![0.5, 0.05, 1.0]),
+                nm: NelderMeadConfig {
+                    max_evals: 100,
+                    ftol: 1e-5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &rt,
+        )
+        .unwrap();
+    let kernel = MaternKernel::new(locs, truth, DistanceMetric::Euclidean, 1e-8);
+    let exact_at_truth = log_likelihood(&kernel, &z, Backend::FullTile, cfg, &rt);
     let exact_at_fit = log_likelihood(
-        &kernel.with_params(fit.params),
+        &kernel.with_params(fitted.kernel().params()),
         &z,
         Backend::FullTile,
         cfg,
         &rt,
-    )
-    .unwrap()
-    .value;
+    );
     assert!(
         exact_at_fit >= exact_at_truth - 1.0,
         "TLR fit ℓ = {exact_at_fit} far below ℓ(truth) = {exact_at_truth}"
@@ -110,19 +141,16 @@ fn prediction_mse_ordering_across_correlation_strengths() {
         let z_obs: Vec<f64> = split.estimation.iter().map(|&i| z[i]).collect();
         let targets: Vec<Location> = split.validation.iter().map(|&i| locs[i]).collect();
         let truth_vals: Vec<f64> = split.validation.iter().map(|&i| z[i]).collect();
-        let p = predict(
+        let values = krige(
             &observed,
             &z_obs,
             &targets,
             truth,
-            DistanceMetric::Euclidean,
-            1e-8,
             Backend::tlr(1e-9),
             LikelihoodConfig { nb: 64, seed: 3 },
             &rt,
-        )
-        .unwrap();
-        mses.push(prediction_mse(&truth_vals, &p.values));
+        );
+        mses.push(prediction_mse(&truth_vals, &values));
     }
     assert!(
         mses[2] < mses[1] && mses[1] < mses[0],
@@ -142,19 +170,16 @@ fn all_backends_agree_on_prediction_at_tight_accuracy() {
     let targets: Vec<Location> = split.validation.iter().map(|&i| locs[i]).collect();
     let mut results = Vec::new();
     for backend in [Backend::FullBlock, Backend::FullTile, Backend::tlr(1e-11)] {
-        let p = predict(
+        let values = krige(
             &observed,
             &z_obs,
             &targets,
             truth,
-            DistanceMetric::Euclidean,
-            1e-8,
             backend,
             LikelihoodConfig { nb: 36, seed: 4 },
             &rt,
-        )
-        .unwrap();
-        results.push(p.values);
+        );
+        results.push(values);
     }
     for other in &results[1..] {
         for (a, b) in results[0].iter().zip(other) {
@@ -173,12 +198,8 @@ fn deterministic_end_to_end_across_worker_counts() {
         let (locs, z) = simulated_problem(truth, 10, 6, &rt);
         let kernel = MaternKernel::new(locs, truth, DistanceMetric::Euclidean, 1e-8);
         let cfg = LikelihoodConfig { nb: 25, seed: 6 };
-        let tile = log_likelihood(&kernel, &z, Backend::FullTile, cfg, &rt)
-            .unwrap()
-            .value;
-        let tlr = log_likelihood(&kernel, &z, Backend::tlr(1e-9), cfg, &rt)
-            .unwrap()
-            .value;
+        let tile = log_likelihood(&kernel, &z, Backend::FullTile, cfg, &rt);
+        let tlr = log_likelihood(&kernel, &z, Backend::tlr(1e-9), cfg, &rt);
         (tile, tlr)
     };
     assert_eq!(run(1), run(8));

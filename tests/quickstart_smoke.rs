@@ -8,21 +8,21 @@ use std::sync::Arc;
 
 #[test]
 fn quickstart_pipeline_small_n() {
-    // 1. Simulate a Matérn field on a small jittered grid (n = 144).
+    // 1. Simulate a Matérn field on a small jittered grid (n = 144) from a
+    //    full-tile session factored at the truth.
     let mut rng = Rng::seed_from_u64(42);
     let locations = Arc::new(synthetic_locations(12, &mut rng));
-    let truth = MaternParams::new(1.0, 0.1, 0.5);
+    let truth = [1.0, 0.1, 0.5];
     let rt = Runtime::new(2);
-    let sim = FieldSimulator::new(
-        locations.clone(),
-        truth,
-        DistanceMetric::Euclidean,
-        0.0,
-        36,
-        &rt,
-    )
-    .expect("Σ(θ) is SPD");
-    let z = sim.draw(&mut rng);
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .nugget(0.0)
+        .tile_size(36)
+        .build()
+        .expect("valid simulation session")
+        .at_params(&truth, &rt)
+        .expect("Σ(θ) is SPD");
+    let z = generator.simulate(&mut rng, &rt);
     assert_eq!(z.len(), locations.len());
 
     // 2. Hold out a validation set, as the quickstart does.
@@ -35,48 +35,49 @@ fn quickstart_pipeline_small_n() {
     // 3. A short TLR MLE run — few evaluations, loose tolerance: the smoke
     //    test checks the pipeline runs and improves on its starting point,
     //    not estimation quality (the Monte-Carlo suites cover that).
-    let problem = MleProblem {
-        locations: Arc::new(observed.clone()),
-        z: z_obs.clone(),
-        metric: DistanceMetric::Euclidean,
-        backend: Backend::tlr(1e-9),
-        config: LikelihoodConfig { nb: 36, seed: 42 },
-        nugget: 1e-8,
-    };
-    let start = MaternParams::new(0.5, 0.05, 1.0);
-    let fit = problem.fit(
-        start,
-        &ParamBounds::default(),
-        NelderMeadConfig {
-            max_evals: 40,
-            ftol: 1e-3,
-            ..Default::default()
-        },
-        &rt,
-    );
-    assert!(fit.loglik.is_finite(), "MLE produced a non-finite loglik");
-    assert!(fit.evaluations > 0 && fit.evaluations <= 40);
-    assert!(fit.params.variance > 0.0 && fit.params.range > 0.0);
+    let fitted = GeoModel::<MaternKernel>::builder()
+        .locations(Arc::new(observed))
+        .data(z_obs)
+        .backend(Backend::tlr(1e-9))
+        .tile_size(36)
+        .seed(42)
+        .build()
+        .expect("valid estimation session")
+        .fit(
+            &FitOptions {
+                initial: Some(vec![0.5, 0.05, 1.0]),
+                nm: NelderMeadConfig {
+                    max_evals: 40,
+                    ftol: 1e-3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &rt,
+        )
+        .expect("MLE fit");
+    let loglik = fitted.log_likelihood().expect("fitted with data").value;
+    assert!(loglik.is_finite(), "MLE produced a non-finite loglik");
+    let report = fitted.report();
+    assert!(report.evaluations > 0 && report.evaluations <= 40);
+    let theta = fitted.params();
+    assert!(theta[0] > 0.0 && theta[1] > 0.0);
 
-    // 4. Kriging prediction of the held-out sites must beat the trivial
-    //    zero predictor (whose expected squared error is the variance).
-    let pred = predict(
-        &observed,
-        &z_obs,
-        &targets,
-        fit.params,
-        DistanceMetric::Euclidean,
-        1e-8,
-        Backend::tlr(1e-9),
-        LikelihoodConfig { nb: 36, seed: 42 },
-        &rt,
-    )
-    .expect("prediction");
+    // 4. Kriging the held-out sites reuses the factorization computed by
+    //    fit() — the acceptance property of the session API — and must beat
+    //    the trivial zero predictor (expected squared error = variance).
+    let before = factorization_count();
+    let pred = fitted.predict(&targets, &rt).expect("prediction");
+    assert_eq!(
+        factorization_count(),
+        before,
+        "FittedModel::predict must perform zero potrf calls after fit"
+    );
     assert_eq!(pred.values.len(), targets.len());
     let mse = prediction_mse(&z_truth, &pred.values);
     assert!(mse.is_finite());
     assert!(
-        mse < truth.variance,
+        mse < truth[0],
         "kriging must beat the trivial predictor: mse = {mse}"
     );
 }
