@@ -1,0 +1,214 @@
+//! Criterion bench: serving throughput — micro-batched vs one-by-one.
+//!
+//! An n = 1024 Matérn session is fitted once per backend (Dense / Tile /
+//! TLR); the bench then answers the same point-prediction requests three
+//! ways, sweeping the batch size:
+//!
+//! * `one_by_one` — `FittedModel::predict` per request, the pre-serving
+//!   per-call API (entry-wise cross-covariance + tile product per call).
+//! * `batched`    — one `FittedModel::predict_batch` call coalescing the
+//!   requests: one blocked SIMD-friendly cross-covariance build + one pass
+//!   against the cached `α`.
+//! * `server`     — the same requests submitted through a running
+//!   `exa-serve` `PredictionServer` (1 worker), micro-batching included.
+//!
+//! A `*_variance` pair additionally measures the conditional-variance path,
+//! where coalescing turns per-request BLAS-2 triangular solves into one
+//! multi-RHS BLAS-3 solve.
+//!
+//! Two hard guarantees are asserted on every run (the ISSUE 3 acceptance
+//! criteria): at batch 64 the coalesced path is **≥ 3×** the one-by-one
+//! throughput, and `factorization_count()` stays flat across the entire
+//! serving sweep — zero `potrf` under load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_covariance::{Location, MaternKernel};
+use exa_geostat::{
+    factorization_count, synthetic_locations_n, Backend, FittedModel, GeoModel, LikelihoodConfig,
+};
+use exa_runtime::Runtime;
+use exa_serve::{ModelRegistry, PredictionServer, ServeConfig};
+use exa_util::Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 1024;
+const BATCHES: [usize; 3] = [1, 8, 64];
+
+fn fitted(backend: Backend, nb: usize) -> FittedModel<MaternKernel> {
+    let workers = exa_runtime::default_parallelism().min(8);
+    let rt = Runtime::new(workers);
+    let mut rng = Rng::seed_from_u64(3);
+    let locs = Arc::new(synthetic_locations_n(N, &mut rng));
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locs.clone())
+        .nugget(0.0)
+        .tile_size(64)
+        .build()
+        .unwrap()
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .unwrap();
+    let z = generator.simulate(&mut rng, &rt);
+    GeoModel::<MaternKernel>::builder()
+        .locations(locs)
+        .data(z)
+        .backend(backend)
+        .config(LikelihoodConfig { nb, seed: 3 })
+        .build()
+        .unwrap()
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .unwrap()
+}
+
+fn request_targets(count: usize) -> Vec<Vec<Location>> {
+    let mut rng = Rng::seed_from_u64(11);
+    (0..count)
+        .map(|_| vec![Location::new(rng.next_f64(), rng.next_f64())])
+        .collect()
+}
+
+/// Minimum wall time of `reps` runs of `f` (the robust throughput estimator
+/// for the acceptance ratio; criterion's own numbers are reported alongside).
+fn min_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let backends = [
+        ("dense", Backend::FullBlock, 64usize),
+        ("full_tile", Backend::FullTile, 64),
+        ("tlr_1e-7", Backend::tlr(1e-7), 128),
+    ];
+    let rt = Runtime::new(1);
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+
+    for (label, backend, nb) in backends {
+        let model = Arc::new(fitted(backend, nb));
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert("m", Arc::clone(&model));
+        let server = PredictionServer::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let handle = server.handle();
+
+        // Everything below must reuse the factor computed in `fitted`.
+        let potrf_before = factorization_count();
+
+        for batch in BATCHES {
+            let requests = request_targets(batch);
+            let slices: Vec<&[Location]> = requests.iter().map(|r| r.as_slice()).collect();
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("one_by_one/{label}"), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        for req in &requests {
+                            black_box(model.predict(req, &rt).unwrap().values[0]);
+                        }
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched/{label}"), batch),
+                &batch,
+                |b, _| b.iter(|| black_box(model.predict_batch(&slices).unwrap()[0].values[0])),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("server/{label}"), batch),
+                &batch,
+                |b, _| {
+                    b.iter(|| {
+                        let tickets: Vec<_> = requests
+                            .iter()
+                            .map(|r| handle.submit("m", r.clone()).unwrap())
+                            .collect();
+                        for t in tickets {
+                            black_box(t.wait().unwrap().values[0]);
+                        }
+                    })
+                },
+            );
+        }
+
+        // Variance path at the largest batch: BLAS-2 solves vs one BLAS-3.
+        let requests = request_targets(*BATCHES.last().unwrap());
+        let slices: Vec<&[Location]> = requests.iter().map(|r| r.as_slice()).collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("one_by_one_variance/{label}"), slices.len()),
+            &slices.len(),
+            |b, _| {
+                b.iter(|| {
+                    for req in &requests {
+                        black_box(model.predict_with_variance(req, &rt).unwrap().1[0]);
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("batched_variance/{label}"), slices.len()),
+            &slices.len(),
+            |b, _| {
+                b.iter(|| {
+                    black_box(model.predict_batch_with_variance(&slices, &rt).unwrap()[0].1[0])
+                })
+            },
+        );
+
+        assert_eq!(
+            factorization_count(),
+            potrf_before,
+            "{label}: serving sweep must not factorize"
+        );
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.factorizations_during_serving, 0,
+            "{label}: server workers must not factorize"
+        );
+    }
+    group.finish();
+
+    // ---- Acceptance gate (ISSUE 3): ≥ 3× at batch 64 on the n=1024 model.
+    let model = Arc::new(fitted(Backend::FullTile, 64));
+    let requests = request_targets(64);
+    let slices: Vec<&[Location]> = requests.iter().map(|r| r.as_slice()).collect();
+    let potrf_before = factorization_count();
+    let t_single = min_seconds(7, || {
+        for req in &requests {
+            black_box(model.predict(req, &rt).unwrap().values[0]);
+        }
+    });
+    let t_batched = min_seconds(7, || {
+        black_box(model.predict_batch(&slices).unwrap()[0].values[0]);
+    });
+    assert_eq!(
+        factorization_count(),
+        potrf_before,
+        "acceptance sweep must not factorize"
+    );
+    let speedup = t_single / t_batched;
+    println!(
+        "serve_throughput acceptance: batch=64 n={N} one_by_one={:.3}ms batched={:.3}ms speedup={speedup:.2}x",
+        t_single * 1e3,
+        t_batched * 1e3,
+    );
+    assert!(
+        speedup >= 3.0,
+        "micro-batched path must be >= 3x one-by-one at batch 64 (got {speedup:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -205,6 +205,14 @@ fn trmm_lower_dense(l: &Mat, w: &Mat) -> Mat {
     out
 }
 
+// Compile-time proof that factors move between threads: `exa-serve` shares
+// one factorization across prediction workers (behind `FittedModel`'s
+// mutex), so every variant's storage must be `Send + Sync`.
+const _: () = {
+    const fn check<T: Send + Sync>() {}
+    check::<Factorization>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

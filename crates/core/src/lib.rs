@@ -21,10 +21,9 @@
 //!   [`Backend::FullTile`], [`Backend::Tlr`]).
 //! * [`optimizer`] — Nelder–Mead with box constraints (the NLopt
 //!   substitute).
-//! * [`mle`] — the legacy Matérn-only MLE driver (deprecated wrapper over
-//!   [`model`]).
-//! * [`mod@predict`] — legacy kriging entry points (deprecated wrappers)
-//!   and the prediction MSE (Eq. 7).
+//! * [`mod@predict`] — the prediction result type and the prediction MSE
+//!   (Eq. 7); the entry points live on [`FittedModel`], including the
+//!   serving-oriented coalesced `predict_batch` family.
 //! * [`montecarlo`] — the Monte-Carlo estimation studies behind Figures 6–7.
 //! * [`realdata`] — simulated stand-ins for the soil-moisture and wind-speed
 //!   datasets (Tables I–II, Figure 8), with great-circle distances.
@@ -32,7 +31,6 @@
 pub mod factor;
 pub mod likelihood;
 pub mod locations;
-pub mod mle;
 pub mod model;
 pub mod montecarlo;
 pub mod optimizer;
@@ -41,15 +39,10 @@ pub mod realdata;
 pub mod simulate;
 
 pub use factor::{factorization_count, FactorTimings, Factorization};
-#[allow(deprecated)]
-pub use likelihood::log_likelihood;
 pub use likelihood::{Backend, LikelihoodConfig, LogLikelihood};
 pub use locations::{
     gridded_locations_in, holdout_split, synthetic_locations, synthetic_locations_n, HoldoutSplit,
 };
-#[allow(deprecated)]
-pub use mle::MleProblem;
-pub use mle::{MleFit, ParamBounds};
 pub use model::{
     eval_log_likelihood, FitOptions, FitReport, FittedModel, GeoModel, GeoModelBuilder, ModelError,
 };
@@ -57,8 +50,6 @@ pub use montecarlo::{
     generate_data, run_technique, MonteCarloConfig, MonteCarloData, TechniqueOutcome,
 };
 pub use optimizer::{nelder_mead_max, Bounds, NelderMeadConfig, OptimResult, StopReason};
-#[allow(deprecated)]
-pub use predict::{predict, predict_with_variance};
 pub use predict::{prediction_mse, Prediction};
 pub use realdata::{
     ascii_map, generate_region, soil_regions, wind_regions, RegionDataset, RegionSpec,

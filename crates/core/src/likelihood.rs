@@ -16,9 +16,6 @@
 //! * [`Backend::Tlr`] — HiCMA-style TLR factorization at an accuracy
 //!   threshold (the paper's contribution; `TLR-acc(ε)` series).
 
-use exa_covariance::MaternKernel;
-use exa_linalg::LinalgError;
-use exa_runtime::Runtime;
 use exa_tlr::CompressionMethod;
 
 /// Computation technique for one likelihood evaluation.
@@ -39,15 +36,6 @@ impl Backend {
             eps,
             method: CompressionMethod::Rsvd,
         }
-    }
-
-    /// Short label used by the figure harnesses (matches the paper legends).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `Display` impl (`to_string()`) instead"
-    )]
-    pub fn label(&self) -> String {
-        self.to_string()
     }
 }
 
@@ -106,27 +94,6 @@ impl LogLikelihood {
     }
 }
 
-/// Evaluates Eq. 1 for the given Matérn kernel and measurement vector `z`.
-///
-/// Thin compatibility wrapper over the kernel-generic engine; new code
-/// should use [`crate::eval_log_likelihood`] (any [`ParamCovariance`] /
-/// `CovarianceKernel`) or the [`crate::GeoModel`] session API.
-///
-/// [`ParamCovariance`]: exa_covariance::ParamCovariance
-#[deprecated(
-    since = "0.2.0",
-    note = "use the kernel-generic `eval_log_likelihood` or `GeoModel::log_likelihood_at`"
-)]
-pub fn log_likelihood(
-    kernel: &MaternKernel,
-    z: &[f64],
-    backend: Backend,
-    cfg: LikelihoodConfig,
-    rt: &Runtime,
-) -> Result<LogLikelihood, LinalgError> {
-    crate::model::eval_log_likelihood(kernel, z, backend, cfg, rt)
-}
-
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble(
     n: usize,
@@ -152,12 +119,11 @@ pub(crate) fn assemble(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated free function stays covered until it is removed.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::locations::synthetic_locations;
-    use exa_covariance::{CovarianceKernel, DistanceMetric, Location, MaternParams};
+    use crate::model::eval_log_likelihood as log_likelihood;
+    use exa_covariance::{CovarianceKernel, DistanceMetric, Location, MaternKernel, MaternParams};
+    use exa_runtime::Runtime;
     use exa_util::Rng;
     use std::sync::Arc;
 

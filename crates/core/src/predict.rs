@@ -1,157 +1,23 @@
-//! Kriging prediction of unsampled locations (paper Eq. 2–4, Eq. 7).
+//! Kriging prediction results and accuracy scoring (paper Eq. 2–4, Eq. 7).
 //!
 //! With `Z₂` observed at `n` locations and `m` target locations, the
-//! zero-mean conditional expectation is `Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂`: one Cholesky of
-//! `Σ₂₂` (full-tile or TLR — the paper's Figure 5 measures exactly this),
-//! forward/backward solves, and a rectangular product with the
-//! cross-covariance `Σ₁₂`. Accuracy is scored with the paper's mean squared
-//! error (Eq. 7) against held-out truth.
-
-use crate::likelihood::{Backend, LikelihoodConfig};
-use crate::model::{GeoModel, ModelError};
-use exa_covariance::{DistanceMetric, Location, MaternKernel, MaternParams};
-use exa_linalg::LinalgError;
-use exa_runtime::Runtime;
-use std::sync::Arc;
+//! zero-mean conditional expectation is `Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂`. The prediction
+//! entry points live on [`crate::FittedModel`] — `predict`,
+//! `predict_with_variance`, and the serving-oriented coalesced
+//! `predict_batch` family — all of which reuse the factor computed at `θ̂`.
+//! This module holds the shared [`Prediction`] result type and the paper's
+//! mean-squared-error score (Eq. 7) against held-out truth.
 
 /// Result of one prediction run.
 #[derive(Clone, Debug)]
 pub struct Prediction {
     /// Predicted values `Ẑ₁` at the target locations.
     pub values: Vec<f64>,
-    /// Seconds in the `Σ₂₂` factorization.
+    /// Seconds in the `Σ₂₂` factorization (0 for factor-reusing session
+    /// predictions; retained for harnesses that account full pipelines).
     pub factorization_seconds: f64,
     /// Seconds in the solves + cross-covariance product.
     pub solve_seconds: f64,
-}
-
-impl Prediction {
-    /// The empty-target result (no work performed).
-    pub fn empty() -> Self {
-        Prediction {
-            values: vec![],
-            factorization_seconds: 0.0,
-            solve_seconds: 0.0,
-        }
-    }
-}
-
-/// Flattens a [`ModelError`] into the legacy [`LinalgError`] surface; the
-/// wrappers validate their inputs up front, so only factorization
-/// breakdowns can reach the caller.
-fn into_linalg(e: ModelError) -> LinalgError {
-    match e {
-        ModelError::Linalg(l) => l,
-        other => panic!("unexpected model error in legacy wrapper: {other}"),
-    }
-}
-
-/// Builds the one-shot prediction session the legacy entry points delegate
-/// to: a Matérn [`GeoModel`] over the observed set, factored at `params`.
-#[allow(clippy::too_many_arguments)]
-fn legacy_session(
-    observed: &[Location],
-    z: &[f64],
-    params: MaternParams,
-    metric: DistanceMetric,
-    nugget: f64,
-    backend: Backend,
-    cfg: LikelihoodConfig,
-    rt: &Runtime,
-) -> Result<crate::model::FittedModel<MaternKernel>, LinalgError> {
-    GeoModel::<MaternKernel>::builder()
-        .locations(Arc::new(observed.to_vec()))
-        .data(z.to_vec())
-        .metric(metric)
-        .nugget(nugget)
-        .backend(backend)
-        .config(cfg)
-        .build()
-        .expect("valid prediction inputs")
-        .at_params(&params.to_array(), rt)
-        .map_err(into_linalg)
-}
-
-/// Predicts `m` unknown measurements from `n` observed ones (Eq. 4).
-///
-/// * `observed`: the `n` sampled locations with their measurements `z`.
-/// * `targets`: the `m` unsampled locations.
-/// * `params`: the (estimated) Matérn parameter vector `θ̂`.
-///
-/// Thin compatibility wrapper: every call factorizes `Σ₂₂` from scratch.
-/// Keep the [`crate::FittedModel`] returned by [`GeoModel::fit`] /
-/// [`GeoModel::at_params`] and call its `predict` to reuse the factor
-/// already computed at `θ̂`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GeoModel::at_params(θ̂).predict(targets)` — after `fit()` the factor is reused"
-)]
-#[allow(clippy::too_many_arguments)] // mirrors the ExaGeoStat prediction entry point
-pub fn predict(
-    observed: &[Location],
-    z: &[f64],
-    targets: &[Location],
-    params: MaternParams,
-    metric: DistanceMetric,
-    nugget: f64,
-    backend: Backend,
-    cfg: LikelihoodConfig,
-    rt: &Runtime,
-) -> Result<Prediction, LinalgError> {
-    assert_eq!(z.len(), observed.len(), "measurement count mismatch");
-    if targets.is_empty() {
-        return Ok(Prediction::empty());
-    }
-    assert!(!observed.is_empty(), "need observations to predict from");
-    let fitted = legacy_session(observed, z, params, metric, nugget, backend, cfg, rt)?;
-    let mut p = fitted.predict(targets, rt).map_err(into_linalg)?;
-    // Legacy semantics: this call paid for the factorization and the
-    // Σ₂₂⁻¹Z solves; report them in the historical fields.
-    let t = fitted.factor_timings();
-    p.factorization_seconds = t.generation_seconds + t.factorization_seconds;
-    p.solve_seconds += fitted.alpha_solve_seconds();
-    Ok(p)
-}
-
-/// Kriging with per-target conditional variances (paper Eq. 3):
-/// `Var[Z₁|Z₂] = diag(Σ₁₁ − Σ₁₂ Σ₂₂⁻¹ Σ₂₁)`.
-///
-/// The paper states the conditional distribution but only evaluates the
-/// mean predictor; the variance is the natural extension (it prices the
-/// prediction's uncertainty) and costs one extra block solve
-/// `Σ₂₂⁻¹ Σ₂₁` with `m` right-hand sides.
-///
-/// Thin compatibility wrapper; see [`predict`] for the factor-reuse
-/// alternative ([`crate::FittedModel::predict_with_variance`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FittedModel::predict_with_variance`, which reuses the fitted factor"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn predict_with_variance(
-    observed: &[Location],
-    z: &[f64],
-    targets: &[Location],
-    params: MaternParams,
-    metric: DistanceMetric,
-    nugget: f64,
-    backend: Backend,
-    cfg: LikelihoodConfig,
-    rt: &Runtime,
-) -> Result<(Prediction, Vec<f64>), LinalgError> {
-    assert_eq!(z.len(), observed.len(), "measurement count mismatch");
-    if targets.is_empty() {
-        return Ok((Prediction::empty(), vec![]));
-    }
-    assert!(!observed.is_empty(), "need observations to predict from");
-    let fitted = legacy_session(observed, z, params, metric, nugget, backend, cfg, rt)?;
-    let (mut p, variances) = fitted
-        .predict_with_variance(targets, rt)
-        .map_err(into_linalg)?;
-    let t = fitted.factor_timings();
-    p.factorization_seconds = t.generation_seconds + t.factorization_seconds;
-    p.solve_seconds += fitted.alpha_solve_seconds();
-    Ok((p, variances))
 }
 
 /// The paper's prediction MSE (Eq. 7): `(1/m)·Σ (Y_i − Ŷ_i)²`.
@@ -168,15 +34,18 @@ pub fn prediction_mse(truth: &[f64], predicted: &[f64]) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated wrappers stay covered (and equivalent) until removal.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::likelihood::{Backend, LikelihoodConfig};
     use crate::locations::{holdout_split, synthetic_locations};
+    use crate::model::GeoModel;
     use crate::simulate::FieldSimulator;
+    use exa_covariance::{DistanceMetric, Location, MaternKernel, MaternParams};
+    use exa_runtime::Runtime;
     use exa_util::Rng;
+    use std::sync::Arc;
 
-    /// Simulates a field, holds out `m` sites, predicts them back.
+    /// Simulates a field, holds out `m` sites, predicts them back through a
+    /// session factored at the generating parameters.
     fn holdout_experiment(
         params: MaternParams,
         side: usize,
@@ -202,18 +71,17 @@ mod tests {
         let z_obs: Vec<f64> = split.estimation.iter().map(|&i| z[i]).collect();
         let targets: Vec<Location> = split.validation.iter().map(|&i| locs[i]).collect();
         let truth: Vec<f64> = split.validation.iter().map(|&i| z[i]).collect();
-        let p = predict(
-            &observed,
-            &z_obs,
-            &targets,
-            params,
-            DistanceMetric::Euclidean,
-            1e-8,
-            backend,
-            LikelihoodConfig { nb: 32, seed },
-            &rt,
-        )
-        .unwrap();
+        let fitted = GeoModel::<MaternKernel>::builder()
+            .locations(Arc::new(observed))
+            .data(z_obs)
+            .nugget(1e-8)
+            .backend(backend)
+            .config(LikelihoodConfig { nb: 32, seed })
+            .build()
+            .unwrap()
+            .at_params(&params.to_array(), &rt)
+            .unwrap();
+        let p = fitted.predict(&targets, &rt).unwrap();
         (prediction_mse(&truth, &p.values), truth, p.values)
     }
 
@@ -276,26 +144,6 @@ mod tests {
     }
 
     #[test]
-    fn empty_target_set() {
-        let mut rng = Rng::seed_from_u64(5);
-        let locs = synthetic_locations(5, &mut rng);
-        let rt = Runtime::new(1);
-        let p = predict(
-            &locs,
-            &[0.5; 25],
-            &[],
-            MaternParams::new(1.0, 0.1, 0.5),
-            DistanceMetric::Euclidean,
-            1e-8,
-            Backend::FullTile,
-            LikelihoodConfig::default(),
-            &rt,
-        )
-        .unwrap();
-        assert!(p.values.is_empty());
-    }
-
-    #[test]
     fn conditional_variance_is_bounded_and_orders_by_distance() {
         // 0 ≤ Var[Z₁|Z₂] ≤ θ₁, and a target far from every observation is
         // more uncertain than one surrounded by observations.
@@ -306,18 +154,16 @@ mod tests {
         let z = vec![0.3; 100];
         // Near target: the grid centre; far target: well outside the square.
         let targets = vec![Location::new(0.5, 0.5), Location::new(3.0, 3.0)];
-        let (_, vars) = predict_with_variance(
-            &locs,
-            &z,
-            &targets,
-            params,
-            DistanceMetric::Euclidean,
-            1e-8,
-            Backend::FullTile,
-            LikelihoodConfig { nb: 25, seed: 10 },
-            &rt,
-        )
-        .unwrap();
+        let fitted = GeoModel::<MaternKernel>::builder()
+            .locations(Arc::new(locs))
+            .data(z)
+            .nugget(1e-8)
+            .config(LikelihoodConfig { nb: 25, seed: 10 })
+            .build()
+            .unwrap()
+            .at_params(&params.to_array(), &rt)
+            .unwrap();
+        let (_, vars) = fitted.predict_with_variance(&targets, &rt).unwrap();
         assert!(
             vars.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)),
             "{vars:?}"
@@ -339,19 +185,19 @@ mod tests {
         let z = vec![0.1; 81];
         let targets = vec![Location::new(0.4, 0.6), Location::new(0.9, 0.1)];
         let run = |backend| {
-            predict_with_variance(
-                &locs,
-                &z,
-                &targets,
-                params,
-                DistanceMetric::Euclidean,
-                1e-8,
-                backend,
-                LikelihoodConfig { nb: 27, seed: 11 },
-                &rt,
-            )
-            .unwrap()
-            .1
+            GeoModel::<MaternKernel>::builder()
+                .locations(Arc::new(locs.clone()))
+                .data(z.clone())
+                .nugget(1e-8)
+                .backend(backend)
+                .config(LikelihoodConfig { nb: 27, seed: 11 })
+                .build()
+                .unwrap()
+                .at_params(&params.to_array(), &rt)
+                .unwrap()
+                .predict_with_variance(&targets, &rt)
+                .unwrap()
+                .1
         };
         let exact = run(Backend::FullTile);
         let approx = run(Backend::tlr(1e-10));

@@ -1,0 +1,106 @@
+//! Concurrency guarantees of the session layer: one fitted model shared
+//! across prediction threads must behave exactly like serial use.
+//!
+//! `exa-serve` workers hold `Arc<FittedModel<K>>` and predict concurrently;
+//! these tests prove (a) the sharing compiles and runs from `std::thread`
+//! (the `Send + Sync` static assertions live in `exa-geostat` itself), and
+//! (b) concurrent predictions are **bit-for-bit** identical to serial ones —
+//! no data races, no scheduling-dependent reductions.
+
+use exa_covariance::{Location, MaternKernel};
+use exa_geostat::{factorization_count, synthetic_locations, Backend, GeoModel, Prediction};
+use exa_runtime::Runtime;
+use exa_util::Rng;
+use std::sync::Arc;
+
+fn fitted_session(backend: Backend) -> Arc<exa_geostat::FittedModel<MaternKernel>> {
+    let mut rng = Rng::seed_from_u64(77);
+    let locations = Arc::new(synthetic_locations(12, &mut rng));
+    let rt = Runtime::new(2);
+    let gen = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .nugget(0.0)
+        .tile_size(36)
+        .build()
+        .unwrap()
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .unwrap();
+    let z = gen.simulate(&mut rng, &rt);
+    Arc::new(
+        GeoModel::<MaternKernel>::builder()
+            .locations(locations)
+            .data(z)
+            .backend(backend)
+            .tile_size(36)
+            .build()
+            .unwrap()
+            .at_params(&[1.0, 0.1, 0.5], &rt)
+            .unwrap(),
+    )
+}
+
+fn thread_targets(t: usize) -> Vec<Location> {
+    (0..5)
+        .map(|i| {
+            Location::new(
+                0.07 + 0.11 * ((t * 5 + i) % 9) as f64,
+                0.05 + 0.13 * ((t * 3 + i) % 7) as f64,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn eight_threads_reproduce_serial_predictions_bit_for_bit() {
+    for backend in [Backend::FullTile, Backend::tlr(1e-9)] {
+        let fitted = fitted_session(backend);
+        // Serial references, one per thread's work item.
+        let serial: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = (0..8)
+            .map(|t| {
+                let rt = Runtime::new(1);
+                let targets = thread_targets(t);
+                let p = fitted.predict(&targets, &rt).unwrap();
+                let b = fitted
+                    .predict_batch(&[targets.as_slice()])
+                    .unwrap()
+                    .remove(0);
+                let (_, v) = fitted.predict_with_variance(&targets, &rt).unwrap();
+                (p.values, b.values, v)
+            })
+            .collect();
+        // The same work from 8 threads hammering one shared session.
+        let concurrent: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let fitted = Arc::clone(&fitted);
+                    scope.spawn(move || {
+                        let rt = Runtime::new(1);
+                        let targets = thread_targets(t);
+                        let before = factorization_count();
+                        let p: Prediction = fitted.predict(&targets, &rt).unwrap();
+                        let b = fitted
+                            .predict_batch(&[targets.as_slice()])
+                            .unwrap()
+                            .remove(0);
+                        let (_, v) = fitted.predict_with_variance(&targets, &rt).unwrap();
+                        assert_eq!(
+                            factorization_count(),
+                            before,
+                            "no thread may trigger a factorization"
+                        );
+                        (p.values, b.values, v)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (t, (s, c)) in serial.iter().zip(&concurrent).enumerate() {
+            assert_eq!(s.0, c.0, "{backend:?} thread {t}: predict must be exact");
+            assert_eq!(
+                s.1, c.1,
+                "{backend:?} thread {t}: predict_batch must be exact"
+            );
+            assert_eq!(s.2, c.2, "{backend:?} thread {t}: variances must be exact");
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Acceptance tests for the session API's factor reuse: after `fit`/
 //! `at_params`, `FittedModel::predict` must (a) perform **zero** further
-//! `potrf` calls, (b) agree with the legacy re-factorizing `predict` free
-//! function to 1e-10, and (c) agree with an independent dense-LAPACK
+//! `potrf` calls, (b) agree across backends with a freshly-factored
+//! one-shot session to 1e-10, and (c) agree with an independent dense-LAPACK
 //! reference implementation of Eq. 4.
 
 use exa_covariance::{CovarianceKernel, DistanceMetric, Location, MaternKernel, MaternParams};
@@ -40,47 +40,42 @@ fn holdout_problem(side: usize, m: usize, seed: u64, rt: &Runtime) -> Holdout {
 }
 
 #[test]
-fn session_predict_matches_legacy_refactorizing_predict() {
+fn reused_factor_matches_fresh_one_shot_session() {
+    // A long-lived session predicting off its cached factor must agree with
+    // a session factored from scratch for the same θ (what a caller without
+    // the cache would pay for), on every backend — and must not refactorize.
     let rt = Runtime::new(4);
     let h = holdout_problem(14, 25, 1, &rt);
     let params = MaternParams::new(0.9, 0.12, 0.6); // a θ̂-like point off the truth
     for backend in [Backend::FullBlock, Backend::FullTile, Backend::tlr(1e-11)] {
         let cfg = LikelihoodConfig { nb: 32, seed: 1 };
-        #[allow(deprecated)]
-        let legacy = exa_geostat::predict(
-            &h.observed,
-            &h.z_obs,
-            &h.targets,
-            params,
-            DistanceMetric::Euclidean,
-            1e-8,
-            backend,
-            cfg,
-            &rt,
-        )
-        .unwrap();
-
-        let fitted = GeoModel::<MaternKernel>::builder()
-            .locations(Arc::new(h.observed.clone()))
-            .data(h.z_obs.clone())
-            .backend(backend)
-            .config(cfg)
-            .build()
-            .unwrap()
-            .at_params(&params.to_array(), &rt)
-            .unwrap();
+        let build = || {
+            GeoModel::<MaternKernel>::builder()
+                .locations(Arc::new(h.observed.clone()))
+                .data(h.z_obs.clone())
+                .backend(backend)
+                .config(cfg)
+                .build()
+                .unwrap()
+                .at_params(&params.to_array(), &rt)
+                .unwrap()
+        };
+        let session = build();
         let before = factorization_count();
-        let session = fitted.predict(&h.targets, &rt).unwrap();
+        let first = session.predict(&h.targets, &rt).unwrap();
+        let second = session.predict(&h.targets, &rt).unwrap();
         assert_eq!(
             factorization_count(),
             before,
             "{backend:?}: session prediction must not re-factorize"
         );
-        assert_eq!(legacy.values.len(), session.values.len());
-        for (a, b) in legacy.values.iter().zip(&session.values) {
+        assert_eq!(first.values, second.values, "cached factor is stable");
+        let fresh = build().predict(&h.targets, &rt).unwrap();
+        assert_eq!(fresh.values.len(), first.values.len());
+        for (a, b) in fresh.values.iter().zip(&first.values) {
             assert!(
                 (a - b).abs() <= 1e-10 * a.abs().max(1.0),
-                "{backend:?}: legacy {a} vs session {b}"
+                "{backend:?}: fresh {a} vs cached {b}"
             );
         }
     }

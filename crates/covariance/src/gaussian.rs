@@ -157,6 +157,27 @@ impl ParamCovariance for GaussianKernel {
         self.params.covariance(self.metric.distance(a, b))
     }
 
+    fn fill_cross_row(&self, target: &Location, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        // Vectorized fast path: C = σ·e^{−(r/β)²} needs no square root at
+        // all — the squared distance feeds the exponential directly.
+        if self.metric != DistanceMetric::Euclidean {
+            return crate::kernel::fill_cross_row_generic(self, target, xs, ys, out);
+        }
+        assert_eq!(xs.len(), out.len(), "coordinate/output length mismatch");
+        assert_eq!(ys.len(), out.len(), "coordinate/output length mismatch");
+        let (tx, ty) = (target.x, target.y);
+        let inv_range2 = 1.0 / (self.params.range * self.params.range);
+        for ((dst, &ox), &oy) in out.iter_mut().zip(xs).zip(ys) {
+            let dx = tx - ox;
+            let dy = ty - oy;
+            *dst = -(dx * dx + dy * dy) * inv_range2;
+        }
+        let sigma = self.params.variance;
+        for v in out.iter_mut() {
+            *v = sigma * crate::fastmath::exp_neg(*v);
+        }
+    }
+
     fn sill(&self) -> f64 {
         self.params.variance
     }
@@ -185,6 +206,31 @@ mod tests {
         let pe = PoweredExponentialParams::new(1.7, 0.25, 2.0);
         for &r in &[0.0, 0.05, 0.2, 0.8, 2.0] {
             assert!((g.covariance(r) - pe.covariance(r)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fill_cross_row_matches_cross() {
+        let locs: Vec<Location> = (0..29)
+            .map(|i| Location::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.53) % 1.0))
+            .collect();
+        let xs: Vec<f64> = locs.iter().map(|l| l.x).collect();
+        let ys: Vec<f64> = locs.iter().map(|l| l.y).collect();
+        let target = Location::new(0.2, 0.6);
+        let k = GaussianKernel::new(
+            Arc::new(locs.clone()),
+            GaussianParams::new(0.9, 0.15),
+            DistanceMetric::Euclidean,
+            1e-8,
+        );
+        let mut row = vec![0.0; locs.len()];
+        k.fill_cross_row(&target, &xs, &ys, &mut row);
+        for (got, loc) in row.iter().zip(&locs) {
+            let want = k.cross(&target, loc);
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1e-300),
+                "{got} vs {want}"
+            );
         }
     }
 

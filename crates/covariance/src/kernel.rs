@@ -120,6 +120,22 @@ pub trait ParamCovariance: CovarianceKernel + Clone + Send + Sync + 'static {
     /// cross-covariance entry of the kriging predictor.
     fn cross(&self, a: &Location, b: &Location) -> f64;
 
+    /// Fills one cross-covariance row: `out[j] = cross(target, (xs[j],
+    /// ys[j]))` against coordinate-split (structure-of-arrays) observed
+    /// locations.
+    ///
+    /// This is the hot kernel of the batched prediction path
+    /// (`FittedModel::predict_batch` coalesces queries into blocked fills of
+    /// exactly this shape). The default walks [`ParamCovariance::cross`]
+    /// entry by entry; families whose covariance reduces to
+    /// elementary-function forms override it with branchless loops the
+    /// compiler vectorizes (see [`crate::fastmath`]). Overrides may differ
+    /// from the default by the vectorized exponential's ≤ ~3·10⁻¹³ relative
+    /// error.
+    fn fill_cross_row(&self, target: &Location, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        fill_cross_row_generic(self, target, xs, ys, out);
+    }
+
     /// The marginal (sill) variance: the diagonal of Σ without the nugget.
     fn sill(&self) -> f64;
 
@@ -131,6 +147,22 @@ pub trait ParamCovariance: CovarianceKernel + Clone + Send + Sync + 'static {
 
     /// The shared location set.
     fn locations_arc(&self) -> &Arc<Vec<Location>>;
+}
+
+/// The entry-by-entry cross-covariance row fill every family can fall back
+/// on (also the reference the vectorized overrides are tested against).
+pub(crate) fn fill_cross_row_generic<K: ParamCovariance>(
+    kernel: &K,
+    target: &Location,
+    xs: &[f64],
+    ys: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(xs.len(), out.len(), "coordinate/output length mismatch");
+    assert_eq!(ys.len(), out.len(), "coordinate/output length mismatch");
+    for ((dst, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+        *dst = kernel.cross(target, &Location::new(x, y));
+    }
 }
 
 /// Shared `from_parts` validation: parameter arity and nugget domain, so
@@ -284,6 +316,44 @@ impl ParamCovariance for MaternKernel {
         self.params.covariance(self.metric.distance(a, b))
     }
 
+    fn fill_cross_row(&self, target: &Location, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        // Vectorized fast path for the half-integer smoothness values that
+        // dominate the paper's experiments: C = σ·poly(x)·e⁻ˣ, x = r/β.
+        let nu = self.params.smoothness;
+        if self.metric != DistanceMetric::Euclidean || !(nu == 0.5 || nu == 1.5 || nu == 2.5) {
+            return fill_cross_row_generic(self, target, xs, ys, out);
+        }
+        assert_eq!(xs.len(), out.len(), "coordinate/output length mismatch");
+        assert_eq!(ys.len(), out.len(), "coordinate/output length mismatch");
+        let (tx, ty) = (target.x, target.y);
+        let inv_range = 1.0 / self.params.range;
+        let sigma = self.params.variance;
+        // Pass 1: scaled distances (sub/mul/sqrt — vectorizes on baseline
+        // x86-64). Kept separate from the exponential pass so neither loop
+        // carries a dependency that would block SIMD.
+        for ((dst, &ox), &oy) in out.iter_mut().zip(xs).zip(ys) {
+            let dx = tx - ox;
+            let dy = ty - oy;
+            *dst = (dx * dx + dy * dy).sqrt() * inv_range;
+        }
+        // Pass 2: the smoothness-specific closed form, selected once per row.
+        if nu == 0.5 {
+            for v in out.iter_mut() {
+                *v = sigma * crate::fastmath::exp_neg(-*v);
+            }
+        } else if nu == 1.5 {
+            for v in out.iter_mut() {
+                let x = *v;
+                *v = sigma * (1.0 + x) * crate::fastmath::exp_neg(-x);
+            }
+        } else {
+            for v in out.iter_mut() {
+                let x = *v;
+                *v = sigma * (1.0 + x + x * x * (1.0 / 3.0)) * crate::fastmath::exp_neg(-x);
+            }
+        }
+    }
+
     fn sill(&self) -> f64 {
         self.params.variance
     }
@@ -380,6 +450,61 @@ mod tests {
         assert_eq!(k2.len(), k.len());
         assert_eq!(k2.entry(0, 0), 2.0);
         assert_eq!(k.entry(0, 0), 1.0); // original untouched
+    }
+
+    #[test]
+    fn fill_cross_row_matches_cross_for_every_smoothness() {
+        // The vectorized half-integer paths and the generic fallback must
+        // agree with entry-wise `cross` (fast exp: ≤ ~3e-13 relative).
+        let locs: Vec<Location> = (0..37)
+            .map(|i| Location::new((i as f64 * 0.27) % 1.0, (i as f64 * 0.61) % 1.0))
+            .collect();
+        let xs: Vec<f64> = locs.iter().map(|l| l.x).collect();
+        let ys: Vec<f64> = locs.iter().map(|l| l.y).collect();
+        let target = Location::new(0.41, 0.73);
+        for (metric, nu) in [
+            (DistanceMetric::Euclidean, 0.5),
+            (DistanceMetric::Euclidean, 1.5),
+            (DistanceMetric::Euclidean, 2.5),
+            (DistanceMetric::Euclidean, 0.8), // generic fallback (Bessel)
+            (DistanceMetric::GreatCircleKm, 0.5), // generic fallback (metric)
+        ] {
+            let k = MaternKernel::new(
+                Arc::new(locs.clone()),
+                MaternParams::new(1.3, 0.1, nu),
+                metric,
+                0.0,
+            );
+            let mut row = vec![f64::NAN; locs.len()];
+            k.fill_cross_row(&target, &xs, &ys, &mut row);
+            for (got, loc) in row.iter().zip(&locs) {
+                let want = k.cross(&target, loc);
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1e-300),
+                    "nu={nu} {metric:?}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_cross_row_hits_the_sill_at_zero_distance() {
+        let locs = vec![Location::new(0.3, 0.3), Location::new(0.9, 0.1)];
+        let k = MaternKernel::new(
+            Arc::new(locs.clone()),
+            MaternParams::new(2.0, 0.1, 0.5),
+            DistanceMetric::Euclidean,
+            0.5, // nugget must NOT appear in cross rows
+        );
+        let mut row = [0.0; 2];
+        k.fill_cross_row(
+            &locs[0],
+            &[locs[0].x, locs[1].x],
+            &[locs[0].y, locs[1].y],
+            &mut row,
+        );
+        assert_eq!(row[0], 2.0, "coincident site gets the sill, no nugget");
+        assert!(row[1] < 2.0);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod bessel;
 pub mod distance;
+pub mod fastmath;
 pub mod gamma;
 pub mod gaussian;
 pub mod kernel;
@@ -34,6 +35,7 @@ pub mod powexp;
 
 pub use bessel::{bessel_k, bessel_k_scaled};
 pub use distance::{euclidean, great_circle_km, DistanceMetric, Location, EARTH_RADIUS_KM};
+pub use fastmath::exp_neg;
 pub use gamma::{gamma, ln_gamma, EULER_GAMMA};
 pub use gaussian::{GaussianKernel, GaussianParams};
 pub use kernel::{CovarianceKernel, MaternKernel, ParamCovariance};

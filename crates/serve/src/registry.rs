@@ -1,0 +1,277 @@
+//! The model registry: named fitted sessions under a memory budget.
+//!
+//! A serving node holds the factored `Σ(θ̂)` of every model it answers
+//! queries for; factors are the dominant memory cost (the paper's whole
+//! point is that TLR factors are *much* smaller than dense ones). The
+//! registry tracks resident bytes through
+//! [`FittedModel::factor_bytes`](exa_geostat::FittedModel::factor_bytes) and
+//! evicts least-recently-used models when an insert pushes past the
+//! configured budget — so a node packs as many TLR models as the same RAM
+//! that would hold a handful of dense ones.
+//!
+//! Lookups hand out `Arc` clones: eviction never invalidates requests
+//! already in flight, it only drops the registry's own reference.
+
+use exa_covariance::ParamCovariance;
+use exa_geostat::FittedModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+struct Entry<K: ParamCovariance> {
+    model: Arc<FittedModel<K>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner<K: ParamCovariance> {
+    models: HashMap<String, Entry<K>>,
+    bytes: usize,
+    clock: u64,
+}
+
+/// A named collection of fitted sessions with LRU eviction under an
+/// optional byte budget (see the module docs).
+///
+/// All methods take `&self`; the registry is internally synchronized and is
+/// shared between submitters and the [`PredictionServer`](crate::PredictionServer)
+/// via `Arc`.
+pub struct ModelRegistry<K: ParamCovariance> {
+    inner: Mutex<Inner<K>>,
+    budget: Option<usize>,
+}
+
+impl<K: ParamCovariance> Default for ModelRegistry<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: ParamCovariance> ModelRegistry<K> {
+    /// An unbounded registry (no eviction).
+    pub fn new() -> Self {
+        ModelRegistry {
+            inner: Mutex::new(Inner {
+                models: HashMap::new(),
+                bytes: 0,
+                clock: 0,
+            }),
+            budget: None,
+        }
+    }
+
+    /// A registry that keeps resident factor bytes at or below `budget`
+    /// by evicting least-recently-used models on insert.
+    pub fn with_byte_budget(budget: usize) -> Self {
+        ModelRegistry {
+            budget: Some(budget),
+            ..Self::new()
+        }
+    }
+
+    /// Registers `model` under `name`, replacing any previous holder of the
+    /// name, and returns the names evicted to respect the byte budget (in
+    /// eviction order).
+    ///
+    /// The newly inserted model is never evicted by its own insert, so a
+    /// single factor larger than the whole budget still becomes resident
+    /// (and everything else is evicted around it).
+    pub fn insert(&self, name: impl Into<String>, model: Arc<FittedModel<K>>) -> Vec<String> {
+        let name = name.into();
+        let bytes = model.factor_bytes();
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.models.insert(
+            name.clone(),
+            Entry {
+                model,
+                bytes,
+                last_used: stamp,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        let mut evicted = Vec::new();
+        if let Some(budget) = self.budget {
+            while inner.bytes > budget {
+                // LRU among everything except the entry just inserted.
+                let victim = inner
+                    .models
+                    .iter()
+                    .filter(|(n, _)| **n != name)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(n, _)| n.clone());
+                let Some(victim) = victim else { break };
+                let entry = inner.models.remove(&victim).expect("victim exists");
+                inner.bytes -= entry.bytes;
+                evicted.push(victim);
+            }
+        }
+        evicted
+    }
+
+    /// Looks up a model by name, bumping its recency.
+    pub fn get(&self, name: &str) -> Option<Arc<FittedModel<K>>> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let entry = inner.models.get_mut(name)?;
+        entry.last_used = stamp;
+        Some(Arc::clone(&entry.model))
+    }
+
+    /// Removes a model by name; `true` if it was resident.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().expect("registry lock");
+        match inner.models.remove(name) {
+            Some(entry) => {
+                inner.bytes -= entry.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `name` is currently resident (does not bump recency).
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .models
+            .contains_key(name)
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").models.len()
+    }
+
+    /// True when no model is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total factor bytes currently resident.
+    pub fn bytes_in_use(&self) -> usize {
+        self.inner.lock().expect("registry lock").bytes
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Resident model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .models
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_covariance::MaternKernel;
+    use exa_geostat::{synthetic_locations, Backend, GeoModel};
+    use exa_runtime::Runtime;
+    use exa_util::Rng;
+
+    fn fitted(seed: u64, backend: Backend) -> Arc<FittedModel<MaternKernel>> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let locations = Arc::new(synthetic_locations(6, &mut rng));
+        let rt = Runtime::new(1);
+        let mut z = vec![0.0; locations.len()];
+        rng.fill_gaussian(&mut z);
+        Arc::new(
+            GeoModel::<MaternKernel>::builder()
+                .locations(locations)
+                .data(z)
+                .backend(backend)
+                .tile_size(18)
+                .build()
+                .unwrap()
+                .at_params(&[1.0, 0.1, 0.5], &rt)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_get_evict_round_trip() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let m = fitted(1, Backend::FullTile);
+        assert!(reg.insert("a", m.clone()).is_empty());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.bytes_in_use(), m.factor_bytes());
+        assert!(Arc::ptr_eq(&reg.get("a").unwrap(), &m));
+        assert!(reg.get("missing").is_none());
+        assert!(reg.evict("a"));
+        assert!(!reg.evict("a"));
+        assert_eq!(reg.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn reinsert_same_name_replaces_without_leaking_bytes() {
+        let reg = ModelRegistry::new();
+        let m1 = fitted(1, Backend::FullTile);
+        let m2 = fitted(2, Backend::FullTile);
+        reg.insert("a", m1);
+        reg.insert("a", m2.clone());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.bytes_in_use(), m2.factor_bytes());
+        assert!(Arc::ptr_eq(&reg.get("a").unwrap(), &m2));
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let a = fitted(1, Backend::FullTile);
+        let per_model = a.factor_bytes();
+        // Budget fits exactly two resident factors.
+        let reg = ModelRegistry::with_byte_budget(2 * per_model);
+        assert_eq!(reg.byte_budget(), Some(2 * per_model));
+        reg.insert("a", a);
+        reg.insert("b", fitted(2, Backend::FullTile));
+        // Touch "a" so "b" is the LRU when "c" arrives.
+        assert!(reg.get("a").is_some());
+        let evicted = reg.insert("c", fitted(3, Backend::FullTile));
+        assert_eq!(evicted, vec!["b".to_string()]);
+        assert_eq!(reg.names(), vec!["a".to_string(), "c".to_string()]);
+        assert!(reg.bytes_in_use() <= 2 * per_model);
+    }
+
+    #[test]
+    fn oversized_model_still_becomes_resident() {
+        let a = fitted(1, Backend::FullTile);
+        let reg = ModelRegistry::with_byte_budget(a.factor_bytes() / 2);
+        reg.insert("small", a);
+        let evicted = reg.insert("huge", fitted(2, Backend::FullTile));
+        // Everything else goes, but the new model is kept.
+        assert_eq!(evicted, vec!["small".to_string()]);
+        assert_eq!(reg.names(), vec!["huge".to_string()]);
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_inflight_handles() {
+        let reg = ModelRegistry::with_byte_budget(1);
+        let m = fitted(1, Backend::tlr(1e-7));
+        reg.insert("a", m);
+        let pinned = reg.get("a").unwrap();
+        reg.insert("b", fitted(2, Backend::FullTile)); // evicts "a"
+        assert!(!reg.contains("a"));
+        // The pinned Arc still answers queries.
+        let rt = Runtime::new(1);
+        let p = pinned
+            .predict(&[exa_covariance::Location::new(0.4, 0.6)], &rt)
+            .unwrap();
+        assert!(p.values[0].is_finite());
+    }
+}

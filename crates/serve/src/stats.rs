@@ -1,0 +1,72 @@
+//! Serving statistics: what the operator of a prediction node watches.
+
+/// A point-in-time snapshot of a [`PredictionServer`](crate::PredictionServer)'s
+/// counters (all totals since start).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub requests_submitted: u64,
+    /// Requests answered successfully.
+    pub requests_served: u64,
+    /// Requests answered with an error (bad query, model failure).
+    pub requests_failed: u64,
+    /// Coalesced prediction calls executed by the workers.
+    pub batches_executed: u64,
+    /// Requests that shared their batch with at least one other request —
+    /// the micro-batching hit count.
+    pub requests_coalesced: u64,
+    /// Total prediction points answered.
+    pub points_served: u64,
+    /// Queue-depth high-water mark (pending requests at submit time).
+    pub max_queue_depth: u64,
+    /// Sum of per-request latencies (submit → response), seconds.
+    pub total_latency_seconds: f64,
+    /// Worst single-request latency, seconds.
+    pub max_latency_seconds: f64,
+    /// Cholesky factorizations performed by the worker threads. The serving
+    /// layer only ever applies cached factors, so this **must stay 0**; it
+    /// is surfaced so load tests and benches can assert it.
+    pub factorizations_during_serving: u64,
+}
+
+impl ServerStats {
+    /// Mean submit→response latency in seconds (0 when nothing completed).
+    pub fn mean_latency_seconds(&self) -> f64 {
+        let done = self.requests_served + self.requests_failed;
+        if done == 0 {
+            0.0
+        } else {
+            self.total_latency_seconds / done as f64
+        }
+    }
+
+    /// Mean coalesced-batch size in requests (0 before the first batch).
+    pub fn mean_batch_requests(&self) -> f64 {
+        if self.batches_executed == 0 {
+            0.0
+        } else {
+            (self.requests_served + self.requests_failed) as f64 / self.batches_executed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_means_handle_empty_and_populated_counters() {
+        let empty = ServerStats::default();
+        assert_eq!(empty.mean_latency_seconds(), 0.0);
+        assert_eq!(empty.mean_batch_requests(), 0.0);
+        let s = ServerStats {
+            requests_served: 9,
+            requests_failed: 1,
+            batches_executed: 5,
+            total_latency_seconds: 2.0,
+            ..Default::default()
+        };
+        assert!((s.mean_latency_seconds() - 0.2).abs() < 1e-12);
+        assert!((s.mean_batch_requests() - 2.0).abs() < 1e-12);
+    }
+}

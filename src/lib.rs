@@ -11,6 +11,7 @@
 //!
 //! | layer | paper component | crate |
 //! |---|---|---|
+//! | prediction serving | ExaGeoStatR's fit-once/predict-many workflow, as a service | [`serve`] (`exa-serve`) |
 //! | statistics & drivers | ExaGeoStat + NLopt | [`geostat`] (`exa-geostat`) |
 //! | TLR linear algebra | HiCMA | [`tlr`] (`exa-tlr`) |
 //! | dense tile algorithms | Chameleon | [`tile`] (`exa-tile`) |
@@ -70,14 +71,16 @@
 //! the API is generic over [`covariance::ParamCovariance`].
 //!
 //! See `examples/` for full MLE fits, the simulated soil-moisture and
-//! wind-speed studies, and the distributed-run simulator; `crates/bench`
-//! regenerates every table and figure of the paper (DESIGN.md §3).
+//! wind-speed studies, the distributed-run simulator, and the concurrent
+//! prediction service (`prediction_service`); `crates/bench` regenerates
+//! every table and figure of the paper (DESIGN.md §3).
 
 pub use exa_covariance as covariance;
 pub use exa_distsim as distsim;
 pub use exa_geostat as geostat;
 pub use exa_linalg as linalg;
 pub use exa_runtime as runtime;
+pub use exa_serve as serve;
 pub use exa_tile as tile;
 pub use exa_tlr as tlr;
 pub use exa_util as util;
@@ -93,13 +96,13 @@ pub mod prelude {
         eval_log_likelihood, factorization_count, holdout_split, prediction_mse,
         synthetic_locations, synthetic_locations_n, Backend, Factorization, FieldSimulator,
         FitOptions, FitReport, FittedModel, GeoModel, LikelihoodConfig, ModelError,
-        NelderMeadConfig, ParamBounds,
+        NelderMeadConfig,
     };
-    // The deprecated compatibility wrappers stay importable through the
-    // prelude so `prelude::*` consumers migrate on warnings, not errors.
-    #[allow(deprecated)]
-    pub use exa_geostat::{log_likelihood, predict, predict_with_variance, MleProblem};
     pub use exa_runtime::Runtime;
+    pub use exa_serve::{
+        ModelRegistry, PredictionServer, PredictionTicket, ServeConfig, ServeError,
+        ServedPrediction, ServerHandle, ServerStats,
+    };
     pub use exa_tlr::{CompressionMethod, TlrMatrix};
     pub use exa_util::Rng;
 }
