@@ -1,0 +1,168 @@
+//! Criterion bench: end-to-end wire serving throughput.
+//!
+//! An n = 1024 Matérn session is fitted once and served by a real
+//! [`WireServer`] on an ephemeral localhost port; the bench then drives it
+//! through real TCP connections — HTTP parsing, JSON codec, micro-batching
+//! and the response path all included:
+//!
+//! * `closed_loop/cC` — `C` concurrent keep-alive clients, each issuing
+//!   single-target predict requests back to back (per-request wire cost);
+//! * `batched/c1`    — one client shipping all targets in one request
+//!   (the wire cost amortized over a server-side batch).
+//!
+//! Benchmark ids are `serve_wire/<mode>/<label>/<queries-per-iteration>`,
+//! so the scheduled bench job can compute queries/sec per series into
+//! `BENCH_wire.json` exactly like `BENCH_serve.json`.
+//!
+//! Two guarantees are asserted on every run: zero factorizations during
+//! the whole serving sweep and zero contained panics — load must never
+//! tear a worker down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_covariance::{Location, MaternKernel};
+use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel, LikelihoodConfig};
+use exa_runtime::Runtime;
+use exa_serve::{ModelRegistry, ServeConfig};
+use exa_util::Rng;
+use exa_wire::{WireClient, WireConfig, WireServer};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 1024;
+
+fn fitted() -> FittedModel<MaternKernel> {
+    let workers = exa_runtime::default_parallelism().min(8);
+    let rt = Runtime::new(workers);
+    let mut rng = Rng::seed_from_u64(3);
+    let locs = Arc::new(synthetic_locations_n(N, &mut rng));
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locs.clone())
+        .nugget(0.0)
+        .tile_size(64)
+        .build()
+        .unwrap()
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .unwrap();
+    let z = generator.simulate(&mut rng, &rt);
+    GeoModel::<MaternKernel>::builder()
+        .locations(locs)
+        .data(z)
+        .backend(Backend::FullTile)
+        .config(LikelihoodConfig { nb: 64, seed: 3 })
+        .build()
+        .unwrap()
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .unwrap()
+}
+
+fn request_targets(count: usize) -> Vec<Location> {
+    let mut rng = Rng::seed_from_u64(11);
+    (0..count)
+        .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
+        .collect()
+}
+
+/// `count` single-target closed-loop requests spread over `clients`
+/// concurrent keep-alive connections (one connect per client per run).
+fn run_closed_loop(addr: std::net::SocketAddr, clients: usize, per_client: usize) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect");
+                let targets = request_targets(per_client + c);
+                for t in &targets[c..] {
+                    let served = client
+                        .predict("m", std::slice::from_ref(t))
+                        .expect("predict");
+                    black_box(served.mean[0]);
+                }
+            });
+        }
+    });
+}
+
+/// Minimum wall time of `reps` runs of `f` (robust quick estimator for the
+/// printed queries/sec line; criterion's numbers are recorded alongside).
+fn min_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_serve_wire(c: &mut Criterion) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", Arc::new(fitted()));
+    let server = WireServer::start(
+        registry,
+        WireConfig {
+            serve: ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("serve_wire");
+    group.sample_size(10);
+
+    // Concurrent single-target clients: the per-request wire overhead and
+    // the cross-connection coalescing it still allows.
+    let per_client = 16;
+    for clients in [1usize, 4] {
+        let total = clients * per_client;
+        group.bench_with_input(
+            BenchmarkId::new(format!("closed_loop/c{clients}"), total),
+            &total,
+            |b, _| b.iter(|| run_closed_loop(addr, clients, per_client)),
+        );
+    }
+
+    // One request carrying a whole batch: the other end of the trade.
+    let batch = 64;
+    let targets = request_targets(batch);
+    let mut client = WireClient::connect(addr).expect("connect");
+    group.bench_with_input(BenchmarkId::new("batched/c1", batch), &batch, |b, _| {
+        b.iter(|| {
+            let served = client.predict("m", &targets).expect("predict");
+            black_box(served.mean[0]);
+        })
+    });
+    group.finish();
+
+    // Quick human-readable queries/sec lines (criterion records the rest).
+    let t_closed = min_seconds(3, || run_closed_loop(addr, 4, per_client));
+    let t_batched = min_seconds(3, || {
+        let served = client.predict("m", &targets).expect("predict");
+        black_box(served.mean[0]);
+    });
+    println!(
+        "serve_wire: closed_loop c4 {:.0} queries/s, batched x{batch} {:.0} queries/s",
+        (4 * per_client) as f64 / t_closed,
+        batch as f64 / t_batched,
+    );
+    drop(client);
+
+    // Hard guarantees over the entire sweep.
+    let (wire, serve) = server.shutdown();
+    assert_eq!(
+        serve.factorizations_during_serving, 0,
+        "wire serving must never factorize"
+    );
+    assert_eq!(wire.panics_contained, 0, "wire workers must never panic");
+    assert_eq!(
+        wire.requests_client_error, 0,
+        "bench traffic is well-formed"
+    );
+    assert_eq!(wire.requests_server_error, 0, "bench traffic must not 5xx");
+}
+
+criterion_group!(benches, bench_serve_wire);
+criterion_main!(benches);

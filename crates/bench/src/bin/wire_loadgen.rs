@@ -1,0 +1,147 @@
+//! `wire_loadgen` — a closed-loop load generator for the wire front-end.
+//!
+//! Boots an in-process [`WireServer`] over a freshly fitted n = 1024
+//! Matérn session, hammers it with concurrent keep-alive [`WireClient`]
+//! connections, and prints end-to-end queries/sec next to the server's own
+//! wire and serving statistics — the dslab-style request/queue/latency
+//! view of the serving stack, measured over a real socket.
+//!
+//! ```text
+//! cargo run --release -p exa-bench --bin wire_loadgen [-- clients per_client points [--variance]]
+//! ```
+//!
+//! Defaults: 4 clients × 200 requests × 1 point, means only. The run
+//! asserts the two serving invariants (zero factorizations, zero contained
+//! panics) and exits non-zero if they fail.
+
+use exa_covariance::{Location, MaternKernel};
+use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel};
+use exa_runtime::Runtime;
+use exa_serve::{ModelRegistry, ServeConfig};
+use exa_util::Rng;
+use exa_wire::{WireClient, WireConfig, WireServer};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fitted(n: usize) -> FittedModel<MaternKernel> {
+    let rt = Runtime::new(exa_runtime::default_parallelism().min(8));
+    let mut rng = Rng::seed_from_u64(3);
+    let locs = Arc::new(synthetic_locations_n(n, &mut rng));
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locs.clone())
+        .nugget(0.0)
+        .tile_size(64)
+        .build()
+        .expect("valid generation session")
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .expect("SPD at the true θ");
+    let z = generator.simulate(&mut rng, &rt);
+    GeoModel::<MaternKernel>::builder()
+        .locations(locs)
+        .data(z)
+        .backend(Backend::FullTile)
+        .tile_size(64)
+        .build()
+        .expect("valid estimation session")
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .expect("SPD at θ̂")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let variance = args.iter().any(|a| a == "--variance");
+    let numbers: Vec<usize> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let clients = numbers.first().copied().unwrap_or(4);
+    let per_client = numbers.get(1).copied().unwrap_or(200);
+    let points = numbers.get(2).copied().unwrap_or(1).max(1);
+
+    eprintln!("fitting n=1024 model (the only factorization in this run)...");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", Arc::new(fitted(1024)));
+    let server = WireServer::start(
+        registry,
+        WireConfig {
+            serve: ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    println!(
+        "serving on {addr}: {clients} clients x {per_client} requests x {points} points{}",
+        if variance { " (+variance)" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients as u64 {
+            scope.spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect");
+                let mut rng = Rng::seed_from_u64(100 + c);
+                for _ in 0..per_client {
+                    let targets: Vec<Location> = (0..points)
+                        .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
+                        .collect();
+                    let served = if variance {
+                        client
+                            .predict_with_variance("m", &targets)
+                            .expect("predict")
+                    } else {
+                        client.predict("m", &targets).expect("predict")
+                    };
+                    assert!(served.mean.iter().all(|v| v.is_finite()));
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let (wire, serve) = server.shutdown();
+    let total_requests = (clients * per_client) as f64;
+    println!("\n{} wire requests in {:.1} ms", total_requests, wall * 1e3);
+    println!(
+        "  throughput        {:>10.0} queries/s",
+        total_requests / wall
+    );
+    println!(
+        "  points served     {:>10} ({} per request)",
+        serve.points_served, points
+    );
+    println!("  batches executed  {:>10}", serve.batches_executed);
+    println!(
+        "  mean batch size   {:>10.1} requests",
+        serve.mean_batch_requests()
+    );
+    println!(
+        "  coalesced         {:>10} requests",
+        serve.requests_coalesced
+    );
+    println!("  queue high-water  {:>10}", serve.max_queue_depth);
+    println!(
+        "  latency mean/max  {:>7.0} / {:.0} µs (server-side)",
+        serve.mean_latency_seconds() * 1e6,
+        serve.max_latency_seconds * 1e6
+    );
+    println!(
+        "  wire: {} conns, {} ok, {} client-err, {} server-err, {} malformed",
+        wire.connections_accepted,
+        wire.requests_ok,
+        wire.requests_client_error,
+        wire.requests_server_error,
+        wire.malformed_requests
+    );
+    println!(
+        "  factorizations during serving: {} (must be 0); panics contained: {} (must be 0)",
+        serve.factorizations_during_serving, wire.panics_contained
+    );
+    assert_eq!(serve.requests_served as f64, total_requests);
+    assert_eq!(serve.factorizations_during_serving, 0);
+    assert_eq!(wire.panics_contained, 0);
+}

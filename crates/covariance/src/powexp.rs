@@ -177,6 +177,44 @@ impl ParamCovariance for PoweredExponentialKernel {
         self.params.covariance(self.metric.distance(a, b))
     }
 
+    fn fill_cross_row(&self, target: &Location, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        // Vectorized fast paths for the family's closed-form boundary
+        // powers: θ₃ = 1 is the exponential kernel (Matérn ν = ½) and
+        // θ₃ = 2 the Gaussian — both reduce to `σ·e^{−t}` forms the
+        // compiler vectorizes over `exp_neg`, with no `powf` in the loop.
+        // Every other power keeps the generic entry-wise path.
+        let p = self.params.power;
+        if self.metric != DistanceMetric::Euclidean || !(p == 1.0 || p == 2.0) {
+            return crate::kernel::fill_cross_row_generic(self, target, xs, ys, out);
+        }
+        assert_eq!(xs.len(), out.len(), "coordinate/output length mismatch");
+        assert_eq!(ys.len(), out.len(), "coordinate/output length mismatch");
+        let (tx, ty) = (target.x, target.y);
+        let sigma = self.params.variance;
+        if p == 2.0 {
+            // Gaussian: the squared distance feeds the exponential
+            // directly — no square root anywhere.
+            let inv_range2 = 1.0 / (self.params.range * self.params.range);
+            for ((dst, &ox), &oy) in out.iter_mut().zip(xs).zip(ys) {
+                let dx = tx - ox;
+                let dy = ty - oy;
+                *dst = -(dx * dx + dy * dy) * inv_range2;
+            }
+        } else {
+            // Exponential: one sqrt per entry (sub/mul/sqrt vectorize on
+            // baseline x86-64), negated scaled distance into the exp pass.
+            let inv_range = 1.0 / self.params.range;
+            for ((dst, &ox), &oy) in out.iter_mut().zip(xs).zip(ys) {
+                let dx = tx - ox;
+                let dy = ty - oy;
+                *dst = -(dx * dx + dy * dy).sqrt() * inv_range;
+            }
+        }
+        for v in out.iter_mut() {
+            *v = sigma * crate::fastmath::exp_neg(*v);
+        }
+    }
+
     fn sill(&self) -> f64 {
         self.params.variance
     }
@@ -252,6 +290,95 @@ mod tests {
             PoweredExponentialKernel::param_names(),
             ["variance", "range", "power"]
         );
+    }
+
+    #[test]
+    fn closed_form_fill_matches_generic_path_at_boundary_powers() {
+        // The vectorized θ₃ ∈ {1, 2} rows must agree with the generic
+        // entry-wise fill (fast exp: ≤ ~3e-13 relative), and every other
+        // configuration must fall back to it *exactly*.
+        let locs: Vec<Location> = (0..41)
+            .map(|i| Location::new((i as f64 * 0.31) % 1.0, (i as f64 * 0.47) % 1.0))
+            .collect();
+        let xs: Vec<f64> = locs.iter().map(|l| l.x).collect();
+        let ys: Vec<f64> = locs.iter().map(|l| l.y).collect();
+        let target = Location::new(0.33, 0.77);
+        for (metric, power) in [
+            (DistanceMetric::Euclidean, 1.0),     // exponential fast path
+            (DistanceMetric::Euclidean, 2.0),     // Gaussian fast path
+            (DistanceMetric::Euclidean, 1.5),     // generic (powf)
+            (DistanceMetric::GreatCircleKm, 1.0), // generic (metric)
+        ] {
+            let k = PoweredExponentialKernel::new(
+                Arc::new(locs.clone()),
+                PoweredExponentialParams::new(1.7, 0.12, power),
+                metric,
+                0.0,
+            );
+            let mut fast = vec![f64::NAN; locs.len()];
+            let mut reference = vec![f64::NAN; locs.len()];
+            k.fill_cross_row(&target, &xs, &ys, &mut fast);
+            crate::kernel::fill_cross_row_generic(&k, &target, &xs, &ys, &mut reference);
+            let closed_form = metric == DistanceMetric::Euclidean && (power == 1.0 || power == 2.0);
+            for (i, (got, want)) in fast.iter().zip(&reference).enumerate() {
+                if closed_form {
+                    assert!(
+                        (got - want).abs() <= 1e-12 * want.abs().max(1e-300),
+                        "p={power} {metric:?} entry {i}: {got} vs {want}"
+                    );
+                } else {
+                    assert_eq!(got, want, "p={power} {metric:?} entry {i} must be exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_power_fills_match_the_sibling_families() {
+        // p = 1 ≡ Matérn ν = ½ and p = 2 ≡ Gaussian: the specialized rows
+        // must agree with those families' own vectorized fills exactly
+        // (identical arithmetic, same exp_neg).
+        let locs: Vec<Location> = (0..23)
+            .map(|i| Location::new((i as f64 * 0.19) % 1.0, (i as f64 * 0.71) % 1.0))
+            .collect();
+        let xs: Vec<f64> = locs.iter().map(|l| l.x).collect();
+        let ys: Vec<f64> = locs.iter().map(|l| l.y).collect();
+        let target = Location::new(0.52, 0.18);
+        let arc = Arc::new(locs.clone());
+
+        let pe1 = PoweredExponentialKernel::new(
+            arc.clone(),
+            PoweredExponentialParams::new(1.3, 0.2, 1.0),
+            DistanceMetric::Euclidean,
+            0.0,
+        );
+        let matern = crate::kernel::MaternKernel::new(
+            arc.clone(),
+            MaternParams::new(1.3, 0.2, 0.5),
+            DistanceMetric::Euclidean,
+            0.0,
+        );
+        let mut row_pe = vec![0.0; locs.len()];
+        let mut row_sib = vec![0.0; locs.len()];
+        pe1.fill_cross_row(&target, &xs, &ys, &mut row_pe);
+        matern.fill_cross_row(&target, &xs, &ys, &mut row_sib);
+        assert_eq!(row_pe, row_sib, "p = 1 must equal the Matérn ν = ½ fill");
+
+        let pe2 = PoweredExponentialKernel::new(
+            arc.clone(),
+            PoweredExponentialParams::new(1.3, 0.2, 2.0),
+            DistanceMetric::Euclidean,
+            0.0,
+        );
+        let gaussian = crate::gaussian::GaussianKernel::new(
+            arc,
+            crate::gaussian::GaussianParams::new(1.3, 0.2),
+            DistanceMetric::Euclidean,
+            0.0,
+        );
+        pe2.fill_cross_row(&target, &xs, &ys, &mut row_pe);
+        gaussian.fill_cross_row(&target, &xs, &ys, &mut row_sib);
+        assert_eq!(row_pe, row_sib, "p = 2 must equal the Gaussian fill");
     }
 
     #[test]

@@ -27,6 +27,43 @@ struct Inner<K: ParamCovariance> {
     models: HashMap<String, Entry<K>>,
     bytes: usize,
     clock: u64,
+    /// Lifetime counters behind the same lock as the map they describe, so
+    /// a [`RegistryStats`] snapshot is always internally consistent.
+    insertions: u64,
+    evictions: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// One resident model as reported by [`ModelRegistry::entries`] (and the
+/// wire front-end's `GET /v1/models`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registered name.
+    pub name: String,
+    /// Bytes held by the model's factored representation.
+    pub factor_bytes: usize,
+}
+
+/// A consistent snapshot of a [`ModelRegistry`]'s state and lifetime
+/// counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Models currently resident.
+    pub resident_models: usize,
+    /// Total factor bytes currently resident.
+    pub bytes_in_use: usize,
+    /// The configured byte budget, if any.
+    pub byte_budget: Option<usize>,
+    /// Lifetime [`ModelRegistry::insert`] calls.
+    pub insertions: u64,
+    /// Lifetime models evicted by the byte budget (LRU evictions only;
+    /// explicit [`ModelRegistry::evict`] calls are not counted).
+    pub evictions: u64,
+    /// Lifetime [`ModelRegistry::get`] calls that found their model.
+    pub hits: u64,
+    /// Lifetime [`ModelRegistry::get`] calls that missed.
+    pub misses: u64,
 }
 
 /// A named collection of fitted sessions with LRU eviction under an
@@ -54,6 +91,10 @@ impl<K: ParamCovariance> ModelRegistry<K> {
                 models: HashMap::new(),
                 bytes: 0,
                 clock: 0,
+                insertions: 0,
+                evictions: 0,
+                hits: 0,
+                misses: 0,
             }),
             budget: None,
         }
@@ -80,6 +121,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
         let bytes = model.factor_bytes();
         let mut inner = self.inner.lock().expect("registry lock");
         inner.clock += 1;
+        inner.insertions += 1;
         let stamp = inner.clock;
         if let Some(old) = inner.models.insert(
             name.clone(),
@@ -105,6 +147,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
                 let Some(victim) = victim else { break };
                 let entry = inner.models.remove(&victim).expect("victim exists");
                 inner.bytes -= entry.bytes;
+                inner.evictions += 1;
                 evicted.push(victim);
             }
         }
@@ -116,9 +159,18 @@ impl<K: ParamCovariance> ModelRegistry<K> {
         let mut inner = self.inner.lock().expect("registry lock");
         inner.clock += 1;
         let stamp = inner.clock;
-        let entry = inner.models.get_mut(name)?;
-        entry.last_used = stamp;
-        Some(Arc::clone(&entry.model))
+        match inner.models.get_mut(name) {
+            Some(entry) => {
+                entry.last_used = stamp;
+                let model = Arc::clone(&entry.model);
+                inner.hits += 1;
+                Some(model)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
     }
 
     /// Removes a model by name; `true` if it was resident.
@@ -174,6 +226,45 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             .collect();
         names.sort();
         names
+    }
+
+    /// Resident models with their per-model byte costs, sorted by name
+    /// (does not bump recency) — the `GET /v1/models` payload.
+    pub fn entries(&self) -> Vec<ModelInfo> {
+        self.snapshot().0
+    }
+
+    /// A consistent snapshot of residency and lifetime counters (see
+    /// [`ModelRegistry::snapshot`] for the consistency guarantee).
+    pub fn stats(&self) -> RegistryStats {
+        self.snapshot().1
+    }
+
+    /// Entry list and statistics under **one** lock acquisition, so the
+    /// two halves always describe the same registry state (`bytes_in_use`
+    /// equals the sum of the listed `factor_bytes`, even while concurrent
+    /// inserts evict).
+    pub fn snapshot(&self) -> (Vec<ModelInfo>, RegistryStats) {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut entries: Vec<ModelInfo> = inner
+            .models
+            .iter()
+            .map(|(name, entry)| ModelInfo {
+                name: name.clone(),
+                factor_bytes: entry.bytes,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let stats = RegistryStats {
+            resident_models: inner.models.len(),
+            bytes_in_use: inner.bytes,
+            byte_budget: self.budget,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            hits: inner.hits,
+            misses: inner.misses,
+        };
+        (entries, stats)
     }
 }
 
@@ -257,6 +348,104 @@ mod tests {
         // Everything else goes, but the new model is kept.
         assert_eq!(evicted, vec!["small".to_string()]);
         assert_eq!(reg.names(), vec!["huge".to_string()]);
+    }
+
+    #[test]
+    fn stats_and_entries_observe_inserts_evictions_and_lookups() {
+        let a = fitted(1, Backend::FullTile);
+        let per_model = a.factor_bytes();
+        let reg = ModelRegistry::with_byte_budget(2 * per_model);
+        assert_eq!(
+            reg.stats(),
+            RegistryStats {
+                byte_budget: Some(2 * per_model),
+                ..Default::default()
+            }
+        );
+        reg.insert("a", a);
+        reg.insert("b", fitted(2, Backend::FullTile));
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("nope").is_none());
+        let evicted = reg.insert("c", fitted(3, Backend::FullTile));
+        assert_eq!(evicted, vec!["b".to_string()]);
+        let stats = reg.stats();
+        assert_eq!(stats.resident_models, 2);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.bytes_in_use, 2 * per_model);
+        let entries = reg.entries();
+        assert_eq!(
+            entries,
+            vec![
+                ModelInfo {
+                    name: "a".into(),
+                    factor_bytes: per_model
+                },
+                ModelInfo {
+                    name: "c".into(),
+                    factor_bytes: per_model
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn concurrent_insert_evict_stress_keeps_the_books_straight() {
+        // A handful of pre-fitted models Arc-shared across threads; the
+        // budget fits two of them, so inserts continually evict.
+        let models: Vec<Arc<FittedModel<MaternKernel>>> =
+            (0..3).map(|i| fitted(10 + i, Backend::FullTile)).collect();
+        let per_model = models[0].factor_bytes();
+        let reg = Arc::new(ModelRegistry::with_byte_budget(2 * per_model));
+        let threads = 8;
+        let ops_per_thread = 60;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let reg = Arc::clone(&reg);
+                let models = models.clone();
+                scope.spawn(move || {
+                    for op in 0..ops_per_thread {
+                        let name = format!("m{}", (t * 7 + op * 3) % 6);
+                        match op % 4 {
+                            0 | 1 => {
+                                reg.insert(&name, Arc::clone(&models[op % models.len()]));
+                            }
+                            2 => {
+                                if let Some(model) = reg.get(&name) {
+                                    assert!(model.factor_bytes() > 0);
+                                }
+                            }
+                            _ => {
+                                reg.evict(&name);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Invariants after the dust settles: the byte ledger equals the sum
+        // over resident entries, residency respects the budget shape, and
+        // the lifetime counters add up.
+        let stats = reg.stats();
+        let entries = reg.entries();
+        assert_eq!(stats.resident_models, entries.len());
+        assert_eq!(
+            stats.bytes_in_use,
+            entries.iter().map(|e| e.factor_bytes).sum::<usize>()
+        );
+        assert_eq!(stats.bytes_in_use, reg.bytes_in_use());
+        assert!(stats.bytes_in_use <= 2 * per_model);
+        assert_eq!(stats.insertions, (threads * ops_per_thread / 2) as u64);
+        assert_eq!(
+            stats.hits + stats.misses,
+            (threads * ops_per_thread / 4) as u64
+        );
+        assert!(stats.evictions <= stats.insertions);
+        // The registry still works after the stampede.
+        reg.insert("after", Arc::clone(&models[0]));
+        assert!(reg.get("after").is_some());
     }
 
     #[test]

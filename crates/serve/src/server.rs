@@ -72,6 +72,11 @@ pub enum ServeError {
     /// The model rejected the query (empty/non-finite targets) or failed to
     /// answer it; carries the rendered `ModelError`.
     Rejected(String),
+    /// The prediction call itself panicked on a worker (contained, the
+    /// worker survives); carries the rendered panic payload. A server
+    /// fault, not a client mistake — front-ends should map it to 5xx,
+    /// unlike [`ServeError::Rejected`].
+    Panicked(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -83,6 +88,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "server overloaded ({queue_depth} requests queued)")
             }
             ServeError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+            ServeError::Panicked(msg) => write!(f, "prediction panicked: {msg}"),
         }
     }
 }
@@ -245,6 +251,23 @@ impl<K: ParamCovariance> ServerHandle<K> {
         targets: Vec<Location>,
     ) -> Result<ServedPrediction, ServeError> {
         self.submit(model, targets)?.wait()
+    }
+
+    /// Submit-and-wait convenience including conditional variances — the
+    /// shape a synchronous front-end request (e.g. one `exa-wire` HTTP
+    /// request) maps onto: one call, one coalesced batch membership.
+    pub fn predict_with_variance(
+        &self,
+        model: &str,
+        targets: Vec<Location>,
+    ) -> Result<ServedPrediction, ServeError> {
+        self.submit_with_variance(model, targets)?.wait()
+    }
+
+    /// Requests currently queued (submitted, not yet claimed by a worker) —
+    /// the live companion to [`ServerStats::max_queue_depth`].
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").items.len()
     }
 
     /// Current statistics snapshot.
@@ -474,8 +497,8 @@ fn process_batch<K: ParamCovariance>(shared: &Shared<K>, batch: Vec<Pending<K>>,
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "prediction panicked".into());
-            Err(ServeError::Rejected(format!("prediction panicked: {msg}")))
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Err(ServeError::Panicked(msg))
         });
     let counters = &shared.counters;
     counters.batches.fetch_add(1, Ordering::Relaxed);

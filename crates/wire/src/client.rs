@@ -1,0 +1,379 @@
+//! A blocking keep-alive client for the wire protocol.
+//!
+//! [`WireClient`] owns one TCP connection and reuses it across requests
+//! (HTTP/1.1 keep-alive) — the shape the load generator and the benches
+//! drive concurrency with: one client per thread, many requests per
+//! connection. Typed helpers cover every endpoint; the raw JSON of a
+//! response is always reachable through [`WireClient::get_json`].
+
+use crate::http::status_reason;
+use crate::json::{Json, JsonWriter};
+use exa_covariance::Location;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Clone, Debug)]
+pub enum WireError {
+    /// Socket-level failure (connect, read, write, unexpected close).
+    Io(String),
+    /// The server spoke something this client could not parse.
+    Protocol(String),
+    /// A structured error response from the server.
+    Api {
+        status: u16,
+        code: String,
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(msg) => write!(f, "socket error: {msg}"),
+            WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            WireError::Api {
+                status,
+                code,
+                message,
+            } => {
+                write!(f, "{status} {} [{code}]: {message}", status_reason(*status))
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(err: std::io::Error) -> Self {
+        WireError::Io(err.to_string())
+    }
+}
+
+/// One answered prediction request, decoded.
+#[derive(Clone, Debug)]
+pub struct WirePrediction {
+    /// Kriging means, one per requested target.
+    pub mean: Vec<f64>,
+    /// Conditional variances when requested.
+    pub variance: Option<Vec<f64>>,
+    /// Requests that shared the server-side coalesced batch (≥ 1).
+    pub coalesced_requests: u64,
+    /// Total prediction points in that batch.
+    pub batch_points: u64,
+    /// Server-side submit → response latency, seconds.
+    pub latency_seconds: f64,
+}
+
+/// One resident model from `GET /v1/models`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireModelInfo {
+    pub name: String,
+    pub factor_bytes: u64,
+}
+
+/// The decoded `GET /v1/models` payload: residency plus the registry's
+/// lifetime counters (insertions/evictions make LRU churn observable over
+/// the wire).
+#[derive(Clone, Debug)]
+pub struct WireModels {
+    pub models: Vec<WireModelInfo>,
+    pub bytes_in_use: u64,
+    pub byte_budget: Option<u64>,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// A blocking keep-alive connection to a [`WireServer`](crate::WireServer).
+pub struct WireClient {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed (the tail of a previous fill).
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WireClient {
+    /// Connects; requests issued through this client share the one
+    /// connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(WireClient {
+            stream,
+            buf: Vec::with_capacity(4096),
+            pos: 0,
+        })
+    }
+
+    /// `POST /v1/models/{name}/predict` for kriging means.
+    pub fn predict(
+        &mut self,
+        model: &str,
+        targets: &[Location],
+    ) -> Result<WirePrediction, WireError> {
+        self.predict_inner(model, targets, false)
+    }
+
+    /// `POST /v1/models/{name}/predict` with conditional variances.
+    pub fn predict_with_variance(
+        &mut self,
+        model: &str,
+        targets: &[Location],
+    ) -> Result<WirePrediction, WireError> {
+        self.predict_inner(model, targets, true)
+    }
+
+    /// `GET /v1/models`, decoded.
+    pub fn models(&mut self) -> Result<WireModels, WireError> {
+        let doc = self.get_json("/v1/models")?;
+        let entries = doc
+            .get("models")
+            .and_then(Json::as_array)
+            .ok_or_else(|| protocol("models response missing \"models\" array"))?;
+        let mut models = Vec::with_capacity(entries.len());
+        for entry in entries {
+            models.push(WireModelInfo {
+                name: entry
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| protocol("model entry missing \"name\""))?
+                    .to_string(),
+                factor_bytes: entry
+                    .get("factor_bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| protocol("model entry missing \"factor_bytes\""))?,
+            });
+        }
+        let byte_budget = match doc.get("byte_budget") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| protocol("\"byte_budget\" must be an integer or null"))?,
+            ),
+        };
+        Ok(WireModels {
+            models,
+            bytes_in_use: field_u64(&doc, "bytes_in_use")?,
+            byte_budget,
+            insertions: field_u64(&doc, "insertions")?,
+            evictions: field_u64(&doc, "evictions")?,
+            hits: field_u64(&doc, "hits")?,
+            misses: field_u64(&doc, "misses")?,
+        })
+    }
+
+    /// `GET /v1/stats` as raw JSON (`{"wire": {...}, "serve": {...}}`); the
+    /// counter set grows over time, so the client stays schema-agnostic.
+    pub fn stats(&mut self) -> Result<Json, WireError> {
+        self.get_json("/v1/stats")
+    }
+
+    /// `GET /healthz`; `Ok` exactly when the server answers healthy.
+    pub fn health(&mut self) -> Result<(), WireError> {
+        let doc = self.get_json("/healthz")?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some("ok") => Ok(()),
+            other => Err(protocol(&format!("unexpected health status {other:?}"))),
+        }
+    }
+
+    /// `GET` any endpoint, returning the decoded JSON body of a `200`.
+    pub fn get_json(&mut self, path: &str) -> Result<Json, WireError> {
+        let (status, doc) = self.roundtrip("GET", path, None)?;
+        expect_ok(status, doc)
+    }
+
+    fn predict_inner(
+        &mut self,
+        model: &str,
+        targets: &[Location],
+        variance: bool,
+    ) -> Result<WirePrediction, WireError> {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("targets");
+        w.begin_array();
+        for t in targets {
+            w.begin_array();
+            w.number(t.x);
+            w.number(t.y);
+            w.end_array();
+        }
+        w.end_array();
+        if variance {
+            w.key("variance");
+            w.boolean(true);
+        }
+        w.end_object();
+        let body = w.finish();
+        let path = format!("/v1/models/{model}/predict");
+        let (status, doc) = self.roundtrip("POST", &path, Some(body.as_bytes()))?;
+        let doc = expect_ok(status, doc)?;
+        let mean = doc
+            .get("mean")
+            .and_then(Json::as_array)
+            .ok_or_else(|| protocol("predict response missing \"mean\" array"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| protocol("non-numeric mean")))
+            .collect::<Result<Vec<f64>, WireError>>()?;
+        let variance = match doc.get("variance") {
+            None => None,
+            Some(v) => Some(
+                v.as_array()
+                    .ok_or_else(|| protocol("\"variance\" must be an array"))?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| protocol("non-numeric variance")))
+                    .collect::<Result<Vec<f64>, WireError>>()?,
+            ),
+        };
+        Ok(WirePrediction {
+            mean,
+            variance,
+            coalesced_requests: field_u64(&doc, "coalesced_requests")?,
+            batch_points: field_u64(&doc, "batch_points")?,
+            latency_seconds: doc
+                .get("latency_seconds")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| protocol("predict response missing \"latency_seconds\""))?,
+        })
+    }
+
+    /// Sends one request and reads one response off the shared connection.
+    fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Json), WireError> {
+        let body = body.unwrap_or(b"");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: exa-wire\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len(),
+        );
+        let mut message = Vec::with_capacity(head.len() + body.len());
+        message.extend_from_slice(head.as_bytes());
+        message.extend_from_slice(body);
+        self.stream.write_all(&message)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<(u16, Json), WireError> {
+        // Status line + headers, terminated by a blank line.
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split_ascii_whitespace();
+        let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+            return Err(protocol(&format!("bad status line {status_line:?}")));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(protocol(&format!("bad HTTP version {version:?}")));
+        }
+        let status: u16 = code
+            .parse()
+            .map_err(|_| protocol(&format!("bad status code {code:?}")))?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| protocol("bad Content-Length"))?,
+                    );
+                }
+            }
+        }
+        let length = content_length.ok_or_else(|| protocol("response missing Content-Length"))?;
+        let body = self.read_exact_bytes(length)?;
+        let text = std::str::from_utf8(&body).map_err(|_| protocol("response is not UTF-8"))?;
+        let doc =
+            Json::parse(text).map_err(|e| protocol(&format!("undecodable response body: {e}")))?;
+        Ok((status, doc))
+    }
+
+    fn read_line(&mut self) -> Result<String, WireError> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let raw = &self.buf[self.pos..self.pos + nl];
+                let line = std::str::from_utf8(raw)
+                    .map_err(|_| protocol("response preamble is not UTF-8"))?
+                    .trim_end_matches('\r')
+                    .to_string();
+                self.pos += nl + 1;
+                return Ok(line);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn read_exact_bytes(&mut self, length: usize) -> Result<Vec<u8>, WireError> {
+        while self.buf.len() - self.pos < length {
+            self.fill()?;
+        }
+        let body = self.buf[self.pos..self.pos + length].to_vec();
+        self.pos += length;
+        // Keep the scratch buffer bounded across many keep-alive requests.
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        Ok(body)
+    }
+
+    fn fill(&mut self) -> Result<(), WireError> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(WireError::Io("server closed the connection".into())),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+fn protocol(message: &str) -> WireError {
+    WireError::Protocol(message.to_string())
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, WireError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| protocol(&format!("response missing numeric {key:?}")))
+}
+
+/// `200` passes the document through; anything else becomes a structured
+/// [`WireError::Api`] (decoding the server's error envelope when present).
+fn expect_ok(status: u16, doc: Json) -> Result<Json, WireError> {
+    if (200..300).contains(&status) {
+        return Ok(doc);
+    }
+    let (code, message) = match doc.get("error") {
+        Some(err) => (
+            err.get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            err.get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        ),
+        None => ("unknown".to_string(), String::new()),
+    };
+    Err(WireError::Api {
+        status,
+        code,
+        message,
+    })
+}

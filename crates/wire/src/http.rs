@@ -1,0 +1,586 @@
+//! A minimal HTTP/1.1 server-side implementation on plain `std::io`.
+//!
+//! The build environment has no crates.io access, so there is no hyper —
+//! this module hand-rolls exactly the subset the prediction front-end
+//! needs: request-line + header parsing, `Content-Length` body framing,
+//! keep-alive connection reuse, and hard limits on header/body sizes so a
+//! misbehaving client cannot balloon a connection thread's memory.
+//!
+//! What is deliberately **not** implemented: chunked transfer encoding
+//! (rejected with `501`), HTTP/2, TLS, multipart. The wire protocol is
+//! small JSON documents over `Content-Length`-framed requests; anything
+//! else is an error response, never a panic.
+//!
+//! # Blocking model
+//!
+//! [`HttpConnection::read_request`] is called on a connection thread whose
+//! stream has a short read timeout. Timeouts while *waiting for a request*
+//! poll the caller's `abort` flag (that is how graceful shutdown reaches
+//! idle keep-alive connections); timeouts *inside* a request count against
+//! [`Limits::request_deadline`] so a slow-loris client is eventually
+//! disconnected rather than pinning a thread forever.
+
+use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Size/time limits enforced while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Cap on the request line + headers, bytes.
+    pub max_header_bytes: usize,
+    /// Cap on the declared `Content-Length`, bytes.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for receiving one full request once its first byte
+    /// has arrived.
+    pub request_deadline: Duration,
+    /// How long to wait for the *first* byte of the next request on an
+    /// otherwise idle keep-alive connection. Without this bound, silent
+    /// sockets would hold their connection slot forever.
+    pub idle_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            request_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Why reading a request off the wire failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Unparseable request line, header, or body framing → `400`.
+    Malformed(String),
+    /// The preamble outgrew [`Limits::max_header_bytes`] → `431`.
+    HeadersTooLarge { limit: usize },
+    /// Declared `Content-Length` exceeds [`Limits::max_body_bytes`] → `413`.
+    BodyTooLarge { declared: usize, limit: usize },
+    /// `Transfer-Encoding` framing this server does not implement → `501`.
+    UnsupportedTransferEncoding,
+    /// An HTTP version other than 1.0/1.1 → `505`.
+    UnsupportedVersion(String),
+    /// The client closed the connection **between** requests: the clean end
+    /// of a keep-alive session, not an error.
+    Closed,
+    /// The client vanished mid-request (EOF before the framing completed).
+    Disconnected,
+    /// The caller's abort flag tripped while waiting for the next request.
+    Aborted,
+    /// [`Limits::idle_timeout`] elapsed with no request bytes at all: an
+    /// idle keep-alive connection being reclaimed, not a protocol error.
+    IdleTimeout,
+    /// [`Limits::request_deadline`] elapsed mid-request.
+    Timeout,
+    /// Any other socket error.
+    Io(String),
+}
+
+impl HttpError {
+    /// The status code to answer with, when the failure is answerable at
+    /// all (`None` means the connection is beyond responding — just close).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Malformed(_) => Some(400),
+            HttpError::HeadersTooLarge { .. } => Some(431),
+            HttpError::BodyTooLarge { .. } => Some(413),
+            HttpError::UnsupportedTransferEncoding => Some(501),
+            HttpError::UnsupportedVersion(_) => Some(505),
+            HttpError::Closed
+            | HttpError::Disconnected
+            | HttpError::Aborted
+            | HttpError::IdleTimeout
+            | HttpError::Timeout
+            | HttpError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::HeadersTooLarge { limit } => {
+                write!(f, "request headers exceed {limit} bytes")
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds {limit} byte limit"
+                )
+            }
+            HttpError::UnsupportedTransferEncoding => {
+                write!(
+                    f,
+                    "transfer encodings are not supported; use Content-Length"
+                )
+            }
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Disconnected => write!(f, "client disconnected mid-request"),
+            HttpError::Aborted => write!(f, "server is shutting down"),
+            HttpError::IdleTimeout => write!(f, "idle connection timed out"),
+            HttpError::Timeout => write!(f, "timed out reading request"),
+            HttpError::Io(msg) => write!(f, "socket error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request: the method/target line, lower-cased headers and the
+/// `Content-Length`-framed body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// The raw request target (path plus any query string).
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request path without any query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection` header overrides either.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Server side of one TCP connection: buffers the byte stream and carves
+/// `Content-Length`-framed requests out of it (leftover bytes after one
+/// request seed the next — that is what makes keep-alive work).
+pub struct HttpConnection<R: Read> {
+    reader: R,
+    limits: Limits,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted between requests.
+    pos: usize,
+}
+
+/// Outcome of one buffered read.
+enum Fill {
+    /// More bytes arrived.
+    Data,
+    /// Orderly EOF from the peer.
+    Eof,
+    /// The read timed out (stream has a read timeout); caller decides
+    /// whether to retry or give up.
+    TimedOut,
+}
+
+impl<R: Read> HttpConnection<R> {
+    pub fn new(reader: R, limits: Limits) -> Self {
+        HttpConnection {
+            reader,
+            limits,
+            buf: Vec::with_capacity(4096),
+            pos: 0,
+        }
+    }
+
+    /// Reads the next request. Blocks until one arrives, the peer closes,
+    /// `abort()` turns true (polled on read timeouts while idle), or the
+    /// request violates a limit.
+    pub fn read_request(&mut self, abort: impl Fn() -> bool) -> Result<Request, HttpError> {
+        self.compact();
+        // Phase 1 — wait for the first byte (idle keep-alive): timeouts
+        // here poll the abort flag, bounded by the idle timeout so a silent
+        // socket cannot hold its connection slot forever.
+        let idle_deadline = Instant::now() + self.limits.idle_timeout;
+        while self.buf.len() == self.pos {
+            if abort() {
+                return Err(HttpError::Aborted);
+            }
+            match self.fill()? {
+                Fill::Data => break,
+                Fill::Eof => return Err(HttpError::Closed),
+                Fill::TimedOut => {
+                    if Instant::now() >= idle_deadline {
+                        return Err(HttpError::IdleTimeout);
+                    }
+                }
+            }
+        }
+        // Phase 2 — the request has started; everything below must finish
+        // within the per-request deadline.
+        let deadline = Instant::now() + self.limits.request_deadline;
+        let header_end = loop {
+            if let Some(end) = find_header_end(&self.buf[self.pos..]) {
+                break self.pos + end;
+            }
+            if self.buf.len() - self.pos > self.limits.max_header_bytes {
+                return Err(HttpError::HeadersTooLarge {
+                    limit: self.limits.max_header_bytes,
+                });
+            }
+            self.fill_until(deadline)?;
+        };
+        let head = std::str::from_utf8(&self.buf[self.pos..header_end])
+            .map_err(|_| HttpError::Malformed("preamble is not valid UTF-8".into()))?
+            .to_string();
+        if head.len() > self.limits.max_header_bytes {
+            return Err(HttpError::HeadersTooLarge {
+                limit: self.limits.max_header_bytes,
+            });
+        }
+        // Skip the blank line terminating the preamble.
+        self.pos = header_end;
+        self.skip_blank_line();
+        let (method, target, http11, headers) = parse_preamble(&head)?;
+        let content_length = body_length(&headers)?;
+        if content_length > self.limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge {
+                declared: content_length,
+                limit: self.limits.max_body_bytes,
+            });
+        }
+        // Phase 3 — the body, straight off the buffer + stream.
+        while self.buf.len() - self.pos < content_length {
+            self.fill_until(deadline)?;
+        }
+        let body = self.buf[self.pos..self.pos + content_length].to_vec();
+        self.pos += content_length;
+        Ok(Request {
+            method,
+            target,
+            http11,
+            headers,
+            body,
+        })
+    }
+
+    /// One buffered read from the underlying stream.
+    fn fill(&mut self) -> Result<Fill, HttpError> {
+        let mut chunk = [0u8; 4096];
+        match self.reader.read(&mut chunk) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(Fill::Data)
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Ok(Fill::TimedOut)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(Fill::TimedOut),
+            Err(e) => Err(HttpError::Io(e.to_string())),
+        }
+    }
+
+    /// `fill` for mid-request reads: EOF is a disconnect, and timeouts
+    /// retry until `deadline`.
+    fn fill_until(&mut self, deadline: Instant) -> Result<(), HttpError> {
+        loop {
+            match self.fill()? {
+                Fill::Data => return Ok(()),
+                Fill::Eof => return Err(HttpError::Disconnected),
+                Fill::TimedOut => {
+                    if Instant::now() >= deadline {
+                        return Err(HttpError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops the `\r\n\r\n` / `\n\n` that `find_header_end` stopped at.
+    fn skip_blank_line(&mut self) {
+        if self.buf[self.pos..].starts_with(b"\r\n\r\n") {
+            self.pos += 4;
+        } else if self.buf[self.pos..].starts_with(b"\n\n") {
+            self.pos += 2;
+        }
+    }
+
+    /// Reclaims consumed bytes between requests.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// Offset of the preamble terminator (exclusive of the blank line), if the
+/// buffer already holds a complete `\r\n\r\n`- or `\n\n`-terminated head.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    // Earliest terminator of either style wins, so a body containing
+    // `\r\n\r\n` can never swallow a bare-LF preamble (or vice versa).
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Parses the request line + header lines out of the UTF-8 preamble.
+#[allow(clippy::type_complexity)]
+fn parse_preamble(head: &str) -> Result<(String, String, bool, Vec<(String, String)>), HttpError> {
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !method.chars().all(|c| c.is_ascii_alphabetic()) || method.is_empty() {
+        return Err(HttpError::Malformed(format!("bad method {method:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed(format!(
+            "request target {target:?} must be origin-form"
+        )));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(HttpError::UnsupportedVersion(other.to_string())),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(HttpError::Malformed(
+                "obsolete header line folding is not supported".into(),
+            ));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), target.to_string(), http11, headers))
+}
+
+/// Body length from the framing headers: `Content-Length` (validated,
+/// duplicates must agree) or zero; any `Transfer-Encoding` is refused.
+fn body_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let mut length: Option<usize> = None;
+    for (name, value) in headers {
+        if name != "content-length" {
+            continue;
+        }
+        let parsed: usize = value
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        match length {
+            Some(prev) if prev != parsed => {
+                return Err(HttpError::Malformed(
+                    "conflicting Content-Length headers".into(),
+                ));
+            }
+            _ => length = Some(parsed),
+        }
+    }
+    Ok(length.unwrap_or(0))
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one JSON response with explicit framing and writes it in a
+/// single `write_all`.
+pub fn write_response(
+    mut w: impl Write,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut message = Vec::with_capacity(head.len() + body.len());
+    message.extend_from_slice(head.as_bytes());
+    message.extend_from_slice(body);
+    w.write_all(&message)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn(bytes: &[u8]) -> HttpConnection<&[u8]> {
+        HttpConnection::new(bytes, Limits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_keep_alive() {
+        let raw = b"POST /v1/models/m/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = conn(raw).read_request(|| false).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/models/m/predict");
+        assert!(req.http11);
+        assert!(req.keep_alive());
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn carves_pipelined_requests_out_of_one_stream() {
+        let raw =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut c = conn(raw);
+        let first = c.read_request(|| false).unwrap();
+        assert_eq!(first.path(), "/healthz");
+        assert!(first.keep_alive());
+        let second = c.read_request(|| false).unwrap();
+        assert_eq!(second.path(), "/v1/stats");
+        assert!(!second.keep_alive());
+        assert!(matches!(c.read_request(|| false), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_can_opt_in() {
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let req = conn(raw).read_request(|| false).unwrap();
+        assert!(!req.keep_alive());
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let req = conn(raw).read_request(|| false).unwrap();
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn malformed_preambles_are_errors_not_panics() {
+        for raw in [
+            &b"NOT A REQUEST\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"G=T / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            b"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n",
+            b"\xff\xfe / HTTP/1.1\r\n\r\n",
+        ] {
+            let err = conn(raw).read_request(|| false).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    HttpError::Malformed(_) | HttpError::UnsupportedVersion(_)
+                ),
+                "{raw:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_with_501() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let err = conn(raw).read_request(|| false).unwrap_err();
+        assert!(matches!(err, HttpError::UnsupportedTransferEncoding));
+        assert_eq!(err.status(), Some(501));
+    }
+
+    #[test]
+    fn oversized_headers_and_bodies_are_refused() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(vec![b'a'; 64 * 1024]);
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = conn(&raw).read_request(|| false).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge { .. }));
+        assert_eq!(err.status(), Some(431));
+
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        let err = conn(raw).read_request(|| false).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { .. }));
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn truncated_requests_surface_as_disconnects() {
+        // Headers cut off mid-line.
+        let err = conn(b"GET / HT").read_request(|| false).unwrap_err();
+        assert!(matches!(err, HttpError::Disconnected), "{err:?}");
+        // Body shorter than its Content-Length.
+        let err = conn(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .read_request(|| false)
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Disconnected), "{err:?}");
+        // Nothing at all: the clean keep-alive close.
+        let err = conn(b"").read_request(|| false).unwrap_err();
+        assert!(matches!(err, HttpError::Closed), "{err:?}");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let raw = b"POST /p HTTP/1.1\nContent-Length: 2\n\nhi";
+        let req = conn(raw).read_request(|| false).unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn response_writer_frames_and_reports_connection_state() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, br#"{"ok":true}"#, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 503, b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,153 @@
+//! **exa-wire** — a zero-dependency HTTP/1.1 wire front-end for the
+//! `exa-serve` prediction server.
+//!
+//! PR 3 made the paper's fit-once/predict-many workflow a real serving
+//! subsystem, but an in-process one: every client had to link the crate.
+//! This crate puts that subsystem on a socket — the surface ExaGeoStatR
+//! exposes to remote consumers — with **no external dependencies**: a
+//! hand-rolled HTTP/1.1 implementation over [`std::net`] ([`http`]), a
+//! small JSON codec ([`json`]), a thread-per-connection accept loop with a
+//! connection cap and graceful shutdown ([`WireServer`]), and a blocking
+//! keep-alive client ([`WireClient`]).
+//!
+//! ```text
+//!  clients (curl, WireClient, wire_loadgen)
+//!      │ HTTP/1.1 keep-alive, JSON bodies
+//!      ▼
+//!  accept loop ──▶ connection threads (≤ max_connections, catch_unwind)
+//!      │                 │ parse → route → submit
+//!      ▼                 ▼
+//!  WireStats        PredictionServer (micro-batching workers)
+//!                        │
+//!                   ModelRegistry (LRU, byte budget)
+//! ```
+//!
+//! One wire request maps onto **one** [`ServerHandle`] submission, so all
+//! of a request's targets share one coalesced `predict_batch` membership —
+//! and concurrent wire requests against the same model coalesce with each
+//! other exactly like in-process submitters do.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | answer |
+//! |---|---|---|
+//! | `POST /v1/models/{name}/predict` | predict request | predict response |
+//! | `GET /v1/models` | — | residency + registry counters |
+//! | `GET /v1/stats` | — | wire + serving statistics |
+//! | `GET /healthz` | — | `{"status":"ok","models":N}` |
+//!
+//! # Wire schema
+//!
+//! Requests and responses are `Content-Length`-framed JSON documents
+//! (chunked transfer encoding is rejected with `501`).
+//!
+//! **Predict request** — `targets` is an array of `[x, y]` coordinate
+//! pairs; `variance` (optional, default `false`) additionally requests
+//! conditional variances:
+//!
+//! ```json
+//! {"targets": [[0.25, 0.75], [0.5, 0.5]], "variance": true}
+//! ```
+//!
+//! **Predict response** — `mean[i]` (and `variance[i]` when requested)
+//! answers `targets[i]`; the remaining fields surface the micro-batching
+//! this request took part in:
+//!
+//! ```json
+//! {"model": "soil", "mean": [1.25, -0.5], "variance": [0.8, 0.9],
+//!  "points": 2, "coalesced_requests": 4, "batch_points": 12,
+//!  "latency_seconds": 0.0021}
+//! ```
+//!
+//! Numbers are encoded in Rust's shortest-round-trip form and decoded with
+//! full precision, so means fetched over the wire are **bit-identical** to
+//! in-process [`FittedModel::predict_batch`] results.
+//!
+//! **Models response** — residency plus the registry's lifetime counters
+//! (`evictions` makes insert-over-budget LRU churn observable remotely):
+//!
+//! ```json
+//! {"models": [{"name": "soil", "factor_bytes": 524288}],
+//!  "resident_models": 1, "bytes_in_use": 524288, "byte_budget": null,
+//!  "insertions": 3, "evictions": 2, "hits": 41, "misses": 0}
+//! ```
+//!
+//! **Stats response** — `{"wire": {...}, "serve": {...}}` mirroring
+//! [`WireStats`] and [`ServerStats`] field for field (plus the live
+//! `queue_depth` and derived `mean_latency_seconds`).
+//!
+//! **Errors** — every failure is a status code plus a structured body,
+//! never a silently dropped connection:
+//!
+//! ```json
+//! {"error": {"code": "unknown_model", "message": "no model named \"x\" is registered"}}
+//! ```
+//!
+//! | status | `code` | meaning |
+//! |---|---|---|
+//! | 400 | `invalid_json` / `invalid_query` | undecodable body, malformed targets, rejected query |
+//! | 400/413/431/501/505 | `bad_request` | HTTP-level violation (bad preamble, oversized body/headers, chunked encoding, bad version) |
+//! | 404 | `unknown_model` / `unknown_path` | unregistered model, unrouted path |
+//! | 405 | `method_not_allowed` | right path, wrong verb |
+//! | 503 | `overloaded` / `shutting_down` | connection/queue caps, graceful shutdown |
+//! | 500 | `internal` | contained handler panic ([`WireStats::panics_contained`]) |
+//!
+//! # Example
+//!
+//! ```
+//! use exa_covariance::{Location, MaternKernel};
+//! use exa_geostat::{Backend, GeoModel};
+//! use exa_runtime::Runtime;
+//! use exa_serve::ModelRegistry;
+//! use exa_util::Rng;
+//! use exa_wire::{WireClient, WireConfig, WireServer};
+//! use std::sync::Arc;
+//!
+//! // Fit once (the only factorization anywhere in this example)...
+//! let rt = Runtime::new(2);
+//! let mut rng = Rng::seed_from_u64(7);
+//! let locations = Arc::new(exa_geostat::synthetic_locations(8, &mut rng));
+//! let truth = GeoModel::<MaternKernel>::builder()
+//!     .locations(locations.clone())
+//!     .tile_size(32)
+//!     .build()
+//!     .unwrap()
+//!     .at_params(&[1.0, 0.1, 0.5], &rt)
+//!     .unwrap();
+//! let z = truth.simulate(&mut rng, &rt);
+//! let fitted = GeoModel::<MaternKernel>::builder()
+//!     .locations(locations)
+//!     .data(z)
+//!     .backend(Backend::tlr(1e-9))
+//!     .tile_size(32)
+//!     .build()
+//!     .unwrap()
+//!     .at_params(&[1.0, 0.1, 0.5], &rt)
+//!     .unwrap();
+//!
+//! // ...register, serve on an ephemeral port, query over TCP.
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.insert("soil", Arc::new(fitted));
+//! let server = WireServer::start(registry, WireConfig::default()).unwrap();
+//! let mut client = WireClient::connect(server.local_addr()).unwrap();
+//! client.health().unwrap();
+//! let served = client
+//!     .predict("soil", &[Location::new(0.4, 0.6)])
+//!     .unwrap();
+//! assert!(served.mean[0].is_finite());
+//! let (wire, serve) = server.shutdown();
+//! assert_eq!(wire.requests_ok, 2);
+//! assert_eq!(serve.factorizations_during_serving, 0);
+//! ```
+//!
+//! [`ServerHandle`]: exa_serve::ServerHandle
+//! [`ServerStats`]: exa_serve::ServerStats
+//! [`FittedModel::predict_batch`]: exa_geostat::FittedModel::predict_batch
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use client::{WireClient, WireError, WireModelInfo, WireModels, WirePrediction};
+pub use server::{WireConfig, WireServer, WireStats};

@@ -1,0 +1,658 @@
+//! The TCP front-end: accept loop, connection threads, routing.
+//!
+//! [`WireServer::start`] binds a listener, spawns the underlying
+//! [`PredictionServer`] and an accept thread, and answers HTTP/1.1 requests
+//! with a thread per connection (bounded by
+//! [`WireConfig::max_connections`]; connections beyond the cap receive an
+//! immediate `503` and are closed). Every request handler runs inside
+//! `catch_unwind`, so a panic anywhere in parsing or prediction answers
+//! `500` and increments [`WireStats::panics_contained`] instead of killing
+//! the connection thread.
+//!
+//! Graceful shutdown ([`WireServer::shutdown`]) proceeds outside-in: stop
+//! accepting, let every connection finish its in-flight request (idle
+//! keep-alive connections notice within one read-timeout tick), join the
+//! connection threads, then drain and join the prediction server — queued
+//! predictions are all answered before the workers exit.
+
+use crate::http::{self, HttpConnection, HttpError, Limits, Request};
+use crate::json::{Json, JsonWriter};
+use exa_covariance::{Location, ParamCovariance};
+use exa_serve::{ModelRegistry, PredictionServer, ServeConfig, ServeError, ServerHandle};
+use std::io::{self, ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`WireServer`].
+#[derive(Clone, Debug)]
+pub struct WireConfig {
+    /// Address to bind; port 0 picks an ephemeral port (read it back with
+    /// [`WireServer::local_addr`]).
+    pub bind_addr: String,
+    /// Concurrent connections served; further accepts are answered with an
+    /// immediate `503` and closed.
+    pub max_connections: usize,
+    /// Cap on one request's preamble (request line + headers), bytes.
+    pub max_header_bytes: usize,
+    /// Cap on one request's declared `Content-Length`, bytes.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for receiving one request once started (slow-loris
+    /// guard).
+    pub request_deadline: Duration,
+    /// How long a keep-alive connection may sit idle (no request bytes)
+    /// before it is closed — without this, silent sockets could pin
+    /// [`WireConfig::max_connections`] slots forever.
+    pub idle_timeout: Duration,
+    /// Tuning for the underlying [`PredictionServer`].
+    pub serve: ServeConfig,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        let limits = Limits::default();
+        WireConfig {
+            bind_addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            max_header_bytes: limits.max_header_bytes,
+            max_body_bytes: limits.max_body_bytes,
+            request_deadline: limits.request_deadline,
+            idle_timeout: limits.idle_timeout,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// How long an idle connection read blocks before re-checking the shutdown
+/// flag: the upper bound on how stale an idle keep-alive connection's view
+/// of a shutdown can be.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Monotonic wire-level counters, updated lock-free by the accept loop and
+/// the connection threads.
+#[derive(Default)]
+struct WireCounters {
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_client_error: AtomicU64,
+    requests_server_error: AtomicU64,
+    malformed_requests: AtomicU64,
+    disconnects_mid_request: AtomicU64,
+    panics_contained: AtomicU64,
+}
+
+/// A point-in-time snapshot of a [`WireServer`]'s counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Connections accepted and handed to a connection thread.
+    pub connections_accepted: u64,
+    /// Connections refused with `503` at the [`WireConfig::max_connections`]
+    /// cap.
+    pub connections_refused: u64,
+    /// Requests answered `2xx`.
+    pub requests_ok: u64,
+    /// Requests answered `4xx`.
+    pub requests_client_error: u64,
+    /// Requests answered `5xx`.
+    pub requests_server_error: u64,
+    /// HTTP-level parse failures (bad preamble, oversized framing) that were
+    /// answered with an error status; a subset of `requests_client_error` /
+    /// `requests_server_error`.
+    pub malformed_requests: u64,
+    /// Clients that vanished (or stalled past the deadline) mid-request.
+    pub disconnects_mid_request: u64,
+    /// Handler panics contained by the per-request `catch_unwind` — the
+    /// wire-level companion of
+    /// [`ServerStats::factorizations_during_serving`]: robustness tests
+    /// assert it stays 0.
+    ///
+    /// [`ServerStats::factorizations_during_serving`]:
+    ///     exa_serve::ServerStats::factorizations_during_serving
+    pub panics_contained: u64,
+}
+
+impl WireCounters {
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_client_error: self.requests_client_error.load(Ordering::Relaxed),
+            requests_server_error: self.requests_server_error.load(Ordering::Relaxed),
+            malformed_requests: self.malformed_requests.load(Ordering::Relaxed),
+            disconnects_mid_request: self.disconnects_mid_request.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared<K: ParamCovariance> {
+    registry: Arc<ModelRegistry<K>>,
+    handle: ServerHandle<K>,
+    counters: WireCounters,
+    shutting_down: AtomicBool,
+    active_connections: AtomicUsize,
+    limits: Limits,
+    max_connections: usize,
+}
+
+/// One routed response, ready to frame.
+struct Response {
+    status: u16,
+    body: String,
+    /// Force-close the connection after writing (on top of the client's own
+    /// keep-alive preference).
+    close: bool,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Response {
+            status: 200,
+            body,
+            close: false,
+        }
+    }
+
+    fn error(status: u16, code: &str, message: &str) -> Self {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("error");
+        w.begin_object();
+        w.field_str("code", code);
+        w.field_str("message", message);
+        w.end_object();
+        w.end_object();
+        Response {
+            status,
+            body: w.finish(),
+            close: false,
+        }
+    }
+}
+
+/// The running wire front-end. See the [crate docs](crate) for the wire
+/// schema and an end-to-end example.
+pub struct WireServer<K: ParamCovariance> {
+    shared: Arc<Shared<K>>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    prediction: Option<PredictionServer<K>>,
+}
+
+impl<K: ParamCovariance> WireServer<K> {
+    /// Binds `config.bind_addr`, starts the underlying [`PredictionServer`]
+    /// and the accept loop, and begins serving.
+    pub fn start(registry: Arc<ModelRegistry<K>>, config: WireConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.bind_addr)?;
+        let local_addr = listener.local_addr()?;
+        let prediction = PredictionServer::start(Arc::clone(&registry), config.serve);
+        let shared = Arc::new(Shared {
+            registry,
+            handle: prediction.handle(),
+            counters: WireCounters::default(),
+            shutting_down: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            limits: Limits {
+                max_header_bytes: config.max_header_bytes,
+                max_body_bytes: config.max_body_bytes,
+                request_deadline: config.request_deadline,
+                idle_timeout: config.idle_timeout,
+            },
+            max_connections: config.max_connections.max(1),
+        });
+        let connection_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let threads = Arc::clone(&connection_threads);
+            std::thread::spawn(move || accept_loop(&shared, listener, &threads))
+        };
+        Ok(WireServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            connection_threads,
+            prediction: Some(prediction),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Wire-level statistics snapshot.
+    pub fn stats(&self) -> WireStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Statistics of the underlying prediction server.
+    pub fn serve_stats(&self) -> exa_serve::ServerStats {
+        self.shared.handle.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests, join
+    /// every connection thread, then drain and join the prediction server.
+    /// Returns the final wire and serving statistics.
+    pub fn shutdown(mut self) -> (WireStats, exa_serve::ServerStats) {
+        self.wind_down();
+        let wire = self.shared.counters.snapshot();
+        let serve = self
+            .prediction
+            .take()
+            .expect("prediction server present until shutdown")
+            .shutdown();
+        (wire, serve)
+    }
+
+    fn wind_down(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; it checks
+        // the flag before handing any stream to a worker.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        let threads = std::mem::take(
+            &mut *self
+                .connection_threads
+                .lock()
+                .expect("connection thread list lock"),
+        );
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl<K: ParamCovariance> Drop for WireServer<K> {
+    fn drop(&mut self) {
+        // `shutdown()` takes `prediction`; an un-shutdown drop still winds
+        // the accept loop and connections down cleanly (the prediction
+        // server's own Drop then drains its queue).
+        if self.accept_thread.is_some() {
+            self.wind_down();
+        }
+    }
+}
+
+fn accept_loop<K: ParamCovariance>(
+    shared: &Arc<Shared<K>>,
+    listener: TcpListener,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let active = shared.active_connections.load(Ordering::SeqCst);
+        if active >= shared.max_connections {
+            shared
+                .counters
+                .connections_refused
+                .fetch_add(1, Ordering::Relaxed);
+            let body = Response::error(503, "overloaded", "connection limit reached").body;
+            if http::write_response(&stream, 503, body.as_bytes(), false).is_ok() {
+                drain_then_close(&stream);
+            }
+            continue;
+        }
+        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let worker = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || {
+                let _guard = ActiveGuard(&shared);
+                connection_loop(&shared, stream);
+            })
+        };
+        let mut list = threads.lock().expect("connection thread list lock");
+        // Reap finished threads so a long-lived server's handle list stays
+        // proportional to *live* connections, not lifetime connections.
+        list.retain(|handle| !handle.is_finished());
+        list.push(worker);
+    }
+}
+
+/// Decrements the live-connection count when a connection thread exits,
+/// however it exits.
+struct ActiveGuard<'a, K: ParamCovariance>(&'a Shared<K>);
+
+impl<K: ParamCovariance> Drop for ActiveGuard<'_, K> {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn connection_loop<K: ParamCovariance>(shared: &Shared<K>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut conn = HttpConnection::new(&stream, shared.limits);
+    loop {
+        let request = conn.read_request(|| shared.shutting_down.load(Ordering::SeqCst));
+        let request = match request {
+            Ok(request) => request,
+            Err(err) => {
+                match err.status() {
+                    // Answerable protocol violation: respond, then close
+                    // (the connection's framing can no longer be trusted).
+                    Some(status) => {
+                        shared
+                            .counters
+                            .malformed_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        count_status(shared, status);
+                        let body = Response::error(status, "bad_request", &err.to_string()).body;
+                        if http::write_response(&stream, status, body.as_bytes(), false).is_ok() {
+                            drain_then_close(&stream);
+                        }
+                    }
+                    None => {
+                        if matches!(err, HttpError::Disconnected | HttpError::Timeout) {
+                            shared
+                                .counters
+                                .disconnects_mid_request
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Closed / Aborted / IdleTimeout / Io: nothing to
+                        // say, just close.
+                    }
+                }
+                return;
+            }
+        };
+        // A panic anywhere in routing (JSON decode, registry, prediction
+        // wait) must not kill this thread: contain it, answer 500.
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &request)))
+                .unwrap_or_else(|_| {
+                    shared
+                        .counters
+                        .panics_contained
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut resp = Response::error(500, "internal", "request handler panicked");
+                    resp.close = true;
+                    resp
+                });
+        count_status(shared, response.status);
+        let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+        let keep_alive = request.keep_alive() && !response.close && !shutting_down;
+        if http::write_response(
+            &stream,
+            response.status,
+            response.body.as_bytes(),
+            keep_alive,
+        )
+        .is_err()
+        {
+            return;
+        }
+        if !keep_alive {
+            drain_then_close(&stream);
+            return;
+        }
+    }
+}
+
+/// Half-closes the connection and briefly drains whatever the peer is still
+/// sending before the socket drops. Closing with unread received data makes
+/// the kernel send RST, which can destroy the error/refusal response that
+/// was just written — the very bytes the structured-error contract promises
+/// the client gets to read.
+fn drain_then_close(stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 4096];
+    let mut reader = stream;
+    while Instant::now() < deadline {
+        match reader.read(&mut sink) {
+            // EOF: the peer saw our FIN (and our response) and closed too.
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // Timeout or a genuinely broken pipe: we gave the peer its
+            // chance; close now either way.
+            Err(_) => break,
+        }
+    }
+}
+
+fn count_status<K: ParamCovariance>(shared: &Shared<K>, status: u16) {
+    let counter = match status {
+        200..=299 => &shared.counters.requests_ok,
+        400..=499 => &shared.counters.requests_client_error,
+        _ => &shared.counters.requests_server_error,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Maps one parsed request to a response. Never returns a transport-level
+/// error: everything is an HTTP status plus a structured JSON error body.
+fn route<K: ParamCovariance>(shared: &Shared<K>, request: &Request) -> Response {
+    let path = request.path();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => health(shared),
+        ("GET", ["v1", "models"]) => models(shared),
+        ("GET", ["v1", "stats"]) => stats(shared),
+        ("POST", ["v1", "models", name, "predict"]) => predict(shared, name, &request.body),
+        // Right path, wrong verb → 405 so clients can tell the two apart.
+        (_, ["healthz"])
+        | (_, ["v1", "models"])
+        | (_, ["v1", "stats"])
+        | (_, ["v1", "models", _, "predict"]) => Response::error(
+            405,
+            "method_not_allowed",
+            &format!("{} is not supported on {path}", request.method),
+        ),
+        _ => Response::error(404, "unknown_path", &format!("no route for {path}")),
+    }
+}
+
+fn health<K: ParamCovariance>(shared: &Shared<K>) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("status", "ok");
+    w.field_uint("models", shared.registry.len() as u64);
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+fn models<K: ParamCovariance>(shared: &Shared<K>) -> Response {
+    // One lock acquisition: the entry list and the counters must describe
+    // the same instant, or eviction observers see books that don't balance.
+    let (entries, stats) = shared.registry.snapshot();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("models");
+    w.begin_array();
+    for entry in &entries {
+        w.begin_object();
+        w.field_str("name", &entry.name);
+        w.field_uint("factor_bytes", entry.factor_bytes as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.field_uint("resident_models", stats.resident_models as u64);
+    w.field_uint("bytes_in_use", stats.bytes_in_use as u64);
+    w.key("byte_budget");
+    match stats.byte_budget {
+        Some(budget) => w.uint(budget as u64),
+        None => w.null(),
+    }
+    w.field_uint("insertions", stats.insertions);
+    w.field_uint("evictions", stats.evictions);
+    w.field_uint("hits", stats.hits);
+    w.field_uint("misses", stats.misses);
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
+    let wire = shared.counters.snapshot();
+    let serve = shared.handle.stats();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("wire");
+    w.begin_object();
+    w.field_uint("connections_accepted", wire.connections_accepted);
+    w.field_uint("connections_refused", wire.connections_refused);
+    w.field_uint("requests_ok", wire.requests_ok);
+    w.field_uint("requests_client_error", wire.requests_client_error);
+    w.field_uint("requests_server_error", wire.requests_server_error);
+    w.field_uint("malformed_requests", wire.malformed_requests);
+    w.field_uint("disconnects_mid_request", wire.disconnects_mid_request);
+    w.field_uint("panics_contained", wire.panics_contained);
+    w.end_object();
+    w.key("serve");
+    w.begin_object();
+    w.field_uint("requests_submitted", serve.requests_submitted);
+    w.field_uint("requests_served", serve.requests_served);
+    w.field_uint("requests_failed", serve.requests_failed);
+    w.field_uint("batches_executed", serve.batches_executed);
+    w.field_uint("requests_coalesced", serve.requests_coalesced);
+    w.field_uint("points_served", serve.points_served);
+    w.field_uint("max_queue_depth", serve.max_queue_depth);
+    w.field_uint("queue_depth", shared.handle.queue_depth() as u64);
+    w.field_num("total_latency_seconds", serve.total_latency_seconds);
+    w.field_num("max_latency_seconds", serve.max_latency_seconds);
+    w.field_num("mean_latency_seconds", serve.mean_latency_seconds());
+    w.field_uint(
+        "factorizations_during_serving",
+        serve.factorizations_during_serving,
+    );
+    w.end_object();
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+fn predict<K: ParamCovariance>(shared: &Shared<K>, name: &str, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Response::error(400, "invalid_json", "request body is not valid UTF-8");
+        }
+    };
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(err) => return Response::error(400, "invalid_json", &err.to_string()),
+    };
+    let targets = match parse_targets(&doc) {
+        Ok(targets) => targets,
+        Err(message) => return Response::error(400, "invalid_query", &message),
+    };
+    let want_variance = match doc.get("variance") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => {
+                return Response::error(400, "invalid_query", "\"variance\" must be a boolean");
+            }
+        },
+    };
+    // One wire request = one submission = one coalesced-batch membership.
+    let served = if want_variance {
+        shared.handle.predict_with_variance(name, targets)
+    } else {
+        shared.handle.predict(name, targets)
+    };
+    let served = match served {
+        Ok(served) => served,
+        Err(err) => return serve_error_response(&err),
+    };
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("model", name);
+    w.key("mean");
+    w.begin_array();
+    for v in &served.values {
+        w.number(*v);
+    }
+    w.end_array();
+    if let Some(variances) = &served.variances {
+        w.key("variance");
+        w.begin_array();
+        for v in variances {
+            w.number(*v);
+        }
+        w.end_array();
+    }
+    w.field_uint("points", served.values.len() as u64);
+    w.field_uint("coalesced_requests", served.coalesced_requests as u64);
+    w.field_uint("batch_points", served.batch_points as u64);
+    w.field_num("latency_seconds", served.latency_seconds);
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+/// Decodes `"targets": [[x, y], ...]` with precise error messages.
+fn parse_targets(doc: &Json) -> Result<Vec<Location>, String> {
+    let targets = doc
+        .get("targets")
+        .ok_or("missing \"targets\" field")?
+        .as_array()
+        .ok_or("\"targets\" must be an array of [x, y] pairs")?;
+    let mut out = Vec::with_capacity(targets.len());
+    for (i, pair) in targets.iter().enumerate() {
+        let pair = pair
+            .as_array()
+            .ok_or_else(|| format!("target {i} must be an [x, y] pair"))?;
+        if pair.len() != 2 {
+            return Err(format!(
+                "target {i} must have exactly 2 coordinates, got {}",
+                pair.len()
+            ));
+        }
+        let x = pair[0]
+            .as_f64()
+            .ok_or_else(|| format!("target {i} x-coordinate must be a number"))?;
+        let y = pair[1]
+            .as_f64()
+            .ok_or_else(|| format!("target {i} y-coordinate must be a number"))?;
+        out.push(Location::new(x, y));
+    }
+    Ok(out)
+}
+
+/// Maps [`ServeError`] onto status + structured body: client mistakes are
+/// `4xx`, capacity/lifecycle are `503` — never a dropped connection.
+fn serve_error_response(err: &ServeError) -> Response {
+    match err {
+        ServeError::UnknownModel(name) => Response::error(
+            404,
+            "unknown_model",
+            &format!("no model named {name:?} is registered"),
+        ),
+        ServeError::Rejected(message) => Response::error(400, "invalid_query", message),
+        // A contained worker-side panic is a server fault: 5xx, never a
+        // client error.
+        ServeError::Panicked(message) => Response::error(
+            500,
+            "internal",
+            &format!("prediction panicked on a serve worker: {message}"),
+        ),
+        ServeError::Overloaded { queue_depth } => Response::error(
+            503,
+            "overloaded",
+            &format!("server overloaded ({queue_depth} requests queued); retry later"),
+        ),
+        ServeError::ShuttingDown => {
+            let mut resp = Response::error(503, "shutting_down", "server is shutting down");
+            resp.close = true;
+            resp
+        }
+    }
+}

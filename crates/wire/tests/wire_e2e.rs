@@ -1,0 +1,482 @@
+//! End-to-end wire tests: a real `WireServer` on an ephemeral port, real
+//! TCP clients, and the acceptance criteria of the wire front-end —
+//! bit-identical means vs the in-process batch path, zero factorizations
+//! under load, structured errors for every abuse pattern, and a clean
+//! graceful shutdown.
+
+use exa_covariance::{Location, MaternKernel};
+use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel};
+use exa_runtime::Runtime;
+use exa_serve::{ModelRegistry, ServeConfig};
+use exa_util::Rng;
+use exa_wire::{WireClient, WireConfig, WireError, WireServer};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn fitted(n: usize, seed: u64, backend: Backend) -> Arc<FittedModel<MaternKernel>> {
+    let rt = Runtime::new(exa_runtime::default_parallelism().min(4));
+    let mut rng = Rng::seed_from_u64(seed);
+    let locations = Arc::new(synthetic_locations_n(n, &mut rng));
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .nugget(0.0)
+        .tile_size(64)
+        .build()
+        .unwrap()
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .unwrap();
+    let z = generator.simulate(&mut rng, &rt);
+    Arc::new(
+        GeoModel::<MaternKernel>::builder()
+            .locations(locations)
+            .data(z)
+            .backend(backend)
+            .tile_size(64)
+            .build()
+            .unwrap()
+            .at_params(&[1.0, 0.1, 0.5], &rt)
+            .unwrap(),
+    )
+}
+
+fn boot(
+    models: &[(&str, Arc<FittedModel<MaternKernel>>)],
+    config: WireConfig,
+) -> (WireServer<MaternKernel>, Arc<ModelRegistry<MaternKernel>>) {
+    let registry = Arc::new(ModelRegistry::new());
+    for (name, model) in models {
+        registry.insert(*name, Arc::clone(model));
+    }
+    let server = WireServer::start(Arc::clone(&registry), config).expect("bind ephemeral port");
+    (server, registry)
+}
+
+fn targets_for(seed: u64, count: usize) -> Vec<Location> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
+        .collect()
+}
+
+/// The ISSUE 4 acceptance test: n ≥ 512 model, concurrent keep-alive
+/// clients mixing predict/stats/health traffic, bit-identical means vs the
+/// direct in-process batch path, zero factorizations under load, clean
+/// graceful shutdown.
+#[test]
+fn concurrent_keep_alive_clients_get_bit_identical_means() {
+    let model = fitted(512, 42, Backend::FullTile);
+    let (server, _registry) = boot(
+        &[("soil", Arc::clone(&model))],
+        WireConfig {
+            serve: ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let clients = 4;
+    let requests_per_client = 12;
+    let points_per_request = 3;
+    std::thread::scope(|scope| {
+        for c in 0..clients as u64 {
+            let model = Arc::clone(&model);
+            scope.spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect");
+                for r in 0..requests_per_client as u64 {
+                    // Mixed traffic on one keep-alive connection.
+                    if r % 5 == 0 {
+                        client.health().expect("health");
+                    }
+                    if r % 7 == 0 {
+                        let stats = client.stats().expect("stats");
+                        assert!(stats.get("wire").is_some() && stats.get("serve").is_some());
+                    }
+                    let targets = targets_for(1000 + c * 100 + r, points_per_request);
+                    let served = if r % 3 == 0 {
+                        client
+                            .predict_with_variance("soil", &targets)
+                            .expect("predict")
+                    } else {
+                        client.predict("soil", &targets).expect("predict")
+                    };
+                    // Bit-identical against the direct in-process batch
+                    // path — the JSON layer must not cost one ulp.
+                    let direct = model
+                        .predict_batch(&[targets.as_slice()])
+                        .unwrap()
+                        .remove(0);
+                    assert_eq!(served.mean.len(), points_per_request);
+                    for (wire, local) in served.mean.iter().zip(&direct.values) {
+                        assert_eq!(
+                            wire.to_bits(),
+                            local.to_bits(),
+                            "wire mean {wire} != direct mean {local}"
+                        );
+                    }
+                    if let Some(variance) = &served.variance {
+                        assert_eq!(variance.len(), points_per_request);
+                        assert!(variance.iter().all(|v| v.is_finite() && *v >= 0.0));
+                    }
+                    assert!(served.coalesced_requests >= 1);
+                }
+            });
+        }
+    });
+
+    let (wire, serve) = server.shutdown();
+    let expected_predicts = (clients * requests_per_client) as u64;
+    assert_eq!(serve.requests_submitted, expected_predicts);
+    assert_eq!(serve.requests_served, expected_predicts);
+    assert_eq!(serve.requests_failed, 0);
+    assert_eq!(
+        serve.points_served,
+        expected_predicts * points_per_request as u64
+    );
+    // The hard guarantee: serving over the wire never re-factorizes.
+    assert_eq!(serve.factorizations_during_serving, 0);
+    assert_eq!(wire.connections_accepted, clients as u64);
+    assert_eq!(wire.panics_contained, 0);
+    assert_eq!(wire.requests_client_error, 0);
+    assert_eq!(wire.requests_server_error, 0);
+    assert!(
+        wire.requests_ok > expected_predicts,
+        "health/stats count too"
+    );
+}
+
+/// Malformed HTTP preambles, oversized bodies, truncated JSON and
+/// mid-request disconnects: all answered (or dropped) without ever
+/// panicking a worker, and the server keeps serving afterwards.
+#[test]
+fn wire_abuse_never_panics_a_worker() {
+    let model = fitted(64, 7, Backend::FullTile);
+    let (server, _registry) = boot(
+        &[("m", model)],
+        WireConfig {
+            max_body_bytes: 4096,
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr();
+    let send_raw = |payload: &[u8]| -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("set timeout");
+        stream.write_all(payload).expect("write");
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        response
+    };
+
+    // HTTP-level garbage → 4xx/5xx with a structured body.
+    let cases: [(&[u8], &str); 7] = [
+        (b"THIS IS NOT HTTP\r\n\r\n", "400"),
+        (b"GET /healthz SMTP/3.9\r\n\r\n", "505"),
+        (
+            b"POST /v1/models/m/predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            "413",
+        ),
+        (
+            b"POST /v1/models/m/predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "501",
+        ),
+        // Truncated JSON bodies (complete HTTP framing, broken payload).
+        (
+            b"POST /v1/models/m/predict HTTP/1.1\r\nConnection: close\r\nContent-Length: 17\r\n\r\n{\"targets\": [[0.1",
+            "400",
+        ),
+        (
+            b"POST /v1/models/m/predict HTTP/1.1\r\nConnection: close\r\nContent-Length: 2\r\n\r\n[]",
+            "400",
+        ),
+        // Valid JSON, wrong shape.
+        (
+            b"POST /v1/models/m/predict HTTP/1.1\r\nConnection: close\r\nContent-Length: 16\r\n\r\n{\"targets\": 1.5}",
+            "400",
+        ),
+    ];
+    for (payload, status) in cases {
+        let response = send_raw(payload);
+        assert!(
+            response.starts_with(&format!("HTTP/1.1 {status}")),
+            "{payload:?} answered {response:?}"
+        );
+        assert!(response.contains("\"error\""), "{response:?}");
+    }
+
+    // Mid-request disconnects: drop the socket at every interesting point.
+    for partial in [
+        &b"POST /v1/mod"[..],
+        b"POST /v1/models/m/predict HTTP/1.1\r\nContent-Le",
+        b"POST /v1/models/m/predict HTTP/1.1\r\nContent-Length: 40\r\n\r\n{\"targ",
+    ] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(partial).expect("write");
+        drop(stream); // vanish mid-request
+    }
+
+    // An immediately-dropped idle connection.
+    drop(TcpStream::connect(addr).expect("connect"));
+
+    // The server is still healthy and still predicting.
+    let mut client = WireClient::connect(addr).expect("connect");
+    client.health().expect("health after abuse");
+    let served = client
+        .predict("m", &[Location::new(0.3, 0.3)])
+        .expect("predict after abuse");
+    assert!(served.mean[0].is_finite());
+
+    let (wire, serve) = server.shutdown();
+    // The satellite requirement: panic containment counters stay zero.
+    assert_eq!(wire.panics_contained, 0, "a worker panicked under abuse");
+    assert_eq!(serve.factorizations_during_serving, 0);
+    assert_eq!(wire.malformed_requests, 4, "HTTP-level violations");
+    assert!(
+        wire.disconnects_mid_request >= 3,
+        "mid-request drops must be counted, got {}",
+        wire.disconnects_mid_request
+    );
+}
+
+/// Structured API errors: unknown model/path, wrong verb, bad queries.
+#[test]
+fn api_errors_are_structured_json() {
+    let model = fitted(64, 8, Backend::tlr(1e-9));
+    let (server, _registry) = boot(&[("m", model)], WireConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let err = client
+        .predict("ghost", &[Location::new(0.5, 0.5)])
+        .unwrap_err();
+    match err {
+        WireError::Api { status, code, .. } => {
+            assert_eq!((status, code.as_str()), (404, "unknown_model"));
+        }
+        other => panic!("unexpected error {other}"),
+    }
+
+    let err = client.predict("m", &[]).unwrap_err();
+    match err {
+        WireError::Api { status, code, .. } => {
+            assert_eq!((status, code.as_str()), (400, "invalid_query"));
+        }
+        other => panic!("unexpected error {other}"),
+    }
+
+    let err = client.get_json("/v1/nope").unwrap_err();
+    match err {
+        WireError::Api { status, code, .. } => {
+            assert_eq!((status, code.as_str()), (404, "unknown_path"));
+        }
+        other => panic!("unexpected error {other}"),
+    }
+
+    // Wrong verb on a known path, via a raw request on the same
+    // keep-alive socket semantics curl would use.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set timeout");
+    stream
+        .write_all(b"DELETE /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 405"), "{response:?}");
+    assert!(response.contains("method_not_allowed"), "{response:?}");
+
+    // The client connection survived all those error responses.
+    client.health().expect("keep-alive across errors");
+    server.shutdown();
+}
+
+/// `GET /v1/models` exposes LRU eviction driven by insert-over-budget.
+#[test]
+fn models_endpoint_observes_eviction() {
+    let a = fitted(64, 1, Backend::FullTile);
+    let per_model = a.factor_bytes();
+    let registry = Arc::new(ModelRegistry::with_byte_budget(2 * per_model));
+    registry.insert("a", a);
+    let server = WireServer::start(Arc::clone(&registry), WireConfig::default()).expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let snapshot = client.models().expect("models");
+    assert_eq!(snapshot.models.len(), 1);
+    assert_eq!(snapshot.byte_budget, Some(2 * per_model as u64));
+    assert_eq!(snapshot.evictions, 0);
+
+    // Two more inserts → the LRU "a" must fall out, visible over the wire.
+    registry.insert("b", fitted(64, 2, Backend::FullTile));
+    let evicted = registry.insert("c", fitted(64, 3, Backend::FullTile));
+    assert_eq!(evicted, vec!["a".to_string()]);
+    let snapshot = client.models().expect("models");
+    let names: Vec<&str> = snapshot.models.iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(names, ["b", "c"]);
+    assert_eq!(snapshot.evictions, 1);
+    assert_eq!(snapshot.insertions, 3);
+    assert_eq!(snapshot.bytes_in_use, 2 * per_model as u64);
+
+    // Predicting the evicted name is a structured 404 now.
+    let err = client.predict("a", &[Location::new(0.2, 0.8)]).unwrap_err();
+    assert!(matches!(err, WireError::Api { status: 404, .. }), "{err}");
+    server.shutdown();
+}
+
+/// The connection cap answers `503` immediately instead of queueing
+/// unbounded sockets.
+#[test]
+fn connection_cap_refuses_with_503() {
+    let model = fitted(64, 9, Backend::FullTile);
+    let (server, _registry) = boot(
+        &[("m", model)],
+        WireConfig {
+            max_connections: 2,
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr();
+    // Two live connections fill the cap — a health round trip on each
+    // guarantees the accept loop has registered them before the third
+    // connection arrives.
+    let mut c1 = WireClient::connect(addr).expect("connect");
+    c1.health().expect("health");
+    let mut c2 = WireClient::connect(addr).expect("connect");
+    c2.health().expect("health");
+    // ...so the third gets an immediate 503 and a closed socket.
+    let mut refused = TcpStream::connect(addr).expect("connect");
+    refused
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set timeout");
+    let mut response = String::new();
+    refused.read_to_string(&mut response).expect("read refusal");
+    assert!(response.starts_with("HTTP/1.1 503"), "{response:?}");
+    assert!(response.contains("overloaded"), "{response:?}");
+    drop(c1);
+    drop(c2);
+    // Capacity frees up once a connection closes (poll briefly: the server
+    // notices the close on its next idle-read tick).
+    let mut ok = None;
+    for _ in 0..100 {
+        match WireClient::connect(addr).and_then(|mut c| c.health()) {
+            Ok(()) => {
+                ok = Some(());
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    assert!(ok.is_some(), "capacity never freed after closes");
+    let (wire, _serve) = server.shutdown();
+    assert!(wire.connections_refused >= 1);
+}
+
+/// Silent sockets cannot pin connection slots: the idle timeout closes
+/// them and frees capacity for real clients.
+#[test]
+fn idle_connections_are_reclaimed() {
+    let model = fitted(64, 12, Backend::FullTile);
+    let (server, _registry) = boot(
+        &[("m", model)],
+        WireConfig {
+            max_connections: 1,
+            idle_timeout: std::time::Duration::from_millis(300),
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr();
+    // A connection that never sends a byte occupies the only slot...
+    let mut silent = TcpStream::connect(addr).expect("connect");
+    silent
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set timeout");
+    // ...until the idle timeout closes it (EOF, no response bytes).
+    let mut buf = String::new();
+    silent.read_to_string(&mut buf).expect("read EOF");
+    assert!(buf.is_empty(), "idle close must not fabricate a response");
+    // The slot is free again for a real client.
+    let mut ok = None;
+    for _ in 0..100 {
+        match WireClient::connect(addr).and_then(|mut c| c.health()) {
+            Ok(()) => {
+                ok = Some(());
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    assert!(ok.is_some(), "slot never freed after idle reclamation");
+    server.shutdown();
+}
+
+/// Graceful shutdown mid-traffic: accepted work is answered, the listener
+/// stops, and a second shutdown path (drop) is a no-op.
+#[test]
+fn graceful_shutdown_drains_and_stops_listening() {
+    let model = fitted(64, 10, Backend::FullTile);
+    let (server, _registry) = boot(&[("m", model)], WireConfig::default());
+    let addr = server.local_addr();
+    let mut client = WireClient::connect(addr).expect("connect");
+    client
+        .predict("m", &[Location::new(0.4, 0.2)])
+        .expect("predict");
+    let (wire, serve) = server.shutdown();
+    assert_eq!(wire.requests_ok, 1);
+    assert_eq!(serve.requests_served, 1);
+    // The port is closed: new connections are refused or die instantly.
+    let gone = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = String::new();
+            stream
+                .read_to_string(&mut buf)
+                .map(|_| buf.is_empty())
+                .unwrap_or(true)
+        }
+    };
+    assert!(gone, "listener survived shutdown");
+    // And the old keep-alive connection is gone too.
+    assert!(client.health().is_err());
+}
+
+/// HTTP/1.0 and `Connection: close` semantics over raw sockets.
+#[test]
+fn connection_close_and_http10_are_honored() {
+    let model = fitted(64, 11, Backend::FullTile);
+    let (server, _registry) = boot(&[("m", model)], WireConfig::default());
+    let addr = server.local_addr();
+
+    // HTTP/1.0 without keep-alive: one response, then EOF.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set timeout");
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.contains("Connection: close"), "{response:?}");
+    assert!(response.contains("\"status\":\"ok\""), "{response:?}");
+
+    // HTTP/1.1 with explicit close after a pipelined pair: both answered.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set timeout");
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/models HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert_eq!(response.matches("HTTP/1.1 200").count(), 2, "{response:?}");
+    assert!(response.contains("\"models\""), "{response:?}");
+    server.shutdown();
+}

@@ -11,6 +11,7 @@
 //!
 //! | layer | paper component | crate |
 //! |---|---|---|
+//! | wire front-end | ExaGeoStatR's remote-consumer surface, as HTTP/1.1 + JSON | [`wire`] (`exa-wire`) |
 //! | prediction serving | ExaGeoStatR's fit-once/predict-many workflow, as a service | [`serve`] (`exa-serve`) |
 //! | statistics & drivers | ExaGeoStat + NLopt | [`geostat`] (`exa-geostat`) |
 //! | TLR linear algebra | HiCMA | [`tlr`] (`exa-tlr`) |
@@ -70,10 +71,16 @@
 //! [`covariance::GaussianKernel`] and the same pipeline runs unmodified —
 //! the API is generic over [`covariance::ParamCovariance`].
 //!
+//! Fitted models serve in-process through [`serve`] (`exa-serve`) and over
+//! TCP through [`wire`] (`exa-wire`): a zero-dependency HTTP/1.1 + JSON
+//! front-end whose `predict` endpoint coalesces each request onto the same
+//! micro-batching path (see the `exa-wire` crate docs for the wire schema).
+//!
 //! See `examples/` for full MLE fits, the simulated soil-moisture and
-//! wind-speed studies, the distributed-run simulator, and the concurrent
-//! prediction service (`prediction_service`); `crates/bench` regenerates
-//! every table and figure of the paper (DESIGN.md §3).
+//! wind-speed studies, the distributed-run simulator, the concurrent
+//! prediction service (`prediction_service`) and its networked twin
+//! (`wire_service`); `crates/bench` regenerates every table and figure of
+//! the paper (DESIGN.md §3).
 
 pub use exa_covariance as covariance;
 pub use exa_distsim as distsim;
@@ -84,6 +91,7 @@ pub use exa_serve as serve;
 pub use exa_tile as tile;
 pub use exa_tlr as tlr;
 pub use exa_util as util;
+pub use exa_wire as wire;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -100,9 +108,13 @@ pub mod prelude {
     };
     pub use exa_runtime::Runtime;
     pub use exa_serve::{
-        ModelRegistry, PredictionServer, PredictionTicket, ServeConfig, ServeError,
-        ServedPrediction, ServerHandle, ServerStats,
+        ModelInfo, ModelRegistry, PredictionServer, PredictionTicket, RegistryStats, ServeConfig,
+        ServeError, ServedPrediction, ServerHandle, ServerStats,
     };
     pub use exa_tlr::{CompressionMethod, TlrMatrix};
     pub use exa_util::Rng;
+    pub use exa_wire::{
+        WireClient, WireConfig, WireError, WireModelInfo, WireModels, WirePrediction, WireServer,
+        WireStats,
+    };
 }
