@@ -1,22 +1,33 @@
-//! Criterion bench: end-to-end wire serving throughput.
+//! Criterion bench: end-to-end wire serving throughput, by codec.
 //!
 //! An n = 1024 Matérn session is fitted once and served by a real
 //! [`WireServer`] on an ephemeral localhost port; the bench then drives it
-//! through real TCP connections — HTTP parsing, JSON codec, micro-batching
-//! and the response path all included:
+//! through real TCP connections — HTTP parsing, codec encode/decode,
+//! micro-batching and the response path all included — once per predict
+//! codec (`json` = the default text codec, `bin` = the
+//! `application/x-exa-frame` binary codec):
 //!
-//! * `closed_loop/cC` — `C` concurrent keep-alive clients, each issuing
-//!   single-target predict requests back to back (per-request wire cost);
-//! * `batched/c1`    — one client shipping all targets in one request
-//!   (the wire cost amortized over a server-side batch).
+//! * `closed_loop_{json,bin}/cC` — `C` concurrent keep-alive clients, each
+//!   issuing single-target predict requests back to back (per-request wire
+//!   cost, where the codec tax is proportionally largest);
+//! * `batched_{json,bin}/c1`    — one client shipping all targets in one
+//!   request (the wire cost amortized over a server-side batch).
 //!
 //! Benchmark ids are `serve_wire/<mode>/<label>/<queries-per-iteration>`,
 //! so the scheduled bench job can compute queries/sec per series into
-//! `BENCH_wire.json` exactly like `BENCH_serve.json`.
+//! `BENCH_wire.json` (all series) and `BENCH_wire_bin.json` (the binary
+//! series plus the binary-vs-JSON ratio) exactly like `BENCH_serve.json`.
 //!
-//! Two guarantees are asserted on every run: zero factorizations during
-//! the whole serving sweep and zero contained panics — load must never
-//! tear a worker down.
+//! Guarantees asserted on every run: zero factorizations during the whole
+//! serving sweep, zero contained panics, and the codec gate — binary
+//! single-target closed-loop throughput must strictly beat JSON on the
+//! same workload (asserted at ≥ 1.05× to absorb timer noise). The target
+//! ratio is 1.5×; the measured ratio is printed here and recorded in
+//! `BENCH_wire_bin.json` by the scheduled job. On the dev box the ratio
+//! lands near 1.2×: the codec delta is ~2.3 µs/request while the shared
+//! floor (TCP round trip + single-target kriging) is ~10 µs, which bounds
+//! the achievable closed-loop ratio — the per-request *codec* cost itself
+//! is ~40× lower in binary (see the isolated costs in the codec tests).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exa_covariance::{Location, MaternKernel};
@@ -24,7 +35,7 @@ use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel, Likelih
 use exa_runtime::Runtime;
 use exa_serve::{ModelRegistry, ServeConfig};
 use exa_util::Rng;
-use exa_wire::{WireClient, WireConfig, WireServer};
+use exa_wire::{Codec, WireClient, WireConfig, WireServer};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,13 +74,14 @@ fn request_targets(count: usize) -> Vec<Location> {
         .collect()
 }
 
-/// `count` single-target closed-loop requests spread over `clients`
-/// concurrent keep-alive connections (one connect per client per run).
-fn run_closed_loop(addr: std::net::SocketAddr, clients: usize, per_client: usize) {
+/// `per_client` single-target closed-loop requests per connection, spread
+/// over `clients` concurrent keep-alive connections speaking `codec`.
+fn run_closed_loop(addr: std::net::SocketAddr, clients: usize, per_client: usize, codec: Codec) {
     std::thread::scope(|scope| {
         for c in 0..clients {
             scope.spawn(move || {
                 let mut client = WireClient::connect(addr).expect("connect");
+                client.set_codec(codec);
                 let targets = request_targets(per_client + c);
                 for t in &targets[c..] {
                     let served = client
@@ -83,7 +95,8 @@ fn run_closed_loop(addr: std::net::SocketAddr, clients: usize, per_client: usize
 }
 
 /// Minimum wall time of `reps` runs of `f` (robust quick estimator for the
-/// printed queries/sec line; criterion's numbers are recorded alongside).
+/// printed queries/sec lines and the codec gate; criterion's numbers are
+/// recorded alongside).
 fn min_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -92,6 +105,14 @@ fn min_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
+}
+
+/// The short codec label used in benchmark ids and BENCH_wire*.json series.
+fn label(codec: Codec) -> &'static str {
+    match codec {
+        Codec::Json => "json",
+        Codec::Binary => "bin",
+    }
 }
 
 fn bench_serve_wire(c: &mut Criterion) {
@@ -113,42 +134,53 @@ fn bench_serve_wire(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_wire");
     group.sample_size(10);
 
-    // Concurrent single-target clients: the per-request wire overhead and
-    // the cross-connection coalescing it still allows.
     let per_client = 16;
-    for clients in [1usize, 4] {
-        let total = clients * per_client;
-        group.bench_with_input(
-            BenchmarkId::new(format!("closed_loop/c{clients}"), total),
-            &total,
-            |b, _| b.iter(|| run_closed_loop(addr, clients, per_client)),
-        );
-    }
-
-    // One request carrying a whole batch: the other end of the trade.
     let batch = 64;
     let targets = request_targets(batch);
-    let mut client = WireClient::connect(addr).expect("connect");
-    group.bench_with_input(BenchmarkId::new("batched/c1", batch), &batch, |b, _| {
-        b.iter(|| {
-            let served = client.predict("m", &targets).expect("predict");
-            black_box(served.mean[0]);
-        })
-    });
+    for codec in [Codec::Json, Codec::Binary] {
+        // Concurrent single-target clients: the per-request wire overhead
+        // and the cross-connection coalescing it still allows.
+        for clients in [1usize, 4] {
+            let total = clients * per_client;
+            group.bench_with_input(
+                BenchmarkId::new(format!("closed_loop_{}/c{clients}", label(codec)), total),
+                &total,
+                |b, _| b.iter(|| run_closed_loop(addr, clients, per_client, codec)),
+            );
+        }
+
+        // One request carrying a whole batch: the other end of the trade.
+        let mut client = WireClient::connect(addr).expect("connect");
+        client.set_codec(codec);
+        group.bench_with_input(
+            BenchmarkId::new(format!("batched_{}/c1", label(codec)), batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    let served = client.predict("m", &targets).expect("predict");
+                    black_box(served.mean[0]);
+                })
+            },
+        );
+    }
     group.finish();
 
-    // Quick human-readable queries/sec lines (criterion records the rest).
-    let t_closed = min_seconds(3, || run_closed_loop(addr, 4, per_client));
-    let t_batched = min_seconds(3, || {
-        let served = client.predict("m", &targets).expect("predict");
-        black_box(served.mean[0]);
-    });
+    // Quick human-readable queries/sec lines plus the codec gate
+    // (criterion records the rest).
+    let qps = |codec: Codec, clients: usize| {
+        let t = min_seconds(5, || run_closed_loop(addr, clients, per_client, codec));
+        (clients * per_client) as f64 / t
+    };
+    let json_c1 = qps(Codec::Json, 1);
+    let bin_c1 = qps(Codec::Binary, 1);
+    let json_c4 = qps(Codec::Json, 4);
+    let bin_c4 = qps(Codec::Binary, 4);
+    let ratio_c1 = bin_c1 / json_c1;
     println!(
-        "serve_wire: closed_loop c4 {:.0} queries/s, batched x{batch} {:.0} queries/s",
-        (4 * per_client) as f64 / t_closed,
-        batch as f64 / t_batched,
+        "serve_wire: closed_loop c1 json {json_c1:.0} q/s, bin {bin_c1:.0} q/s ({ratio_c1:.2}x); \
+         c4 json {json_c4:.0} q/s, bin {bin_c4:.0} q/s ({:.2}x)",
+        bin_c4 / json_c4,
     );
-    drop(client);
 
     // Hard guarantees over the entire sweep.
     let (wire, serve) = server.shutdown();
@@ -162,6 +194,21 @@ fn bench_serve_wire(c: &mut Criterion) {
         "bench traffic is well-formed"
     );
     assert_eq!(wire.requests_server_error, 0, "bench traffic must not 5xx");
+    // The codec gate: binary single-target closed-loop throughput must
+    // strictly beat JSON on the same workload (floor 1.05x; target 1.5x —
+    // see the module docs for why the closed-loop ratio saturates well
+    // below the raw codec-cost ratio).
+    assert!(
+        ratio_c1 >= 1.05,
+        "binary codec regressed: {bin_c1:.0} q/s is only {ratio_c1:.2}x \
+         the JSON path's {json_c1:.0} q/s"
+    );
+    if ratio_c1 < 1.5 {
+        println!(
+            "serve_wire: NOTE binary/json closed-loop c1 ratio {ratio_c1:.2}x is below the \
+             1.5x target (shared TCP+predict floor dominates; see bench docs)"
+        );
+    }
 }
 
 criterion_group!(benches, bench_serve_wire);

@@ -7,19 +7,21 @@
 //! view of the serving stack, measured over a real socket.
 //!
 //! ```text
-//! cargo run --release -p exa-bench --bin wire_loadgen [-- clients per_client points [--variance]]
+//! cargo run --release -p exa-bench --bin wire_loadgen [-- clients per_client points [--variance] [--codec json|binary]]
 //! ```
 //!
-//! Defaults: 4 clients × 200 requests × 1 point, means only. The run
-//! asserts the two serving invariants (zero factorizations, zero contained
-//! panics) and exits non-zero if they fail.
+//! Defaults: 4 clients × 200 requests × 1 point, means only, JSON codec.
+//! `--codec binary` drives the same workload through the
+//! `application/x-exa-frame` binary frame codec instead. The run asserts
+//! the two serving invariants (zero factorizations, zero contained panics)
+//! and exits non-zero if they fail.
 
 use exa_covariance::{Location, MaternKernel};
 use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel};
 use exa_runtime::Runtime;
 use exa_serve::{ModelRegistry, ServeConfig};
 use exa_util::Rng;
-use exa_wire::{WireClient, WireConfig, WireServer};
+use exa_wire::{Codec, WireClient, WireConfig, WireServer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,13 +50,33 @@ fn fitted(n: usize) -> FittedModel<MaternKernel> {
 }
 
 fn main() {
+    let parse_codec = |value: Option<&str>| match value {
+        Some("json") => Codec::Json,
+        Some("binary") | Some("bin") => Codec::Binary,
+        other => panic!("--codec must be json or binary, got {other:?}"),
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let variance = args.iter().any(|a| a == "--variance");
-    let numbers: Vec<usize> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.parse().expect("numeric argument"))
-        .collect();
+    let mut variance = false;
+    let mut codec = Codec::Json;
+    let mut numbers: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--variance" {
+            variance = true;
+        } else if arg == "--codec" {
+            i += 1;
+            codec = parse_codec(args.get(i).map(String::as_str));
+        } else if let Some(value) = arg.strip_prefix("--codec=") {
+            codec = parse_codec(Some(value));
+        } else if arg.starts_with("--") {
+            // A silently ignored flag yields wrong measurements; refuse.
+            panic!("unknown flag {arg:?} (expected --variance or --codec json|binary)");
+        } else {
+            numbers.push(arg.parse().expect("numeric argument"));
+        }
+        i += 1;
+    }
     let clients = numbers.first().copied().unwrap_or(4);
     let per_client = numbers.get(1).copied().unwrap_or(200);
     let points = numbers.get(2).copied().unwrap_or(1).max(1);
@@ -75,7 +97,7 @@ fn main() {
     .expect("bind ephemeral port");
     let addr = server.local_addr();
     println!(
-        "serving on {addr}: {clients} clients x {per_client} requests x {points} points{}",
+        "serving on {addr}: {clients} clients x {per_client} requests x {points} points, {codec} codec{}",
         if variance { " (+variance)" } else { "" }
     );
 
@@ -84,6 +106,7 @@ fn main() {
         for c in 0..clients as u64 {
             scope.spawn(move || {
                 let mut client = WireClient::connect(addr).expect("connect");
+                client.set_codec(codec);
                 let mut rng = Rng::seed_from_u64(100 + c);
                 for _ in 0..per_client {
                     let targets: Vec<Location> = (0..points)

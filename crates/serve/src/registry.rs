@@ -449,6 +449,103 @@ mod tests {
     }
 
     #[test]
+    fn evict_racing_insert_under_budget_never_drifts_the_books() {
+        // The ISSUE 5 satellite: explicit `evict()` calls racing
+        // budget-driven `insert()` eviction on the *same* names, with an
+        // observer thread validating every snapshot it can grab while the
+        // race is live — not just the final state. Any drift in the
+        // `factor_bytes` ledger or the lifetime counters shows up as a
+        // snapshot whose books don't balance.
+        let models: Vec<Arc<FittedModel<MaternKernel>>> =
+            (0..3).map(|i| fitted(20 + i, Backend::FullTile)).collect();
+        let per_model = models[0].factor_bytes();
+        let reg = Arc::new(ModelRegistry::with_byte_budget(2 * per_model));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers = 6;
+        let ops_per_writer = 120;
+        std::thread::scope(|scope| {
+            // Writers: half the ops insert over budget (forcing LRU
+            // evictions), half explicitly evict the same small name set.
+            for t in 0..writers {
+                let reg = Arc::clone(&reg);
+                let models = models.clone();
+                scope.spawn(move || {
+                    for op in 0..ops_per_writer {
+                        let name = format!("m{}", (t + op * 5) % 4);
+                        if op % 2 == 0 {
+                            let evicted = reg.insert(&name, Arc::clone(&models[op % models.len()]));
+                            // An insert never reports its own name evicted.
+                            assert!(!evicted.contains(&name));
+                        } else {
+                            reg.evict(&name);
+                        }
+                    }
+                });
+            }
+            // Observer: the books must balance in every mid-race snapshot.
+            let reg_obs = Arc::clone(&reg);
+            let stop_obs = Arc::clone(&stop);
+            let observer = scope.spawn(move || {
+                let mut snapshots = 0u64;
+                let mut last = RegistryStats::default();
+                while !stop_obs.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (entries, stats) = reg_obs.snapshot();
+                    assert_eq!(stats.resident_models, entries.len());
+                    assert_eq!(
+                        stats.bytes_in_use,
+                        entries.iter().map(|e| e.factor_bytes).sum::<usize>(),
+                        "byte ledger drifted from residency"
+                    );
+                    // Over-budget residency is only legal transiently for a
+                    // single oversized model; per_model*2 == budget here,
+                    // so the budget is a hard snapshot invariant.
+                    assert!(
+                        stats.bytes_in_use <= 2 * per_model,
+                        "snapshot over budget: {} > {}",
+                        stats.bytes_in_use,
+                        2 * per_model
+                    );
+                    // Lifetime counters are monotone under the same lock.
+                    assert!(stats.insertions >= last.insertions);
+                    assert!(stats.evictions >= last.evictions);
+                    assert!(stats.evictions <= stats.insertions);
+                    last = stats;
+                    snapshots += 1;
+                }
+                snapshots
+            });
+            // Writers are joined by scope exit; flip the observer's flag
+            // from a dedicated waiter so it overlaps genuinely-live races.
+            let stop_setter = Arc::clone(&stop);
+            scope.spawn(move || {
+                // Give the writers time to finish: they are compute-light,
+                // so a short spin keeps the test fast while the observer
+                // overlaps the entire write phase.
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                stop_setter.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            let snapshots = observer.join().expect("observer never panics");
+            assert!(snapshots > 0, "observer must witness the race");
+        });
+        // Final books: counters add up against the op mix exactly.
+        let (entries, stats) = reg.snapshot();
+        assert_eq!(stats.insertions, (writers * ops_per_writer / 2) as u64);
+        assert_eq!(stats.resident_models, entries.len());
+        assert_eq!(
+            stats.bytes_in_use,
+            entries.iter().map(|e| e.factor_bytes).sum::<usize>()
+        );
+        // Every resident entry still answers by name, and residency agrees
+        // across the whole read API.
+        for entry in &entries {
+            assert!(reg.contains(&entry.name));
+            assert!(reg.get(&entry.name).is_some());
+        }
+        assert_eq!(reg.len(), entries.len());
+        assert_eq!(reg.bytes_in_use(), stats.bytes_in_use);
+    }
+
+    #[test]
     fn eviction_does_not_invalidate_inflight_handles() {
         let reg = ModelRegistry::with_byte_budget(1);
         let m = fitted(1, Backend::tlr(1e-7));

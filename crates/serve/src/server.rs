@@ -23,7 +23,7 @@ use exa_runtime::Runtime;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning for a [`PredictionServer`].
 #[derive(Clone, Copy, Debug)]
@@ -208,6 +208,12 @@ struct Shared<K: ParamCovariance> {
     work_cv: Condvar,
     config: ServeConfig,
     counters: Counters,
+    /// `true` while one [`ServerHandle::predict`]-style call is executing
+    /// its batch-of-one inline. The inline fast path is **single-flight**:
+    /// a second blocking caller arriving meanwhile enqueues for the
+    /// workers instead, so concurrent callers still coalesce with each
+    /// other and queue backpressure still engages under load.
+    inline_active: std::sync::atomic::AtomicBool,
 }
 
 /// Cloneable submission handle to a running [`PredictionServer`].
@@ -245,23 +251,118 @@ impl<K: ParamCovariance> ServerHandle<K> {
     }
 
     /// Submit-and-wait convenience for closed-loop callers.
+    ///
+    /// When the queue is idle the batch-of-one executes **inline on the
+    /// calling thread** (see [`ServerHandle::predict_with_variance`] for
+    /// the contract) — the wire front-end's single-target hot path skips
+    /// both thread handoffs entirely.
     pub fn predict(
         &self,
         model: &str,
         targets: Vec<Location>,
     ) -> Result<ServedPrediction, ServeError> {
-        self.submit(model, targets)?.wait()
+        self.predict_now(model, targets, false)
     }
 
     /// Submit-and-wait convenience including conditional variances — the
     /// shape a synchronous front-end request (e.g. one `exa-wire` HTTP
     /// request) maps onto: one call, one coalesced batch membership.
+    ///
+    /// Unlike [`ServerHandle::submit`], which must return promptly so
+    /// open-loop callers can fan tickets out, this call blocks until the
+    /// answer exists anyway — so when the queue is **empty** the request
+    /// executes inline on the calling thread instead of waking a worker
+    /// and being woken back (two scheduler round trips that dominate
+    /// single-target latency). Semantics are unchanged: the inline run is
+    /// a batch of one with the same counters, panic containment and
+    /// factorization accounting as a worker batch, and it is
+    /// **single-flight** — it only happens when there is no pending
+    /// request to coalesce with or queue behind *and* no other inline
+    /// execution is in flight, so concurrent blocking callers enqueue and
+    /// coalesce with each other (and queue backpressure engages) exactly
+    /// as before.
     pub fn predict_with_variance(
         &self,
         model: &str,
         targets: Vec<Location>,
     ) -> Result<ServedPrediction, ServeError> {
-        self.submit_with_variance(model, targets)?.wait()
+        self.predict_now(model, targets, true)
+    }
+
+    fn predict_now(
+        &self,
+        model: &str,
+        targets: Vec<Location>,
+        want_variance: bool,
+    ) -> Result<ServedPrediction, ServeError> {
+        let pending = self.prepare(model, targets, want_variance)?;
+        let ticket = PredictionTicket {
+            slot: Arc::clone(&pending.slot),
+        };
+        // Inline fast path, **single-flight**: only when the queue is idle
+        // AND no other blocking call is already executing inline. Without
+        // the second condition, concurrent `predict()` callers would each
+        // see an empty queue (none of them ever enqueues), silently
+        // disabling coalescing and queue backpressure for blocking-only
+        // traffic such as the wire front-end. With it, the first caller
+        // runs inline and everyone arriving meanwhile enqueues — so
+        // concurrent callers coalesce with each other exactly as before.
+        // The slot is claimed under the queue lock, the same lock shutdown
+        // flips `accepting` under — so a claimed slot is always visible to
+        // (and awaited by) `wait_for_inline`, and the final stats snapshot
+        // never misses an in-flight inline request. A caller that does not
+        // win the slot enqueues under that same lock acquisition (no
+        // second lock round trip on the contended path).
+        let inline = {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            if !queue.accepting {
+                return Err(ServeError::ShuttingDown);
+            }
+            let claimed = queue.items.is_empty()
+                && self
+                    .shared
+                    .inline_active
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+            match claimed {
+                true => Some(pending),
+                false => {
+                    self.enqueue_locked(&mut queue, pending)?;
+                    None
+                }
+            }
+        };
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let Some(pending) = inline else {
+            self.shared.work_cv.notify_one();
+            return ticket.wait();
+        };
+        /// Releases the single-flight slot and wakes `wait_for_inline`.
+        struct InlineGuard<'a, K: ParamCovariance>(&'a Shared<K>);
+        impl<K: ParamCovariance> Drop for InlineGuard<'_, K> {
+            fn drop(&mut self) {
+                self.0.inline_active.store(false, Ordering::Release);
+                self.0.work_cv.notify_all();
+            }
+        }
+        let _guard = InlineGuard(&self.shared);
+        // The queue may become non-empty between the claim and here —
+        // harmless: workers drain it concurrently, and this request was
+        // never in it.
+        let rt = Runtime::new(self.shared.config.threads_per_worker.max(1));
+        let potrf_before = factorization_count();
+        process_batch(&self.shared, vec![pending], &rt);
+        let potrf_now = factorization_count();
+        if potrf_now > potrf_before {
+            self.shared
+                .counters
+                .worker_potrf
+                .fetch_add((potrf_now - potrf_before) as u64, Ordering::Relaxed);
+        }
+        ticket.wait()
     }
 
     /// Requests currently queued (submitted, not yet claimed by a worker) —
@@ -281,6 +382,23 @@ impl<K: ParamCovariance> ServerHandle<K> {
         targets: Vec<Location>,
         want_variance: bool,
     ) -> Result<PredictionTicket, ServeError> {
+        let pending = self.prepare(model, targets, want_variance)?;
+        let ticket = PredictionTicket {
+            slot: Arc::clone(&pending.slot),
+        };
+        self.enqueue(pending)?;
+        Ok(ticket)
+    }
+
+    /// Validation + model resolution + slot allocation, shared by the
+    /// queued ([`ServerHandle::submit`]) and inline
+    /// ([`ServerHandle::predict`]) paths.
+    fn prepare(
+        &self,
+        model: &str,
+        targets: Vec<Location>,
+        want_variance: bool,
+    ) -> Result<Pending<K>, ServeError> {
         // Reject malformed queries at the door: the worker-side validation
         // would catch them too, but failing fast keeps junk out of batches.
         if targets.is_empty() {
@@ -305,36 +423,49 @@ impl<K: ParamCovariance> ServerHandle<K> {
             result: Mutex::new(None),
             cv: Condvar::new(),
         });
-        let pending = Pending {
+        Ok(Pending {
             model: resolved,
             targets,
             want_variance,
             enqueued: Instant::now(),
-            slot: Arc::clone(&slot),
-        };
+            slot,
+        })
+    }
+
+    /// Queues one prepared request for the workers (lifecycle and
+    /// backpressure checks included) and wakes one of them.
+    fn enqueue(&self, pending: Pending<K>) -> Result<(), ServeError> {
         {
             let mut queue = self.shared.queue.lock().expect("queue lock");
             if !queue.accepting {
                 return Err(ServeError::ShuttingDown);
             }
-            if queue.items.len() >= self.shared.config.max_queue_depth {
-                return Err(ServeError::Overloaded {
-                    queue_depth: queue.items.len(),
-                });
-            }
-            queue.items.push_back(pending);
-            let depth = queue.items.len() as u64;
-            self.shared
-                .counters
-                .max_queue_depth
-                .fetch_max(depth, Ordering::Relaxed);
+            self.enqueue_locked(&mut queue, pending)?;
         }
         self.shared
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
         self.shared.work_cv.notify_one();
-        Ok(PredictionTicket { slot })
+        Ok(())
+    }
+
+    /// The push half of [`ServerHandle::enqueue`], for callers already
+    /// holding the queue lock (who have already checked `accepting`):
+    /// backpressure check, push, high-water bookkeeping.
+    fn enqueue_locked(&self, queue: &mut Queue<K>, pending: Pending<K>) -> Result<(), ServeError> {
+        if queue.items.len() >= self.shared.config.max_queue_depth {
+            return Err(ServeError::Overloaded {
+                queue_depth: queue.items.len(),
+            });
+        }
+        queue.items.push_back(pending);
+        let depth = queue.items.len() as u64;
+        self.shared
+            .counters
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -359,6 +490,7 @@ impl<K: ParamCovariance> PredictionServer<K> {
             work_cv: Condvar::new(),
             config,
             counters: Counters::default(),
+            inline_active: std::sync::atomic::AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -388,6 +520,7 @@ impl<K: ParamCovariance> PredictionServer<K> {
         for worker in self.workers.drain(..) {
             worker.join().expect("serve worker panicked");
         }
+        self.wait_for_inline();
         self.shared.counters.snapshot()
     }
 
@@ -396,6 +529,30 @@ impl<K: ParamCovariance> PredictionServer<K> {
         queue.accepting = false;
         drop(queue);
         self.shared.work_cv.notify_all();
+    }
+
+    /// Blocks until no inline [`ServerHandle::predict`]-style execution is
+    /// in flight. Called after `accepting` is false and the workers have
+    /// drained, so the final [`ServerStats`] snapshot balances: an inline
+    /// request wins its single-flight slot under the queue lock (where
+    /// `accepting` is still checked), so it is either rejected with
+    /// `ShuttingDown` or observed — and awaited — here.
+    fn wait_for_inline(&self) {
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        while self
+            .shared
+            .inline_active
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            // The inline guard notifies `work_cv` on release; the timeout
+            // makes a lost wakeup harmless.
+            let (guard, _timeout) = self
+                .shared
+                .work_cv
+                .wait_timeout(queue, Duration::from_millis(1))
+                .expect("queue wait");
+            queue = guard;
+        }
     }
 }
 
@@ -408,6 +565,7 @@ impl<K: ParamCovariance> Drop for PredictionServer<K> {
             for worker in self.workers.drain(..) {
                 let _ = worker.join();
             }
+            self.wait_for_inline();
         }
     }
 }
@@ -573,6 +731,69 @@ mod tests {
             registry.insert(*name, Arc::new(fitted));
         }
         (registry, rt)
+    }
+
+    #[test]
+    fn inline_fast_path_is_single_flight() {
+        // The inline fast path must be single-flight: while one blocking
+        // call executes inline, every other blocking call must flow
+        // through the queue (so concurrent callers can coalesce and queue
+        // backpressure engages). Without the gate, blocking-only traffic
+        // (the wire front-end's shape) would always see an empty queue,
+        // always inline, and silently never coalesce.
+        let (registry, _rt) = registry_with(&["m"], Backend::FullTile);
+        let server = PredictionServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let handle = server.handle();
+        // Uncontended: the blocking call runs inline, never touching the
+        // queue — max_queue_depth stays 0.
+        let served = handle.predict("m", vec![Location::new(0.3, 0.7)]).unwrap();
+        assert_eq!(served.coalesced_requests, 1);
+        assert_eq!(
+            handle.stats().max_queue_depth,
+            0,
+            "an uncontended blocking predict must run inline"
+        );
+        // Simulate an inline execution in flight: with the flag held, the
+        // gate must route every blocking call through the queue, which is
+        // deterministically visible as queue residency.
+        server.shared.inline_active.store(true, Ordering::SeqCst);
+        let threads: u64 = 4;
+        let rounds: u64 = 10;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(700 + t);
+                    for _ in 0..rounds {
+                        let target = Location::new(rng.next_f64(), rng.next_f64());
+                        let served = handle.predict("m", vec![target]).unwrap();
+                        assert!(served.values[0].is_finite());
+                        assert!(served.coalesced_requests >= 1);
+                    }
+                });
+            }
+        });
+        server.shared.inline_active.store(false, Ordering::SeqCst);
+        let stats = handle.stats();
+        assert!(
+            stats.max_queue_depth >= 1,
+            "gated blocking predicts must flow through the queue"
+        );
+        // The flag released: uncontended calls inline again (and still
+        // answer correctly).
+        let depth_before = stats.max_queue_depth;
+        let served = handle.predict("m", vec![Location::new(0.5, 0.5)]).unwrap();
+        assert_eq!(served.coalesced_requests, 1);
+        assert_eq!(handle.stats().max_queue_depth, depth_before);
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_served, threads * rounds + 2);
+        assert_eq!(stats.factorizations_during_serving, 0);
     }
 
     #[test]

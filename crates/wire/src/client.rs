@@ -5,7 +5,13 @@
 //! drive concurrency with: one client per thread, many requests per
 //! connection. Typed helpers cover every endpoint; the raw JSON of a
 //! response is always reachable through [`WireClient::get_json`].
+//!
+//! Predict traffic speaks either codec: [`WireClient::set_codec`] switches
+//! the connection between JSON bodies and `application/x-exa-frame` binary
+//! frames (see [`crate::codec`]); both decode into the same
+//! [`WirePrediction`], and error envelopes are JSON either way.
 
+use crate::codec::{self, Codec, PredictResponseFrame};
 use crate::http::status_reason;
 use crate::json::{Json, JsonWriter};
 use exa_covariance::Location;
@@ -94,6 +100,16 @@ pub struct WireClient {
     /// Bytes read but not yet consumed (the tail of a previous fill).
     buf: Vec<u8>,
     pos: usize,
+    /// Predict codec for this connection (JSON unless switched).
+    codec: Codec,
+    /// Reusable request-frame scratch for the binary predict path.
+    frame_buf: Vec<u8>,
+    /// Cached request head for the binary predict path (the head is fully
+    /// determined by model name and frame size, which a closed-loop caller
+    /// repeats request after request).
+    head_cache: String,
+    /// `(model, frame_len)` the cached head was built for.
+    head_key: (String, usize),
 }
 
 impl WireClient {
@@ -108,7 +124,22 @@ impl WireClient {
             stream,
             buf: Vec::with_capacity(4096),
             pos: 0,
+            codec: Codec::Json,
+            frame_buf: Vec::new(),
+            head_cache: String::new(),
+            head_key: (String::new(), usize::MAX),
         })
+    }
+
+    /// The predict codec this connection currently speaks.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Switches predict traffic between JSON and the binary frame codec —
+    /// takes effect on the next request, on the same keep-alive connection.
+    pub fn set_codec(&mut self, codec: Codec) {
+        self.codec = codec;
     }
 
     /// `POST /v1/models/{name}/predict` for kriging means.
@@ -195,6 +226,65 @@ impl WireClient {
         targets: &[Location],
         variance: bool,
     ) -> Result<WirePrediction, WireError> {
+        match self.codec {
+            Codec::Json => self.predict_json(model, targets, variance),
+            Codec::Binary => self.predict_frame(model, targets, variance),
+        }
+    }
+
+    /// Binary predict round trip: one `x-exa-frame` request, one
+    /// `x-exa-frame` response, raw `f64` bits both ways. Error responses
+    /// stay JSON envelopes and decode exactly like the JSON path's.
+    fn predict_frame(
+        &mut self,
+        model: &str,
+        targets: &[Location],
+        variance: bool,
+    ) -> Result<WirePrediction, WireError> {
+        let mut frame = std::mem::take(&mut self.frame_buf);
+        codec::encode_predict_request_into(&mut frame, targets, variance);
+        if self.head_key.0 != model || self.head_key.1 != frame.len() {
+            self.head_cache = format!(
+                "POST /v1/models/{model}/predict HTTP/1.1\r\nHost: exa-wire\r\nContent-Type: {ct}\r\nAccept: {ct}\r\nContent-Length: {}\r\n\r\n",
+                frame.len(),
+                ct = codec::FRAME_CONTENT_TYPE,
+            );
+            self.head_key = (model.to_string(), frame.len());
+        }
+        let head = std::mem::take(&mut self.head_cache);
+        let result = self.send_then_read(head.as_bytes(), &frame);
+        self.head_cache = head;
+        self.frame_buf = frame;
+        let response = result?;
+        if !(200..300).contains(&response.status) {
+            return Err(api_error(&response));
+        }
+        if !response
+            .content_type
+            .eq_ignore_ascii_case(codec::FRAME_CONTENT_TYPE)
+        {
+            return Err(protocol(&format!(
+                "negotiated a binary response but got Content-Type {:?}",
+                response.content_type
+            )));
+        }
+        let frame = PredictResponseFrame::decode(&response.body)
+            .map_err(|e| protocol(&format!("undecodable response frame: {e}")))?;
+        Ok(WirePrediction {
+            mean: frame.mean_vec(),
+            variance: frame.variance_vec(),
+            coalesced_requests: u64::from(frame.coalesced_requests),
+            batch_points: u64::from(frame.batch_points),
+            latency_seconds: frame.latency_seconds,
+        })
+    }
+
+    fn predict_json(
+        &mut self,
+        model: &str,
+        targets: &[Location],
+        variance: bool,
+    ) -> Result<WirePrediction, WireError> {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("targets");
@@ -244,73 +334,126 @@ impl WireClient {
         })
     }
 
-    /// Sends one request and reads one response off the shared connection.
+    /// Sends one JSON request and decodes the JSON response off the shared
+    /// connection.
     fn roundtrip(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&[u8]>,
     ) -> Result<(u16, Json), WireError> {
-        let body = body.unwrap_or(b"");
+        let response = self.roundtrip_raw(
+            method,
+            path,
+            "application/json",
+            "application/json",
+            body.unwrap_or(b""),
+        )?;
+        let text =
+            std::str::from_utf8(&response.body).map_err(|_| protocol("response is not UTF-8"))?;
+        let doc =
+            Json::parse(text).map_err(|e| protocol(&format!("undecodable response body: {e}")))?;
+        Ok((response.status, doc))
+    }
+
+    /// Sends one request and reads one response off the shared connection,
+    /// codec-agnostic: the caller decodes `body` per `content_type`.
+    fn roundtrip_raw(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        accept: &str,
+        body: &[u8],
+    ) -> Result<RawResponse, WireError> {
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: exa-wire\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: exa-wire\r\nContent-Type: {content_type}\r\nAccept: {accept}\r\nContent-Length: {}\r\n\r\n",
             body.len(),
         );
+        self.send_then_read(head.as_bytes(), body)
+    }
+
+    /// One framed write (head + body in a single `write_all`) followed by
+    /// one response read.
+    fn send_then_read(&mut self, head: &[u8], body: &[u8]) -> Result<RawResponse, WireError> {
         let mut message = Vec::with_capacity(head.len() + body.len());
-        message.extend_from_slice(head.as_bytes());
+        message.extend_from_slice(head);
         message.extend_from_slice(body);
         self.stream.write_all(&message)?;
         self.read_response()
     }
 
-    fn read_response(&mut self) -> Result<(u16, Json), WireError> {
+    fn read_response(&mut self) -> Result<RawResponse, WireError> {
         // Status line + headers, terminated by a blank line.
-        let status_line = self.read_line()?;
-        let mut parts = status_line.split_ascii_whitespace();
-        let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
-            return Err(protocol(&format!("bad status line {status_line:?}")));
-        };
-        if !version.starts_with("HTTP/1.") {
-            return Err(protocol(&format!("bad HTTP version {version:?}")));
-        }
-        let status: u16 = code
-            .parse()
-            .map_err(|_| protocol(&format!("bad status code {code:?}")))?;
-        let mut content_length: Option<usize> = None;
-        loop {
-            let line = self.read_line()?;
-            if line.is_empty() {
-                break;
+        let status = self.with_line(|line| {
+            let mut parts = line.split_ascii_whitespace();
+            let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+                return Err(protocol(&format!("bad status line {line:?}")));
+            };
+            if !version.starts_with("HTTP/1.") {
+                return Err(protocol(&format!("bad HTTP version {version:?}")));
             }
-            if let Some((name, value)) = line.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = Some(
-                        value
+            code.parse::<u16>()
+                .map_err(|_| protocol(&format!("bad status code {code:?}")))
+        })?;
+        enum Header {
+            End,
+            Length(usize),
+            Type(String),
+            Other,
+        }
+        let mut content_length: Option<usize> = None;
+        let mut content_type = String::new();
+        loop {
+            let header = self.with_line(|line| {
+                if line.is_empty() {
+                    return Ok(Header::End);
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        return value
                             .trim()
                             .parse()
-                            .map_err(|_| protocol("bad Content-Length"))?,
-                    );
+                            .map(Header::Length)
+                            .map_err(|_| protocol("bad Content-Length"));
+                    }
+                    if name.eq_ignore_ascii_case("content-type") {
+                        return Ok(Header::Type(value.trim().to_string()));
+                    }
                 }
+                Ok(Header::Other)
+            })?;
+            match header {
+                Header::End => break,
+                Header::Length(length) => content_length = Some(length),
+                Header::Type(value) => content_type = value,
+                Header::Other => {}
             }
         }
         let length = content_length.ok_or_else(|| protocol("response missing Content-Length"))?;
         let body = self.read_exact_bytes(length)?;
-        let text = std::str::from_utf8(&body).map_err(|_| protocol("response is not UTF-8"))?;
-        let doc =
-            Json::parse(text).map_err(|e| protocol(&format!("undecodable response body: {e}")))?;
-        Ok((status, doc))
+        Ok(RawResponse {
+            status,
+            content_type,
+            body,
+        })
     }
 
-    fn read_line(&mut self) -> Result<String, WireError> {
+    /// Reads one CRLF/LF-terminated preamble line in place and hands it to
+    /// `take` — no per-line `String` on the hot path.
+    fn with_line<T>(
+        &mut self,
+        take: impl FnOnce(&str) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
         loop {
             if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
                 let raw = &self.buf[self.pos..self.pos + nl];
                 let line = std::str::from_utf8(raw)
                     .map_err(|_| protocol("response preamble is not UTF-8"))?
-                    .trim_end_matches('\r')
-                    .to_string();
+                    .trim_end_matches('\r');
+                let value = take(line)?;
                 self.pos += nl + 1;
-                return Ok(line);
+                return Ok(value);
             }
             self.fill()?;
         }
@@ -342,8 +485,29 @@ impl WireClient {
     }
 }
 
+/// One undecoded response off the wire.
+struct RawResponse {
+    status: u16,
+    /// `Content-Type` value, parameters included, possibly empty.
+    content_type: String,
+    body: Vec<u8>,
+}
+
 fn protocol(message: &str) -> WireError {
     WireError::Protocol(message.to_string())
+}
+
+/// Decodes the JSON error envelope of a non-2xx response (error bodies are
+/// JSON under either predict codec).
+fn api_error(response: &RawResponse) -> WireError {
+    let doc = std::str::from_utf8(&response.body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok())
+        .unwrap_or(Json::Null);
+    match expect_ok(response.status, doc) {
+        Err(err) => err,
+        Ok(_) => protocol("api_error called on a success status"),
+    }
 }
 
 fn field_u64(doc: &Json, key: &str) -> Result<u64, WireError> {

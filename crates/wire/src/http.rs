@@ -397,9 +397,8 @@ fn body_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
         if name != "content-length" {
             continue;
         }
-        let parsed: usize = value
-            .parse()
-            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        let parsed = parse_content_length(value)
+            .ok_or_else(|| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
         match length {
             Some(prev) if prev != parsed => {
                 return Err(HttpError::Malformed(
@@ -412,6 +411,25 @@ fn body_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
     Ok(length.unwrap_or(0))
 }
 
+/// Strict `Content-Length` grammar: `1*DIGIT`, nothing else. `str::parse`
+/// would be lenient here — it accepts a leading `+` — and request smuggling
+/// defenses are built on front-ends and back-ends agreeing byte-for-byte on
+/// framing, so anything but plain ASCII digits is refused: signs, embedded
+/// or surrounding whitespace, and values overflowing `u64` all fail.
+fn parse_content_length(value: &str) -> Option<usize> {
+    let bytes = value.as_bytes();
+    if bytes.is_empty() || !bytes.iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    let mut length: u64 = 0;
+    for &digit in bytes {
+        length = length
+            .checked_mul(10)?
+            .checked_add(u64::from(digit - b'0'))?;
+    }
+    usize::try_from(length).ok()
+}
+
 /// The reason phrase for the status codes this server emits.
 pub fn status_reason(status: u16) -> &'static str {
     match status {
@@ -420,6 +438,7 @@ pub fn status_reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -433,13 +452,25 @@ pub fn status_reason(status: u16) -> &'static str {
 /// Serializes one JSON response with explicit framing and writes it in a
 /// single `write_all`.
 pub fn write_response(
-    mut w: impl Write,
+    w: impl Write,
     status: u16,
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_typed(w, status, "application/json", body, keep_alive)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the binary predict
+/// codec answers `application/x-exa-frame` bodies through this.
+pub fn write_response_typed(
+    mut w: impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status_reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -519,6 +550,48 @@ mod tests {
                 ),
                 "{raw:?} gave {err:?}"
             );
+        }
+    }
+
+    #[test]
+    fn content_length_grammar_is_strict() {
+        // Fuzz-style table: every deviation from 1*DIGIT is a structured
+        // 400, never a lenient parse. `"+5".parse::<usize>()` succeeds in
+        // Rust, so each of these is a live regression guard, not a tautology.
+        let reject = [
+            "+5",                      // sign — str::parse would accept it
+            "-5",                      // sign
+            "1 2",                     // embedded whitespace
+            "1\t2",                    // embedded tab
+            "0x10",                    // radix prefix
+            "5.0",                     // decimal
+            "5e3",                     // exponent
+            "",                        // empty value
+            "18446744073709551616",    // u64::MAX + 1
+            "99999999999999999999999", // far past u64
+            "١٢٣",                     // non-ASCII digits
+            "5,5",                     // list syntax
+        ];
+        for value in reject {
+            // Note the \t guard: parse_preamble trims OWS around the value
+            // (legal per RFC 9110), so craft values whose *interior* is bad.
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length:{value}\r\nX: y\r\n\r\n");
+            let err = conn(raw.as_bytes()).read_request(|| false).unwrap_err();
+            assert!(
+                matches!(err, HttpError::Malformed(_)),
+                "Content-Length {value:?} gave {err:?}"
+            );
+            assert_eq!(err.status(), Some(400), "{value:?}");
+        }
+        // The strict grammar still accepts plain digits (leading zeros are
+        // 1*DIGIT per the RFC) and the usual OWS around the value.
+        for (value, expect) in [("0", 0usize), ("007", 7), (" 4 ", 4)] {
+            let raw = format!(
+                "POST / HTTP/1.1\r\nContent-Length:{value}\r\n\r\n{}",
+                "x".repeat(expect)
+            );
+            let req = conn(raw.as_bytes()).read_request(|| false).unwrap();
+            assert_eq!(req.body.len(), expect, "{value:?}");
         }
     }
 

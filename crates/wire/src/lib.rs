@@ -38,8 +38,25 @@
 //!
 //! # Wire schema
 //!
-//! Requests and responses are `Content-Length`-framed JSON documents
-//! (chunked transfer encoding is rejected with `501`).
+//! Requests and responses are `Content-Length`-framed documents (chunked
+//! transfer encoding is rejected with `501`). The predict endpoint speaks
+//! two codecs, negotiated per request:
+//!
+//! * **JSON** (`application/json`) — the default when no `Content-Type` is
+//!   sent; documented below.
+//! * **Binary frames** (`application/x-exa-frame`) — raw little-endian
+//!   `f64` arrays for the predict hot path; byte-level layout in the
+//!   [`codec`] module docs.
+//!
+//! `Content-Type` picks the *request* codec; `Accept` picks the *response*
+//! codec (absent or `*/*` mirrors the request, so plain `curl` keeps
+//! getting JSON, and `curl -d`'s default
+//! `application/x-www-form-urlencoded` label is accepted as JSON). Any
+//! other media type on either header is a structured `415` (used for the
+//! `Accept` side too, by design — one code for both halves of the
+//! negotiation). Error responses are **always** the JSON envelope,
+//! whichever codec was negotiated. [`WireClient::set_codec`] switches a
+//! keep-alive connection between the two.
 //!
 //! **Predict request** — `targets` is an array of `[x, y]` coordinate
 //! pairs; `variance` (optional, default `false`) additionally requests
@@ -85,10 +102,11 @@
 //!
 //! | status | `code` | meaning |
 //! |---|---|---|
-//! | 400 | `invalid_json` / `invalid_query` | undecodable body, malformed targets, rejected query |
-//! | 400/413/431/501/505 | `bad_request` | HTTP-level violation (bad preamble, oversized body/headers, chunked encoding, bad version) |
+//! | 400 | `invalid_json` / `invalid_frame` / `invalid_query` | undecodable body (per codec), malformed targets, rejected query |
+//! | 400/413/431/501/505 | `bad_request` | HTTP-level violation (bad preamble, bad `Content-Length`, oversized body/headers, chunked encoding, bad version) |
 //! | 404 | `unknown_model` / `unknown_path` | unregistered model, unrouted path |
 //! | 405 | `method_not_allowed` | right path, wrong verb |
+//! | 415 | `unsupported_media_type` | `Content-Type`/`Accept` naming neither JSON nor `application/x-exa-frame` |
 //! | 503 | `overloaded` / `shutting_down` | connection/queue caps, graceful shutdown |
 //! | 500 | `internal` | contained handler panic ([`WireStats::panics_contained`]) |
 //!
@@ -145,9 +163,11 @@
 //! [`FittedModel::predict_batch`]: exa_geostat::FittedModel::predict_batch
 
 pub mod client;
+pub mod codec;
 pub mod http;
 pub mod json;
 pub mod server;
 
 pub use client::{WireClient, WireError, WireModelInfo, WireModels, WirePrediction};
+pub use codec::Codec;
 pub use server::{WireConfig, WireServer, WireStats};

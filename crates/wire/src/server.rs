@@ -15,6 +15,7 @@
 //! connection threads, then drain and join the prediction server — queued
 //! predictions are all answered before the workers exit.
 
+use crate::codec::{self, Codec, PredictRequestFrame};
 use crate::http::{self, HttpConnection, HttpError, Limits, Request};
 use crate::json::{Json, JsonWriter};
 use exa_covariance::{Location, ParamCovariance};
@@ -142,7 +143,10 @@ struct Shared<K: ParamCovariance> {
 /// One routed response, ready to frame.
 struct Response {
     status: u16,
-    body: String,
+    body: Vec<u8>,
+    /// `Content-Type` of `body`: JSON everywhere except a binary-negotiated
+    /// predict success.
+    content_type: &'static str,
     /// Force-close the connection after writing (on top of the client's own
     /// keep-alive preference).
     close: bool,
@@ -152,11 +156,25 @@ impl Response {
     fn ok(body: String) -> Self {
         Response {
             status: 200,
-            body,
+            body: body.into_bytes(),
+            content_type: "application/json",
             close: false,
         }
     }
 
+    /// A `200` carrying one binary predict frame.
+    fn ok_frame(body: Vec<u8>) -> Self {
+        Response {
+            status: 200,
+            body,
+            content_type: codec::FRAME_CONTENT_TYPE,
+            close: false,
+        }
+    }
+
+    /// Errors are always the structured JSON envelope, whatever codec the
+    /// request negotiated — a client that cannot read JSON errors cannot
+    /// read the 4xx/5xx contract at all.
     fn error(status: u16, code: &str, message: &str) -> Self {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -168,7 +186,8 @@ impl Response {
         w.end_object();
         Response {
             status,
-            body: w.finish(),
+            body: w.finish().into_bytes(),
+            content_type: "application/json",
             close: false,
         }
     }
@@ -300,7 +319,7 @@ fn accept_loop<K: ParamCovariance>(
                 .connections_refused
                 .fetch_add(1, Ordering::Relaxed);
             let body = Response::error(503, "overloaded", "connection limit reached").body;
-            if http::write_response(&stream, 503, body.as_bytes(), false).is_ok() {
+            if http::write_response(&stream, 503, &body, false).is_ok() {
                 drain_then_close(&stream);
             }
             continue;
@@ -355,7 +374,7 @@ fn connection_loop<K: ParamCovariance>(shared: &Shared<K>, stream: TcpStream) {
                             .fetch_add(1, Ordering::Relaxed);
                         count_status(shared, status);
                         let body = Response::error(status, "bad_request", &err.to_string()).body;
-                        if http::write_response(&stream, status, body.as_bytes(), false).is_ok() {
+                        if http::write_response(&stream, status, &body, false).is_ok() {
                             drain_then_close(&stream);
                         }
                     }
@@ -389,10 +408,11 @@ fn connection_loop<K: ParamCovariance>(shared: &Shared<K>, stream: TcpStream) {
         count_status(shared, response.status);
         let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
         let keep_alive = request.keep_alive() && !response.close && !shutting_down;
-        if http::write_response(
+        if http::write_response_typed(
             &stream,
             response.status,
-            response.body.as_bytes(),
+            response.content_type,
+            &response.body,
             keep_alive,
         )
         .is_err()
@@ -448,7 +468,7 @@ fn route<K: ParamCovariance>(shared: &Shared<K>, request: &Request) -> Response 
         ("GET", ["healthz"]) => health(shared),
         ("GET", ["v1", "models"]) => models(shared),
         ("GET", ["v1", "stats"]) => stats(shared),
-        ("POST", ["v1", "models", name, "predict"]) => predict(shared, name, &request.body),
+        ("POST", ["v1", "models", name, "predict"]) => predict(shared, name, request),
         // Right path, wrong verb → 405 so clients can tell the two apart.
         (_, ["healthz"])
         | (_, ["v1", "models"])
@@ -539,29 +559,120 @@ fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
     Response::ok(w.finish())
 }
 
-fn predict<K: ParamCovariance>(shared: &Shared<K>, name: &str, body: &[u8]) -> Response {
-    let text = match std::str::from_utf8(body) {
-        Ok(text) => text,
-        Err(_) => {
-            return Response::error(400, "invalid_json", "request body is not valid UTF-8");
+/// The media type of a `Content-Type`/`Accept` value with any parameters
+/// stripped: `application/JSON; charset=utf-8` → `application/JSON`.
+fn media_essence(value: &str) -> &str {
+    value.split(';').next().unwrap_or("").trim()
+}
+
+/// The predict *request* codec from `Content-Type`. Absent (or empty)
+/// means JSON — the wire default — and anything but the supported types
+/// is a structured `415`. `application/x-www-form-urlencoded` is accepted
+/// as JSON on purpose: it is what `curl -d '{...}'` stamps on a body by
+/// default, and the documented walkthrough (and any PR 4-era script)
+/// relies on that working.
+fn request_codec(request: &Request) -> Result<Codec, Response> {
+    match request.header("content-type").map(media_essence) {
+        None => Ok(Codec::Json),
+        Some(t)
+            if t.is_empty()
+                || t.eq_ignore_ascii_case("application/json")
+                || t.eq_ignore_ascii_case("application/x-www-form-urlencoded") =>
+        {
+            Ok(Codec::Json)
         }
+        Some(t) if t.eq_ignore_ascii_case(codec::FRAME_CONTENT_TYPE) => Ok(Codec::Binary),
+        Some(t) => Err(Response::error(
+            415,
+            "unsupported_media_type",
+            &format!(
+                "unsupported Content-Type {t:?}; use application/json or {}",
+                codec::FRAME_CONTENT_TYPE
+            ),
+        )),
+    }
+}
+
+/// The predict *response* codec from `Accept`: absent, `*/*` or
+/// `application/*` mirrors the request codec (symmetric round trips, and
+/// curl's default `Accept: */*` keeps getting JSON for JSON); naming
+/// exactly one supported type selects it; naming both mirrors the request;
+/// naming neither is a structured `415`.
+fn response_codec(request: &Request, request_codec: Codec) -> Result<Codec, Response> {
+    let Some(accept) = request.header("accept") else {
+        return Ok(request_codec);
     };
-    let doc = match Json::parse(text) {
-        Ok(doc) => doc,
-        Err(err) => return Response::error(400, "invalid_json", &err.to_string()),
-    };
-    let targets = match parse_targets(&doc) {
-        Ok(targets) => targets,
-        Err(message) => return Response::error(400, "invalid_query", &message),
-    };
+    let (mut json_ok, mut binary_ok, mut any_ok) = (false, false, false);
+    for item in accept.split(',') {
+        let t = media_essence(item);
+        if t == "*/*" || t.eq_ignore_ascii_case("application/*") {
+            any_ok = true;
+        } else if t.eq_ignore_ascii_case("application/json") {
+            json_ok = true;
+        } else if t.eq_ignore_ascii_case(codec::FRAME_CONTENT_TYPE) {
+            binary_ok = true;
+        }
+    }
+    match (binary_ok, json_ok, any_ok) {
+        (true, true, _) => Ok(request_codec),
+        (true, false, _) => Ok(Codec::Binary),
+        (false, true, _) => Ok(Codec::Json),
+        (false, false, true) => Ok(request_codec),
+        (false, false, false) => Err(Response::error(
+            415,
+            "unsupported_media_type",
+            &format!(
+                "no supported media type in Accept {accept:?}; this endpoint answers \
+                 application/json or {}",
+                codec::FRAME_CONTENT_TYPE
+            ),
+        )),
+    }
+}
+
+/// Decodes a JSON predict body into `(targets, want_variance)`.
+fn parse_json_predict(body: &[u8]) -> Result<(Vec<Location>, bool), Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "invalid_json", "request body is not valid UTF-8"))?;
+    let doc =
+        Json::parse(text).map_err(|err| Response::error(400, "invalid_json", &err.to_string()))?;
+    let targets =
+        parse_targets(&doc).map_err(|message| Response::error(400, "invalid_query", &message))?;
     let want_variance = match doc.get("variance") {
         None => false,
-        Some(v) => match v.as_bool() {
-            Some(b) => b,
-            None => {
-                return Response::error(400, "invalid_query", "\"variance\" must be a boolean");
-            }
-        },
+        Some(v) => v.as_bool().ok_or_else(|| {
+            Response::error(400, "invalid_query", "\"variance\" must be a boolean")
+        })?,
+    };
+    Ok((targets, want_variance))
+}
+
+/// Decodes a binary predict body into `(targets, want_variance)`. Only the
+/// *structure* is validated here — empty target sets and non-finite
+/// coordinates are rejected by the prediction server itself, so both
+/// codecs share one `invalid_query` policy.
+fn parse_frame_predict(body: &[u8]) -> Result<(Vec<Location>, bool), Response> {
+    let frame = PredictRequestFrame::decode(body)
+        .map_err(|err| Response::error(400, "invalid_frame", &err.to_string()))?;
+    Ok((frame.to_locations(), frame.variance))
+}
+
+fn predict<K: ParamCovariance>(shared: &Shared<K>, name: &str, request: &Request) -> Response {
+    let req_codec = match request_codec(request) {
+        Ok(codec) => codec,
+        Err(response) => return response,
+    };
+    let resp_codec = match response_codec(request, req_codec) {
+        Ok(codec) => codec,
+        Err(response) => return response,
+    };
+    let decoded = match req_codec {
+        Codec::Json => parse_json_predict(&request.body),
+        Codec::Binary => parse_frame_predict(&request.body),
+    };
+    let (targets, want_variance) = match decoded {
+        Ok(decoded) => decoded,
+        Err(response) => return response,
     };
     // One wire request = one submission = one coalesced-batch membership.
     let served = if want_variance {
@@ -573,29 +684,40 @@ fn predict<K: ParamCovariance>(shared: &Shared<K>, name: &str, body: &[u8]) -> R
         Ok(served) => served,
         Err(err) => return serve_error_response(&err),
     };
-    let mut w = JsonWriter::new();
-    w.begin_object();
-    w.field_str("model", name);
-    w.key("mean");
-    w.begin_array();
-    for v in &served.values {
-        w.number(*v);
-    }
-    w.end_array();
-    if let Some(variances) = &served.variances {
-        w.key("variance");
-        w.begin_array();
-        for v in variances {
-            w.number(*v);
+    match resp_codec {
+        Codec::Binary => Response::ok_frame(codec::encode_predict_response(
+            &served.values,
+            served.variances.as_deref(),
+            served.coalesced_requests.min(u32::MAX as usize) as u32,
+            served.batch_points.min(u32::MAX as usize) as u32,
+            served.latency_seconds,
+        )),
+        Codec::Json => {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.field_str("model", name);
+            w.key("mean");
+            w.begin_array();
+            for v in &served.values {
+                w.number(*v);
+            }
+            w.end_array();
+            if let Some(variances) = &served.variances {
+                w.key("variance");
+                w.begin_array();
+                for v in variances {
+                    w.number(*v);
+                }
+                w.end_array();
+            }
+            w.field_uint("points", served.values.len() as u64);
+            w.field_uint("coalesced_requests", served.coalesced_requests as u64);
+            w.field_uint("batch_points", served.batch_points as u64);
+            w.field_num("latency_seconds", served.latency_seconds);
+            w.end_object();
+            Response::ok(w.finish())
         }
-        w.end_array();
     }
-    w.field_uint("points", served.values.len() as u64);
-    w.field_uint("coalesced_requests", served.coalesced_requests as u64);
-    w.field_uint("batch_points", served.batch_points as u64);
-    w.field_num("latency_seconds", served.latency_seconds);
-    w.end_object();
-    Response::ok(w.finish())
 }
 
 /// Decodes `"targets": [[x, y], ...]` with precise error messages.

@@ -9,6 +9,7 @@ use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel};
 use exa_runtime::Runtime;
 use exa_serve::{ModelRegistry, ServeConfig};
 use exa_util::Rng;
+use exa_wire::codec::{self, Codec};
 use exa_wire::{WireClient, WireConfig, WireError, WireServer};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -146,6 +147,318 @@ fn concurrent_keep_alive_clients_get_bit_identical_means() {
         wire.requests_ok > expected_predicts,
         "health/stats count too"
     );
+}
+
+/// The ISSUE 5 tier-1 acceptance test: the same queries through the JSON
+/// codec, the binary frame codec and the in-process `predict_batch` path
+/// must produce **identical f64 bits** — the binary frames carry the raw
+/// bits and the JSON layer's shortest-round-trip encoding loses none.
+#[test]
+fn binary_and_json_codecs_answer_identical_bits() {
+    let model = fitted(512, 21, Backend::FullTile);
+    let (server, _registry) = boot(
+        &[("soil", Arc::clone(&model))],
+        WireConfig {
+            serve: ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr();
+    let mut json_client = WireClient::connect(addr).expect("connect");
+    assert_eq!(json_client.codec(), Codec::Json);
+    let mut bin_client = WireClient::connect(addr).expect("connect");
+    bin_client.set_codec(Codec::Binary);
+
+    for (seed, points, variance) in [
+        (1u64, 1usize, false),
+        (2, 3, true),
+        (3, 17, false),
+        (4, 8, true),
+    ] {
+        let targets = targets_for(7000 + seed, points);
+        let direct = model
+            .predict_batch(&[targets.as_slice()])
+            .unwrap()
+            .remove(0);
+        let via_json = if variance {
+            json_client.predict_with_variance("soil", &targets)
+        } else {
+            json_client.predict("soil", &targets)
+        }
+        .expect("json predict");
+        let via_bin = if variance {
+            bin_client.predict_with_variance("soil", &targets)
+        } else {
+            bin_client.predict("soil", &targets)
+        }
+        .expect("binary predict");
+
+        assert_eq!(via_bin.mean.len(), points);
+        for i in 0..points {
+            assert_eq!(
+                via_bin.mean[i].to_bits(),
+                direct.values[i].to_bits(),
+                "binary mean {i} differs from in-process predict_batch"
+            );
+            assert_eq!(
+                via_json.mean[i].to_bits(),
+                via_bin.mean[i].to_bits(),
+                "codecs disagree on mean {i}"
+            );
+        }
+        assert_eq!(via_json.variance.is_some(), variance);
+        assert_eq!(via_bin.variance.is_some(), variance);
+        if let (Some(jv), Some(bv)) = (&via_json.variance, &via_bin.variance) {
+            for i in 0..points {
+                assert_eq!(
+                    jv[i].to_bits(),
+                    bv[i].to_bits(),
+                    "codecs disagree on variance {i}"
+                );
+            }
+        }
+        assert!(via_bin.coalesced_requests >= 1);
+        assert_eq!(via_bin.batch_points as usize % points, 0);
+        assert!(via_bin.latency_seconds >= 0.0);
+    }
+
+    // One connection can switch codecs mid-stream (keep-alive preserved).
+    bin_client.set_codec(Codec::Json);
+    let t = targets_for(9999, 2);
+    let served = bin_client.predict("soil", &t).expect("post-switch predict");
+    assert_eq!(served.mean.len(), 2);
+
+    let (wire, serve) = server.shutdown();
+    assert_eq!(wire.requests_client_error, 0);
+    assert_eq!(wire.requests_server_error, 0);
+    assert_eq!(wire.panics_contained, 0);
+    assert_eq!(serve.factorizations_during_serving, 0);
+}
+
+/// Content negotiation: `Content-Type` picks the request codec, `Accept`
+/// the response codec, mixed pairs work both ways, and unsupported media
+/// types on either header are a structured `415` — never a lenient fall
+/// back to JSON.
+#[test]
+fn content_negotiation_and_structured_415() {
+    let model = fitted(64, 22, Backend::FullTile);
+    let (server, _registry) = boot(&[("m", model)], WireConfig::default());
+    let addr = server.local_addr();
+    let roundtrip_raw = |head: &str, body: &[u8]| -> (String, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("set timeout");
+        stream.write_all(head.as_bytes()).expect("write head");
+        stream.write_all(body).expect("write body");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read");
+        let split = response
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("response has a preamble");
+        (
+            String::from_utf8(response[..split].to_vec()).expect("preamble utf8"),
+            response[split + 4..].to_vec(),
+        )
+    };
+
+    // Binary request + default Accept → binary response (mirrored codec).
+    let frame = codec::encode_predict_request(&targets_for(31, 2), false);
+    let head = format!(
+        "POST /v1/models/m/predict HTTP/1.1\r\nContent-Type: {}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        codec::FRAME_CONTENT_TYPE,
+        frame.len()
+    );
+    let (preamble, body) = roundtrip_raw(&head, &frame);
+    assert!(preamble.starts_with("HTTP/1.1 200"), "{preamble}");
+    assert!(
+        preamble.contains(&format!("Content-Type: {}", codec::FRAME_CONTENT_TYPE)),
+        "{preamble}"
+    );
+    let decoded = codec::PredictResponseFrame::decode(&body).expect("frame body");
+    assert_eq!(decoded.len(), 2);
+
+    // Binary request + Accept: application/json → JSON response.
+    let head = format!(
+        "POST /v1/models/m/predict HTTP/1.1\r\nContent-Type: {}\r\nAccept: application/json\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        codec::FRAME_CONTENT_TYPE,
+        frame.len()
+    );
+    let (preamble, body) = roundtrip_raw(&head, &frame);
+    assert!(preamble.starts_with("HTTP/1.1 200"), "{preamble}");
+    assert!(
+        preamble.contains("Content-Type: application/json"),
+        "{preamble}"
+    );
+    assert!(body.starts_with(br#"{"model":"m""#), "{body:?}");
+
+    // JSON request + Accept: x-exa-frame → binary response.
+    let json_body = br#"{"targets":[[0.25,0.75]]}"#;
+    let head = format!(
+        "POST /v1/models/m/predict HTTP/1.1\r\nAccept: {}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        codec::FRAME_CONTENT_TYPE,
+        json_body.len()
+    );
+    let (preamble, body) = roundtrip_raw(&head, json_body);
+    assert!(preamble.starts_with("HTTP/1.1 200"), "{preamble}");
+    let decoded = codec::PredictResponseFrame::decode(&body).expect("frame body");
+    assert_eq!(decoded.len(), 1);
+
+    // curl's defaults (no Content-Type on GET-turned-POST, Accept: */*)
+    // keep getting JSON.
+    let head = format!(
+        "POST /v1/models/m/predict HTTP/1.1\r\nAccept: */*\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        json_body.len()
+    );
+    let (preamble, _) = roundtrip_raw(&head, json_body);
+    assert!(
+        preamble.contains("Content-Type: application/json"),
+        "{preamble}"
+    );
+
+    // `curl -d '{...}'` stamps `application/x-www-form-urlencoded` on the
+    // body — the documented README walkthrough — which must keep decoding
+    // as JSON, not 415.
+    let head = format!(
+        "POST /v1/models/m/predict HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nAccept: */*\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        json_body.len()
+    );
+    let (preamble, body) = roundtrip_raw(&head, json_body);
+    assert!(preamble.starts_with("HTTP/1.1 200"), "{preamble}");
+    assert!(body.starts_with(br#"{"model":"m""#), "{body:?}");
+    // ...and `curl -d 'not json'` stays the documented invalid_json 400.
+    let garbage_json = b"not json";
+    let head = format!(
+        "POST /v1/models/m/predict HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        garbage_json.len()
+    );
+    let (preamble, body) = roundtrip_raw(&head, garbage_json);
+    assert!(preamble.starts_with("HTTP/1.1 400"), "{preamble}");
+    assert!(
+        String::from_utf8(body)
+            .expect("json error body")
+            .contains("invalid_json"),
+        "expected invalid_json"
+    );
+
+    // Unsupported Content-Type and unsupported Accept: structured 415s.
+    for head in [
+        format!(
+            "POST /v1/models/m/predict HTTP/1.1\r\nContent-Type: text/plain\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            json_body.len()
+        ),
+        format!(
+            "POST /v1/models/m/predict HTTP/1.1\r\nAccept: text/html, image/png\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            json_body.len()
+        ),
+    ] {
+        let (preamble, body) = roundtrip_raw(&head, json_body);
+        assert!(preamble.starts_with("HTTP/1.1 415"), "{preamble}");
+        let text = String::from_utf8(body).expect("json error body");
+        assert!(text.contains("unsupported_media_type"), "{text}");
+    }
+
+    // A garbage body under the frame content type is a structured 400
+    // `invalid_frame`, mirroring `invalid_json`.
+    let garbage = b"EXAGarbage, definitely not a frame";
+    let head = format!(
+        "POST /v1/models/m/predict HTTP/1.1\r\nContent-Type: {}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        codec::FRAME_CONTENT_TYPE,
+        garbage.len()
+    );
+    let (preamble, body) = roundtrip_raw(&head, garbage);
+    assert!(preamble.starts_with("HTTP/1.1 400"), "{preamble}");
+    assert!(
+        String::from_utf8(body)
+            .expect("json error body")
+            .contains("invalid_frame"),
+        "expected invalid_frame"
+    );
+
+    let (wire, _serve) = server.shutdown();
+    assert_eq!(wire.panics_contained, 0);
+}
+
+/// Empty batches and non-finite coordinates must come back as structured
+/// `invalid_query` (400) over **either** codec — never a 200 carrying an
+/// empty or NaN body. (JSON cannot even express NaN, so its non-finite
+/// case is a parse-level 400; the binary frame *can*, and the server must
+/// catch it.)
+#[test]
+fn empty_and_non_finite_queries_rejected_on_both_codecs() {
+    let model = fitted(64, 23, Backend::FullTile);
+    let (server, _registry) = boot(&[("m", model)], WireConfig::default());
+    let addr = server.local_addr();
+
+    for wire_codec in [Codec::Json, Codec::Binary] {
+        let mut client = WireClient::connect(addr).expect("connect");
+        client.set_codec(wire_codec);
+        // Empty batch → invalid_query, not an empty 200.
+        let err = client.predict("m", &[]).unwrap_err();
+        match err {
+            WireError::Api { status, code, .. } => {
+                assert_eq!(
+                    (status, code.as_str()),
+                    (400, "invalid_query"),
+                    "{wire_codec}: empty batch"
+                );
+            }
+            other => panic!("{wire_codec}: unexpected error {other}"),
+        }
+        // The connection survives the structured error.
+        client.health().expect("keep-alive after invalid_query");
+    }
+
+    // NaN/∞ coordinates through the binary codec (the frame is
+    // bit-transparent, so these arrive intact and must be rejected).
+    let mut client = WireClient::connect(addr).expect("connect");
+    client.set_codec(Codec::Binary);
+    for bad in [
+        [Location::new(f64::NAN, 0.5)],
+        [Location::new(0.5, f64::INFINITY)],
+        [Location::new(f64::NEG_INFINITY, f64::NAN)],
+    ] {
+        let err = client.predict("m", &bad).unwrap_err();
+        match err {
+            WireError::Api { status, code, .. } => {
+                assert_eq!((status, code.as_str()), (400, "invalid_query"), "{bad:?}");
+            }
+            other => panic!("unexpected error {other} for {bad:?}"),
+        }
+        let err = client.predict_with_variance("m", &bad).unwrap_err();
+        assert!(matches!(err, WireError::Api { status: 400, .. }), "{bad:?}");
+    }
+
+    // The JSON path cannot express NaN: bare tokens are parse errors, and
+    // null coordinates are invalid_query — still never a 200.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set timeout");
+    let body = br#"{"targets":[[NaN,0.5]]}"#;
+    stream
+        .write_all(
+            format!(
+                "POST /v1/models/m/predict HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    stream.write_all(body).expect("write body");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "{response:?}");
+    assert!(response.contains("invalid_json"), "{response:?}");
+
+    let (wire, serve) = server.shutdown();
+    assert_eq!(wire.panics_contained, 0);
+    assert_eq!(serve.factorizations_during_serving, 0);
+    assert_eq!(wire.requests_server_error, 0, "rejections must be 4xx");
 }
 
 /// Malformed HTTP preambles, oversized bodies, truncated JSON and

@@ -117,6 +117,20 @@ fn main() {
             served.coalesced_requests,
         );
 
+        // The same connection can switch to the binary frame codec
+        // (`application/x-exa-frame`): raw f64 bits on the wire, so the
+        // answers match the JSON ones bit for bit.
+        client.set_codec(Codec::Binary);
+        let binary = client
+            .predict_with_variance("soil-tlr", &[Location::new(0.5, 0.5)])
+            .expect("binary predict");
+        assert_eq!(binary.mean[0].to_bits(), served.mean[0].to_bits());
+        println!(
+            "binary frame codec: identical bits for the same query (mean {:+.4})",
+            binary.mean[0]
+        );
+        client.set_codec(Codec::Json);
+
         let stats = client.stats().expect("stats");
         let serve = stats.get("serve").expect("serve section");
         println!(

@@ -11,7 +11,7 @@
 //!
 //! | layer | paper component | crate |
 //! |---|---|---|
-//! | wire front-end | ExaGeoStatR's remote-consumer surface, as HTTP/1.1 + JSON | [`wire`] (`exa-wire`) |
+//! | wire front-end | ExaGeoStatR's remote-consumer surface, as HTTP/1.1 + JSON or binary frames | [`wire`] (`exa-wire`) |
 //! | prediction serving | ExaGeoStatR's fit-once/predict-many workflow, as a service | [`serve`] (`exa-serve`) |
 //! | statistics & drivers | ExaGeoStat + NLopt | [`geostat`] (`exa-geostat`) |
 //! | TLR linear algebra | HiCMA | [`tlr`] (`exa-tlr`) |
@@ -72,9 +72,11 @@
 //! the API is generic over [`covariance::ParamCovariance`].
 //!
 //! Fitted models serve in-process through [`serve`] (`exa-serve`) and over
-//! TCP through [`wire`] (`exa-wire`): a zero-dependency HTTP/1.1 + JSON
-//! front-end whose `predict` endpoint coalesces each request onto the same
-//! micro-batching path (see the `exa-wire` crate docs for the wire schema).
+//! TCP through [`wire`] (`exa-wire`): a zero-dependency HTTP/1.1 front-end
+//! whose `predict` endpoint coalesces each request onto the same
+//! micro-batching path and speaks JSON or a binary `f64` frame codec,
+//! negotiated per request (see the `exa-wire` crate docs for the wire
+//! schema and `exa-wire::codec` for the frame layout).
 //!
 //! See `examples/` for full MLE fits, the simulated soil-moisture and
 //! wind-speed studies, the distributed-run simulator, the concurrent
@@ -114,7 +116,7 @@ pub mod prelude {
     pub use exa_tlr::{CompressionMethod, TlrMatrix};
     pub use exa_util::Rng;
     pub use exa_wire::{
-        WireClient, WireConfig, WireError, WireModelInfo, WireModels, WirePrediction, WireServer,
-        WireStats,
+        Codec, WireClient, WireConfig, WireError, WireModelInfo, WireModels, WirePrediction,
+        WireServer, WireStats,
     };
 }
