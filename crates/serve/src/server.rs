@@ -113,6 +113,8 @@ pub struct ServedPrediction {
 }
 
 type SlotResult = Result<ServedPrediction, ServeError>;
+/// Completion callback shape for [`PredictionTicket::on_ready`].
+type ReadyCallback = Box<dyn FnOnce(SlotResult) + Send>;
 /// Per-request payload produced by one coalesced model call: the kriging
 /// means plus the variances when the batch ran in variance mode.
 type BatchResponses = Vec<(Vec<f64>, Option<Vec<f64>>)>;
@@ -121,16 +123,29 @@ type BatchResponses = Vec<(Vec<f64>, Option<Vec<f64>>)>;
 struct Slot {
     result: Mutex<Option<SlotResult>>,
     cv: Condvar,
+    /// Completion callback registered by [`PredictionTicket::on_ready`];
+    /// locked strictly after `result` on both the register and fulfill
+    /// paths, which is what makes the register/fulfill race benign.
+    waker: Mutex<Option<ReadyCallback>>,
 }
 
 impl Slot {
     fn fulfill(&self, value: SlotResult) {
-        *self.result.lock().expect("slot lock") = Some(value);
+        let mut guard = self.result.lock().expect("slot lock");
+        if let Some(callback) = self.waker.lock().expect("slot waker lock").take() {
+            // A reactor-style consumer is waiting: hand the result straight
+            // to its callback (outside both locks) instead of parking it.
+            drop(guard);
+            callback(value);
+            return;
+        }
+        *guard = Some(value);
         self.cv.notify_all();
     }
 }
 
-/// A claim on one in-flight request; redeem with [`PredictionTicket::wait`].
+/// A claim on one in-flight request; redeem with [`PredictionTicket::wait`],
+/// or register a completion callback with [`PredictionTicket::on_ready`].
 pub struct PredictionTicket {
     slot: Arc<Slot>,
 }
@@ -148,6 +163,28 @@ impl PredictionTicket {
     /// Non-blocking poll: `true` once the response is ready.
     pub fn is_ready(&self) -> bool {
         self.slot.result.lock().expect("slot lock").is_some()
+    }
+
+    /// Registers a completion callback instead of blocking: `f` runs
+    /// exactly once with the result — immediately on the calling thread if
+    /// the request is already answered, otherwise on whichever thread
+    /// fulfills it (a pool worker, or an inline `predict` caller). This is
+    /// the event-loop consumption shape: a reactor thread can submit work
+    /// and go back to its poller, with `f` posting the completion back to
+    /// it (e.g. queue + wake byte). Keep `f` short and non-blocking — it
+    /// runs on the fulfilling thread's time, delaying that worker's next
+    /// batch.
+    pub fn on_ready(self, f: impl FnOnce(SlotResult) + Send + 'static) {
+        let mut guard = self.slot.result.lock().expect("slot lock");
+        if let Some(value) = guard.take() {
+            drop(guard);
+            f(value);
+            return;
+        }
+        // Registered while holding the result lock — `fulfill` takes that
+        // same lock before it checks for a waker, so the callback can
+        // neither be missed nor run twice.
+        *self.slot.waker.lock().expect("slot waker lock") = Some(Box::new(f));
     }
 }
 
@@ -422,6 +459,7 @@ impl<K: ParamCovariance> ServerHandle<K> {
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
             cv: Condvar::new(),
+            waker: Mutex::new(None),
         });
         Ok(Pending {
             model: resolved,

@@ -4,24 +4,38 @@
 //! this module hand-rolls exactly the subset the prediction front-end
 //! needs: request-line + header parsing, `Content-Length` body framing,
 //! keep-alive connection reuse, and hard limits on header/body sizes so a
-//! misbehaving client cannot balloon a connection thread's memory.
+//! misbehaving client cannot balloon the server's memory.
 //!
 //! What is deliberately **not** implemented: chunked transfer encoding
 //! (rejected with `501`), HTTP/2, TLS, multipart. The wire protocol is
-//! small JSON documents over `Content-Length`-framed requests; anything
-//! else is an error response, never a panic.
+//! small `Content-Length`-framed documents; anything else is an error
+//! response, never a panic.
 //!
-//! # Blocking model
+//! # Incremental model
 //!
-//! [`HttpConnection::read_request`] is called on a connection thread whose
-//! stream has a short read timeout. Timeouts while *waiting for a request*
-//! poll the caller's `abort` flag (that is how graceful shutdown reaches
-//! idle keep-alive connections); timeouts *inside* a request count against
-//! [`Limits::request_deadline`] so a slow-loris client is eventually
-//! disconnected rather than pinning a thread forever.
+//! [`RequestParser`] is a *push* parser built for the readiness reactor in
+//! [`crate::reactor`]: the caller feeds it whatever bytes the socket had
+//! ([`RequestParser::read_from`]) and asks for progress
+//! ([`RequestParser::next_request`]), which is either a complete
+//! [`Request`], a [`ParseProgress::NeedHead`]/[`ParseProgress::NeedBody`]
+//! "come back with more bytes", or a hard [`HttpError`]. Bytes trailing a
+//! complete request stay buffered and seed the next one — that is what
+//! makes keep-alive and pipelining work without the parser ever touching
+//! the socket itself.
+//!
+//! # Allocation discipline
+//!
+//! The preamble parse is **borrow-based**: header names and values are
+//! never copied into per-header `String`s (the PR 4/5 implementation
+//! allocated two per header line). A carved [`Request`] owns exactly one
+//! `Vec<u8>` — the raw bytes of that request — and every accessor
+//! ([`Request::method`], [`Request::header`], [`Request::headers`]) hands
+//! out `&str` slices into it, so the per-request allocation count is a
+//! small constant independent of the header count
+//! (`tests/parser_alloc.rs` pins this with a counting allocator).
 
 use std::io::{ErrorKind, Read, Write};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Size/time limits enforced while reading one request.
 #[derive(Clone, Copy, Debug)]
@@ -31,7 +45,8 @@ pub struct Limits {
     /// Cap on the declared `Content-Length`, bytes.
     pub max_body_bytes: usize,
     /// Wall-clock budget for receiving one full request once its first byte
-    /// has arrived.
+    /// has arrived (slow-loris guard, enforced by the reactor's deadline
+    /// sweep).
     pub request_deadline: Duration,
     /// How long to wait for the *first* byte of the next request on an
     /// otherwise idle keep-alive connection. Without this bound, silent
@@ -50,7 +65,10 @@ impl Default for Limits {
     }
 }
 
-/// Why reading a request off the wire failed.
+/// Why parsing a request off the wire failed. Every variant is answerable:
+/// the framing up to the failure point was intelligible enough to write a
+/// structured error response before closing (transport-level failures —
+/// disconnects, timeouts — are the reactor's business, not the parser's).
 #[derive(Debug)]
 pub enum HttpError {
     /// Unparseable request line, header, or body framing → `400`.
@@ -63,38 +81,17 @@ pub enum HttpError {
     UnsupportedTransferEncoding,
     /// An HTTP version other than 1.0/1.1 → `505`.
     UnsupportedVersion(String),
-    /// The client closed the connection **between** requests: the clean end
-    /// of a keep-alive session, not an error.
-    Closed,
-    /// The client vanished mid-request (EOF before the framing completed).
-    Disconnected,
-    /// The caller's abort flag tripped while waiting for the next request.
-    Aborted,
-    /// [`Limits::idle_timeout`] elapsed with no request bytes at all: an
-    /// idle keep-alive connection being reclaimed, not a protocol error.
-    IdleTimeout,
-    /// [`Limits::request_deadline`] elapsed mid-request.
-    Timeout,
-    /// Any other socket error.
-    Io(String),
 }
 
 impl HttpError {
-    /// The status code to answer with, when the failure is answerable at
-    /// all (`None` means the connection is beyond responding — just close).
-    pub fn status(&self) -> Option<u16> {
+    /// The status code to answer with.
+    pub fn status(&self) -> u16 {
         match self {
-            HttpError::Malformed(_) => Some(400),
-            HttpError::HeadersTooLarge { .. } => Some(431),
-            HttpError::BodyTooLarge { .. } => Some(413),
-            HttpError::UnsupportedTransferEncoding => Some(501),
-            HttpError::UnsupportedVersion(_) => Some(505),
-            HttpError::Closed
-            | HttpError::Disconnected
-            | HttpError::Aborted
-            | HttpError::IdleTimeout
-            | HttpError::Timeout
-            | HttpError::Io(_) => None,
+            HttpError::Malformed(_) => 400,
+            HttpError::HeadersTooLarge { .. } => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::UnsupportedVersion(_) => 505,
         }
     }
 }
@@ -119,228 +116,274 @@ impl std::fmt::Display for HttpError {
                 )
             }
             HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
-            HttpError::Closed => write!(f, "connection closed"),
-            HttpError::Disconnected => write!(f, "client disconnected mid-request"),
-            HttpError::Aborted => write!(f, "server is shutting down"),
-            HttpError::IdleTimeout => write!(f, "idle connection timed out"),
-            HttpError::Timeout => write!(f, "timed out reading request"),
-            HttpError::Io(msg) => write!(f, "socket error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
 
-/// One parsed request: the method/target line, lower-cased headers and the
-/// `Content-Length`-framed body.
+/// One parsed request, owning its raw bytes. The method/target/header
+/// accessors borrow from that buffer — no per-header copies (see the
+/// module docs on allocation discipline).
 #[derive(Debug)]
 pub struct Request {
-    pub method: String,
-    /// The raw request target (path plus any query string).
-    pub target: String,
+    /// The raw bytes of exactly this request: preamble, blank line, body.
+    data: Vec<u8>,
+    /// `data[..head_len]` is the preamble (request line + header lines),
+    /// exclusive of the terminating blank line.
+    head_len: usize,
+    /// Byte span of the method within `data`.
+    method: (usize, usize),
+    /// Byte span of the raw request target within `data`.
+    target: (usize, usize),
+    /// Byte offset where the body starts (after the blank line).
+    body_start: usize,
     /// `true` for HTTP/1.1, `false` for HTTP/1.0.
     pub http11: bool,
-    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
-    pub headers: Vec<(String, String)>,
-    pub body: Vec<u8>,
 }
 
 impl Request {
-    /// First value of a header by lower-case name.
-    pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+    /// The request method (`GET`, `POST`, ...).
+    pub fn method(&self) -> &str {
+        self.span(self.method)
+    }
+
+    /// The raw request target (path plus any query string).
+    pub fn target(&self) -> &str {
+        self.span(self.target)
     }
 
     /// The request path without any query string.
     pub fn path(&self) -> &str {
-        self.target.split('?').next().unwrap_or(&self.target)
+        self.target()
+            .split('?')
+            .next()
+            .unwrap_or_else(|| self.target())
+    }
+
+    /// The `Content-Length`-framed body.
+    pub fn body(&self) -> &[u8] {
+        &self.data[self.body_start..]
+    }
+
+    /// First value of a header by name (ASCII case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v)
+    }
+
+    /// Iterates `(name, value)` header pairs in wire order, borrowed from
+    /// the request buffer; names keep their wire casing, values are
+    /// OWS-trimmed.
+    pub fn headers(&self) -> impl Iterator<Item = (&str, &str)> {
+        // The preamble was validated as UTF-8 with well-formed header
+        // lines when the request was carved, so the unwraps cannot fire.
+        let head = std::str::from_utf8(&self.data[..self.head_len]).expect("validated preamble");
+        head.split('\n')
+            .skip(1)
+            .map(|line| line.strip_suffix('\r').unwrap_or(line))
+            .filter(|line| !line.is_empty())
+            .map(|line| {
+                let (name, value) = line.split_once(':').expect("validated header line");
+                (name, value.trim())
+            })
     }
 
     /// Whether the connection should stay open after the response:
     /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
-    /// `Connection` header overrides either.
+    /// `Connection` header overrides either. Allocation-free.
     pub fn keep_alive(&self) -> bool {
-        match self.header("connection").map(str::to_ascii_lowercase) {
-            Some(v) if v.contains("close") => false,
-            Some(v) if v.contains("keep-alive") => true,
+        match self.header("connection") {
+            Some(v) if contains_ci(v, "close") => false,
+            Some(v) if contains_ci(v, "keep-alive") => true,
             _ => self.http11,
         }
     }
+
+    fn span(&self, (start, end): (usize, usize)) -> &str {
+        std::str::from_utf8(&self.data[start..end]).expect("validated preamble span")
+    }
 }
 
-/// Server side of one TCP connection: buffers the byte stream and carves
-/// `Content-Length`-framed requests out of it (leftover bytes after one
-/// request seed the next — that is what makes keep-alive work).
-pub struct HttpConnection<R: Read> {
-    reader: R,
+/// ASCII case-insensitive substring search (both sides expected ASCII;
+/// `needle` must be non-empty).
+fn contains_ci(haystack: &str, needle: &str) -> bool {
+    haystack
+        .as_bytes()
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle.as_bytes()))
+}
+
+/// What [`RequestParser::next_request`] found in the buffered bytes.
+#[derive(Debug)]
+pub enum ParseProgress {
+    /// The preamble terminator has not arrived yet.
+    NeedHead,
+    /// The preamble parsed cleanly; the declared body is still incomplete.
+    NeedBody,
+    /// One complete request, carved off the front of the buffer.
+    Request(Request),
+}
+
+/// Incremental server-side request parser: the caller appends raw socket
+/// bytes and asks for progress. See the module docs for the push model and
+/// allocation discipline.
+pub struct RequestParser {
     limits: Limits,
     buf: Vec<u8>,
     /// Consumed prefix of `buf`; compacted between requests.
     pos: usize,
+    /// Memo of how far past `pos` the preamble-terminator scan has already
+    /// looked, so drip-fed headers cost O(n) total instead of O(n²).
+    scanned: usize,
 }
 
-/// Outcome of one buffered read.
-enum Fill {
-    /// More bytes arrived.
-    Data,
-    /// Orderly EOF from the peer.
-    Eof,
-    /// The read timed out (stream has a read timeout); caller decides
-    /// whether to retry or give up.
-    TimedOut,
-}
-
-impl<R: Read> HttpConnection<R> {
-    pub fn new(reader: R, limits: Limits) -> Self {
-        HttpConnection {
-            reader,
+impl RequestParser {
+    pub fn new(limits: Limits) -> Self {
+        RequestParser {
             limits,
             buf: Vec::with_capacity(4096),
             pos: 0,
+            scanned: 0,
         }
     }
 
-    /// Reads the next request. Blocks until one arrives, the peer closes,
-    /// `abort()` turns true (polled on read timeouts while idle), or the
-    /// request violates a limit.
-    pub fn read_request(&mut self, abort: impl Fn() -> bool) -> Result<Request, HttpError> {
-        self.compact();
-        // Phase 1 — wait for the first byte (idle keep-alive): timeouts
-        // here poll the abort flag, bounded by the idle timeout so a silent
-        // socket cannot hold its connection slot forever.
-        let idle_deadline = Instant::now() + self.limits.idle_timeout;
-        while self.buf.len() == self.pos {
-            if abort() {
-                return Err(HttpError::Aborted);
+    /// Bytes buffered but not yet carved into a request — non-zero means a
+    /// request is (at least partially) in flight, which is how the reactor
+    /// distinguishes an idle keep-alive close from a mid-request disconnect.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Appends raw bytes (test/baseline harness entry point; the reactor
+    /// uses [`RequestParser::read_from`]).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact_if_large();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One `read` from `r` into the buffer. `Ok(0)` is end-of-stream;
+    /// `WouldBlock`/`TimedOut`/`Interrupted` are surfaced unchanged for the
+    /// caller to interpret.
+    pub fn read_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        self.compact_if_large();
+        let len = self.buf.len();
+        self.buf.resize(len + 4096, 0);
+        match r.read(&mut self.buf[len..]) {
+            Ok(n) => {
+                self.buf.truncate(len + n);
+                Ok(n)
             }
-            match self.fill()? {
-                Fill::Data => break,
-                Fill::Eof => return Err(HttpError::Closed),
-                Fill::TimedOut => {
-                    if Instant::now() >= idle_deadline {
-                        return Err(HttpError::IdleTimeout);
-                    }
-                }
+            Err(e) => {
+                self.buf.truncate(len);
+                Err(e)
             }
         }
-        // Phase 2 — the request has started; everything below must finish
-        // within the per-request deadline.
-        let deadline = Instant::now() + self.limits.request_deadline;
-        let header_end = loop {
-            if let Some(end) = find_header_end(&self.buf[self.pos..]) {
-                break self.pos + end;
+    }
+
+    /// Attempts to carve the next request out of the buffered bytes.
+    pub fn next_request(&mut self) -> Result<ParseProgress, HttpError> {
+        let avail = &self.buf[self.pos..];
+        if avail.is_empty() {
+            return Ok(ParseProgress::NeedHead);
+        }
+        // Resume the terminator scan where the last attempt stopped (minus
+        // a few bytes in case the terminator straddles the old boundary).
+        let from = self.scanned.saturating_sub(3);
+        let (head_len, blank_len) = match find_header_end(avail, from) {
+            Some(found) => found,
+            None => {
+                if avail.len() > self.limits.max_header_bytes {
+                    return Err(HttpError::HeadersTooLarge {
+                        limit: self.limits.max_header_bytes,
+                    });
+                }
+                self.scanned = avail.len();
+                return Ok(ParseProgress::NeedHead);
             }
-            if self.buf.len() - self.pos > self.limits.max_header_bytes {
-                return Err(HttpError::HeadersTooLarge {
-                    limit: self.limits.max_header_bytes,
-                });
-            }
-            self.fill_until(deadline)?;
         };
-        let head = std::str::from_utf8(&self.buf[self.pos..header_end])
-            .map_err(|_| HttpError::Malformed("preamble is not valid UTF-8".into()))?
-            .to_string();
-        if head.len() > self.limits.max_header_bytes {
+        if head_len > self.limits.max_header_bytes {
             return Err(HttpError::HeadersTooLarge {
                 limit: self.limits.max_header_bytes,
             });
         }
-        // Skip the blank line terminating the preamble.
-        self.pos = header_end;
-        self.skip_blank_line();
-        let (method, target, http11, headers) = parse_preamble(&head)?;
-        let content_length = body_length(&headers)?;
-        if content_length > self.limits.max_body_bytes {
+        let head = std::str::from_utf8(&avail[..head_len])
+            .map_err(|_| HttpError::Malformed("preamble is not valid UTF-8".into()))?;
+        let preamble = validate_preamble(head)?;
+        if preamble.content_length > self.limits.max_body_bytes {
             return Err(HttpError::BodyTooLarge {
-                declared: content_length,
+                declared: preamble.content_length,
                 limit: self.limits.max_body_bytes,
             });
         }
-        // Phase 3 — the body, straight off the buffer + stream.
-        while self.buf.len() - self.pos < content_length {
-            self.fill_until(deadline)?;
+        let body_start = head_len + blank_len;
+        let total = body_start + preamble.content_length;
+        if avail.len() < total {
+            return Ok(ParseProgress::NeedBody);
         }
-        let body = self.buf[self.pos..self.pos + content_length].to_vec();
-        self.pos += content_length;
-        Ok(Request {
-            method,
-            target,
-            http11,
-            headers,
-            body,
-        })
+        // Carve: one Vec holding exactly this request's bytes; all header
+        // access borrows from it.
+        let data = avail[..total].to_vec();
+        self.pos += total;
+        self.scanned = 0;
+        Ok(ParseProgress::Request(Request {
+            data,
+            head_len,
+            method: preamble.method,
+            target: preamble.target,
+            body_start,
+            http11: preamble.http11,
+        }))
     }
 
-    /// One buffered read from the underlying stream.
-    fn fill(&mut self) -> Result<Fill, HttpError> {
-        let mut chunk = [0u8; 4096];
-        match self.reader.read(&mut chunk) {
-            Ok(0) => Ok(Fill::Eof),
-            Ok(n) => {
-                self.buf.extend_from_slice(&chunk[..n]);
-                Ok(Fill::Data)
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                Ok(Fill::TimedOut)
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(Fill::TimedOut),
-            Err(e) => Err(HttpError::Io(e.to_string())),
-        }
-    }
-
-    /// `fill` for mid-request reads: EOF is a disconnect, and timeouts
-    /// retry until `deadline`.
-    fn fill_until(&mut self, deadline: Instant) -> Result<(), HttpError> {
-        loop {
-            match self.fill()? {
-                Fill::Data => return Ok(()),
-                Fill::Eof => return Err(HttpError::Disconnected),
-                Fill::TimedOut => {
-                    if Instant::now() >= deadline {
-                        return Err(HttpError::Timeout);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Drops the `\r\n\r\n` / `\n\n` that `find_header_end` stopped at.
-    fn skip_blank_line(&mut self) {
-        if self.buf[self.pos..].starts_with(b"\r\n\r\n") {
-            self.pos += 4;
-        } else if self.buf[self.pos..].starts_with(b"\n\n") {
-            self.pos += 2;
-        }
-    }
-
-    /// Reclaims consumed bytes between requests.
-    fn compact(&mut self) {
-        if self.pos > 0 {
+    /// Reclaims consumed bytes once they dominate the buffer (amortized so
+    /// pipelined parsing is not O(n²) in memmoves).
+    fn compact_if_large(&mut self) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
     }
 }
 
-/// Offset of the preamble terminator (exclusive of the blank line), if the
-/// buffer already holds a complete `\r\n\r\n`- or `\n\n`-terminated head.
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
-    let lf = buf.windows(2).position(|w| w == b"\n\n");
-    // Earliest terminator of either style wins, so a body containing
-    // `\r\n\r\n` can never swallow a bare-LF preamble (or vice versa).
+/// Offset of the preamble terminator and its length, searching from `from`:
+/// `(head_len, blank_len)` where `blank_len` is 4 for `\r\n\r\n`, 2 for a
+/// bare `\n\n`. Earliest terminator of either style wins, so a body
+/// containing one style can never swallow the other style's preamble.
+fn find_header_end(buf: &[u8], from: usize) -> Option<(usize, usize)> {
+    let start = from.min(buf.len());
+    let crlf = buf[start..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + start);
+    let lf = buf[start..]
+        .windows(2)
+        .position(|w| w == b"\n\n")
+        .map(|p| p + start);
     match (crlf, lf) {
-        (Some(a), Some(b)) => Some(a.min(b)),
-        (a, b) => a.or(b),
+        (Some(a), Some(b)) if b < a => Some((b, 2)),
+        (Some(a), _) => Some((a, 4)),
+        (None, Some(b)) => Some((b, 2)),
+        (None, None) => None,
     }
 }
 
-/// Parses the request line + header lines out of the UTF-8 preamble.
-#[allow(clippy::type_complexity)]
-fn parse_preamble(head: &str) -> Result<(String, String, bool, Vec<(String, String)>), HttpError> {
+/// The borrow-based preamble parse result: spans index into the head the
+/// caller handed in (and equally into the carved request buffer, which
+/// starts with that head).
+struct Preamble {
+    method: (usize, usize),
+    target: (usize, usize),
+    http11: bool,
+    content_length: usize,
+}
+
+/// Validates the request line and every header line in one pass, extracting
+/// the framing facts (`Content-Length`, `Transfer-Encoding`) without
+/// allocating per header. The spans it returns are byte offsets into
+/// `head`.
+fn validate_preamble(head: &str) -> Result<Preamble, HttpError> {
     let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
@@ -365,7 +408,11 @@ fn parse_preamble(head: &str) -> Result<(String, String, bool, Vec<(String, Stri
         "HTTP/1.0" => false,
         other => return Err(HttpError::UnsupportedVersion(other.to_string())),
     };
-    let mut headers = Vec::new();
+    let span_of = |s: &str| {
+        let start = s.as_ptr() as usize - head.as_ptr() as usize;
+        (start, start + s.len())
+    };
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -381,34 +428,29 @@ fn parse_preamble(head: &str) -> Result<(String, String, bool, Vec<(String, Stri
         if name.is_empty() || name.contains(' ') {
             return Err(HttpError::Malformed(format!("bad header name {name:?}")));
         }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
-    }
-    Ok((method.to_string(), target.to_string(), http11, headers))
-}
-
-/// Body length from the framing headers: `Content-Length` (validated,
-/// duplicates must agree) or zero; any `Transfer-Encoding` is refused.
-fn body_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
-    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
-        return Err(HttpError::UnsupportedTransferEncoding);
-    }
-    let mut length: Option<usize> = None;
-    for (name, value) in headers {
-        if name != "content-length" {
-            continue;
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::UnsupportedTransferEncoding);
         }
-        let parsed = parse_content_length(value)
-            .ok_or_else(|| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
-        match length {
-            Some(prev) if prev != parsed => {
-                return Err(HttpError::Malformed(
-                    "conflicting Content-Length headers".into(),
-                ));
+        if name.eq_ignore_ascii_case("content-length") {
+            let value = value.trim();
+            let parsed = parse_content_length(value)
+                .ok_or_else(|| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+            match content_length {
+                Some(prev) if prev != parsed => {
+                    return Err(HttpError::Malformed(
+                        "conflicting Content-Length headers".into(),
+                    ));
+                }
+                _ => content_length = Some(parsed),
             }
-            _ => length = Some(parsed),
         }
     }
-    Ok(length.unwrap_or(0))
+    Ok(Preamble {
+        method: span_of(method),
+        target: span_of(target),
+        http11,
+        content_length: content_length.unwrap_or(0),
+    })
 }
 
 /// Strict `Content-Length` grammar: `1*DIGIT`, nothing else. `str::parse`
@@ -449,6 +491,21 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
+/// Serializes one response — head and body — into a single buffer, ready
+/// for the reactor's non-blocking write path.
+pub fn encode_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut message = Vec::with_capacity(head.len() + body.len());
+    message.extend_from_slice(head.as_bytes());
+    message.extend_from_slice(body);
+    message
+}
+
 /// Serializes one JSON response with explicit framing and writes it in a
 /// single `write_all`.
 pub fn write_response(
@@ -469,61 +526,105 @@ pub fn write_response_typed(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status_reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    let mut message = Vec::with_capacity(head.len() + body.len());
-    message.extend_from_slice(head.as_bytes());
-    message.extend_from_slice(body);
-    w.write_all(&message)?;
+    w.write_all(&encode_response(status, content_type, body, keep_alive))?;
     w.flush()
+}
+
+/// `true` when the I/O error means "no bytes right now" on a non-blocking
+/// or timed-out read/write rather than a broken stream.
+pub fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn conn(bytes: &[u8]) -> HttpConnection<&[u8]> {
-        HttpConnection::new(bytes, Limits::default())
+    /// Drives the incremental parser the way the old blocking reader did:
+    /// everything is already buffered, carve one request or fail.
+    fn parse_one(bytes: &[u8]) -> Result<Request, HttpError> {
+        let mut parser = RequestParser::new(Limits::default());
+        parser.feed(bytes);
+        match parser.next_request()? {
+            ParseProgress::Request(req) => Ok(req),
+            other => panic!("incomplete parse of {bytes:?}: {other:?}"),
+        }
     }
 
     #[test]
     fn parses_a_post_with_body_and_keep_alive() {
         let raw = b"POST /v1/models/m/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
-        let req = conn(raw).read_request(|| false).unwrap();
-        assert_eq!(req.method, "POST");
+        let req = parse_one(raw).unwrap();
+        assert_eq!(req.method(), "POST");
         assert_eq!(req.path(), "/v1/models/m/predict");
         assert!(req.http11);
         assert!(req.keep_alive());
-        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.body(), b"abcd");
         assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"), "lookup is case-insensitive");
+        assert_eq!(
+            req.headers().collect::<Vec<_>>(),
+            [("Host", "x"), ("Content-Length", "4")]
+        );
     }
 
     #[test]
     fn carves_pipelined_requests_out_of_one_stream() {
         let raw =
             b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\nConnection: close\r\n\r\n";
-        let mut c = conn(raw);
-        let first = c.read_request(|| false).unwrap();
+        let mut parser = RequestParser::new(Limits::default());
+        parser.feed(raw);
+        let first = match parser.next_request().unwrap() {
+            ParseProgress::Request(req) => req,
+            other => panic!("{other:?}"),
+        };
         assert_eq!(first.path(), "/healthz");
         assert!(first.keep_alive());
-        let second = c.read_request(|| false).unwrap();
+        let second = match parser.next_request().unwrap() {
+            ParseProgress::Request(req) => req,
+            other => panic!("{other:?}"),
+        };
         assert_eq!(second.path(), "/v1/stats");
         assert!(!second.keep_alive());
-        assert!(matches!(c.read_request(|| false), Err(HttpError::Closed)));
+        assert!(matches!(
+            parser.next_request().unwrap(),
+            ParseProgress::NeedHead
+        ));
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_by_byte_arrival_reports_progress_then_parses() {
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut parser = RequestParser::new(Limits::default());
+        for (i, byte) in raw.iter().enumerate() {
+            parser.feed(std::slice::from_ref(byte));
+            let progress = parser.next_request().unwrap();
+            if i + 1 < raw.len() {
+                match progress {
+                    ParseProgress::NeedHead => assert!(i + 4 < raw.len() + 2, "head phase"),
+                    ParseProgress::NeedBody => {
+                        assert!(i >= raw.len() - 3, "body phase starts after the blank line")
+                    }
+                    ParseProgress::Request(_) => panic!("complete at byte {i}"),
+                }
+            } else {
+                match progress {
+                    ParseProgress::Request(req) => assert_eq!(req.body(), b"hi"),
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
     }
 
     #[test]
     fn http10_defaults_to_close_and_can_opt_in() {
-        let raw = b"GET / HTTP/1.0\r\n\r\n";
-        let req = conn(raw).read_request(|| false).unwrap();
+        let req = parse_one(b"GET / HTTP/1.0\r\n\r\n").unwrap();
         assert!(!req.keep_alive());
-        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
-        let req = conn(raw).read_request(|| false).unwrap();
+        let req = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
         assert!(req.keep_alive());
+        let req = parse_one(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive(), "Connection matching ignores case");
     }
 
     #[test]
@@ -542,7 +643,7 @@ mod tests {
             b"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n",
             b"\xff\xfe / HTTP/1.1\r\n\r\n",
         ] {
-            let err = conn(raw).read_request(|| false).unwrap_err();
+            let err = parse_one(raw).unwrap_err();
             assert!(
                 matches!(
                     err,
@@ -573,15 +674,15 @@ mod tests {
             "5,5",                     // list syntax
         ];
         for value in reject {
-            // Note the \t guard: parse_preamble trims OWS around the value
+            // Note the \t guard: the parser trims OWS around the value
             // (legal per RFC 9110), so craft values whose *interior* is bad.
             let raw = format!("POST / HTTP/1.1\r\nContent-Length:{value}\r\nX: y\r\n\r\n");
-            let err = conn(raw.as_bytes()).read_request(|| false).unwrap_err();
+            let err = parse_one(raw.as_bytes()).unwrap_err();
             assert!(
                 matches!(err, HttpError::Malformed(_)),
                 "Content-Length {value:?} gave {err:?}"
             );
-            assert_eq!(err.status(), Some(400), "{value:?}");
+            assert_eq!(err.status(), 400, "{value:?}");
         }
         // The strict grammar still accepts plain digits (leading zeros are
         // 1*DIGIT per the RFC) and the usual OWS around the value.
@@ -590,54 +691,83 @@ mod tests {
                 "POST / HTTP/1.1\r\nContent-Length:{value}\r\n\r\n{}",
                 "x".repeat(expect)
             );
-            let req = conn(raw.as_bytes()).read_request(|| false).unwrap();
-            assert_eq!(req.body.len(), expect, "{value:?}");
+            let req = parse_one(raw.as_bytes()).unwrap();
+            assert_eq!(req.body().len(), expect, "{value:?}");
         }
     }
 
     #[test]
     fn transfer_encoding_is_rejected_with_501() {
-        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
-        let err = conn(raw).read_request(|| false).unwrap_err();
+        let err = parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
         assert!(matches!(err, HttpError::UnsupportedTransferEncoding));
-        assert_eq!(err.status(), Some(501));
+        assert_eq!(err.status(), 501);
     }
 
     #[test]
     fn oversized_headers_and_bodies_are_refused() {
+        // A terminated-but-oversized preamble.
         let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
         raw.extend(vec![b'a'; 64 * 1024]);
         raw.extend_from_slice(b"\r\n\r\n");
-        let err = conn(&raw).read_request(|| false).unwrap_err();
+        let err = parse_one(&raw).unwrap_err();
         assert!(matches!(err, HttpError::HeadersTooLarge { .. }));
-        assert_eq!(err.status(), Some(431));
+        assert_eq!(err.status(), 431);
 
-        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
-        let err = conn(raw).read_request(|| false).unwrap_err();
+        // An unterminated preamble already past the cap must fail *before*
+        // more bytes arrive (a slow-loris cannot buffer unbounded headers).
+        let mut parser = RequestParser::new(Limits::default());
+        parser.feed(b"GET / HTTP/1.1\r\nX-Big: ");
+        parser.feed(&vec![b'a'; 64 * 1024]);
+        assert!(matches!(
+            parser.next_request().unwrap_err(),
+            HttpError::HeadersTooLarge { .. }
+        ));
+
+        let err = parse_one(b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").unwrap_err();
         assert!(matches!(err, HttpError::BodyTooLarge { .. }));
-        assert_eq!(err.status(), Some(413));
+        assert_eq!(err.status(), 413);
     }
 
     #[test]
-    fn truncated_requests_surface_as_disconnects() {
-        // Headers cut off mid-line.
-        let err = conn(b"GET / HT").read_request(|| false).unwrap_err();
-        assert!(matches!(err, HttpError::Disconnected), "{err:?}");
-        // Body shorter than its Content-Length.
-        let err = conn(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
-            .read_request(|| false)
-            .unwrap_err();
-        assert!(matches!(err, HttpError::Disconnected), "{err:?}");
-        // Nothing at all: the clean keep-alive close.
-        let err = conn(b"").read_request(|| false).unwrap_err();
-        assert!(matches!(err, HttpError::Closed), "{err:?}");
+    fn truncated_requests_report_need_more() {
+        let mut parser = RequestParser::new(Limits::default());
+        parser.feed(b"GET / HT");
+        assert!(matches!(
+            parser.next_request().unwrap(),
+            ParseProgress::NeedHead
+        ));
+        assert_eq!(parser.buffered(), 8, "mid-request bytes stay buffered");
+
+        let mut parser = RequestParser::new(Limits::default());
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(matches!(
+            parser.next_request().unwrap(),
+            ParseProgress::NeedBody
+        ));
     }
 
     #[test]
     fn bare_lf_line_endings_are_tolerated() {
-        let raw = b"POST /p HTTP/1.1\nContent-Length: 2\n\nhi";
-        let req = conn(raw).read_request(|| false).unwrap();
-        assert_eq!(req.body, b"hi");
+        let req = parse_one(b"POST /p HTTP/1.1\nContent-Length: 2\n\nhi").unwrap();
+        assert_eq!(req.body(), b"hi");
+        // Mixed endings: CRLF preamble lines terminated by a bare \n\n pair
+        // inside the stream still frame correctly (earliest terminator
+        // wins), and vice versa.
+        let req = parse_one(b"POST /p HTTP/1.1\nContent-Length: 4\n\n\r\n\r\n").unwrap();
+        assert_eq!(req.body(), b"\r\n\r\n", "body may contain the other style");
+    }
+
+    #[test]
+    fn read_from_buffers_stream_bytes() {
+        let mut parser = RequestParser::new(Limits::default());
+        let mut stream: &[u8] = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let n = parser.read_from(&mut stream).unwrap();
+        assert_eq!(n, 25);
+        match parser.next_request().unwrap() {
+            ParseProgress::Request(req) => assert_eq!(req.path(), "/healthz"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parser.read_from(&mut stream).unwrap(), 0, "EOF is Ok(0)");
     }
 
     #[test]

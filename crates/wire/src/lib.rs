@@ -4,23 +4,33 @@
 //! PR 3 made the paper's fit-once/predict-many workflow a real serving
 //! subsystem, but an in-process one: every client had to link the crate.
 //! This crate puts that subsystem on a socket — the surface ExaGeoStatR
-//! exposes to remote consumers — with **no external dependencies**: a
-//! hand-rolled HTTP/1.1 implementation over [`std::net`] ([`http`]), a
-//! small JSON codec ([`json`]), a thread-per-connection accept loop with a
-//! connection cap and graceful shutdown ([`WireServer`]), and a blocking
-//! keep-alive client ([`WireClient`]).
+//! exposes to remote consumers — with **no external dependencies**: an
+//! incremental HTTP/1.1 implementation over [`std::net`] ([`http`]), a
+//! small JSON codec ([`json`]), a single-threaded readiness reactor over
+//! a hand-rolled `epoll`/`poll` wrapper ([`reactor`]) with a connection
+//! cap and graceful shutdown ([`WireServer`]), and a blocking keep-alive
+//! client ([`WireClient`]).
 //!
 //! ```text
 //!  clients (curl, WireClient, wire_loadgen)
 //!      │ HTTP/1.1 keep-alive, JSON bodies
 //!      ▼
-//!  accept loop ──▶ connection threads (≤ max_connections, catch_unwind)
-//!      │                 │ parse → route → submit
-//!      ▼                 ▼
+//!  reactor thread — epoll/poll readiness loop (one thread, any #conns)
+//!      │  accept ▸ non-blocking Connection state machines
+//!      │          ReadingHead → ReadingBody → Dispatch → Writing ⟲
+//!      │  parse → route → inline predict  (idle queue: zero handoffs)
+//!      │               └─ submit + on_ready (under load: coalesce)
+//!      ▼                       ▼
 //!  WireStats        PredictionServer (micro-batching workers)
 //!                        │
 //!                   ModelRegistry (LRU, byte budget)
 //! ```
+//!
+//! Connection count and thread count are decoupled: a thousand idle
+//! keep-alive sockets cost the reactor a slab entry and a readiness
+//! registration each, not a thread. Per-request panics are contained
+//! (`catch_unwind`) and abuse is bounded exactly as before — header/body
+//! caps, slow-loris and idle deadlines, drain-then-close shutdown.
 //!
 //! One wire request maps onto **one** [`ServerHandle`] submission, so all
 //! of a request's targets share one coalesced `predict_batch` membership —
@@ -166,6 +176,7 @@ pub mod client;
 pub mod codec;
 pub mod http;
 pub mod json;
+pub mod reactor;
 pub mod server;
 
 pub use client::{WireClient, WireError, WireModelInfo, WireModels, WirePrediction};

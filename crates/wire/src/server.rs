@@ -1,28 +1,62 @@
-//! The TCP front-end: accept loop, connection threads, routing.
+//! The TCP front-end: readiness reactor, connection state machine, routing.
 //!
 //! [`WireServer::start`] binds a listener, spawns the underlying
-//! [`PredictionServer`] and an accept thread, and answers HTTP/1.1 requests
-//! with a thread per connection (bounded by
-//! [`WireConfig::max_connections`]; connections beyond the cap receive an
-//! immediate `503` and are closed). Every request handler runs inside
-//! `catch_unwind`, so a panic anywhere in parsing or prediction answers
-//! `500` and increments [`WireStats::panics_contained`] instead of killing
-//! the connection thread.
+//! [`PredictionServer`], and runs **one reactor thread** that owns every
+//! socket: non-blocking accepts, incremental request parsing, routing,
+//! and response writes, all driven by a level-triggered
+//! [`Poller`] (`epoll` on Linux, `poll(2)`
+//! elsewhere — see [`crate::reactor::sys`]). Connections advance through
+//! the [`ConnState`] machine; an idle keep-alive socket costs one slab
+//! entry and one poller registration, not an OS thread, which is what
+//! lets the default [`WireConfig::max_connections`] sit at 1024 instead
+//! of PR 4's 64.
 //!
-//! Graceful shutdown ([`WireServer::shutdown`]) proceeds outside-in: stop
-//! accepting, let every connection finish its in-flight request (idle
-//! keep-alive connections notice within one read-timeout tick), join the
-//! connection threads, then drain and join the prediction server — queued
-//! predictions are all answered before the workers exit.
+//! Predictions leave the reactor thread in one of two ways:
+//!
+//! * **Inline fast path** — when nothing else is in flight (`no reactor
+//!   dispatches pending, serve queue empty, only one connection readable
+//!   this poll batch`), the request runs as a batch-of-one directly on
+//!   the reactor thread via [`ServerHandle::predict`], skipping both
+//!   scheduler handoffs — this is what keeps single-client closed-loop
+//!   latency at the PR 5 level ([`WireStats::requests_inline`]).
+//! * **Dispatch** — otherwise the request is submitted without blocking
+//!   ([`ServerHandle::submit`]) and the reactor returns to its poller;
+//!   the serve workers coalesce every concurrently dispatched request
+//!   exactly as PR 3 designed, and completion comes back through a queue
+//!   plus a waker byte ([`PredictionTicket::on_ready`],
+//!   [`WireStats::requests_dispatched`]).
+//!
+//! Every request is routed inside `catch_unwind`, so a panic anywhere in
+//! parsing or prediction answers `500` and increments
+//! [`WireStats::panics_contained`] instead of killing the reactor.
+//!
+//! Graceful shutdown ([`WireServer::shutdown`]) proceeds outside-in: drop
+//! the listener, close idle connections, let in-flight requests finish
+//! (their responses are written with `Connection: close`), then drain and
+//! join the prediction server — queued predictions are all answered
+//! before the workers exit.
+//!
+//! [`PredictionTicket::on_ready`]: exa_serve::PredictionTicket::on_ready
+//! [`ServerHandle::predict`]: exa_serve::ServerHandle::predict
+//! [`ServerHandle::submit`]: exa_serve::ServerHandle::submit
 
 use crate::codec::{self, Codec, PredictRequestFrame};
-use crate::http::{self, HttpConnection, HttpError, Limits, Request};
+use crate::http::{self, Limits, ParseProgress, Request};
 use crate::json::{Json, JsonWriter};
+use crate::reactor::{
+    waker_pair, ConnState, Connection, DrainOutcome, Event, FillOutcome, Interest, Poller,
+    TokenSlab, WakeReceiver, Waker, WriteOutcome,
+};
 use exa_covariance::{Location, ParamCovariance};
-use exa_serve::{ModelRegistry, PredictionServer, ServeConfig, ServeError, ServerHandle};
-use std::io::{self, ErrorKind, Read};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use exa_serve::{
+    ModelRegistry, PredictionServer, ServeConfig, ServeError, ServedPrediction, ServerHandle,
+};
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,7 +68,10 @@ pub struct WireConfig {
     /// [`WireServer::local_addr`]).
     pub bind_addr: String,
     /// Concurrent connections served; further accepts are answered with an
-    /// immediate `503` and closed.
+    /// immediate `503` and closed. Connections are slab entries under the
+    /// reactor, not threads, so this defaults to 1024 — raise it freely,
+    /// the marginal cost per idle connection is a poller registration and
+    /// a few hundred bytes of parser buffer.
     pub max_connections: usize,
     /// Cap on one request's preamble (request line + headers), bytes.
     pub max_header_bytes: usize,
@@ -56,7 +93,7 @@ impl Default for WireConfig {
         let limits = Limits::default();
         WireConfig {
             bind_addr: "127.0.0.1:0".to_string(),
-            max_connections: 64,
+            max_connections: 1024,
             max_header_bytes: limits.max_header_bytes,
             max_body_bytes: limits.max_body_bytes,
             request_deadline: limits.request_deadline,
@@ -66,13 +103,24 @@ impl Default for WireConfig {
     }
 }
 
-/// How long an idle connection read blocks before re-checking the shutdown
-/// flag: the upper bound on how stale an idle keep-alive connection's view
-/// of a shutdown can be.
-const IDLE_POLL: Duration = Duration::from_millis(50);
+/// The reactor's poll tick: the upper bound on deadline-sweep staleness
+/// (idle timeouts, slow-loris deadlines fire at most one tick late) and on
+/// how long a shutdown request can go unnoticed on a quiet server.
+const TICK: Duration = Duration::from_millis(25);
 
-/// Monotonic wire-level counters, updated lock-free by the accept loop and
-/// the connection threads.
+/// Refusal connections (queued `503`s at the connection cap) the reactor
+/// will hold concurrently; an accept flood beyond this is dropped without
+/// the courtesy response so refusals cannot balloon the slab.
+const MAX_PENDING_REFUSALS: usize = 256;
+
+/// Poller token of the listening socket (outside the slab's token space:
+/// slab tokens would need ~4 billion reuses of one slot to reach it).
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Poller token of the waker's receive end.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+/// Monotonic wire-level counters, updated by the reactor and read from any
+/// thread.
 #[derive(Default)]
 struct WireCounters {
     connections_accepted: AtomicU64,
@@ -83,12 +131,14 @@ struct WireCounters {
     malformed_requests: AtomicU64,
     disconnects_mid_request: AtomicU64,
     panics_contained: AtomicU64,
+    requests_inline: AtomicU64,
+    requests_dispatched: AtomicU64,
 }
 
 /// A point-in-time snapshot of a [`WireServer`]'s counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireStats {
-    /// Connections accepted and handed to a connection thread.
+    /// Connections accepted and admitted to the reactor.
     pub connections_accepted: u64,
     /// Connections refused with `503` at the [`WireConfig::max_connections`]
     /// cap.
@@ -113,6 +163,12 @@ pub struct WireStats {
     /// [`ServerStats::factorizations_during_serving`]:
     ///     exa_serve::ServerStats::factorizations_during_serving
     pub panics_contained: u64,
+    /// Predict requests executed as a batch-of-one on the reactor thread
+    /// (the idle-queue fast path; see the module docs).
+    pub requests_inline: u64,
+    /// Predict requests handed to the serve worker pool via the
+    /// non-blocking submit + completion-callback path.
+    pub requests_dispatched: u64,
 }
 
 impl WireCounters {
@@ -126,6 +182,8 @@ impl WireCounters {
             malformed_requests: self.malformed_requests.load(Ordering::Relaxed),
             disconnects_mid_request: self.disconnects_mid_request.load(Ordering::Relaxed),
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            requests_inline: self.requests_inline.load(Ordering::Relaxed),
+            requests_dispatched: self.requests_dispatched.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,9 +193,10 @@ struct Shared<K: ParamCovariance> {
     handle: ServerHandle<K>,
     counters: WireCounters,
     shutting_down: AtomicBool,
-    active_connections: AtomicUsize,
     limits: Limits,
     max_connections: usize,
+    waker: Waker,
+    backend: &'static str,
 }
 
 /// One routed response, ready to frame.
@@ -198,24 +257,28 @@ impl Response {
 pub struct WireServer<K: ParamCovariance> {
     shared: Arc<Shared<K>>,
     local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor_thread: Option<JoinHandle<()>>,
     prediction: Option<PredictionServer<K>>,
 }
 
 impl<K: ParamCovariance> WireServer<K> {
     /// Binds `config.bind_addr`, starts the underlying [`PredictionServer`]
-    /// and the accept loop, and begins serving.
+    /// and the reactor thread, and begins serving.
     pub fn start(registry: Arc<ModelRegistry<K>>, config: WireConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.bind_addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let mut poller = Poller::new()?;
+        let backend = poller.backend();
+        let (waker, wake_rx) = waker_pair()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+        poller.register(wake_rx.fd(), WAKER_TOKEN, Interest::READABLE)?;
         let prediction = PredictionServer::start(Arc::clone(&registry), config.serve);
         let shared = Arc::new(Shared {
             registry,
             handle: prediction.handle(),
             counters: WireCounters::default(),
             shutting_down: AtomicBool::new(false),
-            active_connections: AtomicUsize::new(0),
             limits: Limits {
                 max_header_bytes: config.max_header_bytes,
                 max_body_bytes: config.max_body_bytes,
@@ -223,18 +286,19 @@ impl<K: ParamCovariance> WireServer<K> {
                 idle_timeout: config.idle_timeout,
             },
             max_connections: config.max_connections.max(1),
+            waker,
+            backend,
         });
-        let connection_threads = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
+        let reactor_thread = {
             let shared = Arc::clone(&shared);
-            let threads = Arc::clone(&connection_threads);
-            std::thread::spawn(move || accept_loop(&shared, listener, &threads))
+            std::thread::Builder::new()
+                .name("exa-wire-reactor".into())
+                .spawn(move || Reactor::new(shared, poller, listener, wake_rx).run())?
         };
         Ok(WireServer {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
-            connection_threads,
+            reactor_thread: Some(reactor_thread),
             prediction: Some(prediction),
         })
     }
@@ -242,6 +306,12 @@ impl<K: ParamCovariance> WireServer<K> {
     /// The bound address (resolves port 0 to the actual ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Which readiness backend the reactor is running on (`"epoll"` or
+    /// `"poll"`).
+    pub fn backend(&self) -> &'static str {
+        self.shared.backend
     }
 
     /// Wire-level statistics snapshot.
@@ -255,7 +325,7 @@ impl<K: ParamCovariance> WireServer<K> {
     }
 
     /// Graceful shutdown: stop accepting, finish in-flight requests, join
-    /// every connection thread, then drain and join the prediction server.
+    /// the reactor thread, then drain and join the prediction server.
     /// Returns the final wire and serving statistics.
     pub fn shutdown(mut self) -> (WireStats, exa_serve::ServerStats) {
         self.wind_down();
@@ -270,20 +340,9 @@ impl<K: ParamCovariance> WireServer<K> {
 
     fn wind_down(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection; it checks
-        // the flag before handing any stream to a worker.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(accept) = self.accept_thread.take() {
-            let _ = accept.join();
-        }
-        let threads = std::mem::take(
-            &mut *self
-                .connection_threads
-                .lock()
-                .expect("connection thread list lock"),
-        );
-        for thread in threads {
-            let _ = thread.join();
+        self.shared.waker.wake();
+        if let Some(reactor) = self.reactor_thread.take() {
+            let _ = reactor.join();
         }
     }
 }
@@ -291,162 +350,614 @@ impl<K: ParamCovariance> WireServer<K> {
 impl<K: ParamCovariance> Drop for WireServer<K> {
     fn drop(&mut self) {
         // `shutdown()` takes `prediction`; an un-shutdown drop still winds
-        // the accept loop and connections down cleanly (the prediction
-        // server's own Drop then drains its queue).
-        if self.accept_thread.is_some() {
+        // the reactor down cleanly (the prediction server's own Drop then
+        // drains its queue).
+        if self.reactor_thread.is_some() {
             self.wind_down();
         }
     }
 }
 
-fn accept_loop<K: ParamCovariance>(
-    shared: &Arc<Shared<K>>,
-    listener: TcpListener,
-    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
+/// A prediction answer crossing back from a fulfilling thread to the
+/// reactor.
+struct Completion {
+    token: u64,
+    result: Result<ServedPrediction, ServeError>,
+}
+
+/// What the reactor remembers about a dispatched predict request while the
+/// serve side works on it: everything needed to encode the response at
+/// completion time.
+struct PendingDispatch {
+    model: String,
+    resp_codec: Codec,
+    keep_alive_wanted: bool,
+}
+
+/// One slab entry: the transport state machine plus the reactor's
+/// request-level bookkeeping for it.
+struct ConnEntry {
+    conn: Connection,
+    /// Set while `conn` is in [`ConnState::Dispatch`].
+    pending: Option<PendingDispatch>,
+    /// A `503` courtesy connection at the cap, excluded from the serving
+    /// count.
+    refusal: bool,
+    /// The peer hung up while a dispatch was in flight: the fd is already
+    /// deregistered, and the entry is reaped when its completion arrives.
+    peer_gone: bool,
+}
+
+struct Reactor<K: ParamCovariance> {
+    shared: Arc<Shared<K>>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: WakeReceiver,
+    conns: TokenSlab<ConnEntry>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    /// Dispatched predictions not yet completed (queued completions
+    /// included — the count drops when the completion is *processed*).
+    inflight: usize,
+    /// Admitted (non-refusal) connections, measured against
+    /// `max_connections`.
+    serving: usize,
+    /// Live refusal entries, bounded by [`MAX_PENDING_REFUSALS`].
+    refusals: usize,
+    /// Whether exactly one connection went readable in the current poll
+    /// batch — the precondition for the inline fast path (with more than
+    /// one, dispatching preserves cross-request coalescing).
+    batch_solo: bool,
+    shutting: bool,
+}
+
+impl<K: ParamCovariance> Reactor<K> {
+    fn new(
+        shared: Arc<Shared<K>>,
+        poller: Poller,
+        listener: TcpListener,
+        wake_rx: WakeReceiver,
+    ) -> Self {
+        Reactor {
+            shared,
+            poller,
+            listener: Some(listener),
+            wake_rx,
+            conns: TokenSlab::new(),
+            completions: Arc::new(Mutex::new(VecDeque::new())),
+            inflight: 0,
+            serving: 0,
+            refusals: 0,
+            batch_solo: false,
+            shutting: false,
         }
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(_) => continue,
-        };
-        let active = shared.active_connections.load(Ordering::SeqCst);
-        if active >= shared.max_connections {
-            shared
-                .counters
-                .connections_refused
-                .fetch_add(1, Ordering::Relaxed);
-            let body = Response::error(503, "overloaded", "connection limit reached").body;
-            if http::write_response(&stream, 503, &body, false).is_ok() {
-                drain_then_close(&stream);
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut next_sweep = Instant::now() + TICK;
+        loop {
+            if self.poller.wait(&mut events, TICK).is_err() {
+                // A failed wait would spin; treat it as fatal for the
+                // reactor but not the process.
+                break;
             }
-            continue;
+            let now = Instant::now();
+            self.batch_solo = events
+                .iter()
+                .filter(|e| e.token < WAKER_TOKEN && e.readable)
+                .count()
+                <= 1;
+            let mut accept_ready = false;
+            let mut wake = false;
+            for &event in &events {
+                match event.token {
+                    LISTENER_TOKEN => accept_ready = true,
+                    WAKER_TOKEN => wake = true,
+                    token => self.conn_event(token, event, now),
+                }
+            }
+            if wake {
+                self.wake_rx.drain();
+            }
+            self.process_completions(now);
+            if accept_ready {
+                self.accept_pending(now);
+            }
+            if self.shared.shutting_down.load(Ordering::SeqCst) && !self.shutting {
+                self.begin_shutdown();
+            }
+            if now >= next_sweep {
+                self.sweep_deadlines(now);
+                next_sweep = now + TICK;
+            }
+            if self.shutting && self.conns.is_empty() && self.inflight == 0 {
+                break;
+            }
         }
-        shared.active_connections.fetch_add(1, Ordering::SeqCst);
-        shared
+    }
+
+    /// Accepts until `WouldBlock`, admitting up to the connection cap and
+    /// answering the rest with a courtesy `503`.
+    fn accept_pending(&mut self, now: Instant) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if http::would_block(&e) => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient accept errors (e.g. the peer already reset):
+                // nothing to serve, keep accepting.
+                Err(_) => continue,
+            };
+            if self.serving < self.shared.max_connections {
+                self.admit(stream, now);
+            } else {
+                self.refuse(stream, now);
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream, now: Instant) {
+        let Ok(conn) = Connection::new(stream, self.shared.limits, now) else {
+            return;
+        };
+        let fd = conn.fd();
+        let token = self.conns.insert(ConnEntry {
+            conn,
+            pending: None,
+            refusal: false,
+            peer_gone: false,
+        });
+        // A fresh connection starts with read interest — which is exactly
+        // what `Connection::new` caches, so no follow-up `arm` is needed.
+        if self.poller.register(fd, token, Interest::READABLE).is_err() {
+            self.conns.remove(token);
+            return;
+        }
+        self.serving += 1;
+        self.shared
             .counters
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
-        let worker = {
-            let shared = Arc::clone(shared);
-            std::thread::spawn(move || {
-                let _guard = ActiveGuard(&shared);
-                connection_loop(&shared, stream);
-            })
+    }
+
+    /// Answers an over-cap connection with `503` and drains it to a clean
+    /// close, without ever admitting it to the serving count.
+    fn refuse(&mut self, stream: TcpStream, now: Instant) {
+        self.shared
+            .counters
+            .connections_refused
+            .fetch_add(1, Ordering::Relaxed);
+        if self.refusals >= MAX_PENDING_REFUSALS {
+            return; // drop the socket: the courtesy 503 has a budget too
+        }
+        let Ok(mut conn) = Connection::new(stream, self.shared.limits, now) else {
+            return;
         };
-        let mut list = threads.lock().expect("connection thread list lock");
-        // Reap finished threads so a long-lived server's handle list stays
-        // proportional to *live* connections, not lifetime connections.
-        list.retain(|handle| !handle.is_finished());
-        list.push(worker);
+        let response = Response::error(503, "overloaded", "connection limit reached");
+        let bytes = http::encode_response(
+            response.status,
+            response.content_type,
+            &response.body,
+            false,
+        );
+        conn.queue_response(bytes, false, now);
+        let fd = conn.fd();
+        let token = self.conns.insert(ConnEntry {
+            conn,
+            pending: None,
+            refusal: true,
+            peer_gone: false,
+        });
+        if self.poller.register(fd, token, Interest::READABLE).is_err() {
+            self.conns.remove(token);
+            return;
+        }
+        self.refusals += 1;
+        let entry = self.conns.get_mut(token).expect("just inserted");
+        match entry.conn.try_write(now) {
+            WriteOutcome::Pending | WriteOutcome::Closing => self.arm(token),
+            WriteOutcome::Broken => self.remove_conn(token),
+            WriteOutcome::Flushed => unreachable!("refusals never keep alive"),
+        }
     }
-}
 
-/// Decrements the live-connection count when a connection thread exits,
-/// however it exits.
-struct ActiveGuard<'a, K: ParamCovariance>(&'a Shared<K>);
-
-impl<K: ParamCovariance> Drop for ActiveGuard<'_, K> {
-    fn drop(&mut self) {
-        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn connection_loop<K: ParamCovariance>(shared: &Shared<K>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let mut conn = HttpConnection::new(&stream, shared.limits);
-    loop {
-        let request = conn.read_request(|| shared.shutting_down.load(Ordering::SeqCst));
-        let request = match request {
-            Ok(request) => request,
-            Err(err) => {
-                match err.status() {
-                    // Answerable protocol violation: respond, then close
-                    // (the connection's framing can no longer be trusted).
-                    Some(status) => {
-                        shared
-                            .counters
-                            .malformed_requests
-                            .fetch_add(1, Ordering::Relaxed);
-                        count_status(shared, status);
-                        let body = Response::error(status, "bad_request", &err.to_string()).body;
-                        if http::write_response(&stream, status, &body, false).is_ok() {
-                            drain_then_close(&stream);
-                        }
+    /// One readiness event for one connection.
+    fn conn_event(&mut self, token: u64, event: Event, now: Instant) {
+        let Some(entry) = self.conns.get_mut(token) else {
+            return; // stale token: the connection died earlier this batch
+        };
+        match entry.conn.state() {
+            ConnState::ReadingHead | ConnState::ReadingBody => self.conn_read(token, now),
+            ConnState::Writing => {
+                match entry.conn.try_write(now) {
+                    WriteOutcome::Flushed => {
+                        self.parse_loop(token, now);
+                        // Any kernel-buffered bytes re-report via level
+                        // triggering; parse_loop already handled what was
+                        // in the parser buffer.
                     }
-                    None => {
-                        if matches!(err, HttpError::Disconnected | HttpError::Timeout) {
-                            shared
-                                .counters
-                                .disconnects_mid_request
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                        // Closed / Aborted / IdleTimeout / Io: nothing to
-                        // say, just close.
+                    WriteOutcome::Pending | WriteOutcome::Closing => {}
+                    WriteOutcome::Broken => {
+                        self.remove_conn(token);
+                        return;
                     }
                 }
+                self.arm(token);
+            }
+            ConnState::Draining => {
+                if entry.conn.drain() == DrainOutcome::Done {
+                    self.remove_conn(token);
+                }
+            }
+            ConnState::Dispatch => {
+                if event.closed {
+                    // The peer is gone for good (full close or reset — a
+                    // half-close would not raise this without read
+                    // interest). Deregister so the level-triggered HUP
+                    // stops waking us; the completion reaps the entry.
+                    let fd = entry.conn.fd();
+                    entry.peer_gone = true;
+                    let _ = self.poller.deregister(fd);
+                }
+            }
+        }
+    }
+
+    /// Reads until `WouldBlock` (or the connection changes state), parsing
+    /// and handling every complete request along the way.
+    fn conn_read(&mut self, token: u64, now: Instant) {
+        loop {
+            let Some(entry) = self.conns.get_mut(token) else {
+                return;
+            };
+            if !matches!(
+                entry.conn.state(),
+                ConnState::ReadingHead | ConnState::ReadingBody
+            ) {
+                break;
+            }
+            match entry.conn.fill(now) {
+                FillOutcome::Progress => self.parse_loop(token, now),
+                FillOutcome::WouldBlock => break,
+                FillOutcome::Eof => {
+                    if entry.conn.started() {
+                        self.shared
+                            .counters
+                            .disconnects_mid_request
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.remove_conn(token);
+                    return;
+                }
+                FillOutcome::Broken => {
+                    if entry.conn.started() {
+                        self.shared
+                            .counters
+                            .disconnects_mid_request
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.remove_conn(token);
+                    return;
+                }
+            }
+        }
+        self.arm(token);
+    }
+
+    /// Carves and handles buffered requests while the connection stays in
+    /// a reading state (keep-alive pipelining without extra socket reads).
+    fn parse_loop(&mut self, token: u64, now: Instant) {
+        loop {
+            let Some(entry) = self.conns.get_mut(token) else {
+                return;
+            };
+            if !matches!(
+                entry.conn.state(),
+                ConnState::ReadingHead | ConnState::ReadingBody
+            ) {
                 return;
             }
-        };
-        // A panic anywhere in routing (JSON decode, registry, prediction
-        // wait) must not kill this thread: contain it, answer 500.
-        let response =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &request)))
-                .unwrap_or_else(|_| {
-                    shared
+            match entry.conn.next_request() {
+                Ok(ParseProgress::Request(request)) => {
+                    if !self.handle_request(token, request, now) {
+                        return;
+                    }
+                }
+                Ok(ParseProgress::NeedHead | ParseProgress::NeedBody) => return,
+                Err(err) => {
+                    // Answerable protocol violation: respond, then close
+                    // (the connection's framing can no longer be trusted).
+                    self.shared
                         .counters
-                        .panics_contained
+                        .malformed_requests
                         .fetch_add(1, Ordering::Relaxed);
-                    let mut resp = Response::error(500, "internal", "request handler panicked");
-                    resp.close = true;
-                    resp
-                });
-        count_status(shared, response.status);
-        let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
-        let keep_alive = request.keep_alive() && !response.close && !shutting_down;
-        if http::write_response_typed(
-            &stream,
+                    let mut response =
+                        Response::error(err.status(), "bad_request", &err.to_string());
+                    response.close = true;
+                    self.answer(token, response, true, now);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Routes one parsed request: answer immediately, run the predict
+    /// inline, or dispatch it to the serve pool. Returns `true` when the
+    /// response was fully flushed on a keep-alive connection (the caller
+    /// may parse the next pipelined request).
+    fn handle_request(&mut self, token: u64, request: Request, now: Instant) -> bool {
+        let keep_alive_wanted = request.keep_alive();
+        // A panic anywhere in routing (JSON decode, registry, inline
+        // prediction) must not kill the reactor: contain it, answer 500.
+        let routed = catch_unwind(AssertUnwindSafe(|| route(&self.shared, &request)));
+        let routed = match routed {
+            Ok(routed) => routed,
+            Err(_) => {
+                self.shared
+                    .counters
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut response = Response::error(500, "internal", "request handler panicked");
+                response.close = true;
+                return self.answer(token, response, keep_alive_wanted, now);
+            }
+        };
+        let (name, targets, want_variance, resp_codec) = match routed {
+            Routed::Response(response) => {
+                return self.answer(token, response, keep_alive_wanted, now)
+            }
+            Routed::Predict {
+                name,
+                targets,
+                want_variance,
+                resp_codec,
+            } => (name, targets, want_variance, resp_codec),
+        };
+        if self.inline_ok() {
+            self.shared
+                .counters
+                .requests_inline
+                .fetch_add(1, Ordering::Relaxed);
+            let handle = &self.shared.handle;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let served = if want_variance {
+                    handle.predict_with_variance(&name, targets)
+                } else {
+                    handle.predict(&name, targets)
+                };
+                match served {
+                    Ok(served) => predict_response(&name, resp_codec, &served),
+                    Err(err) => serve_error_response(&err),
+                }
+            }));
+            let response = outcome.unwrap_or_else(|_| {
+                self.shared
+                    .counters
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut response = Response::error(500, "internal", "request handler panicked");
+                response.close = true;
+                response
+            });
+            return self.answer(token, response, keep_alive_wanted, now);
+        }
+        // Dispatch path: non-blocking submit, completion via callback.
+        let ticket = if want_variance {
+            self.shared.handle.submit_with_variance(&name, targets)
+        } else {
+            self.shared.handle.submit(&name, targets)
+        };
+        let ticket = match ticket {
+            Ok(ticket) => ticket,
+            Err(err) => {
+                return self.answer(token, serve_error_response(&err), keep_alive_wanted, now)
+            }
+        };
+        let entry = self.conns.get_mut(token).expect("handled conn is live");
+        entry.pending = Some(PendingDispatch {
+            model: name,
+            resp_codec,
+            keep_alive_wanted,
+        });
+        entry.conn.begin_dispatch();
+        self.inflight += 1;
+        self.shared
+            .counters
+            .requests_dispatched
+            .fetch_add(1, Ordering::Relaxed);
+        let completions = Arc::clone(&self.completions);
+        let waker = self.shared.waker.clone();
+        // Fires on whichever thread fulfills the prediction (worker or an
+        // inline submitter): park the result and poke the poller.
+        ticket.on_ready(move |result| {
+            completions
+                .lock()
+                .expect("completion queue lock")
+                .push_back(Completion { token, result });
+            waker.wake();
+        });
+        self.arm(token);
+        false
+    }
+
+    /// Whether a predict may run inline on the reactor thread right now:
+    /// only with nothing else in motion — no dispatch in flight, nothing
+    /// in the serve queue, and no other connection readable in this poll
+    /// batch. Anything else must dispatch so concurrent requests coalesce
+    /// on the worker pool instead of serializing behind the reactor.
+    fn inline_ok(&self) -> bool {
+        self.batch_solo && self.inflight == 0 && self.shared.handle.queue_depth() == 0
+    }
+
+    /// Drains the completion queue: encode each answered dispatch and
+    /// start (or finish) writing it.
+    fn process_completions(&mut self, now: Instant) {
+        loop {
+            let completion = self
+                .completions
+                .lock()
+                .expect("completion queue lock")
+                .pop_front();
+            let Some(Completion { token, result }) = completion else {
+                return;
+            };
+            self.inflight -= 1;
+            let Some(entry) = self.conns.get_mut(token) else {
+                continue; // the connection died while the serve side worked
+            };
+            let pending = entry
+                .pending
+                .take()
+                .expect("completion for a connection not in dispatch");
+            let peer_gone = entry.peer_gone;
+            let outcome = catch_unwind(AssertUnwindSafe(|| match &result {
+                Ok(served) => predict_response(&pending.model, pending.resp_codec, served),
+                Err(err) => serve_error_response(err),
+            }));
+            let response = outcome.unwrap_or_else(|_| {
+                self.shared
+                    .counters
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut response = Response::error(500, "internal", "request handler panicked");
+                response.close = true;
+                response
+            });
+            if peer_gone {
+                // The request is still accounted (the work was done), but
+                // there is no one left to write to.
+                count_status(&self.shared, response.status);
+                self.remove_conn(token);
+                continue;
+            }
+            if self.answer(token, response, pending.keep_alive_wanted, now) {
+                // Flushed on a keep-alive connection: pipelined requests
+                // may already be buffered.
+                self.parse_loop(token, now);
+            }
+            self.arm(token);
+        }
+    }
+
+    /// Counts, encodes, queues, and starts writing one response. Returns
+    /// `true` when it flushed completely and the connection re-entered
+    /// keep-alive reading.
+    fn answer(
+        &mut self,
+        token: u64,
+        response: Response,
+        keep_alive_wanted: bool,
+        now: Instant,
+    ) -> bool {
+        count_status(&self.shared, response.status);
+        let shutting = self.shared.shutting_down.load(Ordering::SeqCst);
+        let keep_alive = keep_alive_wanted && !response.close && !shutting;
+        let bytes = http::encode_response(
             response.status,
             response.content_type,
             &response.body,
             keep_alive,
-        )
-        .is_err()
-        {
-            return;
-        }
-        if !keep_alive {
-            drain_then_close(&stream);
-            return;
+        );
+        let Some(entry) = self.conns.get_mut(token) else {
+            return false;
+        };
+        entry.conn.queue_response(bytes, keep_alive, now);
+        match entry.conn.try_write(now) {
+            WriteOutcome::Flushed => true,
+            WriteOutcome::Pending | WriteOutcome::Closing => {
+                self.arm(token);
+                false
+            }
+            WriteOutcome::Broken => {
+                self.remove_conn(token);
+                false
+            }
         }
     }
-}
 
-/// Half-closes the connection and briefly drains whatever the peer is still
-/// sending before the socket drops. Closing with unread received data makes
-/// the kernel send RST, which can destroy the error/refusal response that
-/// was just written — the very bytes the structured-error contract promises
-/// the client gets to read.
-fn drain_then_close(stream: &TcpStream) {
-    let _ = stream.shutdown(Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let deadline = Instant::now() + Duration::from_millis(500);
-    let mut sink = [0u8; 4096];
-    let mut reader = stream;
-    while Instant::now() < deadline {
-        match reader.read(&mut sink) {
-            // EOF: the peer saw our FIN (and our response) and closed too.
-            Ok(0) => break,
-            Ok(_) => continue,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            // Timeout or a genuinely broken pipe: we gave the peer its
-            // chance; close now either way.
-            Err(_) => break,
+    /// Syncs a connection's poller interest with its state, tearing the
+    /// connection down if the poller refuses.
+    fn arm(&mut self, token: u64) {
+        let Some(entry) = self.conns.get_mut(token) else {
+            return;
+        };
+        if entry.peer_gone {
+            return; // fd already deregistered
         }
+        if entry.conn.arm(&mut self.poller, token).is_err() {
+            self.remove_conn(token);
+        }
+    }
+
+    /// Applies state deadlines: reap idle keep-alives silently, count
+    /// stalled mid-request clients, abandon stuck writes and drains.
+    fn sweep_deadlines(&mut self, now: Instant) {
+        for token in self.conns.tokens() {
+            let Some(entry) = self.conns.get_mut(token) else {
+                continue;
+            };
+            if !entry.conn.expired(now) {
+                continue;
+            }
+            match entry.conn.state() {
+                ConnState::ReadingHead if !entry.conn.started() => {
+                    // Idle keep-alive past its timeout: close silently
+                    // (nothing was promised to this client).
+                    self.remove_conn(token);
+                }
+                ConnState::ReadingHead | ConnState::ReadingBody => {
+                    // Slow-loris: request started, deadline blown.
+                    self.shared
+                        .counters
+                        .disconnects_mid_request
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.remove_conn(token);
+                }
+                ConnState::Writing | ConnState::Draining => self.remove_conn(token),
+                ConnState::Dispatch => unreachable!("dispatch carries no deadline"),
+            }
+        }
+    }
+
+    /// Stops accepting and sheds every connection not occupied with a
+    /// request: reading-state connections close immediately (idle or not —
+    /// PR 4 semantics), dispatch/write/drain states finish their work.
+    fn begin_shutdown(&mut self) {
+        self.shutting = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        for token in self.conns.tokens() {
+            let Some(entry) = self.conns.get_mut(token) else {
+                continue;
+            };
+            if matches!(
+                entry.conn.state(),
+                ConnState::ReadingHead | ConnState::ReadingBody
+            ) {
+                self.remove_conn(token);
+            }
+        }
+    }
+
+    fn remove_conn(&mut self, token: u64) {
+        let Some(entry) = self.conns.remove(token) else {
+            return;
+        };
+        if !entry.peer_gone {
+            let _ = self.poller.deregister(entry.conn.fd());
+        }
+        if entry.refusal {
+            self.refusals -= 1;
+        } else {
+            self.serving -= 1;
+        }
+        // Dropping `entry` closes the socket. An entry dying mid-dispatch
+        // leaves `inflight` untouched on purpose: its completion still
+        // arrives, is popped, and finds the token stale.
     }
 }
 
@@ -459,26 +970,43 @@ fn count_status<K: ParamCovariance>(shared: &Shared<K>, status: u16) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
-/// Maps one parsed request to a response. Never returns a transport-level
-/// error: everything is an HTTP status plus a structured JSON error body.
-fn route<K: ParamCovariance>(shared: &Shared<K>, request: &Request) -> Response {
+/// What routing decided: either a finished response, or a decoded predict
+/// request for the reactor to run inline or dispatch.
+enum Routed {
+    Response(Response),
+    Predict {
+        name: String,
+        targets: Vec<Location>,
+        want_variance: bool,
+        resp_codec: Codec,
+    },
+}
+
+/// Maps one parsed request to a response or a decoded prediction. Never
+/// returns a transport-level error: everything is an HTTP status plus a
+/// structured JSON error body.
+fn route<K: ParamCovariance>(shared: &Shared<K>, request: &Request) -> Routed {
     let path = request.path();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => health(shared),
-        ("GET", ["v1", "models"]) => models(shared),
-        ("GET", ["v1", "stats"]) => stats(shared),
-        ("POST", ["v1", "models", name, "predict"]) => predict(shared, name, request),
+    match (request.method(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Routed::Response(health(shared)),
+        ("GET", ["v1", "models"]) => Routed::Response(models(shared)),
+        ("GET", ["v1", "stats"]) => Routed::Response(stats(shared)),
+        ("POST", ["v1", "models", name, "predict"]) => decode_predict(name, request),
         // Right path, wrong verb → 405 so clients can tell the two apart.
         (_, ["healthz"])
         | (_, ["v1", "models"])
         | (_, ["v1", "stats"])
-        | (_, ["v1", "models", _, "predict"]) => Response::error(
+        | (_, ["v1", "models", _, "predict"]) => Routed::Response(Response::error(
             405,
             "method_not_allowed",
-            &format!("{} is not supported on {path}", request.method),
-        ),
-        _ => Response::error(404, "unknown_path", &format!("no route for {path}")),
+            &format!("{} is not supported on {path}", request.method()),
+        )),
+        _ => Routed::Response(Response::error(
+            404,
+            "unknown_path",
+            &format!("no route for {path}"),
+        )),
     }
 }
 
@@ -528,6 +1056,7 @@ fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
     w.begin_object();
     w.key("wire");
     w.begin_object();
+    w.field_str("backend", shared.backend);
     w.field_uint("connections_accepted", wire.connections_accepted);
     w.field_uint("connections_refused", wire.connections_refused);
     w.field_uint("requests_ok", wire.requests_ok);
@@ -536,6 +1065,8 @@ fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
     w.field_uint("malformed_requests", wire.malformed_requests);
     w.field_uint("disconnects_mid_request", wire.disconnects_mid_request);
     w.field_uint("panics_contained", wire.panics_contained);
+    w.field_uint("requests_inline", wire.requests_inline);
+    w.field_uint("requests_dispatched", wire.requests_dispatched);
     w.end_object();
     w.key("serve");
     w.begin_object();
@@ -657,33 +1188,34 @@ fn parse_frame_predict(body: &[u8]) -> Result<(Vec<Location>, bool), Response> {
     Ok((frame.to_locations(), frame.variance))
 }
 
-fn predict<K: ParamCovariance>(shared: &Shared<K>, name: &str, request: &Request) -> Response {
+/// Content negotiation + body decode for the predict endpoint. The actual
+/// prediction is the reactor's call to make (inline vs dispatched).
+fn decode_predict(name: &str, request: &Request) -> Routed {
     let req_codec = match request_codec(request) {
         Ok(codec) => codec,
-        Err(response) => return response,
+        Err(response) => return Routed::Response(response),
     };
     let resp_codec = match response_codec(request, req_codec) {
         Ok(codec) => codec,
-        Err(response) => return response,
+        Err(response) => return Routed::Response(response),
     };
     let decoded = match req_codec {
-        Codec::Json => parse_json_predict(&request.body),
-        Codec::Binary => parse_frame_predict(&request.body),
+        Codec::Json => parse_json_predict(request.body()),
+        Codec::Binary => parse_frame_predict(request.body()),
     };
-    let (targets, want_variance) = match decoded {
-        Ok(decoded) => decoded,
-        Err(response) => return response,
-    };
-    // One wire request = one submission = one coalesced-batch membership.
-    let served = if want_variance {
-        shared.handle.predict_with_variance(name, targets)
-    } else {
-        shared.handle.predict(name, targets)
-    };
-    let served = match served {
-        Ok(served) => served,
-        Err(err) => return serve_error_response(&err),
-    };
+    match decoded {
+        Ok((targets, want_variance)) => Routed::Predict {
+            name: name.to_string(),
+            targets,
+            want_variance,
+            resp_codec,
+        },
+        Err(response) => Routed::Response(response),
+    }
+}
+
+/// Encodes one successful prediction in the negotiated response codec.
+fn predict_response(name: &str, resp_codec: Codec, served: &ServedPrediction) -> Response {
     match resp_codec {
         Codec::Binary => Response::ok_frame(codec::encode_predict_response(
             &served.values,

@@ -1,0 +1,105 @@
+//! Allocation regression guard for the borrow-based preamble parse.
+//!
+//! PR 4's parser allocated two `String`s per header line (name + value),
+//! so a request's parse cost grew with its header count — the exact
+//! per-header allocation the reactor rewrite removes. This test pins the
+//! new contract with a counting global allocator: carving a request and
+//! touching every routed-on field costs a **constant** number of
+//! allocations, independent of how many headers the request carries.
+//!
+//! The file holds exactly one `#[test]` on purpose: the counting allocator
+//! is process-global, and a concurrently running sibling test would bleed
+//! its allocations into the measurement window.
+
+use exa_wire::http::{Limits, ParseProgress, RequestParser};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation event (fresh allocations and reallocations)
+/// flowing through the system allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn request_with_headers(count: usize) -> Vec<u8> {
+    let mut raw = b"POST /v1/models/m/predict HTTP/1.1\r\n".to_vec();
+    for i in 0..count {
+        raw.extend_from_slice(format!("X-Filler-{i}: value-{i}\r\n").as_bytes());
+    }
+    raw.extend_from_slice(b"Content-Length: 4\r\n\r\nbody");
+    raw
+}
+
+/// Allocations charged for carving one already-buffered request and
+/// touching every field the server's router reads. The `feed` (buffer
+/// growth) happens outside the measurement window — buffering bytes is the
+/// transport's cost, the parse itself is what must stay constant.
+fn allocs_to_parse_and_inspect(raw: &[u8]) -> u64 {
+    let mut parser = RequestParser::new(Limits::default());
+    parser.feed(raw);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let request = match parser.next_request().expect("request parses") {
+        ParseProgress::Request(request) => request,
+        other => panic!("incomplete parse: {other:?}"),
+    };
+    // Everything the route path reads on the happy path: method, path,
+    // body, keep-alive, a case-insensitive header lookup, and a full
+    // header walk.
+    assert_eq!(request.method(), "POST");
+    assert_eq!(request.path(), "/v1/models/m/predict");
+    assert_eq!(request.body(), b"body");
+    assert!(request.keep_alive());
+    assert_eq!(request.header("CONTENT-length"), Some("4"));
+    let walked = request.headers().count();
+    assert!(walked >= 1, "header walk saw {walked} headers");
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn header_parsing_allocates_independently_of_header_count() {
+    let small = request_with_headers(4);
+    let large = request_with_headers(40);
+    // Warm-up parse: lazy one-time runtime allocations (panic machinery,
+    // TLS buffers) land here instead of in the measured windows.
+    let _ = allocs_to_parse_and_inspect(&small);
+
+    let allocs_small = allocs_to_parse_and_inspect(&small);
+    let allocs_large = allocs_to_parse_and_inspect(&large);
+    assert_eq!(
+        allocs_small, allocs_large,
+        "parse allocations must not scale with header count: \
+         4 headers cost {allocs_small}, 40 headers cost {allocs_large}"
+    );
+    // The constant itself: one buffer carve per request (the Vec the
+    // Request owns). Give it one of slack for allocator-internal noise,
+    // but a per-header regression (36 extra headers → ≥ 36 extra
+    // allocations) fails loudly either way.
+    assert!(
+        allocs_small <= 2,
+        "carving a request should cost ~1 allocation, measured {allocs_small}"
+    );
+}

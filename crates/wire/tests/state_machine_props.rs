@@ -1,0 +1,256 @@
+//! Arrival-pattern invariance for the reactor's connection state machine.
+//!
+//! The readiness reactor parses requests incrementally: a request may
+//! arrive in one readable event or be dribbled in byte by byte across
+//! many, with the `ReadingHead → ReadingBody → Dispatch → Writing` walk
+//! suspended at every `WouldBlock`. The contract pinned here is that the
+//! byte arrival pattern is **unobservable**: for any request — valid or
+//! malformed — the response is identical whether the bytes land in one
+//! write or split at arbitrary chunk boundaries.
+//!
+//! A corpus of deterministic requests (every error path the router and
+//! parser can take, plus a happy-path predict whose nondeterministic
+//! latency field is compared structurally) is replayed whole to record
+//! reference responses, then replayed split at every 2-chunk boundary
+//! (exhaustive) and at random multi-chunk boundaries (property test).
+
+use exa_covariance::MaternKernel;
+use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel};
+use exa_runtime::Runtime;
+use exa_serve::ModelRegistry;
+use exa_util::Rng;
+use exa_wire::{WireConfig, WireServer};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One server shared by every test and every proptest case. The proptest
+/// shim runs each case in a fresh `move` closure, so per-case state must
+/// be reachable from a `'static` anchor; the process tears the server
+/// down at exit.
+struct Ctx {
+    addr: SocketAddr,
+    _server: WireServer<MaternKernel>,
+}
+
+static CTX: OnceLock<Ctx> = OnceLock::new();
+
+fn ctx() -> &'static Ctx {
+    CTX.get_or_init(|| {
+        let rt = Runtime::new(2);
+        let mut rng = Rng::seed_from_u64(11);
+        let locations = Arc::new(synthetic_locations_n(64, &mut rng));
+        let generator = GeoModel::<MaternKernel>::builder()
+            .locations(locations.clone())
+            .nugget(0.0)
+            .tile_size(64)
+            .build()
+            .unwrap()
+            .at_params(&[1.0, 0.1, 0.5], &rt)
+            .unwrap();
+        let z = generator.simulate(&mut rng, &rt);
+        let model: Arc<FittedModel<MaternKernel>> = Arc::new(
+            GeoModel::<MaternKernel>::builder()
+                .locations(locations)
+                .data(z)
+                .backend(Backend::FullTile)
+                .tile_size(64)
+                .build()
+                .unwrap()
+                .at_params(&[1.0, 0.1, 0.5], &rt)
+                .unwrap(),
+        );
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert("m", model);
+        let server =
+            WireServer::start(registry, WireConfig::default()).expect("bind ephemeral port");
+        Ctx {
+            addr: server.local_addr(),
+            _server: server,
+        }
+    })
+}
+
+/// Every request in the corpus closes the connection — via an explicit
+/// `Connection: close`, an HTTP-level error (which the server always
+/// answers with `close`), or both — so a reply can be read to EOF.
+fn corpus() -> Vec<Vec<u8>> {
+    let predict_body = br#"{"targets":[[0.4,0.6],[0.25,0.75]]}"#;
+    let ghost_body = br#"{"targets":[[0.25,0.75]]}"#;
+    let empty_body = br#"{"targets":[]}"#;
+    let nan_body = br#"{"targets":[[NaN,0.5]]}"#;
+    vec![
+        // Happy paths (index 0 is the predict request, compared structurally).
+        framed("POST", "/v1/models/m/predict", predict_body),
+        b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        b"GET /v1/models HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        // Router errors.
+        b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        b"DELETE /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        framed("POST", "/v1/models/ghost/predict", ghost_body),
+        // Body decode / validation errors.
+        framed("POST", "/v1/models/m/predict", empty_body),
+        framed("POST", "/v1/models/m/predict", nan_body),
+        // Parser errors (each closes the connection on its own).
+        b"NOT AN HTTP PREAMBLE\r\n\r\n".to_vec(),
+        b"GET /healthz HTTP/1.1\r\nContent-Length: +5\r\n\r\n".to_vec(),
+        b"GET / HTTP/2.0\r\nConnection: close\r\n\r\n".to_vec(),
+        b"POST /v1/models/m/predict HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n".to_vec(),
+        b"POST /v1/models/m/predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nx".to_vec(),
+    ]
+}
+
+fn framed(method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+    let mut raw = format!(
+        "{method} {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+/// Send `request` in the given chunks (flushing between them) and read the
+/// full response to EOF.
+fn exchange(addr: SocketAddr, chunks: &[&[u8]]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    for chunk in chunks {
+        stream.write_all(chunk).expect("write chunk");
+        stream.flush().unwrap();
+    }
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    response
+}
+
+/// Compare a replayed response against the whole-write reference.
+///
+/// Corpus index 0 is the valid predict: its `latency_seconds` field is
+/// wall-clock and legitimately differs between runs, so it is compared
+/// structurally — same status line, bit-identical `"mean"` array, and a
+/// solo (`coalesced_requests:1`) batch — instead of byte for byte.
+fn assert_equivalent(index: usize, reference: &[u8], replayed: &[u8]) {
+    if index == 0 {
+        assert_eq!(status_line(reference), status_line(replayed));
+        assert_eq!(status_line(replayed), "HTTP/1.1 200 OK");
+        assert_eq!(
+            json_field(reference, "\"mean\":["),
+            json_field(replayed, "\"mean\":["),
+            "predict means must be bit-identical regardless of arrival pattern"
+        );
+        assert_eq!(json_field(replayed, "\"coalesced_requests\":"), "1");
+        return;
+    }
+    assert_eq!(
+        reference,
+        replayed,
+        "corpus[{index}] response changed with arrival pattern:\n  whole: {}\n  split: {}",
+        String::from_utf8_lossy(reference),
+        String::from_utf8_lossy(replayed)
+    );
+}
+
+fn status_line(response: &[u8]) -> String {
+    let text = String::from_utf8_lossy(response);
+    text.lines().next().unwrap_or_default().to_string()
+}
+
+/// Extract the value following `key` up to (not including) the matching
+/// close: for `"mean":[` the bracketed array, for scalar keys the run of
+/// chars before the next `,` or `}`.
+fn json_field(response: &[u8], key: &str) -> String {
+    let text = String::from_utf8_lossy(response);
+    let start = text.find(key).unwrap_or_else(|| panic!("{key} missing")) + key.len();
+    let rest = &text[start..];
+    if key.ends_with('[') {
+        let end = rest.find(']').expect("array close");
+        rest[..end].to_string()
+    } else {
+        let end = rest.find([',', '}']).expect("value end");
+        rest[..end].to_string()
+    }
+}
+
+/// Exhaustive two-chunk sweep: a short request split at **every** byte
+/// boundary, including mid-request-line, mid-header-name, and between the
+/// `\r` and `\n` of the head terminator.
+#[test]
+fn every_two_chunk_split_of_a_short_request_is_invisible() {
+    let ctx = ctx();
+    let request = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+    let reference = exchange(ctx.addr, &[request]);
+    assert_eq!(status_line(&reference), "HTTP/1.1 200 OK");
+    for cut in 1..request.len() {
+        let replayed = exchange(ctx.addr, &[&request[..cut], &request[cut..]]);
+        assert_eq!(
+            reference, replayed,
+            "split at byte {cut} changed the response"
+        );
+    }
+}
+
+/// Exhaustive two-chunk sweep over a malformed preamble: the 400 must be
+/// byte-identical no matter where the garbage is cut.
+#[test]
+fn every_two_chunk_split_of_a_malformed_request_is_invisible() {
+    let ctx = ctx();
+    let request = b"BAD PREAMBLE NO VERSION\r\n\r\n";
+    let reference = exchange(ctx.addr, &[request]);
+    assert_eq!(status_line(&reference), "HTTP/1.1 400 Bad Request");
+    for cut in 1..request.len() {
+        let replayed = exchange(ctx.addr, &[&request[..cut], &request[cut..]]);
+        assert_eq!(
+            reference, replayed,
+            "split at byte {cut} changed the 400 response"
+        );
+    }
+}
+
+fn prop_cases() -> u32 {
+    std::env::var("EXA_WIRE_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(prop_cases()))]
+
+    /// Property: for every corpus request and every random multi-chunk
+    /// split (up to 5 cuts, duplicates and out-of-order positions
+    /// allowed), the response equals the whole-write reference.
+    #[test]
+    fn responses_are_invariant_under_random_chunking(
+        index in 0usize..13,
+        raw_cuts in proptest::collection::vec(0usize..4096, 0..5),
+    ) {
+        let ctx = ctx();
+        let corpus = corpus();
+        let request = &corpus[index % corpus.len()];
+        let reference = exchange(ctx.addr, &[request]);
+
+        let mut cuts: Vec<usize> = raw_cuts
+            .iter()
+            .map(|c| c % request.len())
+            .filter(|&c| c > 0)
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut chunks: Vec<&[u8]> = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for &cut in &cuts {
+            chunks.push(&request[start..cut]);
+            start = cut;
+        }
+        chunks.push(&request[start..]);
+
+        let replayed = exchange(ctx.addr, &chunks);
+        assert_equivalent(index % corpus.len(), &reference, &replayed);
+    }
+}

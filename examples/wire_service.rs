@@ -132,6 +132,17 @@ fn main() {
         client.set_codec(Codec::Json);
 
         let stats = client.stats().expect("stats");
+        let wire = stats.get("wire").expect("wire section");
+        println!(
+            "reactor: {} backend, {} requests inline / {} dispatched to workers",
+            wire.get("backend").and_then(|v| v.as_str()).unwrap_or("?"),
+            wire.get("requests_inline")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            wire.get("requests_dispatched")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+        );
         let serve = stats.get("serve").expect("serve section");
         println!(
             "server-side: {} served, {} batches, mean latency {:.0} µs",
