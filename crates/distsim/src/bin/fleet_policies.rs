@@ -1,0 +1,80 @@
+//! Reproducible placement-policy comparison table.
+//!
+//! Runs the standard three-way comparison ([`exa_distsim::serving`]) —
+//! ring-hash vs explicit pins vs replicate-top-k — on the default Zipf trace
+//! and prints one row per policy. Same seed, same config, same table, every
+//! run; this is the artifact behind exa-fleet's choice of default policy.
+//!
+//! ```text
+//! cargo run -p exa-distsim --bin fleet_policies [requests] [nodes] [models] [zipf]
+//! ```
+
+use exa_distsim::serving::{compare_policies, winner, FleetSimConfig};
+use exa_util::table::{format_seconds, Table};
+
+fn main() {
+    let mut cfg = FleetSimConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parse = |s: &String, what: &str| -> f64 {
+        s.parse().unwrap_or_else(|_| {
+            panic!("bad {what}: {s:?} (usage: fleet_policies [requests] [nodes] [models] [zipf])")
+        })
+    };
+    if let Some(a) = args.first() {
+        cfg.requests = parse(a, "requests") as usize;
+    }
+    if let Some(a) = args.get(1) {
+        cfg.nodes = parse(a, "nodes") as usize;
+    }
+    if let Some(a) = args.get(2) {
+        cfg.models = parse(a, "models") as usize;
+    }
+    if let Some(a) = args.get(3) {
+        cfg.zipf_exponent = parse(a, "zipf");
+    }
+
+    println!(
+        "serving-fleet policy comparison: {} nodes x {} cores, {} models, \
+         {} requests, zipf {:.2}, offered {:.0} q/s (seed {:#x})",
+        cfg.nodes,
+        cfg.cores_per_node,
+        cfg.models,
+        cfg.requests,
+        cfg.zipf_exponent,
+        cfg.arrival_rate,
+        cfg.seed
+    );
+    println!();
+
+    let reports = compare_policies(&cfg);
+    let mut table = Table::new(vec![
+        "policy",
+        "p50",
+        "p99",
+        "mean",
+        "max",
+        "misses",
+        "evictions",
+        "forwards",
+        "imbalance",
+    ]);
+    for r in &reports {
+        table.row(vec![
+            r.policy.clone(),
+            format_seconds(r.p50_seconds),
+            format_seconds(r.p99_seconds),
+            format_seconds(r.mean_seconds),
+            format_seconds(r.max_seconds),
+            r.misses.to_string(),
+            r.evictions.to_string(),
+            r.forwards.to_string(),
+            format!("{:.2}x", r.imbalance),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "winner by p99: {} (exa-fleet's default router policy)",
+        winner(&reports)
+    );
+}

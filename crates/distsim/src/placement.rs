@@ -1,0 +1,511 @@
+//! Model placement for a sharded serving fleet.
+//!
+//! A fleet of `exa-wire` nodes serves many fitted models; something has to
+//! decide which node(s) own which model. This module is that decision,
+//! factored out of the router so the *same* code runs in two places:
+//!
+//! * the serving-fleet simulator ([`crate::serving`]) evaluates candidate
+//!   policies on synthetic Zipf traces before anyone trusts them, and
+//! * `exa-fleet`'s `FleetRouter` consumes the identical [`PlacementPolicy`]
+//!   impls in production, so simulated and deployed decisions cannot drift.
+//!
+//! The core mechanism is [`PlacementMap`]: a consistent-hash ring with
+//! virtual nodes for balance, an explicit-override (pin) table, and a
+//! configurable replication factor. Lookup is a pure function of
+//! (model name, ring epoch): any router replica with the same map resolves
+//! the same owners, with no coordination.
+//!
+//! Three policies wrap the map:
+//!
+//! * [`RingHashPolicy`] — pure consistent hashing, the zero-knowledge default.
+//! * [`ExplicitPolicy`] — operator-pinned placements with ring fallback.
+//! * [`ReplicateTopK`] — observes traffic and widens the replica set of the
+//!   current top-`k` hottest models, so a model whose demand exceeds one
+//!   node's capacity is served by several.
+
+use std::collections::{HashMap, HashSet};
+
+/// Index of a node in the fleet's node list. Ids are stable for the life of a
+/// [`PlacementMap`]: removing a node retires the id rather than reusing it.
+pub type NodeId = usize;
+
+/// FNV-1a 64-bit with a Murmur3 avalanche finalizer. Plain FNV is not
+/// enough here: ring placement orders keys by their *high* bits, and FNV
+/// barely propagates a trailing-byte change upward — sequential names like
+/// `model-000..model-047` would all land on one arc and map to one node.
+/// The finalizer mixes every input bit into every output bit.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// Default virtual nodes per physical node. 64 points keeps the max/mean key
+/// imbalance under ~1.35 for small fleets (see the placement proptests) while
+/// the ring stays a few KiB.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Consistent-hash ring over fleet nodes with pins and replication.
+///
+/// ```
+/// use exa_distsim::placement::PlacementMap;
+/// let mut map = PlacementMap::new(vec!["node-a", "node-b", "node-c"]);
+/// let owner = map.primary("exp/germany").unwrap();
+/// // Pin a model somewhere specific; pins win over the ring.
+/// map.pin("exp/germany", vec![2]);
+/// assert_eq!(map.replicas("exp/germany"), vec![2]);
+/// let _ = owner;
+/// ```
+#[derive(Clone, Debug)]
+pub struct PlacementMap {
+    /// Node names by id. Never shrinks; `live[id]` marks membership.
+    nodes: Vec<String>,
+    live: Vec<bool>,
+    vnodes: usize,
+    replication: usize,
+    /// Sorted `(hash point, node)` pairs for live nodes only.
+    ring: Vec<(u64, NodeId)>,
+    /// Explicit overrides: model name → replica list (pins win over the ring).
+    overrides: HashMap<String, Vec<NodeId>>,
+    /// Bumped on every topology or override change.
+    epoch: u64,
+}
+
+impl PlacementMap {
+    /// Builds a map over the given nodes with [`DEFAULT_VNODES`] virtual
+    /// nodes and a replication factor of 1.
+    pub fn new<S: Into<String>>(nodes: Vec<S>) -> Self {
+        let nodes: Vec<String> = nodes.into_iter().map(Into::into).collect();
+        let live = vec![true; nodes.len()];
+        let mut map = PlacementMap {
+            nodes,
+            live,
+            vnodes: DEFAULT_VNODES,
+            replication: 1,
+            ring: Vec::new(),
+            overrides: HashMap::new(),
+            epoch: 0,
+        };
+        map.rebuild();
+        map
+    }
+
+    /// Sets the number of virtual nodes per physical node (builder style).
+    pub fn with_vnodes(mut self, vnodes: usize) -> Self {
+        assert!(vnodes > 0, "vnodes must be positive");
+        self.vnodes = vnodes;
+        self.rebuild();
+        self
+    }
+
+    /// Sets the default replication factor (builder style). Clamped to the
+    /// live node count at lookup time.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!(replication > 0, "replication must be positive");
+        self.replication = replication;
+        self.epoch += 1;
+        self
+    }
+
+    fn rebuild(&mut self) {
+        self.ring.clear();
+        for (id, name) in self.nodes.iter().enumerate() {
+            if !self.live[id] {
+                continue;
+            }
+            for v in 0..self.vnodes {
+                let label = format!("{name}#{v}");
+                self.ring.push((fnv1a(label.as_bytes()), id));
+            }
+        }
+        self.ring.sort_unstable();
+        self.epoch += 1;
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node<S: Into<String>>(&mut self, name: S) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(name.into());
+        self.live.push(true);
+        self.rebuild();
+        id
+    }
+
+    /// Removes a node from the ring. Its id is retired, not reused; pins
+    /// referencing it are filtered at lookup time.
+    pub fn remove_node(&mut self, id: NodeId) {
+        assert!(id < self.nodes.len(), "unknown node id {id}");
+        if self.live[id] {
+            self.live[id] = false;
+            self.rebuild();
+        }
+    }
+
+    /// Pins a model to an explicit replica list, overriding the ring.
+    pub fn pin<S: Into<String>>(&mut self, model: S, replicas: Vec<NodeId>) {
+        for &r in &replicas {
+            assert!(r < self.nodes.len(), "unknown node id {r}");
+        }
+        self.overrides.insert(model.into(), replicas);
+        self.epoch += 1;
+    }
+
+    /// Removes a pin; the model falls back to the ring.
+    pub fn unpin(&mut self, model: &str) {
+        if self.overrides.remove(model).is_some() {
+            self.epoch += 1;
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Name of a node id (also valid for retired ids).
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id]
+    }
+
+    /// Current ring epoch; bumped on every topology or override change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Default replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Replica set for `model` at the default replication factor, preference
+    /// order. Pins win over the ring; dead pinned nodes are filtered and an
+    /// all-dead pin falls back to the ring.
+    pub fn replicas(&self, model: &str) -> Vec<NodeId> {
+        self.replicas_n(model, self.replication)
+    }
+
+    /// Replica set of an explicit size `n` (clamped to the live node count).
+    /// The first entry is the primary owner: the first live node clockwise
+    /// from the model's hash point.
+    pub fn replicas_n(&self, model: &str, n: usize) -> Vec<NodeId> {
+        if let Some(pinned) = self.overrides.get(model) {
+            let alive: Vec<NodeId> = pinned.iter().copied().filter(|&r| self.live[r]).collect();
+            if !alive.is_empty() {
+                return alive;
+            }
+        }
+        let want = n.min(self.live_nodes()).max(1);
+        let mut out = Vec::with_capacity(want);
+        if self.ring.is_empty() {
+            return out;
+        }
+        let h = fnv1a(model.as_bytes());
+        let start = self.ring.partition_point(|&(p, _)| p < h);
+        for i in 0..self.ring.len() {
+            let (_, id) = self.ring[(start + i) % self.ring.len()];
+            if !out.contains(&id) {
+                out.push(id);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Primary owner of `model`, if any node is live.
+    pub fn primary(&self, model: &str) -> Option<NodeId> {
+        self.replicas_n(model, 1).first().copied()
+    }
+}
+
+/// A placement decision procedure: model name → ordered replica set.
+///
+/// The first replica is the preferred owner; later entries are failover
+/// targets. [`PlacementPolicy::observe`] feeds the request stream back into
+/// the policy so adaptive impls ([`ReplicateTopK`]) can react; static
+/// policies ignore it. The same impls run inside the [`crate::serving`]
+/// simulator and inside `exa-fleet`'s router.
+pub trait PlacementPolicy: Send {
+    /// Short stable name used in reports and stats documents.
+    fn name(&self) -> &'static str;
+
+    /// Ordered replica set for `model`. Never empty while any node is live.
+    fn replicas(&self, model: &str) -> Vec<NodeId>;
+
+    /// Notifies the policy of one request for `model` (traffic feedback).
+    fn observe(&mut self, _model: &str) {}
+
+    /// Underlying ring epoch (bumped on topology/override changes).
+    fn epoch(&self) -> u64;
+
+    /// Mutable access to the underlying map, for topology changes at runtime
+    /// (node death, scale-out).
+    fn map_mut(&mut self) -> &mut PlacementMap;
+}
+
+/// Pure consistent hashing: every model is owned by its ring walk, nothing
+/// else. Zero knowledge, zero state, perfectly spreads *distinct models* —
+/// but a single model hotter than one node's capacity will melt that node.
+#[derive(Clone, Debug)]
+pub struct RingHashPolicy {
+    map: PlacementMap,
+}
+
+impl RingHashPolicy {
+    /// Wraps a map; lookups use the map's default replication factor.
+    pub fn new(map: PlacementMap) -> Self {
+        RingHashPolicy { map }
+    }
+}
+
+impl PlacementPolicy for RingHashPolicy {
+    fn name(&self) -> &'static str {
+        "ring-hash"
+    }
+    fn replicas(&self, model: &str) -> Vec<NodeId> {
+        self.map.replicas(model)
+    }
+    fn epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+    fn map_mut(&mut self) -> &mut PlacementMap {
+        &mut self.map
+    }
+}
+
+/// Operator-controlled placement: pinned models go exactly where the pin
+/// says; everything else falls back to the ring. This is the policy for
+/// fleets whose hot set is known a priori (e.g. one flagship model per
+/// region) — it cannot adapt when the trace shifts.
+#[derive(Clone, Debug)]
+pub struct ExplicitPolicy {
+    map: PlacementMap,
+}
+
+impl ExplicitPolicy {
+    /// Wraps a map whose pin table ([`PlacementMap::pin`]) is the explicit
+    /// placement. Unpinned models fall back to the ring walk.
+    pub fn new(map: PlacementMap) -> Self {
+        ExplicitPolicy { map }
+    }
+}
+
+impl PlacementPolicy for ExplicitPolicy {
+    fn name(&self) -> &'static str {
+        "explicit"
+    }
+    fn replicas(&self, model: &str) -> Vec<NodeId> {
+        self.map.replicas(model)
+    }
+    fn epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+    fn map_mut(&mut self) -> &mut PlacementMap {
+        &mut self.map
+    }
+}
+
+/// How many observations between hot-set refreshes in [`ReplicateTopK`].
+/// Refreshing on a stride keeps `observe` O(1) amortized while the hot set
+/// still tracks a shifting trace within ~one stride.
+const TOPK_REFRESH_STRIDE: u64 = 128;
+
+/// Adaptive replication: counts per-model traffic and serves the current
+/// top-`k` models from `hot_replication` ring replicas instead of the map's
+/// default. The widened set is the *same ring walk, extended* — it always
+/// starts at the model's primary, so promoting or demoting a model never
+/// strands requests on a node that never owned it.
+#[derive(Clone, Debug)]
+pub struct ReplicateTopK {
+    map: PlacementMap,
+    k: usize,
+    hot_replication: usize,
+    counts: HashMap<String, u64>,
+    hot: HashSet<String>,
+    observed: u64,
+}
+
+impl ReplicateTopK {
+    /// `k` models may be hot at once; each is served from `hot_replication`
+    /// replicas (clamped to the live node count at lookup).
+    pub fn new(map: PlacementMap, k: usize, hot_replication: usize) -> Self {
+        assert!(hot_replication > 0, "hot_replication must be positive");
+        ReplicateTopK {
+            map,
+            k,
+            hot_replication,
+            counts: HashMap::new(),
+            hot: HashSet::new(),
+            observed: 0,
+        }
+    }
+
+    /// Current hot set (models replicated at the widened factor).
+    pub fn hot_models(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.hot.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn refresh_hot(&mut self) {
+        let mut by_count: Vec<(&String, &u64)> = self.counts.iter().collect();
+        // Sort by count desc, name asc — the tiebreak keeps refreshes
+        // deterministic under HashMap iteration order.
+        by_count.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        self.hot = by_count
+            .into_iter()
+            .take(self.k)
+            .map(|(name, _)| name.clone())
+            .collect();
+    }
+}
+
+impl PlacementPolicy for ReplicateTopK {
+    fn name(&self) -> &'static str {
+        "replicate-top-k"
+    }
+
+    fn replicas(&self, model: &str) -> Vec<NodeId> {
+        if self.hot.contains(model) {
+            self.map.replicas_n(model, self.hot_replication)
+        } else {
+            self.map.replicas(model)
+        }
+    }
+
+    fn observe(&mut self, model: &str) {
+        *self.counts.entry(model.to_string()).or_insert(0) += 1;
+        self.observed += 1;
+        if self.observed.is_multiple_of(TOPK_REFRESH_STRIDE) {
+            self.refresh_hot();
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+
+    fn map_mut(&mut self) -> &mut PlacementMap {
+        &mut self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> PlacementMap {
+        PlacementMap::new(vec!["a", "b", "c"])
+    }
+
+    #[test]
+    fn lookup_is_deterministic() {
+        let m1 = three();
+        let m2 = three();
+        for i in 0..100 {
+            let key = format!("model-{i}");
+            assert_eq!(m1.replicas(&key), m2.replicas(&key));
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_sized() {
+        let m = three().with_replication(2);
+        for i in 0..50 {
+            let r = m.replicas(&format!("m{i}"));
+            assert_eq!(r.len(), 2);
+            assert_ne!(r[0], r[1]);
+        }
+    }
+
+    #[test]
+    fn replication_clamps_to_live_nodes() {
+        let m = PlacementMap::new(vec!["solo"]).with_replication(3);
+        assert_eq!(m.replicas("x"), vec![0]);
+    }
+
+    #[test]
+    fn pins_win_over_ring_and_fall_back_when_dead() {
+        let mut m = three();
+        m.pin("hot", vec![2]);
+        assert_eq!(m.replicas("hot"), vec![2]);
+        m.remove_node(2);
+        let fallback = m.replicas("hot");
+        assert_eq!(fallback.len(), 1);
+        assert!(fallback[0] < 2, "dead pin must fall back to the ring");
+        m.unpin("hot");
+        assert_eq!(m.replicas("hot"), fallback);
+    }
+
+    #[test]
+    fn epoch_bumps_on_changes() {
+        let mut m = three();
+        let e0 = m.epoch();
+        m.pin("x", vec![0]);
+        let e1 = m.epoch();
+        assert!(e1 > e0);
+        m.add_node("d");
+        assert!(m.epoch() > e1);
+    }
+
+    #[test]
+    fn removed_node_never_returned() {
+        let mut m = three();
+        m.remove_node(1);
+        for i in 0..200 {
+            assert!(!m.replicas(&format!("k{i}")).contains(&1));
+        }
+        assert_eq!(m.live_nodes(), 2);
+    }
+
+    #[test]
+    fn node_ids_stable_across_removal() {
+        let mut m = three();
+        m.remove_node(0);
+        assert_eq!(m.node_name(2), "c");
+        let d = m.add_node("d");
+        assert_eq!(d, 3);
+        assert_eq!(m.node_name(d), "d");
+    }
+
+    #[test]
+    fn topk_widens_hot_models_only() {
+        let map = three();
+        let mut p = ReplicateTopK::new(map, 1, 3);
+        // Drive enough traffic at "hot" to cross a refresh stride.
+        for _ in 0..TOPK_REFRESH_STRIDE + 1 {
+            p.observe("hot");
+        }
+        p.observe("cold");
+        assert_eq!(p.hot_models(), vec!["hot".to_string()]);
+        assert_eq!(p.replicas("hot").len(), 3);
+        assert_eq!(p.replicas("cold").len(), 1);
+        // Widened set extends the primary's ring walk.
+        let primary = p.replicas("cold")[0];
+        let _ = primary;
+        assert_eq!(p.replicas("hot")[0], {
+            let m = three();
+            m.primary("hot").unwrap()
+        });
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names = [
+            RingHashPolicy::new(three()).name(),
+            ExplicitPolicy::new(three()).name(),
+            ReplicateTopK::new(three(), 1, 2).name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,625 @@
+//! The fleet router: one socket fronting N `exa-wire` nodes.
+//!
+//! A thread-per-connection blocking front-end — deliberately simpler than
+//! the backend's readiness reactor, because a router terminates a bounded
+//! number of client connections and spends its life waiting on upstream
+//! sockets anyway. It reuses `exa-wire`'s HTTP machinery wholesale: the
+//! incremental [`RequestParser`] on the way in, [`WireClient`] keep-alive
+//! pools ([`NodePool`]) on the way out, and the wire JSON envelope for
+//! every error it originates itself.
+//!
+//! Predict bodies cross the router **verbatim** in both directions — the
+//! router never decodes either codec, so what a backend computes is
+//! byte-for-byte what the client receives (bit-identity is a test, not an
+//! aspiration).
+//!
+//! [`WireClient`]: exa_wire::WireClient
+
+use crate::pool::{NodeHealth, NodePool};
+use crate::{FleetConfig, NodeSpec};
+use exa_distsim::placement::{NodeId, PlacementMap, PlacementPolicy};
+use exa_wire::http::{self, HttpError, Limits, ParseProgress, Request, RequestParser};
+use exa_wire::json::{Json, JsonWriter};
+use exa_wire::WireResponse;
+use std::io::{self, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Seconds clients are told to back off when every replica is down.
+const RETRY_AFTER_NO_REPLICAS: u64 = 1;
+
+/// How often a blocked handler wakes to check for shutdown.
+const READ_TICK: Duration = Duration::from_millis(250);
+
+/// Router-side counters, all monotone over the router's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Client connections accepted.
+    pub connections_accepted: u64,
+    /// Requests answered 2xx (predict relays and local endpoints alike).
+    pub requests_ok: u64,
+    /// Requests answered with any non-2xx status.
+    pub requests_error: u64,
+    /// Predict requests relayed to a backend (one per answered predict,
+    /// however many attempts it took).
+    pub forwards: u64,
+    /// Attempts abandoned for the next replica after a connect/transport
+    /// failure — each one also demoted the failing node to suspect.
+    pub failovers: u64,
+    /// `unknown_model` answers that sent the router on to another replica.
+    pub misses_retried: u64,
+    /// Placement-epoch changes observed (pins, topology edits).
+    pub rebalances: u64,
+    /// Stale pooled connections transparently redialed by [`WireClient`]s.
+    ///
+    /// [`WireClient`]: exa_wire::WireClient
+    pub reconnects: u64,
+    /// Node demotions to suspect, summed across the fleet.
+    pub demotions: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_error: AtomicU64,
+    forwards: AtomicU64,
+    failovers: AtomicU64,
+    misses_retried: AtomicU64,
+    rebalances: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+struct Shared {
+    nodes: Vec<NodePool>,
+    policy: Mutex<Box<dyn PlacementPolicy>>,
+    policy_name: &'static str,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    limits: Limits,
+    suspect_cooldown: Duration,
+    /// Spreads consecutive predicts across a model's replica set.
+    rotate: AtomicUsize,
+    /// Last placement epoch seen, for the rebalance counter.
+    last_epoch: AtomicU64,
+}
+
+/// One response about to be written to a client.
+struct Reply {
+    status: u16,
+    content_type: String,
+    body: Vec<u8>,
+    retry_after: Option<u64>,
+}
+
+impl Reply {
+    fn ok_json(body: String) -> Reply {
+        Reply {
+            status: 200,
+            content_type: "application/json".to_string(),
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    fn error(status: u16, code: &str, message: &str) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json".to_string(),
+            body: error_body(code, message).into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    fn relay(response: WireResponse) -> Reply {
+        Reply {
+            status: response.status,
+            content_type: response.content_type,
+            body: response.body,
+            retry_after: response.retry_after,
+        }
+    }
+}
+
+/// A running fleet router; dropping it without [`FleetRouter::shutdown`]
+/// leaks the accept thread, so tests and binaries should shut down.
+pub struct FleetRouter {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FleetRouter {
+    /// Builds the placement map over `nodes` (ids follow input order),
+    /// applies the configured pins, binds the router socket and starts
+    /// accepting.
+    pub fn start(nodes: Vec<NodeSpec>, config: FleetConfig) -> io::Result<FleetRouter> {
+        if nodes.is_empty() {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "a fleet needs at least one node",
+            ));
+        }
+        let mut map = PlacementMap::new(nodes.iter().map(|n| n.name.clone()).collect())
+            .with_vnodes(config.vnodes)
+            .with_replication(config.replication.clamp(1, nodes.len()));
+        for (model, replicas) in &config.pins {
+            map.pin(model.clone(), replicas.clone());
+        }
+        let policy = config.policy.build(map);
+        let policy_name = policy.name();
+        let last_epoch = policy.epoch();
+        let pools = nodes
+            .iter()
+            .map(|spec| NodePool::new(&spec.name, spec.addr, config.connect_timeout))
+            .collect();
+        let listener = TcpListener::bind(&config.bind_addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            nodes: pools,
+            policy: Mutex::new(policy),
+            policy_name,
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+            limits: config.limits,
+            suspect_cooldown: config.suspect_cooldown,
+            rotate: AtomicUsize::new(0),
+            last_epoch: AtomicU64::new(last_epoch),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("fleet-accept".to_string())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        Ok(FleetRouter {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The router's bound address (ephemeral-port friendly).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Name of the placement policy in force (`"replicate-top-k"` by
+    /// default — the winner of the `exa-distsim` serving-fleet comparison).
+    pub fn policy_name(&self) -> &'static str {
+        self.shared.policy_name
+    }
+
+    /// Router counter snapshot.
+    pub fn stats(&self) -> RouterStats {
+        let c = &self.shared.counters;
+        RouterStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            requests_ok: c.requests_ok.load(Ordering::Relaxed),
+            requests_error: c.requests_error.load(Ordering::Relaxed),
+            forwards: c.forwards.load(Ordering::Relaxed),
+            failovers: c.failovers.load(Ordering::Relaxed),
+            misses_retried: c.misses_retried.load(Ordering::Relaxed),
+            rebalances: c.rebalances.load(Ordering::Relaxed),
+            reconnects: c.reconnects.load(Ordering::Relaxed),
+            demotions: self.shared.nodes.iter().map(NodePool::demotions).sum(),
+        }
+    }
+
+    /// Health of node `id` as the router currently sees it.
+    pub fn node_health(&self, id: NodeId) -> NodeHealth {
+        self.shared.nodes[id].health()
+    }
+
+    /// Pins `model` to an explicit replica list, overriding the ring;
+    /// bumps the placement epoch (visible as a rebalance).
+    pub fn pin(&self, model: &str, replicas: Vec<NodeId>) {
+        let mut policy = self.shared.policy.lock().expect("policy lock");
+        policy.map_mut().pin(model.to_string(), replicas);
+    }
+
+    /// Removes a pin, returning `model` to ring placement.
+    pub fn unpin(&self, model: &str) {
+        let mut policy = self.shared.policy.lock().expect("policy lock");
+        policy.map_mut().unpin(model);
+    }
+
+    /// Stops accepting, lets in-flight requests finish, joins every
+    /// connection handler, and returns the final counters.
+    pub fn shutdown(mut self) -> RouterStats {
+        self.wind_down();
+        self.stats()
+    }
+
+    fn wind_down(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway dial.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for FleetRouter {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.wind_down();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                // On spawn failure the connection drops; the client retries.
+                if let Ok(handle) = thread::Builder::new()
+                    .name("fleet-conn".to_string())
+                    .spawn(move || handle_connection(stream, shared))
+                {
+                    handlers.push(handle);
+                }
+                // Reap finished handlers so the vec stays bounded by the
+                // number of *live* connections.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout: the handler wakes every tick to notice shutdown
+    // and to enforce the idle/slow-request deadlines itself.
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut parser = RequestParser::new(shared.limits);
+    let mut last_activity = Instant::now();
+    loop {
+        match parser.next_request() {
+            Ok(ParseProgress::Request(request)) => {
+                last_activity = Instant::now();
+                let keep_alive =
+                    request.keep_alive() && !shared.shutting_down.load(Ordering::SeqCst);
+                let reply = route(&shared, &request);
+                let counter = if (200..300).contains(&reply.status) {
+                    &shared.counters.requests_ok
+                } else {
+                    &shared.counters.requests_error
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let bytes = http::encode_response_with_retry(
+                    reply.status,
+                    &reply.content_type,
+                    &reply.body,
+                    keep_alive,
+                    reply.retry_after,
+                );
+                if stream.write_all(&bytes).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(_) => match parser.read_from(&mut stream) {
+                Ok(0) => return,
+                Ok(_) => last_activity = Instant::now(),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if http::would_block(&e) => {
+                    if shared.shutting_down.load(Ordering::SeqCst) && parser.buffered() == 0 {
+                        return;
+                    }
+                    let budget = if parser.buffered() == 0 {
+                        shared.limits.idle_timeout
+                    } else {
+                        shared.limits.request_deadline
+                    };
+                    if last_activity.elapsed() > budget {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            },
+            Err(err) => {
+                let _ = stream.write_all(&http::encode_response(
+                    err.status(),
+                    "application/json",
+                    error_body(http_error_code(&err), &err.to_string()).as_bytes(),
+                    false,
+                ));
+                return;
+            }
+        }
+    }
+}
+
+fn http_error_code(err: &HttpError) -> &'static str {
+    // The backend labels every HTTP-level violation `bad_request`; the
+    // router speaks the same envelope.
+    let _ = err;
+    "bad_request"
+}
+
+fn route(shared: &Shared, request: &Request) -> Reply {
+    let path = request.path();
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (request.method(), segments.as_slice()) {
+        ("GET", ["healthz"]) => health(shared),
+        ("GET", ["v1", "fleet", "stats"]) => fleet_stats(shared),
+        ("POST", ["v1", "models", name, "predict"]) => proxy_predict(shared, request, name),
+        (_, ["healthz"] | ["v1", "fleet", "stats"] | ["v1", "models", _, "predict"]) => {
+            Reply::error(
+                405,
+                "method_not_allowed",
+                &format!("{} is not supported on {path}", request.method()),
+            )
+        }
+        _ => Reply::error(404, "unknown_path", &format!("no route for {path}")),
+    }
+}
+
+fn health(shared: &Shared) -> Reply {
+    let live = shared
+        .nodes
+        .iter()
+        .filter(|n| n.health() == NodeHealth::Up)
+        .count();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("status", "ok");
+    w.field_uint("nodes", shared.nodes.len() as u64);
+    w.field_uint("nodes_up", live as u64);
+    w.field_str("policy", shared.policy_name);
+    w.end_object();
+    Reply::ok_json(w.finish())
+}
+
+/// The predict relay: resolve the replica set, try candidates in rotated
+/// health-sorted order, hand back the first real answer verbatim.
+///
+/// * Transport failure → demote the node, fail over to the next replica.
+/// * `404 unknown_model` → the node could not pull the model either; try
+///   the rest of the replica set before letting the 404 through.
+/// * Everything else (including backend 4xx/5xx) is the answer.
+fn proxy_predict(shared: &Shared, request: &Request, model: &str) -> Reply {
+    let (replicas, epoch) = {
+        let mut policy = shared.policy.lock().expect("policy lock");
+        policy.observe(model);
+        (policy.replicas(model), policy.epoch())
+    };
+    if shared.last_epoch.swap(epoch, Ordering::SeqCst) != epoch {
+        shared.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+    if replicas.is_empty() {
+        return Reply::error(503, "no_replicas_available", "the fleet has no live nodes");
+    }
+    // Rotate the starting replica so a replicated hot model's traffic
+    // spreads instead of hammering its primary, then sort suspects last.
+    let offset = if replicas.len() > 1 {
+        shared.rotate.fetch_add(1, Ordering::Relaxed) % replicas.len()
+    } else {
+        0
+    };
+    let mut order: Vec<NodeId> = (0..replicas.len())
+        .map(|i| replicas[(i + offset) % replicas.len()])
+        .collect();
+    order.sort_by_key(|&id| shared.nodes[id].health() == NodeHealth::Suspect);
+
+    let content_type = request.header("content-type").unwrap_or("application/json");
+    let accept = request.header("accept").unwrap_or("*/*");
+    let target = request.path();
+    let mut last_miss: Option<Reply> = None;
+    let candidates = order.len();
+    for (attempt, id) in order.into_iter().enumerate() {
+        let pool = &shared.nodes[id];
+        let mut client = match pool.checkout() {
+            Ok(client) => client,
+            Err(_) => {
+                pool.demote(shared.suspect_cooldown);
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        let before = client.reconnects();
+        let result = client.request_raw("POST", target, content_type, accept, request.body());
+        shared
+            .counters
+            .reconnects
+            .fetch_add(client.reconnects() - before, Ordering::Relaxed);
+        match result {
+            Ok(response) => {
+                if response.status == 503 && error_code(&response.body) == Some("shutting_down") {
+                    // The node announced its own drain; route around it.
+                    // Its connection is about to close — don't pool it.
+                    drop(client);
+                    pool.demote(shared.suspect_cooldown);
+                    shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                pool.promote();
+                pool.checkin(client);
+                if response.status == 404 && error_code(&response.body) == Some("unknown_model") {
+                    if attempt + 1 < candidates {
+                        shared
+                            .counters
+                            .misses_retried
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    last_miss = Some(Reply::relay(response));
+                    continue;
+                }
+                shared.counters.forwards.fetch_add(1, Ordering::Relaxed);
+                return Reply::relay(response);
+            }
+            Err(_) => {
+                // The connection is poisoned; drop it rather than pool it.
+                drop(client);
+                pool.demote(shared.suspect_cooldown);
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+    }
+    match last_miss {
+        // Every live replica answered `unknown_model`: the 404 is real.
+        Some(reply) => reply,
+        None => {
+            let mut reply = Reply::error(
+                503,
+                "no_replicas_available",
+                &format!("every replica of {model:?} is unreachable"),
+            );
+            reply.retry_after = Some(RETRY_AFTER_NO_REPLICAS);
+            reply
+        }
+    }
+}
+
+/// `GET /v1/fleet/stats`: router counters plus every node's own
+/// `/v1/stats` and `/v1/models` documents, spliced in verbatim (an
+/// unreachable node reports `null` documents and its health instead).
+fn fleet_stats(shared: &Shared) -> Reply {
+    let (live, replication, epoch) = {
+        let mut policy = shared.policy.lock().expect("policy lock");
+        let map = policy.map_mut();
+        (map.live_nodes(), map.replication(), map.epoch())
+    };
+    // Collect every node's documents BEFORE reading the router counters:
+    // probing an unreachable node demotes it, and the counters written
+    // below must already include that, or the document disagrees with a
+    // stats snapshot taken the instant after it.
+    let documents: Vec<Option<(String, String)>> = shared
+        .nodes
+        .iter()
+        .map(|pool| node_documents(shared, pool))
+        .collect();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("fleet");
+    w.begin_object();
+    w.field_uint("nodes", shared.nodes.len() as u64);
+    w.field_uint("placement_nodes", live as u64);
+    w.field_str("policy", shared.policy_name);
+    w.field_uint("replication", replication as u64);
+    w.field_uint("epoch", epoch);
+    w.end_object();
+    w.key("router");
+    w.begin_object();
+    let c = &shared.counters;
+    w.field_uint(
+        "connections_accepted",
+        c.connections_accepted.load(Ordering::Relaxed),
+    );
+    w.field_uint("requests_ok", c.requests_ok.load(Ordering::Relaxed));
+    w.field_uint("requests_error", c.requests_error.load(Ordering::Relaxed));
+    w.field_uint("forwards", c.forwards.load(Ordering::Relaxed));
+    w.field_uint("failovers", c.failovers.load(Ordering::Relaxed));
+    w.field_uint("misses_retried", c.misses_retried.load(Ordering::Relaxed));
+    w.field_uint("rebalances", c.rebalances.load(Ordering::Relaxed));
+    w.field_uint("reconnects", c.reconnects.load(Ordering::Relaxed));
+    w.field_uint(
+        "demotions",
+        shared.nodes.iter().map(NodePool::demotions).sum(),
+    );
+    w.end_object();
+    w.key("nodes");
+    w.begin_array();
+    for (pool, docs) in shared.nodes.iter().zip(&documents) {
+        w.begin_object();
+        w.field_str("name", pool.name());
+        w.field_str("addr", &pool.addr().to_string());
+        w.field_uint("demotions", pool.demotions());
+        w.field_str("health", pool.health().as_str());
+        w.key("stats");
+        match docs {
+            Some((stats, _)) => w.raw(stats),
+            None => w.null(),
+        }
+        w.key("models");
+        match docs {
+            Some((_, models)) => w.raw(models),
+            None => w.null(),
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Reply::ok_json(w.finish())
+}
+
+/// Fetches one node's `/v1/stats` and `/v1/models`, validating both as
+/// JSON before they are spliced into the aggregate. Any failure demotes
+/// the node and reports `None`.
+fn node_documents(shared: &Shared, pool: &NodePool) -> Option<(String, String)> {
+    let mut client = match pool.checkout() {
+        Ok(client) => client,
+        Err(_) => {
+            pool.demote(shared.suspect_cooldown);
+            return None;
+        }
+    };
+    let mut fetch = |path: &str| -> Option<String> {
+        let response = client
+            .request_raw("GET", path, "application/json", "application/json", b"")
+            .ok()?;
+        if response.status != 200 {
+            return None;
+        }
+        let text = String::from_utf8(response.body).ok()?;
+        Json::parse(&text).ok()?; // validate before splicing raw
+        Some(text)
+    };
+    let documents = match (fetch("/v1/stats"), fetch("/v1/models")) {
+        (Some(stats), Some(models)) => Some((stats, models)),
+        _ => None,
+    };
+    if documents.is_some() {
+        pool.promote();
+        pool.checkin(client);
+    } else {
+        pool.demote(shared.suspect_cooldown);
+    }
+    documents
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("error");
+    w.begin_object();
+    w.field_str("code", code);
+    w.field_str("message", message);
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// The `error.code` of a JSON error envelope, if `body` is one. Only the
+/// codes the router dispatches on need static names.
+fn error_code(body: &[u8]) -> Option<&'static str> {
+    let text = std::str::from_utf8(body).ok()?;
+    let doc = Json::parse(text).ok()?;
+    match doc.get("error")?.get("code")?.as_str()? {
+        "unknown_model" => Some("unknown_model"),
+        "shutting_down" => Some("shutting_down"),
+        _ => None,
+    }
+}

@@ -1,0 +1,282 @@
+//! Fleet soak: a 3-node in-process fleet under a concurrent predict +
+//! abuse mix, with one node killed mid-run. Replicated models must stay
+//! servable throughout, and the router's aggregate stats must agree with
+//! its in-process counters when the dust settles.
+//!
+//! Environment knobs (defaults suit a laptop `cargo test`):
+//!
+//! * `EXA_FLEET_SOAK_SECONDS` — soak duration (default 2; CI raises it).
+//! * `EXA_FLEET_SOAK_CLIENTS` — predict workers (default 4).
+//! * `EXA_FLEET_SOAK_STATS_DIR` — when set, the final `/v1/fleet/stats`
+//!   document is dumped there (uploaded by CI on failure).
+
+use exa_covariance::{Location, MaternKernel};
+use exa_fleet::{FleetConfig, FleetRouter, NodeSpec};
+use exa_geostat::{Backend, FittedModel, GeoModel};
+use exa_runtime::Runtime;
+use exa_serve::ModelRegistry;
+use exa_util::Rng;
+use exa_wire::{Codec, WireClient, WireConfig, WireServer};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const MODELS: [&str; 6] = ["m0", "m1", "m2", "m3", "m4", "m5"];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn catalog() -> Arc<HashMap<String, Arc<FittedModel<MaternKernel>>>> {
+    let rt = Runtime::new(2);
+    let mut store = HashMap::new();
+    for (i, name) in MODELS.iter().enumerate() {
+        let mut rng = Rng::seed_from_u64(40 + i as u64);
+        let locations = Arc::new(exa_geostat::synthetic_locations(8, &mut rng));
+        let truth = GeoModel::<MaternKernel>::builder()
+            .locations(locations.clone())
+            .tile_size(32)
+            .build()
+            .unwrap()
+            .at_params(&[1.0, 0.1, 0.5], &rt)
+            .unwrap();
+        let z = truth.simulate(&mut rng, &rt);
+        let fitted = GeoModel::<MaternKernel>::builder()
+            .locations(locations)
+            .data(z)
+            .backend(Backend::tlr(1e-9))
+            .tile_size(32)
+            .build()
+            .unwrap()
+            .at_params(&[1.0, 0.1, 0.5], &rt)
+            .unwrap();
+        store.insert((*name).to_string(), Arc::new(fitted));
+    }
+    Arc::new(store)
+}
+
+/// Raw-socket abuse patterns; each returns after the router answers (or
+/// closes). The router must shrug all of them off.
+fn abuse_round(addr: SocketAddr) {
+    let patterns: [&[u8]; 4] = [
+        b"GARBAGE WHERE A REQUEST SHOULD BE\r\n\r\n",
+        b"GET /definitely/not/a/route HTTP/1.1\r\nHost: x\r\n\r\n",
+        b"DELETE /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+        b"POST /v1/models/m0/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\nnot json!",
+    ];
+    for pattern in patterns {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        if stream.write_all(pattern).is_err() {
+            continue;
+        }
+        let mut response = Vec::new();
+        let mut chunk = [0u8; 1024];
+        // One read is enough: we only care that the router answered
+        // instead of hanging or dying.
+        if let Ok(n) = stream.read(&mut chunk) {
+            response.extend_from_slice(&chunk[..n]);
+        }
+        assert!(
+            response.starts_with(b"HTTP/1.1 4") || response.starts_with(b"HTTP/1.1 5"),
+            "abuse must be answered with a structured error: {:?}",
+            String::from_utf8_lossy(&response)
+        );
+    }
+    // An oversized preamble must be cut off with a 431.
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let huge = format!(
+            "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Filler: {}\r\n\r\n",
+            "f".repeat(64 * 1024)
+        );
+        let _ = stream.write_all(huge.as_bytes());
+        let mut chunk = [0u8; 256];
+        let _ = stream.read(&mut chunk);
+    }
+}
+
+fn dump_stats(doc: &str) {
+    let Ok(dir) = std::env::var("EXA_FLEET_SOAK_STATS_DIR") else {
+        return;
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(format!("{dir}/fleet-stats.json"), doc);
+}
+
+#[test]
+fn fleet_survives_abuse_and_a_mid_run_node_kill() {
+    let seconds = env_usize("EXA_FLEET_SOAK_SECONDS", 2);
+    let clients = env_usize("EXA_FLEET_SOAK_CLIENTS", 4);
+    let store = catalog();
+
+    // Three loader-capable nodes: any node can pull any model, so
+    // placement decides steady-state residency and a kill never makes a
+    // model unservable.
+    let mut nodes: Vec<WireServer<MaternKernel>> = (0..3)
+        .map(|_| {
+            let registry = Arc::new(ModelRegistry::new());
+            let store = Arc::clone(&store);
+            registry.set_loader(move |name| store.get(name).cloned());
+            WireServer::start(registry, WireConfig::default()).unwrap()
+        })
+        .collect();
+    let specs = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| NodeSpec::new(format!("soak-{i}"), n.local_addr()))
+        .collect();
+    let router = FleetRouter::start(specs, FleetConfig::default()).unwrap();
+    let addr = router.local_addr();
+
+    let deadline = Instant::now() + Duration::from_secs(seconds as u64);
+    let victim = nodes.pop().unwrap();
+    let (predicts, errors) = thread::scope(|scope| {
+        // Predict workers: keep-alive clients alternating models and
+        // codecs, half of them asking for variances.
+        let mut workers = Vec::new();
+        for w in 0..clients {
+            workers.push(scope.spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect router");
+                if w % 2 == 0 {
+                    client.set_codec(Codec::Binary);
+                }
+                let targets = [Location::new(0.3, 0.4), Location::new(0.7, 0.2)];
+                let (mut ok, mut err) = (0u64, 0u64);
+                let mut i = w;
+                while Instant::now() < deadline {
+                    let model = MODELS[i % MODELS.len()];
+                    let result = if w % 2 == 1 {
+                        client.predict_with_variance(model, &targets)
+                    } else {
+                        client.predict(model, &targets)
+                    };
+                    match result {
+                        Ok(served) => {
+                            assert!(served.mean.iter().all(|m| m.is_finite()));
+                            ok += 1;
+                        }
+                        Err(_) => err += 1,
+                    }
+                    i += 1;
+                }
+                (ok, err)
+            }));
+        }
+        // Abuse worker: raw-socket garbage at the router for the whole run.
+        let abuse = scope.spawn(move || {
+            while Instant::now() < deadline {
+                abuse_round(addr);
+            }
+        });
+        // Mid-run, kill one node. Its drain is graceful, so in-flight
+        // requests finish; everything after fails over.
+        let killer = scope.spawn(move || {
+            thread::sleep(Duration::from_secs(seconds as u64) / 2);
+            victim.shutdown();
+        });
+        let mut totals = (0u64, 0u64);
+        for worker in workers {
+            let (ok, err) = worker.join().expect("predict worker");
+            totals.0 += ok;
+            totals.1 += err;
+        }
+        abuse.join().expect("abuse worker");
+        killer.join().expect("killer");
+        totals
+    });
+
+    assert!(predicts > 0, "soak produced no successful predicts");
+    assert_eq!(
+        errors, 0,
+        "predicts through the router must survive the node kill ({predicts} ok)"
+    );
+
+    // Every model is still servable after the kill, under both codecs.
+    let mut client = WireClient::connect(addr).unwrap();
+    for codec in [Codec::Json, Codec::Binary] {
+        client.set_codec(codec);
+        for model in MODELS {
+            let served = client.predict(model, &[Location::new(0.5, 0.5)]).unwrap();
+            assert!(served.mean[0].is_finite(), "{model} lost after kill");
+        }
+    }
+    client.health().unwrap();
+
+    // Stats consistency: the aggregate document and the in-process
+    // snapshot agree on every stable counter, the dead node reports null
+    // documents, and no live node ever re-factorized.
+    // One raw fetch serves both the artifact dump and the assertions —
+    // a second fetch would demote the dead node again and skew counters.
+    let raw = client
+        .request_raw(
+            "GET",
+            "/v1/fleet/stats",
+            "application/json",
+            "application/json",
+            b"",
+        )
+        .unwrap();
+    assert_eq!(raw.status, 200);
+    let text = String::from_utf8(raw.body).unwrap();
+    dump_stats(&text);
+    let doc = exa_wire::json::Json::parse(&text).unwrap();
+    let snap = router.stats();
+    let counter = |name: &str| {
+        doc.get("router")
+            .and_then(|r| r.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("missing router counter {name}"))
+    };
+    assert_eq!(counter("forwards"), snap.forwards);
+    assert_eq!(counter("failovers"), snap.failovers);
+    assert_eq!(counter("demotions"), snap.demotions);
+    assert_eq!(counter("rebalances"), snap.rebalances);
+    assert!(
+        snap.failovers >= 1,
+        "the kill never forced a failover: {snap:?}"
+    );
+    assert!(
+        snap.demotions >= 1,
+        "the kill never demoted a node: {snap:?}"
+    );
+    assert!(snap.forwards >= predicts, "every predict was relayed");
+
+    let per_node = doc.get("nodes").and_then(|n| n.as_array()).unwrap();
+    assert_eq!(per_node.len(), 3);
+    let mut live = 0;
+    for node in per_node {
+        let Some(stats) = node.get("stats").filter(|s| !s.is_null()) else {
+            continue;
+        };
+        live += 1;
+        let potrf = stats
+            .get("serve")
+            .and_then(|s| s.get("factorizations_during_serving"))
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert_eq!(potrf, 0, "a node re-factorized during serving");
+        let panics = stats
+            .get("wire")
+            .and_then(|w| w.get("panics_contained"))
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert_eq!(panics, 0, "a node contained a panic during the soak");
+    }
+    assert_eq!(live, 2, "exactly the two surviving nodes report stats");
+
+    router.shutdown();
+    for node in nodes {
+        let (wire, serve) = node.shutdown();
+        assert_eq!(wire.panics_contained, 0);
+        assert_eq!(serve.factorizations_during_serving, 0);
+    }
+}

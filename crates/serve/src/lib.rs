@@ -110,7 +110,7 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use registry::{ModelInfo, ModelRegistry, RegistryStats};
+pub use registry::{ModelInfo, ModelLoader, ModelRegistry, RegistryStats};
 pub use server::{
     PredictionServer, PredictionTicket, ServeConfig, ServeError, ServedPrediction, ServerHandle,
 };

@@ -33,7 +33,13 @@ struct Inner<K: ParamCovariance> {
     evictions: u64,
     hits: u64,
     misses: u64,
+    loads: u64,
 }
+
+/// Callback that materializes a model that is not resident (pull from a
+/// peer, re-factorize from disk, …). Returning `None` means the model does
+/// not exist anywhere this node can reach.
+pub type ModelLoader<K> = dyn Fn(&str) -> Option<Arc<FittedModel<K>>> + Send + Sync;
 
 /// One resident model as reported by [`ModelRegistry::entries`] (and the
 /// wire front-end's `GET /v1/models`).
@@ -64,6 +70,9 @@ pub struct RegistryStats {
     pub hits: u64,
     /// Lifetime [`ModelRegistry::get`] calls that missed.
     pub misses: u64,
+    /// Lifetime models materialized by the load-on-miss hook
+    /// ([`ModelRegistry::get_or_load`]).
+    pub loads: u64,
 }
 
 /// A named collection of fitted sessions with LRU eviction under an
@@ -75,6 +84,10 @@ pub struct RegistryStats {
 pub struct ModelRegistry<K: ParamCovariance> {
     inner: Mutex<Inner<K>>,
     budget: Option<usize>,
+    /// Load-on-miss hook, behind its own lock so a slow load never blocks
+    /// lookups of resident models (the `inner` lock is not held while the
+    /// loader runs).
+    loader: Mutex<Option<Box<ModelLoader<K>>>>,
 }
 
 impl<K: ParamCovariance> Default for ModelRegistry<K> {
@@ -95,8 +108,10 @@ impl<K: ParamCovariance> ModelRegistry<K> {
                 evictions: 0,
                 hits: 0,
                 misses: 0,
+                loads: 0,
             }),
             budget: None,
+            loader: Mutex::new(None),
         }
     }
 
@@ -171,6 +186,44 @@ impl<K: ParamCovariance> ModelRegistry<K> {
                 None
             }
         }
+    }
+
+    /// Installs the load-on-miss hook consulted by
+    /// [`ModelRegistry::get_or_load`]. Replaces any previous loader.
+    pub fn set_loader<F>(&self, loader: F)
+    where
+        F: Fn(&str) -> Option<Arc<FittedModel<K>>> + Send + Sync + 'static,
+    {
+        *self.loader.lock().expect("loader lock") = Some(Box::new(loader));
+    }
+
+    /// Removes the load-on-miss hook; `get_or_load` degrades to `get`.
+    pub fn clear_loader(&self) {
+        *self.loader.lock().expect("loader lock") = None;
+    }
+
+    /// Like [`ModelRegistry::get`], but on a miss consults the installed
+    /// loader and registers whatever it returns (counting a `load` and an
+    /// insertion, with normal budget eviction).
+    ///
+    /// Loads are serialized behind the loader lock — concurrent misses for
+    /// the same model trigger one load, later waiters find it resident on
+    /// re-check. Lookups of resident models are never blocked by an
+    /// in-flight load.
+    pub fn get_or_load(&self, name: &str) -> Option<Arc<FittedModel<K>>> {
+        if let Some(model) = self.get(name) {
+            return Some(model);
+        }
+        let loader = self.loader.lock().expect("loader lock");
+        // Re-check under the loader lock: a racing miss may have already
+        // materialized the model while this thread waited.
+        if let Some(model) = self.get(name) {
+            return Some(model);
+        }
+        let model = loader.as_ref()?(name)?;
+        self.inner.lock().expect("registry lock").loads += 1;
+        self.insert(name, Arc::clone(&model));
+        Some(model)
     }
 
     /// Removes a model by name; `true` if it was resident.
@@ -263,6 +316,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             evictions: inner.evictions,
             hits: inner.hits,
             misses: inner.misses,
+            loads: inner.loads,
         };
         (entries, stats)
     }
@@ -543,6 +597,62 @@ mod tests {
         }
         assert_eq!(reg.len(), entries.len());
         assert_eq!(reg.bytes_in_use(), stats.bytes_in_use);
+    }
+
+    #[test]
+    fn get_or_load_materializes_misses_and_counts_loads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let reg = ModelRegistry::new();
+        let m = fitted(1, Backend::FullTile);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_in = Arc::clone(&calls);
+        let template = Arc::clone(&m);
+        reg.set_loader(move |name| {
+            calls_in.fetch_add(1, Ordering::SeqCst);
+            (name == "loadable").then(|| Arc::clone(&template))
+        });
+        // Loader consulted but declines: still a miss.
+        assert!(reg.get_or_load("nope").is_none());
+        // Loader materializes the model; it becomes resident.
+        let got = reg.get_or_load("loadable").unwrap();
+        assert!(Arc::ptr_eq(&got, &m));
+        assert!(reg.contains("loadable"));
+        // Residency short-circuits: no further loader calls.
+        assert!(reg.get_or_load("loadable").is_some());
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let stats = reg.stats();
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.insertions, 1);
+        // Without a loader, get_or_load degrades to get.
+        reg.clear_loader();
+        assert!(reg.get_or_load("other").is_none());
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_misses_load_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let reg = Arc::new(ModelRegistry::new());
+        let m = fitted(2, Backend::FullTile);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_in = Arc::clone(&calls);
+        let template = Arc::clone(&m);
+        reg.set_loader(move |_| {
+            calls_in.fetch_add(1, Ordering::SeqCst);
+            // Slow load: let the other threads pile up on the loader lock.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Some(Arc::clone(&template))
+        });
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    assert!(reg.get_or_load("shared").is_some());
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "load must single-flight");
+        assert_eq!(reg.stats().loads, 1);
     }
 
     #[test]

@@ -450,11 +450,14 @@ impl<K: ParamCovariance> ServerHandle<K> {
             )));
         }
         // Resolve now: the Arc pins the factor for this request even if the
-        // registry evicts the name before a worker gets to it.
+        // registry evicts the name before a worker gets to it. A miss
+        // consults the registry's load-on-miss hook (if installed) before
+        // giving up — this is how a fleet node pulls a model it doesn't
+        // hold when the router forwards a miss to it.
         let resolved = self
             .shared
             .registry
-            .get(model)
+            .get_or_load(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
         let slot = Arc::new(Slot {
             result: Mutex::new(None),

@@ -16,7 +16,7 @@ use crate::http::status_reason;
 use crate::json::{Json, JsonWriter};
 use exa_covariance::Location;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Why a client call failed.
@@ -31,6 +31,9 @@ pub enum WireError {
         status: u16,
         code: String,
         message: String,
+        /// Server-suggested back-off (the `Retry-After` header, seconds) on
+        /// refusals such as 503 `overloaded`.
+        retry_after: Option<u64>,
     },
 }
 
@@ -43,6 +46,7 @@ impl std::fmt::Display for WireError {
                 status,
                 code,
                 message,
+                ..
             } => {
                 write!(f, "{status} {} [{code}]: {message}", status_reason(*status))
             }
@@ -97,6 +101,21 @@ pub struct WireModels {
 /// A blocking keep-alive connection to a [`WireServer`](crate::WireServer).
 pub struct WireClient {
     stream: TcpStream,
+    /// Peer address the stream was dialed to — kept so a stale keep-alive
+    /// connection can be transparently redialed.
+    peer: SocketAddr,
+    /// Dial timeout used at connect time, reused for redials.
+    dial_timeout: Option<Duration>,
+    /// Whether at least one complete response has been read on the current
+    /// stream. Only a *proven* connection is redialed on failure: a dial
+    /// that never worked is a real error, not staleness.
+    reused: bool,
+    /// `ErrorKind` of the most recent socket failure within one attempt —
+    /// lets the retry logic tell connection death (EOF/EPIPE/reset) from
+    /// timeouts, which must not be retried (the request may be executing).
+    last_io_kind: Option<ErrorKind>,
+    /// Transparent redials of a stale keep-alive connection.
+    reconnects: u64,
     /// Bytes read but not yet consumed (the tail of a previous fill).
     buf: Vec<u8>,
     pos: usize,
@@ -117,11 +136,30 @@ impl WireClient {
     /// connection.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient, WireError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Self::from_stream(stream, None)
+    }
+
+    /// Connects with a dial timeout — a connection pool fronting possibly
+    /// dead nodes wants a bounded wait, not the OS connect timeout. The
+    /// timeout also governs any transparent redial of this connection.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Self::from_stream(stream, Some(timeout))
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        dial_timeout: Option<Duration>,
+    ) -> Result<WireClient, WireError> {
+        let peer = stream.peer_addr()?;
+        Self::prepare(&stream)?;
         Ok(WireClient {
             stream,
+            peer,
+            dial_timeout,
+            reused: false,
+            last_io_kind: None,
+            reconnects: 0,
             buf: Vec::with_capacity(4096),
             pos: 0,
             codec: Codec::Json,
@@ -129,6 +167,19 @@ impl WireClient {
             head_cache: String::new(),
             head_key: (String::new(), usize::MAX),
         })
+    }
+
+    fn prepare(stream: &TcpStream) -> Result<(), WireError> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(())
+    }
+
+    /// How many times a stale keep-alive connection was transparently
+    /// redialed (see [`WireClient::request_raw`]).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     /// The predict codec this connection currently speaks.
@@ -216,8 +267,8 @@ impl WireClient {
 
     /// `GET` any endpoint, returning the decoded JSON body of a `200`.
     pub fn get_json(&mut self, path: &str) -> Result<Json, WireError> {
-        let (status, doc) = self.roundtrip("GET", path, None)?;
-        expect_ok(status, doc)
+        let (status, retry_after, doc) = self.roundtrip("GET", path, None)?;
+        expect_ok(status, retry_after, doc)
     }
 
     fn predict_inner(
@@ -303,8 +354,8 @@ impl WireClient {
         w.end_object();
         let body = w.finish();
         let path = format!("/v1/models/{model}/predict");
-        let (status, doc) = self.roundtrip("POST", &path, Some(body.as_bytes()))?;
-        let doc = expect_ok(status, doc)?;
+        let (status, retry_after, doc) = self.roundtrip("POST", &path, Some(body.as_bytes()))?;
+        let doc = expect_ok(status, retry_after, doc)?;
         let mean = doc
             .get("mean")
             .and_then(Json::as_array)
@@ -341,8 +392,8 @@ impl WireClient {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
-    ) -> Result<(u16, Json), WireError> {
-        let response = self.roundtrip_raw(
+    ) -> Result<(u16, Option<u64>, Json), WireError> {
+        let response = self.request_raw(
             method,
             path,
             "application/json",
@@ -353,19 +404,26 @@ impl WireClient {
             std::str::from_utf8(&response.body).map_err(|_| protocol("response is not UTF-8"))?;
         let doc =
             Json::parse(text).map_err(|e| protocol(&format!("undecodable response body: {e}")))?;
-        Ok((response.status, doc))
+        Ok((response.status, response.retry_after, doc))
     }
 
     /// Sends one request and reads one response off the shared connection,
-    /// codec-agnostic: the caller decodes `body` per `content_type`.
-    fn roundtrip_raw(
+    /// codec-agnostic: the body goes out and comes back verbatim, so a
+    /// proxy can forward either predict codec without re-encoding it.
+    ///
+    /// A keep-alive connection the server closed between requests
+    /// (EOF/EPIPE/reset before any response byte) is redialed once,
+    /// transparently; [`WireClient::reconnects`] counts those. Failures
+    /// after response bytes arrived — and timeouts — are never retried,
+    /// because the request may have executed.
+    pub fn request_raw(
         &mut self,
         method: &str,
         path: &str,
         content_type: &str,
         accept: &str,
         body: &[u8],
-    ) -> Result<RawResponse, WireError> {
+    ) -> Result<WireResponse, WireError> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: exa-wire\r\nContent-Type: {content_type}\r\nAccept: {accept}\r\nContent-Length: {}\r\n\r\n",
             body.len(),
@@ -374,16 +432,69 @@ impl WireClient {
     }
 
     /// One framed write (head + body in a single `write_all`) followed by
-    /// one response read.
-    fn send_then_read(&mut self, head: &[u8], body: &[u8]) -> Result<RawResponse, WireError> {
+    /// one response read, with a single transparent redial when a
+    /// previously-working keep-alive connection turns out to be dead.
+    fn send_then_read(&mut self, head: &[u8], body: &[u8]) -> Result<WireResponse, WireError> {
         let mut message = Vec::with_capacity(head.len() + body.len());
         message.extend_from_slice(head);
         message.extend_from_slice(body);
-        self.stream.write_all(&message)?;
-        self.read_response()
+        match self.attempt(&message) {
+            Err(_) if self.stale_death() => {
+                self.redial()?;
+                self.attempt(&message)
+            }
+            other => other,
+        }
     }
 
-    fn read_response(&mut self) -> Result<RawResponse, WireError> {
+    /// One write + read attempt on the current stream.
+    fn attempt(&mut self, message: &[u8]) -> Result<WireResponse, WireError> {
+        self.last_io_kind = None;
+        self.stream.write_all(message).map_err(|e| {
+            self.last_io_kind = Some(e.kind());
+            WireError::from(e)
+        })?;
+        let response = self.read_response()?;
+        self.reused = true;
+        Ok(response)
+    }
+
+    /// Whether the last attempt's failure is safely retryable: the
+    /// connection had served a response before (so the server dropping it
+    /// between requests is ordinary keep-alive expiry), it died with a
+    /// close/reset rather than a timeout, and not a single byte of the
+    /// response arrived (so the server cannot have started answering).
+    fn stale_death(&self) -> bool {
+        self.reused
+            && self.buf.is_empty()
+            && matches!(
+                self.last_io_kind,
+                Some(
+                    ErrorKind::UnexpectedEof
+                        | ErrorKind::BrokenPipe
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::NotConnected
+                )
+            )
+    }
+
+    /// Replaces the dead stream with a fresh dial to the same peer.
+    fn redial(&mut self) -> Result<(), WireError> {
+        let stream = match self.dial_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.peer, timeout)?,
+            None => TcpStream::connect(self.peer)?,
+        };
+        Self::prepare(&stream)?;
+        self.stream = stream;
+        self.reused = false;
+        self.buf.clear();
+        self.pos = 0;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<WireResponse, WireError> {
         // Status line + headers, terminated by a blank line.
         let status = self.with_line(|line| {
             let mut parts = line.split_ascii_whitespace();
@@ -400,10 +511,12 @@ impl WireClient {
             End,
             Length(usize),
             Type(String),
+            Retry(u64),
             Other,
         }
         let mut content_length: Option<usize> = None;
         let mut content_type = String::new();
+        let mut retry_after: Option<u64> = None;
         loop {
             let header = self.with_line(|line| {
                 if line.is_empty() {
@@ -420,6 +533,12 @@ impl WireClient {
                     if name.eq_ignore_ascii_case("content-type") {
                         return Ok(Header::Type(value.trim().to_string()));
                     }
+                    if name.eq_ignore_ascii_case("retry-after") {
+                        // Seconds form only; a date form is ignored.
+                        if let Ok(seconds) = value.trim().parse() {
+                            return Ok(Header::Retry(seconds));
+                        }
+                    }
                 }
                 Ok(Header::Other)
             })?;
@@ -427,15 +546,17 @@ impl WireClient {
                 Header::End => break,
                 Header::Length(length) => content_length = Some(length),
                 Header::Type(value) => content_type = value,
+                Header::Retry(seconds) => retry_after = Some(seconds),
                 Header::Other => {}
             }
         }
         let length = content_length.ok_or_else(|| protocol("response missing Content-Length"))?;
         let body = self.read_exact_bytes(length)?;
-        Ok(RawResponse {
+        Ok(WireResponse {
             status,
             content_type,
             body,
+            retry_after,
         })
     }
 
@@ -474,23 +595,34 @@ impl WireClient {
     fn fill(&mut self) -> Result<(), WireError> {
         let mut chunk = [0u8; 4096];
         match self.stream.read(&mut chunk) {
-            Ok(0) => Err(WireError::Io("server closed the connection".into())),
+            Ok(0) => {
+                self.last_io_kind = Some(ErrorKind::UnexpectedEof);
+                Err(WireError::Io("server closed the connection".into()))
+            }
             Ok(n) => {
                 self.buf.extend_from_slice(&chunk[..n]);
                 Ok(())
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => Ok(()),
-            Err(e) => Err(e.into()),
+            Err(e) => {
+                self.last_io_kind = Some(e.kind());
+                Err(e.into())
+            }
         }
     }
 }
 
-/// One undecoded response off the wire.
-struct RawResponse {
-    status: u16,
+/// One undecoded response off the wire — what [`WireClient::request_raw`]
+/// returns: status, `Content-Type` and the body bytes exactly as sent, so a
+/// router can relay them without touching the codec.
+#[derive(Clone, Debug)]
+pub struct WireResponse {
+    pub status: u16,
     /// `Content-Type` value, parameters included, possibly empty.
-    content_type: String,
-    body: Vec<u8>,
+    pub content_type: String,
+    pub body: Vec<u8>,
+    /// `Retry-After` header (seconds form) when the server sent one.
+    pub retry_after: Option<u64>,
 }
 
 fn protocol(message: &str) -> WireError {
@@ -499,12 +631,12 @@ fn protocol(message: &str) -> WireError {
 
 /// Decodes the JSON error envelope of a non-2xx response (error bodies are
 /// JSON under either predict codec).
-fn api_error(response: &RawResponse) -> WireError {
+fn api_error(response: &WireResponse) -> WireError {
     let doc = std::str::from_utf8(&response.body)
         .ok()
         .and_then(|text| Json::parse(text).ok())
         .unwrap_or(Json::Null);
-    match expect_ok(response.status, doc) {
+    match expect_ok(response.status, response.retry_after, doc) {
         Err(err) => err,
         Ok(_) => protocol("api_error called on a success status"),
     }
@@ -518,7 +650,7 @@ fn field_u64(doc: &Json, key: &str) -> Result<u64, WireError> {
 
 /// `200` passes the document through; anything else becomes a structured
 /// [`WireError::Api`] (decoding the server's error envelope when present).
-fn expect_ok(status: u16, doc: Json) -> Result<Json, WireError> {
+fn expect_ok(status: u16, retry_after: Option<u64>, doc: Json) -> Result<Json, WireError> {
     if (200..300).contains(&status) {
         return Ok(doc);
     }
@@ -539,5 +671,6 @@ fn expect_ok(status: u16, doc: Json) -> Result<Json, WireError> {
         status,
         code,
         message,
+        retry_after,
     })
 }

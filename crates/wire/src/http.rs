@@ -494,8 +494,25 @@ pub fn status_reason(status: u16) -> &'static str {
 /// Serializes one response — head and body — into a single buffer, ready
 /// for the reactor's non-blocking write path.
 pub fn encode_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    encode_response_with_retry(status, content_type, body, keep_alive, None)
+}
+
+/// [`encode_response`] plus an optional `Retry-After: <seconds>` header.
+/// The 503 refusal paths set it so a router (or any client) gets a real
+/// backoff signal instead of guessing; `None` emits no extra header.
+pub fn encode_response_with_retry(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after: Option<u64>,
+) -> Vec<u8> {
+    let retry = match retry_after {
+        Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
         status_reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -785,5 +802,18 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_only_when_set() {
+        let with = encode_response_with_retry(503, "application/json", b"{}", true, Some(2));
+        let text = String::from_utf8(with).unwrap();
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(
+            text.contains("Content-Length: 2\r\n"),
+            "framing survives the extra header"
+        );
+        let without = encode_response(503, "application/json", b"{}", true);
+        assert!(!String::from_utf8(without).unwrap().contains("Retry-After"));
     }
 }

@@ -469,6 +469,15 @@ impl JsonWriter {
         self.out.push_str("null");
     }
 
+    /// Splices a pre-encoded JSON value in verbatim — the writer handles
+    /// only the surrounding separators. The caller vouches that `fragment`
+    /// is one well-formed JSON value (an aggregator embedding a backend's
+    /// already-encoded document should not decode and re-encode it).
+    pub fn raw(&mut self, fragment: &str) {
+        self.prelude();
+        self.out.push_str(fragment);
+    }
+
     /// Whole-field helpers for the common scalar shapes.
     pub fn field_str(&mut self, key: &str, value: &str) {
         self.key(key);

@@ -120,6 +120,11 @@
 //! | 503 | `overloaded` / `shutting_down` | connection/queue caps, graceful shutdown |
 //! | 500 | `internal` | contained handler panic ([`WireStats::panics_contained`]) |
 //!
+//! `503` responses carry a `Retry-After` header (seconds): `1` for
+//! transient overload, `5` when the server is shutting down and a client
+//! should find another node. [`WireError::Api`] surfaces it as
+//! `retry_after` so callers can back off without parsing headers.
+//!
 //! # Example
 //!
 //! ```
@@ -179,6 +184,6 @@ pub mod json;
 pub mod reactor;
 pub mod server;
 
-pub use client::{WireClient, WireError, WireModelInfo, WireModels, WirePrediction};
+pub use client::{WireClient, WireError, WireModelInfo, WireModels, WirePrediction, WireResponse};
 pub use codec::Codec;
 pub use server::{WireConfig, WireServer, WireStats};

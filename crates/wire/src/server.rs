@@ -209,6 +209,9 @@ struct Response {
     /// Force-close the connection after writing (on top of the client's own
     /// keep-alive preference).
     close: bool,
+    /// `Retry-After` seconds on refusals, so backoff is signalled rather
+    /// than guessed (the fleet router keys its failover pacing on this).
+    retry_after: Option<u64>,
 }
 
 impl Response {
@@ -218,6 +221,7 @@ impl Response {
             body: body.into_bytes(),
             content_type: "application/json",
             close: false,
+            retry_after: None,
         }
     }
 
@@ -228,6 +232,7 @@ impl Response {
             body,
             content_type: codec::FRAME_CONTENT_TYPE,
             close: false,
+            retry_after: None,
         }
     }
 
@@ -248,9 +253,17 @@ impl Response {
             body: w.finish().into_bytes(),
             content_type: "application/json",
             close: false,
+            retry_after: None,
         }
     }
 }
+
+/// `Retry-After` seconds on a transient `503 overloaded` (queue pressure or
+/// connection cap): pressure at this horizon is usually gone in a moment.
+const RETRY_AFTER_OVERLOADED: u64 = 1;
+/// `Retry-After` seconds on `503 shutting_down`: the node will not be back
+/// soon, steer clients away longer.
+const RETRY_AFTER_SHUTDOWN: u64 = 5;
 
 /// The running wire front-end. See the [crate docs](crate) for the wire
 /// schema and an end-to-end example.
@@ -536,12 +549,14 @@ impl<K: ParamCovariance> Reactor<K> {
         let Ok(mut conn) = Connection::new(stream, self.shared.limits, now) else {
             return;
         };
-        let response = Response::error(503, "overloaded", "connection limit reached");
-        let bytes = http::encode_response(
+        let mut response = Response::error(503, "overloaded", "connection limit reached");
+        response.retry_after = Some(RETRY_AFTER_OVERLOADED);
+        let bytes = http::encode_response_with_retry(
             response.status,
             response.content_type,
             &response.body,
             false,
+            response.retry_after,
         );
         conn.queue_response(bytes, false, now);
         let fd = conn.fd();
@@ -855,11 +870,12 @@ impl<K: ParamCovariance> Reactor<K> {
         count_status(&self.shared, response.status);
         let shutting = self.shared.shutting_down.load(Ordering::SeqCst);
         let keep_alive = keep_alive_wanted && !response.close && !shutting;
-        let bytes = http::encode_response(
+        let bytes = http::encode_response_with_retry(
             response.status,
             response.content_type,
             &response.body,
             keep_alive,
+            response.retry_after,
         );
         let Some(entry) = self.conns.get_mut(token) else {
             return false;
@@ -1298,14 +1314,19 @@ fn serve_error_response(err: &ServeError) -> Response {
             "internal",
             &format!("prediction panicked on a serve worker: {message}"),
         ),
-        ServeError::Overloaded { queue_depth } => Response::error(
-            503,
-            "overloaded",
-            &format!("server overloaded ({queue_depth} requests queued); retry later"),
-        ),
+        ServeError::Overloaded { queue_depth } => {
+            let mut resp = Response::error(
+                503,
+                "overloaded",
+                &format!("server overloaded ({queue_depth} requests queued); retry later"),
+            );
+            resp.retry_after = Some(RETRY_AFTER_OVERLOADED);
+            resp
+        }
         ServeError::ShuttingDown => {
             let mut resp = Response::error(503, "shutting_down", "server is shutting down");
             resp.close = true;
+            resp.retry_after = Some(RETRY_AFTER_SHUTDOWN);
             resp
         }
     }

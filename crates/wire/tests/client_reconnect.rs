@@ -1,0 +1,194 @@
+//! Regression tests for [`WireClient`]'s stale keep-alive handling: a
+//! server that drops idle connections between requests must not poison a
+//! pooled client — the client redials once, transparently. Failures that
+//! are *not* safe to retry (mid-response close, fresh-dial failure) must
+//! still surface.
+//!
+//! The peer here is a hand-rolled single-thread TCP server (not a
+//! `WireServer`) so the test can close sockets at exact protocol points.
+
+use exa_wire::client::WireClient;
+use exa_wire::WireError;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+
+/// Reads one full request (head + `Content-Length` body) off `stream`.
+/// Returns `false` on EOF before a complete request.
+fn read_request(stream: &mut TcpStream) -> bool {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(head_end) = find_blank_line(&buf) {
+            let head = String::from_utf8_lossy(&buf[..head_end]);
+            let length = head
+                .lines()
+                .find_map(|l| {
+                    l.to_ascii_lowercase()
+                        .strip_prefix("content-length:")
+                        .map(str::to_string)
+                })
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            while buf.len() < head_end + length {
+                match stream.read(&mut chunk) {
+                    Ok(0) => return false,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(_) => return false,
+                }
+            }
+            return true;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return false,
+        }
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+fn write_ok(stream: &mut TcpStream, body: &str) {
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes()).unwrap();
+}
+
+/// The stale-connection scenario: the server answers one request per
+/// connection, then closes it while the client is idle. A keep-alive
+/// client's second request hits the dead socket; the redial must make the
+/// call succeed and the counter must record exactly the redials taken.
+#[test]
+fn stale_keep_alive_connection_is_redialed_once() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = thread::spawn(move || {
+        // Three connections: the original dial plus two redials.
+        for i in 0..3 {
+            let (mut stream, _) = listener.accept().unwrap();
+            if read_request(&mut stream) {
+                write_ok(
+                    &mut stream,
+                    &format!("{{\"status\":\"ok\",\"models\":{i}}}"),
+                );
+            }
+            // Dropping the stream closes the connection; the client only
+            // notices on its next request.
+        }
+    });
+
+    let mut client = WireClient::connect(addr).unwrap();
+    for expected_reconnects in 0..3u64 {
+        let doc = client.get_json("/healthz").unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(client.reconnects(), expected_reconnects);
+    }
+    server.join().unwrap();
+}
+
+/// A fresh connection that dies before its *first* response is a hard
+/// error, not staleness: no blind retry against a server that never
+/// answered (the listener is gone, so a redial could not succeed anyway —
+/// the point is that the error surfaces instead of a retry loop).
+#[test]
+fn first_request_failure_is_not_retried() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream); // close without answering
+    });
+
+    let mut client = WireClient::connect(addr).unwrap();
+    let err = client.get_json("/healthz").unwrap_err();
+    assert!(matches!(err, WireError::Io(_)), "{err}");
+    assert_eq!(client.reconnects(), 0);
+    server.join().unwrap();
+}
+
+/// A connection that dies *mid-response* (headers sent, body truncated)
+/// must not be retried either — the server demonstrably started executing
+/// the request, so replaying it is not safe for the client to decide.
+#[test]
+fn mid_response_close_is_not_retried() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = thread::spawn(move || {
+        // First request completes so the connection counts as proven.
+        let (mut stream, _) = listener.accept().unwrap();
+        assert!(read_request(&mut stream));
+        write_ok(&mut stream, "{\"status\":\"ok\",\"models\":0}");
+        // Second request: send half a response, then slam the connection.
+        assert!(read_request(&mut stream));
+        stream
+            .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\npartial")
+            .unwrap();
+        drop(stream);
+    });
+
+    let mut client = WireClient::connect(addr).unwrap();
+    client.get_json("/healthz").unwrap();
+    let err = client.get_json("/healthz").unwrap_err();
+    assert!(matches!(err, WireError::Io(_)), "{err}");
+    assert_eq!(client.reconnects(), 0);
+    server.join().unwrap();
+}
+
+/// `request_raw` relays bodies verbatim and surfaces `Retry-After`; the
+/// typed error path decodes the same header into `WireError::Api`.
+#[test]
+fn retry_after_reaches_both_raw_and_typed_callers() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let body = "{\"error\":{\"code\":\"overloaded\",\"message\":\"queue full\"}}";
+    let response = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len(),
+    );
+    let (done_tx, done_rx) = mpsc::channel();
+    let server = thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        for _ in 0..2 {
+            assert!(read_request(&mut stream));
+            stream.write_all(response.as_bytes()).unwrap();
+        }
+        done_rx.recv().unwrap();
+    });
+
+    let mut client = WireClient::connect(addr).unwrap();
+    let raw = client
+        .request_raw(
+            "POST",
+            "/v1/models/soil/predict",
+            "application/json",
+            "application/json",
+            b"{\"targets\":[[0.5,0.5]]}",
+        )
+        .unwrap();
+    assert_eq!(raw.status, 503);
+    assert_eq!(raw.retry_after, Some(1));
+    assert_eq!(raw.body, body.as_bytes());
+
+    let err = client.get_json("/v1/stats").unwrap_err();
+    match err {
+        WireError::Api {
+            status,
+            code,
+            retry_after,
+            ..
+        } => {
+            assert_eq!(status, 503);
+            assert_eq!(code, "overloaded");
+            assert_eq!(retry_after, Some(1));
+        }
+        other => panic!("expected Api error, got {other}"),
+    }
+    done_tx.send(()).unwrap();
+    server.join().unwrap();
+}

@@ -11,6 +11,7 @@
 //!
 //! | layer | paper component | crate |
 //! |---|---|---|
+//! | fleet tier | multi-node ExaGeoStatR deployments, as a sharded serving tier | [`fleet`] (`exa-fleet`) |
 //! | wire front-end | ExaGeoStatR's remote-consumer surface, as HTTP/1.1 + JSON or binary frames | [`wire`] (`exa-wire`) |
 //! | prediction serving | ExaGeoStatR's fit-once/predict-many workflow, as a service | [`serve`] (`exa-serve`) |
 //! | statistics & drivers | ExaGeoStat + NLopt | [`geostat`] (`exa-geostat`) |
@@ -86,6 +87,7 @@
 
 pub use exa_covariance as covariance;
 pub use exa_distsim as distsim;
+pub use exa_fleet as fleet;
 pub use exa_geostat as geostat;
 pub use exa_linalg as linalg;
 pub use exa_runtime as runtime;
@@ -102,6 +104,9 @@ pub mod prelude {
         MaternKernel, MaternParams, ParamCovariance, PoweredExponentialKernel,
         PoweredExponentialParams,
     };
+    pub use exa_fleet::{
+        FleetConfig, FleetRouter, NodeSpec, PlacementMap, PlacementPolicy, PolicyKind, RouterStats,
+    };
     pub use exa_geostat::{
         eval_log_likelihood, factorization_count, holdout_split, prediction_mse,
         synthetic_locations, synthetic_locations_n, Backend, Factorization, FieldSimulator,
@@ -117,6 +122,6 @@ pub mod prelude {
     pub use exa_util::Rng;
     pub use exa_wire::{
         Codec, WireClient, WireConfig, WireError, WireModelInfo, WireModels, WirePrediction,
-        WireServer, WireStats,
+        WireResponse, WireServer, WireStats,
     };
 }
