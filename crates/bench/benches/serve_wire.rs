@@ -19,6 +19,14 @@
 //! thread-per-connection baseline; the scheduled job derives
 //! `BENCH_reactor.json` (series + reactor ≥ baseline gate record) from it.
 //!
+//! A third group, `telemetry_overhead`, drives the identical c1 JSON
+//! closed-loop workload twice — once with the telemetry layer live
+//! (histograms, trace minting, slow ring) and once with the global
+//! [`exa_telemetry::set_enabled`] kill-switch off — and gates the
+//! instrumented throughput at ≥ 0.95× the uninstrumented run. The
+//! scheduled job records both series and the ratio in
+//! `BENCH_telemetry.json`.
+//!
 //! Benchmark ids are `serve_wire/<mode>/<label>/<queries-per-iteration>`,
 //! so the scheduled bench job can compute queries/sec per series into
 //! `BENCH_wire.json` (all series) and `BENCH_wire_bin.json` (the binary
@@ -487,5 +495,86 @@ fn bench_reactor_scaling(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_serve_wire, bench_reactor_scaling);
+/// Telemetry-overhead series, recorded into `BENCH_telemetry.json` by the
+/// scheduled bench job:
+///
+/// * `telemetry_overhead/instrumented/c1`   — c1 JSON closed-loop with the
+///   full observability layer live: per-stage histograms, trace-id
+///   minting/echoing, and the slow ring, all on the request path;
+/// * `telemetry_overhead/uninstrumented/c1` — the identical workload with
+///   the global [`exa_telemetry::set_enabled`] kill-switch off, which
+///   turns every histogram record and slow-ring insert into a single
+///   relaxed atomic load.
+///
+/// The gate asserted on every run: instrumented throughput must stay
+/// ≥ 0.95× uninstrumented — observability is not allowed to tax the
+/// serving path more than timer noise.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", Arc::new(fitted()));
+    let server = WireServer::start(
+        registry,
+        WireConfig {
+            serve: ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+
+    let per_client = 16;
+    for (label, enabled) in [("instrumented", true), ("uninstrumented", false)] {
+        exa_telemetry::set_enabled(enabled);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}/c1"), per_client),
+            &per_client,
+            |b, _| b.iter(|| run_closed_loop(addr, 1, per_client, Codec::Json)),
+        );
+    }
+    group.finish();
+
+    // The overhead gate, measured with the same quick estimator as the
+    // codec and reactor gates.
+    exa_telemetry::set_enabled(true);
+    let instrumented_qps = {
+        let t = min_seconds(5, || run_closed_loop(addr, 1, per_client, Codec::Json));
+        per_client as f64 / t
+    };
+    exa_telemetry::set_enabled(false);
+    let uninstrumented_qps = {
+        let t = min_seconds(5, || run_closed_loop(addr, 1, per_client, Codec::Json));
+        per_client as f64 / t
+    };
+    exa_telemetry::set_enabled(true);
+    let ratio = instrumented_qps / uninstrumented_qps;
+    println!(
+        "telemetry_overhead: c1 closed-loop instrumented {instrumented_qps:.0} q/s vs \
+         uninstrumented {uninstrumented_qps:.0} q/s ({ratio:.2}x)"
+    );
+    assert!(
+        ratio >= 0.95,
+        "telemetry overhead too high: instrumented {instrumented_qps:.0} q/s is only \
+         {ratio:.2}x the uninstrumented {uninstrumented_qps:.0} q/s"
+    );
+
+    let (wire, serve) = server.shutdown();
+    assert_eq!(
+        serve.factorizations_during_serving, 0,
+        "overhead sweep must never factorize"
+    );
+    assert_eq!(wire.panics_contained, 0, "overhead sweep must never panic");
+}
+
+criterion_group!(
+    benches,
+    bench_serve_wire,
+    bench_reactor_scaling,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

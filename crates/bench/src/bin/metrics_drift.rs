@@ -1,0 +1,251 @@
+//! `metrics_drift` — CI parity gate between the JSON stats documents and
+//! the Prometheus `/metrics` exposition.
+//!
+//! The `/metrics` renderers in `exa-wire` and `exa-fleet` mirror the JSON
+//! stats keys mechanically (`wire.requests_ok` ↔ `exa_wire_requests_ok`,
+//! `router.forwards` ↔ `exa_fleet_forwards`, …). Nothing but convention
+//! keeps the two surfaces in sync when a counter is added to one and
+//! forgotten in the other — this binary is that convention, made a gate.
+//!
+//! It boots a one-node fleet in-process, drives a few predicts through the
+//! router so every histogram has samples, then checks **both directions**
+//! on the node and on the router:
+//!
+//! * forward — every numeric JSON stats key has a same-named metric. The
+//!   value check brackets instead of equating: `/metrics` is scraped
+//!   immediately before and after the stats document on one keep-alive
+//!   connection, and every tracked quantity is non-decreasing at rest
+//!   (counters, uptime, `stats_epoch`), so the JSON value must land in
+//!   `[before, after]` — drift in either unit or meaning fails the gate;
+//! * reverse — every unlabeled metric maps back to a JSON key, except the
+//!   histogram families and labeled series that deliberately have no JSON
+//!   twin (`exa_serve_latency_seconds_*`, `exa_fleet_node_up`, …);
+//! * both `/metrics` documents must pass
+//!   [`exa_telemetry::validate_exposition`].
+//!
+//! Every scraped document is written to `target/metrics-drift/` so the CI
+//! job can attach the evidence as an artifact when the gate fails. Exits
+//! non-zero on the first parity violation.
+
+use exa_covariance::{Location, MaternKernel};
+use exa_fleet::{FleetConfig, FleetRouter, NodeSpec};
+use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel};
+use exa_runtime::Runtime;
+use exa_serve::ModelRegistry;
+use exa_util::Rng;
+use exa_wire::json::Json;
+use exa_wire::{WireClient, WireConfig, WireServer};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Histogram families and labeled series that legitimately exist only in
+/// `/metrics`: a JSON stats document has no bucket representation.
+const METRIC_ONLY_FAMILIES: &[&str] = &[
+    "exa_serve_latency_seconds",
+    "exa_wire_request_seconds",
+    "exa_request_stage_seconds",
+    "exa_fleet_request_seconds",
+    "exa_fleet_relay_seconds",
+    "exa_fleet_node_up",
+];
+
+fn fitted(n: usize) -> FittedModel<MaternKernel> {
+    let rt = Runtime::new(2);
+    let mut rng = Rng::seed_from_u64(17);
+    let locations = Arc::new(synthetic_locations_n(n, &mut rng));
+    let generator = GeoModel::<MaternKernel>::builder()
+        .locations(locations.clone())
+        .nugget(0.0)
+        .tile_size(64)
+        .build()
+        .expect("valid generation session")
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .expect("SPD at the true θ");
+    let z = generator.simulate(&mut rng, &rt);
+    GeoModel::<MaternKernel>::builder()
+        .locations(locations)
+        .data(z)
+        .backend(Backend::FullTile)
+        .tile_size(64)
+        .build()
+        .expect("valid estimation session")
+        .at_params(&[1.0, 0.1, 0.5], &rt)
+        .expect("SPD at θ̂")
+}
+
+/// Fetches `/metrics`, validates the exposition grammar, and returns the
+/// unlabeled samples as a name → value map (labeled samples — buckets,
+/// stage series, per-node gauges — are covered by the reverse allowlist).
+fn scrape_metrics(client: &mut WireClient, who: &str) -> (String, BTreeMap<String, f64>) {
+    let response = client
+        .request_raw("GET", "/metrics", "application/json", "*/*", b"")
+        .unwrap_or_else(|err| panic!("{who}: GET /metrics failed: {err}"));
+    assert_eq!(response.status, 200, "{who}: /metrics status");
+    assert!(
+        response.content_type.starts_with("text/plain"),
+        "{who}: /metrics content type {:?}",
+        response.content_type
+    );
+    let text = String::from_utf8(response.body).expect("metrics utf8");
+    exa_telemetry::validate_exposition(&text)
+        .unwrap_or_else(|err| panic!("{who}: exposition grammar: {err}"));
+    let mut samples = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(' ').expect("validated sample line");
+        if name.contains('{') {
+            continue;
+        }
+        samples.insert(
+            name.to_string(),
+            value.parse::<f64>().expect("validated sample value"),
+        );
+    }
+    (text, samples)
+}
+
+/// One section of the forward check: every numeric key of `object` must
+/// appear as `<prefix><key>` in both scrapes, with the JSON value inside
+/// the `[before, after]` bracket. Returns the checked metric names.
+fn check_forward(
+    who: &str,
+    section: &str,
+    object: &Json,
+    prefix: &str,
+    before: &BTreeMap<String, f64>,
+    after: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    let Json::Obj(fields) = object else {
+        panic!("{who}: stats section {section:?} is not an object");
+    };
+    let mut checked = Vec::new();
+    for (key, value) in fields {
+        let Some(json_value) = value.as_f64() else {
+            continue; // strings like wire.backend have no metric twin
+        };
+        let metric = format!("{prefix}{key}");
+        let lo = *before
+            .get(&metric)
+            .unwrap_or_else(|| panic!("{who}: {section}.{key} has no metric {metric}"));
+        let hi = *after
+            .get(&metric)
+            .unwrap_or_else(|| panic!("{who}: {metric} vanished between scrapes"));
+        const EPS: f64 = 1e-9;
+        assert!(
+            lo - EPS <= json_value && json_value <= hi + EPS,
+            "{who}: {section}.{key} = {json_value} outside its metric bracket \
+             [{lo}, {hi}] for {metric} — JSON and /metrics disagree"
+        );
+        checked.push(metric);
+    }
+    checked
+}
+
+/// The reverse check: every unlabeled metric must have been claimed by a
+/// forward section or belong to a metric-only family.
+fn check_reverse(who: &str, samples: &BTreeMap<String, f64>, claimed: &[String]) {
+    for name in samples.keys() {
+        if claimed.iter().any(|c| c == name) {
+            continue;
+        }
+        let histogram_twin = METRIC_ONLY_FAMILIES.iter().any(|family| {
+            name.strip_prefix(family)
+                .is_some_and(|rest| matches!(rest, "" | "_bucket" | "_sum" | "_count"))
+        });
+        assert!(
+            histogram_twin,
+            "{who}: metric {name} has no JSON stats twin and is not a \
+             declared metric-only family"
+        );
+    }
+}
+
+fn write_artifact(dir: &Path, name: &str, contents: &str) {
+    std::fs::create_dir_all(dir).expect("create artifact dir");
+    std::fs::write(dir.join(name), contents)
+        .unwrap_or_else(|err| panic!("write artifact {name}: {err}"));
+}
+
+fn main() {
+    eprintln!("metrics_drift: fitting the n=64 probe model...");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", Arc::new(fitted(64)));
+    let node = WireServer::start(registry, WireConfig::default()).expect("start node");
+    let router = FleetRouter::start(
+        vec![NodeSpec::new("node-0", node.local_addr())],
+        FleetConfig::default(),
+    )
+    .expect("start router");
+
+    // Traffic first, so histograms and trace plumbing are exercised on
+    // both tiers before any scrape.
+    let mut routed = WireClient::connect(router.local_addr()).expect("connect router");
+    let targets: Vec<Location> = (0..4)
+        .map(|i| Location::new(0.1 + 0.2 * i as f64, 0.8 - 0.15 * i as f64))
+        .collect();
+    for _ in 0..5 {
+        let served = routed.predict("m", &targets).expect("routed predict");
+        assert!(served.mean.iter().all(|v| v.is_finite()));
+    }
+
+    let artifacts = Path::new("target/metrics-drift");
+    let mut failures = 0usize;
+
+    // Node: bracket /v1/stats between two /metrics scrapes on one
+    // keep-alive connection (nothing else touches the node in between).
+    {
+        let mut client = WireClient::connect(node.local_addr()).expect("connect node");
+        let (text_before, before) = scrape_metrics(&mut client, "node");
+        let stats = client.stats().expect("node stats");
+        let (text_after, after) = scrape_metrics(&mut client, "node");
+        write_artifact(artifacts, "node_metrics_before.txt", &text_before);
+        write_artifact(artifacts, "node_metrics_after.txt", &text_after);
+
+        let mut claimed = Vec::new();
+        for (section, prefix) in [
+            ("wire", "exa_wire_"),
+            ("serve", "exa_serve_"),
+            ("registry", "exa_registry_"),
+        ] {
+            let object = stats
+                .get(section)
+                .unwrap_or_else(|| panic!("node stats missing section {section:?}"));
+            let metrics = check_forward("node", section, object, prefix, &before, &after);
+            eprintln!(
+                "metrics_drift: node {section}.* ↔ {prefix}*: {} keys",
+                metrics.len()
+            );
+            failures += usize::from(metrics.is_empty());
+            claimed.extend(metrics);
+        }
+        check_reverse("node", &after, &claimed);
+    }
+
+    // Router: same bracket over /v1/fleet/stats. The fleet scrape itself
+    // probes the node, so this runs after the node check.
+    {
+        let mut client = WireClient::connect(router.local_addr()).expect("connect router");
+        let (text_before, before) = scrape_metrics(&mut client, "router");
+        let doc = client.get_json("/v1/fleet/stats").expect("fleet stats");
+        let (text_after, after) = scrape_metrics(&mut client, "router");
+        write_artifact(artifacts, "router_metrics_before.txt", &text_before);
+        write_artifact(artifacts, "router_metrics_after.txt", &text_after);
+
+        let object = doc.get("router").expect("fleet stats router object");
+        let claimed = check_forward("router", "router", object, "exa_fleet_", &before, &after);
+        eprintln!(
+            "metrics_drift: router.* ↔ exa_fleet_*: {} keys",
+            claimed.len()
+        );
+        failures += usize::from(claimed.is_empty());
+        check_reverse("router", &after, &claimed);
+    }
+
+    router.shutdown();
+    node.shutdown();
+    assert_eq!(failures, 0, "a stats section mapped to zero metrics");
+    println!("metrics_drift: PASS — JSON stats and /metrics agree both ways on node and router");
+}

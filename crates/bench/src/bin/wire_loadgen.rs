@@ -7,19 +7,23 @@
 //! view of the serving stack, measured over a real socket.
 //!
 //! ```text
-//! cargo run --release -p exa-bench --bin wire_loadgen [-- clients per_client points [--variance] [--codec json|binary]]
+//! cargo run --release -p exa-bench --bin wire_loadgen [-- clients per_client points [--variance] [--codec json|binary] [--latency]]
 //! ```
 //!
 //! Defaults: 4 clients × 200 requests × 1 point, means only, JSON codec.
 //! `--codec binary` drives the same workload through the
-//! `application/x-exa-frame` binary frame codec instead. The run asserts
-//! the two serving invariants (zero factorizations, zero contained panics)
-//! and exits non-zero if they fail.
+//! `application/x-exa-frame` binary frame codec instead. `--latency`
+//! records every request's client-observed round-trip into an
+//! [`exa_telemetry::Histogram`] and prints p50/p95/p99 alongside the
+//! throughput line — the tail view the server-side mean/max hides. The
+//! run asserts the two serving invariants (zero factorizations, zero
+//! contained panics) and exits non-zero if they fail.
 
 use exa_covariance::{Location, MaternKernel};
 use exa_geostat::{synthetic_locations_n, Backend, FittedModel, GeoModel};
 use exa_runtime::Runtime;
 use exa_serve::{ModelRegistry, ServeConfig};
+use exa_telemetry::Histogram;
 use exa_util::Rng;
 use exa_wire::{Codec, WireClient, WireConfig, WireServer};
 use std::sync::Arc;
@@ -57,6 +61,7 @@ fn main() {
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut variance = false;
+    let mut latency = false;
     let mut codec = Codec::Json;
     let mut numbers: Vec<usize> = Vec::new();
     let mut i = 0;
@@ -64,6 +69,8 @@ fn main() {
         let arg = args[i].as_str();
         if arg == "--variance" {
             variance = true;
+        } else if arg == "--latency" {
+            latency = true;
         } else if arg == "--codec" {
             i += 1;
             codec = parse_codec(args.get(i).map(String::as_str));
@@ -71,7 +78,7 @@ fn main() {
             codec = parse_codec(Some(value));
         } else if arg.starts_with("--") {
             // A silently ignored flag yields wrong measurements; refuse.
-            panic!("unknown flag {arg:?} (expected --variance or --codec json|binary)");
+            panic!("unknown flag {arg:?} (expected --variance, --latency or --codec json|binary)");
         } else {
             numbers.push(arg.parse().expect("numeric argument"));
         }
@@ -101,9 +108,13 @@ fn main() {
         if variance { " (+variance)" } else { "" }
     );
 
+    // Client-observed round-trip latency, one lock-free histogram shared by
+    // every driver thread; only filled (and only printed) under --latency.
+    let rtt = Histogram::new();
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..clients as u64 {
+            let rtt = &rtt;
             scope.spawn(move || {
                 let mut client = WireClient::connect(addr).expect("connect");
                 client.set_codec(codec);
@@ -112,6 +123,7 @@ fn main() {
                     let targets: Vec<Location> = (0..points)
                         .map(|_| Location::new(rng.next_f64(), rng.next_f64()))
                         .collect();
+                    let sent = Instant::now();
                     let served = if variance {
                         client
                             .predict_with_variance("m", &targets)
@@ -119,6 +131,9 @@ fn main() {
                     } else {
                         client.predict("m", &targets).expect("predict")
                     };
+                    if latency {
+                        rtt.record(sent.elapsed());
+                    }
                     assert!(served.mean.iter().all(|v| v.is_finite()));
                 }
             });
@@ -133,6 +148,16 @@ fn main() {
         "  throughput        {:>10.0} queries/s",
         total_requests / wall
     );
+    if latency {
+        let snap = rtt.snapshot();
+        println!(
+            "  rtt p50/p95/p99   {:>7.0} / {:.0} / {:.0} µs ({} samples, client-side, {codec} codec)",
+            snap.p50() * 1e6,
+            snap.p95() * 1e6,
+            snap.p99() * 1e6,
+            snap.count()
+        );
+    }
     println!(
         "  points served     {:>10} ({} per request)",
         serve.points_served, points

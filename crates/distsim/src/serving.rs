@@ -22,8 +22,9 @@
 use crate::placement::{
     ExplicitPolicy, PlacementMap, PlacementPolicy, ReplicateTopK, RingHashPolicy,
 };
+use exa_telemetry::quantile_sorted;
 use exa_util::rng::Rng;
-use exa_util::stats::{mean, quantile_sorted};
+use exa_util::stats::mean;
 use std::collections::VecDeque;
 
 /// Serving-fleet simulation parameters.

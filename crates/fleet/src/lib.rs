@@ -33,7 +33,14 @@
 //!   failures demote a node to suspect and fail the request over.
 //! * **Observability** — `GET /v1/fleet/stats` aggregates every node's
 //!   `/v1/stats` and `/v1/models` verbatim next to the router's own
-//!   forward/failover/rebalance counters ([`RouterStats`]).
+//!   forward/failover/rebalance counters ([`RouterStats`]), plus uptime, a
+//!   monotone `stats_epoch`, and request-latency percentiles from an
+//!   `exa-telemetry` histogram. `GET /metrics` exposes the same counters
+//!   as Prometheus text, with client-facing and per-relay latency
+//!   histograms and an `exa_fleet_node_up` gauge per node. Every routed
+//!   predict is stamped with an `x-exa-trace-id` (the caller's, or one
+//!   minted here) that is propagated to the backend, echoed in the
+//!   response, and joinable against the node's `/v1/debug/slow` ring.
 //!
 //! # Endpoints
 //!
@@ -41,6 +48,7 @@
 //! |---|---|
 //! | `POST /v1/models/{name}/predict` | relayed from the owning replica |
 //! | `GET /v1/fleet/stats` | fleet + router + per-node statistics |
+//! | `GET /metrics` | Prometheus text exposition of the router counters and histograms |
 //! | `GET /healthz` | `{"status":"ok","nodes":N,"nodes_up":M,...}` |
 //!
 //! Requests the router answers itself use the wire JSON error envelope;

@@ -18,6 +18,7 @@
 use crate::pool::{NodeHealth, NodePool};
 use crate::{FleetConfig, NodeSpec};
 use exa_distsim::placement::{NodeId, PlacementMap, PlacementPolicy};
+use exa_telemetry::{Histogram, PromText, TraceId, TRACE_HEADER};
 use exa_wire::http::{self, HttpError, Limits, ParseProgress, Request, RequestParser};
 use exa_wire::json::{Json, JsonWriter};
 use exa_wire::WireResponse;
@@ -85,6 +86,15 @@ struct Shared {
     rotate: AtomicUsize,
     /// Last placement epoch seen, for the rebalance counter.
     last_epoch: AtomicU64,
+    /// When the router started — base of `uptime_seconds`.
+    started: Instant,
+    /// Bumped on every `/v1/fleet/stats` and `/metrics` render; a decrease
+    /// between scrapes of one address signals a restart.
+    stats_epoch: AtomicU64,
+    /// Client-facing predict latency (route entry → reply ready).
+    request_hist: Histogram,
+    /// Upstream relay span: one backend round trip per attempt.
+    relay_hist: Histogram,
 }
 
 /// One response about to be written to a client.
@@ -93,6 +103,9 @@ struct Reply {
     content_type: String,
     body: Vec<u8>,
     retry_after: Option<u64>,
+    /// `x-exa-trace-id` value echoed to the client: the backend's echo on
+    /// a relay, or the router-minted id when no backend answered.
+    trace: Option<String>,
 }
 
 impl Reply {
@@ -102,6 +115,7 @@ impl Reply {
             content_type: "application/json".to_string(),
             body: body.into_bytes(),
             retry_after: None,
+            trace: None,
         }
     }
 
@@ -111,6 +125,7 @@ impl Reply {
             content_type: "application/json".to_string(),
             body: error_body(code, message).into_bytes(),
             retry_after: None,
+            trace: None,
         }
     }
 
@@ -120,6 +135,7 @@ impl Reply {
             content_type: response.content_type,
             body: response.body,
             retry_after: response.retry_after,
+            trace: response.trace,
         }
     }
 }
@@ -168,6 +184,10 @@ impl FleetRouter {
             suspect_cooldown: config.suspect_cooldown,
             rotate: AtomicUsize::new(0),
             last_epoch: AtomicU64::new(last_epoch),
+            started: Instant::now(),
+            stats_epoch: AtomicU64::new(0),
+            request_hist: Histogram::new(),
+            relay_hist: Histogram::new(),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -308,12 +328,21 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                     &shared.counters.requests_error
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
-                let bytes = http::encode_response_with_retry(
+                let trace_header;
+                let extra: &[(&str, String)] = match &reply.trace {
+                    Some(trace) => {
+                        trace_header = [(TRACE_HEADER, trace.clone())];
+                        &trace_header
+                    }
+                    None => &[],
+                };
+                let bytes = http::encode_response_ext(
                     reply.status,
                     &reply.content_type,
                     &reply.body,
                     keep_alive,
                     reply.retry_after,
+                    extra,
                 );
                 if stream.write_all(&bytes).is_err() || !keep_alive {
                     return;
@@ -364,14 +393,16 @@ fn route(shared: &Shared, request: &Request) -> Reply {
     match (request.method(), segments.as_slice()) {
         ("GET", ["healthz"]) => health(shared),
         ("GET", ["v1", "fleet", "stats"]) => fleet_stats(shared),
+        ("GET", ["metrics"]) => metrics(shared),
         ("POST", ["v1", "models", name, "predict"]) => proxy_predict(shared, request, name),
-        (_, ["healthz"] | ["v1", "fleet", "stats"] | ["v1", "models", _, "predict"]) => {
-            Reply::error(
-                405,
-                "method_not_allowed",
-                &format!("{} is not supported on {path}", request.method()),
-            )
-        }
+        (
+            _,
+            ["healthz"] | ["v1", "fleet", "stats"] | ["metrics"] | ["v1", "models", _, "predict"],
+        ) => Reply::error(
+            405,
+            "method_not_allowed",
+            &format!("{} is not supported on {path}", request.method()),
+        ),
         _ => Reply::error(404, "unknown_path", &format!("no route for {path}")),
     }
 }
@@ -392,6 +423,28 @@ fn health(shared: &Shared) -> Reply {
     Reply::ok_json(w.finish())
 }
 
+/// The predict relay entry point: mints (or adopts) the request's trace
+/// id, stamps it on the upstream relay, echoes it to the client, and
+/// feeds the router-side latency histogram.
+fn proxy_predict(shared: &Shared, request: &Request, model: &str) -> Reply {
+    let started = Instant::now();
+    // The router is the trace's origin for fleet traffic: adopt a caller's
+    // id when one arrives (nested routers), mint otherwise. The id rides
+    // the `x-exa-trace-id` request header to the backend, which records it
+    // in its slow ring and echoes it back.
+    let trace = request
+        .header(TRACE_HEADER)
+        .and_then(TraceId::parse)
+        .unwrap_or_else(TraceId::mint);
+    let trace_hex = trace.to_string();
+    let mut reply = relay_predict(shared, request, model, &trace_hex);
+    if reply.trace.is_none() {
+        reply.trace = Some(trace_hex);
+    }
+    shared.request_hist.record(started.elapsed());
+    reply
+}
+
 /// The predict relay: resolve the replica set, try candidates in rotated
 /// health-sorted order, hand back the first real answer verbatim.
 ///
@@ -399,7 +452,7 @@ fn health(shared: &Shared) -> Reply {
 /// * `404 unknown_model` → the node could not pull the model either; try
 ///   the rest of the replica set before letting the 404 through.
 /// * Everything else (including backend 4xx/5xx) is the answer.
-fn proxy_predict(shared: &Shared, request: &Request, model: &str) -> Reply {
+fn relay_predict(shared: &Shared, request: &Request, model: &str, trace_hex: &str) -> Reply {
     let (replicas, epoch) = {
         let mut policy = shared.policy.lock().expect("policy lock");
         policy.observe(model);
@@ -439,7 +492,16 @@ fn proxy_predict(shared: &Shared, request: &Request, model: &str) -> Reply {
             }
         };
         let before = client.reconnects();
-        let result = client.request_raw("POST", target, content_type, accept, request.body());
+        let relay_started = Instant::now();
+        let result = client.request_raw_with_headers(
+            "POST",
+            target,
+            content_type,
+            accept,
+            request.body(),
+            &[(TRACE_HEADER, trace_hex)],
+        );
+        shared.relay_hist.record(relay_started.elapsed());
         shared
             .counters
             .reconnects
@@ -524,6 +586,8 @@ fn fleet_stats(shared: &Shared) -> Reply {
     w.key("router");
     w.begin_object();
     let c = &shared.counters;
+    let request_latency = shared.request_hist.snapshot();
+    let epoch = shared.stats_epoch.fetch_add(1, Ordering::Relaxed) + 1;
     w.field_uint(
         "connections_accepted",
         c.connections_accepted.load(Ordering::Relaxed),
@@ -539,6 +603,11 @@ fn fleet_stats(shared: &Shared) -> Reply {
         "demotions",
         shared.nodes.iter().map(NodePool::demotions).sum(),
     );
+    w.field_num("uptime_seconds", shared.started.elapsed().as_secs_f64());
+    w.field_uint("stats_epoch", epoch);
+    w.field_num("request_p50_seconds", request_latency.p50());
+    w.field_num("request_p95_seconds", request_latency.p95());
+    w.field_num("request_p99_seconds", request_latency.p99());
     w.end_object();
     w.key("nodes");
     w.begin_array();
@@ -563,6 +632,125 @@ fn fleet_stats(shared: &Shared) -> Reply {
     w.end_array();
     w.end_object();
     Reply::ok_json(w.finish())
+}
+
+/// `GET /metrics` on the router: the Prometheus text exposition. Scalar
+/// names mirror the `router` object of `/v1/fleet/stats` exactly
+/// (`exa_fleet_forwards` ↔ `router.forwards`) so the CI drift check is a
+/// mechanical key comparison; `exa_fleet_node_up` and the histogram
+/// families have no JSON twin and are allowlisted there.
+fn metrics(shared: &Shared) -> Reply {
+    let c = &shared.counters;
+    let epoch = shared.stats_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    let request_latency = shared.request_hist.snapshot();
+    let mut p = PromText::new();
+    p.counter(
+        "exa_fleet_connections_accepted",
+        "Client connections accepted by the router.",
+        c.connections_accepted.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_requests_ok",
+        "Requests answered 2xx by the router.",
+        c.requests_ok.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_requests_error",
+        "Requests answered non-2xx by the router.",
+        c.requests_error.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_forwards",
+        "Predicts relayed to a backend (one per answered predict).",
+        c.forwards.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_failovers",
+        "Attempts abandoned for the next replica after a transport failure.",
+        c.failovers.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_misses_retried",
+        "unknown_model answers that sent the router to another replica.",
+        c.misses_retried.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_rebalances",
+        "Placement-epoch changes observed.",
+        c.rebalances.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_reconnects",
+        "Stale pooled connections transparently redialed.",
+        c.reconnects.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_demotions",
+        "Node demotions to suspect, summed across the fleet.",
+        shared.nodes.iter().map(NodePool::demotions).sum(),
+    );
+    p.gauge(
+        "exa_fleet_uptime_seconds",
+        "Seconds since this router started.",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    p.gauge(
+        "exa_fleet_stats_epoch",
+        "Render counter, monotone per process; a decrease means a restart.",
+        epoch as f64,
+    );
+    p.gauge(
+        "exa_fleet_request_p50_seconds",
+        "Median client-facing predict latency at the router.",
+        request_latency.p50(),
+    );
+    p.gauge(
+        "exa_fleet_request_p95_seconds",
+        "95th-percentile client-facing predict latency at the router.",
+        request_latency.p95(),
+    );
+    p.gauge(
+        "exa_fleet_request_p99_seconds",
+        "99th-percentile client-facing predict latency at the router.",
+        request_latency.p99(),
+    );
+    let ups: Vec<(&str, f64)> = shared
+        .nodes
+        .iter()
+        .map(|pool| {
+            (
+                pool.name(),
+                if pool.health() == NodeHealth::Up {
+                    1.0
+                } else {
+                    0.0
+                },
+            )
+        })
+        .collect();
+    p.gauge_series(
+        "exa_fleet_node_up",
+        "1 when the router currently considers the node healthy.",
+        "node",
+        &ups,
+    );
+    p.histogram(
+        "exa_fleet_request_seconds",
+        "Client-facing predict latency at the router.",
+        &request_latency,
+    );
+    p.histogram(
+        "exa_fleet_relay_seconds",
+        "One upstream backend round trip per relay attempt.",
+        &shared.relay_hist.snapshot(),
+    );
+    Reply {
+        status: 200,
+        content_type: "text/plain; version=0.0.4".to_string(),
+        body: p.render().into_bytes(),
+        retry_after: None,
+        trace: None,
+    }
 }
 
 /// Fetches one node's `/v1/stats` and `/v1/models`, validating both as

@@ -358,3 +358,126 @@ fn runtime_pins_rebalance_and_override_placement() {
         node.shutdown();
     }
 }
+
+/// The ISSUE 8 observability acceptance (fleet side): a predict routed
+/// through the fleet comes back stamped with a router-minted
+/// `x-exa-trace-id`, and that exact id is findable in the serving node's
+/// slow ring with a non-zero per-stage breakdown — the cross-node trace
+/// is joinable from the client's echo alone. The router also serves a
+/// grammar-valid `/metrics` document and a `/v1/fleet/stats` router
+/// object with uptime, a monotone epoch, and histogram percentiles.
+#[test]
+fn router_minted_trace_is_joinable_in_the_node_slow_ring() {
+    use exa_telemetry::{validate_exposition, TraceId, TRACE_HEADER};
+
+    let catalog = catalog(&["alpha"]);
+    let nodes: Vec<_> = (0..2)
+        .map(|_| start_node(&catalog, &["alpha"], false))
+        .collect();
+    let refs: Vec<&WireServer<MaternKernel>> = nodes.iter().collect();
+    let router = fleet_of(&refs, FleetConfig::default());
+
+    let mut client = WireClient::connect(router.local_addr()).unwrap();
+    let body = br#"{"targets":[[0.3,0.7],[0.6,0.2]]}"#;
+
+    // Router-minted trace: the client sends none, yet gets one back.
+    let resp = client
+        .request_raw(
+            "POST",
+            "/v1/models/alpha/predict",
+            "application/json",
+            "application/json",
+            body,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let minted = resp.trace.clone().expect("router must stamp a trace id");
+    assert!(TraceId::parse(&minted).is_some(), "unparseable {minted:?}");
+
+    // Caller-supplied trace: adopted, propagated, echoed verbatim.
+    let resp = client
+        .request_raw_with_headers(
+            "POST",
+            "/v1/models/alpha/predict",
+            "application/json",
+            "application/json",
+            body,
+            &[(TRACE_HEADER, "0000feedfacef00d")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.trace.as_deref(), Some("0000feedfacef00d"));
+
+    // Join both traces against the backend slow rings: each id must sit in
+    // exactly one node's ring, with non-zero parse/solve/total spans.
+    let mut found = 0;
+    for node in &nodes {
+        let mut direct = WireClient::connect(node.local_addr()).unwrap();
+        let doc = direct.get_json("/v1/debug/slow").unwrap();
+        let entries = doc.get("slow").and_then(|s| s.as_array()).unwrap();
+        for wanted in [minted.as_str(), "0000feedfacef00d"] {
+            let Some(entry) = entries
+                .iter()
+                .find(|e| e.get("trace").and_then(|t| t.as_str()) == Some(wanted))
+            else {
+                continue;
+            };
+            found += 1;
+            assert_eq!(entry.get("model").and_then(|m| m.as_str()), Some("alpha"));
+            for span in ["parse_ns", "solve_ns", "total_ns"] {
+                let ns = entry.get(span).and_then(|v| v.as_u64()).unwrap();
+                assert!(ns > 0, "{span} is zero for trace {wanted}: {entry:?}");
+            }
+        }
+    }
+    assert_eq!(found, 2, "both trace ids must appear in a node slow ring");
+
+    // Router /v1/fleet/stats: uptime, monotone epoch, percentiles.
+    let doc = client.get_json("/v1/fleet/stats").unwrap();
+    let router_obj = doc.get("router").unwrap();
+    assert!(
+        router_obj
+            .get("uptime_seconds")
+            .and_then(|v| v.as_f64())
+            .unwrap()
+            > 0.0
+    );
+    let epoch1 = router_obj
+        .get("stats_epoch")
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(
+        router_obj
+            .get("request_p99_seconds")
+            .and_then(|v| v.as_f64())
+            .unwrap()
+            > 0.0,
+        "router p99 must reflect the predicts above"
+    );
+    let doc2 = client.get_json("/v1/fleet/stats").unwrap();
+    let epoch2 = doc2
+        .get("router")
+        .and_then(|r| r.get("stats_epoch"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(epoch2 > epoch1, "router stats_epoch must be monotone");
+
+    // Router /metrics: grammar-valid, fleet histograms and node gauges.
+    let resp = client
+        .request_raw("GET", "/metrics", "application/json", "*/*", b"")
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    validate_exposition(&text).expect("router metrics grammar");
+    assert!(text.contains("exa_fleet_request_seconds_bucket{"), "{text}");
+    assert!(text.contains("exa_fleet_relay_seconds_bucket{"), "{text}");
+    assert!(
+        text.contains("exa_fleet_node_up{node=\"node-0\"}"),
+        "{text}"
+    );
+
+    router.shutdown();
+    for node in nodes {
+        node.shutdown();
+    }
+}

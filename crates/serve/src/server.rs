@@ -20,6 +20,7 @@ use crate::stats::ServerStats;
 use exa_covariance::{Location, ParamCovariance};
 use exa_geostat::{factorization_count, FittedModel};
 use exa_runtime::Runtime;
+use exa_telemetry::{Histogram, HistogramSnapshot, TraceId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -110,6 +111,13 @@ pub struct ServedPrediction {
     pub coalesced_requests: usize,
     /// Total prediction points in the coalesced batch.
     pub batch_points: usize,
+    /// Queue-wait span: submit → a worker started the batch (0 for the
+    /// inline fast path, which never queues).
+    pub queue_seconds: f64,
+    /// Solve span: the coalesced model call this request rode in.
+    pub solve_seconds: f64,
+    /// Trace id threaded through from the front-end, if any.
+    pub trace: Option<TraceId>,
 }
 
 type SlotResult = Result<ServedPrediction, ServeError>;
@@ -193,6 +201,7 @@ struct Pending<K: ParamCovariance> {
     targets: Vec<Location>,
     want_variance: bool,
     enqueued: Instant,
+    trace: Option<TraceId>,
     slot: Arc<Slot>,
 }
 
@@ -214,6 +223,12 @@ struct Counters {
     latency_ns_total: AtomicU64,
     latency_ns_max: AtomicU64,
     worker_potrf: AtomicU64,
+    /// End-to-end submit→response latency distribution.
+    latency_hist: Histogram,
+    /// Queue-wait stage: submit → a worker started the batch.
+    queue_hist: Histogram,
+    /// Solve stage: the coalesced model call.
+    solve_hist: Histogram,
 }
 
 impl Counters {
@@ -221,9 +236,11 @@ impl Counters {
         let ns = (seconds * 1e9) as u64;
         self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
         self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.latency_hist.record_seconds(seconds);
     }
 
     fn snapshot(&self) -> ServerStats {
+        let latency = self.latency_hist.snapshot();
         ServerStats {
             requests_submitted: self.submitted.load(Ordering::Relaxed),
             requests_served: self.served.load(Ordering::Relaxed),
@@ -234,6 +251,10 @@ impl Counters {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             total_latency_seconds: self.latency_ns_total.load(Ordering::Relaxed) as f64 * 1e-9,
             max_latency_seconds: self.latency_ns_max.load(Ordering::Relaxed) as f64 * 1e-9,
+            latency_p50_seconds: latency.p50(),
+            latency_p95_seconds: latency.p95(),
+            latency_p99_seconds: latency.p99(),
+            latency_p999_seconds: latency.p999(),
             factorizations_during_serving: self.worker_potrf.load(Ordering::Relaxed),
         }
     }
@@ -274,7 +295,7 @@ impl<K: ParamCovariance> ServerHandle<K> {
         model: &str,
         targets: Vec<Location>,
     ) -> Result<PredictionTicket, ServeError> {
-        self.submit_inner(model, targets, false)
+        self.submit_inner(model, targets, false, None)
     }
 
     /// Like [`ServerHandle::submit`], additionally returning conditional
@@ -284,7 +305,7 @@ impl<K: ParamCovariance> ServerHandle<K> {
         model: &str,
         targets: Vec<Location>,
     ) -> Result<PredictionTicket, ServeError> {
-        self.submit_inner(model, targets, true)
+        self.submit_inner(model, targets, true, None)
     }
 
     /// Submit-and-wait convenience for closed-loop callers.
@@ -298,7 +319,7 @@ impl<K: ParamCovariance> ServerHandle<K> {
         model: &str,
         targets: Vec<Location>,
     ) -> Result<ServedPrediction, ServeError> {
-        self.predict_now(model, targets, false)
+        self.predict_now(model, targets, false, None)
     }
 
     /// Submit-and-wait convenience including conditional variances — the
@@ -323,7 +344,33 @@ impl<K: ParamCovariance> ServerHandle<K> {
         model: &str,
         targets: Vec<Location>,
     ) -> Result<ServedPrediction, ServeError> {
-        self.predict_now(model, targets, true)
+        self.predict_now(model, targets, true, None)
+    }
+
+    /// [`ServerHandle::predict`]/`predict_with_variance` with a trace id
+    /// attached: the id rides through the queue (or the inline path) and
+    /// comes back on [`ServedPrediction::trace`], so a front-end can match
+    /// the answer to the request it is timing.
+    pub fn predict_traced(
+        &self,
+        model: &str,
+        targets: Vec<Location>,
+        want_variance: bool,
+        trace: Option<TraceId>,
+    ) -> Result<ServedPrediction, ServeError> {
+        self.predict_now(model, targets, want_variance, trace)
+    }
+
+    /// [`ServerHandle::submit`]/`submit_with_variance` with a trace id
+    /// attached (see [`ServerHandle::predict_traced`]).
+    pub fn submit_traced(
+        &self,
+        model: &str,
+        targets: Vec<Location>,
+        want_variance: bool,
+        trace: Option<TraceId>,
+    ) -> Result<PredictionTicket, ServeError> {
+        self.submit_inner(model, targets, want_variance, trace)
     }
 
     fn predict_now(
@@ -331,8 +378,9 @@ impl<K: ParamCovariance> ServerHandle<K> {
         model: &str,
         targets: Vec<Location>,
         want_variance: bool,
+        trace: Option<TraceId>,
     ) -> Result<ServedPrediction, ServeError> {
-        let pending = self.prepare(model, targets, want_variance)?;
+        let pending = self.prepare(model, targets, want_variance, trace)?;
         let ticket = PredictionTicket {
             slot: Arc::clone(&pending.slot),
         };
@@ -413,13 +461,31 @@ impl<K: ParamCovariance> ServerHandle<K> {
         self.shared.counters.snapshot()
     }
 
+    /// Snapshot of the end-to-end latency histogram (the distribution the
+    /// [`ServerStats`] percentile fields are read from) — the raw material
+    /// for a front-end's `/metrics` exposition.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.shared.counters.latency_hist.snapshot()
+    }
+
+    /// Snapshot of the queue-wait stage histogram (submit → batch start).
+    pub fn queue_histogram(&self) -> HistogramSnapshot {
+        self.shared.counters.queue_hist.snapshot()
+    }
+
+    /// Snapshot of the solve stage histogram (the coalesced model call).
+    pub fn solve_histogram(&self) -> HistogramSnapshot {
+        self.shared.counters.solve_hist.snapshot()
+    }
+
     fn submit_inner(
         &self,
         model: &str,
         targets: Vec<Location>,
         want_variance: bool,
+        trace: Option<TraceId>,
     ) -> Result<PredictionTicket, ServeError> {
-        let pending = self.prepare(model, targets, want_variance)?;
+        let pending = self.prepare(model, targets, want_variance, trace)?;
         let ticket = PredictionTicket {
             slot: Arc::clone(&pending.slot),
         };
@@ -435,6 +501,7 @@ impl<K: ParamCovariance> ServerHandle<K> {
         model: &str,
         targets: Vec<Location>,
         want_variance: bool,
+        trace: Option<TraceId>,
     ) -> Result<Pending<K>, ServeError> {
         // Reject malformed queries at the door: the worker-side validation
         // would catch them too, but failing fast keeps junk out of batches.
@@ -469,6 +536,7 @@ impl<K: ParamCovariance> ServerHandle<K> {
             targets,
             want_variance,
             enqueued: Instant::now(),
+            trace,
             slot,
         })
     }
@@ -672,6 +740,16 @@ fn process_batch<K: ParamCovariance>(shared: &Shared<K>, batch: Vec<Pending<K>>,
     let want_variance = batch[0].want_variance;
     let coalesced_requests = batch.len();
     let batch_points: usize = batch.iter().map(|p| p.targets.len()).sum();
+    // Stage spans: queue wait ends (and the solve begins) here. Each batch
+    // member gets its own queue-wait sample; the solve span is the whole
+    // coalesced call, attributed to every request that rode in it.
+    let solve_start = Instant::now();
+    for pending in &batch {
+        shared
+            .counters
+            .queue_hist
+            .record(solve_start.saturating_duration_since(pending.enqueued));
+    }
     // A panic inside the model call (e.g. a factor mutex poisoned by some
     // earlier panicking user of the same `FittedModel`) must not strand the
     // batch's tickets in `wait()` or kill the worker: contain it and answer
@@ -699,7 +777,11 @@ fn process_batch<K: ParamCovariance>(shared: &Shared<K>, batch: Vec<Pending<K>>,
                 .unwrap_or_else(|| "opaque panic payload".into());
             Err(ServeError::Panicked(msg))
         });
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
     let counters = &shared.counters;
+    for _ in 0..batch.len() {
+        counters.solve_hist.record_seconds(solve_seconds);
+    }
     counters.batches.fetch_add(1, Ordering::Relaxed);
     if batch.len() > 1 {
         counters
@@ -716,12 +798,18 @@ fn process_batch<K: ParamCovariance>(shared: &Shared<K>, batch: Vec<Pending<K>>,
                 counters
                     .points
                     .fetch_add(values.len() as u64, Ordering::Relaxed);
+                let queue_seconds = solve_start
+                    .saturating_duration_since(pending.enqueued)
+                    .as_secs_f64();
                 pending.slot.fulfill(Ok(ServedPrediction {
                     values,
                     variances,
                     latency_seconds: latency,
                     coalesced_requests,
                     batch_points,
+                    queue_seconds,
+                    solve_seconds,
+                    trace: pending.trace,
                 }));
             }
         }

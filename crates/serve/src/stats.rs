@@ -23,6 +23,16 @@ pub struct ServerStats {
     pub total_latency_seconds: f64,
     /// Worst single-request latency, seconds.
     pub max_latency_seconds: f64,
+    /// Median submit→response latency, from the serve latency histogram
+    /// (bucket upper bound, ≤ 3.2 % above the exact order statistic; 0
+    /// before the first request).
+    pub latency_p50_seconds: f64,
+    /// 95th-percentile latency (same histogram derivation as p50).
+    pub latency_p95_seconds: f64,
+    /// 99th-percentile latency (same histogram derivation as p50).
+    pub latency_p99_seconds: f64,
+    /// 99.9th-percentile latency (same histogram derivation as p50).
+    pub latency_p999_seconds: f64,
     /// Cholesky factorizations performed by the worker threads. The serving
     /// layer only ever applies cached factors, so this **must stay 0**; it
     /// is surfaced so load tests and benches can assert it.

@@ -1,0 +1,104 @@
+//! Request trace ids and the propagation header.
+//!
+//! A trace id is minted at the outermost tier that sees the request — the
+//! fleet router, or the wire node itself for direct hits — and travels in
+//! the [`TRACE_HEADER`] request header. Every tier echoes the id back in
+//! the same response header, so a client (or a test) can learn which id a
+//! router minted on its behalf and look the request up in a node's
+//! slow-request ring (`GET /v1/debug/slow`).
+//!
+//! Clients may also supply their own id; any syntactically valid value
+//! (1–16 hex digits) is honored rather than re-minted, which lets an
+//! upstream system stitch exa requests into a wider trace.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The request/response header carrying a [`TraceId`].
+pub const TRACE_HEADER: &str = "x-exa-trace-id";
+
+/// A 64-bit request trace id, rendered as 16 lowercase hex digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+/// Per-process mint counter (sequence half of the minted id).
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Per-process random seed, derived once from the ASLR-seeded std hasher —
+/// keeps ids from two nodes started in the same second distinct without a
+/// clock or an RNG dependency.
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u32(std::process::id());
+        h.finish() | 1
+    })
+}
+
+/// SplitMix64 finalizer: a full-period bijection on `u64`, so distinct
+/// (seed, counter) pairs can never collide within a process.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Mints a fresh id: unique within the process, seeded per-process so
+    /// collisions across nodes are as unlikely as a 64-bit birthday.
+    pub fn mint() -> TraceId {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        TraceId(mix(
+            process_seed().wrapping_add(n.wrapping_mul(0x9E3779B97F4A7C15))
+        ))
+    }
+
+    /// Parses a header value: 1–16 hex digits, either case, no prefix.
+    /// Anything else is `None` (the caller mints instead).
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for id in [TraceId(0), TraceId(1), TraceId(u64::MAX), TraceId::mint()] {
+            let s = id.to_string();
+            assert_eq!(s.len(), 16);
+            assert_eq!(TraceId::parse(&s), Some(id));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_short_and_mixed_case_rejects_junk() {
+        assert_eq!(TraceId::parse("ff"), Some(TraceId(255)));
+        assert_eq!(TraceId::parse("  DEADbeef "), Some(TraceId(0xdead_beef)));
+        for bad in ["", "0x12", "g", "123456789012345678", "12 34", "-1"] {
+            assert_eq!(TraceId::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_distinct() {
+        let ids: Vec<TraceId> = (0..1000).map(|_| TraceId::mint()).collect();
+        let set: std::collections::HashSet<u64> = ids.iter().map(|t| t.0).collect();
+        assert_eq!(set.len(), ids.len());
+    }
+}

@@ -39,29 +39,10 @@ pub fn mse(truth: &[f64], prediction: &[f64]) -> f64 {
         / truth.len() as f64
 }
 
-/// Linear-interpolation quantile (type-7, same convention as R's default).
-///
-/// `q` must be in `[0, 1]`. Input need not be sorted.
-pub fn quantile(data: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
-    assert!(!data.is_empty(), "quantile of empty slice");
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    quantile_sorted(&sorted, q)
-}
-
-/// Quantile of an already-sorted slice (ascending).
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    let n = sorted.len();
-    if n == 1 {
-        return sorted[0];
-    }
-    let h = q * (n as f64 - 1.0);
-    let lo = h.floor() as usize;
-    let hi = (lo + 1).min(n - 1);
-    let frac = h - lo as f64;
-    sorted[lo] + frac * (sorted[hi] - sorted[lo])
-}
+// The exact type-7 quantile implementation lives in `exa-telemetry` (the
+// workspace's bottom layer) so the latency-histogram agreement tests and
+// the distsim simulator share it; re-exported here for existing callers.
+pub use exa_telemetry::{quantile, quantile_sorted};
 
 /// Five-number boxplot summary plus mean, as printed by the Fig. 6/7
 /// harnesses. Whiskers follow the Tukey convention (1.5 IQR, clamped to the

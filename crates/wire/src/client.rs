@@ -424,8 +424,30 @@ impl WireClient {
         accept: &str,
         body: &[u8],
     ) -> Result<WireResponse, WireError> {
+        self.request_raw_with_headers(method, path, content_type, accept, body, &[])
+    }
+
+    /// [`WireClient::request_raw`] with extra request headers — how the
+    /// fleet router stamps `x-exa-trace-id` onto relayed predicts. Header
+    /// values must be CR/LF-free.
+    pub fn request_raw_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        accept: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+    ) -> Result<WireResponse, WireError> {
+        let mut extra = String::new();
+        for (name, value) in extra_headers {
+            extra.push_str(name);
+            extra.push_str(": ");
+            extra.push_str(value);
+            extra.push_str("\r\n");
+        }
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: exa-wire\r\nContent-Type: {content_type}\r\nAccept: {accept}\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: exa-wire\r\nContent-Type: {content_type}\r\nAccept: {accept}\r\n{extra}Content-Length: {}\r\n\r\n",
             body.len(),
         );
         self.send_then_read(head.as_bytes(), body)
@@ -512,11 +534,13 @@ impl WireClient {
             Length(usize),
             Type(String),
             Retry(u64),
+            Trace(String),
             Other,
         }
         let mut content_length: Option<usize> = None;
         let mut content_type = String::new();
         let mut retry_after: Option<u64> = None;
+        let mut trace: Option<String> = None;
         loop {
             let header = self.with_line(|line| {
                 if line.is_empty() {
@@ -539,6 +563,9 @@ impl WireClient {
                             return Ok(Header::Retry(seconds));
                         }
                     }
+                    if name.eq_ignore_ascii_case(exa_telemetry::TRACE_HEADER) {
+                        return Ok(Header::Trace(value.trim().to_string()));
+                    }
                 }
                 Ok(Header::Other)
             })?;
@@ -547,6 +574,7 @@ impl WireClient {
                 Header::Length(length) => content_length = Some(length),
                 Header::Type(value) => content_type = value,
                 Header::Retry(seconds) => retry_after = Some(seconds),
+                Header::Trace(value) => trace = Some(value),
                 Header::Other => {}
             }
         }
@@ -557,6 +585,7 @@ impl WireClient {
             content_type,
             body,
             retry_after,
+            trace,
         })
     }
 
@@ -623,6 +652,9 @@ pub struct WireResponse {
     pub body: Vec<u8>,
     /// `Retry-After` header (seconds form) when the server sent one.
     pub retry_after: Option<u64>,
+    /// `x-exa-trace-id` header when the server echoed one — the request's
+    /// cross-node trace id, as served.
+    pub trace: Option<String>,
 }
 
 fn protocol(message: &str) -> WireError {

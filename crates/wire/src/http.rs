@@ -507,12 +507,33 @@ pub fn encode_response_with_retry(
     keep_alive: bool,
     retry_after: Option<u64>,
 ) -> Vec<u8> {
-    let retry = match retry_after {
+    encode_response_ext(status, content_type, body, keep_alive, retry_after, &[])
+}
+
+/// [`encode_response_with_retry`] plus arbitrary extra response headers
+/// (name, value) — the telemetry layer echoes `x-exa-trace-id` through
+/// here. Callers must pass header-safe values (no CR/LF); the only
+/// in-tree caller emits hex-formatted trace ids.
+pub fn encode_response_ext(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after: Option<u64>,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
+    let mut extra = match retry_after {
         Some(seconds) => format!("Retry-After: {seconds}\r\n"),
         None => String::new(),
     };
+    for (name, value) in extra_headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra}Connection: {}\r\n\r\n",
         status_reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

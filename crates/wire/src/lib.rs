@@ -43,8 +43,17 @@
 //! |---|---|---|
 //! | `POST /v1/models/{name}/predict` | predict request | predict response |
 //! | `GET /v1/models` | — | residency + registry counters |
-//! | `GET /v1/stats` | — | wire + serving statistics |
+//! | `GET /v1/stats` | — | wire + serving statistics, histogram percentiles, `uptime_seconds`, `stats_epoch` |
+//! | `GET /v1/debug/slow` | — | the slowest recent requests with per-stage breakdowns |
+//! | `GET /metrics` | — | Prometheus text exposition of every counter and latency histogram |
 //! | `GET /healthz` | — | `{"status":"ok","models":N}` |
+//!
+//! Every predict response carries an `x-exa-trace-id` header: the id the
+//! caller sent on the request (the fleet router mints one per routed
+//! predict), or one minted here. The same id tags the request's slow-ring
+//! entry, so a slow response is joinable to its node-side stage breakdown
+//! from the client's echo alone — see `exa-telemetry` for the id format,
+//! the histogram design, and the slow-ring admission rule.
 //!
 //! # Wire schema
 //!

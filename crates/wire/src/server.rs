@@ -51,6 +51,9 @@ use exa_covariance::{Location, ParamCovariance};
 use exa_serve::{
     ModelRegistry, PredictionServer, ServeConfig, ServeError, ServedPrediction, ServerHandle,
 };
+use exa_telemetry::{
+    Histogram, HistogramSnapshot, PromText, SlowEntry, SlowRing, TraceId, TRACE_HEADER,
+};
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -197,6 +200,20 @@ struct Shared<K: ParamCovariance> {
     max_connections: usize,
     waker: Waker,
     backend: &'static str,
+    /// When this server started — the base of `uptime_seconds`.
+    started: Instant,
+    /// Bumped on every `/v1/stats` and `/metrics` render. Monotone within
+    /// one process, so a *decrease* between two scrapes of the same
+    /// address tells the scraper the node restarted.
+    stats_epoch: AtomicU64,
+    /// Wire-side stage histograms for predict requests (the queue/solve
+    /// stages live in the serve layer's own histograms).
+    parse_hist: Histogram,
+    write_hist: Histogram,
+    request_hist: Histogram,
+    /// The slowest recent predicts, with per-stage breakdowns
+    /// (`GET /v1/debug/slow`).
+    slow: SlowRing,
 }
 
 /// One routed response, ready to frame.
@@ -212,6 +229,9 @@ struct Response {
     /// `Retry-After` seconds on refusals, so backoff is signalled rather
     /// than guessed (the fleet router keys its failover pacing on this).
     retry_after: Option<u64>,
+    /// Trace id to echo in the `x-exa-trace-id` response header (set on
+    /// the predict paths, where a trace is extracted or minted).
+    trace: Option<TraceId>,
 }
 
 impl Response {
@@ -222,6 +242,7 @@ impl Response {
             content_type: "application/json",
             close: false,
             retry_after: None,
+            trace: None,
         }
     }
 
@@ -233,6 +254,7 @@ impl Response {
             content_type: codec::FRAME_CONTENT_TYPE,
             close: false,
             retry_after: None,
+            trace: None,
         }
     }
 
@@ -254,6 +276,7 @@ impl Response {
             content_type: "application/json",
             close: false,
             retry_after: None,
+            trace: None,
         }
     }
 }
@@ -301,6 +324,12 @@ impl<K: ParamCovariance> WireServer<K> {
             max_connections: config.max_connections.max(1),
             waker,
             backend,
+            started: Instant::now(),
+            stats_epoch: AtomicU64::new(0),
+            parse_hist: Histogram::new(),
+            write_hist: Histogram::new(),
+            request_hist: Histogram::new(),
+            slow: SlowRing::default(),
         });
         let reactor_thread = {
             let shared = Arc::clone(&shared);
@@ -385,6 +414,13 @@ struct PendingDispatch {
     model: String,
     resp_codec: Codec,
     keep_alive_wanted: bool,
+    /// The request's trace id, echoed in the response and attributed in
+    /// the slow ring.
+    trace: TraceId,
+    /// When the request was carved off the socket (total-span base).
+    request_started: Instant,
+    /// Routing + body-decode span, measured before the dispatch.
+    parse_ns: u64,
 }
 
 /// One slab entry: the transport state machine plus the reactor's
@@ -704,10 +740,14 @@ impl<K: ParamCovariance> Reactor<K> {
     /// response was fully flushed on a keep-alive connection (the caller
     /// may parse the next pipelined request).
     fn handle_request(&mut self, token: u64, request: Request, now: Instant) -> bool {
+        let request_started = Instant::now();
         let keep_alive_wanted = request.keep_alive();
+        let trace_in = request.header(TRACE_HEADER).and_then(TraceId::parse);
         // A panic anywhere in routing (JSON decode, registry, inline
         // prediction) must not kill the reactor: contain it, answer 500.
         let routed = catch_unwind(AssertUnwindSafe(|| route(&self.shared, &request)));
+        // Routing includes the body decode, so this is the parse span.
+        let parse_ns = request_started.elapsed().as_nanos() as u64;
         let routed = match routed {
             Ok(routed) => routed,
             Err(_) => {
@@ -731,6 +771,9 @@ impl<K: ParamCovariance> Reactor<K> {
                 resp_codec,
             } => (name, targets, want_variance, resp_codec),
         };
+        // Every predict carries a trace id: the router's (forwarded in the
+        // request header) or one minted here for direct clients.
+        let trace = trace_in.unwrap_or_else(TraceId::mint);
         if self.inline_ok() {
             self.shared
                 .counters
@@ -738,37 +781,50 @@ impl<K: ParamCovariance> Reactor<K> {
                 .fetch_add(1, Ordering::Relaxed);
             let handle = &self.shared.handle;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let served = if want_variance {
-                    handle.predict_with_variance(&name, targets)
-                } else {
-                    handle.predict(&name, targets)
-                };
+                let served = handle.predict_traced(&name, targets, want_variance, Some(trace));
                 match served {
-                    Ok(served) => predict_response(&name, resp_codec, &served),
-                    Err(err) => serve_error_response(&err),
+                    Ok(served) => {
+                        let stages = stage_ns(&served);
+                        (predict_response(&name, resp_codec, &served), stages)
+                    }
+                    Err(err) => (serve_error_response(&err), (0, 0)),
                 }
             }));
-            let response = outcome.unwrap_or_else(|_| {
+            let (mut response, (queue_ns, solve_ns)) = outcome.unwrap_or_else(|_| {
                 self.shared
                     .counters
                     .panics_contained
                     .fetch_add(1, Ordering::Relaxed);
                 let mut response = Response::error(500, "internal", "request handler panicked");
                 response.close = true;
-                response
+                (response, (0, 0))
             });
-            return self.answer(token, response, keep_alive_wanted, now);
+            response.trace = Some(trace);
+            let write_start = Instant::now();
+            let flushed = self.answer(token, response, keep_alive_wanted, now);
+            observe_predict(
+                &self.shared,
+                trace,
+                &name,
+                parse_ns,
+                queue_ns,
+                solve_ns,
+                write_start.elapsed().as_nanos() as u64,
+                request_started.elapsed().as_nanos() as u64,
+            );
+            return flushed;
         }
         // Dispatch path: non-blocking submit, completion via callback.
-        let ticket = if want_variance {
-            self.shared.handle.submit_with_variance(&name, targets)
-        } else {
-            self.shared.handle.submit(&name, targets)
-        };
+        let ticket = self
+            .shared
+            .handle
+            .submit_traced(&name, targets, want_variance, Some(trace));
         let ticket = match ticket {
             Ok(ticket) => ticket,
             Err(err) => {
-                return self.answer(token, serve_error_response(&err), keep_alive_wanted, now)
+                let mut response = serve_error_response(&err);
+                response.trace = Some(trace);
+                return self.answer(token, response, keep_alive_wanted, now);
             }
         };
         let entry = self.conns.get_mut(token).expect("handled conn is live");
@@ -776,6 +832,9 @@ impl<K: ParamCovariance> Reactor<K> {
             model: name,
             resp_codec,
             keep_alive_wanted,
+            trace,
+            request_started,
+            parse_ns,
         });
         entry.conn.begin_dispatch();
         self.inflight += 1;
@@ -832,7 +891,7 @@ impl<K: ParamCovariance> Reactor<K> {
                 Ok(served) => predict_response(&pending.model, pending.resp_codec, served),
                 Err(err) => serve_error_response(err),
             }));
-            let response = outcome.unwrap_or_else(|_| {
+            let mut response = outcome.unwrap_or_else(|_| {
                 self.shared
                     .counters
                     .panics_contained
@@ -841,14 +900,41 @@ impl<K: ParamCovariance> Reactor<K> {
                 response.close = true;
                 response
             });
+            response.trace = Some(pending.trace);
+            let (queue_ns, solve_ns) = match &result {
+                Ok(served) => stage_ns(served),
+                Err(_) => (0, 0),
+            };
             if peer_gone {
                 // The request is still accounted (the work was done), but
                 // there is no one left to write to.
                 count_status(&self.shared, response.status);
+                observe_predict(
+                    &self.shared,
+                    pending.trace,
+                    &pending.model,
+                    pending.parse_ns,
+                    queue_ns,
+                    solve_ns,
+                    0,
+                    pending.request_started.elapsed().as_nanos() as u64,
+                );
                 self.remove_conn(token);
                 continue;
             }
-            if self.answer(token, response, pending.keep_alive_wanted, now) {
+            let write_start = Instant::now();
+            let flushed = self.answer(token, response, pending.keep_alive_wanted, now);
+            observe_predict(
+                &self.shared,
+                pending.trace,
+                &pending.model,
+                pending.parse_ns,
+                queue_ns,
+                solve_ns,
+                write_start.elapsed().as_nanos() as u64,
+                pending.request_started.elapsed().as_nanos() as u64,
+            );
+            if flushed {
                 // Flushed on a keep-alive connection: pipelined requests
                 // may already be buffered.
                 self.parse_loop(token, now);
@@ -870,12 +956,21 @@ impl<K: ParamCovariance> Reactor<K> {
         count_status(&self.shared, response.status);
         let shutting = self.shared.shutting_down.load(Ordering::SeqCst);
         let keep_alive = keep_alive_wanted && !response.close && !shutting;
-        let bytes = http::encode_response_with_retry(
+        let trace_header;
+        let extra: &[(&str, String)] = match response.trace {
+            Some(trace) => {
+                trace_header = [(TRACE_HEADER, trace.to_string())];
+                &trace_header
+            }
+            None => &[],
+        };
+        let bytes = http::encode_response_ext(
             response.status,
             response.content_type,
             &response.body,
             keep_alive,
             response.retry_after,
+            extra,
         );
         let Some(entry) = self.conns.get_mut(token) else {
             return false;
@@ -1008,11 +1103,15 @@ fn route<K: ParamCovariance>(shared: &Shared<K>, request: &Request) -> Routed {
         ("GET", ["healthz"]) => Routed::Response(health(shared)),
         ("GET", ["v1", "models"]) => Routed::Response(models(shared)),
         ("GET", ["v1", "stats"]) => Routed::Response(stats(shared)),
+        ("GET", ["metrics"]) => Routed::Response(metrics(shared)),
+        ("GET", ["v1", "debug", "slow"]) => Routed::Response(debug_slow(shared)),
         ("POST", ["v1", "models", name, "predict"]) => decode_predict(name, request),
         // Right path, wrong verb → 405 so clients can tell the two apart.
         (_, ["healthz"])
         | (_, ["v1", "models"])
         | (_, ["v1", "stats"])
+        | (_, ["metrics"])
+        | (_, ["v1", "debug", "slow"])
         | (_, ["v1", "models", _, "predict"]) => Routed::Response(Response::error(
             405,
             "method_not_allowed",
@@ -1068,6 +1167,8 @@ fn models<K: ParamCovariance>(shared: &Shared<K>) -> Response {
 fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
     let wire = shared.counters.snapshot();
     let serve = shared.handle.stats();
+    let registry = shared.registry.stats();
+    let epoch = shared.stats_epoch.fetch_add(1, Ordering::Relaxed) + 1;
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("wire");
@@ -1083,6 +1184,8 @@ fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
     w.field_uint("panics_contained", wire.panics_contained);
     w.field_uint("requests_inline", wire.requests_inline);
     w.field_uint("requests_dispatched", wire.requests_dispatched);
+    w.field_num("uptime_seconds", shared.started.elapsed().as_secs_f64());
+    w.field_uint("stats_epoch", epoch);
     w.end_object();
     w.key("serve");
     w.begin_object();
@@ -1097,13 +1200,307 @@ fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
     w.field_num("total_latency_seconds", serve.total_latency_seconds);
     w.field_num("max_latency_seconds", serve.max_latency_seconds);
     w.field_num("mean_latency_seconds", serve.mean_latency_seconds());
+    w.field_num("latency_p50_seconds", serve.latency_p50_seconds);
+    w.field_num("latency_p95_seconds", serve.latency_p95_seconds);
+    w.field_num("latency_p99_seconds", serve.latency_p99_seconds);
+    w.field_num("latency_p999_seconds", serve.latency_p999_seconds);
     w.field_uint(
         "factorizations_during_serving",
         serve.factorizations_during_serving,
     );
     w.end_object();
+    w.key("registry");
+    w.begin_object();
+    w.field_uint("resident_models", registry.resident_models as u64);
+    w.field_uint("bytes_in_use", registry.bytes_in_use as u64);
+    w.field_uint("insertions", registry.insertions);
+    w.field_uint("evictions", registry.evictions);
+    w.field_uint("hits", registry.hits);
+    w.field_uint("misses", registry.misses);
+    w.field_uint("loads", registry.loads);
+    w.end_object();
     w.end_object();
     Response::ok(w.finish())
+}
+
+/// `GET /metrics`: the Prometheus text exposition. Scalar metric names
+/// mirror the `/v1/stats` JSON keys exactly (`exa_wire_requests_ok` ↔
+/// `wire.requests_ok`) so the CI drift check is a mechanical two-way key
+/// comparison; histogram families have no JSON twin and are allowlisted
+/// there.
+fn metrics<K: ParamCovariance>(shared: &Shared<K>) -> Response {
+    let wire = shared.counters.snapshot();
+    let serve = shared.handle.stats();
+    let registry = shared.registry.stats();
+    let epoch = shared.stats_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut p = PromText::new();
+    p.counter(
+        "exa_wire_connections_accepted",
+        "Connections accepted and admitted to the reactor.",
+        wire.connections_accepted,
+    );
+    p.counter(
+        "exa_wire_connections_refused",
+        "Connections refused with 503 at the connection cap.",
+        wire.connections_refused,
+    );
+    p.counter(
+        "exa_wire_requests_ok",
+        "Requests answered 2xx.",
+        wire.requests_ok,
+    );
+    p.counter(
+        "exa_wire_requests_client_error",
+        "Requests answered 4xx.",
+        wire.requests_client_error,
+    );
+    p.counter(
+        "exa_wire_requests_server_error",
+        "Requests answered 5xx.",
+        wire.requests_server_error,
+    );
+    p.counter(
+        "exa_wire_malformed_requests",
+        "HTTP-level parse failures answered with an error status.",
+        wire.malformed_requests,
+    );
+    p.counter(
+        "exa_wire_disconnects_mid_request",
+        "Clients that vanished or stalled past the deadline mid-request.",
+        wire.disconnects_mid_request,
+    );
+    p.counter(
+        "exa_wire_panics_contained",
+        "Handler panics contained by the per-request catch_unwind.",
+        wire.panics_contained,
+    );
+    p.counter(
+        "exa_wire_requests_inline",
+        "Predicts run as a batch-of-one on the reactor thread.",
+        wire.requests_inline,
+    );
+    p.counter(
+        "exa_wire_requests_dispatched",
+        "Predicts handed to the serve worker pool.",
+        wire.requests_dispatched,
+    );
+    p.gauge(
+        "exa_wire_uptime_seconds",
+        "Seconds since this wire server started.",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    p.gauge(
+        "exa_wire_stats_epoch",
+        "Render counter, monotone per process; a decrease means a restart.",
+        epoch as f64,
+    );
+    p.counter(
+        "exa_serve_requests_submitted",
+        "Requests accepted into the serve queue.",
+        serve.requests_submitted,
+    );
+    p.counter(
+        "exa_serve_requests_served",
+        "Requests answered successfully by the serve layer.",
+        serve.requests_served,
+    );
+    p.counter(
+        "exa_serve_requests_failed",
+        "Requests answered with an error by the serve layer.",
+        serve.requests_failed,
+    );
+    p.counter(
+        "exa_serve_batches_executed",
+        "Coalesced prediction calls executed by the workers.",
+        serve.batches_executed,
+    );
+    p.counter(
+        "exa_serve_requests_coalesced",
+        "Requests that shared their batch with at least one other request.",
+        serve.requests_coalesced,
+    );
+    p.counter(
+        "exa_serve_points_served",
+        "Total prediction points answered.",
+        serve.points_served,
+    );
+    p.counter(
+        "exa_serve_max_queue_depth",
+        "Queue-depth high-water mark.",
+        serve.max_queue_depth,
+    );
+    p.gauge(
+        "exa_serve_queue_depth",
+        "Requests currently queued in the serve layer.",
+        shared.handle.queue_depth() as f64,
+    );
+    p.gauge(
+        "exa_serve_total_latency_seconds",
+        "Sum of per-request submit-to-response latencies.",
+        serve.total_latency_seconds,
+    );
+    p.gauge(
+        "exa_serve_max_latency_seconds",
+        "Worst single-request latency.",
+        serve.max_latency_seconds,
+    );
+    p.gauge(
+        "exa_serve_mean_latency_seconds",
+        "Mean submit-to-response latency.",
+        serve.mean_latency_seconds(),
+    );
+    p.gauge(
+        "exa_serve_latency_p50_seconds",
+        "Median serve latency from the latency histogram.",
+        serve.latency_p50_seconds,
+    );
+    p.gauge(
+        "exa_serve_latency_p95_seconds",
+        "95th-percentile serve latency from the latency histogram.",
+        serve.latency_p95_seconds,
+    );
+    p.gauge(
+        "exa_serve_latency_p99_seconds",
+        "99th-percentile serve latency from the latency histogram.",
+        serve.latency_p99_seconds,
+    );
+    p.gauge(
+        "exa_serve_latency_p999_seconds",
+        "99.9th-percentile serve latency from the latency histogram.",
+        serve.latency_p999_seconds,
+    );
+    p.counter(
+        "exa_serve_factorizations_during_serving",
+        "Cholesky factorizations performed by serve workers (must stay 0).",
+        serve.factorizations_during_serving,
+    );
+    p.gauge(
+        "exa_registry_resident_models",
+        "Models currently resident in the registry.",
+        registry.resident_models as f64,
+    );
+    p.gauge(
+        "exa_registry_bytes_in_use",
+        "Factor bytes currently resident in the registry.",
+        registry.bytes_in_use as f64,
+    );
+    p.counter(
+        "exa_registry_insertions",
+        "Lifetime registry insertions.",
+        registry.insertions,
+    );
+    p.counter(
+        "exa_registry_evictions",
+        "Lifetime LRU evictions by the byte budget.",
+        registry.evictions,
+    );
+    p.counter(
+        "exa_registry_hits",
+        "Lifetime registry lookups that hit.",
+        registry.hits,
+    );
+    p.counter(
+        "exa_registry_misses",
+        "Lifetime registry lookups that missed.",
+        registry.misses,
+    );
+    p.counter(
+        "exa_registry_loads",
+        "Lifetime models materialized by the load-on-miss hook.",
+        registry.loads,
+    );
+    p.histogram(
+        "exa_serve_latency_seconds",
+        "Submit-to-response latency of the prediction server.",
+        &shared.handle.latency_histogram(),
+    );
+    p.histogram(
+        "exa_wire_request_seconds",
+        "Wire-level predict latency: request carved to response queued.",
+        &shared.request_hist.snapshot(),
+    );
+    let parse = shared.parse_hist.snapshot();
+    let queue = shared.handle.queue_histogram();
+    let solve = shared.handle.solve_histogram();
+    let write = shared.write_hist.snapshot();
+    let stages: [(&str, &HistogramSnapshot); 4] = [
+        ("parse", &parse),
+        ("queue", &queue),
+        ("solve", &solve),
+        ("write", &write),
+    ];
+    p.histogram_series(
+        "exa_request_stage_seconds",
+        "Per-stage predict spans on this node.",
+        "stage",
+        &stages,
+    );
+    let mut response = Response::ok(p.render());
+    response.content_type = "text/plain; version=0.0.4";
+    response
+}
+
+/// `GET /v1/debug/slow`: the slow ring, slowest first, with per-stage
+/// nanosecond breakdowns and the trace id each entry belongs to.
+fn debug_slow<K: ParamCovariance>(shared: &Shared<K>) -> Response {
+    let entries = shared.slow.snapshot();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("slow");
+    w.begin_array();
+    for e in &entries {
+        w.begin_object();
+        w.field_str("trace", &e.trace.to_string());
+        w.field_str("model", &e.model);
+        w.field_uint("parse_ns", e.parse_ns);
+        w.field_uint("queue_ns", e.queue_ns);
+        w.field_uint("solve_ns", e.solve_ns);
+        w.field_uint("write_ns", e.write_ns);
+        w.field_uint("total_ns", e.total_ns);
+        w.field_uint("seq", e.seq);
+        w.end_object();
+    }
+    w.end_array();
+    w.field_uint("recorded", shared.slow.recorded());
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+/// The serve-layer stage spans of one answered predict, in nanoseconds.
+fn stage_ns(served: &ServedPrediction) -> (u64, u64) {
+    (
+        (served.queue_seconds * 1e9) as u64,
+        (served.solve_seconds * 1e9) as u64,
+    )
+}
+
+/// Records one finished predict into the wire stage histograms and the
+/// slow ring. `queue_ns`/`solve_ns` come from the serve layer's answer (0
+/// when the request failed before reaching a solve).
+#[allow(clippy::too_many_arguments)]
+fn observe_predict<K: ParamCovariance>(
+    shared: &Shared<K>,
+    trace: TraceId,
+    model: &str,
+    parse_ns: u64,
+    queue_ns: u64,
+    solve_ns: u64,
+    write_ns: u64,
+    total_ns: u64,
+) {
+    shared.parse_hist.record_ns(parse_ns);
+    shared.write_hist.record_ns(write_ns);
+    shared.request_hist.record_ns(total_ns);
+    shared.slow.record(SlowEntry {
+        trace,
+        model: model.to_string(),
+        parse_ns,
+        queue_ns,
+        solve_ns,
+        write_ns,
+        total_ns,
+        seq: 0,
+    });
 }
 
 /// The media type of a `Content-Type`/`Accept` value with any parameters

@@ -135,6 +135,10 @@ fn exchange(addr: SocketAddr, chunks: &[&[u8]]) -> Vec<u8> {
 /// wall-clock and legitimately differs between runs, so it is compared
 /// structurally — same status line, bit-identical `"mean"` array, and a
 /// solo (`coalesced_requests:1`) batch — instead of byte for byte.
+///
+/// Predict responses (success or error) also carry an `x-exa-trace-id`
+/// header minted per request — a deliberate nonce, normalized away before
+/// the byte comparison.
 fn assert_equivalent(index: usize, reference: &[u8], replayed: &[u8]) {
     if index == 0 {
         assert_eq!(status_line(reference), status_line(replayed));
@@ -148,12 +152,31 @@ fn assert_equivalent(index: usize, reference: &[u8], replayed: &[u8]) {
         return;
     }
     assert_eq!(
-        reference,
-        replayed,
+        strip_trace_header(reference),
+        strip_trace_header(replayed),
         "corpus[{index}] response changed with arrival pattern:\n  whole: {}\n  split: {}",
         String::from_utf8_lossy(reference),
         String::from_utf8_lossy(replayed)
     );
+}
+
+/// Drops the per-request `x-exa-trace-id` header line from a raw response.
+fn strip_trace_header(response: &[u8]) -> Vec<u8> {
+    let text = String::from_utf8_lossy(response);
+    let Some(head_end) = text.find("\r\n\r\n") else {
+        return response.to_vec();
+    };
+    let mut out = String::new();
+    for line in text[..head_end].split("\r\n") {
+        if line.to_ascii_lowercase().starts_with("x-exa-trace-id:") {
+            continue;
+        }
+        out.push_str(line);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(&text[head_end + 4..]);
+    out.into_bytes()
 }
 
 fn status_line(response: &[u8]) -> String {

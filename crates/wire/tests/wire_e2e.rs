@@ -793,3 +793,155 @@ fn connection_close_and_http10_are_honored() {
     assert!(response.contains("\"models\""), "{response:?}");
     server.shutdown();
 }
+
+/// The ISSUE 8 observability acceptance (node side): predict responses
+/// echo a parseable `x-exa-trace-id` (a forwarded id verbatim), `/v1/stats`
+/// reports histogram-derived percentiles plus `uptime_seconds` and a
+/// monotone `stats_epoch`, `/metrics` validates against the Prometheus
+/// text grammar and agrees with the stats document, and the slow ring
+/// holds the traffic's trace ids with non-zero per-stage breakdowns.
+#[test]
+fn metrics_stats_and_slow_ring_observe_traffic() {
+    use exa_telemetry::{validate_exposition, TraceId, TRACE_HEADER};
+    use exa_wire::json::Json;
+
+    let model = fitted(256, 33, Backend::FullTile);
+    let (server, _registry) = boot(&[("soil", model)], WireConfig::default());
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+
+    let body = br#"{"targets":[[0.3,0.7],[0.6,0.2]]}"#;
+    let mut traces = Vec::new();
+    for _ in 0..20 {
+        let resp = client
+            .request_raw(
+                "POST",
+                "/v1/models/soil/predict",
+                "application/json",
+                "application/json",
+                body,
+            )
+            .expect("predict");
+        assert_eq!(resp.status, 200);
+        let trace = resp
+            .trace
+            .clone()
+            .expect("predict responses echo a trace id");
+        assert!(
+            TraceId::parse(&trace).is_some(),
+            "unparseable trace {trace:?}"
+        );
+        traces.push(trace);
+    }
+    // A forwarded trace id (the fleet-router contract) is echoed verbatim.
+    let resp = client
+        .request_raw_with_headers(
+            "POST",
+            "/v1/models/soil/predict",
+            "application/json",
+            "application/json",
+            body,
+            &[(TRACE_HEADER, "00000000deadbeef")],
+        )
+        .expect("traced predict");
+    assert_eq!(resp.trace.as_deref(), Some("00000000deadbeef"));
+
+    // /v1/stats: histogram-derived percentiles, uptime, monotone epoch.
+    let stats = client.stats().expect("stats");
+    let serve = stats.get("serve").expect("serve object");
+    let p50 = serve
+        .get("latency_p50_seconds")
+        .and_then(Json::as_f64)
+        .expect("p50");
+    let p99 = serve
+        .get("latency_p99_seconds")
+        .and_then(Json::as_f64)
+        .expect("p99");
+    assert!(p99 > 0.0, "p99 must be histogram-derived and non-zero");
+    assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+    let wire_obj = stats.get("wire").expect("wire object");
+    assert!(
+        wire_obj
+            .get("uptime_seconds")
+            .and_then(Json::as_f64)
+            .expect("uptime")
+            > 0.0
+    );
+    let epoch1 = wire_obj
+        .get("stats_epoch")
+        .and_then(Json::as_u64)
+        .expect("epoch");
+    let stats2 = client.stats().expect("stats again");
+    let epoch2 = stats2
+        .get("wire")
+        .and_then(|w| w.get("stats_epoch"))
+        .and_then(Json::as_u64)
+        .expect("epoch again");
+    assert!(epoch2 > epoch1, "stats_epoch must be monotone");
+
+    // /metrics: valid exposition, histogram families present, and scalar
+    // parity with the stats document for a counter no GET can move.
+    let resp = client
+        .request_raw("GET", "/metrics", "application/json", "*/*", b"")
+        .expect("metrics");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.content_type.starts_with("text/plain"),
+        "{:?}",
+        resp.content_type
+    );
+    let text = String::from_utf8(resp.body).expect("metrics utf8");
+    validate_exposition(&text).expect("metrics grammar");
+    assert!(text.contains("exa_serve_latency_seconds_bucket{"), "{text}");
+    assert!(
+        text.contains("exa_request_stage_seconds_bucket{stage=\"solve\""),
+        "{text}"
+    );
+    let served = stats2
+        .get("serve")
+        .and_then(|s| s.get("requests_served"))
+        .and_then(Json::as_u64)
+        .expect("requests_served");
+    assert!(
+        text.contains(&format!("exa_serve_requests_served {served}")),
+        "metrics disagree with stats on requests_served={served}:\n{text}"
+    );
+
+    // /v1/debug/slow: every predict above is in the ring (21 < capacity),
+    // attributed to its trace, with non-zero parse/solve/total spans.
+    let resp = client
+        .request_raw("GET", "/v1/debug/slow", "application/json", "*/*", b"")
+        .expect("slow");
+    assert_eq!(resp.status, 200);
+    let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).expect("slow json");
+    let entries = doc
+        .get("slow")
+        .and_then(Json::as_array)
+        .expect("slow array");
+    assert_eq!(
+        entries.len(),
+        traces.len() + 1,
+        "every predict is in the ring"
+    );
+    for e in entries {
+        assert_eq!(e.get("model").and_then(Json::as_str), Some("soil"));
+        let parse_ns = e.get("parse_ns").and_then(Json::as_u64).expect("parse_ns");
+        let solve_ns = e.get("solve_ns").and_then(Json::as_u64).expect("solve_ns");
+        let total_ns = e.get("total_ns").and_then(Json::as_u64).expect("total_ns");
+        assert!(
+            parse_ns > 0 && solve_ns > 0 && total_ns > 0,
+            "zero stage span in {e:?}"
+        );
+    }
+    let ring_traces: Vec<&str> = entries
+        .iter()
+        .filter_map(|e| e.get("trace").and_then(Json::as_str))
+        .collect();
+    assert!(ring_traces.contains(&"00000000deadbeef"), "{ring_traces:?}");
+    for trace in &traces {
+        assert!(
+            ring_traces.contains(&trace.as_str()),
+            "{trace} missing from ring"
+        );
+    }
+    server.shutdown();
+}

@@ -11,6 +11,7 @@
 //!
 //! | layer | paper component | crate |
 //! |---|---|---|
+//! | observability | ExaGeoStat's PaRSEC/StarPU profiling hooks, as serving telemetry | [`telemetry`] (`exa-telemetry`) |
 //! | fleet tier | multi-node ExaGeoStatR deployments, as a sharded serving tier | [`fleet`] (`exa-fleet`) |
 //! | wire front-end | ExaGeoStatR's remote-consumer surface, as HTTP/1.1 + JSON or binary frames | [`wire`] (`exa-wire`) |
 //! | prediction serving | ExaGeoStatR's fit-once/predict-many workflow, as a service | [`serve`] (`exa-serve`) |
@@ -92,6 +93,7 @@ pub use exa_geostat as geostat;
 pub use exa_linalg as linalg;
 pub use exa_runtime as runtime;
 pub use exa_serve as serve;
+pub use exa_telemetry as telemetry;
 pub use exa_tile as tile;
 pub use exa_tlr as tlr;
 pub use exa_util as util;
@@ -118,6 +120,7 @@ pub mod prelude {
         ModelInfo, ModelRegistry, PredictionServer, PredictionTicket, RegistryStats, ServeConfig,
         ServeError, ServedPrediction, ServerHandle, ServerStats,
     };
+    pub use exa_telemetry::{Histogram, HistogramSnapshot, SlowEntry, SlowRing, TraceId};
     pub use exa_tlr::{CompressionMethod, TlrMatrix};
     pub use exa_util::Rng;
     pub use exa_wire::{
