@@ -43,6 +43,7 @@ use std::sync::Arc;
 /// `/metrics`: a JSON stats document has no bucket representation.
 const METRIC_ONLY_FAMILIES: &[&str] = &[
     "exa_serve_latency_seconds",
+    "exa_serve_observe_seconds",
     "exa_wire_request_seconds",
     "exa_request_stage_seconds",
     "exa_fleet_request_seconds",

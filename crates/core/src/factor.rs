@@ -11,7 +11,10 @@
 
 use crate::likelihood::{Backend, LikelihoodConfig};
 use exa_covariance::CovarianceKernel;
-use exa_linalg::{chol::logdet_from_cholesky, dtrsm, LinalgError, Mat, Side, Trans};
+use exa_linalg::{
+    chol::{chol_append, chol_remove, logdet_from_cholesky},
+    dtrsm, LinalgError, Mat, Side, Trans,
+};
 use exa_runtime::Runtime;
 pub use exa_tile::TriangularSide;
 use exa_tile::{block_potrf, tile_logdet, tile_potrf, tile_trmm_lower, tile_trsm, TileMatrix};
@@ -40,6 +43,17 @@ pub struct FactorTimings {
     pub generation_seconds: f64,
     /// Seconds in the Cholesky factorization itself.
     pub factorization_seconds: f64,
+}
+
+/// What an incremental factor edit ([`Factorization::append`] /
+/// [`Factorization::remove`]) did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The factor was updated in place (dense storage, `O(n²·k)`).
+    Updated,
+    /// This storage scheme cannot update incrementally (tile/TLR); the
+    /// factor is untouched and the caller should refactorize.
+    NeedsRefit,
 }
 
 /// The Cholesky factor of a covariance matrix `Σ(θ)` in one of the paper's
@@ -135,6 +149,27 @@ impl Factorization {
         }
     }
 
+    /// A cheap condition-number estimate from the factor's diagonal range:
+    /// `(max dᵢ / min dᵢ)²` bounds `κ₂(Σ)` from below in `O(n)`. `None` for
+    /// tile/TLR storage (the live-ingest drift tracker only needs it on the
+    /// dense, incrementally-updated path).
+    pub fn condition_estimate(&self) -> Option<f64> {
+        let Factorization::Dense(l) = self else {
+            return None;
+        };
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for i in 0..l.nrows() {
+            let d = l[(i, i)].abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        Some(if lo > 0.0 {
+            (hi / lo) * (hi / lo)
+        } else {
+            f64::INFINITY
+        })
+    }
+
     /// One triangular solve in place on `b`: `L·X = B` (forward) or
     /// `Lᵀ·X = B` (backward).
     pub fn trsm(&mut self, side: TriangularSide, b: &mut Mat, rt: &Runtime) {
@@ -170,6 +205,97 @@ impl Factorization {
     pub fn solve(&mut self, b: &mut Mat, rt: &Runtime) {
         self.trsm(TriangularSide::Forward, b, rt);
         self.trsm(TriangularSide::Backward, b, rt);
+    }
+
+    /// Incrementally grows the factor after `k` observations are appended,
+    /// in `O(n²·k)` via [`chol_append`] — **without** running `potrf` on
+    /// the full matrix (only the `k × k` Schur block is factored, and
+    /// [`factorization_count`] is *not* bumped: this is an update, not a
+    /// factorization).
+    ///
+    /// `kernel` must be the **joint** kernel over the old locations followed
+    /// by the appended ones (`kernel.len() == self.n() + k`); only the new
+    /// rows are evaluated. Only the dense variant updates in place —
+    /// tile/TLR factors report [`IngestOutcome::NeedsRefit`] so the caller
+    /// falls back to a staleness-triggered refactorization, leaving the
+    /// factor untouched.
+    pub fn append<K: CovarianceKernel>(
+        &mut self,
+        kernel: &K,
+        k: usize,
+    ) -> Result<IngestOutcome, LinalgError> {
+        let Factorization::Dense(l) = self else {
+            return Ok(IngestOutcome::NeedsRefit);
+        };
+        let n = l.nrows();
+        let m = n + k;
+        assert_eq!(
+            kernel.len(),
+            m,
+            "append wants the joint kernel over old ++ new locations"
+        );
+        if k == 0 {
+            return Ok(IngestOutcome::Updated);
+        }
+        // Copy the existing factor's lower triangle into a grown buffer and
+        // fill the appended rows (cross block + new diagonal block) from the
+        // kernel — O(n²) copy + O(n·k) kernel evaluations.
+        let mut grown = Mat::zeros(m, m);
+        for j in 0..n {
+            for i in j..n {
+                grown[(i, j)] = l[(i, j)];
+            }
+        }
+        for j in 0..m {
+            for i in n.max(j)..m {
+                grown[(i, j)] = kernel.entry(i, j);
+            }
+        }
+        chol_append(n, k, grown.as_mut_slice(), m)?;
+        *self = Factorization::Dense(grown);
+        Ok(IngestOutcome::Updated)
+    }
+
+    /// Incrementally shrinks the factor after the observations at `indices`
+    /// are expired, via repeated [`chol_remove`] (each `O(n²)`; tail
+    /// indices degenerate to truncation, so expiring just-appended points
+    /// restores the prior factor bit-identically).
+    ///
+    /// `indices` must be in-range and need not be sorted; duplicates are
+    /// ignored. Removing every row is rejected (an empty model has no
+    /// factor). As with [`Factorization::append`], only the dense variant
+    /// updates in place; tile/TLR report [`IngestOutcome::NeedsRefit`].
+    pub fn remove(&mut self, indices: &[usize]) -> IngestOutcome {
+        let Factorization::Dense(l) = self else {
+            return IngestOutcome::NeedsRefit;
+        };
+        let n = l.nrows();
+        let mut drop: Vec<usize> = indices.to_vec();
+        drop.sort_unstable();
+        drop.dedup();
+        assert!(
+            drop.last().is_none_or(|&i| i < n),
+            "removal index out of range"
+        );
+        assert!(drop.len() < n, "cannot remove every observation");
+        if drop.is_empty() {
+            return IngestOutcome::Updated;
+        }
+        // Remove highest-first inside the original leading dimension, then
+        // compact into a buffer with the final shape.
+        let mut dim = n;
+        for &idx in drop.iter().rev() {
+            chol_remove(dim, l.as_mut_slice(), n, idx);
+            dim -= 1;
+        }
+        let mut shrunk = Mat::zeros(dim, dim);
+        for j in 0..dim {
+            for i in j..dim {
+                shrunk[(i, j)] = l.as_slice()[i + j * n];
+            }
+        }
+        *self = Factorization::Dense(shrunk);
+        IngestOutcome::Updated
     }
 
     /// Applies the factor itself: `L·W` (the exact-simulation product
@@ -274,6 +400,102 @@ mod tests {
                     "{backend:?}: {a} vs {r}"
                 );
             }
+        }
+    }
+
+    fn kernel_over(locs: &[exa_covariance::Location]) -> MaternKernel {
+        MaternKernel::new(
+            Arc::new(locs.to_vec()),
+            MaternParams::new(1.0, 0.1, 0.5),
+            DistanceMetric::Euclidean,
+            1e-8,
+        )
+    }
+
+    fn dense(f: &Factorization) -> &Mat {
+        match f {
+            Factorization::Dense(l) => l,
+            _ => panic!("expected dense factor"),
+        }
+    }
+
+    #[test]
+    fn append_grows_dense_factor_to_match_joint_compute() {
+        use crate::locations::synthetic_locations_n;
+        let mut rng = Rng::seed_from_u64(11);
+        let locs = synthetic_locations_n(48, &mut rng);
+        let (n, k) = (40, 8);
+        let rt = Runtime::new(2);
+        let cfg = LikelihoodConfig { nb: 16, seed: 7 };
+
+        let base = kernel_over(&locs[..n]);
+        let joint = kernel_over(&locs);
+        let (mut f, _) = Factorization::compute(&base, Backend::FullBlock, cfg, &rt).unwrap();
+        let before = dense(&f).clone();
+        assert_eq!(f.append(&joint, k), Ok(IngestOutcome::Updated));
+        assert_eq!(f.n(), n + k);
+
+        // Leading n×n block is bitwise untouched by the update.
+        let grown = dense(&f);
+        for j in 0..n {
+            for i in j..n {
+                assert_eq!(grown[(i, j)].to_bits(), before[(i, j)].to_bits());
+            }
+        }
+
+        // And the whole factor agrees with a from-scratch factorization.
+        let (fresh, _) = Factorization::compute(&joint, Backend::FullBlock, cfg, &rt).unwrap();
+        let fresh = dense(&fresh);
+        for j in 0..n + k {
+            for i in j..n + k {
+                let (a, b) = (grown[(i, j)], fresh[(i, j)]);
+                assert!((a - b).abs() <= 1e-10 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_shrinks_dense_factor_to_match_subset_compute() {
+        use crate::locations::synthetic_locations_n;
+        let mut rng = Rng::seed_from_u64(13);
+        let locs = synthetic_locations_n(32, &mut rng);
+        let rt = Runtime::new(2);
+        let cfg = LikelihoodConfig { nb: 16, seed: 9 };
+        let drop = [3usize, 17, 31];
+
+        let full = kernel_over(&locs);
+        let kept: Vec<_> = locs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !drop.contains(i))
+            .map(|(_, l)| *l)
+            .collect();
+        let (mut f, _) = Factorization::compute(&full, Backend::FullBlock, cfg, &rt).unwrap();
+        assert_eq!(f.remove(&drop), IngestOutcome::Updated);
+        assert_eq!(f.n(), kept.len());
+
+        let (fresh, _) =
+            Factorization::compute(&kernel_over(&kept), Backend::FullBlock, cfg, &rt).unwrap();
+        let (shrunk, fresh) = (dense(&f), dense(&fresh));
+        for j in 0..kept.len() {
+            for i in j..kept.len() {
+                let (a, b) = (shrunk[(i, j)], fresh[(i, j)]);
+                assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_and_tlr_factors_report_needs_refit() {
+        let k = kernel(6, 21);
+        let rt = Runtime::new(2);
+        let cfg = LikelihoodConfig { nb: 12, seed: 21 };
+        for backend in [Backend::FullTile, Backend::tlr(1e-9)] {
+            let (mut f, _) = Factorization::compute(&k, backend, cfg, &rt).unwrap();
+            let n = f.n();
+            assert_eq!(f.append(&k, 0).unwrap(), IngestOutcome::NeedsRefit);
+            assert_eq!(f.remove(&[0]), IngestOutcome::NeedsRefit);
+            assert_eq!(f.n(), n, "{backend:?} factor must be untouched");
         }
     }
 

@@ -11,7 +11,13 @@
 //!   [`FittedModel`] (owns the factored `Σ(θ̂)`; likelihood, prediction,
 //!   conditional variances and simulation all reuse that factor).
 //! * [`factor`] — [`Factorization`]: the Dense / Tile / TLR Cholesky factor
-//!   behind one `solve`/`logdet`/`bytes` interface.
+//!   behind one `solve`/`logdet`/`bytes` interface, plus incremental
+//!   `append`/`remove` edits (rank-k Cholesky up/downdates on dense
+//!   storage).
+//! * [`live`] — **streaming ingestion**: [`LiveModel`] wraps a fitted
+//!   session so observations stream in ([`LiveModel::observe`]) and expire
+//!   ([`LiveModel::expire`]) without `O(n³)` refits, with drift-triggered
+//!   background refactorization behind atomic snapshots.
 //! * [`locations`] — synthetic jittered-grid location generation (Figure 2)
 //!   and estimation/validation splits.
 //! * [`simulate`] — exact Gaussian-random-field simulation (`Z = L·w`), the
@@ -30,6 +36,7 @@
 
 pub mod factor;
 pub mod likelihood;
+pub mod live;
 pub mod locations;
 pub mod model;
 pub mod montecarlo;
@@ -38,8 +45,9 @@ pub mod predict;
 pub mod realdata;
 pub mod simulate;
 
-pub use factor::{factorization_count, FactorTimings, Factorization};
+pub use factor::{factorization_count, FactorTimings, Factorization, IngestOutcome};
 pub use likelihood::{Backend, LikelihoodConfig, LogLikelihood};
+pub use live::{DriftStats, LiveModel, LivePolicy, ObserveOutcome};
 pub use locations::{
     gridded_locations_in, holdout_split, synthetic_locations, synthetic_locations_n, HoldoutSplit,
 };

@@ -1,0 +1,495 @@
+//! Streaming observation ingestion: [`LiveModel`], a continuously-updatable
+//! wrapper over [`FittedModel`].
+//!
+//! The paper's workflow is fit-once/predict-many; real sensor networks
+//! append observations continuously. `LiveModel` upgrades a fitted session
+//! to fit-continuously:
+//!
+//! * [`LiveModel::observe`] absorbs new `(location, value)` pairs through a
+//!   rank-k Cholesky **update** of the cached factor (`O(n²·k)`, see
+//!   [`exa_linalg::chol::chol_append`]) — the leading factor block, the
+//!   coordinate SoA and the pre-solved `α` all extend in place of an
+//!   `O(n³)` refit. [`LiveModel::expire`] removes stale observations via
+//!   Cholesky **downdates**.
+//! * Readers never block on writers: [`LiveModel::snapshot`] hands out an
+//!   `Arc<FittedModel>` under a lock held only for the pointer clone, so
+//!   predictions keep serving the previous factor while an update (or a
+//!   full refit) is in flight, and can never observe a torn factor.
+//! * A **drift tracker** ([`LiveModel::drift`]) counts updates since the
+//!   last refactorization and estimates conditioning growth and
+//!   log-likelihood drift. When any exceeds its [`LivePolicy`] threshold, a
+//!   **background refactorization** runs on a worker thread and swaps in
+//!   atomically; updates that landed while it ran are replayed on top
+//!   before the swap, so no ingested point is ever lost.
+//! * Tile/TLR-backed sessions cannot update incrementally
+//!   ([`crate::IngestOutcome::NeedsRefit`]): `observe`/`expire` fall back to
+//!   a synchronous refit, still behind the same atomic-swap discipline.
+//!
+//! The serving layers (`exa-serve` / `exa-wire`) expose this as
+//! `POST /v1/models/{name}/observe`; per-model write serialization is the
+//! `LiveModel` write lock itself.
+
+use crate::model::{FittedModel, ModelError};
+use exa_covariance::{Location, ParamCovariance};
+use exa_runtime::Runtime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Refit-trigger thresholds for a [`LiveModel`]'s drift tracker.
+#[derive(Clone, Debug)]
+pub struct LivePolicy {
+    /// Refactorize after this many incremental updates (observe/expire
+    /// calls). Overridable at construction via the `EXA_LIVE_REFIT_AFTER`
+    /// environment variable (used by the ingest soak to force mid-run
+    /// refits).
+    pub max_updates: u64,
+    /// Refactorize when the factor's condition estimate grows past this
+    /// multiple of its value at the last refactorization.
+    pub max_condition_growth: f64,
+    /// Refactorize when the average per-point log-likelihood drifts further
+    /// than this from its value at the last refactorization.
+    pub max_loglik_drift: f64,
+    /// Worker threads for the background refactorization runtime.
+    pub refit_workers: usize,
+}
+
+impl Default for LivePolicy {
+    fn default() -> Self {
+        LivePolicy {
+            max_updates: 256,
+            max_condition_growth: 16.0,
+            max_loglik_drift: 1.0,
+            refit_workers: 2,
+        }
+    }
+}
+
+impl LivePolicy {
+    /// Default policy with `EXA_LIVE_REFIT_AFTER` (update-count threshold)
+    /// applied when set and parseable.
+    pub fn from_env() -> Self {
+        let mut p = LivePolicy::default();
+        if let Some(n) = std::env::var("EXA_LIVE_REFIT_AFTER")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            p.max_updates = n.max(1);
+        }
+        p
+    }
+}
+
+/// What one [`LiveModel::observe`] / [`LiveModel::expire`] call did.
+#[derive(Clone, Copy, Debug)]
+pub struct ObserveOutcome {
+    /// Points appended (observe) or expired (expire) by this call.
+    pub applied: usize,
+    /// Observation count of the model after the call.
+    pub model_points: usize,
+    /// Incremental updates applied since the last completed
+    /// refactorization, including this one.
+    pub updates_since_refactor: u64,
+    /// `true` when the factor was updated incrementally; `false` when the
+    /// storage scheme forced a synchronous refit.
+    pub used_incremental: bool,
+    /// `true` when this call pushed drift past policy and scheduled a
+    /// background refactorization.
+    pub refit_triggered: bool,
+}
+
+/// A point-in-time copy of a [`LiveModel`]'s drift tracker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriftStats {
+    /// Incremental updates since the last completed refactorization.
+    pub updates_since_refactor: u64,
+    /// Total observe/expire calls applied over the model's lifetime.
+    pub updates_total: u64,
+    /// Total points ingested via `observe` over the model's lifetime.
+    pub points_ingested: u64,
+    /// Total points expired via `expire` over the model's lifetime.
+    pub points_expired: u64,
+    /// Background refactorizations scheduled by the drift tracker.
+    pub refits_triggered: u64,
+    /// Refactorizations that completed and swapped in (includes synchronous
+    /// tile/TLR fallback refits).
+    pub refits_completed: u64,
+    /// Updates that landed during a background refit and were replayed on
+    /// top of the fresh factor before the swap.
+    pub replayed_updates: u64,
+    /// Factor condition estimate growth since the last refactorization
+    /// (1.0 = unchanged; tile/TLR report 1.0).
+    pub condition_growth: f64,
+    /// Absolute drift of the average per-point log-likelihood since the
+    /// last refactorization.
+    pub loglik_drift: f64,
+}
+
+/// One write operation, logged while a background refit is in flight so it
+/// can be replayed onto the fresh factor before the swap.
+enum Op {
+    Observe(Vec<Location>, Vec<f64>),
+    Expire(Vec<usize>),
+}
+
+/// State owned by the long-held write lock: everything writers (and the
+/// refit swap) coordinate through.
+struct WriteState<K: ParamCovariance> {
+    /// Bumped on every swap of `current`; the refit thread uses it to
+    /// detect concurrent writes.
+    generation: u64,
+    /// `Some` while a background refit is in flight: writes append here so
+    /// the refit can replay them.
+    replay_log: Option<Vec<Op>>,
+    /// Baselines captured at the last completed refactorization.
+    base_condition: f64,
+    base_loglik_per_point: f64,
+    /// Join handle of the in-flight background refit, for deterministic
+    /// teardown/tests.
+    refit_thread: Option<JoinHandle<()>>,
+    _marker: std::marker::PhantomData<K>,
+}
+
+struct Inner<K: ParamCovariance> {
+    /// Reader snapshot slot. Held only for `Arc` clone/store — predictions
+    /// never wait on writes or refits.
+    current: Mutex<Arc<FittedModel<K>>>,
+    /// Writer serialization + refit coordination.
+    write: Mutex<WriteState<K>>,
+    policy: LivePolicy,
+    refit_in_flight: AtomicBool,
+    // Drift tracker (readable without any lock).
+    updates_since_refactor: AtomicU64,
+    updates_total: AtomicU64,
+    points_ingested: AtomicU64,
+    points_expired: AtomicU64,
+    refits_triggered: AtomicU64,
+    refits_completed: AtomicU64,
+    replayed_updates: AtomicU64,
+    condition_growth_bits: AtomicU64,
+    loglik_drift_bits: AtomicU64,
+}
+
+/// A continuously-updatable fitted session: cheap atomic snapshots for
+/// readers, serialized incremental writes, background refactorization. See
+/// the [module docs](self) for the full contract.
+pub struct LiveModel<K: ParamCovariance> {
+    inner: Arc<Inner<K>>,
+}
+
+impl<K: ParamCovariance> Clone for LiveModel<K> {
+    fn clone(&self) -> Self {
+        LiveModel {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+fn loglik_per_point<K: ParamCovariance>(m: &FittedModel<K>) -> f64 {
+    match m.log_likelihood() {
+        Some(ll) => ll.value / m.kernel().len().max(1) as f64,
+        None => 0.0,
+    }
+}
+
+impl<K: ParamCovariance> LiveModel<K> {
+    /// Wraps a fitted session for streaming ingestion under `policy`.
+    pub fn new(model: Arc<FittedModel<K>>, policy: LivePolicy) -> Self {
+        let base_condition = model.factor_condition_estimate().unwrap_or(1.0);
+        let base_loglik = loglik_per_point(&model);
+        LiveModel {
+            inner: Arc::new(Inner {
+                current: Mutex::new(model),
+                write: Mutex::new(WriteState {
+                    generation: 0,
+                    replay_log: None,
+                    base_condition,
+                    base_loglik_per_point: base_loglik,
+                    refit_thread: None,
+                    _marker: std::marker::PhantomData,
+                }),
+                policy,
+                refit_in_flight: AtomicBool::new(false),
+                updates_since_refactor: AtomicU64::new(0),
+                updates_total: AtomicU64::new(0),
+                points_ingested: AtomicU64::new(0),
+                points_expired: AtomicU64::new(0),
+                refits_triggered: AtomicU64::new(0),
+                refits_completed: AtomicU64::new(0),
+                replayed_updates: AtomicU64::new(0),
+                condition_growth_bits: AtomicU64::new(1.0f64.to_bits()),
+                loglik_drift_bits: AtomicU64::new(0.0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Wraps with [`LivePolicy::from_env`].
+    pub fn with_env_policy(model: Arc<FittedModel<K>>) -> Self {
+        Self::new(model, LivePolicy::from_env())
+    }
+
+    /// The current fitted session. Lock held only for the pointer clone;
+    /// the returned snapshot stays valid (and immutable) across any
+    /// concurrent updates or refits.
+    pub fn snapshot(&self) -> Arc<FittedModel<K>> {
+        Arc::clone(&self.inner.current.lock().expect("live current lock"))
+    }
+
+    /// Absorbs `points`/`values` into the model. Incremental (rank-k
+    /// Cholesky update) on dense factors; synchronous refit fallback for
+    /// tile/TLR. Serialized against other writers; readers keep serving the
+    /// previous snapshot until the atomic swap.
+    pub fn observe(
+        &self,
+        points: &[Location],
+        values: &[f64],
+        rt: &Runtime,
+    ) -> Result<ObserveOutcome, ModelError> {
+        self.apply(Op::Observe(points.to_vec(), values.to_vec()), rt)
+    }
+
+    /// Expires the observations at `indices` (positions in the current
+    /// observed set). Incremental (Cholesky downdate) on dense factors.
+    pub fn expire(&self, indices: &[usize], rt: &Runtime) -> Result<ObserveOutcome, ModelError> {
+        self.apply(Op::Expire(indices.to_vec()), rt)
+    }
+
+    /// A point-in-time copy of the drift tracker.
+    pub fn drift(&self) -> DriftStats {
+        let i = &self.inner;
+        DriftStats {
+            updates_since_refactor: i.updates_since_refactor.load(Ordering::Relaxed),
+            updates_total: i.updates_total.load(Ordering::Relaxed),
+            points_ingested: i.points_ingested.load(Ordering::Relaxed),
+            points_expired: i.points_expired.load(Ordering::Relaxed),
+            refits_triggered: i.refits_triggered.load(Ordering::Relaxed),
+            refits_completed: i.refits_completed.load(Ordering::Relaxed),
+            replayed_updates: i.replayed_updates.load(Ordering::Relaxed),
+            condition_growth: f64::from_bits(i.condition_growth_bits.load(Ordering::Relaxed)),
+            loglik_drift: f64::from_bits(i.loglik_drift_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// `true` while a background refactorization is running.
+    pub fn refit_in_flight(&self) -> bool {
+        self.inner.refit_in_flight.load(Ordering::Acquire)
+    }
+
+    /// Blocks until no background refactorization is in flight (joins the
+    /// worker thread). Test/teardown helper — serving paths never call it.
+    pub fn wait_refit_idle(&self) {
+        let handle = self
+            .inner
+            .write
+            .lock()
+            .expect("live write lock")
+            .refit_thread
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// Schedules a background refactorization now, regardless of drift
+    /// (no-op if one is already in flight).
+    pub fn force_refit(&self) {
+        let mut ws = self.inner.write.lock().expect("live write lock");
+        self.spawn_refit(&mut ws);
+    }
+
+    fn apply(&self, op: Op, rt: &Runtime) -> Result<ObserveOutcome, ModelError> {
+        let inner = &self.inner;
+        let mut ws = inner.write.lock().expect("live write lock");
+        let base = self.snapshot();
+        let (next, applied, ingested, used_incremental) = match &op {
+            Op::Observe(points, values) => match base.with_appended(points, values, rt)? {
+                Some(m) => (m, points.len(), true, true),
+                None => (
+                    base.refit_appended(points, values, rt)?,
+                    points.len(),
+                    true,
+                    false,
+                ),
+            },
+            Op::Expire(indices) => match base.with_removed(indices, rt)? {
+                Some(m) => (m, indices.len(), false, true),
+                None => (
+                    base.refit_removed(indices, rt)?,
+                    indices.len(),
+                    false,
+                    false,
+                ),
+            },
+        };
+        let next = Arc::new(next);
+
+        // Publish: swap the reader snapshot under the short lock.
+        *inner.current.lock().expect("live current lock") = Arc::clone(&next);
+        ws.generation += 1;
+        if let Some(log) = ws.replay_log.as_mut() {
+            log.push(op);
+        }
+
+        // Drift accounting.
+        let updates = if used_incremental {
+            inner.updates_since_refactor.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            // The fallback *was* a refactorization: reset the baselines.
+            self.note_refactored(&mut ws, &next);
+            0
+        };
+        inner.updates_total.fetch_add(1, Ordering::Relaxed);
+        if ingested {
+            inner
+                .points_ingested
+                .fetch_add(applied as u64, Ordering::Relaxed);
+        } else {
+            inner
+                .points_expired
+                .fetch_add(applied as u64, Ordering::Relaxed);
+        }
+        let condition = next.factor_condition_estimate().unwrap_or(1.0);
+        let growth = if ws.base_condition > 0.0 {
+            condition / ws.base_condition
+        } else {
+            1.0
+        };
+        let drift = (loglik_per_point(&next) - ws.base_loglik_per_point).abs();
+        inner
+            .condition_growth_bits
+            .store(growth.to_bits(), Ordering::Relaxed);
+        inner
+            .loglik_drift_bits
+            .store(drift.to_bits(), Ordering::Relaxed);
+
+        // Refit trigger.
+        let over_budget = updates >= inner.policy.max_updates
+            || growth > inner.policy.max_condition_growth
+            || drift > inner.policy.max_loglik_drift;
+        let refit_triggered = used_incremental && over_budget && self.spawn_refit(&mut ws);
+
+        Ok(ObserveOutcome {
+            applied,
+            model_points: next.kernel().len(),
+            updates_since_refactor: updates,
+            used_incremental,
+            refit_triggered,
+        })
+    }
+
+    /// Resets drift baselines after a completed refactorization. Caller
+    /// holds the write lock.
+    fn note_refactored(&self, ws: &mut WriteState<K>, fresh: &FittedModel<K>) {
+        ws.base_condition = fresh.factor_condition_estimate().unwrap_or(1.0);
+        ws.base_loglik_per_point = loglik_per_point(fresh);
+        self.inner
+            .updates_since_refactor
+            .store(0, Ordering::Relaxed);
+        self.inner
+            .condition_growth_bits
+            .store(1.0f64.to_bits(), Ordering::Relaxed);
+        self.inner
+            .loglik_drift_bits
+            .store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.inner.refits_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Spawns the background refactorization thread. Caller holds the write
+    /// lock; returns `false` when one is already in flight.
+    fn spawn_refit(&self, ws: &mut WriteState<K>) -> bool {
+        let inner = &self.inner;
+        if inner
+            .refit_in_flight
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        // Reap the previous (finished) refit thread, if any.
+        if let Some(h) = ws.refit_thread.take() {
+            let _ = h.join();
+        }
+        ws.replay_log = Some(Vec::new());
+        inner.refits_triggered.fetch_add(1, Ordering::Relaxed);
+        let live = self.clone();
+        let base = self.snapshot();
+        ws.refit_thread = Some(std::thread::spawn(move || {
+            live.run_refit(base);
+        }));
+        true
+    }
+
+    /// Body of the background refactorization thread: refactor the snapshot
+    /// from scratch, replay any writes that landed meanwhile, swap in.
+    ///
+    /// Runs `Factorization::compute` on this thread (with its own runtime),
+    /// so the serving threads' thread-local [`crate::factorization_count`]
+    /// is not perturbed — serve-side "zero potrf during serving" accounting
+    /// stays honest.
+    fn run_refit(&self, base: Arc<FittedModel<K>>) {
+        let inner = &self.inner;
+        let rt = Runtime::new(inner.policy.refit_workers);
+        let fresh = base.refactored(&rt);
+        let mut ws = inner.write.lock().expect("live write lock");
+        let log = ws.replay_log.take().unwrap_or_default();
+        match fresh {
+            Ok(mut model) => {
+                let mut replayed = 0u64;
+                let mut ok = true;
+                for op in &log {
+                    let next = match op {
+                        Op::Observe(points, values) => model
+                            .with_appended(points, values, &rt)
+                            .and_then(|m| match m {
+                                Some(m) => Ok(m),
+                                None => model.refit_appended(points, values, &rt),
+                            }),
+                        Op::Expire(indices) => {
+                            model.with_removed(indices, &rt).and_then(|m| match m {
+                                Some(m) => Ok(m),
+                                None => model.refit_removed(indices, &rt),
+                            })
+                        }
+                    };
+                    match next {
+                        Ok(m) => {
+                            model = m;
+                            replayed += 1;
+                        }
+                        Err(_) => {
+                            // A replay failing here means the op that
+                            // *succeeded* incrementally cannot be reproduced
+                            // — abandon the refit; the incremental factor
+                            // stays authoritative.
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let model = Arc::new(model);
+                    *inner.current.lock().expect("live current lock") = Arc::clone(&model);
+                    ws.generation += 1;
+                    inner
+                        .replayed_updates
+                        .fetch_add(replayed, Ordering::Relaxed);
+                    self.note_refactored(&mut ws, &model);
+                }
+            }
+            Err(_) => {
+                // Refactorization failed (e.g. transiently ill-conditioned):
+                // keep serving the incrementally-updated factor; drift
+                // counters stay up so the next update re-triggers.
+            }
+        }
+        inner.refit_in_flight.store(false, Ordering::Release);
+        drop(ws);
+    }
+}
+
+// The serving layers hold `LiveModel` behind `Arc` and call `observe` /
+// `snapshot` from many threads.
+const _: () = {
+    const fn check<T: Send + Sync>() {}
+    check::<LiveModel<exa_covariance::MaternKernel>>();
+};

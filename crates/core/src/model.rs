@@ -674,6 +674,15 @@ impl<K: ParamCovariance> FittedModel<K> {
         self.factor.lock().expect("factor lock").bytes()
     }
 
+    /// Diagonal-ratio condition estimate of the cached factor (see
+    /// [`Factorization::condition_estimate`]); `None` for tile/TLR storage.
+    pub fn factor_condition_estimate(&self) -> Option<f64> {
+        self.factor
+            .lock()
+            .expect("factor lock")
+            .condition_estimate()
+    }
+
     /// Kriging prediction `Ẑ₁ = Σ₁₂ Σ₂₂⁻¹ Z₂` (Eq. 4) at the target
     /// locations, **reusing** the cached factor and pre-solved `α`: the cost
     /// is one rectangular cross-covariance product, no factorization and no
@@ -922,6 +931,229 @@ impl<K: ParamCovariance> FittedModel<K> {
         joint.extend_from_slice(targets);
         joint.extend_from_slice(observed);
         self.kernel.with_locations(Arc::new(joint))
+    }
+
+    /// A new session absorbing `points`/`values` at the tail of the observed
+    /// set via a rank-k Cholesky **update** of the cached factor — `O(n²·k)`
+    /// instead of the `O(n³)` refit, with the leading `n×n` factor block
+    /// bitwise untouched. Re-solves `α` through the grown factor (two
+    /// triangular solves) and rebuilds the coordinate SoA and likelihood.
+    ///
+    /// Returns `Ok(None)` when the factor's storage scheme cannot update
+    /// incrementally (tile/TLR): the caller should refactorize instead. This
+    /// is the engine under [`crate::live::LiveModel::observe`].
+    pub fn with_appended(
+        &self,
+        points: &[Location],
+        values: &[f64],
+        rt: &Runtime,
+    ) -> Result<Option<Self>, ModelError> {
+        let (kernel, z_new) = self.appended_parts(points, values)?;
+        let dense = match &*self.factor.lock().expect("factor lock") {
+            Factorization::Dense(l) => l.clone(),
+            _ => return Ok(None),
+        };
+        let mut factor = Factorization::Dense(dense);
+        factor.append(&kernel, points.len())?;
+        Ok(Some(Self::resolved(
+            kernel,
+            z_new,
+            factor,
+            self.backend,
+            self.config,
+            self.timings,
+            self.report.clone(),
+            rt,
+        )))
+    }
+
+    /// The full-refit twin of [`FittedModel::with_appended`]: same joint
+    /// location set and data, but factored from scratch. Used as the
+    /// synchronous fallback when the storage scheme cannot update
+    /// incrementally, and by agreement tests as the exact reference.
+    pub fn refit_appended(
+        &self,
+        points: &[Location],
+        values: &[f64],
+        rt: &Runtime,
+    ) -> Result<Self, ModelError> {
+        let (kernel, z_new) = self.appended_parts(points, values)?;
+        Self::factorize(
+            kernel,
+            Some(z_new),
+            self.backend,
+            self.config,
+            self.report.clone(),
+            rt,
+        )
+    }
+
+    /// Validates an ingest batch and builds the joint (observed ++ new)
+    /// kernel and extended data vector.
+    fn appended_parts(
+        &self,
+        points: &[Location],
+        values: &[f64],
+    ) -> Result<(K, Vec<f64>), ModelError> {
+        let z = self.z.as_ref().ok_or(ModelError::NoData)?;
+        if points.len() != values.len() {
+            return Err(ModelError::Shape(format!(
+                "{} points but {} values",
+                points.len(),
+                values.len()
+            )));
+        }
+        validate_query(points).map_err(ModelError::InvalidQuery)?;
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::InvalidQuery(
+                "observed values must be finite".into(),
+            ));
+        }
+        let observed = self.kernel.locations_arc();
+        let mut joint = Vec::with_capacity(observed.len() + points.len());
+        joint.extend_from_slice(observed);
+        joint.extend_from_slice(points);
+        let mut z_new = z.clone();
+        z_new.extend_from_slice(values);
+        Ok((self.kernel.with_locations(Arc::new(joint)), z_new))
+    }
+
+    /// A new session with the observations at `indices` expired via Cholesky
+    /// **downdates** of the cached factor (`O(n²)` per removed row), then
+    /// `α` re-solved and the SoA/likelihood rebuilt over the survivors.
+    ///
+    /// Returns `Ok(None)` for tile/TLR factors (refit instead); rejects
+    /// out-of-range indices and removing the entire observation set.
+    pub fn with_removed(
+        &self,
+        indices: &[usize],
+        rt: &Runtime,
+    ) -> Result<Option<Self>, ModelError> {
+        let (kernel, kept_z, drop) = self.removed_parts(indices)?;
+        let dense = match &*self.factor.lock().expect("factor lock") {
+            Factorization::Dense(l) => l.clone(),
+            _ => return Ok(None),
+        };
+        let mut factor = Factorization::Dense(dense);
+        factor.remove(&drop);
+        Ok(Some(Self::resolved(
+            kernel,
+            kept_z,
+            factor,
+            self.backend,
+            self.config,
+            self.timings,
+            self.report.clone(),
+            rt,
+        )))
+    }
+
+    /// The full-refit twin of [`FittedModel::with_removed`].
+    pub fn refit_removed(&self, indices: &[usize], rt: &Runtime) -> Result<Self, ModelError> {
+        let (kernel, kept_z, _) = self.removed_parts(indices)?;
+        Self::factorize(
+            kernel,
+            Some(kept_z),
+            self.backend,
+            self.config,
+            self.report.clone(),
+            rt,
+        )
+    }
+
+    /// Validates expiry indices and builds the surviving kernel/data pair
+    /// (plus the sorted, deduplicated index list for the factor downdate).
+    #[allow(clippy::type_complexity)]
+    fn removed_parts(&self, indices: &[usize]) -> Result<(K, Vec<f64>, Vec<usize>), ModelError> {
+        let z = self.z.as_ref().ok_or(ModelError::NoData)?;
+        let n = self.kernel.len();
+        let mut drop: Vec<usize> = indices.to_vec();
+        drop.sort_unstable();
+        drop.dedup();
+        if drop.last().is_some_and(|&i| i >= n) {
+            return Err(ModelError::InvalidQuery(format!(
+                "removal index {} out of range for {n} observations",
+                drop.last().unwrap()
+            )));
+        }
+        if drop.len() >= n {
+            return Err(ModelError::InvalidQuery(
+                "cannot expire every observation".into(),
+            ));
+        }
+        let observed = self.kernel.locations_arc();
+        let mut kept_locs = Vec::with_capacity(n - drop.len());
+        let mut kept_z = Vec::with_capacity(n - drop.len());
+        let mut next = drop.iter().copied().peekable();
+        for i in 0..n {
+            if next.peek() == Some(&i) {
+                next.next();
+            } else {
+                kept_locs.push(observed[i]);
+                kept_z.push(z[i]);
+            }
+        }
+        Ok((
+            self.kernel.with_locations(Arc::new(kept_locs)),
+            kept_z,
+            drop,
+        ))
+    }
+
+    /// Assembles a session around an already-updated factor: re-solves
+    /// `α = Σ⁻¹Z`, recomputes the likelihood pieces through the factor, and
+    /// rebuilds the coordinate SoA. Shared tail of the incremental-ingest
+    /// constructors.
+    #[allow(clippy::too_many_arguments)]
+    fn resolved(
+        kernel: K,
+        z: Vec<f64>,
+        mut factor: Factorization,
+        backend: Backend,
+        config: LikelihoodConfig,
+        timings: FactorTimings,
+        report: FitReport,
+        rt: &Runtime,
+    ) -> Self {
+        let n = kernel.len();
+        debug_assert_eq!(z.len(), n);
+        let mut w = Mat::from_vec(n, 1, z.clone());
+        let ll = likelihood_from_factor(&mut factor, timings, &mut w, rt);
+        let mut sw = Stopwatch::start();
+        factor.trsm(TriangularSide::Backward, &mut w, rt);
+        let alpha_seconds = ll.solve_seconds + sw.lap();
+        let observed = kernel.locations_arc();
+        let obs_x: Vec<f64> = observed.iter().map(|l| l.x).collect();
+        let obs_y: Vec<f64> = observed.iter().map(|l| l.y).collect();
+        FittedModel {
+            kernel,
+            z: Some(z),
+            backend,
+            config,
+            factor: Mutex::new(factor),
+            timings,
+            obs_x,
+            obs_y,
+            alpha: Some(w),
+            alpha_seconds,
+            likelihood: Some(ll),
+            report,
+        }
+    }
+
+    /// A from-scratch refactorization of this session at the same `θ̂`,
+    /// backend and data — the background-refit path of
+    /// [`crate::live::LiveModel`]. Unlike the incremental constructors this
+    /// runs the full `O(n³)` [`Factorization::compute`].
+    pub fn refactored(&self, rt: &Runtime) -> Result<Self, ModelError> {
+        Self::factorize(
+            self.kernel.clone(),
+            self.z.clone(),
+            self.backend,
+            self.config,
+            self.report.clone(),
+            rt,
+        )
     }
 }
 

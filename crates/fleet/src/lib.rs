@@ -31,6 +31,13 @@
 //!   the rest of the replica set before the 404 stands; backends with a
 //!   registry loader pull the model themselves on first touch. Transport
 //!   failures demote a node to suspect and fail the request over.
+//! * **Ingestion** — `POST /v1/models/{name}/observe` is a *write*, so it
+//!   fans out to the model's **full replica set** instead of failing
+//!   over: all replicas applying the batch answers `200` (first
+//!   replica's response verbatim), a mixed outcome answers a `207`
+//!   report naming each replica's status, and a replica that missed the
+//!   batch is demoted and marked stale — the router evicts the model
+//!   there before its next predict relay, forcing a fresh refetch.
 //! * **Observability** — `GET /v1/fleet/stats` aggregates every node's
 //!   `/v1/stats` and `/v1/models` verbatim next to the router's own
 //!   forward/failover/rebalance counters ([`RouterStats`]), plus uptime, a
@@ -47,6 +54,7 @@
 //! | method & path | answer |
 //! |---|---|
 //! | `POST /v1/models/{name}/predict` | relayed from the owning replica |
+//! | `POST /v1/models/{name}/observe` | fanned to the full replica set (`200` all applied, `207` partial) |
 //! | `GET /v1/fleet/stats` | fleet + router + per-node statistics |
 //! | `GET /metrics` | Prometheus text exposition of the router counters and histograms |
 //! | `GET /healthz` | `{"status":"ok","nodes":N,"nodes_up":M,...}` |

@@ -13,6 +13,16 @@
 //! byte-for-byte what the client receives (bit-identity is a test, not an
 //! aspiration).
 //!
+//! Observes are writes, so they **fan out** instead of failing over: a
+//! `POST /v1/models/{name}/observe` is relayed verbatim to *every*
+//! replica of the model. All replicas succeeding answers `200` with the
+//! first replica's response; a mixed outcome answers a `207` report
+//! naming each replica's status, and every replica that missed the batch
+//! is demoted and marked **stale** — before the router's next predict
+//! relay to that `(node, model)` pair it evicts the model there, so the
+//! node refetches a current copy on its next miss instead of serving a
+//! factor that never saw the observation.
+//!
 //! [`WireClient`]: exa_wire::WireClient
 
 use crate::pool::{NodeHealth, NodePool};
@@ -22,6 +32,7 @@ use exa_telemetry::{Histogram, PromText, TraceId, TRACE_HEADER};
 use exa_wire::http::{self, HttpError, Limits, ParseProgress, Request, RequestParser};
 use exa_wire::json::{Json, JsonWriter};
 use exa_wire::WireResponse;
+use std::collections::HashSet;
 use std::io::{self, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -60,6 +71,18 @@ pub struct RouterStats {
     pub reconnects: u64,
     /// Node demotions to suspect, summed across the fleet.
     pub demotions: u64,
+    /// Observe batches fanned to a full replica set with every replica
+    /// succeeding (answered `200`).
+    pub observes_relayed: u64,
+    /// Observe fan-outs where some — not all — replicas succeeded
+    /// (answered with the `207` partial report).
+    pub observe_partial: u64,
+    /// Replicas marked stale after missing an observe (each will be
+    /// evicted before its next relayed predict, forcing a refetch).
+    pub stale_marks: u64,
+    /// Evictions issued to un-stale a replica before relaying a predict
+    /// to it.
+    pub stale_evictions: u64,
 }
 
 #[derive(Default)]
@@ -72,6 +95,10 @@ struct Counters {
     misses_retried: AtomicU64,
     rebalances: AtomicU64,
     reconnects: AtomicU64,
+    observes_relayed: AtomicU64,
+    observe_partial: AtomicU64,
+    stale_marks: AtomicU64,
+    stale_evictions: AtomicU64,
 }
 
 struct Shared {
@@ -95,6 +122,11 @@ struct Shared {
     request_hist: Histogram,
     /// Upstream relay span: one backend round trip per attempt.
     relay_hist: Histogram,
+    /// `(node, model)` pairs that missed an observe fan-out. Before the
+    /// next predict relay to such a pair the router evicts the model on
+    /// that node, so the node refetches a fresh copy on its next miss
+    /// instead of serving a factor that never saw the observation.
+    stale: Mutex<HashSet<(NodeId, String)>>,
 }
 
 /// One response about to be written to a client.
@@ -188,6 +220,7 @@ impl FleetRouter {
             stats_epoch: AtomicU64::new(0),
             request_hist: Histogram::new(),
             relay_hist: Histogram::new(),
+            stale: Mutex::new(HashSet::new()),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -226,6 +259,10 @@ impl FleetRouter {
             rebalances: c.rebalances.load(Ordering::Relaxed),
             reconnects: c.reconnects.load(Ordering::Relaxed),
             demotions: self.shared.nodes.iter().map(NodePool::demotions).sum(),
+            observes_relayed: c.observes_relayed.load(Ordering::Relaxed),
+            observe_partial: c.observe_partial.load(Ordering::Relaxed),
+            stale_marks: c.stale_marks.load(Ordering::Relaxed),
+            stale_evictions: c.stale_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -395,9 +432,14 @@ fn route(shared: &Shared, request: &Request) -> Reply {
         ("GET", ["v1", "fleet", "stats"]) => fleet_stats(shared),
         ("GET", ["metrics"]) => metrics(shared),
         ("POST", ["v1", "models", name, "predict"]) => proxy_predict(shared, request, name),
+        ("POST", ["v1", "models", name, "observe"]) => proxy_observe(shared, request, name),
         (
             _,
-            ["healthz"] | ["v1", "fleet", "stats"] | ["metrics"] | ["v1", "models", _, "predict"],
+            ["healthz"]
+            | ["v1", "fleet", "stats"]
+            | ["metrics"]
+            | ["v1", "models", _, "predict"]
+            | ["v1", "models", _, "observe"],
         ) => Reply::error(
             405,
             "method_not_allowed",
@@ -491,6 +533,29 @@ fn relay_predict(shared: &Shared, request: &Request, model: &str, trace_hex: &st
                 continue;
             }
         };
+        // A stale replica missed an observe others applied: evict the
+        // model there first, so its next miss refetches a current copy
+        // instead of serving the pre-observation factor.
+        if is_stale(shared, id, model) {
+            let evict = format!("/v1/models/{model}/evict");
+            if let Ok(response) = client.request_raw(
+                "POST",
+                &evict,
+                "application/json",
+                "application/json",
+                b"{}",
+            ) {
+                if (200..300).contains(&response.status) {
+                    clear_stale(shared, id, model);
+                    shared
+                        .counters
+                        .stale_evictions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // On failure the mark stays: the predict below hits the same
+            // problem and fails over.
+        }
         let before = client.reconnects();
         let relay_started = Instant::now();
         let result = client.request_raw_with_headers(
@@ -555,6 +620,281 @@ fn relay_predict(shared: &Shared, request: &Request, model: &str, trace_hex: &st
     }
 }
 
+/// The observe fan-out entry point: same trace handling and client-facing
+/// histogram as predicts.
+fn proxy_observe(shared: &Shared, request: &Request, model: &str) -> Reply {
+    let started = Instant::now();
+    let trace = request
+        .header(TRACE_HEADER)
+        .and_then(TraceId::parse)
+        .unwrap_or_else(TraceId::mint);
+    let trace_hex = trace.to_string();
+    let mut reply = fan_observe(shared, request, model, &trace_hex);
+    if reply.trace.is_none() {
+        reply.trace = Some(trace_hex);
+    }
+    shared.request_hist.record(started.elapsed());
+    reply
+}
+
+/// Per-replica outcome of one observe fan-out.
+struct ObserveOutcome {
+    node: NodeId,
+    /// Relayed status, or `None` on a connect/transport failure.
+    status: Option<u16>,
+    /// `error.code` of the relayed JSON envelope, when there was one.
+    code: Option<String>,
+}
+
+/// The observe fan-out: a write must land on **every** replica of the
+/// model — failing over to one replica would fork the replica set. The
+/// body crosses verbatim to each replica in placement order; the reactor
+/// on each node applies it synchronously, so replicas stay serialized
+/// per model without any router-side locking.
+///
+/// * Every replica 2xx → `200` with the first replica's response
+///   verbatim (the update is deterministic, so the documents agree on
+///   everything but latency).
+/// * A deterministic rejection (non-404 4xx) with no successes → that
+///   response verbatim; nothing was applied anywhere, the replicas still
+///   agree.
+/// * Mixed outcomes → a `207` JSON report naming each replica's status.
+///
+/// A replica that may have *missed* a batch (transport failure — which
+/// can leave an applied-but-unconfirmed write behind — or any 5xx) is
+/// demoted to suspect and stale-marked; a 4xx next to a success is
+/// stale-marked too (the replicas no longer agree). `404 unknown_model`
+/// replicas hold nothing that can go stale and stay healthy.
+fn fan_observe(shared: &Shared, request: &Request, model: &str, trace_hex: &str) -> Reply {
+    let (replicas, epoch) = {
+        let mut policy = shared.policy.lock().expect("policy lock");
+        policy.observe(model);
+        (policy.replicas(model), policy.epoch())
+    };
+    if shared.last_epoch.swap(epoch, Ordering::SeqCst) != epoch {
+        shared.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+    if replicas.is_empty() {
+        return Reply::error(503, "no_replicas_available", "the fleet has no live nodes");
+    }
+    let content_type = request.header("content-type").unwrap_or("application/json");
+    let accept = request.header("accept").unwrap_or("*/*");
+    let target = request.path();
+
+    let mut outcomes: Vec<ObserveOutcome> = Vec::with_capacity(replicas.len());
+    let mut first_success: Option<WireResponse> = None;
+    let mut first_rejection: Option<WireResponse> = None;
+    let mut last_miss: Option<WireResponse> = None;
+    for id in replicas {
+        let pool = &shared.nodes[id];
+        let mut client = match pool.checkout() {
+            Ok(client) => client,
+            Err(_) => {
+                pool.demote(shared.suspect_cooldown);
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(ObserveOutcome {
+                    node: id,
+                    status: None,
+                    code: None,
+                });
+                continue;
+            }
+        };
+        let before = client.reconnects();
+        let relay_started = Instant::now();
+        let result = client.request_raw_with_headers(
+            "POST",
+            target,
+            content_type,
+            accept,
+            request.body(),
+            &[(TRACE_HEADER, trace_hex)],
+        );
+        shared.relay_hist.record(relay_started.elapsed());
+        shared
+            .counters
+            .reconnects
+            .fetch_add(client.reconnects() - before, Ordering::Relaxed);
+        match result {
+            Ok(response) => {
+                let status = response.status;
+                let code = if (200..300).contains(&status) {
+                    None
+                } else {
+                    error_code_owned(&response.body)
+                };
+                if (200..300).contains(&status) {
+                    pool.promote();
+                    pool.checkin(client);
+                    if first_success.is_none() {
+                        first_success = Some(response);
+                    }
+                } else if status == 404 && code.as_deref() == Some("unknown_model") {
+                    // A healthy node that simply doesn't hold the model.
+                    pool.promote();
+                    pool.checkin(client);
+                    last_miss = Some(response);
+                } else if (400..500).contains(&status) {
+                    // Deterministic rejection: the replica validated the
+                    // batch and refused; its state didn't change.
+                    pool.promote();
+                    pool.checkin(client);
+                    if first_rejection.is_none() {
+                        first_rejection = Some(response);
+                    }
+                } else if status == 503 && code.as_deref() == Some("shutting_down") {
+                    // The node announced its own drain; its connection is
+                    // about to close — don't pool it.
+                    drop(client);
+                    pool.demote(shared.suspect_cooldown);
+                } else {
+                    // 5xx: the batch was not applied on this replica.
+                    pool.checkin(client);
+                    pool.demote(shared.suspect_cooldown);
+                }
+                outcomes.push(ObserveOutcome {
+                    node: id,
+                    status: Some(status),
+                    code,
+                });
+            }
+            Err(_) => {
+                drop(client);
+                pool.demote(shared.suspect_cooldown);
+                shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(ObserveOutcome {
+                    node: id,
+                    status: None,
+                    code: None,
+                });
+            }
+        }
+    }
+
+    let total = outcomes.len();
+    let successes = outcomes
+        .iter()
+        .filter(|o| matches!(o.status, Some(s) if (200..300).contains(&s)))
+        .count();
+    // Stale-mark the replicas that may have missed a batch another
+    // replica applied (see the function docs for the classification).
+    let mut marks = 0u64;
+    for outcome in &outcomes {
+        let missed = match outcome.status {
+            None => true,
+            Some(status) if status >= 500 => true,
+            Some(status) if (400..500).contains(&status) => {
+                successes > 0 && outcome.code.as_deref() != Some("unknown_model")
+            }
+            Some(_) => false,
+        };
+        if missed && mark_stale(shared, outcome.node, model) {
+            marks += 1;
+        }
+    }
+    if marks > 0 {
+        shared
+            .counters
+            .stale_marks
+            .fetch_add(marks, Ordering::Relaxed);
+    }
+
+    if successes == total {
+        shared
+            .counters
+            .observes_relayed
+            .fetch_add(1, Ordering::Relaxed);
+        return Reply::relay(first_success.expect("successes == total > 0"));
+    }
+    if successes == 0 {
+        if let Some(rejection) = first_rejection {
+            return Reply::relay(rejection);
+        }
+        if let Some(miss) = last_miss {
+            // Every reachable replica answered `unknown_model`.
+            return Reply::relay(miss);
+        }
+        let mut reply = Reply::error(
+            503,
+            "no_replicas_available",
+            &format!("no replica of {model:?} applied the observe batch"),
+        );
+        reply.retry_after = Some(RETRY_AFTER_NO_REPLICAS);
+        return reply;
+    }
+    shared
+        .counters
+        .observe_partial
+        .fetch_add(1, Ordering::Relaxed);
+    partial_report(shared, model, &outcomes, successes)
+}
+
+/// The `207` partial-success report: which replicas applied the batch and
+/// how each failure answered, so an operator can reconcile the set.
+fn partial_report(
+    shared: &Shared,
+    model: &str,
+    outcomes: &[ObserveOutcome],
+    successes: usize,
+) -> Reply {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("model", model);
+    w.field_uint("succeeded", successes as u64);
+    w.field_uint("failed", (outcomes.len() - successes) as u64);
+    w.key("replicas");
+    w.begin_array();
+    for outcome in outcomes {
+        w.begin_object();
+        w.field_str("node", shared.nodes[outcome.node].name());
+        w.key("ok");
+        w.boolean(matches!(outcome.status, Some(s) if (200..300).contains(&s)));
+        w.key("status");
+        match outcome.status {
+            Some(status) => w.uint(status as u64),
+            None => w.null(),
+        }
+        if let Some(code) = &outcome.code {
+            w.field_str("code", code);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Reply {
+        status: 207,
+        content_type: "application/json".to_string(),
+        body: w.finish().into_bytes(),
+        retry_after: None,
+        trace: None,
+    }
+}
+
+/// Marks `(node, model)` stale; `true` if this is a new mark.
+fn mark_stale(shared: &Shared, node: NodeId, model: &str) -> bool {
+    shared
+        .stale
+        .lock()
+        .expect("stale lock")
+        .insert((node, model.to_string()))
+}
+
+fn is_stale(shared: &Shared, node: NodeId, model: &str) -> bool {
+    shared
+        .stale
+        .lock()
+        .expect("stale lock")
+        .contains(&(node, model.to_string()))
+}
+
+fn clear_stale(shared: &Shared, node: NodeId, model: &str) {
+    shared
+        .stale
+        .lock()
+        .expect("stale lock")
+        .remove(&(node, model.to_string()));
+}
+
 /// `GET /v1/fleet/stats`: router counters plus every node's own
 /// `/v1/stats` and `/v1/models` documents, spliced in verbatim (an
 /// unreachable node reports `null` documents and its health instead).
@@ -603,6 +943,13 @@ fn fleet_stats(shared: &Shared) -> Reply {
         "demotions",
         shared.nodes.iter().map(NodePool::demotions).sum(),
     );
+    w.field_uint(
+        "observes_relayed",
+        c.observes_relayed.load(Ordering::Relaxed),
+    );
+    w.field_uint("observe_partial", c.observe_partial.load(Ordering::Relaxed));
+    w.field_uint("stale_marks", c.stale_marks.load(Ordering::Relaxed));
+    w.field_uint("stale_evictions", c.stale_evictions.load(Ordering::Relaxed));
     w.field_num("uptime_seconds", shared.started.elapsed().as_secs_f64());
     w.field_uint("stats_epoch", epoch);
     w.field_num("request_p50_seconds", request_latency.p50());
@@ -688,6 +1035,26 @@ fn metrics(shared: &Shared) -> Reply {
         "exa_fleet_demotions",
         "Node demotions to suspect, summed across the fleet.",
         shared.nodes.iter().map(NodePool::demotions).sum(),
+    );
+    p.counter(
+        "exa_fleet_observes_relayed",
+        "Observe batches applied by every replica of their model.",
+        c.observes_relayed.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_observe_partial",
+        "Observe fan-outs answered with the 207 partial report.",
+        c.observe_partial.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_stale_marks",
+        "Replicas marked stale after missing an observe fan-out.",
+        c.stale_marks.load(Ordering::Relaxed),
+    );
+    p.counter(
+        "exa_fleet_stale_evictions",
+        "Evictions issued to un-stale a replica before a predict relay.",
+        c.stale_evictions.load(Ordering::Relaxed),
     );
     p.gauge(
         "exa_fleet_uptime_seconds",
@@ -810,4 +1177,12 @@ fn error_code(body: &[u8]) -> Option<&'static str> {
         "shutting_down" => Some("shutting_down"),
         _ => None,
     }
+}
+
+/// Like [`error_code`], but returns whatever code the envelope carried —
+/// the observe partial report names exact backend codes.
+fn error_code_owned(body: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let doc = Json::parse(text).ok()?;
+    Some(doc.get("error")?.get("code")?.as_str()?.to_string())
 }

@@ -1,7 +1,30 @@
-//! Cholesky factorization (lower triangular), blocked and unblocked.
+//! Cholesky factorization (lower triangular), blocked and unblocked —
+//! plus the incremental **up/downdate** routines behind streaming
+//! observation ingestion.
 //!
 //! `dpotrf` is the workhorse of the whole pipeline: the paper's log-likelihood
 //! (Eq. 1) needs `log|Σ|` and `Σ⁻¹Z`, both obtained from `Σ = L·Lᵀ`.
+//!
+//! # Updating a factor instead of recomputing it
+//!
+//! A fitted model's covariance factor changes in two ways as observations
+//! stream in and age out, and both are `O(n²·k)` instead of the `O(n³)` of
+//! a fresh factorization:
+//!
+//! * **Append `k` rows/columns** ([`chol_append`]). Appending never touches
+//!   the leading `n × n` factor: the new row block `L₂₁` solves
+//!   `L₂₁·Lᵀ = K₂₁` (one triangular solve per new row), and the trailing
+//!   `k × k` block is the Cholesky of the Schur complement
+//!   `C − L₂₁·L₂₁ᵀ`. Because the leading block is untouched, removing
+//!   just-appended tail points is a pure truncation — bit-identical, which
+//!   the downdate→update round-trip tests rely on.
+//! * **Remove row/column `i`** ([`chol_remove`]). Columns left of `i` keep
+//!   their values (rows shift up); the trailing factor must absorb the
+//!   deleted column's subdiagonal: `L̃₃₃·L̃₃₃ᵀ = L₃₃·L₃₃ᵀ + l₃₂·l₃₂ᵀ`, a
+//!   **positive** rank-1 update ([`chol_rank1_update`]) applied with plane
+//!   rotations — the numerically stable cousin of the hyperbolic downdate
+//!   (no cancellation: the update only ever *adds* positive mass to the
+//!   diagonal). Removing the tail row is the degenerate case: a shrink.
 
 use crate::blas3::{dsyrk, dtrsm, Side};
 use crate::gemm::Trans;
@@ -116,6 +139,131 @@ pub fn logdet_from_cholesky(n: usize, l: &[f64], ldl: usize) -> f64 {
     2.0 * s
 }
 
+/// Rank-`k` Cholesky **update**: grows an `n × n` factor to `(n+k) × (n+k)`
+/// in place after `k` rows/columns are appended to the underlying SPD
+/// matrix, in `O(n²·k)` instead of the `O(n³)` of refactorizing.
+///
+/// `a` holds the grown matrix column-major with leading dimension
+/// `lda ≥ n + k`:
+///
+/// * leading `n × n` lower triangle — the existing factor `L` (**untouched**
+///   on return, so a later tail removal restores it bit-identically);
+/// * rows `n..n+k` of columns `0..n` — the cross-covariance block `K₂₁`
+///   (`k × n`), overwritten with `L₂₁ = K₂₁·L⁻ᵀ`;
+/// * trailing `k × k` lower triangle — the new diagonal block `C`,
+///   overwritten with the Cholesky factor of the Schur complement
+///   `C − L₂₁·L₂₁ᵀ`.
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] with a 1-based global index
+/// `> n` when the appended block makes the matrix (numerically) indefinite;
+/// the leading factor and `L₂₁` are still valid in that case, only the
+/// trailing block is garbage.
+pub fn chol_append(n: usize, k: usize, a: &mut [f64], lda: usize) -> Result<(), LinalgError> {
+    let m = n + k;
+    assert!(lda >= m.max(1), "lda too small");
+    if k == 0 {
+        return Ok(());
+    }
+    assert!(a.len() >= lda * (m - 1) + m, "buffer too small");
+    // Forward-substitute each appended row r against L (column-oriented so
+    // L's columns stream contiguously): L · xᵀ = K₂₁(r,:)ᵀ. Scalar loops
+    // instead of `dtrsm` because L and the row block share one buffer.
+    for j in 0..n {
+        let ljj = a[j + j * lda];
+        for r in n..m {
+            a[r + j * lda] /= ljj;
+        }
+        for i in j + 1..n {
+            let lij = a[i + j * lda];
+            if lij != 0.0 {
+                for r in n..m {
+                    a[r + i * lda] -= lij * a[r + j * lda];
+                }
+            }
+        }
+    }
+    // Schur complement C -= L₂₁·L₂₁ᵀ (lower triangle only); k is small, so
+    // the O(k²·n) scalar loops stay cheap next to the solve above.
+    for jc in 0..k {
+        for ir in jc..k {
+            let mut acc = 0.0;
+            for p in 0..n {
+                acc += a[(n + ir) + p * lda] * a[(n + jc) + p * lda];
+            }
+            a[(n + ir) + (n + jc) * lda] -= acc;
+        }
+    }
+    // Factor the trailing block; failure indices shift by n to stay global.
+    dpotrf(k, &mut a[n + n * lda..], lda).map_err(|e| match e {
+        LinalgError::NotPositiveDefinite { index } => {
+            LinalgError::NotPositiveDefinite { index: index + n }
+        }
+        other => other,
+    })
+}
+
+/// Stable **positive** rank-1 Cholesky update in place:
+/// `L̃·L̃ᵀ = L·Lᵀ + x·xᵀ` via plane rotations (the LINPACK `dchud` scheme).
+///
+/// `x` is consumed as rotation workspace. Adding positive mass can only
+/// grow the diagonal, so unlike a hyperbolic downdate this never breaks
+/// down; it is the fix-up step of [`chol_remove`].
+pub fn chol_rank1_update(n: usize, l: &mut [f64], ldl: usize, x: &mut [f64]) {
+    assert!(ldl >= n.max(1), "ldl too small");
+    assert!(x.len() >= n, "update vector too short");
+    if n > 0 {
+        assert!(l.len() >= ldl * (n - 1) + n, "buffer too small");
+    }
+    for j in 0..n {
+        let ljj = l[j + j * ldl];
+        let r = f64::hypot(ljj, x[j]);
+        let c = r / ljj;
+        let s = x[j] / ljj;
+        l[j + j * ldl] = r;
+        for i in j + 1..n {
+            let lij = (l[i + j * ldl] + s * x[i]) / c;
+            x[i] = c * x[i] - s * lij;
+            l[i + j * ldl] = lij;
+        }
+    }
+}
+
+/// Cholesky **downdate** by row/column removal: given the `n × n` factor of
+/// `A`, produces the `(n-1) × (n-1)` factor of `A` with row and column
+/// `idx` deleted, in place in the leading part of `l` (the caller shrinks
+/// the logical dimensions; `ldl` is unchanged). `O(n²)` — `O((n-idx)²)`
+/// once the shifts are done, so expiring *old* (early-index) observations
+/// costs more than expiring recent ones, and removing the tail row
+/// (`idx == n-1`) is a pure truncation that leaves every surviving entry
+/// bit-identical.
+///
+/// The trailing factor absorbs the deleted column's subdiagonal `l₃₂`
+/// through [`chol_rank1_update`] — a positive update, so removal never
+/// fails on a factor that was valid to begin with.
+pub fn chol_remove(n: usize, l: &mut [f64], ldl: usize, idx: usize) {
+    assert!(idx < n, "removal index out of range");
+    assert!(ldl >= n.max(1), "ldl too small");
+    assert!(l.len() >= ldl * (n - 1) + n, "buffer too small");
+    let m = n - idx - 1;
+    // Columns left of idx: rows below idx shift up one.
+    for j in 0..idx {
+        for i in idx..n - 1 {
+            l[i + j * ldl] = l[(i + 1) + j * ldl];
+        }
+    }
+    // The deleted column's subdiagonal is the rank-1 fix-up vector.
+    let mut x: Vec<f64> = (0..m).map(|i| l[(idx + 1 + i) + idx * ldl]).collect();
+    // Trailing block L₃₃ shifts up-left one row and one column.
+    for j in 0..m {
+        for i in j..m {
+            l[(idx + i) + (idx + j) * ldl] = l[(idx + 1 + i) + (idx + 1 + j) * ldl];
+        }
+    }
+    if m > 0 {
+        chol_rank1_update(m, &mut l[idx + idx * ldl..], ldl, &mut x);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +366,212 @@ mod tests {
         let ld = logdet_from_cholesky(n, l.as_slice(), n);
         let expected: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
         assert!((ld - expected).abs() < 1e-12);
+    }
+
+    /// Dense reference factor of `a`'s leading principal submatrix with
+    /// rows/cols in `drop` deleted.
+    fn factor_without(a: &Mat, drop: &[usize]) -> Mat {
+        let keep: Vec<usize> = (0..a.nrows()).filter(|i| !drop.contains(i)).collect();
+        let m = keep.len();
+        let mut sub = Mat::from_fn(m, m, |i, j| a[(keep[i], keep[j])]);
+        dpotrf(m, sub.as_mut_slice(), m).unwrap();
+        sub.zero_strict_upper();
+        sub
+    }
+
+    fn max_lower_rel_diff(n: usize, a: &Mat, b: &Mat) -> f64 {
+        let mut err = 0.0f64;
+        let mut scale = 0.0f64;
+        for j in 0..n {
+            for i in j..n {
+                err = err.max((a[(i, j)] - b[(i, j)]).abs());
+                scale = scale.max(b[(i, j)].abs());
+            }
+        }
+        err / scale.max(1.0)
+    }
+
+    #[test]
+    fn append_matches_from_scratch_factor() {
+        for (n, k, seed) in [
+            (1, 1, 10),
+            (7, 3, 11),
+            (40, 5, 12),
+            (64, 64, 13),
+            (90, 1, 14),
+        ] {
+            let m = n + k;
+            let mut rng = Rng::seed_from_u64(seed);
+            let full = Mat::random_spd(m, &mut rng);
+            // Factor the leading n×n, lay out the grown buffer, append.
+            let mut grown = full.clone();
+            dpotrf(n, grown.as_mut_slice(), m).unwrap();
+            chol_append(n, k, grown.as_mut_slice(), m).unwrap();
+            let mut reference = full.clone();
+            dpotrf(m, reference.as_mut_slice(), m).unwrap();
+            assert!(
+                max_lower_rel_diff(m, &grown, &reference) < 1e-11,
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_leaves_leading_factor_untouched_bitwise() {
+        let (n, k) = (20, 4);
+        let m = n + k;
+        let mut rng = Rng::seed_from_u64(21);
+        let full = Mat::random_spd(m, &mut rng);
+        let mut grown = full.clone();
+        dpotrf(n, grown.as_mut_slice(), m).unwrap();
+        let before: Vec<u64> = (0..n)
+            .flat_map(|j| (j..n).map(move |i| (i, j)))
+            .map(|(i, j)| grown[(i, j)].to_bits())
+            .collect();
+        chol_append(n, k, grown.as_mut_slice(), m).unwrap();
+        let after: Vec<u64> = (0..n)
+            .flat_map(|j| (j..n).map(move |i| (i, j)))
+            .map(|(i, j)| grown[(i, j)].to_bits())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn append_rejects_indefinite_block_with_global_index() {
+        let (n, k) = (10, 3);
+        let m = n + k;
+        let mut rng = Rng::seed_from_u64(31);
+        let mut full = Mat::random_spd(m, &mut rng);
+        // Poison the second appended diagonal entry.
+        full[(n + 1, n + 1)] = -1e9;
+        let mut grown = full.clone();
+        dpotrf(n, grown.as_mut_slice(), m).unwrap();
+        let err = chol_append(n, k, grown.as_mut_slice(), m).unwrap_err();
+        assert_eq!(err, LinalgError::NotPositiveDefinite { index: n + 2 });
+    }
+
+    #[test]
+    fn rank1_update_matches_refactorization() {
+        let n = 50;
+        let mut rng = Rng::seed_from_u64(41);
+        let a = Mat::random_spd(n, &mut rng);
+        let mut x = vec![0.0f64; n];
+        rng.fill_gaussian(&mut x);
+        let mut updated = a.clone();
+        dpotrf(n, updated.as_mut_slice(), n).unwrap();
+        chol_rank1_update(n, updated.as_mut_slice(), n, &mut x.clone());
+        let mut bumped = a.clone();
+        for j in 0..n {
+            for i in 0..n {
+                bumped[(i, j)] += x[i] * x[j];
+            }
+        }
+        dpotrf(n, bumped.as_mut_slice(), n).unwrap();
+        assert!(max_lower_rel_diff(n, &updated, &bumped) < 1e-11);
+    }
+
+    #[test]
+    fn remove_interior_row_matches_from_scratch_factor() {
+        for (n, idx, seed) in [(2, 0, 51), (12, 0, 52), (12, 5, 53), (40, 17, 54)] {
+            let mut rng = Rng::seed_from_u64(seed);
+            let a = Mat::random_spd(n, &mut rng);
+            let mut l = a.clone();
+            dpotrf(n, l.as_mut_slice(), n).unwrap();
+            chol_remove(n, l.as_mut_slice(), n, idx);
+            let reference = factor_without(&a, &[idx]);
+            // Compare through the original leading dimension n.
+            let mut err = 0.0f64;
+            for j in 0..n - 1 {
+                for i in j..n - 1 {
+                    err = err.max((l.as_slice()[i + j * n] - reference[(i, j)]).abs());
+                }
+            }
+            assert!(err < 1e-10, "n={n} idx={idx}: err {err}");
+        }
+    }
+
+    #[test]
+    fn remove_tail_is_bitwise_truncation() {
+        let n = 30;
+        let mut rng = Rng::seed_from_u64(61);
+        let a = Mat::random_spd(n, &mut rng);
+        let mut l = a.clone();
+        dpotrf(n, l.as_mut_slice(), n).unwrap();
+        let original = l.clone();
+        chol_remove(n, l.as_mut_slice(), n, n - 1);
+        for j in 0..n - 1 {
+            for i in j..n - 1 {
+                assert_eq!(l[(i, j)].to_bits(), original[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn append_then_tail_remove_round_trips_bitwise() {
+        // The streaming-ingestion round trip: append k points, expire them
+        // again (tail removal), and the factor must be the original bits.
+        let (n, k) = (25, 4);
+        let m = n + k;
+        let mut rng = Rng::seed_from_u64(71);
+        let full = Mat::random_spd(m, &mut rng);
+        let mut l = full.clone();
+        dpotrf(n, l.as_mut_slice(), m).unwrap();
+        let original: Vec<u64> = (0..n)
+            .flat_map(|j| (j..n).map(move |i| (i, j)))
+            .map(|(i, j)| l[(i, j)].to_bits())
+            .collect();
+        chol_append(n, k, l.as_mut_slice(), m).unwrap();
+        let appended: Vec<u64> = (0..m)
+            .flat_map(|j| (j..m).map(move |i| (i, j)))
+            .map(|(i, j)| l[(i, j)].to_bits())
+            .collect();
+        let mut dim = m;
+        while dim > n {
+            chol_remove(dim, l.as_mut_slice(), m, dim - 1);
+            dim -= 1;
+        }
+        let back: Vec<u64> = (0..n)
+            .flat_map(|j| (j..n).map(move |i| (i, j)))
+            .map(|(i, j)| l[(i, j)].to_bits())
+            .collect();
+        assert_eq!(original, back);
+        // Re-appending the same rows reproduces the appended factor bitwise:
+        // the arithmetic is deterministic in its (unchanged) inputs.
+        for j in 0..m {
+            for i in n.max(j)..m {
+                l[(i, j)] = full[(i, j)];
+            }
+        }
+        chol_append(n, k, l.as_mut_slice(), m).unwrap();
+        let reappended: Vec<u64> = (0..m)
+            .flat_map(|j| (j..m).map(move |i| (i, j)))
+            .map(|(i, j)| l[(i, j)].to_bits())
+            .collect();
+        assert_eq!(appended, reappended);
+    }
+
+    #[test]
+    fn sequential_removals_match_joint_from_scratch_factor() {
+        let n = 24;
+        let drop = [3usize, 11, 19];
+        let mut rng = Rng::seed_from_u64(81);
+        let a = Mat::random_spd(n, &mut rng);
+        let mut l = a.clone();
+        dpotrf(n, l.as_mut_slice(), n).unwrap();
+        // Remove highest-first so earlier indices stay valid.
+        let mut dim = n;
+        for &idx in drop.iter().rev() {
+            chol_remove(dim, l.as_mut_slice(), n, idx);
+            dim -= 1;
+        }
+        let reference = factor_without(&a, &drop);
+        let mut err = 0.0f64;
+        for j in 0..dim {
+            for i in j..dim {
+                err = err.max((l.as_slice()[i + j * n] - reference[(i, j)]).abs());
+            }
+        }
+        assert!(err < 1e-10, "err {err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod svd;
 
 pub use blas1::{axpy, dot, iamax, nrm2, scal};
 pub use blas3::{dsyrk, dtrsm, Side};
-pub use chol::{dpotf2, dpotrf};
+pub use chol::{chol_append, chol_rank1_update, chol_remove, dpotf2, dpotrf};
 pub use gemm::{dgemm, gemv, ger, Trans};
 pub use mat::Mat;
 pub use norms::{frobenius_norm, inf_norm, max_abs, one_norm};

@@ -11,14 +11,20 @@
 //!
 //! Lookups hand out `Arc` clones: eviction never invalidates requests
 //! already in flight, it only drops the registry's own reference.
+//!
+//! Every resident model is wrapped in a [`LiveModel`] so the write path
+//! (`POST /v1/models/{name}/observe`) can stream observations in; readers
+//! still receive plain `Arc<FittedModel>` snapshots. Because live factors
+//! **grow**, the byte ledger is re-checked via [`ModelRegistry::reaccount`]
+//! after every update/refit — insert-time bytes alone would drift.
 
 use exa_covariance::ParamCovariance;
-use exa_geostat::FittedModel;
+use exa_geostat::{FittedModel, LiveModel};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 struct Entry<K: ParamCovariance> {
-    model: Arc<FittedModel<K>>,
+    live: LiveModel<K>,
     bytes: usize,
     last_used: u64,
 }
@@ -34,6 +40,7 @@ struct Inner<K: ParamCovariance> {
     hits: u64,
     misses: u64,
     loads: u64,
+    reaccounts: u64,
 }
 
 /// Callback that materializes a model that is not resident (pull from a
@@ -73,6 +80,9 @@ pub struct RegistryStats {
     /// Lifetime models materialized by the load-on-miss hook
     /// ([`ModelRegistry::get_or_load`]).
     pub loads: u64,
+    /// Lifetime [`ModelRegistry::reaccount`] calls (byte re-checks after a
+    /// live model's factor grew or shrank).
+    pub reaccounts: u64,
 }
 
 /// A named collection of fitted sessions with LRU eviction under an
@@ -109,6 +119,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
                 hits: 0,
                 misses: 0,
                 loads: 0,
+                reaccounts: 0,
             }),
             budget: None,
             loader: Mutex::new(None),
@@ -132,8 +143,14 @@ impl<K: ParamCovariance> ModelRegistry<K> {
     /// single factor larger than the whole budget still becomes resident
     /// (and everything else is evicted around it).
     pub fn insert(&self, name: impl Into<String>, model: Arc<FittedModel<K>>) -> Vec<String> {
+        self.insert_live(name, LiveModel::with_env_policy(model))
+    }
+
+    /// Registers an already-wrapped [`LiveModel`] (same replacement and
+    /// budget-eviction semantics as [`ModelRegistry::insert`]).
+    pub fn insert_live(&self, name: impl Into<String>, live: LiveModel<K>) -> Vec<String> {
         let name = name.into();
-        let bytes = model.factor_bytes();
+        let bytes = live.snapshot().factor_bytes();
         let mut inner = self.inner.lock().expect("registry lock");
         inner.clock += 1;
         inner.insertions += 1;
@@ -141,7 +158,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
         if let Some(old) = inner.models.insert(
             name.clone(),
             Entry {
-                model,
+                live,
                 bytes,
                 last_used: stamp,
             },
@@ -149,14 +166,20 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             inner.bytes -= old.bytes;
         }
         inner.bytes += bytes;
+        Self::enforce_budget(&mut inner, self.budget, &name)
+    }
+
+    /// Evicts LRU entries (never `keep` itself) until the ledger fits the
+    /// budget. Shared by insert and reaccount.
+    fn enforce_budget(inner: &mut Inner<K>, budget: Option<usize>, keep: &str) -> Vec<String> {
         let mut evicted = Vec::new();
-        if let Some(budget) = self.budget {
+        if let Some(budget) = budget {
             while inner.bytes > budget {
-                // LRU among everything except the entry just inserted.
+                // LRU among everything except the protected entry.
                 let victim = inner
                     .models
                     .iter()
-                    .filter(|(n, _)| **n != name)
+                    .filter(|(n, _)| **n != keep)
                     .min_by_key(|(_, e)| e.last_used)
                     .map(|(n, _)| n.clone());
                 let Some(victim) = victim else { break };
@@ -169,17 +192,44 @@ impl<K: ParamCovariance> ModelRegistry<K> {
         evicted
     }
 
-    /// Looks up a model by name, bumping its recency.
+    /// Re-reads a live model's current factor bytes into the ledger and
+    /// re-runs budget eviction (the grown model itself is never the victim,
+    /// mirroring insert's oversized-model rule). Returns evicted names.
+    ///
+    /// Called by the serving layer after every observe/expire/refit —
+    /// without it, `factor_bytes` recorded at insert would drift as factors
+    /// grow.
+    pub fn reaccount(&self, name: &str) -> Vec<String> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let Some(entry) = inner.models.get_mut(name) else {
+            return Vec::new();
+        };
+        let bytes = entry.live.snapshot().factor_bytes();
+        let old = std::mem::replace(&mut entry.bytes, bytes);
+        inner.bytes = inner.bytes - old + bytes;
+        inner.reaccounts += 1;
+        Self::enforce_budget(&mut inner, self.budget, name)
+    }
+
+    /// Looks up a model by name, bumping its recency. The returned snapshot
+    /// is immutable — concurrent observes swap in new snapshots without
+    /// touching handles already given out.
     pub fn get(&self, name: &str) -> Option<Arc<FittedModel<K>>> {
+        self.live(name).map(|live| live.snapshot())
+    }
+
+    /// Looks up the [`LiveModel`] wrapper by name (the write path), bumping
+    /// recency.
+    pub fn live(&self, name: &str) -> Option<LiveModel<K>> {
         let mut inner = self.inner.lock().expect("registry lock");
         inner.clock += 1;
         let stamp = inner.clock;
         match inner.models.get_mut(name) {
             Some(entry) => {
                 entry.last_used = stamp;
-                let model = Arc::clone(&entry.model);
+                let live = entry.live.clone();
                 inner.hits += 1;
-                Some(model)
+                Some(live)
             }
             None => {
                 inner.misses += 1;
@@ -214,16 +264,30 @@ impl<K: ParamCovariance> ModelRegistry<K> {
         if let Some(model) = self.get(name) {
             return Some(model);
         }
+        self.live_or_load_slow(name).map(|live| live.snapshot())
+    }
+
+    /// [`ModelRegistry::live`] with the same load-on-miss behavior as
+    /// [`ModelRegistry::get_or_load`] — the observe path's lookup.
+    pub fn live_or_load(&self, name: &str) -> Option<LiveModel<K>> {
+        if let Some(live) = self.live(name) {
+            return Some(live);
+        }
+        self.live_or_load_slow(name)
+    }
+
+    fn live_or_load_slow(&self, name: &str) -> Option<LiveModel<K>> {
         let loader = self.loader.lock().expect("loader lock");
         // Re-check under the loader lock: a racing miss may have already
         // materialized the model while this thread waited.
-        if let Some(model) = self.get(name) {
-            return Some(model);
+        if let Some(live) = self.live(name) {
+            return Some(live);
         }
         let model = loader.as_ref()?(name)?;
         self.inner.lock().expect("registry lock").loads += 1;
-        self.insert(name, Arc::clone(&model));
-        Some(model)
+        let live = LiveModel::with_env_policy(model);
+        self.insert_live(name, live.clone());
+        Some(live)
     }
 
     /// Removes a model by name; `true` if it was resident.
@@ -293,6 +357,38 @@ impl<K: ParamCovariance> ModelRegistry<K> {
         self.snapshot().1
     }
 
+    /// Aggregated streaming-ingestion drift across every resident live
+    /// model: lifetime counters summed, gauges (`condition_growth`,
+    /// `loglik_drift`, `updates_since_refactor`) taken as the max — the
+    /// "worst drifted model" view an operator alerts on.
+    pub fn drift_totals(&self) -> exa_geostat::DriftStats {
+        // Clone the handles out, then read drift lock-free: a slow observer
+        // never holds the registry lock while models churn.
+        let lives: Vec<LiveModel<K>> = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .models
+            .values()
+            .map(|e| e.live.clone())
+            .collect();
+        let mut total = exa_geostat::DriftStats::default();
+        for live in lives {
+            let d = live.drift();
+            total.updates_since_refactor =
+                total.updates_since_refactor.max(d.updates_since_refactor);
+            total.updates_total += d.updates_total;
+            total.points_ingested += d.points_ingested;
+            total.points_expired += d.points_expired;
+            total.refits_triggered += d.refits_triggered;
+            total.refits_completed += d.refits_completed;
+            total.replayed_updates += d.replayed_updates;
+            total.condition_growth = total.condition_growth.max(d.condition_growth);
+            total.loglik_drift = total.loglik_drift.max(d.loglik_drift);
+        }
+        total
+    }
+
     /// Entry list and statistics under **one** lock acquisition, so the
     /// two halves always describe the same registry state (`bytes_in_use`
     /// equals the sum of the listed `factor_bytes`, even while concurrent
@@ -317,6 +413,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             hits: inner.hits,
             misses: inner.misses,
             loads: inner.loads,
+            reaccounts: inner.reaccounts,
         };
         (entries, stats)
     }
@@ -653,6 +750,57 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1, "load must single-flight");
         assert_eq!(reg.stats().loads, 1);
+    }
+
+    #[test]
+    fn reaccount_after_growth_past_budget_evicts_lru() {
+        // The byte-budget-drift satellite: a model that grows *after*
+        // insertion must be re-accounted, and the ledger correction evicts
+        // around it just like an oversized insert would.
+        let mut rng = Rng::seed_from_u64(5);
+        let locations = Arc::new(synthetic_locations(6, &mut rng));
+        let rt = Runtime::new(1);
+        let mut z = vec![0.0; locations.len()];
+        rng.fill_gaussian(&mut z);
+        let growing = Arc::new(
+            GeoModel::<MaternKernel>::builder()
+                .locations(locations)
+                .data(z)
+                .backend(Backend::FullBlock) // dense: incrementally updatable
+                .tile_size(18)
+                .build()
+                .unwrap()
+                .at_params(&[1.0, 0.1, 0.5], &rt)
+                .unwrap(),
+        );
+        let small = fitted(2, Backend::FullTile);
+        let budget = growing.factor_bytes() + small.factor_bytes();
+        let reg = ModelRegistry::with_byte_budget(budget);
+        reg.insert("grow", growing.clone());
+        reg.insert("small", small);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.bytes_in_use() <= budget);
+
+        // Stream observations in: the factor grows, but the ledger still
+        // carries insert-time bytes until a reaccount.
+        let live = reg.live("grow").unwrap();
+        let pts: Vec<exa_covariance::Location> = (0..8)
+            .map(|i| exa_covariance::Location::new(1.5 + 0.07 * i as f64, 0.3 + 0.05 * i as f64))
+            .collect();
+        live.observe(&pts, &[0.25; 8], &rt).unwrap();
+        let grown_bytes = live.snapshot().factor_bytes();
+        assert!(grown_bytes > growing.factor_bytes());
+        let stale = reg.bytes_in_use();
+
+        let evicted = reg.reaccount("grow");
+        assert_eq!(evicted, vec!["small".to_string()], "LRU makes room");
+        assert!(reg.contains("grow"), "the grown model itself survives");
+        assert_eq!(reg.bytes_in_use(), grown_bytes);
+        assert_ne!(reg.bytes_in_use(), stale, "ledger was corrected");
+        assert_eq!(reg.stats().reaccounts, 1);
+
+        // Reaccounting an absent name is a no-op.
+        assert!(reg.reaccount("ghost").is_empty());
     }
 
     #[test]

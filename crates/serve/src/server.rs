@@ -223,12 +223,19 @@ struct Counters {
     latency_ns_total: AtomicU64,
     latency_ns_max: AtomicU64,
     worker_potrf: AtomicU64,
+    observes: AtomicU64,
+    observe_points: AtomicU64,
+    observes_failed: AtomicU64,
+    observe_sync_refits: AtomicU64,
+    observe_refits_triggered: AtomicU64,
     /// End-to-end submit→response latency distribution.
     latency_hist: Histogram,
     /// Queue-wait stage: submit → a worker started the batch.
     queue_hist: Histogram,
     /// Solve stage: the coalesced model call.
     solve_hist: Histogram,
+    /// Observe stage: the incremental factor update (or fallback refit).
+    observe_hist: Histogram,
 }
 
 impl Counters {
@@ -241,6 +248,7 @@ impl Counters {
 
     fn snapshot(&self) -> ServerStats {
         let latency = self.latency_hist.snapshot();
+        let observe = self.observe_hist.snapshot();
         ServerStats {
             requests_submitted: self.submitted.load(Ordering::Relaxed),
             requests_served: self.served.load(Ordering::Relaxed),
@@ -256,6 +264,14 @@ impl Counters {
             latency_p99_seconds: latency.p99(),
             latency_p999_seconds: latency.p999(),
             factorizations_during_serving: self.worker_potrf.load(Ordering::Relaxed),
+            observes_applied: self.observes.load(Ordering::Relaxed),
+            observe_points_ingested: self.observe_points.load(Ordering::Relaxed),
+            observes_failed: self.observes_failed.load(Ordering::Relaxed),
+            observe_sync_refits: self.observe_sync_refits.load(Ordering::Relaxed),
+            observe_refits_triggered: self.observe_refits_triggered.load(Ordering::Relaxed),
+            observe_p50_seconds: observe.p50(),
+            observe_p95_seconds: observe.p95(),
+            observe_p99_seconds: observe.p99(),
         }
     }
 }
@@ -448,6 +464,99 @@ impl<K: ParamCovariance> ServerHandle<K> {
                 .fetch_add((potrf_now - potrf_before) as u64, Ordering::Relaxed);
         }
         ticket.wait()
+    }
+
+    /// Streams an observation batch into the named model: the write path.
+    ///
+    /// Runs **synchronously on the calling thread** — per-model write
+    /// serialization is the [`LiveModel`](exa_geostat::LiveModel) write
+    /// lock, so concurrent observes for one model apply in a deterministic
+    /// total order while observes for different models proceed in parallel,
+    /// and coalesced predict batches keep serving the pre-update snapshot
+    /// they pinned at submit time. After the update the registry byte
+    /// ledger is re-accounted (factors grow), which may LRU-evict other
+    /// models.
+    ///
+    /// A miss consults the load-on-miss hook, exactly like the predict
+    /// path.
+    pub fn observe(
+        &self,
+        model: &str,
+        points: &[Location],
+        values: &[f64],
+    ) -> Result<exa_geostat::ObserveOutcome, ServeError> {
+        let counters = &self.shared.counters;
+        if points.is_empty() {
+            counters.observes_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Rejected("empty observation set".into()));
+        }
+        if points.len() != values.len() {
+            counters.observes_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Rejected(format!(
+                "{} points but {} values",
+                points.len(),
+                values.len()
+            )));
+        }
+        if !self.shared.queue.lock().expect("queue lock").accepting {
+            return Err(ServeError::ShuttingDown);
+        }
+        let live = self
+            .shared
+            .registry
+            .live_or_load(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let rt = Runtime::new(self.shared.config.threads_per_worker.max(1));
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            live.observe(points, values, &rt)
+        }));
+        counters
+            .observe_hist
+            .record_seconds(start.elapsed().as_secs_f64());
+        match result {
+            Ok(Ok(outcome)) => {
+                self.shared.registry.reaccount(model);
+                counters.observes.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .observe_points
+                    .fetch_add(outcome.applied as u64, Ordering::Relaxed);
+                if !outcome.used_incremental {
+                    counters.observe_sync_refits.fetch_add(1, Ordering::Relaxed);
+                }
+                if outcome.refit_triggered {
+                    counters
+                        .observe_refits_triggered
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(outcome)
+            }
+            Ok(Err(e)) => {
+                counters.observes_failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Rejected(e.to_string()))
+            }
+            Err(payload) => {
+                counters.observes_failed.fetch_add(1, Ordering::Relaxed);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                Err(ServeError::Panicked(msg))
+            }
+        }
+    }
+
+    /// Snapshot of the observe stage histogram (the incremental factor
+    /// update, or its synchronous fallback refit).
+    pub fn observe_histogram(&self) -> HistogramSnapshot {
+        self.shared.counters.observe_hist.snapshot()
+    }
+
+    /// Aggregated streaming-ingestion drift across every resident model
+    /// (counters summed, gauges maxed) — the `/v1/stats` drift section.
+    pub fn drift_totals(&self) -> exa_geostat::DriftStats {
+        self.shared.registry.drift_totals()
     }
 
     /// Requests currently queued (submitted, not yet claimed by a worker) —
@@ -1146,6 +1255,59 @@ mod tests {
             stats.batches_executed,
             stats.requests_served
         );
+        assert_eq!(stats.factorizations_during_serving, 0);
+    }
+
+    #[test]
+    fn observe_updates_predictions_counters_and_ledger() {
+        let (registry, _rt) = registry_with(&["m"], Backend::FullBlock);
+        let server = PredictionServer::start(Arc::clone(&registry), ServeConfig::default());
+        let handle = server.handle();
+        let target = vec![Location::new(0.41, 0.37)];
+        let before = handle.predict("m", target.clone()).unwrap();
+        let bytes_before = registry.bytes_in_use();
+
+        // Door checks.
+        assert!(matches!(
+            handle.observe("m", &[], &[]),
+            Err(ServeError::Rejected(_))
+        ));
+        assert!(matches!(
+            handle.observe("m", &[Location::new(2.0, 0.1)], &[1.0, 2.0]),
+            Err(ServeError::Rejected(_))
+        ));
+        assert!(matches!(
+            handle.observe("nope", &[Location::new(2.0, 0.1)], &[1.0]),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        let pts = [Location::new(2.0, 0.1), Location::new(2.2, 0.8)];
+        let out = handle.observe("m", &pts, &[0.4, -0.2]).unwrap();
+        assert!(out.used_incremental);
+        assert_eq!(out.applied, 2);
+
+        // The write changed the model the read path serves, and matches the
+        // in-process LiveModel result exactly (same snapshot).
+        let after = handle.predict("m", target.clone()).unwrap();
+        assert_ne!(
+            before.values[0].to_bits(),
+            after.values[0].to_bits(),
+            "observation near the target must move the prediction"
+        );
+        let in_process = registry.live("m").unwrap().snapshot();
+        let direct = in_process.predict_batch(&[&target]).unwrap();
+        assert_eq!(direct[0].values[0].to_bits(), after.values[0].to_bits());
+
+        // Ledger re-accounted for the grown factor.
+        assert!(registry.bytes_in_use() > bytes_before);
+        assert_eq!(registry.stats().reaccounts, 1);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.observes_applied, 1);
+        assert_eq!(stats.observe_points_ingested, 2);
+        assert_eq!(stats.observes_failed, 2);
+        assert_eq!(stats.observe_sync_refits, 0);
+        assert!(stats.observe_p50_seconds > 0.0);
         assert_eq!(stats.factorizations_during_serving, 0);
     }
 

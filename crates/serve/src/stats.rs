@@ -35,8 +35,29 @@ pub struct ServerStats {
     pub latency_p999_seconds: f64,
     /// Cholesky factorizations performed by the worker threads. The serving
     /// layer only ever applies cached factors, so this **must stay 0**; it
-    /// is surfaced so load tests and benches can assert it.
+    /// is surfaced so load tests and benches can assert it. Streaming
+    /// ingestion does not move it: incremental updates never `potrf` the
+    /// full matrix, and background refits run on their own thread.
     pub factorizations_during_serving: u64,
+    /// Observe batches applied successfully (the write path).
+    pub observes_applied: u64,
+    /// Total observation points ingested by successful observes.
+    pub observe_points_ingested: u64,
+    /// Observe batches rejected or failed.
+    pub observes_failed: u64,
+    /// Observes that fell back to a synchronous full refit (tile/TLR
+    /// factors cannot update incrementally).
+    pub observe_sync_refits: u64,
+    /// Background refactorizations scheduled by drift crossed during an
+    /// observe on this server.
+    pub observe_refits_triggered: u64,
+    /// Median observe latency (update or fallback refit), histogram-derived
+    /// like the predict percentiles.
+    pub observe_p50_seconds: f64,
+    /// 95th-percentile observe latency.
+    pub observe_p95_seconds: f64,
+    /// 99th-percentile observe latency.
+    pub observe_p99_seconds: f64,
 }
 
 impl ServerStats {

@@ -11,7 +11,7 @@
 //! frames (see [`crate::codec`]); both decode into the same
 //! [`WirePrediction`], and error envelopes are JSON either way.
 
-use crate::codec::{self, Codec, PredictResponseFrame};
+use crate::codec::{self, Codec, ObserveResponseFrame, PredictResponseFrame};
 use crate::http::status_reason;
 use crate::json::{Json, JsonWriter};
 use exa_covariance::Location;
@@ -74,6 +74,24 @@ pub struct WirePrediction {
     /// Total prediction points in that batch.
     pub batch_points: u64,
     /// Server-side submit → response latency, seconds.
+    pub latency_seconds: f64,
+}
+
+/// One applied observe batch, decoded (either codec).
+#[derive(Clone, Copy, Debug)]
+pub struct WireObserve {
+    /// Observation points absorbed by this batch.
+    pub accepted: u64,
+    /// Observations in the model after the batch.
+    pub model_points: u64,
+    /// Incremental updates applied since the factor was last rebuilt.
+    pub updates_since_refactor: u64,
+    /// Whether the batch was absorbed incrementally (vs. a sync refit).
+    pub used_incremental: bool,
+    /// Whether this batch crossed the drift policy and scheduled a
+    /// background refactorization.
+    pub refit_triggered: bool,
+    /// Server-side ingest latency, seconds.
     pub latency_seconds: f64,
 }
 
@@ -209,6 +227,118 @@ impl WireClient {
         targets: &[Location],
     ) -> Result<WirePrediction, WireError> {
         self.predict_inner(model, targets, true)
+    }
+
+    /// `POST /v1/models/{name}/observe` — streams a batch of observations
+    /// into the model over whichever codec the connection speaks.
+    pub fn observe(
+        &mut self,
+        model: &str,
+        points: &[Location],
+        values: &[f64],
+    ) -> Result<WireObserve, WireError> {
+        match self.codec {
+            Codec::Json => self.observe_json(model, points, values),
+            Codec::Binary => self.observe_frame(model, points, values),
+        }
+    }
+
+    /// `POST /v1/models/{name}/evict` — drops the model from the node's
+    /// registry so the next miss reloads it. Returns whether it was
+    /// resident.
+    pub fn evict(&mut self, model: &str) -> Result<bool, WireError> {
+        let path = format!("/v1/models/{model}/evict");
+        let (status, retry_after, doc) = self.roundtrip("POST", &path, Some(b"{}"))?;
+        let doc = expect_ok(status, retry_after, doc)?;
+        doc.get("evicted")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| protocol("evict response missing \"evicted\""))
+    }
+
+    fn observe_json(
+        &mut self,
+        model: &str,
+        points: &[Location],
+        values: &[f64],
+    ) -> Result<WireObserve, WireError> {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("points");
+        w.begin_array();
+        for p in points {
+            w.begin_array();
+            w.number(p.x);
+            w.number(p.y);
+            w.end_array();
+        }
+        w.end_array();
+        w.key("values");
+        w.begin_array();
+        for v in values {
+            w.number(*v);
+        }
+        w.end_array();
+        w.end_object();
+        let body = w.finish();
+        let path = format!("/v1/models/{model}/observe");
+        let (status, retry_after, doc) = self.roundtrip("POST", &path, Some(body.as_bytes()))?;
+        let doc = expect_ok(status, retry_after, doc)?;
+        Ok(WireObserve {
+            accepted: field_u64(&doc, "accepted")?,
+            model_points: field_u64(&doc, "model_points")?,
+            updates_since_refactor: field_u64(&doc, "updates_since_refactor")?,
+            used_incremental: doc
+                .get("used_incremental")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| protocol("observe response missing \"used_incremental\""))?,
+            refit_triggered: doc
+                .get("refit_triggered")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| protocol("observe response missing \"refit_triggered\""))?,
+            latency_seconds: doc
+                .get("latency_seconds")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| protocol("observe response missing \"latency_seconds\""))?,
+        })
+    }
+
+    fn observe_frame(
+        &mut self,
+        model: &str,
+        points: &[Location],
+        values: &[f64],
+    ) -> Result<WireObserve, WireError> {
+        let frame = codec::encode_observe_request(points, values);
+        let path = format!("/v1/models/{model}/observe");
+        let response = self.request_raw(
+            "POST",
+            &path,
+            codec::FRAME_CONTENT_TYPE,
+            codec::FRAME_CONTENT_TYPE,
+            &frame,
+        )?;
+        if !(200..300).contains(&response.status) {
+            return Err(api_error(&response));
+        }
+        if !response
+            .content_type
+            .eq_ignore_ascii_case(codec::FRAME_CONTENT_TYPE)
+        {
+            return Err(protocol(&format!(
+                "negotiated a binary observe response but got Content-Type {:?}",
+                response.content_type
+            )));
+        }
+        let frame = ObserveResponseFrame::decode(&response.body)
+            .map_err(|e| protocol(&format!("undecodable observe response frame: {e}")))?;
+        Ok(WireObserve {
+            accepted: u64::from(frame.accepted),
+            model_points: u64::from(frame.model_points),
+            updates_since_refactor: u64::from(frame.updates_since_refactor),
+            used_incremental: frame.used_incremental,
+            refit_triggered: frame.refit_triggered,
+            latency_seconds: frame.latency_seconds,
+        })
     }
 
     /// `GET /v1/models`, decoded.

@@ -21,27 +21,35 @@
 //! All multi-byte fields are **little-endian**; coordinate and result
 //! arrays are contiguous runs of raw `f64` bits (`f64::to_le_bytes`).
 //!
-//! **Predict request** (`16 + 16·n` bytes):
+//! Every frame shares an 8-byte preamble: magic, version, flags, a **frame
+//! kind** byte at offset 6 (0 = predict, 1 = observe request, 2 = observe
+//! response — predict frames predate the kind byte, which is why their kind
+//! is the zero the field was reserved as), and a reserved zero byte.
+//!
+//! **Predict request** (kind `0`, `16 + 16·n` bytes):
 //!
 //! | offset | size | field |
 //! |---|---|---|
 //! | 0  | 4    | magic `"EXAF"` |
 //! | 4  | 1    | version (`1`) |
 //! | 5  | 1    | flags — bit 0: request conditional variances |
-//! | 6  | 2    | reserved, must be zero |
+//! | 6  | 1    | frame kind (`0`) |
+//! | 7  | 1    | reserved, must be zero |
 //! | 8  | 4    | `n`: number of targets (`u32`) |
 //! | 12 | 4    | reserved, must be zero |
 //! | 16 | 8·n  | target x coordinates (`f64`) |
 //! | 16 + 8·n | 8·n | target y coordinates (`f64`) |
 //!
-//! **Predict response** (`32 + 8·n` bytes, `+ 8·n` with variances):
+//! **Predict response** (kind `0`, `32 + 8·n` bytes, `+ 8·n` with
+//! variances):
 //!
 //! | offset | size | field |
 //! |---|---|---|
 //! | 0  | 4    | magic `"EXAF"` |
 //! | 4  | 1    | version (`1`) |
 //! | 5  | 1    | flags — bit 0: variance array present |
-//! | 6  | 2    | reserved, must be zero |
+//! | 6  | 1    | frame kind (`0`) |
+//! | 7  | 1    | reserved, must be zero |
 //! | 8  | 4    | `n`: number of answered points (`u32`) |
 //! | 12 | 4    | `coalesced_requests` (`u32`) |
 //! | 16 | 4    | `batch_points` (`u32`) |
@@ -49,6 +57,29 @@
 //! | 24 | 8    | `latency_seconds` (`f64`) |
 //! | 32 | 8·n  | kriging means (`f64`) |
 //! | 32 + 8·n | 8·n | conditional variances (`f64`, iff flag bit 0) |
+//!
+//! **Observe request** (kind `1`, `16 + 24·n` bytes) — the streaming-ingest
+//! write path (`POST /v1/models/{name}/observe`):
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 8    | preamble (flags must be zero, kind `1`) |
+//! | 8  | 4    | `n`: number of observations (`u32`) |
+//! | 12 | 4    | reserved, must be zero |
+//! | 16 | 8·n  | observation x coordinates (`f64`) |
+//! | 16 + 8·n  | 8·n | observation y coordinates (`f64`) |
+//! | 16 + 16·n | 8·n | observed values (`f64`) |
+//!
+//! **Observe response** (kind `2`, exactly `32` bytes):
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 8    | preamble (flags must be zero, kind `2`) |
+//! | 8  | 4    | `accepted`: points absorbed (`u32`) |
+//! | 12 | 4    | `model_points`: observations in the model after (`u32`) |
+//! | 16 | 4    | `updates_since_refactor` (`u32`, saturating) |
+//! | 20 | 4    | observe flags — bit 0: applied incrementally, bit 1: a background refit was triggered (`u32`) |
+//! | 24 | 8    | `latency_seconds` (`f64`) |
 //!
 //! Decoding is bounds-checked and **zero-copy**: a decoded frame borrows
 //! the payload byte ranges from the input buffer and reads individual
@@ -73,8 +104,24 @@ pub const VERSION: u8 = 1;
 /// Flag bit 0: variances requested (request) / present (response).
 pub const FLAG_VARIANCE: u8 = 0b0000_0001;
 
+/// Frame kind (preamble byte 6): a predict request or response.
+pub const KIND_PREDICT: u8 = 0;
+/// Frame kind: an observe (streaming-ingest) request.
+pub const KIND_OBSERVE_REQUEST: u8 = 1;
+/// Frame kind: an observe response.
+pub const KIND_OBSERVE_RESPONSE: u8 = 2;
+
+/// Observe-response flag bit 0: the batch was absorbed by an incremental
+/// Cholesky update (as opposed to a synchronous refit fallback).
+pub const OBSERVE_FLAG_INCREMENTAL: u32 = 0b0000_0001;
+/// Observe-response flag bit 1: the update crossed the drift policy and a
+/// background refactorization was scheduled.
+pub const OBSERVE_FLAG_REFIT_TRIGGERED: u32 = 0b0000_0010;
+
 const REQUEST_HEADER_BYTES: usize = 16;
 const RESPONSE_HEADER_BYTES: usize = 32;
+const OBSERVE_REQUEST_HEADER_BYTES: usize = 16;
+const OBSERVE_RESPONSE_BYTES: usize = 32;
 
 /// Which predict codec a request/response travels as.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -130,9 +177,9 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Reads the shared 8-byte preamble (magic, version, flags, reserved pad)
-/// and returns the flags.
-fn check_preamble(bytes: &[u8], what: &str) -> Result<u8, FrameError> {
+/// Reads the shared 8-byte preamble (magic, version, flags, frame kind,
+/// reserved pad), requires the expected frame kind, and returns the flags.
+fn check_preamble(bytes: &[u8], what: &str, kind: u8) -> Result<u8, FrameError> {
     if bytes.len() < 8 {
         return Err(FrameError::new(
             bytes.len(),
@@ -152,14 +199,28 @@ fn check_preamble(bytes: &[u8], what: &str) -> Result<u8, FrameError> {
         ));
     }
     let flags = bytes[5];
-    if flags & !FLAG_VARIANCE != 0 {
+    let allowed = if kind == KIND_PREDICT {
+        FLAG_VARIANCE
+    } else {
+        0
+    };
+    if flags & !allowed != 0 {
         return Err(FrameError::new(
             5,
             format!("unknown flag bits {flags:#04x}"),
         ));
     }
-    if bytes[6] != 0 || bytes[7] != 0 {
-        return Err(FrameError::new(6, "reserved preamble bytes must be zero"));
+    if bytes[6] != kind {
+        return Err(FrameError::new(
+            6,
+            format!(
+                "frame kind {} where a {what} (kind {kind}) was expected",
+                bytes[6]
+            ),
+        ));
+    }
+    if bytes[7] != 0 {
+        return Err(FrameError::new(7, "reserved preamble byte must be zero"));
     }
     Ok(flags)
 }
@@ -194,7 +255,7 @@ impl<'a> PredictRequestFrame<'a> {
     /// be exactly one frame: trailing bytes are an error (the HTTP layer
     /// already framed the body with `Content-Length`).
     pub fn decode(bytes: &'a [u8]) -> Result<Self, FrameError> {
-        let flags = check_preamble(bytes, "predict-request")?;
+        let flags = check_preamble(bytes, "predict-request", KIND_PREDICT)?;
         if bytes.len() < REQUEST_HEADER_BYTES {
             return Err(FrameError::new(
                 bytes.len(),
@@ -294,7 +355,7 @@ pub struct PredictResponseFrame<'a> {
 impl<'a> PredictResponseFrame<'a> {
     /// Bounds-checked zero-copy decode of one response frame.
     pub fn decode(bytes: &'a [u8]) -> Result<Self, FrameError> {
-        let flags = check_preamble(bytes, "predict-response")?;
+        let flags = check_preamble(bytes, "predict-response", KIND_PREDICT)?;
         if bytes.len() < RESPONSE_HEADER_BYTES {
             return Err(FrameError::new(
                 bytes.len(),
@@ -411,6 +472,194 @@ pub fn encode_predict_response(
         latency_seconds,
     );
     buf
+}
+
+/// A decoded observe (streaming-ingest) request, borrowing its coordinate
+/// and value arrays from the request body (see the [module docs](self) for
+/// the byte layout).
+#[derive(Debug)]
+pub struct ObserveRequestFrame<'a> {
+    xs: &'a [u8],
+    ys: &'a [u8],
+    values: &'a [u8],
+}
+
+impl<'a> ObserveRequestFrame<'a> {
+    /// Bounds-checked zero-copy decode of one observe request frame.
+    pub fn decode(bytes: &'a [u8]) -> Result<Self, FrameError> {
+        check_preamble(bytes, "observe-request", KIND_OBSERVE_REQUEST)?;
+        if bytes.len() < OBSERVE_REQUEST_HEADER_BYTES {
+            return Err(FrameError::new(
+                bytes.len(),
+                "observe-request frame truncated inside the 16-byte header",
+            ));
+        }
+        let count = read_u32(bytes, 8) as usize;
+        if read_u32(bytes, 12) != 0 {
+            return Err(FrameError::new(12, "reserved header bytes must be zero"));
+        }
+        let expected = OBSERVE_REQUEST_HEADER_BYTES
+            .checked_add(count.checked_mul(24).ok_or_else(|| {
+                FrameError::new(
+                    8,
+                    format!("observation count {count} overflows the frame size"),
+                )
+            })?)
+            .ok_or_else(|| {
+                FrameError::new(
+                    8,
+                    format!("observation count {count} overflows the frame size"),
+                )
+            })?;
+        if bytes.len() != expected {
+            return Err(FrameError::new(
+                bytes.len().min(expected),
+                format!(
+                    "frame length {} does not match {expected} bytes implied by {count} observations",
+                    bytes.len()
+                ),
+            ));
+        }
+        let xs = &bytes[OBSERVE_REQUEST_HEADER_BYTES..OBSERVE_REQUEST_HEADER_BYTES + 8 * count];
+        let ys = &bytes
+            [OBSERVE_REQUEST_HEADER_BYTES + 8 * count..OBSERVE_REQUEST_HEADER_BYTES + 16 * count];
+        let values = &bytes[OBSERVE_REQUEST_HEADER_BYTES + 16 * count..];
+        Ok(ObserveRequestFrame { xs, ys, values })
+    }
+
+    /// Number of observations carried.
+    pub fn len(&self) -> usize {
+        self.xs.len() / 8
+    }
+
+    /// True when the frame carries no observations (rejected by the server
+    /// as `invalid_query`, like the JSON path).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Copies the payload out into the location/value lists the ingestion
+    /// path consumes.
+    pub fn to_points(&self) -> (Vec<Location>, Vec<f64>) {
+        let locations = f64_iter(self.xs)
+            .zip(f64_iter(self.ys))
+            .map(|(x, y)| Location::new(x, y))
+            .collect();
+        (locations, f64_iter(self.values).collect())
+    }
+}
+
+/// Encodes one observe request frame into `buf` (cleared first). Panics if
+/// `points` and `values` disagree on length — the client validates before
+/// it encodes.
+pub fn encode_observe_request_into(buf: &mut Vec<u8>, points: &[Location], values: &[f64]) {
+    assert_eq!(points.len(), values.len(), "one value per observed point");
+    buf.clear();
+    buf.reserve(OBSERVE_REQUEST_HEADER_BYTES + 24 * points.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(0);
+    buf.push(KIND_OBSERVE_REQUEST);
+    buf.push(0);
+    buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&[0, 0, 0, 0]);
+    for p in points {
+        buf.extend_from_slice(&p.x.to_le_bytes());
+    }
+    for p in points {
+        buf.extend_from_slice(&p.y.to_le_bytes());
+    }
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// One-shot convenience over [`encode_observe_request_into`].
+pub fn encode_observe_request(points: &[Location], values: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_observe_request_into(&mut buf, points, values);
+    buf
+}
+
+/// A decoded observe response — all scalars, nothing borrowed (see the
+/// [module docs](self) for the byte layout).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObserveResponseFrame {
+    /// Observation points absorbed by this batch.
+    pub accepted: u32,
+    /// Observations in the model after the batch.
+    pub model_points: u32,
+    /// Incremental updates applied since the factor was last rebuilt
+    /// (saturating; 0 right after a refit).
+    pub updates_since_refactor: u32,
+    /// Whether the batch was absorbed incrementally (vs. a sync refit).
+    pub used_incremental: bool,
+    /// Whether this batch crossed the drift policy and scheduled a
+    /// background refactorization.
+    pub refit_triggered: bool,
+    /// Server-side ingest latency, seconds.
+    pub latency_seconds: f64,
+}
+
+impl ObserveResponseFrame {
+    /// Bounds-checked decode of one observe response frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        check_preamble(bytes, "observe-response", KIND_OBSERVE_RESPONSE)?;
+        if bytes.len() != OBSERVE_RESPONSE_BYTES {
+            return Err(FrameError::new(
+                bytes.len().min(OBSERVE_RESPONSE_BYTES),
+                format!(
+                    "observe-response frame is {} bytes (expected exactly {OBSERVE_RESPONSE_BYTES})",
+                    bytes.len()
+                ),
+            ));
+        }
+        let observe_flags = read_u32(bytes, 20);
+        if observe_flags & !(OBSERVE_FLAG_INCREMENTAL | OBSERVE_FLAG_REFIT_TRIGGERED) != 0 {
+            return Err(FrameError::new(
+                20,
+                format!("unknown observe flag bits {observe_flags:#010x}"),
+            ));
+        }
+        Ok(ObserveResponseFrame {
+            accepted: read_u32(bytes, 8),
+            model_points: read_u32(bytes, 12),
+            updates_since_refactor: read_u32(bytes, 16),
+            used_incremental: observe_flags & OBSERVE_FLAG_INCREMENTAL != 0,
+            refit_triggered: observe_flags & OBSERVE_FLAG_REFIT_TRIGGERED != 0,
+            latency_seconds: read_f64(bytes, 24),
+        })
+    }
+
+    /// Encodes this response into `buf` (cleared first).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(OBSERVE_RESPONSE_BYTES);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(0);
+        buf.push(KIND_OBSERVE_RESPONSE);
+        buf.push(0);
+        buf.extend_from_slice(&self.accepted.to_le_bytes());
+        buf.extend_from_slice(&self.model_points.to_le_bytes());
+        buf.extend_from_slice(&self.updates_since_refactor.to_le_bytes());
+        let mut flags = 0u32;
+        if self.used_incremental {
+            flags |= OBSERVE_FLAG_INCREMENTAL;
+        }
+        if self.refit_triggered {
+            flags |= OBSERVE_FLAG_REFIT_TRIGGERED;
+        }
+        buf.extend_from_slice(&flags.to_le_bytes());
+        buf.extend_from_slice(&self.latency_seconds.to_le_bytes());
+    }
+
+    /// One-shot convenience over [`ObserveResponseFrame::encode_into`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
 }
 
 #[cfg(test)]
@@ -532,6 +781,125 @@ mod tests {
         assert!(frame.is_empty());
         assert!(frame.variance);
         assert!(frame.to_locations().is_empty());
+    }
+
+    #[test]
+    fn observe_request_round_trips_bit_for_bit() {
+        let points = [
+            Location::new(0.125, -3.5),
+            Location::new(f64::MIN_POSITIVE, 1.7976931348623157e308),
+        ];
+        let values = [0.1 + 0.2, -0.0];
+        let bytes = encode_observe_request(&points, &values);
+        assert_eq!(bytes.len(), 16 + 24 * points.len());
+        assert_eq!(bytes[6], KIND_OBSERVE_REQUEST);
+        let frame = ObserveRequestFrame::decode(&bytes).unwrap();
+        assert_eq!(frame.len(), 2);
+        assert!(!frame.is_empty());
+        let (locs, vals) = frame.to_points();
+        for (orig, got) in points.iter().zip(&locs) {
+            assert_eq!(orig.x.to_bits(), got.x.to_bits());
+            assert_eq!(orig.y.to_bits(), got.y.to_bits());
+        }
+        for (orig, got) in values.iter().zip(&vals) {
+            assert_eq!(orig.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn observe_response_round_trips_all_fields() {
+        for (incremental, refit) in [(false, false), (true, false), (true, true)] {
+            let orig = ObserveResponseFrame {
+                accepted: 7,
+                model_points: 4103,
+                updates_since_refactor: 96,
+                used_incremental: incremental,
+                refit_triggered: refit,
+                latency_seconds: 0.00375,
+            };
+            let bytes = orig.encode();
+            assert_eq!(bytes.len(), 32);
+            assert_eq!(bytes[6], KIND_OBSERVE_RESPONSE);
+            assert_eq!(ObserveResponseFrame::decode(&bytes).unwrap(), orig);
+        }
+    }
+
+    #[test]
+    fn frame_kinds_do_not_cross_decode() {
+        // An observe request is not a predict request, and vice versa —
+        // the kind byte at offset 6 keeps the paths apart.
+        let observe = encode_observe_request(&[Location::new(0.5, 0.5)], &[1.0]);
+        assert_eq!(PredictRequestFrame::decode(&observe).unwrap_err().offset, 6);
+        let predict = encode_predict_request(&[Location::new(0.5, 0.5)], false);
+        assert_eq!(ObserveRequestFrame::decode(&predict).unwrap_err().offset, 6);
+        let response = ObserveResponseFrame {
+            accepted: 1,
+            model_points: 2,
+            updates_since_refactor: 1,
+            used_incremental: true,
+            refit_triggered: false,
+            latency_seconds: 0.0,
+        }
+        .encode();
+        assert_eq!(
+            ObserveRequestFrame::decode(&response).unwrap_err().offset,
+            6
+        );
+    }
+
+    #[test]
+    fn malformed_observe_frames_are_rejected_with_offsets() {
+        let good = encode_observe_request(&[Location::new(0.25, 0.75)], &[0.5]);
+        for cut in [0, 3, 7, 12, 15, good.len() - 1] {
+            let err = ObserveRequestFrame::decode(&good[..cut]).unwrap_err();
+            assert!(err.offset <= cut, "cut at {cut}: {err}");
+        }
+        let mut long = good.clone();
+        long.push(0);
+        assert!(ObserveRequestFrame::decode(&long).is_err());
+        // Observe requests carry no flags at all.
+        let mut bad = good.clone();
+        bad[5] = FLAG_VARIANCE;
+        assert_eq!(ObserveRequestFrame::decode(&bad).unwrap_err().offset, 5);
+        let mut bad = good.clone();
+        bad[7] = 1;
+        assert_eq!(ObserveRequestFrame::decode(&bad).unwrap_err().offset, 7);
+        let mut bad = good.clone();
+        bad[12] = 1;
+        assert_eq!(ObserveRequestFrame::decode(&bad).unwrap_err().offset, 12);
+        let mut lying = good.clone();
+        lying[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ObserveRequestFrame::decode(&lying).is_err());
+        let mut lying = good;
+        lying[8..12].copy_from_slice(&3u32.to_le_bytes());
+        assert!(ObserveRequestFrame::decode(&lying).is_err());
+
+        let good = ObserveResponseFrame {
+            accepted: 1,
+            model_points: 2,
+            updates_since_refactor: 1,
+            used_incremental: true,
+            refit_triggered: true,
+            latency_seconds: 0.5,
+        }
+        .encode();
+        assert!(ObserveResponseFrame::decode(&good[..31]).is_err());
+        let mut long = good.clone();
+        long.push(0);
+        assert!(ObserveResponseFrame::decode(&long).is_err());
+        let mut bad = good;
+        bad[20] = 0xf0; // unknown observe flag bits
+        assert_eq!(ObserveResponseFrame::decode(&bad).unwrap_err().offset, 20);
+    }
+
+    #[test]
+    fn empty_observe_request_frames_decode_but_flag_empty() {
+        let bytes = encode_observe_request(&[], &[]);
+        assert_eq!(bytes.len(), 16);
+        let frame = ObserveRequestFrame::decode(&bytes).unwrap();
+        assert!(frame.is_empty());
+        let (locs, vals) = frame.to_points();
+        assert!(locs.is_empty() && vals.is_empty());
     }
 
     #[test]

@@ -42,6 +42,8 @@
 //! | method & path | body | answer |
 //! |---|---|---|
 //! | `POST /v1/models/{name}/predict` | predict request | predict response |
+//! | `POST /v1/models/{name}/observe` | observe request | observe response (streaming ingestion) |
+//! | `POST /v1/models/{name}/evict` | — | `{"model": name, "evicted": bool}` (admin; next miss reloads) |
 //! | `GET /v1/models` | — | residency + registry counters |
 //! | `GET /v1/stats` | — | wire + serving statistics, histogram percentiles, `uptime_seconds`, `stats_epoch` |
 //! | `GET /v1/debug/slow` | — | the slowest recent requests with per-stage breakdowns |
@@ -98,6 +100,26 @@
 //! Numbers are encoded in Rust's shortest-round-trip form and decoded with
 //! full precision, so means fetched over the wire are **bit-identical** to
 //! in-process [`FittedModel::predict_batch`] results.
+//!
+//! **Observe request** (`POST /v1/models/{name}/observe`) — the streaming
+//! write path: appends observations to a live model through an incremental
+//! Cholesky update (see `exa-geostat`'s `LiveModel`). Both codecs are
+//! supported with the same negotiation rules as predict; the binary layout
+//! is in the [`codec`] module docs. Observes are applied synchronously on
+//! the reactor thread, which serializes them per model:
+//!
+//! ```json
+//! {"points": [[1.6, 0.3], [1.7, 0.4]], "values": [0.25, -0.5]}
+//! ```
+//!
+//! **Observe response** — what the update did and how the factor is
+//! drifting:
+//!
+//! ```json
+//! {"model": "soil", "accepted": 2, "model_points": 4098,
+//!  "updates_since_refactor": 3, "used_incremental": true,
+//!  "refit_triggered": false, "latency_seconds": 0.0009}
+//! ```
 //!
 //! **Models response** — residency plus the registry's lifetime counters
 //! (`evictions` makes insert-over-budget LRU churn observable remotely):
@@ -193,6 +215,8 @@ pub mod json;
 pub mod reactor;
 pub mod server;
 
-pub use client::{WireClient, WireError, WireModelInfo, WireModels, WirePrediction, WireResponse};
+pub use client::{
+    WireClient, WireError, WireModelInfo, WireModels, WireObserve, WirePrediction, WireResponse,
+};
 pub use codec::Codec;
 pub use server::{WireConfig, WireServer, WireStats};

@@ -40,7 +40,7 @@
 //! [`ServerHandle::predict`]: exa_serve::ServerHandle::predict
 //! [`ServerHandle::submit`]: exa_serve::ServerHandle::submit
 
-use crate::codec::{self, Codec, PredictRequestFrame};
+use crate::codec::{self, Codec, ObserveRequestFrame, ObserveResponseFrame, PredictRequestFrame};
 use crate::http::{self, Limits, ParseProgress, Request};
 use crate::json::{Json, JsonWriter};
 use crate::reactor::{
@@ -1106,13 +1106,25 @@ fn route<K: ParamCovariance>(shared: &Shared<K>, request: &Request) -> Routed {
         ("GET", ["metrics"]) => Routed::Response(metrics(shared)),
         ("GET", ["v1", "debug", "slow"]) => Routed::Response(debug_slow(shared)),
         ("POST", ["v1", "models", name, "predict"]) => decode_predict(name, request),
+        // The write path runs synchronously on the reactor thread: that
+        // serializes observes per node (and therefore per model) by
+        // construction, which the incremental factor update requires.
+        ("POST", ["v1", "models", name, "observe"]) => {
+            Routed::Response(observe(shared, name, request))
+        }
+        // Admin: drop a model so the next miss reloads it through the
+        // loader — the fleet router uses this to un-stale a replica that
+        // missed an observe.
+        ("POST", ["v1", "models", name, "evict"]) => Routed::Response(evict(shared, name)),
         // Right path, wrong verb → 405 so clients can tell the two apart.
         (_, ["healthz"])
         | (_, ["v1", "models"])
         | (_, ["v1", "stats"])
         | (_, ["metrics"])
         | (_, ["v1", "debug", "slow"])
-        | (_, ["v1", "models", _, "predict"]) => Routed::Response(Response::error(
+        | (_, ["v1", "models", _, "predict"])
+        | (_, ["v1", "models", _, "observe"])
+        | (_, ["v1", "models", _, "evict"]) => Routed::Response(Response::error(
             405,
             "method_not_allowed",
             &format!("{} is not supported on {path}", request.method()),
@@ -1208,6 +1220,27 @@ fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
         "factorizations_during_serving",
         serve.factorizations_during_serving,
     );
+    w.field_uint("observes_applied", serve.observes_applied);
+    w.field_uint("observe_points_ingested", serve.observe_points_ingested);
+    w.field_uint("observes_failed", serve.observes_failed);
+    w.field_uint("observe_sync_refits", serve.observe_sync_refits);
+    w.field_uint("observe_refits_triggered", serve.observe_refits_triggered);
+    w.field_num("observe_p50_seconds", serve.observe_p50_seconds);
+    w.field_num("observe_p95_seconds", serve.observe_p95_seconds);
+    w.field_num("observe_p99_seconds", serve.observe_p99_seconds);
+    let drift = shared.handle.drift_totals();
+    w.field_uint(
+        "ingest_updates_since_refactor",
+        drift.updates_since_refactor,
+    );
+    w.field_uint("ingest_updates_total", drift.updates_total);
+    w.field_uint("ingest_points_ingested", drift.points_ingested);
+    w.field_uint("ingest_points_expired", drift.points_expired);
+    w.field_uint("ingest_refits_triggered", drift.refits_triggered);
+    w.field_uint("ingest_refits_completed", drift.refits_completed);
+    w.field_uint("ingest_replayed_updates", drift.replayed_updates);
+    w.field_num("ingest_condition_growth", drift.condition_growth);
+    w.field_num("ingest_loglik_drift", drift.loglik_drift);
     w.end_object();
     w.key("registry");
     w.begin_object();
@@ -1218,6 +1251,7 @@ fn stats<K: ParamCovariance>(shared: &Shared<K>) -> Response {
     w.field_uint("hits", registry.hits);
     w.field_uint("misses", registry.misses);
     w.field_uint("loads", registry.loads);
+    w.field_uint("reaccounts", registry.reaccounts);
     w.end_object();
     w.end_object();
     Response::ok(w.finish())
@@ -1374,6 +1408,92 @@ fn metrics<K: ParamCovariance>(shared: &Shared<K>) -> Response {
         "Cholesky factorizations performed by serve workers (must stay 0).",
         serve.factorizations_during_serving,
     );
+    p.counter(
+        "exa_serve_observes_applied",
+        "Observe batches applied successfully (the write path).",
+        serve.observes_applied,
+    );
+    p.counter(
+        "exa_serve_observe_points_ingested",
+        "Observation points ingested by successful observes.",
+        serve.observe_points_ingested,
+    );
+    p.counter(
+        "exa_serve_observes_failed",
+        "Observe batches rejected or failed.",
+        serve.observes_failed,
+    );
+    p.counter(
+        "exa_serve_observe_sync_refits",
+        "Observes that fell back to a synchronous full refit.",
+        serve.observe_sync_refits,
+    );
+    p.counter(
+        "exa_serve_observe_refits_triggered",
+        "Background refactorizations scheduled by drift during an observe.",
+        serve.observe_refits_triggered,
+    );
+    p.gauge(
+        "exa_serve_observe_p50_seconds",
+        "Median observe latency from the observe histogram.",
+        serve.observe_p50_seconds,
+    );
+    p.gauge(
+        "exa_serve_observe_p95_seconds",
+        "95th-percentile observe latency from the observe histogram.",
+        serve.observe_p95_seconds,
+    );
+    p.gauge(
+        "exa_serve_observe_p99_seconds",
+        "99th-percentile observe latency from the observe histogram.",
+        serve.observe_p99_seconds,
+    );
+    let drift = shared.handle.drift_totals();
+    p.gauge(
+        "exa_serve_ingest_updates_since_refactor",
+        "Incremental updates applied since the last refactorization (max over resident models).",
+        drift.updates_since_refactor as f64,
+    );
+    p.counter(
+        "exa_serve_ingest_updates_total",
+        "Lifetime observe/expire calls across resident models.",
+        drift.updates_total,
+    );
+    p.counter(
+        "exa_serve_ingest_points_ingested",
+        "Lifetime observation points ingested across resident models.",
+        drift.points_ingested,
+    );
+    p.counter(
+        "exa_serve_ingest_points_expired",
+        "Lifetime observation points expired across resident models.",
+        drift.points_expired,
+    );
+    p.counter(
+        "exa_serve_ingest_refits_triggered",
+        "Background refactorizations scheduled by drift policy.",
+        drift.refits_triggered,
+    );
+    p.counter(
+        "exa_serve_ingest_refits_completed",
+        "Refactorizations (background or fallback) completed.",
+        drift.refits_completed,
+    );
+    p.counter(
+        "exa_serve_ingest_replayed_updates",
+        "Write operations replayed onto freshly refactored models.",
+        drift.replayed_updates,
+    );
+    p.gauge(
+        "exa_serve_ingest_condition_growth",
+        "Condition-estimate growth since the last refactorization (max over resident models).",
+        drift.condition_growth,
+    );
+    p.gauge(
+        "exa_serve_ingest_loglik_drift",
+        "Per-point log-likelihood drift since the last refactorization (max over resident models).",
+        drift.loglik_drift,
+    );
     p.gauge(
         "exa_registry_resident_models",
         "Models currently resident in the registry.",
@@ -1409,6 +1529,11 @@ fn metrics<K: ParamCovariance>(shared: &Shared<K>) -> Response {
         "Lifetime models materialized by the load-on-miss hook.",
         registry.loads,
     );
+    p.counter(
+        "exa_registry_reaccounts",
+        "Byte-ledger recomputations after a model grew or shrank in place.",
+        registry.reaccounts,
+    );
     p.histogram(
         "exa_serve_latency_seconds",
         "Submit-to-response latency of the prediction server.",
@@ -1418,6 +1543,11 @@ fn metrics<K: ParamCovariance>(shared: &Shared<K>) -> Response {
         "exa_wire_request_seconds",
         "Wire-level predict latency: request carved to response queued.",
         &shared.request_hist.snapshot(),
+    );
+    p.histogram(
+        "exa_serve_observe_seconds",
+        "Latency of observe batches (incremental update or fallback refit).",
+        &shared.handle.observe_histogram(),
     );
     let parse = shared.parse_hist.snapshot();
     let queue = shared.handle.queue_histogram();
@@ -1627,6 +1757,118 @@ fn decode_predict(name: &str, request: &Request) -> Routed {
     }
 }
 
+/// `POST /v1/models/{name}/observe`: content negotiation, body decode, and
+/// the synchronous ingest itself (see the routing comment for why this
+/// runs on the reactor thread).
+fn observe<K: ParamCovariance>(shared: &Shared<K>, name: &str, request: &Request) -> Response {
+    let req_codec = match request_codec(request) {
+        Ok(codec) => codec,
+        Err(response) => return response,
+    };
+    let resp_codec = match response_codec(request, req_codec) {
+        Ok(codec) => codec,
+        Err(response) => return response,
+    };
+    let decoded = match req_codec {
+        Codec::Json => parse_json_observe(request.body()),
+        Codec::Binary => parse_frame_observe(request.body()),
+    };
+    let (points, values) = match decoded {
+        Ok(decoded) => decoded,
+        Err(response) => return response,
+    };
+    let started = Instant::now();
+    match shared.handle.observe(name, &points, &values) {
+        Ok(outcome) => {
+            observe_response(name, resp_codec, &outcome, started.elapsed().as_secs_f64())
+        }
+        Err(err) => serve_error_response(&err),
+    }
+}
+
+/// `POST /v1/models/{name}/evict`: drop the named model from the registry
+/// (idempotent — evicting an absent model reports `"evicted": false`).
+fn evict<K: ParamCovariance>(shared: &Shared<K>, name: &str) -> Response {
+    let evicted = shared.registry.evict(name);
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("model", name);
+    w.key("evicted");
+    w.boolean(evicted);
+    w.end_object();
+    Response::ok(w.finish())
+}
+
+/// Decodes a JSON observe body: `{"points": [[x, y], ...], "values":
+/// [...]}`. Length mismatches pass through — the serve layer rejects them
+/// with the same `invalid_query` policy both codecs share.
+fn parse_json_observe(body: &[u8]) -> Result<(Vec<Location>, Vec<f64>), Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "invalid_json", "request body is not valid UTF-8"))?;
+    let doc =
+        Json::parse(text).map_err(|err| Response::error(400, "invalid_json", &err.to_string()))?;
+    let points = parse_pairs(&doc, "points")
+        .map_err(|message| Response::error(400, "invalid_query", &message))?;
+    let values = doc
+        .get("values")
+        .ok_or_else(|| Response::error(400, "invalid_query", "missing \"values\" field"))?
+        .as_array()
+        .ok_or_else(|| Response::error(400, "invalid_query", "\"values\" must be an array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_f64().ok_or_else(|| {
+                Response::error(400, "invalid_query", &format!("value {i} must be a number"))
+            })
+        })
+        .collect::<Result<Vec<f64>, Response>>()?;
+    Ok((points, values))
+}
+
+/// Decodes a binary observe body (an observe-request frame).
+fn parse_frame_observe(body: &[u8]) -> Result<(Vec<Location>, Vec<f64>), Response> {
+    let frame = ObserveRequestFrame::decode(body)
+        .map_err(|err| Response::error(400, "invalid_frame", &err.to_string()))?;
+    Ok(frame.to_points())
+}
+
+/// Encodes one applied observe in the negotiated response codec.
+fn observe_response(
+    name: &str,
+    resp_codec: Codec,
+    outcome: &exa_geostat::ObserveOutcome,
+    latency_seconds: f64,
+) -> Response {
+    match resp_codec {
+        Codec::Binary => Response::ok_frame(
+            ObserveResponseFrame {
+                accepted: outcome.applied.min(u32::MAX as usize) as u32,
+                model_points: outcome.model_points.min(u32::MAX as usize) as u32,
+                updates_since_refactor: outcome.updates_since_refactor.min(u32::MAX as u64) as u32,
+                used_incremental: outcome.used_incremental,
+                refit_triggered: outcome.refit_triggered,
+                latency_seconds,
+            }
+            .encode(),
+        ),
+        Codec::Json => {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.field_str("model", name);
+            w.field_uint("accepted", outcome.applied as u64);
+            w.field_uint("model_points", outcome.model_points as u64);
+            w.field_uint("updates_since_refactor", outcome.updates_since_refactor);
+            w.key("used_incremental");
+            w.boolean(outcome.used_incremental);
+            w.key("refit_triggered");
+            w.boolean(outcome.refit_triggered);
+            w.field_num("latency_seconds", latency_seconds);
+            w.end_object();
+            Response::ok(w.finish())
+        }
+    }
+}
+
 /// Encodes one successful prediction in the negotiated response codec.
 fn predict_response(name: &str, resp_codec: Codec, served: &ServedPrediction) -> Response {
     match resp_codec {
@@ -1667,28 +1909,34 @@ fn predict_response(name: &str, resp_codec: Codec, served: &ServedPrediction) ->
 
 /// Decodes `"targets": [[x, y], ...]` with precise error messages.
 fn parse_targets(doc: &Json) -> Result<Vec<Location>, String> {
-    let targets = doc
-        .get("targets")
-        .ok_or("missing \"targets\" field")?
+    parse_pairs(doc, "targets")
+}
+
+/// Decodes a named field of `[[x, y], ...]` coordinate pairs.
+fn parse_pairs(doc: &Json, field: &str) -> Result<Vec<Location>, String> {
+    let pairs = doc
+        .get(field)
+        .ok_or_else(|| format!("missing {field:?} field"))?
         .as_array()
-        .ok_or("\"targets\" must be an array of [x, y] pairs")?;
-    let mut out = Vec::with_capacity(targets.len());
-    for (i, pair) in targets.iter().enumerate() {
+        .ok_or_else(|| format!("{field:?} must be an array of [x, y] pairs"))?;
+    let noun = &field[..field.len() - 1]; // "targets" → "target"
+    let mut out = Vec::with_capacity(pairs.len());
+    for (i, pair) in pairs.iter().enumerate() {
         let pair = pair
             .as_array()
-            .ok_or_else(|| format!("target {i} must be an [x, y] pair"))?;
+            .ok_or_else(|| format!("{noun} {i} must be an [x, y] pair"))?;
         if pair.len() != 2 {
             return Err(format!(
-                "target {i} must have exactly 2 coordinates, got {}",
+                "{noun} {i} must have exactly 2 coordinates, got {}",
                 pair.len()
             ));
         }
         let x = pair[0]
             .as_f64()
-            .ok_or_else(|| format!("target {i} x-coordinate must be a number"))?;
+            .ok_or_else(|| format!("{noun} {i} x-coordinate must be a number"))?;
         let y = pair[1]
             .as_f64()
-            .ok_or_else(|| format!("target {i} y-coordinate must be a number"))?;
+            .ok_or_else(|| format!("{noun} {i} y-coordinate must be a number"))?;
         out.push(Location::new(x, y));
     }
     Ok(out)
