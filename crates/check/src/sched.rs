@@ -1,0 +1,585 @@
+//! The deterministic cooperative scheduler behind `--cfg exa_check`.
+//!
+//! One model thread runs at a time; every facade operation calls into here and
+//! may hand the "token" to another thread. Decision points (two or more
+//! runnable candidates) are recorded as `(options, chosen)` pairs; depth-first
+//! search over those choices enumerates distinct interleavings, and the chosen
+//! indices concatenated in hex form the replay seed.
+//!
+//! Threads are real OS threads parked on a condvar; the scheduler state mutex
+//! is plain `std::sync` (the model never models itself).
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::Config;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found or replay diverged). Not a user-visible failure by itself.
+const ABORT: &str = "exa-check: execution aborted";
+
+const SEED_PREFIX: &str = "s1:";
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Block {
+    Mutex(usize),
+    Condvar(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    Blocked { on: Block, timeout: bool },
+    Finished,
+}
+
+struct ThreadSlot {
+    state: TState,
+    /// Set when a `wait_timeout` waiter was resumed by the scheduler firing
+    /// its timeout rather than by a notification.
+    woke_by_timeout: bool,
+}
+
+struct State {
+    threads: Vec<ThreadSlot>,
+    /// Tid currently holding the execution token.
+    active: usize,
+    /// Forced choice indices (DFS backtracking prefix or a replay seed).
+    prefix: Vec<u8>,
+    /// Decisions recorded this execution: (number of options, chosen index).
+    decisions: Vec<(u8, u8)>,
+    preemptions: usize,
+    steps: usize,
+    truncated: bool,
+    /// (message, seed) of the first failure observed.
+    failure: Option<(String, String)>,
+    aborted: bool,
+    finished: usize,
+    cfg: Config,
+}
+
+pub(crate) struct ExecInner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+pub(crate) struct ExecOutcome {
+    pub decisions: Vec<(u8, u8)>,
+    pub failure: Option<(String, String)>,
+    pub truncated: bool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<ExecInner>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<ExecInner>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// True on a thread that is part of an active model execution. Facade ops on
+/// other threads fall back to real std behavior, so non-model code keeps
+/// working in `--cfg exa_check` builds.
+pub(crate) fn model_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn abort_unwind() -> ! {
+    panic::resume_unwind(Box::new(ABORT));
+}
+
+fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<&str>() == Some(&ABORT)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+pub(crate) fn encode_seed(decisions: &[(u8, u8)]) -> String {
+    let mut s = String::with_capacity(SEED_PREFIX.len() + decisions.len());
+    s.push_str(SEED_PREFIX);
+    for &(_, chosen) in decisions {
+        s.push(char::from_digit(u32::from(chosen), 16).expect("choice index < 16"));
+    }
+    s
+}
+
+pub(crate) fn decode_seed(seed: &str) -> Option<Vec<u8>> {
+    let digits = seed.strip_prefix(SEED_PREFIX)?;
+    digits
+        .chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect()
+}
+
+/// Next DFS prefix after an execution recorded `decisions`, or `None` when
+/// the whole tree is exhausted.
+pub(crate) fn next_prefix(decisions: &[(u8, u8)]) -> Option<Vec<u8>> {
+    for k in (0..decisions.len()).rev() {
+        let (options, chosen) = decisions[k];
+        if chosen + 1 < options {
+            let mut p: Vec<u8> = decisions[..k].iter().map(|&(_, c)| c).collect();
+            p.push(chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+impl ExecInner {
+    fn new(cfg: Config, prefix: Vec<u8>) -> Self {
+        ExecInner {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                prefix,
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                truncated: false,
+                failure: None,
+                aborted: false,
+                finished: 0,
+                cfg,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fail(&self, st: &mut State, message: String) {
+        if st.failure.is_none() {
+            let seed = encode_seed(&st.decisions);
+            st.failure = Some((message, seed));
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Pick the next thread to run. `me_runnable` reflects whether the caller
+    /// is still a continuation candidate; `voluntary` marks yield-style points
+    /// where continuing the caller is not offered while others can run (and
+    /// switching costs no preemption).
+    fn advance(&self, st: &mut State, me: usize, voluntary: bool, me_runnable: bool) {
+        if st.aborted {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            st.truncated = true;
+        }
+
+        // Candidates: runnable threads plus blocked threads whose timeout the
+        // scheduler may fire. Ascending tid keeps option order deterministic.
+        let mut cands: Vec<usize> = Vec::new();
+        for (tid, t) in st.threads.iter().enumerate() {
+            match t.state {
+                TState::Runnable => cands.push(tid),
+                TState::Blocked { timeout: true, .. } => cands.push(tid),
+                _ => {}
+            }
+        }
+        if cands.is_empty() {
+            if st.finished < st.threads.len() {
+                self.fail(st, "deadlock: all live threads are blocked".to_string());
+            }
+            return;
+        }
+
+        let mut options: Vec<usize> = Vec::new();
+        if me_runnable {
+            if voluntary {
+                options.extend(cands.iter().copied().filter(|&t| t != me));
+                if options.is_empty() {
+                    options.push(me);
+                }
+            } else if st.preemptions >= st.cfg.max_preemptions {
+                options.push(me);
+            } else {
+                options.push(me);
+                options.extend(cands.iter().copied().filter(|&t| t != me));
+            }
+        } else {
+            options = cands;
+        }
+
+        let chosen = if options.len() == 1 {
+            options[0]
+        } else if st.truncated {
+            // Budget exhausted: stop branching, finish round-robin so the
+            // execution terminates even if a thread spins.
+            *options.iter().find(|&&t| t > me).unwrap_or(&options[0])
+        } else {
+            let di = st.decisions.len();
+            let idx = if di < st.prefix.len() {
+                let want = st.prefix[di] as usize;
+                if want >= options.len() {
+                    self.fail(
+                        st,
+                        format!(
+                            "replay seed diverged at decision {di}: index {want} of {} options",
+                            options.len()
+                        ),
+                    );
+                    return;
+                }
+                want
+            } else {
+                0
+            };
+            st.decisions.push((options.len() as u8, idx as u8));
+            options[idx]
+        };
+
+        // A chosen timeout-waiter resumes via its timeout firing — including
+        // the case where a `wait_timeout` caller is chosen to time out
+        // immediately (chosen == me).
+        let t = &mut st.threads[chosen];
+        if let TState::Blocked { timeout: true, .. } = t.state {
+            t.state = TState::Runnable;
+            t.woke_by_timeout = true;
+        }
+        if chosen != me {
+            if me_runnable && !voluntary {
+                st.preemptions += 1;
+            }
+            st.active = chosen;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park the calling thread until it holds the token again (or the
+    /// execution aborts, in which case this unwinds).
+    fn park(&self, mut st: std::sync::MutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.aborted {
+                drop(st);
+                abort_unwind();
+            }
+            if st.active == me && st.threads[me].state == TState::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).expect("scheduler state poisoned");
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("scheduler state poisoned")
+    }
+}
+
+/// Enter a scheduling point from the running model thread (atomic op, lock
+/// acquisition attempt, notify, ...). No-op off the model.
+pub(crate) fn yield_point() {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.lock();
+    if st.aborted {
+        drop(st);
+        abort_unwind();
+    }
+    exec.advance(&mut st, me, false, true);
+    if st.aborted {
+        drop(st);
+        abort_unwind();
+    }
+    if st.active != me {
+        exec.park(st, me);
+    }
+}
+
+/// A voluntary yield (`thread::yield_now`, `sleep`): other threads are
+/// preferred and switching is free.
+pub(crate) fn voluntary_yield() {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.lock();
+    if st.aborted {
+        drop(st);
+        abort_unwind();
+    }
+    exec.advance(&mut st, me, true, true);
+    if st.aborted {
+        drop(st);
+        abort_unwind();
+    }
+    if st.active != me {
+        exec.park(st, me);
+    }
+}
+
+/// Block the caller until `mutex_released(addr)` wakes it. The caller retries
+/// its `try_lock` after this returns.
+pub(crate) fn block_on_mutex(addr: usize) {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.lock();
+    if st.aborted {
+        drop(st);
+        abort_unwind();
+    }
+    st.threads[me].state = TState::Blocked {
+        on: Block::Mutex(addr),
+        timeout: false,
+    };
+    exec.advance(&mut st, me, false, false);
+    exec.park(st, me);
+}
+
+/// A facade mutex at `addr` was released: all threads blocked on it become
+/// runnable and the release is itself a scheduling point.
+///
+/// Called from guard `Drop`, so it must never panic while unwinding; on an
+/// aborted execution it silently no-ops (the real lock is already released).
+pub(crate) fn mutex_released(addr: usize) {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.lock();
+    if st.aborted {
+        drop(st);
+        if std::thread::panicking() {
+            return;
+        }
+        abort_unwind();
+    }
+    for t in &mut st.threads {
+        if t.state
+            == (TState::Blocked {
+                on: Block::Mutex(addr),
+                timeout: false,
+            })
+        {
+            t.state = TState::Runnable;
+        }
+    }
+    exec.advance(&mut st, me, false, true);
+    if st.aborted {
+        drop(st);
+        if std::thread::panicking() {
+            return;
+        }
+        abort_unwind();
+    }
+    if st.active != me {
+        exec.park(st, me);
+    }
+}
+
+/// Condvar wait: the caller has already released the real mutex at
+/// `mutex_addr`. Blocks until notified (or, with `timeout`, until the
+/// scheduler fires the timeout). Returns true when woken by the timeout.
+pub(crate) fn condvar_wait(cv_addr: usize, mutex_addr: usize, timeout: bool) -> bool {
+    let Some((exec, me)) = current() else {
+        return false;
+    };
+    let mut st = exec.lock();
+    if st.aborted {
+        drop(st);
+        abort_unwind();
+    }
+    st.threads[me].state = TState::Blocked {
+        on: Block::Condvar(cv_addr),
+        timeout,
+    };
+    st.threads[me].woke_by_timeout = false;
+    // Releasing the mutex wakes its waiters, atomically with blocking on the
+    // condvar — the token is not handed over in between.
+    for t in &mut st.threads {
+        if t.state
+            == (TState::Blocked {
+                on: Block::Mutex(mutex_addr),
+                timeout: false,
+            })
+        {
+            t.state = TState::Runnable;
+        }
+    }
+    exec.advance(&mut st, me, false, false);
+    exec.park(st, me);
+    let st = exec.lock();
+    st.threads[me].woke_by_timeout
+}
+
+/// Wake waiters of the condvar at `addr` (lowest tid first for `notify_one`).
+pub(crate) fn condvar_notify(addr: usize, all: bool) {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.lock();
+    if st.aborted {
+        drop(st);
+        if std::thread::panicking() {
+            return;
+        }
+        abort_unwind();
+    }
+    for t in &mut st.threads {
+        if let TState::Blocked {
+            on: Block::Condvar(a),
+            ..
+        } = t.state
+        {
+            if a == addr {
+                t.state = TState::Runnable;
+                t.woke_by_timeout = false;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+    exec.advance(&mut st, me, false, true);
+    if st.aborted {
+        drop(st);
+        if std::thread::panicking() {
+            return;
+        }
+        abort_unwind();
+    }
+    if st.active != me {
+        exec.park(st, me);
+    }
+}
+
+/// Block until model thread `tid` finishes (no-op if it already has).
+pub(crate) fn join_thread(tid: usize) {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.lock();
+    if st.aborted {
+        drop(st);
+        abort_unwind();
+    }
+    if st.threads[tid].state == TState::Finished {
+        exec.advance(&mut st, me, false, true);
+        if st.aborted {
+            drop(st);
+            abort_unwind();
+        }
+        if st.active != me {
+            exec.park(st, me);
+        }
+        return;
+    }
+    st.threads[me].state = TState::Blocked {
+        on: Block::Join(tid),
+        timeout: false,
+    };
+    exec.advance(&mut st, me, false, false);
+    exec.park(st, me);
+}
+
+fn finish(exec: &Arc<ExecInner>, me: usize, user_panic: Option<String>) {
+    let mut st = exec.lock();
+    if let Some(msg) = user_panic {
+        exec.fail(&mut st, msg);
+    }
+    st.threads[me].state = TState::Finished;
+    st.finished += 1;
+    for t in &mut st.threads {
+        if t.state
+            == (TState::Blocked {
+                on: Block::Join(me),
+                timeout: false,
+            })
+        {
+            t.state = TState::Runnable;
+        }
+    }
+    if st.aborted || st.finished == st.threads.len() {
+        exec.cv.notify_all();
+        return;
+    }
+    exec.advance(&mut st, me, false, false);
+}
+
+fn run_thread_body<T, F>(exec: Arc<ExecInner>, tid: usize, f: F) -> Option<T>
+where
+    F: FnOnce() -> T,
+{
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let out = panic::catch_unwind(AssertUnwindSafe(|| {
+        // Wait for the token before the body runs; unwinds on abort.
+        let st = exec.lock();
+        exec.park(st, tid);
+        f()
+    }));
+    let (val, user_panic) = match out {
+        Ok(v) => (Some(v), None),
+        Err(p) => {
+            let msg = if is_abort(p.as_ref()) {
+                None
+            } else {
+                Some(panic_message(p.as_ref()))
+            };
+            (None, msg)
+        }
+    };
+    finish(&exec, tid, user_panic);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    val
+}
+
+/// Spawn a model thread from a model thread. The spawn is a scheduling point
+/// (the child becomes immediately runnable). Returns the model tid and the
+/// underlying OS handle, whose result is `None` when the body did not return.
+pub(crate) fn spawn_model<T, F>(f: F) -> (usize, std::thread::JoinHandle<Option<T>>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _me) = current().expect("spawn_model outside a model execution");
+    let tid = {
+        let mut st = exec.lock();
+        st.threads.push(ThreadSlot {
+            state: TState::Runnable,
+            woke_by_timeout: false,
+        });
+        st.threads.len() - 1
+    };
+    let exec2 = Arc::clone(&exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("exa-check-{tid}"))
+        .spawn(move || run_thread_body(exec2, tid, f))
+        .expect("spawn model thread");
+    yield_point();
+    (tid, handle)
+}
+
+/// Run one execution of `f` with the given forced decision prefix and return
+/// what happened. Called from the (non-model) driver thread.
+pub(crate) fn run_once(
+    cfg: Config,
+    prefix: Vec<u8>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> ExecOutcome {
+    let exec = Arc::new(ExecInner::new(cfg, prefix));
+    {
+        let mut st = exec.lock();
+        st.threads.push(ThreadSlot {
+            state: TState::Runnable,
+            woke_by_timeout: false,
+        });
+        st.active = 0;
+    }
+    let exec2 = Arc::clone(&exec);
+    let root = std::thread::Builder::new()
+        .name("exa-check-0".to_string())
+        .spawn(move || run_thread_body(exec2, 0, move || f()))
+        .expect("spawn model root thread");
+
+    {
+        let mut st = exec.lock();
+        while st.finished < st.threads.len() {
+            st = exec.cv.wait(st).expect("scheduler state poisoned");
+        }
+    }
+    let _ = root.join();
+    let mut st = exec.lock();
+    ExecOutcome {
+        decisions: std::mem::take(&mut st.decisions),
+        failure: st.failure.take(),
+        truncated: st.truncated,
+    }
+}

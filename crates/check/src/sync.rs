@@ -1,0 +1,369 @@
+//! The `std::sync` facade. In normal builds every item here is a transparent
+//! re-export of the std type; under `--cfg exa_check` the lock, condvar and
+//! atomic types wrap std and report every operation to the model scheduler.
+//!
+//! Model wrappers fall back to plain std behavior on threads that are not
+//! part of a model execution, so an `exa_check` build runs all ordinary tests
+//! unchanged.
+
+#[cfg(not(exa_check))]
+pub use std::sync::atomic;
+#[cfg(not(exa_check))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, WaitTimeoutResult, Weak,
+};
+
+#[cfg(exa_check)]
+pub use self::model::{atomic, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+// `Arc` and `OnceLock` are not modeled: their internal synchronization is
+// trusted (std), and what model tests care about is the ordering of facade
+// operations *around* them (e.g. the `Arc` swap in `LiveModel`).
+#[cfg(exa_check)]
+pub use std::sync::{Arc, LockResult, OnceLock, PoisonError, Weak};
+
+#[cfg(exa_check)]
+mod model {
+    use crate::sched;
+    use std::sync::{LockResult, PoisonError, TryLockError};
+    use std::time::Duration;
+
+    /// Model atomics: every operation is a scheduling point, then delegates
+    /// to the underlying std atomic. With one thread running at a time the
+    /// exploration is sequentially consistent regardless of the ordering
+    /// argument, which is exactly the model's contract.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:path, $prim:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    pub const fn new(v: $prim) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.load(order)
+                    }
+
+                    pub fn store(&self, val: $prim, order: Ordering) {
+                        crate::sched::yield_point();
+                        self.inner.store(val, order)
+                    }
+
+                    pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.swap(val, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::sched::yield_point();
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::sched::yield_point();
+                        self.inner
+                            .compare_exchange_weak(current, new, success, failure)
+                    }
+
+                    pub fn get_mut(&mut self) -> &mut $prim {
+                        self.inner.get_mut()
+                    }
+
+                    pub fn into_inner(self) -> $prim {
+                        self.inner.into_inner()
+                    }
+                }
+
+                impl From<$prim> for $name {
+                    fn from(v: $prim) -> Self {
+                        Self::new(v)
+                    }
+                }
+            };
+        }
+
+        macro_rules! model_atomic_int {
+            ($name:ident, $std:path, $prim:ty) => {
+                model_atomic!($name, $std, $prim);
+
+                impl $name {
+                    pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.fetch_add(val, order)
+                    }
+
+                    pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.fetch_sub(val, order)
+                    }
+
+                    pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.fetch_max(val, order)
+                    }
+
+                    pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                        crate::sched::yield_point();
+                        self.inner.fetch_min(val, order)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        model_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        model_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        model_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        model_atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+
+        impl AtomicBool {
+            pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+                crate::sched::yield_point();
+                self.inner.fetch_or(val, order)
+            }
+
+            pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+                crate::sched::yield_point();
+                self.inner.fetch_and(val, order)
+            }
+        }
+    }
+
+    /// Model mutex: acquisition yields, contention blocks in the scheduler,
+    /// release (guard drop) wakes blocked threads and yields again.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn addr(&self) -> usize {
+            std::ptr::from_ref(&self.inner) as *const () as usize
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            if !sched::model_active() {
+                return match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(g),
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    })),
+                };
+            }
+            sched::yield_point();
+            loop {
+                match self.inner.try_lock() {
+                    Ok(g) => {
+                        return Ok(MutexGuard {
+                            lock: self,
+                            inner: Some(g),
+                        })
+                    }
+                    Err(TryLockError::Poisoned(e)) => {
+                        return Err(PoisonError::new(MutexGuard {
+                            lock: self,
+                            inner: Some(e.into_inner()),
+                        }))
+                    }
+                    Err(TryLockError::WouldBlock) => sched::block_on_mutex(self.addr()),
+                }
+            }
+        }
+
+        pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+            if sched::model_active() {
+                sched::yield_point();
+            }
+            match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                }),
+                Err(TryLockError::Poisoned(e)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    })))
+                }
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            }
+        }
+
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                sched::mutex_released(self.lock.addr());
+            }
+        }
+    }
+
+    /// Mirrors `std::sync::WaitTimeoutResult` (which model code cannot
+    /// construct directly).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Model condvar: waits release the mutex and block in the scheduler;
+    /// notifications wake the lowest-tid waiter(s). No spurious wakeups;
+    /// `wait_timeout` lets the scheduler fire the timeout as one of the
+    /// explored choices.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar {
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            std::ptr::from_ref(&self.inner) as *const () as usize
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let lock = guard.lock;
+            if !sched::model_active() {
+                let inner = guard.inner.take().expect("guard already released");
+                return match self.inner.wait(inner) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(e.into_inner()),
+                    })),
+                };
+            }
+            let m_addr = lock.addr();
+            drop(guard.inner.take());
+            sched::condvar_wait(self.addr(), m_addr, false);
+            lock.lock()
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            let lock = guard.lock;
+            if !sched::model_active() {
+                let inner = guard.inner.take().expect("guard already released");
+                return match self.inner.wait_timeout(inner, dur) {
+                    Ok((g, t)) => Ok((
+                        MutexGuard {
+                            lock,
+                            inner: Some(g),
+                        },
+                        WaitTimeoutResult(t.timed_out()),
+                    )),
+                    Err(e) => {
+                        let (g, t) = e.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                inner: Some(g),
+                            },
+                            WaitTimeoutResult(t.timed_out()),
+                        )))
+                    }
+                };
+            }
+            let m_addr = lock.addr();
+            drop(guard.inner.take());
+            let timed_out = sched::condvar_wait(self.addr(), m_addr, true);
+            match lock.lock() {
+                Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+                Err(e) => Err(PoisonError::new((
+                    e.into_inner(),
+                    WaitTimeoutResult(timed_out),
+                ))),
+            }
+        }
+
+        pub fn notify_one(&self) {
+            if sched::model_active() {
+                sched::condvar_notify(self.addr(), false);
+            } else {
+                self.inner.notify_one();
+            }
+        }
+
+        pub fn notify_all(&self) {
+            if sched::model_active() {
+                sched::condvar_notify(self.addr(), true);
+            } else {
+                self.inner.notify_all();
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The `std::thread` facade: `spawn`/`JoinHandle`/`yield_now`/`sleep`.
+//!
+//! Normal builds re-export std. Under `--cfg exa_check`, threads spawned from
+//! a model execution register with the scheduler and run cooperatively;
+//! spawns from ordinary threads fall back to real `std::thread::spawn`.
+
+#[cfg(not(exa_check))]
+pub use std::thread::{sleep, spawn, yield_now, JoinHandle, Result};
+
+#[cfg(exa_check)]
+pub use self::model::{sleep, spawn, yield_now, JoinHandle};
+#[cfg(exa_check)]
+pub use std::thread::Result;
+
+#[cfg(exa_check)]
+mod model {
+    use crate::sched;
+    use std::time::Duration;
+
+    /// Wraps the OS handle; `tid` is the model thread id when the thread was
+    /// spawned inside a model execution.
+    pub struct JoinHandle<T> {
+        tid: Option<usize>,
+        inner: std::thread::JoinHandle<Option<T>>,
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if sched::model_active() {
+            let (tid, inner) = sched::spawn_model(f);
+            JoinHandle {
+                tid: Some(tid),
+                inner,
+            }
+        } else {
+            JoinHandle {
+                tid: None,
+                inner: std::thread::spawn(move || Some(f())),
+            }
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(tid) = self.tid {
+                // Wait in the model until the thread's body has finished;
+                // the real join below then only waits for OS-thread exit.
+                sched::join_thread(tid);
+            }
+            match self.inner.join() {
+                Ok(Some(v)) => Ok(v),
+                // The body panicked (the model already recorded the failure);
+                // surface a std-shaped join error.
+                Ok(None) => Err(Box::new("exa-check: joined thread panicked")),
+                Err(e) => Err(e),
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            self.inner.is_finished()
+        }
+    }
+
+    pub fn yield_now() {
+        if sched::model_active() {
+            sched::voluntary_yield();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// In the model, sleeping is a voluntary yield: duration is not part of
+    /// the explored state space.
+    pub fn sleep(dur: Duration) {
+        if sched::model_active() {
+            sched::voluntary_yield();
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Normal-build facade guarantees: every facade type *is* the std type
+//! (zero-cost re-export, proved by type identity), and `check`/`replay`
+//! degrade to running the body exactly once on real threads.
+
+#![cfg(not(exa_check))]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn facade_types_are_std_types() {
+    // Each binding type-checks only if the facade item is a re-export of the
+    // std item, not a lookalike wrapper.
+    let m: std::sync::Mutex<i32> = exa_check::sync::Mutex::new(1);
+    let _g: std::sync::MutexGuard<'_, i32> = m.lock().unwrap();
+    let _c: std::sync::Condvar = exa_check::sync::Condvar::new();
+    let _a: std::sync::atomic::AtomicU64 = exa_check::sync::atomic::AtomicU64::new(7);
+    let _b: std::sync::atomic::AtomicBool = exa_check::sync::atomic::AtomicBool::new(false);
+    let _arc: std::sync::Arc<u8> = exa_check::sync::Arc::new(3u8);
+    let h: std::thread::JoinHandle<u32> = exa_check::thread::spawn(|| 42u32);
+    assert_eq!(h.join().unwrap(), 42);
+    assert!(!exa_check::enabled());
+}
+
+#[test]
+fn check_runs_body_once() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let r2 = Arc::clone(&runs);
+    let report = exa_check::check(move || {
+        r2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(runs.load(Ordering::Relaxed), 1);
+    assert_eq!(report.iterations, 1);
+    assert!(report.failure.is_none());
+    report.assert_ok();
+}
+
+#[test]
+fn replay_runs_body_once() {
+    let runs = Arc::new(AtomicUsize::new(0));
+    let r2 = Arc::clone(&runs);
+    let report = exa_check::replay("s1:00", move || {
+        r2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(runs.load(Ordering::Relaxed), 1);
+    assert!(report.failure.is_none());
+}
+
+#[test]
+fn real_threads_contend_through_facade() {
+    let hits = Arc::new(exa_check::sync::Mutex::new(0u64));
+    let total = Arc::new(exa_check::sync::atomic::AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let hits = Arc::clone(&hits);
+        let total = Arc::clone(&total);
+        handles.push(exa_check::thread::spawn(move || {
+            for _ in 0..1000 {
+                *hits.lock().unwrap() += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*hits.lock().unwrap(), 4000);
+    assert_eq!(total.load(Ordering::Relaxed), 4000);
+}

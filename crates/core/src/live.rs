@@ -31,10 +31,13 @@
 
 use crate::model::{FittedModel, ModelError};
 use exa_covariance::{Location, ParamCovariance};
+// Synchronization comes through the exa-check facade: a transparent
+// std::sync/std::thread re-export in normal builds, the model checker's
+// instrumented primitives under `--cfg exa_check` (see crates/check).
+use exa_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use exa_check::sync::{Arc, Mutex};
+use exa_check::thread::JoinHandle;
 use exa_runtime::Runtime;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 
 /// Refit-trigger thresholds for a [`LiveModel`]'s drift tracker.
 #[derive(Clone, Debug)]
@@ -398,6 +401,9 @@ impl<K: ParamCovariance> LiveModel<K> {
     /// lock; returns `false` when one is already in flight.
     fn spawn_refit(&self, ws: &mut WriteState<K>) -> bool {
         let inner = &self.inner;
+        // ORDERING: AcqRel on the winning claim — Acquire orders this refit
+        // after the previous one's Release in `run_refit`, Release publishes
+        // the claim to concurrent `refit_in_flight()` observers.
         if inner
             .refit_in_flight
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -413,7 +419,7 @@ impl<K: ParamCovariance> LiveModel<K> {
         inner.refits_triggered.fetch_add(1, Ordering::Relaxed);
         let live = self.clone();
         let base = self.snapshot();
-        ws.refit_thread = Some(std::thread::spawn(move || {
+        ws.refit_thread = Some(exa_check::thread::spawn(move || {
             live.run_refit(base);
         }));
         true
@@ -493,3 +499,135 @@ const _: () = {
     const fn check<T: Send + Sync>() {}
     check::<LiveModel<exa_covariance::MaternKernel>>();
 };
+
+/// Model-checked invariants, explored under `RUSTFLAGS="--cfg exa_check"`
+/// with `cargo test -p exa-geostat --lib check_models`.
+#[cfg(all(test, exa_check))]
+mod check_models {
+    use super::*;
+    use crate::{synthetic_locations, Backend, GeoModel};
+    use exa_covariance::{CovarianceKernel, MaternKernel};
+    use exa_util::Rng;
+
+    /// One tiny dense-backed fitted session, built once and shared across
+    /// every explored execution (the model itself is immutable; only the
+    /// `LiveModel` wrapper built per-execution is under test).
+    fn base_model() -> Arc<FittedModel<MaternKernel>> {
+        let mut rng = Rng::seed_from_u64(11);
+        let locations = Arc::new(synthetic_locations(6, &mut rng));
+        let rt = Runtime::new(1);
+        let mut z = vec![0.0; locations.len()];
+        rng.fill_gaussian(&mut z);
+        Arc::new(
+            GeoModel::<MaternKernel>::builder()
+                .locations(locations)
+                .data(z)
+                .backend(Backend::FullBlock) // dense: incrementally updatable
+                .tile_size(18)
+                .build()
+                .unwrap()
+                .at_params(&[1.0, 0.1, 0.5], &rt)
+                .unwrap(),
+        )
+    }
+
+    fn quiet_policy() -> LivePolicy {
+        LivePolicy {
+            max_updates: u64::MAX,
+            max_condition_growth: f64::INFINITY,
+            max_loglik_drift: f64::INFINITY,
+            refit_workers: 1,
+        }
+    }
+
+    /// A reader racing one incremental observe can only ever see the
+    /// pre-update or post-update factor — never a torn intermediate — and
+    /// what it sees is monotone: once the new point is visible it stays
+    /// visible.
+    #[test]
+    fn check_readers_never_observe_a_torn_factor() {
+        let base = base_model();
+        let n0 = base.kernel().len();
+        let cfg = exa_check::Config {
+            max_iterations: 1_500,
+            max_preemptions: 3,
+            ..Default::default()
+        };
+        let report = exa_check::check_with(cfg, move || {
+            let live = LiveModel::new(Arc::clone(&base), quiet_policy());
+            let writer_live = live.clone();
+            let writer = exa_check::thread::spawn(move || {
+                let rt = Runtime::new(1);
+                let outcome = writer_live
+                    .observe(&[Location::new(0.41, 0.37)], &[0.2], &rt)
+                    .expect("dense observe");
+                assert!(outcome.used_incremental, "dense path must update in place");
+            });
+            // Reader: every snapshot is a whole factor from {before, after},
+            // and visibility is monotone across successive snapshots.
+            let s1 = live.snapshot();
+            let s2 = live.snapshot();
+            for s in [&s1, &s2] {
+                let n = s.kernel().len();
+                assert!(
+                    n == n0 || n == n0 + 1,
+                    "torn snapshot: {n} points, expected {n0} or {}",
+                    n0 + 1
+                );
+            }
+            assert!(
+                s2.kernel().len() >= s1.kernel().len(),
+                "snapshot visibility went backwards"
+            );
+            writer.join().unwrap();
+            let fin = live.snapshot();
+            assert_eq!(fin.kernel().len(), n0 + 1, "ingested point lost");
+        });
+        report.assert_ok();
+        report.assert_explored(1_000);
+    }
+
+    /// The full swap/replay dance: a background refactorization racing a
+    /// concurrent observe must never lose the logged write — whatever order
+    /// the scheduler picks for the refit's swap and the writer's update,
+    /// every ingested point is in the final factor and the drift counters
+    /// balance.
+    #[test]
+    fn check_refit_replay_never_loses_a_write() {
+        let base = base_model();
+        let n0 = base.kernel().len();
+        let cfg = exa_check::Config {
+            max_iterations: 600,
+            ..Default::default()
+        };
+        let report = exa_check::check_with(cfg, move || {
+            let live = LiveModel::new(Arc::clone(&base), quiet_policy());
+            // Refit in flight from the start: the concurrent observe below
+            // must land in the replay log (or after the swap) but never
+            // vanish.
+            live.force_refit();
+            let writer_live = live.clone();
+            let writer = exa_check::thread::spawn(move || {
+                let rt = Runtime::new(1);
+                writer_live
+                    .observe(&[Location::new(0.53, 0.29)], &[0.1], &rt)
+                    .expect("dense observe");
+            });
+            writer.join().unwrap();
+            live.wait_refit_idle();
+            let fin = live.snapshot();
+            assert_eq!(
+                fin.kernel().len(),
+                n0 + 1,
+                "write lost across the refit swap"
+            );
+            let drift = live.drift();
+            assert_eq!(drift.updates_total, 1);
+            assert_eq!(drift.points_ingested, 1);
+            assert_eq!(drift.refits_triggered, 1);
+            assert_eq!(drift.refits_completed, 1, "forced refit must complete");
+        });
+        report.assert_ok();
+        report.assert_explored(600);
+    }
+}

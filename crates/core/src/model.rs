@@ -51,13 +51,13 @@ use crate::factor::{FactorTimings, Factorization, TriangularSide};
 use crate::likelihood::{assemble, Backend, LikelihoodConfig, LogLikelihood};
 use crate::optimizer::{nelder_mead_max, Bounds, NelderMeadConfig, OptimResult};
 use crate::predict::Prediction;
+use exa_check::sync::{Arc, Mutex};
 use exa_covariance::{CovarianceKernel, DistanceMetric, Location, ParamCovariance};
 use exa_linalg::{LinalgError, Mat};
 use exa_runtime::Runtime;
 use exa_tile::{tile_gemm, TileMatrix};
 use exa_util::Stopwatch;
 use std::marker::PhantomData;
-use std::sync::{Arc, Mutex};
 
 /// Errors from building, fitting or using a [`GeoModel`].
 #[derive(Debug)]

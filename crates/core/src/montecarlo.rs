@@ -12,11 +12,11 @@ use crate::locations::{holdout_split, synthetic_locations_n};
 use crate::model::{FitOptions, GeoModel};
 use crate::optimizer::NelderMeadConfig;
 use crate::predict::prediction_mse;
+use exa_check::sync::Arc;
 use exa_covariance::{Location, MaternKernel, MaternParams};
 use exa_runtime::Runtime;
 use exa_util::stats::BoxplotSummary;
 use exa_util::Rng;
-use std::sync::Arc;
 
 /// Configuration of one Monte-Carlo study.
 #[derive(Clone, Debug)]

@@ -17,10 +17,10 @@
 use crate::likelihood::Backend;
 use crate::locations::gridded_locations_in;
 use crate::model::{GeoModel, ModelError};
+use exa_check::sync::Arc;
 use exa_covariance::{DistanceMetric, Location, MaternKernel, MaternParams};
 use exa_runtime::Runtime;
 use exa_util::Rng;
-use std::sync::Arc;
 
 /// One geographic region with its generating (paper-reported) parameters.
 #[derive(Clone, Debug)]

@@ -6,12 +6,12 @@
 //! `w ~ N(0, I)`. The paper stresses that *generation* is always exact so
 //! every approximation technique sees identical data.
 
+use exa_check::sync::Arc;
 use exa_covariance::{DistanceMetric, Location, MaternKernel, MaternParams};
 use exa_linalg::{LinalgError, Mat};
 use exa_runtime::Runtime;
 use exa_tile::{tile_potrf, tile_trmm_lower, TileMatrix};
 use exa_util::Rng;
-use std::sync::Arc;
 
 /// A factored exact simulator: one Cholesky, many measurement draws.
 pub struct FieldSimulator {

@@ -292,6 +292,9 @@ impl FleetRouter {
     }
 
     fn wind_down(&mut self) {
+        // ORDERING: SeqCst — the flag store must be globally ordered before
+        // the wake-up dial below, so the accept loop can never observe the
+        // dial yet still read the flag as false and keep accepting.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway dial.
         let _ = TcpStream::connect(self.local_addr);
@@ -314,6 +317,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                // ORDERING: SeqCst pairs with wind_down's store: once the
+                // wake-up dial is accepted, this load must see the flag.
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     break;
                 }
@@ -334,6 +339,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 handlers.retain(|h| !h.is_finished());
             }
             Err(_) => {
+                // ORDERING: SeqCst — same pairing as the Ok arm above.
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     break;
                 }
@@ -356,6 +362,9 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         match parser.next_request() {
             Ok(ParseProgress::Request(request)) => {
                 last_activity = Instant::now();
+                // ORDERING: SeqCst keeps the shutdown flag in one total order
+                // with wind_down's store, so no handler renews keep-alive
+                // after shutdown began.
                 let keep_alive =
                     request.keep_alive() && !shared.shutting_down.load(Ordering::SeqCst);
                 let reply = route(&shared, &request);
@@ -390,6 +399,8 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 Ok(_) => last_activity = Instant::now(),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) if http::would_block(&e) => {
+                    // ORDERING: SeqCst — same total order as wind_down's
+                    // store; an idle handler must exit promptly once set.
                     if shared.shutting_down.load(Ordering::SeqCst) && parser.buffered() == 0 {
                         return;
                     }
@@ -500,6 +511,9 @@ fn relay_predict(shared: &Shared, request: &Request, model: &str, trace_hex: &st
         policy.observe(model);
         (policy.replicas(model), policy.epoch())
     };
+    // ORDERING: SeqCst — epoch swaps from concurrent handlers must form one
+    // total order so exactly one handler observes each transition and the
+    // rebalance counter moves once per epoch change.
     if shared.last_epoch.swap(epoch, Ordering::SeqCst) != epoch {
         shared.counters.rebalances.fetch_add(1, Ordering::Relaxed);
     }
@@ -671,6 +685,9 @@ fn fan_observe(shared: &Shared, request: &Request, model: &str, trace_hex: &str)
         policy.observe(model);
         (policy.replicas(model), policy.epoch())
     };
+    // ORDERING: SeqCst — epoch swaps from concurrent handlers must form one
+    // total order so exactly one handler observes each transition and the
+    // rebalance counter moves once per epoch change.
     if shared.last_epoch.swap(epoch, Ordering::SeqCst) != epoch {
         shared.counters.rebalances.fetch_add(1, Ordering::Relaxed);
     }

@@ -1,0 +1,705 @@
+//! # exa-lint — the repo's concurrency-hygiene lint pass
+//!
+//! A hand-rolled, zero-dependency token-level linter enforcing the
+//! conventions the model checker and the unsafe-audit rely on. It is not a
+//! general Rust linter: it scrubs comments and string/char literals with a
+//! small lexer, excludes `#[cfg(test)]` regions by brace matching, and then
+//! applies four narrow rules:
+//!
+//! * **`safety-comment`** — every `unsafe` token in non-test source must
+//!   have a `// SAFETY:` comment (or a `# Safety` doc section) within the
+//!   six preceding lines. The justification must live *at the site*, where
+//!   the next editor will read it.
+//! * **`ordering-comment`** — every `SeqCst` or `AcqRel` atomic ordering in
+//!   non-test source must have a `// ORDERING:` comment within the six
+//!   preceding lines. `Relaxed`/`Acquire`/`Release` are the default
+//!   vocabulary and need no justification; the expensive two must say what
+//!   they synchronize with.
+//! * **`no-unwrap`** — no `.unwrap()` / `.expect(` on the wire/serve
+//!   request paths (`crates/wire/src`, `crates/serve/src`) outside tests: a
+//!   poisoned lock or malformed input must degrade into an error response,
+//!   not a worker abort. Pre-existing debt is pinned by the allowlist and
+//!   may only shrink.
+//! * **`no-std-sync`** — crates ported onto the `exa-check` facade
+//!   (`crates/telemetry`, `crates/serve`, `crates/core`) must not import
+//!   `std::sync` directly in non-test source: a raw `std::sync::Mutex` in a
+//!   ported crate is invisible to the model checker, which silently shrinks
+//!   the explored state space.
+//!
+//! Violations are compared against the checked-in `lint.allow` ratchet at
+//! the repo root: `rule path count` lines. An actual count **above** the
+//! allowance fails (new debt); an actual count **below** it also fails
+//! (stale allowance — shrink the file so the ratchet only moves one way).
+//!
+//! `crates/check` itself is exempt from scanning: it is the layer that
+//! *implements* the ordering vocabulary (its model atomics pattern-match on
+//! every `Ordering` variant) and its facade is, by design, `std::sync`
+//! re-exports. It compensates by carrying `#![forbid(unsafe_code)]`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Every rule identifier, as written in `lint.allow`.
+pub const RULES: &[&str] = &[
+    "safety-comment",
+    "ordering-comment",
+    "no-unwrap",
+    "no-std-sync",
+];
+
+/// How many lines above a site a `SAFETY:` / `ORDERING:` marker may sit.
+const MARKER_WINDOW: usize = 6;
+
+/// Source trees whose crates are ported onto the exa-check facade.
+const PORTED_SRC: &[&str] = &[
+    "crates/telemetry/src",
+    "crates/serve/src",
+    "crates/core/src",
+];
+
+/// Source trees forming the request path (no unwrap/expect outside tests).
+const NO_UNWRAP_SRC: &[&str] = &["crates/wire/src", "crates/serve/src"];
+
+/// A single rule violation at a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A source file after lexical scrubbing: `code` keeps only executable
+/// tokens (comment text and string/char-literal contents blanked to spaces,
+/// line structure preserved), `comments` keeps only comment text. The two
+/// views have identical line counts, so rule sites in `code` can look up
+/// nearby markers in `comments` by line number.
+pub struct Scrubbed {
+    pub code: Vec<String>,
+    pub comments: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Lex {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Lexically scrub `source` (see [`Scrubbed`]). Handles nested block
+/// comments, raw strings with arbitrary `#` counts, byte strings, char
+/// literals vs lifetimes, and string escapes.
+pub fn scrub(source: &str) -> Scrubbed {
+    let mut code = String::with_capacity(source.len());
+    let mut comments = String::with_capacity(source.len());
+    let bytes: Vec<char> = source.chars().collect();
+    let mut state = Lex::Code;
+    let mut i = 0usize;
+    // Push to one stream, keep columns aligned in the other with a space
+    // (newlines go to both so line numbers agree).
+    macro_rules! emit {
+        (code $c:expr) => {{
+            let c = $c;
+            code.push(c);
+            comments.push(if c == '\n' { '\n' } else { ' ' });
+        }};
+        (comment $c:expr) => {{
+            let c = $c;
+            comments.push(c);
+            code.push(if c == '\n' { '\n' } else { ' ' });
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            Lex::Code => match c {
+                '/' if next == Some('/') => {
+                    state = Lex::LineComment;
+                    emit!(comment '/');
+                    emit!(comment '/');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = Lex::BlockComment(1);
+                    emit!(comment '/');
+                    emit!(comment '*');
+                    i += 2;
+                }
+                '"' => {
+                    state = Lex::Str;
+                    emit!(code '"');
+                    i += 1;
+                }
+                'r' | 'b' if starts_raw_string(&bytes, i) => {
+                    // Consume the prefix (r, br) plus hashes plus the
+                    // opening quote; remember the hash count.
+                    let mut j = i;
+                    while bytes[j] == 'r' || bytes[j] == 'b' {
+                        emit!(code bytes[j]);
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        emit!(code '#');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    emit!(code '"');
+                    state = Lex::RawStr(hashes);
+                    i = j + 1;
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal is '\…' or 'x'
+                    // (any single char followed by a closing quote).
+                    let is_char_lit = match next {
+                        Some('\\') => true,
+                        Some(_) => bytes.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        emit!(code '\'');
+                        i += 1;
+                        if bytes.get(i) == Some(&'\\') {
+                            // Escape: blank through the closing quote.
+                            while i < bytes.len() && bytes[i] != '\'' {
+                                emit!(code ' ');
+                                i += 1;
+                            }
+                        } else if i < bytes.len() {
+                            emit!(code ' ');
+                            i += 1;
+                        }
+                        if bytes.get(i) == Some(&'\'') {
+                            emit!(code '\'');
+                            i += 1;
+                        }
+                    } else {
+                        emit!(code '\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    emit!(code c);
+                    i += 1;
+                }
+            },
+            Lex::LineComment => {
+                if c == '\n' {
+                    state = Lex::Code;
+                    emit!(code '\n');
+                } else {
+                    emit!(comment c);
+                }
+                i += 1;
+            }
+            Lex::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        Lex::Code
+                    } else {
+                        Lex::BlockComment(depth - 1)
+                    };
+                    emit!(comment '*');
+                    emit!(comment '/');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = Lex::BlockComment(depth + 1);
+                    emit!(comment '/');
+                    emit!(comment '*');
+                    i += 2;
+                } else {
+                    emit!(comment c);
+                    i += 1;
+                }
+            }
+            Lex::Str => match c {
+                '\\' => {
+                    emit!(code ' ');
+                    if next.is_some() {
+                        emit!(code ' ');
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                '"' => {
+                    state = Lex::Code;
+                    emit!(code '"');
+                    i += 1;
+                }
+                c => {
+                    emit!(code if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            },
+            Lex::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i, hashes) {
+                    emit!(code '"');
+                    for _ in 0..hashes {
+                        emit!(code '#');
+                    }
+                    state = Lex::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    emit!(code if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    Scrubbed {
+        code: code.lines().map(str::to_string).collect(),
+        comments: comments.lines().map(str::to_string).collect(),
+    }
+}
+
+/// Is `bytes[i..]` the start of a raw (byte) string literal prefix —
+/// `r"`, `r#`, `br"`, `br#` … — rather than an identifier like `radius`?
+fn starts_raw_string(bytes: &[char], i: usize) -> bool {
+    // Not a prefix if glued onto a preceding identifier (e.g. `for r` vs
+    // the `r` in `finger`).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    let mut saw_r = false;
+    while j < bytes.len() && (bytes[j] == 'r' || bytes[j] == 'b') && j - i < 2 {
+        saw_r |= bytes[j] == 'r';
+        j += 1;
+    }
+    if !saw_r {
+        return false;
+    }
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Mark the lines covered by `#[cfg(test)]`-style gated items and
+/// `#[test]` functions, by brace matching over scrubbed code.
+pub fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i].trim_start();
+        let gates_test = (t.starts_with("#[cfg(") && find_word(t, "test").is_some())
+            || t.starts_with("#[test]")
+            || t.starts_with("#[bench]");
+        if !gates_test {
+            i += 1;
+            continue;
+        }
+        // Brace-match the gated item (further attributes and the item
+        // header ride along until the first `{` opens the body).
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut done = false;
+        let mut j = i;
+        while j < code.len() {
+            in_test[j] = true;
+            for c in code[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // `#[cfg(test)] mod tests;` / `use …;` — no body.
+                    ';' if !opened && depth == 0 => done = true,
+                    _ => {}
+                }
+                if opened && depth == 0 {
+                    done = true;
+                }
+                if done {
+                    break;
+                }
+            }
+            if done {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+/// Byte offset of the first occurrence of `word` in `line` with identifier
+/// boundaries on both sides.
+pub fn find_word(line: &str, word: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let end = at + word.len();
+        let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + word.len();
+    }
+    None
+}
+
+fn window_has_marker(comments: &[String], line: usize, marker: &str, alt: &str) -> bool {
+    let lo = line.saturating_sub(MARKER_WINDOW);
+    comments[lo..=line]
+        .iter()
+        .any(|c| c.contains(marker) || c.contains(alt))
+}
+
+/// Lint one file's source text. `path` must be repo-relative with `/`
+/// separators; it selects which path-scoped rules apply.
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let scrubbed = scrub(source);
+    let in_test = test_regions(&scrubbed.code);
+    let mut out = Vec::new();
+    let on_request_path = NO_UNWRAP_SRC.iter().any(|p| path.starts_with(p));
+    let ported = PORTED_SRC.iter().any(|p| path.starts_with(p));
+    for (idx, code) in scrubbed.code.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+        if find_word(code, "unsafe").is_some()
+            && !window_has_marker(&scrubbed.comments, idx, "SAFETY:", "# Safety")
+        {
+            out.push(Violation {
+                rule: "safety-comment",
+                path: path.to_string(),
+                line: lineno,
+                message: "`unsafe` without a `// SAFETY:` comment in the 6 lines above".into(),
+            });
+        }
+        for word in ["SeqCst", "AcqRel"] {
+            if find_word(code, word).is_some()
+                && !window_has_marker(&scrubbed.comments, idx, "ORDERING:", "ORDERING:")
+            {
+                out.push(Violation {
+                    rule: "ordering-comment",
+                    path: path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{word}` without a `// ORDERING:` comment in the 6 lines above"
+                    ),
+                });
+            }
+        }
+        if on_request_path {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        rule: "no-unwrap",
+                        path: path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{pat}…` on the request path; degrade into an error response instead"
+                        ),
+                    });
+                }
+            }
+        }
+        if ported && code.contains("std::sync") {
+            out.push(Violation {
+                rule: "no-std-sync",
+                path: path.to_string(),
+                line: lineno,
+                message: "raw `std::sync` in a facade-ported crate; import from `exa_check::sync`"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collect the `.rs` files lint applies to: anything under a
+/// `src/` directory, excluding `target/`, `tests/`, `benches/`, and
+/// `crates/check` (the facade/scheduler layer — see the module docs).
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if p.is_dir() {
+                if name == "target" || name == ".git" || name == "tests" || name == "benches" {
+                    continue;
+                }
+                if p.ends_with("crates/check") {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                let rel = p.strip_prefix(root).unwrap_or(&p);
+                let rel_str = rel.to_string_lossy().replace('\\', "/");
+                if rel_str.split('/').any(|seg| seg == "src") {
+                    files.push(p);
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Per-(rule, path) violation counts, the allowlist currency.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+pub fn count_violations(violations: &[Violation]) -> Counts {
+    let mut counts = Counts::new();
+    for v in violations {
+        *counts
+            .entry((v.rule.to_string(), v.path.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Parse `lint.allow`: `rule path count` per line, `#` comments, blanks ok.
+pub fn parse_allowlist(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), Some(count), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "lint.allow:{}: expected `rule path count`",
+                idx + 1
+            ));
+        };
+        if !RULES.contains(&rule) {
+            return Err(format!("lint.allow:{}: unknown rule {rule:?}", idx + 1));
+        }
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("lint.allow:{}: bad count {count:?}", idx + 1))?;
+        if counts
+            .insert((rule.to_string(), path.to_string()), count)
+            .is_some()
+        {
+            return Err(format!("lint.allow:{}: duplicate entry", idx + 1));
+        }
+    }
+    Ok(counts)
+}
+
+/// Render counts back into `lint.allow` form (for `--write-allowlist`).
+pub fn render_allowlist(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# exa-lint allowlist: pre-existing debt, pinned per (rule, file).\n\
+         # The ratchet only turns one way: counts here may only shrink.\n\
+         # Regenerate with `cargo run -p exa-lint -- --write-allowlist`\n\
+         # after *removing* violations; adding new ones must fail CI.\n",
+    );
+    for ((rule, path), count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{rule} {path} {count}\n"));
+        }
+    }
+    out
+}
+
+/// The ratchet comparison. Returns human-readable failures; empty = pass.
+pub fn check_against_allowlist(actual: &Counts, allowed: &Counts) -> Vec<String> {
+    let mut failures = Vec::new();
+    for ((rule, path), &n) in actual {
+        let cap = allowed
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n > cap {
+            failures.push(format!(
+                "{path}: {n} `{rule}` violation(s), allowlist permits {cap} — fix the new ones"
+            ));
+        } else if n < cap {
+            failures.push(format!(
+                "{path}: allowlist grants {cap} `{rule}` but only {n} remain — shrink lint.allow"
+            ));
+        }
+    }
+    for ((rule, path), &cap) in allowed {
+        if cap > 0 && !actual.contains_key(&(rule.clone(), path.clone())) {
+            failures.push(format!(
+                "{path}: allowlist grants {cap} `{rule}` but none remain — shrink lint.allow"
+            ));
+        }
+    }
+    failures.sort();
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_strings_and_char_literals() {
+        let src = r##"let s = "unsafe { }"; // unsafe in comment
+let r = r#"SeqCst"#;
+let c = '"';
+/* block unsafe
+   /* nested */ still comment */
+let x = 1;"##;
+        let s = scrub(src);
+        assert!(!s.code.iter().any(|l| l.contains("unsafe")), "{:?}", s.code);
+        assert!(!s.code.iter().any(|l| l.contains("SeqCst")));
+        assert!(s.code[5].contains("let x = 1;"));
+        assert!(s.comments[0].contains("unsafe in comment"));
+        assert!(s.comments[4].contains("still comment"));
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes_out_of_char_state() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // 'tick comment\nunsafe {}";
+        let s = scrub(src);
+        assert!(s.code[0].contains("fn f<'a>"));
+        // If the lexer misread the lifetime as a char literal, line 2's
+        // `unsafe` would have been swallowed into string state.
+        assert!(s.code[1].contains("unsafe"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules_and_test_fns() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\nfn live2() {}\n#[cfg(all(test, exa_check))]\nmod check_models {\n  fn x() {}\n}\nfn live3() {}";
+        let s = scrub(src);
+        let t = test_regions(&s.code);
+        assert_eq!(
+            t,
+            vec![false, true, true, true, true, false, true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn cfg_word_match_does_not_fire_on_substrings() {
+        let src = "#[cfg(feature = \"latest\")]\nfn f() { unsafe { g() } }";
+        // `latest` is scrubbed as a string literal and `test` never appears
+        // as a word, so the unsafe is still live code — and flagged.
+        let v = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn unsafe_requires_nearby_safety_comment() {
+        let bad = "fn f() {\n    unsafe { work() }\n}";
+        let v = lint_source("crates/tile/src/x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+        assert_eq!(v[0].line, 2);
+
+        let good = "fn f() {\n    // SAFETY: bounds proven above.\n    unsafe { work() }\n}";
+        assert!(lint_source("crates/tile/src/x.rs", good).is_empty());
+
+        let doc = "/// # Safety\n/// Caller upholds aliasing.\npub unsafe fn g() {}";
+        assert!(lint_source("crates/tile/src/x.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn seqcst_requires_ordering_comment_but_acquire_release_do_not() {
+        let bad = "fn f() { x.load(Ordering::SeqCst); }";
+        let v = lint_source("crates/any/src/x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "ordering-comment");
+
+        let fine = "fn f() { x.load(Ordering::Acquire); y.store(1, Ordering::Release); }";
+        assert!(lint_source("crates/any/src/x.rs", fine).is_empty());
+
+        let good =
+            "// ORDERING: pairs with the release store in g().\nfn f() { x.load(Ordering::SeqCst); }";
+        assert!(lint_source("crates/any/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_only_on_request_path_and_outside_tests() {
+        let src =
+            "fn f() { q.lock().unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { x.unwrap(); } }";
+        let v = lint_source("crates/serve/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+        assert!(lint_source("crates/tile/src/x.rs", src).is_empty());
+        // unwrap_or / unwrap_or_else are fine: they are the degrade path.
+        let soft = "fn f() { q.lock().unwrap_or_else(|p| p.into_inner()); }";
+        assert!(lint_source("crates/serve/src/x.rs", soft).is_empty());
+    }
+
+    #[test]
+    fn std_sync_flagged_only_in_ported_crates() {
+        let src = "use std::sync::Mutex;\nfn f() {}";
+        let v = lint_source("crates/telemetry/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-std-sync");
+        assert!(lint_source("crates/wire/src/x.rs", src).is_empty());
+        // Doc-comment mentions don't count.
+        let doc = "//! use std::sync::Arc;\nuse exa_check::sync::Arc;\nfn f() {}";
+        assert!(lint_source("crates/telemetry/src/x.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn allowlist_round_trip_and_ratchet() {
+        let mut actual = Counts::new();
+        actual.insert(("no-unwrap".into(), "crates/serve/src/x.rs".into()), 2);
+        let text = render_allowlist(&actual);
+        let allowed = parse_allowlist(&text).unwrap();
+        assert_eq!(allowed, actual);
+        assert!(check_against_allowlist(&actual, &allowed).is_empty());
+
+        // New debt fails…
+        actual.insert(("no-unwrap".into(), "crates/serve/src/x.rs".into()), 3);
+        let f = check_against_allowlist(&actual, &allowed);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("fix the new ones"));
+
+        // …and so does a stale surplus (the ratchet must shrink).
+        actual.insert(("no-unwrap".into(), "crates/serve/src/x.rs".into()), 1);
+        let f = check_against_allowlist(&actual, &allowed);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("shrink lint.allow"));
+
+        // A fully-fixed file with a leftover entry is also stale.
+        let f = check_against_allowlist(&Counts::new(), &allowed);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("none remain"));
+    }
+
+    #[test]
+    fn parse_allowlist_rejects_junk() {
+        assert!(parse_allowlist("bogus-rule a/b.rs 1").is_err());
+        assert!(parse_allowlist("no-unwrap a/b.rs not-a-number").is_err());
+        assert!(parse_allowlist("no-unwrap a/b.rs").is_err());
+        assert!(parse_allowlist("no-unwrap a/b.rs 1\nno-unwrap a/b.rs 2").is_err());
+        assert!(parse_allowlist("# comment\n\nno-unwrap a/b.rs 4\n").is_ok());
+    }
+}

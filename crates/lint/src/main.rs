@@ -1,0 +1,107 @@
+//! `exa_lint` — run the repo lint pass against the `lint.allow` ratchet.
+//!
+//! ```text
+//! exa_lint [--root <dir>] [--write-allowlist]
+//! ```
+//!
+//! Exit code 0 when every file's violation count matches the allowlist
+//! exactly (over *or* under is a failure — the ratchet only shrinks);
+//! 1 on any mismatch; 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut write = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("exa_lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-allowlist" => write = true,
+            "--help" | "-h" => {
+                eprintln!("usage: exa_lint [--root <dir>] [--write-allowlist]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("exa_lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = exa_lint::collect_sources(&root);
+    if files.is_empty() {
+        eprintln!("exa_lint: no sources under {}", root.display());
+        return ExitCode::from(2);
+    }
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            eprintln!("exa_lint: unreadable {}", file.display());
+            return ExitCode::from(2);
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        violations.extend(exa_lint::lint_source(&rel, &source));
+    }
+    let actual = exa_lint::count_violations(&violations);
+
+    let allow_path = root.join("lint.allow");
+    if write {
+        let text = exa_lint::render_allowlist(&actual);
+        if let Err(e) = std::fs::write(&allow_path, text) {
+            eprintln!("exa_lint: cannot write {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "exa_lint: wrote {} entries to {} ({} files scanned)",
+            actual.len(),
+            allow_path.display(),
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allowed = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match exa_lint::parse_allowlist(&text) {
+            Ok(allowed) => allowed,
+            Err(e) => {
+                eprintln!("exa_lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // No allowlist means zero tolerance everywhere.
+        Err(_) => exa_lint::Counts::new(),
+    };
+
+    let failures = exa_lint::check_against_allowlist(&actual, &allowed);
+    if failures.is_empty() {
+        println!(
+            "exa_lint: ok — {} files, {} allowlisted violation(s), ratchet holds",
+            files.len(),
+            actual.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+    // Print the individual sites for files with *new* debt so the failure
+    // is actionable without re-running locally.
+    for v in &violations {
+        let key = (v.rule.to_string(), v.path.clone());
+        let cap = allowed.get(&key).copied().unwrap_or(0);
+        if actual.get(&key).copied().unwrap_or(0) > cap {
+            eprintln!("{v}");
+        }
+    }
+    for f in &failures {
+        eprintln!("exa_lint: FAIL {f}");
+    }
+    eprintln!("exa_lint: {} failure(s)", failures.len());
+    ExitCode::FAILURE
+}

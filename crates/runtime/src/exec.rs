@@ -248,6 +248,9 @@ fn worker_loop(
         }
         // Retire: release successors.
         for &s in shared.succs[tid as usize] {
+            // ORDERING: AcqRel — Release publishes this task's tile writes to
+            // the successor; the final decrement's Acquire pairs with every
+            // predecessor's Release so the successor sees all of them.
             if shared.preds_left[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                 if shared.priority[s as usize] > 0 {
                     shared.hi_injector.push(s);
@@ -256,6 +259,9 @@ fn worker_loop(
                 }
             }
         }
+        // ORDERING: AcqRel — the zero-observing decrement's Acquire pairs
+        // with every worker's Release, so whoever sees completion also sees
+        // all task effects.
         shared.remaining.fetch_sub(1, Ordering::AcqRel);
     }
 }

@@ -73,6 +73,8 @@ pub fn parallel_map<T: Send>(
 /// Wrapper making a raw mutable slice shareable across the scoped threads;
 /// disjointness of writes is guaranteed by `parallel_for`'s chunking.
 struct SyncSlice<'a, T>(std::cell::UnsafeCell<&'a mut [Option<T>]>);
+// SAFETY: `parallel_for` hands each worker a disjoint [s, e) range, so no
+// slot is ever written from two threads; T: Send keeps the values movable.
 unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
 
 #[cfg(test)]

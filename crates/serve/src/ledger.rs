@@ -1,0 +1,333 @@
+//! The residency ledger behind [`ModelRegistry`](crate::ModelRegistry):
+//! byte accounting, the LRU clock, and the lifetime counters, as one plain
+//! data structure.
+//!
+//! The ledger itself is not synchronized — the registry owns exactly one
+//! behind its `Mutex` — but its invariants are what the registry's locking
+//! discipline exists to protect: `bytes` always equals the sum of the
+//! per-entry byte costs, residency never exceeds the budget except for a
+//! single oversized protected entry, and the lifetime counters are
+//! monotone. Splitting the bookkeeping out of the registry makes those
+//! invariants model-checkable with a cheap payload: the `check_models`
+//! tests below drive a `Mutex<Ledger<u32>>` through every interleaving of
+//! concurrent insert/evict/reaccount instead of factorizing real models.
+
+use std::collections::HashMap;
+
+/// One resident entry: the payload plus its ledger row.
+pub(crate) struct LedgerEntry<T> {
+    pub(crate) value: T,
+    pub(crate) bytes: usize,
+    last_used: u64,
+}
+
+/// Residency bookkeeping for named entries under an optional byte budget.
+pub(crate) struct Ledger<T> {
+    entries: HashMap<String, LedgerEntry<T>>,
+    bytes: usize,
+    clock: u64,
+    // Lifetime counters kept inside the same structure (and so behind the
+    // same lock) as the map they describe: a snapshot is always internally
+    // consistent.
+    pub(crate) insertions: u64,
+    pub(crate) evictions: u64,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) loads: u64,
+    pub(crate) reaccounts: u64,
+}
+
+impl<T> Ledger<T> {
+    pub(crate) fn new() -> Ledger<T> {
+        Ledger {
+            entries: HashMap::new(),
+            bytes: 0,
+            clock: 0,
+            insertions: 0,
+            evictions: 0,
+            hits: 0,
+            misses: 0,
+            loads: 0,
+            reaccounts: 0,
+        }
+    }
+
+    /// Registers `value` under `name` at `bytes`, replacing any previous
+    /// holder without double-counting, then evicts LRU entries (never the
+    /// new one) until the budget holds. Returns evicted names in order.
+    pub(crate) fn insert(
+        &mut self,
+        name: String,
+        value: T,
+        bytes: usize,
+        budget: Option<usize>,
+    ) -> Vec<String> {
+        self.clock += 1;
+        self.insertions += 1;
+        let stamp = self.clock;
+        if let Some(old) = self.entries.insert(
+            name.clone(),
+            LedgerEntry {
+                value,
+                bytes,
+                last_used: stamp,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.enforce_budget(budget, &name)
+    }
+
+    /// Evicts LRU entries (never `keep` itself) until the ledger fits the
+    /// budget. Shared by insert and reaccount.
+    fn enforce_budget(&mut self, budget: Option<usize>, keep: &str) -> Vec<String> {
+        let mut evicted = Vec::new();
+        if let Some(budget) = budget {
+            while self.bytes > budget {
+                // LRU among everything except the protected entry.
+                let victim = self
+                    .entries
+                    .iter()
+                    .filter(|(n, _)| **n != keep)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(n, _)| n.clone());
+                let Some(victim) = victim else { break };
+                let Some(entry) = self.entries.remove(&victim) else {
+                    break;
+                };
+                self.bytes -= entry.bytes;
+                self.evictions += 1;
+                evicted.push(victim);
+            }
+        }
+        evicted
+    }
+
+    /// Replaces `name`'s recorded byte cost and re-runs budget eviction
+    /// (the corrected entry itself is never the victim, mirroring insert's
+    /// oversized-entry rule). No-op returning no evictions if absent.
+    pub(crate) fn reaccount(
+        &mut self,
+        name: &str,
+        bytes: usize,
+        budget: Option<usize>,
+    ) -> Vec<String> {
+        let Some(entry) = self.entries.get_mut(name) else {
+            return Vec::new();
+        };
+        let old = std::mem::replace(&mut entry.bytes, bytes);
+        self.bytes = self.bytes - old + bytes;
+        self.reaccounts += 1;
+        self.enforce_budget(budget, name)
+    }
+
+    /// Looks up `name`, bumping its recency and the hit/miss counters.
+    pub(crate) fn touch(&mut self, name: &str) -> Option<&T> {
+        self.clock += 1;
+        let stamp = self.clock;
+        match self.entries.get_mut(name) {
+            Some(entry) => {
+                entry.last_used = stamp;
+                self.hits += 1;
+                Some(&entry.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Borrows `name`'s entry without bumping recency or counters.
+    pub(crate) fn peek(&self, name: &str) -> Option<&LedgerEntry<T>> {
+        self.entries.get(name)
+    }
+
+    /// Removes `name`; `true` if it was resident. Not counted as an
+    /// eviction — the `evictions` counter means budget-driven LRU removal.
+    pub(crate) fn remove(&mut self, name: &str) -> bool {
+        match self.entries.remove(name) {
+            Some(entry) => {
+                self.bytes -= entry.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn count_load(&mut self) {
+        self.loads += 1;
+    }
+
+    pub(crate) fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total bytes currently resident (always the sum over entries).
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&String, &LedgerEntry<T>)> {
+        self.entries.iter()
+    }
+}
+
+/// Model-checked invariants, explored under `RUSTFLAGS="--cfg exa_check"`
+/// with `cargo test -p exa-serve --lib check_models`.
+#[cfg(all(test, exa_check))]
+mod check_models {
+    use super::*;
+    use exa_check::sync::{Arc, Mutex};
+
+    fn books_balance(ledger: &Ledger<u32>, budget: usize) {
+        let sum: usize = ledger.iter().map(|(_, e)| e.bytes).sum();
+        assert_eq!(ledger.bytes(), sum, "byte ledger drifted from residency");
+        assert!(
+            ledger.bytes() <= budget,
+            "over budget: {} > {budget}",
+            ledger.bytes()
+        );
+        assert!(ledger.evictions <= ledger.insertions);
+        assert_eq!(ledger.len(), ledger.iter().count());
+    }
+
+    /// Concurrent insert / explicit remove / reaccount on overlapping
+    /// names, with the root validating the books in a mid-race snapshot
+    /// and after the dust settles: in every interleaving `bytes` equals
+    /// the sum over resident entries, the budget holds, and the lifetime
+    /// counters are monotone and add up.
+    #[test]
+    fn check_insert_evict_reaccount_books_always_balance() {
+        const BUDGET: usize = 12;
+        let cfg = exa_check::Config {
+            max_iterations: 4_000,
+            max_preemptions: 4,
+            ..Default::default()
+        };
+        let report = exa_check::check_with(cfg, || {
+            let ledger = Arc::new(Mutex::new(Ledger::<u32>::new()));
+            let l1 = Arc::clone(&ledger);
+            let t1 = exa_check::thread::spawn(move || {
+                l1.lock().unwrap().insert("a".into(), 1, 5, Some(BUDGET));
+                l1.lock().unwrap().remove("b");
+            });
+            let l2 = Arc::clone(&ledger);
+            let t2 = exa_check::thread::spawn(move || {
+                l2.lock().unwrap().insert("b".into(), 2, 7, Some(BUDGET));
+                // Grow "a" past what the budget can hold alongside "b":
+                // if "a" is resident this must evict around it.
+                let evicted = l2.lock().unwrap().reaccount("a", 9, Some(BUDGET));
+                assert!(
+                    !evicted.contains(&"a".to_string()),
+                    "reaccount evicted the entry it corrected"
+                );
+            });
+            // Third writer contending on the same names: recency bumps and
+            // an over-budget insert of its own.
+            let l3 = Arc::clone(&ledger);
+            let t3 = exa_check::thread::spawn(move || {
+                let _ = l3.lock().unwrap().touch("a");
+                l3.lock().unwrap().insert("c".into(), 3, 6, Some(BUDGET));
+            });
+            // Mid-race observer: the books must balance in any snapshot
+            // the scheduler can produce, not just the final one.
+            {
+                let mid = ledger.lock().unwrap();
+                books_balance(&mid, BUDGET);
+                let seen = (mid.insertions, mid.evictions);
+                drop(mid);
+                let later = ledger.lock().unwrap();
+                assert!(later.insertions >= seen.0, "insertions went backwards");
+                assert!(later.evictions >= seen.1, "evictions went backwards");
+            }
+            t1.join().unwrap();
+            t2.join().unwrap();
+            t3.join().unwrap();
+            let fin = ledger.lock().unwrap();
+            books_balance(&fin, BUDGET);
+            assert_eq!(fin.insertions, 3);
+            // The reaccount ran against whatever state it found; whether it
+            // counted depends on whether "a" was still resident.
+            assert!(fin.reaccounts <= 1);
+        });
+        report.assert_ok();
+        report.assert_explored(2_500);
+    }
+
+    /// Hit/miss accounting under contention: every `touch` lands exactly one
+    /// of hit/miss, so `hits + misses` equals the lookups issued in every
+    /// interleaving — the counter-balance half of the stats contract.
+    #[test]
+    fn check_touch_counters_always_add_up() {
+        let cfg = exa_check::Config {
+            max_iterations: 2_000,
+            max_preemptions: 4,
+            ..Default::default()
+        };
+        let report = exa_check::check_with(cfg, || {
+            let ledger = Arc::new(Mutex::new(Ledger::<u32>::new()));
+            let l1 = Arc::clone(&ledger);
+            let t1 = exa_check::thread::spawn(move || {
+                l1.lock().unwrap().insert("a".into(), 1, 3, None);
+                let _ = l1.lock().unwrap().touch("b");
+            });
+            let l2 = Arc::clone(&ledger);
+            let t2 = exa_check::thread::spawn(move || {
+                let _ = l2.lock().unwrap().touch("a");
+                l2.lock().unwrap().remove("a");
+            });
+            let _ = ledger.lock().unwrap().touch("a");
+            t1.join().unwrap();
+            t2.join().unwrap();
+            let fin = ledger.lock().unwrap();
+            assert_eq!(fin.hits + fin.misses, 3, "a touch vanished");
+            assert_eq!(fin.insertions, 1);
+        });
+        report.assert_ok();
+        report.assert_explored(1_500);
+    }
+
+    /// An insert never reports its own name among the evicted, even when
+    /// the new entry alone exceeds the budget (the oversized-entry rule),
+    /// and an evicted name is really gone from the map in the same step.
+    #[test]
+    fn check_oversized_insert_keeps_itself_and_drops_the_rest() {
+        let cfg = exa_check::Config {
+            max_iterations: 600,
+            ..Default::default()
+        };
+        let report = exa_check::check_with(cfg, || {
+            let ledger = Arc::new(Mutex::new(Ledger::<u32>::new()));
+            ledger
+                .lock()
+                .unwrap()
+                .insert("small".into(), 1, 4, Some(10));
+            let l2 = Arc::clone(&ledger);
+            let t = exa_check::thread::spawn(move || {
+                let evicted = l2.lock().unwrap().insert("huge".into(), 2, 99, Some(10));
+                assert!(!evicted.contains(&"huge".to_string()));
+            });
+            // Whatever this observes — before or after the oversized insert
+            // — the ledger internally balances (over-budget residency is
+            // legal only for the single protected oversized entry).
+            {
+                let mid = ledger.lock().unwrap();
+                let sum: usize = mid.iter().map(|(_, e)| e.bytes).sum();
+                assert_eq!(mid.bytes(), sum);
+            }
+            t.join().unwrap();
+            let fin = ledger.lock().unwrap();
+            assert!(fin.contains("huge"), "oversized entry must be resident");
+            assert!(!fin.contains("small"), "LRU must have made room");
+            assert_eq!(fin.bytes(), 99);
+        });
+        report.assert_ok();
+        report.assert_explored(600);
+    }
+}

@@ -106,9 +106,11 @@
 //! [`FittedModel::predict_batch_with_variance`]:
 //!     exa_geostat::FittedModel::predict_batch_with_variance
 
+mod ledger;
 pub mod registry;
 pub mod server;
 pub mod stats;
+mod ticket;
 
 pub use registry::{ModelInfo, ModelLoader, ModelRegistry, RegistryStats};
 pub use server::{

@@ -18,30 +18,10 @@
 //! **grow**, the byte ledger is re-checked via [`ModelRegistry::reaccount`]
 //! after every update/refit — insert-time bytes alone would drift.
 
+use crate::ledger::Ledger;
+use exa_check::sync::{Arc, Mutex};
 use exa_covariance::ParamCovariance;
 use exa_geostat::{FittedModel, LiveModel};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
-
-struct Entry<K: ParamCovariance> {
-    live: LiveModel<K>,
-    bytes: usize,
-    last_used: u64,
-}
-
-struct Inner<K: ParamCovariance> {
-    models: HashMap<String, Entry<K>>,
-    bytes: usize,
-    clock: u64,
-    /// Lifetime counters behind the same lock as the map they describe, so
-    /// a [`RegistryStats`] snapshot is always internally consistent.
-    insertions: u64,
-    evictions: u64,
-    hits: u64,
-    misses: u64,
-    loads: u64,
-    reaccounts: u64,
-}
 
 /// Callback that materializes a model that is not resident (pull from a
 /// peer, re-factorize from disk, …). Returning `None` means the model does
@@ -92,7 +72,11 @@ pub struct RegistryStats {
 /// shared between submitters and the [`PredictionServer`](crate::PredictionServer)
 /// via `Arc`.
 pub struct ModelRegistry<K: ParamCovariance> {
-    inner: Mutex<Inner<K>>,
+    /// All residency bookkeeping — map, byte ledger, LRU clock, lifetime
+    /// counters — lives in one [`Ledger`] behind one lock, so every
+    /// snapshot is internally consistent (see the ledger's module docs for
+    /// the model-checked invariants).
+    inner: Mutex<Ledger<LiveModel<K>>>,
     budget: Option<usize>,
     /// Load-on-miss hook, behind its own lock so a slow load never blocks
     /// lookups of resident models (the `inner` lock is not held while the
@@ -110,17 +94,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
     /// An unbounded registry (no eviction).
     pub fn new() -> Self {
         ModelRegistry {
-            inner: Mutex::new(Inner {
-                models: HashMap::new(),
-                bytes: 0,
-                clock: 0,
-                insertions: 0,
-                evictions: 0,
-                hits: 0,
-                misses: 0,
-                loads: 0,
-                reaccounts: 0,
-            }),
+            inner: Mutex::new(Ledger::new()),
             budget: None,
             loader: Mutex::new(None),
         }
@@ -151,45 +125,10 @@ impl<K: ParamCovariance> ModelRegistry<K> {
     pub fn insert_live(&self, name: impl Into<String>, live: LiveModel<K>) -> Vec<String> {
         let name = name.into();
         let bytes = live.snapshot().factor_bytes();
-        let mut inner = self.inner.lock().expect("registry lock");
-        inner.clock += 1;
-        inner.insertions += 1;
-        let stamp = inner.clock;
-        if let Some(old) = inner.models.insert(
-            name.clone(),
-            Entry {
-                live,
-                bytes,
-                last_used: stamp,
-            },
-        ) {
-            inner.bytes -= old.bytes;
-        }
-        inner.bytes += bytes;
-        Self::enforce_budget(&mut inner, self.budget, &name)
-    }
-
-    /// Evicts LRU entries (never `keep` itself) until the ledger fits the
-    /// budget. Shared by insert and reaccount.
-    fn enforce_budget(inner: &mut Inner<K>, budget: Option<usize>, keep: &str) -> Vec<String> {
-        let mut evicted = Vec::new();
-        if let Some(budget) = budget {
-            while inner.bytes > budget {
-                // LRU among everything except the protected entry.
-                let victim = inner
-                    .models
-                    .iter()
-                    .filter(|(n, _)| **n != keep)
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(n, _)| n.clone());
-                let Some(victim) = victim else { break };
-                let entry = inner.models.remove(&victim).expect("victim exists");
-                inner.bytes -= entry.bytes;
-                inner.evictions += 1;
-                evicted.push(victim);
-            }
-        }
-        evicted
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .insert(name, live, bytes, self.budget)
     }
 
     /// Re-reads a live model's current factor bytes into the ledger and
@@ -200,15 +139,14 @@ impl<K: ParamCovariance> ModelRegistry<K> {
     /// without it, `factor_bytes` recorded at insert would drift as factors
     /// grow.
     pub fn reaccount(&self, name: &str) -> Vec<String> {
-        let mut inner = self.inner.lock().expect("registry lock");
-        let Some(entry) = inner.models.get_mut(name) else {
+        let mut ledger = self.inner.lock().expect("registry lock");
+        let Some(bytes) = ledger
+            .peek(name)
+            .map(|entry| entry.value.snapshot().factor_bytes())
+        else {
             return Vec::new();
         };
-        let bytes = entry.live.snapshot().factor_bytes();
-        let old = std::mem::replace(&mut entry.bytes, bytes);
-        inner.bytes = inner.bytes - old + bytes;
-        inner.reaccounts += 1;
-        Self::enforce_budget(&mut inner, self.budget, name)
+        ledger.reaccount(name, bytes, self.budget)
     }
 
     /// Looks up a model by name, bumping its recency. The returned snapshot
@@ -221,21 +159,11 @@ impl<K: ParamCovariance> ModelRegistry<K> {
     /// Looks up the [`LiveModel`] wrapper by name (the write path), bumping
     /// recency.
     pub fn live(&self, name: &str) -> Option<LiveModel<K>> {
-        let mut inner = self.inner.lock().expect("registry lock");
-        inner.clock += 1;
-        let stamp = inner.clock;
-        match inner.models.get_mut(name) {
-            Some(entry) => {
-                entry.last_used = stamp;
-                let live = entry.live.clone();
-                inner.hits += 1;
-                Some(live)
-            }
-            None => {
-                inner.misses += 1;
-                None
-            }
-        }
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .touch(name)
+            .cloned()
     }
 
     /// Installs the load-on-miss hook consulted by
@@ -284,7 +212,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             return Some(live);
         }
         let model = loader.as_ref()?(name)?;
-        self.inner.lock().expect("registry lock").loads += 1;
+        self.inner.lock().expect("registry lock").count_load();
         let live = LiveModel::with_env_policy(model);
         self.insert_live(name, live.clone());
         Some(live)
@@ -292,28 +220,17 @@ impl<K: ParamCovariance> ModelRegistry<K> {
 
     /// Removes a model by name; `true` if it was resident.
     pub fn evict(&self, name: &str) -> bool {
-        let mut inner = self.inner.lock().expect("registry lock");
-        match inner.models.remove(name) {
-            Some(entry) => {
-                inner.bytes -= entry.bytes;
-                true
-            }
-            None => false,
-        }
+        self.inner.lock().expect("registry lock").remove(name)
     }
 
     /// Whether `name` is currently resident (does not bump recency).
     pub fn contains(&self, name: &str) -> bool {
-        self.inner
-            .lock()
-            .expect("registry lock")
-            .models
-            .contains_key(name)
+        self.inner.lock().expect("registry lock").contains(name)
     }
 
     /// Number of resident models.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry lock").models.len()
+        self.inner.lock().expect("registry lock").len()
     }
 
     /// True when no model is resident.
@@ -323,7 +240,7 @@ impl<K: ParamCovariance> ModelRegistry<K> {
 
     /// Total factor bytes currently resident.
     pub fn bytes_in_use(&self) -> usize {
-        self.inner.lock().expect("registry lock").bytes
+        self.inner.lock().expect("registry lock").bytes()
     }
 
     /// The configured byte budget, if any.
@@ -337,9 +254,8 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             .inner
             .lock()
             .expect("registry lock")
-            .models
-            .keys()
-            .cloned()
+            .iter()
+            .map(|(name, _)| name.clone())
             .collect();
         names.sort();
         names
@@ -368,9 +284,8 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             .inner
             .lock()
             .expect("registry lock")
-            .models
-            .values()
-            .map(|e| e.live.clone())
+            .iter()
+            .map(|(_, e)| e.value.clone())
             .collect();
         let mut total = exa_geostat::DriftStats::default();
         for live in lives {
@@ -394,9 +309,8 @@ impl<K: ParamCovariance> ModelRegistry<K> {
     /// equals the sum of the listed `factor_bytes`, even while concurrent
     /// inserts evict).
     pub fn snapshot(&self) -> (Vec<ModelInfo>, RegistryStats) {
-        let inner = self.inner.lock().expect("registry lock");
-        let mut entries: Vec<ModelInfo> = inner
-            .models
+        let ledger = self.inner.lock().expect("registry lock");
+        let mut entries: Vec<ModelInfo> = ledger
             .iter()
             .map(|(name, entry)| ModelInfo {
                 name: name.clone(),
@@ -405,15 +319,15 @@ impl<K: ParamCovariance> ModelRegistry<K> {
             .collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         let stats = RegistryStats {
-            resident_models: inner.models.len(),
-            bytes_in_use: inner.bytes,
+            resident_models: ledger.len(),
+            bytes_in_use: ledger.bytes(),
             byte_budget: self.budget,
-            insertions: inner.insertions,
-            evictions: inner.evictions,
-            hits: inner.hits,
-            misses: inner.misses,
-            loads: inner.loads,
-            reaccounts: inner.reaccounts,
+            insertions: ledger.insertions,
+            evictions: ledger.evictions,
+            hits: ledger.hits,
+            misses: ledger.misses,
+            loads: ledger.loads,
+            reaccounts: ledger.reaccounts,
         };
         (entries, stats)
     }

@@ -17,13 +17,18 @@
 
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
+pub use crate::ticket::PredictionTicket;
+use crate::ticket::Slot;
 use exa_covariance::{Location, ParamCovariance};
 use exa_geostat::{factorization_count, FittedModel};
 use exa_runtime::Runtime;
 use exa_telemetry::{Histogram, HistogramSnapshot, TraceId};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+// Synchronization comes through the exa-check facade: a transparent
+// std::sync re-export in normal builds, the model checker's instrumented
+// primitives under `--cfg exa_check` (see crates/check).
+use exa_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use exa_check::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning for a [`PredictionServer`].
@@ -120,81 +125,9 @@ pub struct ServedPrediction {
     pub trace: Option<TraceId>,
 }
 
-type SlotResult = Result<ServedPrediction, ServeError>;
-/// Completion callback shape for [`PredictionTicket::on_ready`].
-type ReadyCallback = Box<dyn FnOnce(SlotResult) + Send>;
 /// Per-request payload produced by one coalesced model call: the kriging
 /// means plus the variances when the batch ran in variance mode.
 type BatchResponses = Vec<(Vec<f64>, Option<Vec<f64>>)>;
-
-/// The rendezvous between a submitted request and its response.
-struct Slot {
-    result: Mutex<Option<SlotResult>>,
-    cv: Condvar,
-    /// Completion callback registered by [`PredictionTicket::on_ready`];
-    /// locked strictly after `result` on both the register and fulfill
-    /// paths, which is what makes the register/fulfill race benign.
-    waker: Mutex<Option<ReadyCallback>>,
-}
-
-impl Slot {
-    fn fulfill(&self, value: SlotResult) {
-        let mut guard = self.result.lock().expect("slot lock");
-        if let Some(callback) = self.waker.lock().expect("slot waker lock").take() {
-            // A reactor-style consumer is waiting: hand the result straight
-            // to its callback (outside both locks) instead of parking it.
-            drop(guard);
-            callback(value);
-            return;
-        }
-        *guard = Some(value);
-        self.cv.notify_all();
-    }
-}
-
-/// A claim on one in-flight request; redeem with [`PredictionTicket::wait`],
-/// or register a completion callback with [`PredictionTicket::on_ready`].
-pub struct PredictionTicket {
-    slot: Arc<Slot>,
-}
-
-impl PredictionTicket {
-    /// Blocks until the request is answered.
-    pub fn wait(self) -> SlotResult {
-        let mut guard = self.slot.result.lock().expect("slot lock");
-        while guard.is_none() {
-            guard = self.slot.cv.wait(guard).expect("slot wait");
-        }
-        guard.take().expect("result present")
-    }
-
-    /// Non-blocking poll: `true` once the response is ready.
-    pub fn is_ready(&self) -> bool {
-        self.slot.result.lock().expect("slot lock").is_some()
-    }
-
-    /// Registers a completion callback instead of blocking: `f` runs
-    /// exactly once with the result — immediately on the calling thread if
-    /// the request is already answered, otherwise on whichever thread
-    /// fulfills it (a pool worker, or an inline `predict` caller). This is
-    /// the event-loop consumption shape: a reactor thread can submit work
-    /// and go back to its poller, with `f` posting the completion back to
-    /// it (e.g. queue + wake byte). Keep `f` short and non-blocking — it
-    /// runs on the fulfilling thread's time, delaying that worker's next
-    /// batch.
-    pub fn on_ready(self, f: impl FnOnce(SlotResult) + Send + 'static) {
-        let mut guard = self.slot.result.lock().expect("slot lock");
-        if let Some(value) = guard.take() {
-            drop(guard);
-            f(value);
-            return;
-        }
-        // Registered while holding the result lock — `fulfill` takes that
-        // same lock before it checks for a waker, so the callback can
-        // neither be missed nor run twice.
-        *self.slot.waker.lock().expect("slot waker lock") = Some(Box::new(f));
-    }
-}
 
 struct Pending<K: ParamCovariance> {
     model: Arc<FittedModel<K>>,
@@ -287,7 +220,7 @@ struct Shared<K: ParamCovariance> {
     /// a second blocking caller arriving meanwhile enqueues for the
     /// workers instead, so concurrent callers still coalesce with each
     /// other and queue backpressure still engages under load.
-    inline_active: std::sync::atomic::AtomicBool,
+    inline_active: AtomicBool,
 }
 
 /// Cloneable submission handle to a running [`PredictionServer`].
@@ -423,6 +356,11 @@ impl<K: ParamCovariance> ServerHandle<K> {
                 && self
                     .shared
                     .inline_active
+                    // ORDERING: AcqRel on the winning claim — Acquire pairs
+                    // with the previous holder's Release store so this inline
+                    // run happens after the prior one's effects; Release
+                    // publishes the claim to `wait_for_inline`'s SeqCst load
+                    // during shutdown.
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok();
             match claimed {
@@ -445,6 +383,9 @@ impl<K: ParamCovariance> ServerHandle<K> {
         struct InlineGuard<'a, K: ParamCovariance>(&'a Shared<K>);
         impl<K: ParamCovariance> Drop for InlineGuard<'_, K> {
             fn drop(&mut self) {
+                // ORDERING: Release publishes this inline run's counter and
+                // slot writes before the flag clears, pairing with the next
+                // claimant's Acquire CAS and shutdown's SeqCst load.
                 self.0.inline_active.store(false, Ordering::Release);
                 self.0.work_cv.notify_all();
             }
@@ -635,11 +576,7 @@ impl<K: ParamCovariance> ServerHandle<K> {
             .registry
             .get_or_load(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let slot = Arc::new(Slot {
-            result: Mutex::new(None),
-            cv: Condvar::new(),
-            waker: Mutex::new(None),
-        });
+        let slot = Arc::new(Slot::new());
         Ok(Pending {
             model: resolved,
             targets,
@@ -708,7 +645,7 @@ impl<K: ParamCovariance> PredictionServer<K> {
             work_cv: Condvar::new(),
             config,
             counters: Counters::default(),
-            inline_active: std::sync::atomic::AtomicBool::new(false),
+            inline_active: AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -757,11 +694,11 @@ impl<K: ParamCovariance> PredictionServer<K> {
     /// `ShuttingDown` or observed — and awaited — here.
     fn wait_for_inline(&self) {
         let mut queue = self.shared.queue.lock().expect("queue lock");
-        while self
-            .shared
-            .inline_active
-            .load(std::sync::atomic::Ordering::SeqCst)
-        {
+        // ORDERING: SeqCst pairs with the claim CAS in `predict_now` — the
+        // shutdown path must not order this load before its own
+        // `accepting = false` write, or it could miss an inline claim that
+        // won the slot after observing `accepting == true`.
+        while self.shared.inline_active.load(Ordering::SeqCst) {
             // The inline guard notifies `work_cv` on release; the timeout
             // makes a lost wakeup harmless.
             let (guard, _timeout) = self

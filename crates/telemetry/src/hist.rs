@@ -27,7 +27,7 @@
 //! but never loses or invents counts — the stress test pins
 //! `total recorded == sum of bucket counts` after the writers join.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use exa_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Subdivisions per power of two (`2^SUB_BITS`).
@@ -269,6 +269,62 @@ impl HistogramSnapshot {
 #[cfg(test)]
 pub(crate) mod testgate {
     pub static GATE: std::sync::RwLock<()> = std::sync::RwLock::new(());
+}
+
+/// Model-checked invariants, explored under `RUSTFLAGS="--cfg exa_check"`
+/// with `cargo test -p exa-telemetry --lib check_models`. See the exa-check
+/// crate docs for what the model does (and does not) verify.
+#[cfg(all(test, exa_check))]
+mod check_models {
+    use super::testgate::GATE;
+    use super::*;
+    use exa_check::sync::Arc;
+
+    /// ISSUE invariant: histogram total == bucket sum under concurrent
+    /// record/merge. Two writers record into distinct and shared buckets
+    /// while the root thread merges a mid-flight snapshot; after the
+    /// writers join, no count or nanosecond may be lost.
+    #[test]
+    fn check_concurrent_record_and_merge_totals() {
+        let _recording = GATE.read().unwrap();
+        let cfg = exa_check::Config {
+            max_iterations: 3_000,
+            ..Default::default()
+        };
+        let report = exa_check::check_with(cfg, || {
+            let h = Arc::new(Histogram::new());
+            let writers: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let h = Arc::clone(&h);
+                    exa_check::thread::spawn(move || {
+                        h.record_ns(10); // shared bucket: contended fetch_add
+                        h.record_ns(1 << (20 + t)); // distinct buckets
+                    })
+                })
+                .collect();
+            // Mid-flight snapshot + merge race the writers; the merged copy
+            // may be torn across buckets but never sees more than what was
+            // recorded.
+            let mut merged = HistogramSnapshot::default();
+            merged.merge(&h.snapshot());
+            assert!(merged.count() <= 4);
+            assert_eq!(merged.count(), merged.buckets().iter().sum::<u64>());
+            for w in writers {
+                w.join().unwrap();
+            }
+            let s = h.snapshot();
+            assert_eq!(s.count(), 4, "lost a bucket increment");
+            assert_eq!(s.buckets()[bucket_index(10)], 2);
+            let want_sum = 10 + 10 + (1u64 << 20) + (1u64 << 21);
+            assert_eq!(
+                (s.sum_seconds() * 1e9).round() as u64,
+                want_sum,
+                "lost a sum increment"
+            );
+        });
+        report.assert_ok();
+        report.assert_explored(3_000);
+    }
 }
 
 #[cfg(test)]

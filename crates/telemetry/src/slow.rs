@@ -13,8 +13,8 @@
 //! fresher (if individually faster) tail samples are dropped.
 
 use crate::trace::TraceId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use exa_check::sync::atomic::{AtomicU64, Ordering};
+use exa_check::sync::Mutex;
 
 /// One slow request: its trace id, model, and per-stage nanosecond spans.
 ///
@@ -154,6 +154,66 @@ impl SlowRing {
     /// Total recordings considered so far (not the ring occupancy).
     pub fn recorded(&self) -> u64 {
         self.next_seq.load(Ordering::Relaxed)
+    }
+}
+
+/// Model-checked invariants, explored under `RUSTFLAGS="--cfg exa_check"`
+/// with `cargo test -p exa-telemetry --lib check_models`.
+#[cfg(all(test, exa_check))]
+mod check_models {
+    use super::*;
+    use crate::hist::testgate::GATE;
+    use exa_check::sync::Arc;
+
+    fn entry(total_ns: u64) -> SlowEntry {
+        SlowEntry {
+            trace: TraceId(total_ns),
+            model: "m".to_string(),
+            parse_ns: 0,
+            queue_ns: 0,
+            solve_ns: 0,
+            write_ns: 0,
+            total_ns,
+            seq: 0,
+        }
+    }
+
+    /// The lock-free fast-reject may drop mid-pack tail samples under a
+    /// refresh race (documented best-effort), but it must never drop the
+    /// maximum: the cached floor is always ≤ the resident total in a
+    /// capacity-1 ring, so the slowest request always survives. Sequence
+    /// numbering (and so `recorded()`) must never lose an increment.
+    #[test]
+    fn check_fast_reject_never_drops_the_maximum() {
+        let _recording = GATE.read().unwrap();
+        let cfg = exa_check::Config {
+            max_iterations: 2_500,
+            ..Default::default()
+        };
+        let report = exa_check::check_with(cfg, || {
+            // Window far larger than the record count: expiry never fires,
+            // isolating the floor-cache race.
+            let ring = Arc::new(SlowRing::new(1, 1_000));
+            let writers: Vec<_> = [10u64, 50, 30]
+                .into_iter()
+                .map(|t| {
+                    let ring = Arc::clone(&ring);
+                    exa_check::thread::spawn(move || ring.record(entry(t)))
+                })
+                .collect();
+            for w in writers {
+                w.join().unwrap();
+            }
+            assert_eq!(ring.recorded(), 3, "lost a sequence increment");
+            let snap = ring.snapshot();
+            assert_eq!(snap.len(), 1);
+            assert_eq!(
+                snap[0].total_ns, 50,
+                "fast-reject dropped the slowest request"
+            );
+        });
+        report.assert_ok();
+        report.assert_explored(2_500);
     }
 }
 

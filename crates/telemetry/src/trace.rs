@@ -11,9 +11,9 @@
 //! (1–16 hex digits) is honored rather than re-minted, which lets an
 //! upstream system stitch exa requests into a wider trace.
 
+use exa_check::sync::atomic::{AtomicU64, Ordering};
+use exa_check::sync::OnceLock;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
 
 /// The request/response header carrying a [`TraceId`].
 pub const TRACE_HEADER: &str = "x-exa-trace-id";

@@ -55,6 +55,9 @@ pub fn block_potrf_with_panel(
             parallel_for(num_workers, rem, 256, move |r0, r1| {
                 let rows = r1 - r0;
                 let mut scratch = vec![0.0f64; rows * w];
+                // SAFETY: this chunk reads only its own rows [r0, r1) of the
+                // panel columns; chunks are disjoint and the diagonal block
+                // was snapshotted before the fan-out.
                 unsafe {
                     for j in 0..w {
                         for i in 0..rows {
@@ -73,6 +76,8 @@ pub fn block_potrf_with_panel(
                     &mut scratch,
                     rows,
                 );
+                // SAFETY: writes land in the same rows [r0, r1) this chunk
+                // read above — still disjoint from every other chunk.
                 unsafe {
                     for j in 0..w {
                         for i in 0..rows {
@@ -129,6 +134,8 @@ pub fn block_potrf_with_panel(
 
 /// Shareable raw matrix pointer; chunk disjointness is the callers' contract.
 struct RawMat(*mut f64);
+// SAFETY: &RawMat only hands out the raw pointer; every dereference above is
+// confined to a chunk-disjoint row/column range, so shared access is benign.
 unsafe impl Sync for RawMat {}
 
 #[cfg(test)]

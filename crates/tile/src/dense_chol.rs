@@ -70,6 +70,8 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
             if p.poisoned() {
                 return;
             }
+            // SAFETY: this task declared ReadWrite on (k,k), so the STF DAG
+            // grants it exclusive access to the tile for the closure's run.
             let buf = unsafe { akk.as_mut_slice() };
             if let Err(LinalgError::NotPositiveDefinite { index }) = dpotrf(akk.rows, buf, akk.rows)
             {
@@ -88,6 +90,8 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
                     if p.poisoned() {
                         return;
                     }
+                    // SAFETY: declared Read on (k,k) and ReadWrite on (i,k) —
+                    // the DAG serializes this against writers of either tile.
                     let l = unsafe { akk.as_slice() };
                     let b = unsafe { aik.as_mut_slice() };
                     dtrsm(
@@ -116,6 +120,8 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
                     if p.poisoned() {
                         return;
                     }
+                    // SAFETY: declared Read on (j,k) and ReadWrite on (j,j) —
+                    // the DAG serializes this against writers of either tile.
                     let src = unsafe { ajk.as_slice() };
                     let dst = unsafe { ajj.as_mut_slice() };
                     dsyrk(
@@ -148,6 +154,9 @@ pub fn tile_potrf(a: &mut TileMatrix, rt: &Runtime) -> Result<ExecStats, LinalgE
                         if p.poisoned() {
                             return;
                         }
+                        // SAFETY: declared Read on (i,k)/(j,k) and ReadWrite
+                        // on (i,j); the DAG orders this after the panel
+                        // writers and serializes the (i,j) update.
                         let x = unsafe { aik.as_slice() };
                         let y = unsafe { ajk.as_slice() };
                         let c = unsafe { aij.as_mut_slice() };

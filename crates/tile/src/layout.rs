@@ -168,9 +168,10 @@ impl TileMatrix {
                 (ptr, len, rows, cols)
             })
             .collect();
-        // SAFETY wrapper for sending raw tile pointers to the worker threads;
-        // tiles are disjoint allocations and each chunk touches its own set.
         struct Ptrs(Vec<(*mut f64, usize, usize, usize)>);
+        // SAFETY: wrapper for sharing raw tile pointers with worker threads;
+        // tiles are disjoint allocations and each chunk touches its own set,
+        // so concurrent access through &Ptrs never aliases.
         unsafe impl Sync for Ptrs {}
         let ptrs = Ptrs(tile_ptrs);
         let coords_ref = &coords;

@@ -23,6 +23,8 @@ pub fn tile_gemm(a: &TileMatrix, b: &Mat, num_workers: usize) -> Mat {
     let ldc = c.ld();
     let ldb = b.ld();
     struct RawPtr(*mut f64);
+    // SAFETY: shared only so each worker can carve out its own disjoint row
+    // block of C below; no two chunks ever touch the same rows.
     unsafe impl Sync for RawPtr {}
     let cptr = RawPtr(c.as_mut_slice().as_mut_ptr());
     let cref = &cptr;
@@ -70,6 +72,7 @@ pub fn tile_trmm_lower(l: &TileMatrix, x: &Mat, num_workers: usize) -> Mat {
     let ldy = y.ld();
     let ldx = x.ld();
     struct RawPtr(*mut f64);
+    // SAFETY: workers write disjoint row blocks of Y, as in `tile_gemm`.
     unsafe impl Sync for RawPtr {}
     let yptr = RawPtr(y.as_mut_slice().as_mut_ptr());
     let yref = &yptr;
@@ -131,6 +134,7 @@ pub fn tile_symm_lower(a: &TileMatrix, x: &Mat, num_workers: usize) -> Mat {
     let ldy = y.ld();
     let ldx = x.ld();
     struct RawPtr(*mut f64);
+    // SAFETY: workers write disjoint row blocks of Y, as in `tile_gemm`.
     unsafe impl Sync for RawPtr {}
     let yptr = RawPtr(y.as_mut_slice().as_mut_ptr());
     let yref = &yptr;

@@ -28,7 +28,11 @@ struct RhsView {
     cols: usize,
 }
 
+// SAFETY: RhsView is a plain pointer/shape bundle; actual access goes through
+// the unsafe accessors whose contracts require runtime-granted access modes,
+// and the STF DAG serializes writers (module docs above).
 unsafe impl Send for RhsView {}
+// SAFETY: as above — sharing the view grants nothing without the accessors.
 unsafe impl Sync for RhsView {}
 
 impl RhsView {
@@ -99,6 +103,8 @@ pub fn tile_trsm(l: &mut TileMatrix, side: TriangularSide, b: &mut Mat, rt: &Run
                     2,
                     &[(lh[k][k], Access::Read), (bh[k], Access::ReadWrite)],
                     move || {
+                        // SAFETY: declared Read on L(k,k) and ReadWrite on
+                        // B[k]; the DAG serializes this task accordingly.
                         let lbuf = unsafe { lkk.as_slice() };
                         let bbuf = unsafe { bk.as_mut_slice() };
                         dtrsm(
@@ -142,6 +148,8 @@ pub fn tile_trsm(l: &mut TileMatrix, side: TriangularSide, b: &mut Mat, rt: &Run
                     2,
                     &[(lh[k][k], Access::Read), (bh[k], Access::ReadWrite)],
                     move || {
+                        // SAFETY: declared Read on L(k,k) and ReadWrite on
+                        // B[k]; the DAG serializes this task accordingly.
                         let lbuf = unsafe { lkk.as_slice() };
                         let bbuf = unsafe { bk.as_mut_slice() };
                         dtrsm(
@@ -183,6 +191,9 @@ pub fn tile_trsm(l: &mut TileMatrix, side: TriangularSide, b: &mut Mat, rt: &Run
 
 /// `B_i -= op(L) · B_k` for one tile/row-block pair.
 fn gemm_update(trans: Trans, ltile: TileView, bk: RhsView, bi: RhsView) {
+    // SAFETY: only called from tasks that declared Read on the L tile and
+    // B[k], and ReadWrite on B[i]; the DAG grants those borrows for the
+    // task's duration.
     let lbuf = unsafe { ltile.as_slice() };
     let src = unsafe { bk.as_slice() };
     let dst = unsafe { bi.as_mut_slice() };

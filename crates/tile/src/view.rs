@@ -24,7 +24,12 @@ pub struct TileView {
     pub cols: usize,
 }
 
+// SAFETY: a TileView is a plain pointer/length pair; cross-thread access is
+// serialized by the runtime's STF dependency DAG (contract points 1–3 in the
+// module docs), so sending or sharing the view itself is benign.
 unsafe impl Send for TileView {}
+// SAFETY: as above — &TileView only exposes the raw parts; dereferencing
+// requires the unsafe accessors whose contracts demand runtime-granted access.
 unsafe impl Sync for TileView {}
 
 impl TileView {

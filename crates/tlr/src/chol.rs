@@ -53,7 +53,11 @@ impl Poison {
 /// Raw view of a dense diagonal tile.
 #[derive(Clone, Copy)]
 pub(crate) struct DiagView(pub(crate) *mut Tile);
+// SAFETY: DiagView is a bare pointer; dereferencing goes through the unsafe
+// `get`, whose contract requires runtime-granted access, and the STF DAG
+// serializes writers of each tile handle.
 unsafe impl Send for DiagView {}
+// SAFETY: as above — sharing the view grants nothing without `get`.
 unsafe impl Sync for DiagView {}
 
 impl DiagView {
@@ -69,7 +73,10 @@ impl DiagView {
 /// Raw view of a low-rank tile.
 #[derive(Clone, Copy)]
 pub(crate) struct LrView(pub(crate) *mut LrTile);
+// SAFETY: same argument as DiagView — a bare pointer whose dereference is
+// gated behind the unsafe `get` and the runtime's declared access modes.
 unsafe impl Send for LrView {}
+// SAFETY: as above.
 unsafe impl Sync for LrView {}
 
 impl LrView {
@@ -106,6 +113,8 @@ pub fn tlr_potrf(a: &mut TlrMatrix, rt: &Runtime) -> Result<ExecStats, LinalgErr
             if p.poisoned() {
                 return;
             }
+            // SAFETY: declared ReadWrite on diagonal handle k — the DAG
+            // grants this task exclusive access to the tile.
             let t = unsafe { dk.get() };
             if let Err(LinalgError::NotPositiveDefinite { index }) =
                 dpotrf(t.rows, &mut t.data, t.rows)
@@ -125,6 +134,8 @@ pub fn tlr_potrf(a: &mut TlrMatrix, rt: &Runtime) -> Result<ExecStats, LinalgErr
                     if p.poisoned() {
                         return;
                     }
+                    // SAFETY: declared Read on the diagonal and ReadWrite on
+                    // (i,k); the DAG serializes against writers of both.
                     let l = unsafe { dk.get() };
                     let t = unsafe { aik.get() };
                     lr_trsm(&l.data, l.rows, t);
@@ -143,6 +154,9 @@ pub fn tlr_potrf(a: &mut TlrMatrix, rt: &Runtime) -> Result<ExecStats, LinalgErr
                     if p.poisoned() {
                         return;
                     }
+                    // SAFETY: declared Read on (j,k) and ReadWrite on the
+                    // diagonal j; the DAG serializes against both tiles'
+                    // writers.
                     let src = unsafe { ajk.get() };
                     let dst = unsafe { dj.get() };
                     lr_syrk(src, &mut dst.data, dst.rows);
@@ -165,6 +179,9 @@ pub fn tlr_potrf(a: &mut TlrMatrix, rt: &Runtime) -> Result<ExecStats, LinalgErr
                         if p.poisoned() {
                             return;
                         }
+                        // SAFETY: declared Read on (i,k)/(j,k) and ReadWrite
+                        // on (i,j); the DAG orders this after the panel
+                        // writers and serializes the (i,j) update.
                         let x = unsafe { aik.get() };
                         let y = unsafe { ajk.get() };
                         let c = unsafe { aij.get() };

@@ -21,7 +21,11 @@ struct RhsView {
     cols: usize,
 }
 
+// SAFETY: RhsView is a plain pointer/shape bundle; dereferencing goes through
+// the unsafe accessors whose contracts require runtime-granted access, and
+// the STF DAG serializes writers of each block handle.
 unsafe impl Send for RhsView {}
+// SAFETY: as above — sharing the view grants nothing without the accessors.
 unsafe impl Sync for RhsView {}
 
 impl RhsView {
@@ -79,6 +83,8 @@ pub fn tlr_trsm(l: &mut TlrMatrix, side: TriangularSide, b: &mut Mat, rt: &Runti
                     2,
                     &[(dh[k], Access::Read), (bh[k], Access::ReadWrite)],
                     move || {
+                        // SAFETY: declared Read on the diagonal and ReadWrite
+                        // on B[k]; the DAG serializes this task accordingly.
                         let t = unsafe { dk.get() };
                         let bbuf = unsafe { bk.as_mut_slice() };
                         dtrsm(
@@ -107,6 +113,8 @@ pub fn tlr_trsm(l: &mut TlrMatrix, side: TriangularSide, b: &mut Mat, rt: &Runti
                             (bh[i], Access::ReadWrite),
                         ],
                         move || {
+                            // SAFETY: declared Read on L(i,k)/B[k] and
+                            // ReadWrite on B[i]; serialized by the DAG.
                             let t = unsafe { lik.get() };
                             let src = unsafe { bk.as_slice() };
                             let dst = unsafe { bi.as_mut_slice() };
@@ -125,6 +133,8 @@ pub fn tlr_trsm(l: &mut TlrMatrix, side: TriangularSide, b: &mut Mat, rt: &Runti
                     2,
                     &[(dh[k], Access::Read), (bh[k], Access::ReadWrite)],
                     move || {
+                        // SAFETY: declared Read on the diagonal and ReadWrite
+                        // on B[k]; the DAG serializes this task accordingly.
                         let t = unsafe { dk.get() };
                         let bbuf = unsafe { bk.as_mut_slice() };
                         dtrsm(
@@ -154,6 +164,8 @@ pub fn tlr_trsm(l: &mut TlrMatrix, side: TriangularSide, b: &mut Mat, rt: &Runti
                             (bh[i], Access::ReadWrite),
                         ],
                         move || {
+                            // SAFETY: declared Read on L(k,i)/B[k] and
+                            // ReadWrite on B[i]; serialized by the DAG.
                             let t = unsafe { lki.get() };
                             let src = unsafe { bk.as_slice() };
                             let dst = unsafe { bi.as_mut_slice() };

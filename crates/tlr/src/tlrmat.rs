@@ -68,6 +68,9 @@ impl TlrMatrix {
         let mut diag: Vec<Tile> = (0..nt).map(|k| Tile::zeros(ext(k), ext(k))).collect();
         {
             struct DiagPtrs(Vec<(*mut f64, usize)>);
+            // SAFETY: shared only so each worker can fill its own diagonal
+            // tiles; tiles are separate allocations and each index k is
+            // visited by exactly one chunk.
             unsafe impl Sync for DiagPtrs {}
             let ptrs = DiagPtrs(
                 diag.iter_mut()

@@ -381,6 +381,9 @@ impl<K: ParamCovariance> WireServer<K> {
     }
 
     fn wind_down(&mut self) {
+        // ORDERING: SeqCst — the flag store must be globally ordered before
+        // the waker byte below, so a reactor woken by it cannot load the
+        // flag as false and go back to sleep.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         self.shared.waker.wake();
         if let Some(reactor) = self.reactor_thread.take() {
@@ -512,6 +515,8 @@ impl<K: ParamCovariance> Reactor<K> {
             if accept_ready {
                 self.accept_pending(now);
             }
+            // ORDERING: SeqCst pairs with wind_down's store: after the waker
+            // byte wakes this loop, the load is guaranteed to see the flag.
             if self.shared.shutting_down.load(Ordering::SeqCst) && !self.shutting {
                 self.begin_shutdown();
             }
@@ -954,6 +959,8 @@ impl<K: ParamCovariance> Reactor<K> {
         now: Instant,
     ) -> bool {
         count_status(&self.shared, response.status);
+        // ORDERING: SeqCst — same total order as wind_down's store, so no
+        // response renews keep-alive once shutdown has begun.
         let shutting = self.shared.shutting_down.load(Ordering::SeqCst);
         let keep_alive = keep_alive_wanted && !response.close && !shutting;
         let trace_header;

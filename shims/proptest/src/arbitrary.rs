@@ -7,8 +7,14 @@ use std::fmt::Debug;
 use std::marker::PhantomData;
 
 /// Types with a default "any value" strategy.
-pub trait Arbitrary: Sized + Debug {
+pub trait Arbitrary: Sized + Debug + Clone {
     fn arbitrary_value(rng: &mut TestRng) -> Self;
+
+    /// Shrink candidates for a failing `value`, simplest-first.
+    /// Default: none.
+    fn shrink_value(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// The canonical strategy for all values of `T`.
@@ -26,11 +32,24 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary_value(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary_value(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(value: &bool) -> Vec<bool> {
+        // `false` is the canonical simplest bool.
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -40,6 +59,24 @@ macro_rules! impl_arbitrary_int {
             #[allow(clippy::unnecessary_cast)] // cast is a no-op for u64
             fn arbitrary_value(rng: &mut TestRng) -> $ty {
                 rng.next_u64() as $ty
+            }
+
+            fn shrink_value(value: &$ty) -> Vec<$ty> {
+                // Toward zero: jump, halve, step — mirroring range shrinks.
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 && v / 2 != v {
+                        out.push(v / 2);
+                    }
+                    // One step toward zero from either sign.
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != v / 2 {
+                        out.push(step);
+                    }
+                }
+                out
             }
         }
     )*};

@@ -58,6 +58,36 @@ where
         let len = self.size.min + rng.next_below(span) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first (shorter vectors are simpler than
+        // same-length vectors with smaller elements), never below the
+        // strategy's minimum length: halve toward the minimum, then remove
+        // each single position — not just the tail, so a culprit element
+        // anywhere doesn't pin the length.
+        if value.len() > self.size.min {
+            let half = self.size.min + (value.len() - self.size.min) / 2;
+            if half != value.len() - 1 {
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..value.len() {
+                let mut next = value.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // Then element-wise: each element's candidates, one position at a
+        // time with the rest held fixed.
+        for (i, elem) in value.iter().enumerate() {
+            for cand in self.element.shrink(elem) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

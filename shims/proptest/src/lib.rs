@@ -8,8 +8,13 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs verbatim;
-//!   it does not search for a minimal counterexample.
+//! * **Post-hoc shrinking instead of value trees.** On a failing case the
+//!   runner asks each strategy for simpler candidate values
+//!   ([`strategy::Strategy::shrink`]: jump to the minimum, halve the
+//!   distance, step by one; truncate vectors toward their minimum length)
+//!   and greedily adopts any candidate that still fails, restarting until
+//!   none does — a locally minimal counterexample under a bounded number of
+//!   re-runs. `prop_map` outputs don't shrink (the mapping is one-way).
 //! * **Deterministic generation.** Case `i` of test `t` always sees the same
 //!   inputs (seeded from a hash of the test path and `i`), so CI failures
 //!   reproduce locally without a persistence file.
@@ -119,39 +124,79 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::Config = $config;
-                $(let $arg = $strat;)+
+                // One combined strategy over all arguments, so the shrink
+                // loop can vary one argument at a time via tuple shrinking.
+                let strategy = ($($strat,)+);
+                // Pins the closure's argument to the strategy's value type;
+                // a bare `|args: &_|` leaves the body uninferable.
+                fn __typed<S, F>(_: &S, f: F) -> F
+                where
+                    S: $crate::strategy::Strategy,
+                    F: Fn(
+                        &S::Value,
+                    ) -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    >,
+                {
+                    f
+                }
+                let check = __typed(&strategy, |args| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(args);
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 for case in 0..config.cases {
                     let mut rng = $crate::test_runner::TestRng::deterministic(
                         concat!(module_path!(), "::", stringify!($name)),
                         case as u64,
                     );
-                    $(
-                        let $arg =
-                            $crate::strategy::Strategy::generate(&$arg, &mut rng);
-                    )+
+                    let mut current =
+                        $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    let ::std::result::Result::Err(mut err) = check(&current) else {
+                        continue;
+                    };
+                    // Greedy shrink: adopt any simpler candidate that still
+                    // fails and restart, under a bounded number of re-runs.
+                    let mut budget = 512usize;
+                    let mut shrunk = 0usize;
+                    'shrinking: loop {
+                        let candidates =
+                            $crate::strategy::Strategy::shrink(&strategy, &current);
+                        for cand in candidates {
+                            if budget == 0 {
+                                break 'shrinking;
+                            }
+                            budget -= 1;
+                            if let ::std::result::Result::Err(e) = check(&cand) {
+                                current = cand;
+                                err = e;
+                                shrunk += 1;
+                                continue 'shrinking;
+                            }
+                        }
+                        break;
+                    }
+                    let ($($arg,)+) = &current;
                     let inputs = [
                         $(format!(
-                            "{} = {:?}", stringify!($arg), &$arg
+                            "{} = {:?}", stringify!($arg), $arg
                         ),)+
                     ]
                     .join(",\n    ");
-                    let outcome: ::std::result::Result<
-                        (),
-                        $crate::test_runner::TestCaseError,
-                    > = (move || {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    if let ::std::result::Result::Err(err) = outcome {
-                        panic!(
-                            "proptest case {}/{} of `{}` failed: {}\n  with inputs:\n    {}",
-                            case + 1,
-                            config.cases,
-                            stringify!($name),
-                            err,
-                            inputs,
-                        );
-                    }
+                    panic!(
+                        "proptest case {}/{} of `{}` failed{}: {}\n  with inputs:\n    {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        if shrunk > 0 {
+                            format!(" (shrunk {shrunk} steps)")
+                        } else {
+                            ::std::string::String::new()
+                        },
+                        err,
+                        inputs,
+                    );
                 }
             }
         )*
@@ -212,5 +257,48 @@ mod tests {
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("always_fails"), "message: {msg}");
         assert!(msg.contains("x = "), "message: {msg}");
+    }
+
+    /// A planted bug (`x < 17` over `0..1000`) must shrink to the exact
+    /// boundary: the greedy loop leaps/halves while candidates still fail
+    /// and steps by one at the edge, so the report names `x = 17` — the
+    /// minimal counterexample — no matter which failing value came up.
+    #[test]
+    fn planted_failure_shrinks_to_minimal_counterexample() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                fn fails_when_big(x in 0u64..1000) {
+                    prop_assert!(x < 17, "x was {}", x);
+                }
+            }
+            fails_when_big();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("x = 17"), "did not shrink to 17: {msg}");
+        assert!(msg.contains("shrunk"), "shrink count missing: {msg}");
+    }
+
+    /// Vector shrinking respects the strategy's minimum length and still
+    /// simplifies elements: a "contains a big element" failure reduces to
+    /// the shortest allowed vector with the smallest still-failing element.
+    #[test]
+    fn vec_failure_shrinks_length_and_elements() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+                fn no_big_elements(v in crate::collection::vec(0u32..100, 2..8)) {
+                    prop_assert!(v.iter().all(|&x| x < 50), "v was {:?}", v);
+                }
+            }
+            no_big_elements();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // Minimal form: the min length (2), one offending element shrunk to
+        // the boundary (50), the other all the way to the range start (0).
+        assert!(
+            msg.contains("v = [50, 0]") || msg.contains("v = [0, 50]"),
+            "did not reach minimal vector: {msg}"
+        );
     }
 }

@@ -7,18 +7,31 @@ use std::ops::Range;
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a strategy
-/// simply draws a value from the RNG.
+/// Unlike real proptest there is no lazily-explored value tree: a strategy
+/// draws a value from the RNG, and [`Strategy::shrink`] proposes simpler
+/// variants of a failing value after the fact (most aggressive first). The
+/// `proptest!` runner greedily adopts any candidate that still fails until
+/// no candidate does, which converges to a locally minimal counterexample.
 pub trait Strategy {
-    type Value: Debug;
+    type Value: Debug + Clone;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Simpler candidate replacements for a failing `value`, ordered most
+    /// aggressive first (e.g. the range minimum before `value - 1`).
+    /// Default: no candidates — opaque values don't shrink.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// A strategy producing `f(value)` for each generated `value`.
+    ///
+    /// Mapped strategies do not shrink: `f` is one-way, so a simpler input
+    /// cannot be recovered from a failing output.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
-        O: Debug,
+        O: Debug + Clone,
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
@@ -47,7 +60,7 @@ pub struct Map<S, F> {
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
-    O: Debug,
+    O: Debug + Clone,
     F: Fn(S::Value) -> O,
 {
     type Value = O;
@@ -60,6 +73,9 @@ where
 /// Integers and floats that `Range<T>` strategies can produce.
 pub trait SampleUniform: Copy + Debug {
     fn sample(range: &Range<Self>, rng: &mut TestRng) -> Self;
+
+    /// Shrink candidates for `value` within `range`, toward `range.start`.
+    fn shrink_in(range: &Range<Self>, value: Self) -> Vec<Self>;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -73,6 +89,23 @@ macro_rules! impl_sample_uniform_int {
                 );
                 let span = range.end.abs_diff(range.start) as u64;
                 range.start.wrapping_add(rng.next_below(span) as $ty)
+            }
+
+            #[allow(clippy::unnecessary_cast)]
+            fn shrink_in(range: &Range<Self>, value: Self) -> Vec<Self> {
+                // Toward the range minimum: jump to it, halve the distance,
+                // then step by one — in that order, so the greedy loop takes
+                // big leaps when it can and converges exactly when it can't.
+                let mut out = Vec::new();
+                let dist = value.abs_diff(range.start) as u64;
+                if dist > 0 {
+                    out.push(range.start);
+                }
+                if dist > 1 {
+                    out.push(range.start.wrapping_add((dist / 2) as $ty));
+                    out.push(value - 1);
+                }
+                out
             }
         }
     )*};
@@ -97,6 +130,18 @@ macro_rules! impl_sample_uniform_float {
                     v
                 }
             }
+
+            fn shrink_in(range: &Range<Self>, value: Self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if value != range.start {
+                    out.push(range.start);
+                    let mid = range.start + (value - range.start) / 2.0;
+                    if mid != value && mid != range.start {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -109,10 +154,14 @@ impl<T: SampleUniform> Strategy for Range<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::sample(self, rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_in(self, *value)
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
+    ($(($name:ident, $idx:tt)),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
 
@@ -121,22 +170,39 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                // Vary one component at a time, holding the others fixed.
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -179,5 +245,42 @@ mod tests {
         for _ in 0..100 {
             assert!(s.generate(&mut rng) <= 18);
         }
+    }
+
+    #[test]
+    fn int_shrink_leaps_then_steps_toward_start() {
+        let s = 3u64..100;
+        assert_eq!(s.shrink(&40), vec![3, 21, 39]);
+        assert_eq!(s.shrink(&4), vec![3]);
+        assert!(s.shrink(&3).is_empty(), "range minimum is already minimal");
+        // Signed ranges shrink toward their own start, not zero.
+        let n = -8i32..-1;
+        assert_eq!(n.shrink(&-2), vec![-8, -5, -3]);
+    }
+
+    #[test]
+    fn float_shrink_halves_toward_start() {
+        let s = 1.0f64..9.0;
+        assert_eq!(s.shrink(&5.0), vec![1.0, 3.0]);
+        assert!(s.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = (0usize..10, 5u64..8);
+        let cands = s.shrink(&(4, 7));
+        assert!(cands.contains(&(0, 7)));
+        assert!(cands.contains(&(2, 7)));
+        assert!(cands.contains(&(3, 7)));
+        assert!(cands.contains(&(4, 5)));
+        assert!(cands.contains(&(4, 6)));
+        // Never both at once: every candidate differs in exactly one slot.
+        assert!(cands.iter().all(|&(a, b)| (a != 4) ^ (b != 7)));
+    }
+
+    #[test]
+    fn mapped_strategies_do_not_shrink() {
+        let s = (0usize..10).prop_map(|x| x * 2);
+        assert!(s.shrink(&8).is_empty());
     }
 }
